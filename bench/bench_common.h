@@ -1,0 +1,124 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Every bench binary regenerates one table or figure of the paper on the
+// synthetic Table 1 stand-in datasets (see DESIGN.md for the substitution
+// rationale). Absolute numbers differ from the paper (simulated datasets,
+// container hardware); the SHAPE — who wins, by what factor, where the
+// crossovers sit — is the reproduction target, recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <filesystem>
+
+#include "cachesim/cache.h"
+#include "core/ihtl_config.h"
+#include "gen/datasets.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "parallel/thread_pool.h"
+#include "parallel/timer.h"
+
+namespace ihtl::bench {
+
+/// Scale used by the cache-simulator harnesses (~64 K vertices, ~1-2 M
+/// edges per dataset; vertex data sized against scaled_hierarchy()).
+inline constexpr DatasetScale kBenchScale = DatasetScale::bench;
+
+/// Scale used by the wall-clock harnesses (~800 K vertices, ~20-30 M edges;
+/// vertex data far exceeds this machine's 2 MB L2, so pull's random reads
+/// miss the private caches the way the paper's datasets miss the LLC).
+inline constexpr DatasetScale kWallClockScale = DatasetScale::large;
+
+/// Generates a dataset once and caches it on disk (./bench_data); later
+/// bench binaries just load the binary. Large-scale generation costs tens
+/// of seconds per dataset, loading costs a fraction of that.
+inline Graph load_bench_graph(const DatasetSpec& spec, DatasetScale scale) {
+  namespace fs = std::filesystem;
+  const char* suffix = scale == DatasetScale::large ? "large" : "bench";
+  const fs::path dir = "bench_data";
+  const fs::path path = dir / (spec.name + "_" + suffix + ".ihtlgr");
+  if (fs::exists(path)) {
+    return load_graph_binary(path.string());
+  }
+  Timer t;
+  Graph g = make_dataset(spec, scale);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (!ec) {
+    save_graph_binary(g, path.string());
+    std::fprintf(stderr, "[bench_data] generated %s in %.1fs (cached)\n",
+                 path.string().c_str(), t.elapsed_seconds());
+  }
+  return g;
+}
+
+inline Graph load_bench_graph(const std::string& name, DatasetScale scale) {
+  return load_bench_graph(dataset_spec(name), scale);
+}
+
+/// iHTL configuration for the wall-clock harnesses on THIS machine.
+/// The paper sizes the hub buffer to the private L2 (Section 4.7); our
+/// table6 sweep lands lower — 256 KB, L2/8 — because at laptop scale the
+/// streamed source/topology data competes for the same 2 MB L2 much more
+/// than on the paper's billion-edge runs. The sweep (table6) is the
+/// authority; this is its winner.
+inline IhtlConfig hw_ihtl_config() {
+  IhtlConfig cfg;
+  cfg.buffer_bytes = 256u << 10;
+  return cfg;
+}
+
+/// Reduced scale for the expensive relabeling comparisons (GOrder is
+/// intentionally slow — that slowness is itself a Figure 8 result).
+inline constexpr DatasetScale kReorderScale = DatasetScale::small;
+
+/// Cache hierarchy for the simulator harnesses, scaled down from the
+/// paper's Xeon Gold 6130 (32 KB / 1 MB / 22 MB) by ~32x so that the bench
+/// datasets' vertex data (512 KB at bench scale) exceeds the LLC the way
+/// the paper's billion-edge datasets exceed 22 MB.
+inline CacheHierarchy scaled_hierarchy() {
+  return CacheHierarchy({
+      {.size_bytes = 1u << 10, .line_bytes = 64, .ways = 2},    // "L1" 1 KB
+      {.size_bytes = 32u << 10, .line_bytes = 64, .ways = 8},   // "L2" 32 KB
+      {.size_bytes = 256u << 10, .line_bytes = 64, .ways = 8},  // "L3" 256 KB
+  });
+}
+
+/// iHTL configuration matched to scaled_hierarchy(): the per-thread hub
+/// buffer equals the scaled L2, exactly as the paper sizes it to the real
+/// L2 (Section 4.7).
+inline IhtlConfig scaled_ihtl_config() {
+  IhtlConfig cfg;
+  cfg.buffer_bytes = 32u << 10;  // == scaled L2
+  return cfg;
+}
+
+/// Prints the standard bench header.
+inline void print_header(const char* id, const char* paper_ref,
+                         const char* what) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s — %s\n%s\n", id, paper_ref, what);
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+inline void print_dataset_line(const Graph& g, const DatasetSpec& spec) {
+  std::printf("# %-8s %-6s |V|=%-7u |E|=%llu\n", spec.name.c_str(),
+              spec.kind == DatasetKind::social ? "social" : "web",
+              g.num_vertices(), static_cast<unsigned long long>(g.num_edges()));
+}
+
+/// Geometric mean of ratios (the paper reports average speedups).
+inline double geomean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (const double x : v) log_sum += std::log(x);
+  return std::exp(log_sum / static_cast<double>(v.size()));
+}
+
+}  // namespace ihtl::bench

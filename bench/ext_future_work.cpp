@@ -1,0 +1,101 @@
+// Section 6 future-work extensions, measured:
+//   A. Compressed topology: varint-gap coded blocks + sparse block — size
+//      vs the raw iHTL graph and vs plain CSC (Table 4 revisited), and the
+//      decode cost per SpMV iteration.
+//   B. Secondary Rabbit-Order within VWEH/FV: does community order in the
+//      sparse block speed up the pull phase?
+//   C. Single-pass block counting (select_hubs_fast) vs the exact per-block
+//      passes: preprocessing time and chosen block counts.
+#include "apps/pagerank.h"
+#include "bench_common.h"
+#include "core/ihtl_compressed.h"
+#include "core/ihtl_ext.h"
+#include "core/ihtl_spmv.h"
+#include "reorder/reorder.h"
+
+int main() {
+  using namespace ihtl;
+  using namespace ihtl::bench;
+  print_header("ext", "Section 6 (future work)",
+               "Compression, Rabbit-ordered sparse block, fast block count");
+
+  ThreadPool pool;
+  const IhtlConfig cfg = hw_ihtl_config();
+  const char* datasets[] = {"TwtrMpi", "Frndstr", "SK", "ClWb9"};
+  constexpr unsigned kIters = 5;
+
+  std::printf("A. Compressed topology (MiB) and SpMV time (ms/iter)\n");
+  std::printf("%-8s %9s %9s %9s %12s %12s\n", "Dataset", "CSC", "iHTL",
+              "iHTL.zip", "ms raw", "ms zip");
+  for (const char* name : datasets) {
+    const Graph g = load_bench_graph(name, kWallClockScale);
+    const IhtlGraph ig = build_ihtl_graph(g, cfg);
+    const CompressedIhtlGraph cig = CompressedIhtlGraph::from(ig);
+
+    // Raw executor timing.
+    IhtlEngine<PlusMonoid> engine(ig, pool);
+    std::vector<value_t> x(g.num_vertices(), 1.0), y(g.num_vertices());
+    Timer t;
+    for (unsigned i = 0; i < kIters; ++i) engine.spmv(x, y);
+    const double raw_ms = 1e3 * t.elapsed_seconds() / kIters;
+    t.reset();
+    for (unsigned i = 0; i < kIters; ++i) compressed_ihtl_spmv(pool, cig, x, y);
+    const double zip_ms = 1e3 * t.elapsed_seconds() / kIters;
+
+    std::printf("%-8s %9.1f %9.1f %9.1f %12.1f %12.1f\n", name,
+                g.csc_topology_bytes() / (1024.0 * 1024.0),
+                ig.topology_bytes() / (1024.0 * 1024.0),
+                cig.topology_bytes() / (1024.0 * 1024.0), raw_ms, zip_ms);
+    std::fflush(stdout);
+  }
+
+  std::printf("\nB. Rabbit-Order within VWEH/FV (sparse-block locality)\n");
+  std::printf("%-8s %14s %14s\n", "Dataset", "original (ms)", "rabbit (ms)");
+  PageRankOptions opt;
+  opt.iterations = kIters;
+  opt.ihtl = cfg;
+  for (const char* name : datasets) {
+    const Graph g = load_bench_graph(name, kWallClockScale);
+    const HubSelection sel = select_hubs(g, cfg);
+    const IhtlGraph plain = build_ihtl_graph(g, sel, cfg);
+    const IhtlGraph ordered =
+        build_ihtl_graph_ordered(g, sel, cfg, rabbit_order(g));
+    const double plain_ms =
+        1e3 * pagerank_ihtl(pool, g, plain, opt).seconds_per_iteration;
+    const double ordered_ms =
+        1e3 * pagerank_ihtl(pool, g, ordered, opt).seconds_per_iteration;
+    std::printf("%-8s %14.1f %14.1f\n", name, plain_ms, ordered_ms);
+    std::fflush(stdout);
+  }
+
+  std::printf("\nC. Hub selection: exact per-block passes vs single pass\n");
+  std::printf("   (the single pass amortizes only when MANY blocks form, so "
+              "both the default\n    1-2 block regime and a small-buffer "
+              "many-block regime are measured)\n");
+  std::printf("%-8s %10s | %9s %6s | %9s %6s\n", "Dataset", "buffer",
+              "exact ms", "#FB", "fast ms", "#FB");
+  for (const char* name : datasets) {
+    const Graph g = load_bench_graph(name, kWallClockScale);
+    for (const std::size_t buffer : {cfg.buffer_bytes, std::size_t{16} << 10}) {
+      IhtlConfig c = cfg;
+      c.buffer_bytes = buffer;
+      Timer t;
+      const HubSelection exact = select_hubs(g, c);
+      const double exact_ms = t.elapsed_ms();
+      t.reset();
+      const HubSelection fast = select_hubs_fast(g, c);
+      const double fast_ms = t.elapsed_ms();
+      std::printf("%-8s %9zuK | %9.1f %6zu | %9.1f %6zu\n", name,
+                  buffer >> 10, exact_ms, exact.num_blocks, fast_ms,
+                  fast.num_blocks);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n(expected: A. zip topology well below raw at a decode-time "
+              "premium; B. rabbit order helps graphs whose sparse block "
+              "dominates; C. in the 1-2 block regime the exact passes are "
+              "already cheap and the single pass loses; with many small "
+              "blocks the single pass amortizes — matching the paper's "
+              "framing of it as an optimization for block-heavy graphs)\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 1: last-level-cache miss rate of SpMV conditional on the in-degree
+// of the traversed (destination) vertex, for a social network (TwtrMpi
+// stand-in) and a web graph (SK stand-in):
+//   original order vs SlashBurn vs GOrder vs Rabbit-Order (pull traversal)
+//   vs iHTL.
+// Expected shape: reordering lowers miss rates for LOW-degree buckets but
+// hubs stay near the worst case; iHTL collapses the hub buckets instead.
+#include "bench_common.h"
+#include "cachesim/trace_spmv.h"
+#include "core/ihtl_graph.h"
+#include "graph/permute.h"
+#include "parallel/timer.h"
+#include "reorder/reorder.h"
+
+namespace {
+
+using namespace ihtl;
+using namespace ihtl::bench;
+
+void profile_dataset(const std::string& name, bool include_gorder) {
+  const Graph g = make_dataset(name, kBenchScale);
+  print_dataset_line(g, dataset_spec(name));
+
+  struct Row {
+    std::string label;
+    DegreeMissProfile profile;
+  };
+  std::vector<Row> rows;
+
+  auto pull_profile = [&](const Graph& graph) {
+    CacheHierarchy caches = scaled_hierarchy();
+    DegreeMissProfile p;
+    trace_pull_spmv(graph, caches, &p);
+    return p;
+  };
+
+  rows.push_back({"original", pull_profile(g)});
+  rows.push_back(
+      {"SlashBurn", pull_profile(apply_permutation(g, slashburn_order(g)))});
+  rows.push_back(
+      {"RabbitOrder", pull_profile(apply_permutation(g, rabbit_order(g)))});
+  if (include_gorder) {
+    // Affordable only on bounded-out-degree (web) graphs at this scale;
+    // GOrder's cost on hub-heavy social graphs is Figure 8's subject.
+    rows.push_back(
+        {"GOrder", pull_profile(apply_permutation(g, gorder(g)))});
+  }
+  rows.push_back(
+      {"Degree", pull_profile(apply_permutation(g, degree_order(g)))});
+  {
+    CacheHierarchy caches = scaled_hierarchy();
+    DegreeMissProfile p;
+    const IhtlGraph ig = build_ihtl_graph(g, scaled_ihtl_config());
+    trace_ihtl_spmv(g, ig, caches, &p);
+    rows.push_back({"iHTL", std::move(p)});
+  }
+
+  std::size_t max_buckets = 0;
+  for (const Row& r : rows) {
+    max_buckets = std::max(max_buckets, r.profile.accesses.size());
+  }
+  std::printf("%-24s", "in-degree bucket:");
+  for (std::size_t b = 0; b < max_buckets; ++b) {
+    std::printf(" 2^%-4zu", b);
+  }
+  std::printf("\nLLC miss rate of the random accesses per bucket (%%):\n");
+  for (const Row& r : rows) {
+    std::printf("%-24s", r.label.c_str());
+    for (std::size_t b = 0; b < max_buckets; ++b) {
+      if (b < r.profile.accesses.size() && r.profile.accesses[b] > 0) {
+        std::printf(" %5.1f ", 100.0 * r.profile.miss_rate(b));
+      } else {
+        std::printf("   -   ");
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  print_header("fig1", "Figure 1",
+               "LLC miss rate vs destination in-degree: pull on original / "
+               "relabeled graphs vs iHTL (cache simulator)");
+  profile_dataset("TwtrMpi", /*include_gorder=*/false);  // social panel
+  profile_dataset("SK", /*include_gorder=*/true);        // web panel
+  std::printf("(expected: relabeling helps low-degree buckets; the highest "
+              "buckets stay high under every pull order and collapse only "
+              "under iHTL)\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Google-benchmark microbenchmarks of the individual SpMV kernels and the
+// iHTL phases on one social and one web dataset. Complements the
+// table/figure harnesses with statistically robust per-kernel timings.
+#include <benchmark/benchmark.h>
+
+#include "baselines/spmv.h"
+#include "bench_common.h"
+#include "core/ihtl_spmv.h"
+
+namespace {
+
+using namespace ihtl;
+using namespace ihtl::bench;
+
+struct Fixture {
+  Graph g;
+  IhtlGraph ig;
+  std::vector<value_t> x, y;
+  ThreadPool pool;
+
+  explicit Fixture(const char* dataset)
+      : g(make_dataset(dataset, DatasetScale::small)),
+        ig(build_ihtl_graph(g, scaled_ihtl_config())),
+        x(g.num_vertices(), 1.0),
+        y(g.num_vertices(), 0.0) {}
+};
+
+Fixture& social() {
+  static Fixture f("TwtrMpi");
+  return f;
+}
+Fixture& web() {
+  static Fixture f("SK");
+  return f;
+}
+
+void report_edges(benchmark::State& state, const Graph& g) {
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_edges()));
+}
+
+template <Fixture& (*F)()>
+void BM_Pull(benchmark::State& state) {
+  Fixture& f = F();
+  for (auto _ : state) {
+    spmv_pull(f.pool, f.g, f.x, f.y);
+    benchmark::DoNotOptimize(f.y.data());
+  }
+  report_edges(state, f.g);
+}
+
+template <Fixture& (*F)()>
+void BM_PushAtomic(benchmark::State& state) {
+  Fixture& f = F();
+  for (auto _ : state) {
+    spmv_push_atomic(f.pool, f.g, f.x, f.y);
+    benchmark::DoNotOptimize(f.y.data());
+  }
+  report_edges(state, f.g);
+}
+
+template <Fixture& (*F)()>
+void BM_PushBuffered(benchmark::State& state) {
+  Fixture& f = F();
+  for (auto _ : state) {
+    spmv_push_buffered(f.pool, f.g, f.x, f.y);
+    benchmark::DoNotOptimize(f.y.data());
+  }
+  report_edges(state, f.g);
+}
+
+template <Fixture& (*F)()>
+void BM_Ihtl(benchmark::State& state) {
+  Fixture& f = F();
+  IhtlEngine<PlusMonoid> engine(f.ig, f.pool);
+  for (auto _ : state) {
+    engine.spmv(f.x, f.y);
+    benchmark::DoNotOptimize(f.y.data());
+  }
+  report_edges(state, f.g);
+}
+
+template <Fixture& (*F)()>
+void BM_IhtlPreprocessing(benchmark::State& state) {
+  Fixture& f = F();
+  for (auto _ : state) {
+    IhtlGraph ig = build_ihtl_graph(f.g, scaled_ihtl_config());
+    benchmark::DoNotOptimize(ig.num_hubs());
+  }
+  report_edges(state, f.g);
+}
+
+BENCHMARK(BM_Pull<social>)->Name("spmv_pull/social");
+BENCHMARK(BM_Pull<web>)->Name("spmv_pull/web");
+BENCHMARK(BM_PushAtomic<social>)->Name("spmv_push_atomic/social");
+BENCHMARK(BM_PushAtomic<web>)->Name("spmv_push_atomic/web");
+BENCHMARK(BM_PushBuffered<social>)->Name("spmv_push_buffered/social");
+BENCHMARK(BM_PushBuffered<web>)->Name("spmv_push_buffered/web");
+BENCHMARK(BM_Ihtl<social>)->Name("spmv_ihtl/social");
+BENCHMARK(BM_Ihtl<web>)->Name("spmv_ihtl/web");
+BENCHMARK(BM_IhtlPreprocessing<social>)->Name("ihtl_preprocess/social");
+BENCHMARK(BM_IhtlPreprocessing<web>)->Name("ihtl_preprocess/web");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+// Social-network ranking: generate a Twitter-like RMAT graph, run PageRank
+// with the pull baseline and with iHTL, compare timings and verify the two
+// agree, then report the top influencers.
+//
+//   ./examples/social_ranking [scale]     (default scale 15)
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+
+#include "apps/pagerank.h"
+#include "gen/generators.h"
+#include "graph/stats.h"
+#include "parallel/thread_pool.h"
+
+int main(int argc, char** argv) {
+  using namespace ihtl;
+  RmatParams params;
+  params.scale = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 15;
+  params.edge_factor = 16;
+  params.seed = 42;
+
+  std::printf("generating RMAT social graph (scale %u)...\n", params.scale);
+  const Graph g = build_eval_graph(vid_t{1} << params.scale, rmat_edges(params));
+  const GraphStats stats = compute_stats(g);
+  std::printf("|V| = %u, |E| = %llu, max in-degree %llu, "
+              "top-1%% vertices hold %.0f%% of edges\n",
+              stats.num_vertices,
+              static_cast<unsigned long long>(stats.num_edges),
+              static_cast<unsigned long long>(stats.max_in_degree),
+              100.0 * stats.top1pct_in_edge_share);
+
+  ThreadPool pool;
+  PageRankOptions opt;
+  opt.iterations = 10;
+  // Hub buffer sized for a laptop-class L2 slice; small enough that the
+  // flipped blocks stay cache-resident at this graph scale.
+  opt.ihtl.buffer_bytes = 64u << 10;
+
+  const PageRankResult pull = pagerank(pool, g, SpmvKernel::pull, opt);
+  const PageRankResult ihtl_pr = pagerank(pool, g, SpmvKernel::ihtl, opt);
+
+  std::printf("\nPageRank, %u iterations:\n", opt.iterations);
+  std::printf("  pull : %8.2f ms/iteration\n",
+              1e3 * pull.seconds_per_iteration);
+  std::printf("  iHTL : %8.2f ms/iteration  (preprocessing %.1f ms, "
+              "= %.1f pull iterations)\n",
+              1e3 * ihtl_pr.seconds_per_iteration,
+              1e3 * ihtl_pr.preprocessing_seconds,
+              ihtl_pr.preprocessing_seconds / pull.seconds_per_iteration);
+  std::printf("  speedup: %.2fx\n",
+              pull.seconds_per_iteration / ihtl_pr.seconds_per_iteration);
+
+  // The two kernels compute the same ranks.
+  double max_diff = 0.0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    max_diff = std::max(max_diff, std::abs(pull.ranks[v] - ihtl_pr.ranks[v]));
+  }
+  std::printf("  max |pull - iHTL| rank difference: %.3g\n", max_diff);
+
+  std::vector<vid_t> top(g.num_vertices());
+  std::iota(top.begin(), top.end(), vid_t{0});
+  std::partial_sort(top.begin(), top.begin() + 10, top.end(),
+                    [&](vid_t a, vid_t b) {
+                      return ihtl_pr.ranks[a] > ihtl_pr.ranks[b];
+                    });
+  std::printf("\ntop influencers (vertex: rank, in-degree):\n");
+  for (int i = 0; i < 10; ++i) {
+    std::printf("  #%-2d v%-8u %.3e  %llu\n", i + 1, top[i],
+                ihtl_pr.ranks[top[i]],
+                static_cast<unsigned long long>(g.in_degree(top[i])));
+  }
+  return 0;
+}

@@ -1,0 +1,116 @@
+#include "apps/analytics.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "baselines/spmv.h"
+#include "core/ihtl_spmv.h"
+#include "parallel/parallel_for.h"
+#include "parallel/timer.h"
+
+namespace ihtl {
+
+Graph symmetrize(const Graph& g) {
+  std::vector<Edge> edges = to_edge_list(g);
+  const std::size_t m = edges.size();
+  edges.reserve(2 * m);
+  for (std::size_t i = 0; i < m; ++i) {
+    edges.push_back({edges[i].dst, edges[i].src});
+  }
+  BuildOptions opt;
+  opt.dedup = true;
+  opt.remove_self_loops = true;
+  opt.sort_neighbors = true;
+  return build_graph(g.num_vertices(), edges, opt);
+}
+
+namespace {
+
+/// Runs `values' = update(min-SpMV(map(values)))` rounds to fixpoint.
+/// `map` transforms the propagated value (identity for CC, +1 for SSSP).
+template <typename SpmvFn, typename MapFn>
+AnalyticsResult min_fixpoint(ThreadPool& pool, vid_t n,
+                             std::vector<value_t> init, const SpmvFn& spmv,
+                             const MapFn& map, unsigned max_rounds) {
+  std::vector<value_t> vals = std::move(init);
+  std::vector<value_t> x(n), y(n);
+  AnalyticsResult result;
+  Timer timer;
+  for (unsigned round = 0; round < max_rounds; ++round) {
+    parallel_for(pool, 0, n,
+                 [&](std::uint64_t v, std::size_t) { x[v] = map(vals[v]); });
+    spmv(std::span<const value_t>(x), std::span<value_t>(y));
+    std::atomic<bool> changed{false};
+    parallel_for(pool, 0, n, [&](std::uint64_t v, std::size_t) {
+      if (y[v] < vals[v]) {
+        vals[v] = y[v];
+        changed.store(true, std::memory_order_relaxed);
+      }
+    });
+    ++result.iterations;
+    if (!changed.load()) break;
+  }
+  result.seconds = timer.elapsed_seconds();
+  result.values = std::move(vals);
+  return result;
+}
+
+template <typename MapFn>
+AnalyticsResult run_kernel(ThreadPool& pool, const Graph& g,
+                           AnalyticsKernel kernel, const IhtlConfig& cfg,
+                           std::vector<value_t> init, const MapFn& map,
+                           unsigned max_rounds) {
+  const vid_t n = g.num_vertices();
+  if (kernel == AnalyticsKernel::pull) {
+    return min_fixpoint(
+        pool, n, std::move(init),
+        [&](std::span<const value_t> x, std::span<value_t> y) {
+          spmv_pull<MinMonoid>(pool, g, x, y);
+        },
+        map, max_rounds);
+  }
+  // iHTL: permute into the relabeled space, iterate, permute back.
+  Timer prep;
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+  IhtlEngine<MinMonoid> engine(ig, pool);
+  const double prep_s = prep.elapsed_seconds();
+  const auto& o2n = ig.old_to_new();
+  std::vector<value_t> init_new(n);
+  for (vid_t v = 0; v < n; ++v) init_new[o2n[v]] = init[v];
+  AnalyticsResult result = min_fixpoint(
+      pool, n, std::move(init_new),
+      [&](std::span<const value_t> x, std::span<value_t> y) {
+        engine.spmv(x, y);
+      },
+      map, max_rounds);
+  std::vector<value_t> back(n);
+  for (vid_t v = 0; v < n; ++v) back[v] = result.values[o2n[v]];
+  result.values = std::move(back);
+  result.preprocessing_seconds = prep_s;
+  return result;
+}
+
+}  // namespace
+
+AnalyticsResult connected_components(ThreadPool& pool, const Graph& g,
+                                     AnalyticsKernel kernel,
+                                     const IhtlConfig& cfg) {
+  const vid_t n = g.num_vertices();
+  std::vector<value_t> init(n);
+  for (vid_t v = 0; v < n; ++v) init[v] = static_cast<value_t>(v);
+  return run_kernel(
+      pool, g, kernel, cfg, std::move(init),
+      [](value_t label) { return label; }, n ? n : 1);
+}
+
+AnalyticsResult sssp_unit(ThreadPool& pool, const Graph& g, vid_t source,
+                          AnalyticsKernel kernel, const IhtlConfig& cfg) {
+  const vid_t n = g.num_vertices();
+  std::vector<value_t> init(n, MinMonoid::identity());
+  if (source < n) init[source] = 0.0;
+  return run_kernel(
+      pool, g, kernel, cfg, std::move(init),
+      [](value_t d) { return d + 1.0; }, n ? n : 1);
+}
+
+}  // namespace ihtl

@@ -1,0 +1,43 @@
+// The future-work analytics (Section 6): Connected Components and
+// BFS/unit-weight SSSP, expressed as fixpoints of min-monoid SpMVs so they
+// run on either the pull baseline or the iHTL executor. "Irregular datasets
+// require irregular traversals" applies beyond PageRank.
+#pragma once
+
+#include <vector>
+
+#include "core/ihtl_config.h"
+#include "core/ihtl_graph.h"
+#include "graph/graph.h"
+#include "parallel/thread_pool.h"
+
+namespace ihtl {
+
+/// Which executor drives the min-SpMV iterations.
+enum class AnalyticsKernel { pull, ihtl };
+
+/// Adds the reverse of every edge (then dedups). CC requires the symmetric
+/// closure to find weakly-connected components with pull-only propagation.
+Graph symmetrize(const Graph& g);
+
+struct AnalyticsResult {
+  std::vector<value_t> values;  ///< per-vertex result, original-ID space
+  unsigned iterations = 0;      ///< rounds until fixpoint
+  double seconds = 0.0;
+  double preprocessing_seconds = 0.0;
+};
+
+/// Connected components by min-label propagation on a SYMMETRIC graph
+/// (pass the result of symmetrize() for directed inputs). values[v] is the
+/// smallest original vertex ID in v's component.
+AnalyticsResult connected_components(ThreadPool& pool, const Graph& g,
+                                     AnalyticsKernel kernel,
+                                     const IhtlConfig& cfg = {});
+
+/// Unit-weight SSSP (== BFS level) from `source` by Bellman-Ford rounds:
+/// dist_v = min over u in N-(v) of dist_u + 1. Unreachable vertices get
+/// +infinity.
+AnalyticsResult sssp_unit(ThreadPool& pool, const Graph& g, vid_t source,
+                          AnalyticsKernel kernel, const IhtlConfig& cfg = {});
+
+}  // namespace ihtl

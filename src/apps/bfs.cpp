@@ -1,0 +1,139 @@
+#include "apps/bfs.h"
+
+#include <atomic>
+
+#include "parallel/parallel_for.h"
+#include "parallel/timer.h"
+
+namespace ihtl {
+
+namespace {
+
+/// Shared BFS state: levels double as the visited set.
+struct State {
+  std::vector<std::atomic<std::int64_t>> level;
+  explicit State(vid_t n) : level(n) {
+    for (auto& l : level) l.store(BfsResult::kUnreached,
+                                  std::memory_order_relaxed);
+  }
+};
+
+/// Top-down step: every frontier vertex pushes to unvisited out-neighbours.
+/// Returns the next frontier (as a vertex list) and its out-edge count.
+std::pair<std::vector<vid_t>, eid_t> top_down_step(
+    ThreadPool& pool, const Graph& g, const std::vector<vid_t>& frontier,
+    State& state, std::int64_t depth) {
+  const std::size_t nt = pool.size();
+  std::vector<std::vector<vid_t>> next_local(nt);
+  parallel_for(pool, 0, frontier.size(), [&](std::uint64_t i, std::size_t tid) {
+    const vid_t u = frontier[i];
+    for (const vid_t t : g.out().neighbors(u)) {
+      std::int64_t expected = BfsResult::kUnreached;
+      if (state.level[t].compare_exchange_strong(expected, depth,
+                                                 std::memory_order_relaxed)) {
+        next_local[tid].push_back(t);
+      }
+    }
+  });
+  std::vector<vid_t> next;
+  eid_t out_edges = 0;
+  for (auto& local : next_local) {
+    for (const vid_t v : local) {
+      next.push_back(v);
+      out_edges += g.out_degree(v);
+    }
+  }
+  return {std::move(next), out_edges};
+}
+
+/// Bottom-up step: every unvisited vertex scans its in-neighbours for one
+/// at depth-1; first hit claims it (no contention: one writer per vertex).
+std::pair<std::vector<vid_t>, eid_t> bottom_up_step(ThreadPool& pool,
+                                                    const Graph& g,
+                                                    State& state,
+                                                    std::int64_t depth) {
+  const std::size_t nt = pool.size();
+  std::vector<std::vector<vid_t>> next_local(nt);
+  parallel_for(pool, 0, g.num_vertices(), [&](std::uint64_t vi,
+                                              std::size_t tid) {
+    const auto v = static_cast<vid_t>(vi);
+    if (state.level[v].load(std::memory_order_relaxed) !=
+        BfsResult::kUnreached) {
+      return;
+    }
+    for (const vid_t u : g.in().neighbors(v)) {
+      if (state.level[u].load(std::memory_order_relaxed) == depth - 1) {
+        state.level[v].store(depth, std::memory_order_relaxed);
+        next_local[tid].push_back(v);
+        break;
+      }
+    }
+  });
+  std::vector<vid_t> next;
+  eid_t out_edges = 0;
+  for (auto& local : next_local) {
+    for (const vid_t v : local) {
+      next.push_back(v);
+      out_edges += g.out_degree(v);
+    }
+  }
+  return {std::move(next), out_edges};
+}
+
+}  // namespace
+
+BfsResult bfs(ThreadPool& pool, const Graph& g, vid_t source,
+              const BfsOptions& opt) {
+  Timer timer;
+  BfsResult result;
+  const vid_t n = g.num_vertices();
+  if (n == 0) return result;
+  State state(n);
+  state.level[source].store(0, std::memory_order_relaxed);
+
+  std::vector<vid_t> frontier = {source};
+  eid_t frontier_out_edges = g.out_degree(source);
+  eid_t remaining_edges = g.num_edges();
+  std::int64_t depth = 1;
+
+  while (!frontier.empty()) {
+    bool go_bottom_up = false;
+    switch (opt.mode) {
+      case BfsMode::top_down:
+        break;
+      case BfsMode::bottom_up:
+        go_bottom_up = true;
+        break;
+      case BfsMode::direction_optimizing:
+        // Beamer: bottom-up pays off when the frontier covers a large edge
+        // share; top-down when it is small.
+        go_bottom_up = static_cast<double>(frontier_out_edges) >
+                           static_cast<double>(remaining_edges) / opt.alpha &&
+                       frontier.size() > n / opt.beta / opt.beta;
+        if (frontier.size() > n / opt.beta) go_bottom_up = true;
+        break;
+    }
+
+    std::pair<std::vector<vid_t>, eid_t> next;
+    if (go_bottom_up) {
+      next = bottom_up_step(pool, g, state, depth);
+      ++result.bottom_up_steps;
+    } else {
+      next = top_down_step(pool, g, frontier, state, depth);
+    }
+    remaining_edges -= std::min(remaining_edges, frontier_out_edges);
+    frontier = std::move(next.first);
+    frontier_out_edges = next.second;
+    ++result.steps;
+    ++depth;
+  }
+
+  result.level.resize(n);
+  for (vid_t v = 0; v < n; ++v) {
+    result.level[v] = state.level[v].load(std::memory_order_relaxed);
+  }
+  result.seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace ihtl

@@ -1,0 +1,47 @@
+// Frontier-based BFS with direction optimization — the "push OR pull"
+// family the paper contrasts itself against (Section 5.2, [3, 5]). Those
+// systems pick ONE direction per step based on frontier density; iHTL picks
+// a direction per VERTEX CLASS within a single traversal. This module
+// provides the per-step-switching baseline:
+//   - top-down (push): frontier vertices relax their out-neighbours;
+//   - bottom-up (pull): unvisited vertices scan in-neighbours for a parent;
+//   - direction-optimizing: switch by Beamer's alpha/beta heuristic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "parallel/thread_pool.h"
+
+namespace ihtl {
+
+enum class BfsMode {
+  top_down,              ///< push every step
+  bottom_up,             ///< pull every step
+  direction_optimizing,  ///< Beamer's switching heuristic [3]
+};
+
+struct BfsOptions {
+  BfsMode mode = BfsMode::direction_optimizing;
+  /// Switch to bottom-up when frontier out-edges exceed remaining/alpha.
+  double alpha = 15.0;
+  /// Switch back to top-down when frontier shrinks below |V|/beta.
+  double beta = 18.0;
+};
+
+struct BfsResult {
+  /// Level of each vertex (kUnreached if not reachable).
+  std::vector<std::int64_t> level;
+  static constexpr std::int64_t kUnreached = -1;
+  unsigned steps = 0;
+  unsigned bottom_up_steps = 0;  ///< how many steps ran in pull direction
+  double seconds = 0.0;
+};
+
+/// BFS from `source`. Deterministic level assignment (levels are unique
+/// regardless of traversal order; parents are not tracked).
+BfsResult bfs(ThreadPool& pool, const Graph& g, vid_t source,
+              const BfsOptions& opt = {});
+
+}  // namespace ihtl

@@ -1,0 +1,42 @@
+// HITS (Hyperlink-Induced Topic Search) — the first pull-underpinned
+// analytic the paper's introduction lists. Both half-steps are plus-SpMVs:
+//    authority[v] = sum of hub[u]        over in-neighbours  u of v
+//    hub[v]       = sum of authority[u]  over out-neighbours u of v
+// The authority step is a pull over the CSC; the hub step is a pull over
+// the REVERSED graph, which costs nothing to form (swap the CSR/CSC views).
+// Both steps run on either the baseline pull kernel or two iHTL executors
+// (one per direction) — demonstrating iHTL on a two-direction analytic.
+#pragma once
+
+#include <vector>
+
+#include "core/ihtl_config.h"
+#include "graph/graph.h"
+#include "parallel/thread_pool.h"
+
+namespace ihtl {
+
+enum class HitsKernel { pull, ihtl };
+
+struct HitsOptions {
+  unsigned iterations = 20;
+  HitsKernel kernel = HitsKernel::pull;
+  IhtlConfig ihtl;  ///< used when kernel == ihtl (applied to both directions)
+};
+
+struct HitsResult {
+  std::vector<value_t> authority;  ///< L2-normalized, original-ID space
+  std::vector<value_t> hub;        ///< L2-normalized, original-ID space
+  double seconds_per_iteration = 0.0;
+  double preprocessing_seconds = 0.0;
+};
+
+/// Runs `iterations` full HITS rounds (authority update, hub update, each
+/// followed by L2 normalization).
+HitsResult hits(ThreadPool& pool, const Graph& g, const HitsOptions& opt = {});
+
+/// The reversed view of g: out-edges become in-edges. O(1) — shares no
+/// work with transpose(); simply swaps which adjacency is which.
+inline Graph reversed(const Graph& g) { return Graph(g.in(), g.out()); }
+
+}  // namespace ihtl

@@ -1,0 +1,33 @@
+// k-core decomposition by parallel iterative peeling.
+//
+// The coreness of a vertex is the largest k such that it belongs to a
+// subgraph where every vertex has degree >= k. Hubs — the vertices iHTL
+// singles out — are exactly the deep-core vertices, so the decomposition is
+// a useful structural companion to hub selection: `core_of(hub)` is high,
+// fringe vertices peel away in the first rounds.
+//
+// Algorithm: synchronous peeling. Round k removes every remaining vertex
+// with current degree < k until none remain, assigning coreness k-1; the
+// undirected (in+out) degree is used.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "parallel/thread_pool.h"
+
+namespace ihtl {
+
+struct KCoreResult {
+  std::vector<vid_t> coreness;  ///< per vertex
+  vid_t max_core = 0;           ///< degeneracy of the graph
+  unsigned peel_rounds = 0;
+  double seconds = 0.0;
+};
+
+/// Computes per-vertex coreness. Pass a SYMMETRIC graph (symmetrize(g)) for
+/// the classical undirected definition; on a directed graph this peels by
+/// remaining out-degree.
+KCoreResult kcore_decomposition(ThreadPool& pool, const Graph& g);
+
+}  // namespace ihtl

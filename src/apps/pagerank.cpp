@@ -1,0 +1,176 @@
+#include "apps/pagerank.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "baselines/spmv.h"
+#include "core/ihtl_spmv.h"
+#include "parallel/timer.h"
+
+namespace ihtl {
+
+std::string kernel_name(SpmvKernel k) {
+  switch (k) {
+    case SpmvKernel::pull:
+      return "pull";
+    case SpmvKernel::pull_edge_balanced:
+      return "pull-edge-balanced";
+    case SpmvKernel::segmented_pull:
+      return "segmented-pull";
+    case SpmvKernel::push_atomic:
+      return "push-atomic";
+    case SpmvKernel::push_buffered:
+      return "push-buffered";
+    case SpmvKernel::push_partitioned:
+      return "push-partitioned";
+    case SpmvKernel::ihtl:
+      return "ihtl";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Shared iteration driver: `spmv(x, y)` computes the plus-SpMV; the driver
+/// handles contribution scaling and the damping update.
+template <typename SpmvFn>
+PageRankResult run_pagerank(ThreadPool& pool, std::span<const eid_t> out_deg,
+                            vid_t n, const PageRankOptions& opt,
+                            const SpmvFn& spmv) {
+  std::vector<value_t> pr(n, n ? 1.0 / n : 0.0);
+  std::vector<value_t> x(n), y(n);
+  const value_t base = n ? (1.0 - opt.damping) / n : 0.0;
+
+  PageRankResult result;
+  Timer timer;
+  for (unsigned it = 0; it < opt.iterations; ++it) {
+    parallel_for(pool, 0, n, [&](std::uint64_t v, std::size_t) {
+      x[v] = out_deg[v] ? opt.damping * pr[v] / out_deg[v] : 0.0;
+    });
+    spmv(std::span<const value_t>(x), std::span<value_t>(y));
+    ++result.iterations_run;
+    if (opt.tolerance > 0.0) {
+      // Convergence-based termination: L1 norm of the rank change.
+      const double delta = parallel_reduce<double>(
+          pool, 0, n, 0.0,
+          [&](std::uint64_t v, std::size_t) {
+            const value_t next = base + y[v];
+            const double d = std::abs(next - pr[v]);
+            pr[v] = next;
+            return d;
+          },
+          [](double a, double b) { return a + b; });
+      if (delta < opt.tolerance) break;
+    } else {
+      parallel_for(pool, 0, n,
+                   [&](std::uint64_t v, std::size_t) { pr[v] = base + y[v]; });
+    }
+  }
+  result.seconds_per_iteration =
+      result.iterations_run
+          ? timer.elapsed_seconds() / result.iterations_run
+          : 0.0;
+  result.ranks = std::move(pr);
+  return result;
+}
+
+std::vector<eid_t> out_degrees(const Graph& g) {
+  std::vector<eid_t> deg(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) deg[v] = g.out_degree(v);
+  return deg;
+}
+
+}  // namespace
+
+PageRankResult pagerank_ihtl(ThreadPool& pool, const Graph& g,
+                             const IhtlGraph& ig, const PageRankOptions& opt) {
+  const vid_t n = g.num_vertices();
+  const auto& o2n = ig.old_to_new();
+  // Out-degrees permuted into the relabeled space; all iterations run there.
+  std::vector<eid_t> deg_new(n);
+  for (vid_t v = 0; v < n; ++v) deg_new[o2n[v]] = g.out_degree(v);
+
+  IhtlEngine<PlusMonoid> engine(ig, pool);
+  PageRankResult result = run_pagerank(
+      pool, deg_new, n, opt,
+      [&](std::span<const value_t> x, std::span<value_t> y) {
+        engine.spmv(x, y);
+      });
+  // Back to original IDs.
+  std::vector<value_t> ranks(n);
+  for (vid_t v = 0; v < n; ++v) ranks[v] = result.ranks[o2n[v]];
+  result.ranks = std::move(ranks);
+  return result;
+}
+
+PageRankResult pagerank(ThreadPool& pool, const Graph& g, SpmvKernel kernel,
+                        const PageRankOptions& opt) {
+  const vid_t n = g.num_vertices();
+  const std::vector<eid_t> deg = out_degrees(g);
+
+  switch (kernel) {
+    case SpmvKernel::pull:
+      return run_pagerank(pool, deg, n, opt,
+                          [&](std::span<const value_t> x,
+                              std::span<value_t> y) { spmv_pull(pool, g, x, y); });
+    case SpmvKernel::pull_edge_balanced:
+      return run_pagerank(
+          pool, deg, n, opt,
+          [&](std::span<const value_t> x, std::span<value_t> y) {
+            spmv_pull_edge_balanced(pool, g, x, y);
+          });
+    case SpmvKernel::push_atomic:
+      return run_pagerank(
+          pool, deg, n, opt,
+          [&](std::span<const value_t> x, std::span<value_t> y) {
+            spmv_push_atomic(pool, g, x, y);
+          });
+    case SpmvKernel::push_buffered:
+      return run_pagerank(
+          pool, deg, n, opt,
+          [&](std::span<const value_t> x, std::span<value_t> y) {
+            spmv_push_buffered(pool, g, x, y);
+          });
+    case SpmvKernel::push_partitioned: {
+      const std::size_t parts =
+          opt.push_partitions ? opt.push_partitions : pool.size() * 4;
+      Timer prep;
+      DestinationPartitionedPush push(g, parts);
+      const double prep_s = prep.elapsed_seconds();
+      PageRankResult result = run_pagerank(
+          pool, deg, n, opt,
+          [&](std::span<const value_t> x, std::span<value_t> y) {
+            push.run(pool, x, y);
+          });
+      result.preprocessing_seconds = prep_s;
+      return result;
+    }
+    case SpmvKernel::segmented_pull: {
+      const std::size_t seg_bytes =
+          opt.segment_bytes ? opt.segment_bytes : (256u << 10);
+      const auto seg_vertices =
+          static_cast<vid_t>(std::max<std::size_t>(1, seg_bytes / sizeof(value_t)));
+      Timer prep;
+      SegmentedPull pull(g, seg_vertices);
+      const double prep_s = prep.elapsed_seconds();
+      PageRankResult result = run_pagerank(
+          pool, deg, n, opt,
+          [&](std::span<const value_t> x, std::span<value_t> y) {
+            pull.run(pool, x, y);
+          });
+      result.preprocessing_seconds = prep_s;
+      return result;
+    }
+    case SpmvKernel::ihtl: {
+      Timer prep;
+      const IhtlGraph ig = build_ihtl_graph(g, opt.ihtl);
+      const double prep_s = prep.elapsed_seconds();
+      PageRankResult result = pagerank_ihtl(pool, g, ig, opt);
+      result.preprocessing_seconds = prep_s;
+      return result;
+    }
+  }
+  throw std::invalid_argument("unknown SpmvKernel");
+}
+
+}  // namespace ihtl

@@ -1,0 +1,67 @@
+// PageRank — the paper's evaluation application (Section 4.1):
+//     PR_v = 0.15/n + 0.85 * sum over u in N-(v) of PR_u / |N+(u)|
+// computed iteratively with any of the traversal kernels. Results are always
+// returned in the ORIGINAL vertex-ID space regardless of kernel, so every
+// variant is directly comparable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/ihtl_config.h"
+#include "core/ihtl_graph.h"
+#include "graph/graph.h"
+#include "parallel/thread_pool.h"
+
+namespace ihtl {
+
+/// Which traversal implements the per-iteration SpMV. The mapping to the
+/// paper's frameworks (Figure 7) is documented per enumerator.
+enum class SpmvKernel {
+  pull,                 ///< plain pull (Galois-style)
+  pull_edge_balanced,   ///< edge-balanced partitioned pull (GraphGrind pull)
+  segmented_pull,       ///< Cagra-style source-blocked pull (GraphIt pull)
+  push_atomic,          ///< atomic push (GraphIt push)
+  push_buffered,        ///< per-thread full-copy buffered push (X-Stream)
+  push_partitioned,     ///< destination-partitioned push (GraphGrind push)
+  ihtl,                 ///< this paper: flipped-block push + sparse pull
+};
+
+/// Human-readable kernel name (used by benches and examples).
+std::string kernel_name(SpmvKernel k);
+
+struct PageRankOptions {
+  double damping = 0.85;
+  unsigned iterations = 20;  ///< maximum iterations
+  /// If > 0, stop once the L1 norm of the rank change falls below this
+  /// (convergence-based termination; `iterations` becomes a cap).
+  double tolerance = 0.0;
+  /// Used only by SpmvKernel::ihtl.
+  IhtlConfig ihtl;
+  /// Used only by push_partitioned (0 = 4x threads).
+  std::size_t push_partitions = 0;
+  /// Used only by segmented_pull: bytes of source vertex data per segment
+  /// (0 = 256 KiB).
+  std::size_t segment_bytes = 0;
+};
+
+struct PageRankResult {
+  std::vector<value_t> ranks;       ///< original-ID space
+  unsigned iterations_run = 0;      ///< actual iterations executed
+  double seconds_per_iteration = 0; ///< SpMV iterations only
+  double preprocessing_seconds = 0; ///< kernel-specific structure build
+};
+
+/// Runs PageRank with the chosen kernel. Preprocessed structures (iHTL
+/// graph, push partitions, pull segments) are built internally and their
+/// build time reported separately.
+PageRankResult pagerank(ThreadPool& pool, const Graph& g, SpmvKernel kernel,
+                        const PageRankOptions& opt = {});
+
+/// Variant reusing an already-built iHTL graph (preprocessing amortized, as
+/// when the iHTL binary format is loaded from disk — Section 4.2).
+PageRankResult pagerank_ihtl(ThreadPool& pool, const Graph& g,
+                             const IhtlGraph& ig,
+                             const PageRankOptions& opt = {});
+
+}  // namespace ihtl

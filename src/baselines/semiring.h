@@ -1,0 +1,46 @@
+// Reduction monoids for generalized SpMV.
+//
+// The paper evaluates PageRank (plus-reduction); its future-work section
+// points at Connected Components / SSSP / BFS, which are min-reductions over
+// the same traversal. Every kernel in baselines/ and core/ is templated on
+// one of these monoids, so each analytic is the same traversal with a
+// different combine.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/types.h"
+
+namespace ihtl {
+
+/// (+, 0): classic SpMV / PageRank accumulation.
+struct PlusMonoid {
+  using value_type = value_t;
+  static constexpr value_type identity() { return 0.0; }
+  static value_type combine(value_type a, value_type b) { return a + b; }
+};
+
+/// (min, +inf): label propagation (CC), BFS/SSSP relaxation.
+struct MinMonoid {
+  using value_type = value_t;
+  static constexpr value_type identity() {
+    return std::numeric_limits<value_type>::infinity();
+  }
+  static value_type combine(value_type a, value_type b) {
+    return std::min(a, b);
+  }
+};
+
+/// (max, -inf): completes the standard trio; used by property tests.
+struct MaxMonoid {
+  using value_type = value_t;
+  static constexpr value_type identity() {
+    return -std::numeric_limits<value_type>::infinity();
+  }
+  static value_type combine(value_type a, value_type b) {
+    return std::max(a, b);
+  }
+};
+
+}  // namespace ihtl

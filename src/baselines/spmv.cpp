@@ -1,0 +1,109 @@
+#include "baselines/spmv.h"
+
+#include <atomic>
+#include <numeric>
+
+namespace ihtl {
+
+void spmv_push_atomic(ThreadPool& pool, const Graph& g,
+                      std::span<const value_t> x, std::span<value_t> y) {
+  const Adjacency& out = g.out();
+  const vid_t n = g.num_vertices();
+  parallel_for(pool, 0, n, [&](std::uint64_t v, std::size_t) { y[v] = 0.0; });
+  parallel_for(pool, 0, n, [&](std::uint64_t v, std::size_t) {
+    const value_t xv = x[v];
+    for (const vid_t t : out.neighbors(static_cast<vid_t>(v))) {
+      std::atomic_ref<value_t> slot(y[t]);
+      value_t cur = slot.load(std::memory_order_relaxed);
+      while (!slot.compare_exchange_weak(cur, cur + xv,
+                                         std::memory_order_relaxed)) {
+      }
+    }
+  });
+}
+
+DestinationPartitionedPush::DestinationPartitionedPush(const Graph& g,
+                                                       std::size_t num_parts) {
+  if (num_parts == 0) num_parts = 1;
+  const Adjacency& in = g.in();
+  const Adjacency& out = g.out();
+  const auto ranges = partition_by_edge(in.offsets, num_parts);
+  parts_.reserve(ranges.size());
+  for (const Range& r : ranges) {
+    Part part;
+    part.dst_range = r;
+    // Build a CSR over all sources containing only edges whose destination
+    // falls inside this part's range.
+    const vid_t n = g.num_vertices();
+    part.csr.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (vid_t s = 0; s < n; ++s) {
+      eid_t cnt = 0;
+      for (const vid_t d : out.neighbors(s)) {
+        if (d >= r.begin && d < r.end) ++cnt;
+      }
+      part.csr.offsets[s + 1] = cnt;
+    }
+    std::partial_sum(part.csr.offsets.begin(), part.csr.offsets.end(),
+                     part.csr.offsets.begin());
+    part.csr.targets.resize(part.csr.offsets.back());
+    std::vector<eid_t> cursor(part.csr.offsets.begin(),
+                              part.csr.offsets.end() - 1);
+    for (vid_t s = 0; s < n; ++s) {
+      for (const vid_t d : out.neighbors(s)) {
+        if (d >= r.begin && d < r.end) part.csr.targets[cursor[s]++] = d;
+      }
+    }
+    parts_.push_back(std::move(part));
+  }
+}
+
+std::size_t DestinationPartitionedPush::topology_bytes() const {
+  std::size_t total = 0;
+  for (const Part& p : parts_) total += p.csr.topology_bytes();
+  return total;
+}
+
+SegmentedPull::SegmentedPull(const Graph& g, vid_t segment_vertices) {
+  if (segment_vertices == 0) segment_vertices = 1;
+  const Adjacency& in = g.in();
+  const vid_t n = g.num_vertices();
+  const std::size_t num_segments =
+      (static_cast<std::size_t>(n) + segment_vertices - 1) / segment_vertices;
+  segments_.reserve(num_segments);
+  for (std::size_t s = 0; s < num_segments; ++s) {
+    Segment seg;
+    seg.src_range = {static_cast<std::uint64_t>(s) * segment_vertices,
+                     std::min<std::uint64_t>(
+                         (static_cast<std::uint64_t>(s) + 1) * segment_vertices,
+                         n)};
+    seg.csc.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (vid_t v = 0; v < n; ++v) {
+      eid_t cnt = 0;
+      for (const vid_t u : in.neighbors(v)) {
+        if (u >= seg.src_range.begin && u < seg.src_range.end) ++cnt;
+      }
+      seg.csc.offsets[v + 1] = cnt;
+    }
+    std::partial_sum(seg.csc.offsets.begin(), seg.csc.offsets.end(),
+                     seg.csc.offsets.begin());
+    seg.csc.targets.resize(seg.csc.offsets.back());
+    std::vector<eid_t> cursor(seg.csc.offsets.begin(),
+                              seg.csc.offsets.end() - 1);
+    for (vid_t v = 0; v < n; ++v) {
+      for (const vid_t u : in.neighbors(v)) {
+        if (u >= seg.src_range.begin && u < seg.src_range.end) {
+          seg.csc.targets[cursor[v]++] = u;
+        }
+      }
+    }
+    segments_.push_back(std::move(seg));
+  }
+}
+
+std::size_t SegmentedPull::topology_bytes() const {
+  std::size_t total = 0;
+  for (const Segment& s : segments_) total += s.csc.topology_bytes();
+  return total;
+}
+
+}  // namespace ihtl

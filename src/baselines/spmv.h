@@ -1,0 +1,187 @@
+// Reference SpMV traversal kernels (the paper's comparison baselines).
+//
+// All kernels compute, for every vertex v,
+//     y[v] = combine over u in N-(v) of x[u]          (Algorithm 1 semantics)
+// differing only in traversal direction and write-protection strategy:
+//   - spmv_pull: column-major over the CSC; random reads, private writes
+//     (plain pull; Galois-style).
+//   - spmv_pull_edge_balanced: same, but destinations are chunked so each
+//     chunk carries ~equal edges (GraphGrind-style partitioning [35]).
+//   - spmv_push_atomic: row-major over the CSR; random atomic writes.
+//   - spmv_push_buffered: row-major with per-thread full-length vertex-data
+//     copies merged afterwards (X-Stream-style buffering [29]).
+//   - DestinationPartitionedPush: push over destination-range partitions so
+//     concurrent threads never write the same range (GraphGrind push [35]).
+//   - SegmentedPull: horizontal (source-range) blocking of the pull
+//     traversal so random reads stay within a cache-sized segment
+//     (Cagra/GraphIt-style [45]).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "baselines/semiring.h"
+#include "graph/graph.h"
+#include "parallel/parallel_for.h"
+#include "parallel/partitioner.h"
+#include "parallel/per_thread.h"
+#include "parallel/thread_pool.h"
+
+namespace ihtl {
+
+/// Plain pull: for each destination v, reduce x over in-neighbours.
+template <typename Monoid = PlusMonoid>
+void spmv_pull(ThreadPool& pool, const Graph& g, std::span<const value_t> x,
+               std::span<value_t> y) {
+  const Adjacency& in = g.in();
+  parallel_for(pool, 0, g.num_vertices(), [&](std::uint64_t v, std::size_t) {
+    value_t acc = Monoid::identity();
+    for (const vid_t u : in.neighbors(static_cast<vid_t>(v))) {
+      acc = Monoid::combine(acc, x[u]);
+    }
+    y[v] = acc;
+  });
+}
+
+/// Serial pull; ground truth for every equivalence test.
+template <typename Monoid = PlusMonoid>
+void spmv_pull_serial(const Graph& g, std::span<const value_t> x,
+                      std::span<value_t> y) {
+  const Adjacency& in = g.in();
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    value_t acc = Monoid::identity();
+    for (const vid_t u : in.neighbors(v)) acc = Monoid::combine(acc, x[u]);
+    y[v] = acc;
+  }
+}
+
+/// Pull with edge-balanced destination chunks (GraphGrind-style).
+template <typename Monoid = PlusMonoid>
+void spmv_pull_edge_balanced(ThreadPool& pool, const Graph& g,
+                             std::span<const value_t> x,
+                             std::span<value_t> y) {
+  const Adjacency& in = g.in();
+  const auto parts = partition_by_edge(in.offsets, pool.size() * 8);
+  parallel_for(pool, 0, parts.size(), [&](std::uint64_t p, std::size_t) {
+    for (std::uint64_t v = parts[p].begin; v < parts[p].end; ++v) {
+      value_t acc = Monoid::identity();
+      for (const vid_t u : in.neighbors(static_cast<vid_t>(v))) {
+        acc = Monoid::combine(acc, x[u]);
+      }
+      y[v] = acc;
+    }
+  }, {.grain = 1});
+}
+
+/// Push with per-destination atomic protection (plus only: fetch-add loop).
+void spmv_push_atomic(ThreadPool& pool, const Graph& g,
+                      std::span<const value_t> x, std::span<value_t> y);
+
+/// Push into per-thread full-length buffers, merged afterwards.
+template <typename Monoid = PlusMonoid>
+void spmv_push_buffered(ThreadPool& pool, const Graph& g,
+                        std::span<const value_t> x, std::span<value_t> y) {
+  const Adjacency& out = g.out();
+  const vid_t n = g.num_vertices();
+  PerThread<value_t> buffers(pool.size(), n, Monoid::identity());
+  parallel_for(pool, 0, n, [&](std::uint64_t v, std::size_t tid) {
+    value_t* buf = buffers.get(tid);
+    const value_t xv = x[v];
+    for (const vid_t t : out.neighbors(static_cast<vid_t>(v))) {
+      buf[t] = Monoid::combine(buf[t], xv);
+    }
+  });
+  parallel_for(pool, 0, n, [&](std::uint64_t v, std::size_t) {
+    value_t acc = Monoid::identity();
+    for (std::size_t t = 0; t < pool.size(); ++t) {
+      acc = Monoid::combine(acc, buffers.get(t)[v]);
+    }
+    y[v] = acc;
+  });
+}
+
+/// Push over destination-range partitions: edges are pre-grouped so that
+/// partition p contains only edges whose destination lies in p's vertex
+/// range; each partition is processed by one thread at a time, so writes
+/// need no protection (GraphGrind's push strategy [35]).
+class DestinationPartitionedPush {
+ public:
+  DestinationPartitionedPush(const Graph& g, std::size_t num_parts);
+
+  template <typename Monoid = PlusMonoid>
+  void run(ThreadPool& pool, std::span<const value_t> x,
+           std::span<value_t> y) const {
+    parallel_for(
+        pool, 0, parts_.size(),
+        [&](std::uint64_t p, std::size_t) {
+          const Part& part = parts_[p];
+          for (std::uint64_t i = part.dst_range.begin; i < part.dst_range.end;
+               ++i) {
+            y[i] = Monoid::identity();
+          }
+          const vid_t n_src = part.csr.num_vertices();
+          for (vid_t s = 0; s < n_src; ++s) {
+            const value_t xs = x[s];
+            for (const vid_t d : part.csr.neighbors(s)) {
+              y[d] = Monoid::combine(y[d], xs);
+            }
+          }
+        },
+        {.grain = 1});
+  }
+
+  std::size_t num_parts() const { return parts_.size(); }
+  std::size_t topology_bytes() const;
+
+ private:
+  struct Part {
+    Range dst_range;
+    Adjacency csr;  // all sources; targets restricted to dst_range
+  };
+  std::vector<Part> parts_;
+};
+
+/// Horizontal source-range blocking of pull (Cagra-style). Segment size is
+/// chosen so one segment's source data fits in cache; random reads during a
+/// segment stay inside it.
+class SegmentedPull {
+ public:
+  /// `segment_vertices`: sources per segment (e.g. cache_bytes/sizeof(value)).
+  SegmentedPull(const Graph& g, vid_t segment_vertices);
+
+  template <typename Monoid = PlusMonoid>
+  void run(ThreadPool& pool, std::span<const value_t> x,
+           std::span<value_t> y) const {
+    for (std::size_t i = 0; i < y.size(); ++i) y[i] = Monoid::identity();
+    for (const Segment& seg : segments_) {
+      // Parallel over destinations within the segment: each destination is
+      // written by exactly one thread; reads come only from the segment's
+      // source range.
+      const auto parts = partition_by_edge(seg.csc.offsets, 64);
+      parallel_for(
+          pool, 0, parts.size(),
+          [&](std::uint64_t p, std::size_t) {
+            for (std::uint64_t v = parts[p].begin; v < parts[p].end; ++v) {
+              value_t acc = y[v];
+              for (const vid_t u : seg.csc.neighbors(static_cast<vid_t>(v))) {
+                acc = Monoid::combine(acc, x[u]);
+              }
+              y[v] = acc;
+            }
+          },
+          {.grain = 1});
+    }
+  }
+
+  std::size_t num_segments() const { return segments_.size(); }
+  std::size_t topology_bytes() const;
+
+ private:
+  struct Segment {
+    Range src_range;
+    Adjacency csc;  // all destinations; sources restricted to src_range
+  };
+  std::vector<Segment> segments_;
+};
+
+}  // namespace ihtl

@@ -1,0 +1,129 @@
+#include "cachesim/cache.h"
+
+#include <bit>
+#include <cassert>
+
+namespace ihtl {
+
+CacheLevel::CacheLevel(const CacheConfig& cfg)
+    : cfg_(cfg),
+      num_sets_(cfg.num_sets()),
+      line_shift_(std::countr_zero(cfg.line_bytes)),
+      tags_(num_sets_ * cfg.ways, 0),
+      age_(num_sets_ * cfg.ways, 0),
+      valid_(num_sets_ * cfg.ways, 0) {
+  assert(std::has_single_bit(cfg.line_bytes));
+  assert(num_sets_ > 0);
+}
+
+bool CacheLevel::access(std::uint64_t addr) {
+  ++accesses_;
+  ++clock_;
+  const std::uint64_t line = addr >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(line % num_sets_);
+  const std::size_t base = set * cfg_.ways;
+  std::size_t lru_way = 0;
+  std::uint64_t lru_age = ~std::uint64_t{0};
+  for (std::size_t w = 0; w < cfg_.ways; ++w) {
+    if (valid_[base + w] && tags_[base + w] == line) {
+      age_[base + w] = clock_;
+      return true;
+    }
+    const std::uint64_t a = valid_[base + w] ? age_[base + w] : 0;
+    if (a < lru_age) {
+      lru_age = a;
+      lru_way = w;
+    }
+  }
+  ++misses_;
+  tags_[base + lru_way] = line;
+  age_[base + lru_way] = clock_;
+  valid_[base + lru_way] = 1;
+  return false;
+}
+
+void CacheLevel::install(std::uint64_t addr) {
+  ++clock_;
+  const std::uint64_t line = addr >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(line % num_sets_);
+  const std::size_t base = set * cfg_.ways;
+  std::size_t lru_way = 0;
+  std::uint64_t lru_age = ~std::uint64_t{0};
+  for (std::size_t w = 0; w < cfg_.ways; ++w) {
+    if (valid_[base + w] && tags_[base + w] == line) {
+      age_[base + w] = clock_;
+      return;
+    }
+    const std::uint64_t a = valid_[base + w] ? age_[base + w] : 0;
+    if (a < lru_age) {
+      lru_age = a;
+      lru_way = w;
+    }
+  }
+  tags_[base + lru_way] = line;
+  age_[base + lru_way] = clock_;
+  valid_[base + lru_way] = 1;
+}
+
+bool CacheLevel::probe(std::uint64_t addr) const {
+  const std::uint64_t line = addr >> line_shift_;
+  const std::size_t set = static_cast<std::size_t>(line % num_sets_);
+  const std::size_t base = set * cfg_.ways;
+  for (std::size_t w = 0; w < cfg_.ways; ++w) {
+    if (valid_[base + w] && tags_[base + w] == line) return true;
+  }
+  return false;
+}
+
+CacheHierarchy::CacheHierarchy(std::vector<CacheConfig> levels) {
+  levels_.reserve(levels.size());
+  for (const CacheConfig& cfg : levels) levels_.emplace_back(cfg);
+}
+
+CacheHierarchy CacheHierarchy::xeon_gold_6130() {
+  return CacheHierarchy({
+      {.size_bytes = 32u << 10, .line_bytes = 64, .ways = 8},   // L1D
+      {.size_bytes = 1u << 20, .line_bytes = 64, .ways = 16},   // L2
+      {.size_bytes = 22u << 20, .line_bytes = 64, .ways = 11},  // L3
+  });
+}
+
+CacheHierarchy CacheHierarchy::tiny() {
+  return CacheHierarchy({
+      {.size_bytes = 1u << 10, .line_bytes = 64, .ways = 2},
+      {.size_bytes = 8u << 10, .line_bytes = 64, .ways = 4},
+      {.size_bytes = 64u << 10, .line_bytes = 64, .ways = 8},
+  });
+}
+
+std::size_t CacheHierarchy::access(std::uint64_t addr) {
+  ++total_accesses_;
+  std::size_t hit_level = levels_.size();
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].access(addr)) {
+      hit_level = i;
+      break;
+    }
+  }
+  if (prefetch_ && hit_level > 0 && levels_.size() > 1) {
+    // Streaming next-line fill into L2 and below (only if not resident —
+    // real prefetchers filter redundant fills).
+    const std::uint64_t next =
+        addr + levels_[0].config().line_bytes;
+    if (!levels_[1].probe(next)) {
+      ++prefetch_installs_;
+      for (std::size_t i = 1; i < levels_.size(); ++i) {
+        levels_[i].install(next);
+      }
+    }
+  }
+  return hit_level;
+}
+
+void CacheHierarchy::reset_counters() {
+  total_accesses_ = 0;
+  prefetch_installs_ = 0;
+  for (CacheLevel& level : levels_) level.reset_counters();
+}
+
+}  // namespace ihtl

@@ -1,0 +1,157 @@
+#include "cachesim/trace_spmv.h"
+
+#include <bit>
+
+namespace ihtl {
+
+namespace {
+
+// Disjoint base addresses for the arrays touched by the kernels.
+constexpr std::uint64_t kX = 1ULL << 40;        // vertex data, previous iter
+constexpr std::uint64_t kY = 1ULL << 41;        // vertex data, current iter
+constexpr std::uint64_t kOffsets = 1ULL << 42;  // index arrays (8 B/entry)
+constexpr std::uint64_t kTargets = 1ULL << 43;  // neighbour IDs (4 B/entry)
+constexpr std::uint64_t kBuffer = 1ULL << 44;   // iHTL per-thread buffer
+constexpr std::uint64_t kBlockStride = 1ULL << 34;  // per-block topology
+
+constexpr std::size_t kValueBytes = sizeof(value_t);
+constexpr std::size_t kIndexBytes = sizeof(eid_t);
+constexpr std::size_t kNeighborBytes = sizeof(vid_t);
+
+std::size_t degree_bucket(eid_t degree) {
+  return degree == 0 ? 0 : std::bit_width(degree) - 1;
+}
+
+void ensure_buckets(DegreeMissProfile* profile, std::size_t bucket) {
+  if (profile->accesses.size() <= bucket) {
+    profile->accesses.resize(bucket + 1, 0);
+    profile->llc_misses.resize(bucket + 1, 0);
+  }
+}
+
+TraceCounters finish(const CacheHierarchy& caches) {
+  TraceCounters c;
+  c.memory_accesses = caches.total_accesses();
+  c.l1_misses = caches.level(0).misses();
+  if (caches.levels() > 1) c.l2_misses = caches.level(1).misses();
+  if (caches.levels() > 2) c.l3_misses = caches.level(2).misses();
+  return c;
+}
+
+}  // namespace
+
+TraceCounters trace_pull_spmv(const Graph& g, CacheHierarchy& caches,
+                              DegreeMissProfile* profile) {
+  caches.reset_counters();
+  const Adjacency& in = g.in();
+  const std::size_t last = caches.levels();
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    caches.access(kOffsets + (v + 1) * kIndexBytes);
+    const eid_t deg = in.degree(v);
+    const std::size_t bucket = degree_bucket(deg);
+    if (profile) ensure_buckets(profile, bucket);
+    for (eid_t i = in.offsets[v]; i < in.offsets[v + 1]; ++i) {
+      caches.access(kTargets + i * kNeighborBytes);
+      const vid_t u = in.targets[i];
+      const std::size_t hit_level = caches.access(kX + u * kValueBytes);
+      if (profile) {
+        ++profile->accesses[bucket];
+        if (hit_level == last) ++profile->llc_misses[bucket];
+      }
+    }
+    caches.access(kY + v * kValueBytes);
+  }
+  return finish(caches);
+}
+
+TraceCounters trace_push_spmv(const Graph& g, CacheHierarchy& caches,
+                              DegreeMissProfile* profile) {
+  caches.reset_counters();
+  const Adjacency& out = g.out();
+  const std::size_t last = caches.levels();
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    caches.access(kOffsets + (v + 1) * kIndexBytes);
+    caches.access(kX + v * kValueBytes);
+    for (eid_t i = out.offsets[v]; i < out.offsets[v + 1]; ++i) {
+      caches.access(kTargets + i * kNeighborBytes);
+      const vid_t t = out.targets[i];
+      const std::size_t hit_level = caches.access(kY + t * kValueBytes);
+      if (profile) {
+        const std::size_t bucket = degree_bucket(g.in_degree(t));
+        ensure_buckets(profile, bucket);
+        ++profile->accesses[bucket];
+        if (hit_level == last) ++profile->llc_misses[bucket];
+      }
+    }
+  }
+  return finish(caches);
+}
+
+TraceCounters trace_ihtl_spmv(const Graph& g, const IhtlGraph& ig,
+                              CacheHierarchy& caches,
+                              DegreeMissProfile* profile) {
+  caches.reset_counters();
+  const std::size_t last = caches.levels();
+  const auto& n2o = ig.new_to_old();
+  const vid_t num_hubs = ig.num_hubs();
+  const vid_t push_sources = ig.num_push_sources();
+
+  // Buffer reset (overhead type 4 in Section 4.3): sequential stores.
+  for (vid_t h = 0; h < num_hubs; ++h) {
+    caches.access(kBuffer + h * kValueBytes);
+  }
+
+  // Push phase over flipped blocks.
+  for (std::size_t b = 0; b < ig.blocks().size(); ++b) {
+    const FlippedBlock& blk = ig.blocks()[b];
+    const std::uint64_t off_base = kOffsets + (b + 1) * kBlockStride;
+    const std::uint64_t tgt_base = kTargets + (b + 1) * kBlockStride;
+    for (vid_t v = 0; v < push_sources; ++v) {
+      caches.access(off_base + (v + 1) * kIndexBytes);
+      if (blk.csr.degree(v) == 0) continue;
+      caches.access(kX + v * kValueBytes);
+      for (eid_t i = blk.csr.offsets[v]; i < blk.csr.offsets[v + 1]; ++i) {
+        caches.access(tgt_base + i * kNeighborBytes);
+        const vid_t hub = blk.hub_begin + blk.csr.targets[i];
+        const std::size_t hit_level =
+            caches.access(kBuffer + hub * kValueBytes);
+        if (profile) {
+          const std::size_t bucket = degree_bucket(g.in_degree(n2o[hub]));
+          ensure_buckets(profile, bucket);
+          ++profile->accesses[bucket];
+          if (hit_level == last) ++profile->llc_misses[bucket];
+        }
+      }
+    }
+  }
+
+  // Merge (overhead type 3): sequential buffer reads + y stores.
+  for (vid_t h = 0; h < num_hubs; ++h) {
+    caches.access(kBuffer + h * kValueBytes);
+    caches.access(kY + h * kValueBytes);
+  }
+
+  // Sparse-block pull.
+  const Adjacency& sparse = ig.sparse();
+  const std::uint64_t s_off = kOffsets + kBlockStride / 2;
+  const std::uint64_t s_tgt = kTargets + kBlockStride / 2;
+  for (vid_t local = 0; local < sparse.num_vertices(); ++local) {
+    caches.access(s_off + (local + 1) * kIndexBytes);
+    const vid_t old_v = n2o[num_hubs + local];
+    const std::size_t bucket = degree_bucket(g.in_degree(old_v));
+    if (profile) ensure_buckets(profile, bucket);
+    for (eid_t i = sparse.offsets[local]; i < sparse.offsets[local + 1]; ++i) {
+      caches.access(s_tgt + i * kNeighborBytes);
+      const vid_t u = sparse.targets[i];
+      const std::size_t hit_level = caches.access(kX + u * kValueBytes);
+      if (profile) {
+        ++profile->accesses[bucket];
+        if (hit_level == last) ++profile->llc_misses[bucket];
+      }
+    }
+    caches.access(kY + (num_hubs + local) * kValueBytes);
+  }
+  return finish(caches);
+}
+
+}  // namespace ihtl

@@ -1,0 +1,59 @@
+// Replays the exact memory-access streams of the SpMV kernels through the
+// cache simulator — the PAPI substitute for Figure 1 and Table 3.
+//
+// Each per-vertex value is 8 bytes (Section 4.1), topology index entries 8
+// bytes and neighbour IDs 4 bytes. Arrays live in disjoint address regions.
+// The trace models a single worker thread, which is the per-core view the
+// paper's L2 argument is about; the shared-L3 contention of 32 threads is
+// out of scope for the model (documented in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/cache.h"
+#include "core/ihtl_graph.h"
+#include "graph/graph.h"
+
+namespace ihtl {
+
+/// Aggregate counters for one traced SpMV (Table 3's columns).
+struct TraceCounters {
+  std::uint64_t memory_accesses = 0;  ///< loads + stores issued
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t l3_misses = 0;
+};
+
+/// Per-degree-bucket attribution of the *random* accesses (Figure 1).
+/// Bucket b covers destination in-degree in [2^b, 2^(b+1)). For pull, the
+/// random access is the x[u] read, attributed to the destination being
+/// pulled; for iHTL's push phase it is the hub-buffer update, attributed to
+/// the destination hub.
+struct DegreeMissProfile {
+  std::vector<std::uint64_t> accesses;    // per bucket
+  std::vector<std::uint64_t> llc_misses;  // per bucket
+
+  double miss_rate(std::size_t bucket) const {
+    return accesses[bucket]
+               ? static_cast<double>(llc_misses[bucket]) / accesses[bucket]
+               : 0.0;
+  }
+};
+
+/// Traces Algorithm 1 (pull) over `g`.
+TraceCounters trace_pull_spmv(const Graph& g, CacheHierarchy& caches,
+                              DegreeMissProfile* profile = nullptr);
+
+/// Traces Algorithm 2 (push) over `g`; random accesses are the y[t] updates,
+/// attributed to the destination's in-degree bucket.
+TraceCounters trace_push_spmv(const Graph& g, CacheHierarchy& caches,
+                              DegreeMissProfile* profile = nullptr);
+
+/// Traces Algorithm 3 (iHTL: flipped-block push + merge + sparse pull).
+/// `g` supplies original in-degrees for attribution.
+TraceCounters trace_ihtl_spmv(const Graph& g, const IhtlGraph& ig,
+                              CacheHierarchy& caches,
+                              DegreeMissProfile* profile = nullptr);
+
+}  // namespace ihtl

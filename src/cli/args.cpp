@@ -1,0 +1,91 @@
+#include "cli/args.h"
+
+#include <sstream>
+
+namespace ihtl {
+
+void ArgParser::add_flag(const std::string& name, bool takes_value,
+                         const std::string& help) {
+  specs_[name] = {takes_value, help};
+}
+
+void ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> inline_value;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      throw std::invalid_argument("unknown flag: --" + name);
+    }
+    if (!it->second.takes_value) {
+      if (inline_value) {
+        throw std::invalid_argument("flag --" + name + " takes no value");
+      }
+      values_[name] = "true";
+      continue;
+    }
+    if (inline_value) {
+      values_[name] = *inline_value;
+    } else if (i + 1 < argc) {
+      values_[name] = argv[++i];
+    } else {
+      throw std::invalid_argument("flag --" + name + " requires a value");
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string ArgParser::get_string(const std::string& name,
+                                  const std::string& default_value) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? default_value : it->second;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name,
+                                std::int64_t default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  std::size_t pos = 0;
+  const std::int64_t v = std::stoll(it->second, &pos);
+  if (pos != it->second.size()) {
+    throw std::invalid_argument("flag --" + name +
+                                " expects an integer, got: " + it->second);
+  }
+  return v;
+}
+
+double ArgParser::get_double(const std::string& name,
+                             double default_value) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return default_value;
+  std::size_t pos = 0;
+  const double v = std::stod(it->second, &pos);
+  if (pos != it->second.size()) {
+    throw std::invalid_argument("flag --" + name +
+                                " expects a number, got: " + it->second);
+  }
+  return v;
+}
+
+std::string ArgParser::help_text() const {
+  std::ostringstream out;
+  for (const auto& [name, spec] : specs_) {
+    out << "  --" << name << (spec.takes_value ? " <value>" : "") << "\n      "
+        << spec.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ihtl

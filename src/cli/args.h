@@ -1,0 +1,49 @@
+// Minimal command-line flag parser for the ihtl tools.
+//
+// Supports `--key value`, `--key=value`, boolean `--flag`, and positional
+// arguments. Unknown flags are an error (typos should not silently change
+// an experiment). Values are fetched typed with defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ihtl {
+
+class ArgParser {
+ public:
+  /// Declares a flag before parsing. `takes_value` distinguishes
+  /// `--key value` from boolean `--flag`.
+  void add_flag(const std::string& name, bool takes_value,
+                const std::string& help);
+
+  /// Parses argv. Throws std::invalid_argument on unknown/malformed flags.
+  void parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name,
+                         const std::string& default_value = "") const;
+  std::int64_t get_int(const std::string& name,
+                       std::int64_t default_value = 0) const;
+  double get_double(const std::string& name, double default_value = 0) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Formatted flag list for --help output.
+  std::string help_text() const;
+
+ private:
+  struct Spec {
+    bool takes_value = false;
+    std::string help;
+  };
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ihtl

@@ -1,0 +1,347 @@
+#include "cli/commands.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "apps/analytics.h"
+#include "apps/bfs.h"
+#include "apps/hits.h"
+#include "apps/kcore.h"
+#include "apps/pagerank.h"
+#include "apps/pagerank_delta.h"
+#include "apps/triangle_count.h"
+#include "cli/args.h"
+#include "core/ihtl_graph.h"
+#include "gen/datasets.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "parallel/thread_pool.h"
+#include "parallel/timer.h"
+
+namespace ihtl {
+
+namespace {
+
+/// Loads a graph from --graph (binary container or edge-list text) or
+/// generates one from --gen/--gen-scale.
+Graph load_input_graph(const ArgParser& args) {
+  if (args.has("gen")) {
+    const std::string scale_name = args.get_string("gen-scale", "bench");
+    DatasetScale scale;
+    if (scale_name == "tiny") {
+      scale = DatasetScale::tiny;
+    } else if (scale_name == "small") {
+      scale = DatasetScale::small;
+    } else if (scale_name == "bench") {
+      scale = DatasetScale::bench;
+    } else if (scale_name == "large") {
+      scale = DatasetScale::large;
+    } else {
+      throw std::invalid_argument("unknown --gen-scale: " + scale_name);
+    }
+    return make_dataset(args.get_string("gen"), scale);
+  }
+  const std::string path = args.get_string("graph");
+  if (path.empty()) {
+    throw std::invalid_argument("need --graph <file> or --gen <dataset>");
+  }
+  try {
+    return load_graph_binary(path);
+  } catch (const std::exception&) {
+    BuildOptions opt;
+    opt.dedup = true;
+    opt.remove_self_loops = true;
+    opt.sort_neighbors = true;
+    return load_edge_list(path, opt);
+  }
+}
+
+IhtlConfig config_from_args(const ArgParser& args) {
+  IhtlConfig cfg;
+  if (args.has("buffer-bytes")) {
+    cfg.buffer_bytes = static_cast<std::size_t>(args.get_int("buffer-bytes"));
+  }
+  if (args.has("admission-ratio")) {
+    cfg.admission_ratio = args.get_double("admission-ratio");
+  }
+  return cfg;
+}
+
+void add_common_input_flags(ArgParser& args) {
+  args.add_flag("graph", true, "input graph: ihtl binary or edge-list text");
+  args.add_flag("gen", true, "generate a named dataset instead (e.g. TwtrMpi)");
+  args.add_flag("gen-scale", true, "tiny|small|bench|large (default bench)");
+  args.add_flag("buffer-bytes", true, "iHTL hub-buffer bytes (default 1 MiB)");
+  args.add_flag("admission-ratio", true,
+                "flipped-block admission ratio (default 0.5)");
+  args.add_flag("help", false, "show usage");
+}
+
+int usage(const char* tool, const ArgParser& args) {
+  std::printf("usage: %s [flags]\n%s", tool, args.help_text().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int cmd_convert(int argc, const char* const* argv) {
+  ArgParser args;
+  add_common_input_flags(args);
+  args.add_flag("output", true, "output path (required)");
+  args.add_flag("to", true, "output format: graph | ihtl (default graph)");
+  try {
+    args.parse(argc, argv);
+    if (args.has("help")) return usage("ihtl_convert", args);
+    const std::string output = args.get_string("output");
+    if (output.empty()) throw std::invalid_argument("need --output <path>");
+    const std::string to = args.get_string("to", "graph");
+
+    Timer t;
+    const Graph g = load_input_graph(args);
+    std::fprintf(stderr, "loaded graph: %u vertices, %llu edges (%.1fs)\n",
+                 g.num_vertices(),
+                 static_cast<unsigned long long>(g.num_edges()),
+                 t.elapsed_seconds());
+    t.reset();
+    if (to == "graph") {
+      save_graph_binary(g, output);
+    } else if (to == "ihtl") {
+      const IhtlGraph ig = build_ihtl_graph(g, config_from_args(args));
+      std::fprintf(stderr,
+                   "iHTL preprocessing: %zu block(s), %u hubs, %.0f%% of "
+                   "edges flipped (%.1fs)\n",
+                   ig.blocks().size(), ig.num_hubs(),
+                   ig.num_edges()
+                       ? 100.0 * ig.flipped_edges() / ig.num_edges()
+                       : 0.0,
+                   t.elapsed_seconds());
+      ig.save_binary(output);
+    } else {
+      throw std::invalid_argument("--to must be 'graph' or 'ihtl'");
+    }
+    std::fprintf(stderr, "wrote %s\n", output.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ihtl_convert: %s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_info(int argc, const char* const* argv) {
+  ArgParser args;
+  add_common_input_flags(args);
+  try {
+    args.parse(argc, argv);
+    if (args.has("help")) return usage("ihtl_info", args);
+    const Graph g = load_input_graph(args);
+    const GraphStats s = compute_stats(g);
+    std::printf("vertices          %u\n", s.num_vertices);
+    std::printf("edges             %llu\n",
+                static_cast<unsigned long long>(s.num_edges));
+    std::printf("avg degree        %.2f\n", s.avg_degree);
+    std::printf("max in-degree     %llu\n",
+                static_cast<unsigned long long>(s.max_in_degree));
+    std::printf("max out-degree    %llu\n",
+                static_cast<unsigned long long>(s.max_out_degree));
+    std::printf("top-1%% edge share %.1f%%\n", 100.0 * s.top1pct_in_edge_share);
+    std::printf("CSC topology      %.2f MiB\n",
+                g.csc_topology_bytes() / (1024.0 * 1024.0));
+
+    const IhtlConfig cfg = config_from_args(args);
+    const HubSelection sel = select_hubs(g, cfg);
+    std::printf("\niHTL preview (buffer %zu KiB -> %u hubs/block):\n",
+                cfg.buffer_bytes >> 10, cfg.hubs_per_block());
+    std::printf("flipped blocks    %zu\n", sel.num_blocks);
+    std::printf("hubs              %zu\n", sel.hubs.size());
+    std::printf("min hub degree    %llu\n",
+                static_cast<unsigned long long>(sel.min_hub_degree));
+    eid_t flipped = 0;
+    for (const vid_t h : sel.hubs) flipped += g.in_degree(h);
+    std::printf("flipped edges     %llu (%.0f%%)\n",
+                static_cast<unsigned long long>(flipped),
+                s.num_edges ? 100.0 * flipped / s.num_edges : 0.0);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ihtl_info: %s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_run(int argc, const char* const* argv) {
+  ArgParser args;
+  add_common_input_flags(args);
+  args.add_flag("app", true,
+                "pagerank | pagerank-delta | cc | sssp | bfs | bfs-frontier "
+                "| hits | triangles | kcore (required)");
+  args.add_flag("kernel", true,
+                "pull | pull-edge-balanced | segmented-pull | push-atomic | "
+                "push-buffered | push-partitioned | ihtl (default ihtl)");
+  args.add_flag("iterations", true, "iteration count (default 20)");
+  args.add_flag("source", true, "source vertex for sssp/bfs (default 0)");
+  args.add_flag("top", true, "print top-K vertices (default 5)");
+  args.add_flag("threads", true, "worker threads (default hw concurrency)");
+  try {
+    args.parse(argc, argv);
+    if (args.has("help")) return usage("ihtl_run", args);
+    const std::string app = args.get_string("app");
+    if (app.empty()) throw std::invalid_argument("need --app <name>");
+
+    const Graph g = load_input_graph(args);
+    ThreadPool pool(static_cast<std::size_t>(args.get_int("threads", 0)));
+    const IhtlConfig cfg = config_from_args(args);
+    const auto iterations =
+        static_cast<unsigned>(args.get_int("iterations", 20));
+    const auto top_k =
+        static_cast<std::size_t>(std::max<std::int64_t>(0, args.get_int("top", 5)));
+    const std::string kernel_str = args.get_string("kernel", "ihtl");
+
+    auto print_top = [&](const std::vector<value_t>& score,
+                         const char* what) {
+      std::vector<vid_t> idx(score.size());
+      std::iota(idx.begin(), idx.end(), vid_t{0});
+      const std::size_t k = std::min(top_k, idx.size());
+      std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                        idx.end(),
+                        [&](vid_t a, vid_t b) { return score[a] > score[b]; });
+      for (std::size_t i = 0; i < k; ++i) {
+        std::printf("top %s #%zu: vertex %u (%.4e)\n", what, i + 1, idx[i],
+                    score[idx[i]]);
+      }
+    };
+
+    if (app == "pagerank") {
+      SpmvKernel kernel = SpmvKernel::ihtl;
+      const SpmvKernel all[] = {
+          SpmvKernel::pull,          SpmvKernel::pull_edge_balanced,
+          SpmvKernel::segmented_pull, SpmvKernel::push_atomic,
+          SpmvKernel::push_buffered, SpmvKernel::push_partitioned,
+          SpmvKernel::ihtl};
+      bool found = false;
+      for (const SpmvKernel k : all) {
+        if (kernel_name(k) == kernel_str) {
+          kernel = k;
+          found = true;
+        }
+      }
+      if (!found) throw std::invalid_argument("unknown kernel: " + kernel_str);
+      PageRankOptions opt;
+      opt.iterations = iterations;
+      opt.ihtl = cfg;
+      const PageRankResult r = pagerank(pool, g, kernel, opt);
+      std::printf("pagerank[%s]: %.2f ms/iteration (preprocessing %.1f ms)\n",
+                  kernel_str.c_str(), 1e3 * r.seconds_per_iteration,
+                  1e3 * r.preprocessing_seconds);
+      print_top(r.ranks, "rank");
+      return 0;
+    }
+
+    const AnalyticsKernel akernel = kernel_str == "pull"
+                                        ? AnalyticsKernel::pull
+                                        : AnalyticsKernel::ihtl;
+    if (app == "cc") {
+      const Graph sym = symmetrize(g);
+      const AnalyticsResult r = connected_components(pool, sym, akernel, cfg);
+      std::vector<value_t> sorted_labels = r.values;
+      std::sort(sorted_labels.begin(), sorted_labels.end());
+      const auto components = static_cast<std::size_t>(
+          std::unique(sorted_labels.begin(), sorted_labels.end()) -
+          sorted_labels.begin());
+      std::printf("cc[%s]: %zu components in %u rounds (%.1f ms)\n",
+                  kernel_str.c_str(), components, r.iterations,
+                  1e3 * r.seconds);
+      return 0;
+    }
+    if (app == "sssp" || app == "bfs") {
+      const auto source = static_cast<vid_t>(args.get_int("source", 0));
+      if (source >= g.num_vertices()) {
+        throw std::invalid_argument("--source out of range");
+      }
+      const AnalyticsResult r = sssp_unit(pool, g, source, akernel, cfg);
+      vid_t reached = 0;
+      double ecc = 0;
+      for (const value_t d : r.values) {
+        if (std::isfinite(d)) {
+          ++reached;
+          ecc = std::max(ecc, d);
+        }
+      }
+      std::printf("%s[%s] from %u: reached %u/%u, eccentricity %.0f, "
+                  "%u rounds (%.1f ms)\n",
+                  app.c_str(), kernel_str.c_str(), source, reached,
+                  g.num_vertices(), ecc, r.iterations, 1e3 * r.seconds);
+      return 0;
+    }
+    if (app == "hits") {
+      HitsOptions opt;
+      opt.iterations = iterations;
+      opt.kernel = kernel_str == "pull" ? HitsKernel::pull : HitsKernel::ihtl;
+      opt.ihtl = cfg;
+      const HitsResult r = hits(pool, g, opt);
+      std::printf("hits[%s]: %.2f ms/iteration (preprocessing %.1f ms)\n",
+                  kernel_str.c_str(), 1e3 * r.seconds_per_iteration,
+                  1e3 * r.preprocessing_seconds);
+      print_top(r.authority, "authority");
+      print_top(r.hub, "hub");
+      return 0;
+    }
+    if (app == "pagerank-delta") {
+      PageRankDeltaOptions dopt;
+      dopt.max_rounds = iterations;
+      const PageRankDeltaResult r = pagerank_delta(pool, g, dopt);
+      std::printf("pagerank-delta: %u rounds, %llu total-active vertices "
+                  "(%.1f ms)\n",
+                  r.rounds, static_cast<unsigned long long>(r.total_active),
+                  1e3 * r.seconds);
+      print_top(r.ranks, "rank");
+      return 0;
+    }
+    if (app == "kcore") {
+      const Graph sym = symmetrize(g);
+      const KCoreResult r = kcore_decomposition(pool, sym);
+      std::printf("kcore: degeneracy %u, %u peel rounds (%.1f ms)\n",
+                  r.max_core, r.peel_rounds, 1e3 * r.seconds);
+      return 0;
+    }
+    if (app == "bfs-frontier") {
+      // Direction-optimizing frontier BFS (Section 5.2 baseline family).
+      const auto source = static_cast<vid_t>(args.get_int("source", 0));
+      if (source >= g.num_vertices()) {
+        throw std::invalid_argument("--source out of range");
+      }
+      const BfsResult r = bfs(pool, g, source);
+      vid_t reached = 0;
+      std::int64_t ecc = 0;
+      for (const std::int64_t l : r.level) {
+        if (l != BfsResult::kUnreached) {
+          ++reached;
+          ecc = std::max(ecc, l);
+        }
+      }
+      std::printf("bfs-frontier from %u: reached %u/%u, eccentricity %lld, "
+                  "%u steps (%u bottom-up) in %.1f ms\n",
+                  source, reached, g.num_vertices(),
+                  static_cast<long long>(ecc), r.steps, r.bottom_up_steps,
+                  1e3 * r.seconds);
+      return 0;
+    }
+    if (app == "triangles") {
+      const Graph sym = symmetrize(g);
+      const TriangleCountResult r = count_triangles(pool, sym);
+      std::printf("triangles: %llu (%u bitmap hubs, %.1f ms)\n",
+                  static_cast<unsigned long long>(r.triangles),
+                  r.hub_vertices, 1e3 * r.seconds);
+      return 0;
+    }
+    throw std::invalid_argument("unknown app: " + app);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ihtl_run: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace ihtl

@@ -1,0 +1,19 @@
+// Implementations of the ihtl command-line tools, exposed as functions so
+// the test suite can drive them directly; the binaries under tools/ are
+// thin main() wrappers.
+//
+//   ihtl_convert — edge list / binary graph -> binary graph or iHTL graph
+//   ihtl_info    — structural report: stats, skew, hub-selection preview
+//   ihtl_run     — run an analytic (pagerank / cc / sssp / bfs / hits /
+//                  triangles) with a chosen kernel and print results
+#pragma once
+
+namespace ihtl {
+
+/// Each returns a process exit code (0 = success) and reports errors on
+/// stderr. Pass standard (argc, argv).
+int cmd_convert(int argc, const char* const* argv);
+int cmd_info(int argc, const char* const* argv);
+int cmd_run(int argc, const char* const* argv);
+
+}  // namespace ihtl

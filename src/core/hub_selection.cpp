@@ -1,0 +1,76 @@
+#include "core/hub_selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ihtl {
+
+HubSelection select_hubs(const Graph& g, const IhtlConfig& cfg) {
+  HubSelection sel;
+  const vid_t n = g.num_vertices();
+  if (n == 0) return sel;
+
+  // Candidates: vertices with in-degree >= threshold, sorted by descending
+  // in-degree, ties broken by original ID (stable, deterministic).
+  std::vector<vid_t> candidates;
+  candidates.reserve(n / 8 + 1);
+  for (vid_t v = 0; v < n; ++v) {
+    if (g.in_degree(v) >= cfg.min_hub_in_degree) candidates.push_back(v);
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](vid_t a, vid_t b) {
+    const eid_t da = g.in_degree(a), db = g.in_degree(b);
+    return da != db ? da > db : a < b;
+  });
+  if (candidates.empty()) return sel;
+
+  const vid_t hubs_per_block = cfg.hubs_per_block();
+  const Adjacency& in = g.in();
+
+  // Epoch-marked distinct-source counting: one pass over the in-edges of a
+  // prospective block's hubs (Section 3.3's two passes collapsed into one
+  // by counting at mark time).
+  std::vector<std::uint32_t> mark(n, 0);
+  std::uint32_t epoch = 0;
+  auto count_sources = [&](std::size_t lo, std::size_t hi) {
+    ++epoch;
+    vid_t distinct = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      for (const vid_t u : in.neighbors(candidates[i])) {
+        if (mark[u] != epoch) {
+          mark[u] = epoch;
+          ++distinct;
+        }
+      }
+    }
+    return distinct;
+  };
+
+  std::size_t taken = 0;
+  while (taken < candidates.size() && sel.num_blocks < cfg.max_blocks) {
+    const std::size_t hi =
+        std::min(taken + hubs_per_block, candidates.size());
+    const vid_t sources = count_sources(taken, hi);
+    if (sel.num_blocks == 0) {
+      if (sources == 0) break;  // no edges into any hub: pure pull graph
+      sel.block1_sources = sources;
+    } else if (static_cast<double>(sources) <=
+               cfg.admission_ratio * sel.block1_sources) {
+      break;
+    }
+    sel.block_sources.push_back(sources);
+    ++sel.num_blocks;
+    taken = hi;
+  }
+
+  sel.hubs.assign(candidates.begin(),
+                  candidates.begin() + static_cast<std::ptrdiff_t>(taken));
+  if (!sel.hubs.empty()) {
+    sel.min_hub_degree = g.in_degree(sel.hubs.back());
+    for (const vid_t h : sel.hubs) {
+      sel.min_hub_degree = std::min(sel.min_hub_degree, g.in_degree(h));
+    }
+  }
+  return sel;
+}
+
+}  // namespace ihtl

@@ -1,0 +1,41 @@
+// Structure-aware hub selection (Section 3.3).
+//
+// Hubs per block come from the cache budget; the number of blocks comes
+// from graph structure: block i is admitted while its hubs receive edges
+// from at least `admission_ratio` of the sources that feed block 1.
+#pragma once
+
+#include <vector>
+
+#include "core/ihtl_config.h"
+#include "graph/graph.h"
+
+namespace ihtl {
+
+/// Result of hub selection.
+struct HubSelection {
+  /// Selected hubs in block order: hubs[0..H) are block 1's hubs, etc.
+  /// (original vertex IDs, sorted by descending in-degree).
+  std::vector<vid_t> hubs;
+  /// Number of admitted flipped blocks (hubs.size() <= blocks * H; the last
+  /// block may be partial if candidates ran out).
+  std::size_t num_blocks = 0;
+  /// |active_sources(block 1)|: distinct vertices with >= 1 edge into block
+  /// 1's hubs — the admission baseline.
+  vid_t block1_sources = 0;
+  /// Per-block distinct-source counts (|FV_i| in the paper's notation).
+  std::vector<vid_t> block_sources;
+  /// Smallest in-degree among selected hubs (Table 5's "Min. Hub Degree").
+  eid_t min_hub_degree = 0;
+};
+
+/// Selects in-hubs and the flipped-block count for `g` under `cfg`.
+///
+/// Candidates are vertices ordered by descending in-degree (ties by original
+/// ID for determinism), filtered by cfg.min_hub_in_degree. Chunks of
+/// H = cfg.hubs_per_block() candidates form prospective blocks; block 1 is
+/// always admitted if it receives any edge, block i while
+/// |sources(i)| > cfg.admission_ratio * |sources(1)|.
+HubSelection select_hubs(const Graph& g, const IhtlConfig& cfg);
+
+}  // namespace ihtl

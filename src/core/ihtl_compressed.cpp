@@ -1,0 +1,28 @@
+#include "core/ihtl_compressed.h"
+
+namespace ihtl {
+
+CompressedIhtlGraph CompressedIhtlGraph::from(const IhtlGraph& ig) {
+  CompressedIhtlGraph c;
+  c.n_ = ig.num_vertices();
+  c.m_ = ig.num_edges();
+  c.num_hubs_ = ig.num_hubs();
+  c.num_push_sources_ = ig.num_push_sources();
+  c.old_to_new_ = ig.old_to_new();
+  c.blocks_.reserve(ig.blocks().size());
+  for (const FlippedBlock& b : ig.blocks()) {
+    c.blocks_.push_back(
+        {b.hub_begin, b.hub_end, CompressedAdjacency::encode(b.csr)});
+  }
+  c.sparse_ = CompressedAdjacency::encode(ig.sparse());
+  return c;
+}
+
+std::size_t CompressedIhtlGraph::topology_bytes() const {
+  std::size_t total = sparse_.topology_bytes();
+  for (const Block& b : blocks_) total += b.csr.topology_bytes();
+  total += old_to_new_.size() * sizeof(vid_t) * 2;  // both relabel arrays
+  return total;
+}
+
+}  // namespace ihtl

@@ -1,0 +1,43 @@
+// iHTL configuration knobs (Section 3.3, Section 4.7).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace ihtl {
+
+/// Parameters controlling hub selection and flipped-block construction.
+struct IhtlConfig {
+  /// Per-thread push-buffer budget in bytes. The paper dimensions this to
+  /// the private L2 cache (1 MiB on the evaluation machine, Section 4.7);
+  /// hubs per flipped block H = buffer_bytes / sizeof(value_t).
+  std::size_t buffer_bytes = 1u << 20;
+
+  /// A new flipped block i is admitted while the count of distinct sources
+  /// with edges into its hubs exceeds `admission_ratio` times block 1's
+  /// count (the paper fixes 0.5, Section 3.3).
+  double admission_ratio = 0.5;
+
+  /// Safety cap on the number of flipped blocks.
+  std::size_t max_blocks = 1024;
+
+  /// Candidate hubs must have at least this in-degree (degree-0/1 vertices
+  /// can never pay for flipped-block overhead).
+  eid_t min_hub_in_degree = 2;
+
+  /// Separate fringe vertices (no edges to hubs) from the flipped blocks'
+  /// source range (Section 3.1: avoids loading their data during the push
+  /// phase and shrinks block topology). Disabling this treats every
+  /// non-hub as VWEH — the ablation for that design choice.
+  bool separate_fringe = true;
+
+  /// Hubs per flipped block.
+  vid_t hubs_per_block() const {
+    const auto h = buffer_bytes / sizeof(value_t);
+    return h == 0 ? 1 : static_cast<vid_t>(h);
+  }
+};
+
+}  // namespace ihtl

@@ -1,0 +1,97 @@
+#include "core/ihtl_ext.h"
+
+#include <algorithm>
+
+namespace ihtl {
+
+HubSelection select_hubs_fast(const Graph& g, const IhtlConfig& cfg) {
+  HubSelection sel;
+  const vid_t n = g.num_vertices();
+  if (n == 0) return sel;
+
+  // Candidate ordering identical to select_hubs.
+  std::vector<vid_t> candidates;
+  for (vid_t v = 0; v < n; ++v) {
+    if (g.in_degree(v) >= cfg.min_hub_in_degree) candidates.push_back(v);
+  }
+  std::sort(candidates.begin(), candidates.end(), [&](vid_t a, vid_t b) {
+    const eid_t da = g.in_degree(a), db = g.in_degree(b);
+    return da != db ? da > db : a < b;
+  });
+  if (candidates.empty()) return sel;
+
+  const vid_t hubs_per_block = cfg.hubs_per_block();
+  const std::size_t max_candidate_blocks = std::min(
+      cfg.max_blocks,
+      (candidates.size() + hubs_per_block - 1) / hubs_per_block);
+
+  // Map each candidate hub to its prospective block (0-based), others to
+  // "no block". One vector of size n — cheap and O(1) lookup.
+  constexpr std::uint32_t kNoBlock = ~std::uint32_t{0};
+  std::vector<std::uint32_t> block_of(n, kNoBlock);
+  for (std::size_t i = 0;
+       i < candidates.size() && i / hubs_per_block < max_candidate_blocks;
+       ++i) {
+    block_of[candidates[i]] = static_cast<std::uint32_t>(i / hubs_per_block);
+  }
+
+  // Pass 1: identify block 1's sources (in-edges of the first H hubs).
+  const Adjacency& in = g.in();
+  std::vector<char> is_block1_source(n, 0);
+  const std::size_t first_hi =
+      std::min<std::size_t>(hubs_per_block, candidates.size());
+  for (std::size_t i = 0; i < first_hi; ++i) {
+    for (const vid_t u : in.neighbors(candidates[i])) {
+      is_block1_source[u] = 1;
+    }
+  }
+
+  // Pass 2 (the Section 6 single pass): every block-1 source walks its
+  // out-edges ONCE, tagging each prospective block it reaches; per-block
+  // distinct-source counts accumulate simultaneously.
+  std::vector<vid_t> sources_per_block(max_candidate_blocks, 0);
+  std::vector<std::uint32_t> touched(max_candidate_blocks, 0);
+  std::uint32_t stamp = 0;
+  const Adjacency& out = g.out();
+  for (vid_t u = 0; u < n; ++u) {
+    if (!is_block1_source[u]) continue;
+    ++stamp;
+    for (const vid_t t : out.neighbors(u)) {
+      const std::uint32_t b = block_of[t];
+      if (b != kNoBlock && touched[b] != stamp) {
+        touched[b] = stamp;
+        ++sources_per_block[b];
+      }
+    }
+  }
+
+  // Admission rule, evaluated on the precomputed counts.
+  if (sources_per_block[0] == 0) return sel;
+  sel.block1_sources = sources_per_block[0];
+  std::size_t blocks = 1;
+  while (blocks < max_candidate_blocks &&
+         static_cast<double>(sources_per_block[blocks]) >
+             cfg.admission_ratio * sel.block1_sources) {
+    ++blocks;
+  }
+  sel.num_blocks = blocks;
+  sel.block_sources.assign(sources_per_block.begin(),
+                           sources_per_block.begin() + blocks);
+  const std::size_t taken =
+      std::min(blocks * hubs_per_block, candidates.size());
+  sel.hubs.assign(candidates.begin(),
+                  candidates.begin() + static_cast<std::ptrdiff_t>(taken));
+  sel.min_hub_degree = g.in_degree(sel.hubs.back());
+  for (const vid_t h : sel.hubs) {
+    sel.min_hub_degree = std::min(sel.min_hub_degree, g.in_degree(h));
+  }
+  return sel;
+}
+
+IhtlGraph build_ihtl_graph_ordered(const Graph& g, const HubSelection& sel,
+                                   const IhtlConfig& cfg,
+                                   std::span<const vid_t> priority) {
+  return detail::build_ihtl_graph_impl(g, sel, cfg, priority);
+}
+
+}  // namespace ihtl

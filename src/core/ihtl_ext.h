@@ -1,0 +1,43 @@
+// Section 6 future-work extensions to the core algorithm:
+//
+//  1. `select_hubs_fast` — the lower-complexity flipped-block counting the
+//     paper sketches: bound the block count up front, then identify every
+//     |FV_i| in a SINGLE pass over the out-edges of block 1's sources,
+//     instead of one pass over the in-edges of each prospective block.
+//  2. `build_ihtl_graph_ordered` — iHTL relabeling with a secondary
+//     locality order (e.g. Rabbit-Order) applied WITHIN the VWEH and FV
+//     classes, so the sparse block's pull traversal inherits the reordered
+//     spatial locality ("locality of the sparse block may improve by
+//     applying Rabbit-Order").
+#pragma once
+
+#include <span>
+
+#include "core/hub_selection.h"
+#include "core/ihtl_graph.h"
+
+namespace ihtl {
+
+/// Single-pass block counting (Section 6, first bullet).
+///
+/// Semantics match select_hubs' admission rule — block i is kept while its
+/// distinct-source count exceeds `cfg.admission_ratio * |sources(1)|` — but
+/// all counts are computed together: every source of block 1 walks its
+/// out-edges once, tagging each prospective block it reaches. Sources that
+/// feed ONLY later blocks are missed by this approximation (they are not
+/// sources of block 1); on skewed graphs that set is small, and the paper
+/// accepts the approximation for its complexity win.
+HubSelection select_hubs_fast(const Graph& g, const IhtlConfig& cfg);
+
+/// iHTL construction with a secondary vertex order.
+///
+/// `priority` maps each ORIGINAL vertex ID to a rank; VWEH and FV receive
+/// their new IDs in ascending rank (ties by original ID) instead of
+/// original-ID order. Hubs are unaffected (their order is the descending
+/// in-degree order that defines the flipped blocks). Pass a relabeling such
+/// as rabbit_order(g) to give the sparse block community locality.
+IhtlGraph build_ihtl_graph_ordered(const Graph& g, const HubSelection& sel,
+                                   const IhtlConfig& cfg,
+                                   std::span<const vid_t> priority);
+
+}  // namespace ihtl

@@ -1,0 +1,296 @@
+#include "core/ihtl_graph.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+
+namespace ihtl {
+
+eid_t IhtlGraph::flipped_edges() const {
+  eid_t total = 0;
+  for (const FlippedBlock& b : blocks_) total += b.num_edges();
+  return total;
+}
+
+std::size_t IhtlGraph::topology_bytes() const {
+  std::size_t total = sparse_.topology_bytes();
+  for (const FlippedBlock& b : blocks_) total += b.csr.topology_bytes();
+  total += (old_to_new_.size() + new_to_old_.size()) * sizeof(vid_t);
+  return total;
+}
+
+IhtlGraph build_ihtl_graph(const Graph& g, const IhtlConfig& cfg) {
+  return build_ihtl_graph(g, select_hubs(g, cfg), cfg);
+}
+
+IhtlGraph build_ihtl_graph(const Graph& g, const HubSelection& sel,
+                           const IhtlConfig& cfg) {
+  return detail::build_ihtl_graph_impl(g, sel, cfg, {});
+}
+
+IhtlGraph detail::build_ihtl_graph_impl(const Graph& g,
+                                        const HubSelection& sel,
+                                        const IhtlConfig& cfg,
+                                        std::span<const vid_t> priority) {
+  IhtlGraph ig;
+  const vid_t n = g.num_vertices();
+  ig.n_ = n;
+  ig.m_ = g.num_edges();
+  ig.num_hubs_ = static_cast<vid_t>(sel.hubs.size());
+  ig.min_hub_degree_ = sel.min_hub_degree;
+
+  // Step 1: relabeling array (Section 3.2 / Figure 4). Hubs take the lowest
+  // IDs in selection (descending-degree) order; VWEH then FV keep their
+  // original relative order.
+  std::vector<char> is_hub(n, 0);
+  ig.old_to_new_.assign(n, 0);
+  for (vid_t i = 0; i < ig.num_hubs_; ++i) {
+    is_hub[sel.hubs[i]] = 1;
+    ig.old_to_new_[sel.hubs[i]] = i;
+  }
+  std::vector<char> is_vweh(n, 0);
+  const Adjacency& in = g.in();
+  if (cfg.separate_fringe) {
+    for (const vid_t h : sel.hubs) {
+      for (const vid_t u : in.neighbors(h)) {
+        if (!is_hub[u]) is_vweh[u] = 1;
+      }
+    }
+  } else {
+    // Ablation: no fringe separation — every non-hub joins the push-source
+    // range, as if the zero block of Figure 3 did not exist.
+    for (vid_t v = 0; v < n; ++v) {
+      if (!is_hub[v]) is_vweh[v] = 1;
+    }
+  }
+  // Within-class order: original IDs by default (the paper preserves the
+  // initial neighbourhood, Section 3.2); with a secondary `priority`
+  // (Section 6: e.g. Rabbit-Order), ascending rank instead.
+  auto assign_class = [&](auto&& belongs, vid_t first_id) {
+    std::vector<vid_t> members;
+    for (vid_t v = 0; v < n; ++v) {
+      if (belongs(v)) members.push_back(v);
+    }
+    if (!priority.empty()) {
+      std::sort(members.begin(), members.end(), [&](vid_t a, vid_t b) {
+        return priority[a] != priority[b] ? priority[a] < priority[b] : a < b;
+      });
+    }
+    vid_t id = first_id;
+    for (const vid_t v : members) ig.old_to_new_[v] = id++;
+    return id;
+  };
+  vid_t next = assign_class([&](vid_t v) { return bool(is_vweh[v]); },
+                            ig.num_hubs_);
+  ig.num_vweh_ = next - ig.num_hubs_;
+  next = assign_class([&](vid_t v) { return !is_hub[v] && !is_vweh[v]; },
+                      next);
+  ig.new_to_old_.assign(n, 0);
+  for (vid_t v = 0; v < n; ++v) ig.new_to_old_[ig.old_to_new_[v]] = v;
+
+  // Step 2: flipped blocks — a pass over in-edges of each block's hubs,
+  // stored as a CSR over the push-source range (Section 3.2 builds this
+  // from the CSR of the main graph; building from the CSC of the same edges
+  // is equivalent and touches only the needed edges).
+  const vid_t hubs_per_block = cfg.hubs_per_block();
+  const vid_t num_push_sources = ig.num_hubs_ + ig.num_vweh_;
+  ig.blocks_.reserve(sel.num_blocks);
+  for (std::size_t b = 0; b < sel.num_blocks; ++b) {
+    FlippedBlock blk;
+    blk.hub_begin = static_cast<vid_t>(b) * hubs_per_block;
+    blk.hub_end =
+        std::min<vid_t>(blk.hub_begin + hubs_per_block, ig.num_hubs_);
+    blk.csr.offsets.assign(static_cast<std::size_t>(num_push_sources) + 1, 0);
+    for (vid_t h = blk.hub_begin; h < blk.hub_end; ++h) {
+      for (const vid_t u : in.neighbors(ig.new_to_old_[h])) {
+        ++blk.csr.offsets[ig.old_to_new_[u] + 1];
+      }
+    }
+    std::partial_sum(blk.csr.offsets.begin(), blk.csr.offsets.end(),
+                     blk.csr.offsets.begin());
+    blk.csr.targets.resize(blk.csr.offsets.back());
+    std::vector<eid_t> cursor(blk.csr.offsets.begin(),
+                              blk.csr.offsets.end() - 1);
+    for (vid_t h = blk.hub_begin; h < blk.hub_end; ++h) {
+      const vid_t rel = h - blk.hub_begin;  // block-relative buffer index
+      for (const vid_t u : in.neighbors(ig.new_to_old_[h])) {
+        blk.csr.targets[cursor[ig.old_to_new_[u]]++] = rel;
+      }
+    }
+    ig.blocks_.push_back(std::move(blk));
+  }
+
+  // Step 3: sparse block — CSC over non-hub destinations with relabeled
+  // sources (a pass over the CSC of the main graph, Section 3.2).
+  const vid_t num_sparse_dst = n - ig.num_hubs_;
+  ig.sparse_.offsets.assign(static_cast<std::size_t>(num_sparse_dst) + 1, 0);
+  for (vid_t local = 0; local < num_sparse_dst; ++local) {
+    const vid_t old_v = ig.new_to_old_[ig.num_hubs_ + local];
+    ig.sparse_.offsets[local + 1] = in.degree(old_v);
+  }
+  std::partial_sum(ig.sparse_.offsets.begin(), ig.sparse_.offsets.end(),
+                   ig.sparse_.offsets.begin());
+  ig.sparse_.targets.resize(ig.sparse_.offsets.back());
+  for (vid_t local = 0; local < num_sparse_dst; ++local) {
+    const vid_t old_v = ig.new_to_old_[ig.num_hubs_ + local];
+    eid_t cur = ig.sparse_.offsets[local];
+    for (const vid_t u : in.neighbors(old_v)) {
+      ig.sparse_.targets[cur++] = ig.old_to_new_[u];
+    }
+  }
+  return ig;
+}
+
+bool IhtlGraph::valid(const Graph& original) const {
+  if (original.num_vertices() != n_ || original.num_edges() != m_) {
+    return false;
+  }
+  // Relabeling must be a bijection.
+  {
+    std::vector<char> seen(n_, 0);
+    for (const vid_t p : old_to_new_) {
+      if (p >= n_ || seen[p]) return false;
+      seen[p] = 1;
+    }
+    for (vid_t v = 0; v < n_; ++v) {
+      if (new_to_old_[old_to_new_[v]] != v) return false;
+    }
+  }
+  if (flipped_edges() + sparse_edges() != m_) return false;
+
+  // Reconstruct the edge multiset (in old IDs) from blocks + sparse and
+  // compare with the original.
+  std::vector<Edge> rebuilt;
+  rebuilt.reserve(m_);
+  const vid_t push_sources = num_push_sources();
+  for (const FlippedBlock& b : blocks_) {
+    if (!b.csr.valid()) return false;
+    if (b.csr.num_vertices() != push_sources) return false;
+    if (b.hub_end < b.hub_begin || b.hub_end > num_hubs_) return false;
+    for (vid_t s = 0; s < push_sources; ++s) {
+      for (const vid_t rel : b.csr.neighbors(s)) {
+        if (rel >= b.num_hubs()) return false;
+        rebuilt.push_back(
+            {new_to_old_[s], new_to_old_[b.hub_begin + rel]});
+      }
+    }
+  }
+  // The sparse block's targets are GLOBAL new IDs (sources anywhere in
+  // [0, n)), so Adjacency::valid()'s targets-in-vertex-range check does not
+  // apply; check offsets and target range directly.
+  if (sparse_.offsets.empty() || sparse_.offsets.front() != 0) return false;
+  for (std::size_t i = 1; i < sparse_.offsets.size(); ++i) {
+    if (sparse_.offsets[i] < sparse_.offsets[i - 1]) return false;
+  }
+  if (sparse_.offsets.back() != sparse_.targets.size()) return false;
+  for (const vid_t src : sparse_.targets) {
+    if (src >= n_) return false;
+  }
+  for (vid_t local = 0; local < n_ - num_hubs_; ++local) {
+    const vid_t old_dst = new_to_old_[num_hubs_ + local];
+    for (const vid_t src_new : sparse_.neighbors(local)) {
+      rebuilt.push_back({new_to_old_[src_new], old_dst});
+    }
+  }
+  std::vector<Edge> expected = to_edge_list(original);
+  auto less = [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  };
+  std::sort(rebuilt.begin(), rebuilt.end(), less);
+  std::sort(expected.begin(), expected.end(), less);
+  if (rebuilt != expected) return false;
+
+  // FV must be fringe: no FV vertex may appear as a flipped-block source
+  // (their offsets rows must be empty).
+  for (const FlippedBlock& b : blocks_) {
+    (void)b;  // covered by num_vertices == push_sources above
+  }
+  return true;
+}
+
+namespace {
+
+constexpr char kMagic[8] = {'i', 'H', 'T', 'L', 'I', 'G', 'v', '1'};
+
+void put(std::ofstream& out, const void* p, std::size_t bytes) {
+  out.write(static_cast<const char*>(p), static_cast<std::streamsize>(bytes));
+  if (!out) throw std::runtime_error("IhtlGraph::save_binary: write failed");
+}
+void get(std::ifstream& in, void* p, std::size_t bytes) {
+  in.read(static_cast<char*>(p), static_cast<std::streamsize>(bytes));
+  if (!in) throw std::runtime_error("IhtlGraph::load_binary: read failed");
+}
+
+template <typename T>
+void put_vec(std::ofstream& out, const std::vector<T>& v) {
+  const std::uint64_t len = v.size();
+  put(out, &len, sizeof(len));
+  put(out, v.data(), len * sizeof(T));
+}
+template <typename T>
+std::vector<T> get_vec(std::ifstream& in) {
+  std::uint64_t len = 0;
+  get(in, &len, sizeof(len));
+  std::vector<T> v(len);
+  get(in, v.data(), len * sizeof(T));
+  return v;
+}
+
+}  // namespace
+
+void IhtlGraph::save_binary(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  put(out, kMagic, sizeof(kMagic));
+  put(out, &n_, sizeof(n_));
+  put(out, &m_, sizeof(m_));
+  put(out, &num_hubs_, sizeof(num_hubs_));
+  put(out, &num_vweh_, sizeof(num_vweh_));
+  put(out, &min_hub_degree_, sizeof(min_hub_degree_));
+  put_vec(out, old_to_new_);
+  put_vec(out, new_to_old_);
+  const std::uint64_t nblocks = blocks_.size();
+  put(out, &nblocks, sizeof(nblocks));
+  for (const FlippedBlock& b : blocks_) {
+    put(out, &b.hub_begin, sizeof(b.hub_begin));
+    put(out, &b.hub_end, sizeof(b.hub_end));
+    put_vec(out, b.csr.offsets);
+    put_vec(out, b.csr.targets);
+  }
+  put_vec(out, sparse_.offsets);
+  put_vec(out, sparse_.targets);
+}
+
+IhtlGraph IhtlGraph::load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  char magic[8];
+  get(in, magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not an ihtl IhtlGraph file: " + path);
+  }
+  IhtlGraph ig;
+  get(in, &ig.n_, sizeof(ig.n_));
+  get(in, &ig.m_, sizeof(ig.m_));
+  get(in, &ig.num_hubs_, sizeof(ig.num_hubs_));
+  get(in, &ig.num_vweh_, sizeof(ig.num_vweh_));
+  get(in, &ig.min_hub_degree_, sizeof(ig.min_hub_degree_));
+  ig.old_to_new_ = get_vec<vid_t>(in);
+  ig.new_to_old_ = get_vec<vid_t>(in);
+  std::uint64_t nblocks = 0;
+  get(in, &nblocks, sizeof(nblocks));
+  ig.blocks_.resize(nblocks);
+  for (FlippedBlock& b : ig.blocks_) {
+    get(in, &b.hub_begin, sizeof(b.hub_begin));
+    get(in, &b.hub_end, sizeof(b.hub_end));
+    b.csr.offsets = get_vec<eid_t>(in);
+    b.csr.targets = get_vec<vid_t>(in);
+  }
+  ig.sparse_.offsets = get_vec<eid_t>(in);
+  ig.sparse_.targets = get_vec<vid_t>(in);
+  return ig;
+}
+
+}  // namespace ihtl

@@ -1,0 +1,117 @@
+// The iHTL graph: relabeling array + flipped blocks + sparse block
+// (Sections 3.1-3.3, Figure 3).
+//
+// Vertices are relabeled into three contiguous classes:
+//     [0, num_hubs)                      in-hubs (block i owns the hub range
+//                                        [block[i].hub_begin, hub_end))
+//     [num_hubs, num_hubs+num_vweh)      VWEH — vertices with edges to hubs
+//     [num_hubs+num_vweh, n)             FV — fringe vertices
+// Flipped block i is a CSR over the push-source range [0, num_push_sources)
+// holding exactly the edges whose destination is one of block i's hubs,
+// destinations stored block-relative (so they directly index the per-thread
+// push buffer). The sparse block is a CSC over non-hub destinations holding
+// every remaining edge. Each input edge appears in exactly one block.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/hub_selection.h"
+#include "core/ihtl_config.h"
+#include "graph/adjacency.h"
+#include "graph/graph.h"
+
+namespace ihtl {
+
+/// One flipped block (vertical dense block of Figure 3).
+struct FlippedBlock {
+  vid_t hub_begin = 0;  ///< first hub (new ID) owned by this block
+  vid_t hub_end = 0;    ///< one past the last hub (new ID)
+  /// CSR over new-ID sources [0, num_push_sources); targets are
+  /// BLOCK-RELATIVE hub indices in [0, hub_end - hub_begin).
+  Adjacency csr;
+
+  vid_t num_hubs() const { return hub_end - hub_begin; }
+  eid_t num_edges() const { return csr.num_edges(); }
+};
+
+class IhtlGraph;
+
+namespace detail {
+/// Shared construction core; `priority` (possibly empty) supplies the
+/// Section 6 secondary order for the VWEH/FV classes.
+IhtlGraph build_ihtl_graph_impl(const Graph& g, const HubSelection& sel,
+                                const IhtlConfig& cfg,
+                                std::span<const vid_t> priority);
+}  // namespace detail
+
+/// The preprocessed iHTL representation of a graph.
+class IhtlGraph {
+ public:
+  IhtlGraph() = default;
+
+  // --- class sizes -------------------------------------------------------
+  vid_t num_vertices() const { return n_; }
+  eid_t num_edges() const { return m_; }
+  vid_t num_hubs() const { return num_hubs_; }
+  vid_t num_vweh() const { return num_vweh_; }
+  vid_t num_fv() const { return n_ - num_hubs_ - num_vweh_; }
+  /// Sources traversed during the push phase: hubs + VWEH.
+  vid_t num_push_sources() const { return num_hubs_ + num_vweh_; }
+
+  // --- structure ---------------------------------------------------------
+  const std::vector<FlippedBlock>& blocks() const { return blocks_; }
+  /// CSC over non-hub destinations: sparse().neighbors(v - num_hubs()) are
+  /// the (new-ID) in-neighbours of non-hub vertex v.
+  const Adjacency& sparse() const { return sparse_; }
+
+  // --- relabeling --------------------------------------------------------
+  /// old ID -> new ID.
+  const std::vector<vid_t>& old_to_new() const { return old_to_new_; }
+  /// new ID -> old ID (the paper's relabeling array, Figure 4).
+  const std::vector<vid_t>& new_to_old() const { return new_to_old_; }
+
+  // --- statistics (Table 4 / Table 5) -------------------------------------
+  eid_t flipped_edges() const;       ///< edges in all flipped blocks
+  eid_t sparse_edges() const { return sparse_.num_edges(); }
+  std::size_t topology_bytes() const;  ///< blocks + sparse + relabel arrays
+  eid_t min_hub_degree() const { return min_hub_degree_; }
+
+  /// Invariants: permutation valid, every edge in exactly one block,
+  /// class ranges consistent, FV truly fringe.
+  bool valid(const Graph& original) const;
+
+  // --- serialization ------------------------------------------------------
+  void save_binary(const std::string& path) const;
+  static IhtlGraph load_binary(const std::string& path);
+
+ private:
+  friend IhtlGraph build_ihtl_graph(const Graph&, const IhtlConfig&);
+  friend IhtlGraph build_ihtl_graph(const Graph&, const HubSelection&,
+                                    const IhtlConfig&);
+  friend IhtlGraph detail::build_ihtl_graph_impl(const Graph&,
+                                                 const HubSelection&,
+                                                 const IhtlConfig&,
+                                                 std::span<const vid_t>);
+
+  vid_t n_ = 0;
+  eid_t m_ = 0;
+  vid_t num_hubs_ = 0;
+  vid_t num_vweh_ = 0;
+  eid_t min_hub_degree_ = 0;
+  std::vector<vid_t> old_to_new_;
+  std::vector<vid_t> new_to_old_;
+  std::vector<FlippedBlock> blocks_;
+  Adjacency sparse_;
+};
+
+/// Preprocesses `g` into its iHTL form (the paper's 3-step construction:
+/// relabeling array, flipped blocks, sparse block — Section 3.2).
+IhtlGraph build_ihtl_graph(const Graph& g, const IhtlConfig& cfg = {});
+
+/// Variant taking a precomputed hub selection (used by ablations).
+IhtlGraph build_ihtl_graph(const Graph& g, const HubSelection& sel,
+                           const IhtlConfig& cfg);
+
+}  // namespace ihtl

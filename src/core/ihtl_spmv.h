@@ -1,0 +1,160 @@
+// The iHTL SpMV executor (Algorithm 3).
+//
+// One SpMV over the iHTL graph runs three phases:
+//   1. PUSH the flipped blocks: threads claim (block, source-chunk) work
+//      items; every update lands in the thread's private hub buffer (the
+//      block-relative target index stored in the block CSR plus the block's
+//      hub base is exactly the buffer slot). No synchronization needed;
+//      a thread works on one flipped block at a time.
+//   2. MERGE the per-thread buffers into the hub results (parallel over
+//      hubs; fixed thread order -> deterministic floating point).
+//   3. PULL the sparse block for all non-hub destinations (edge-balanced
+//      chunks, private writes).
+// Inputs and outputs live in the NEW (relabeled) ID space; apps permute at
+// the boundary (the paper iterates entirely in the relabeled space too).
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "baselines/semiring.h"
+#include "core/ihtl_graph.h"
+#include "parallel/parallel_for.h"
+#include "parallel/partitioner.h"
+#include "parallel/per_thread.h"
+#include "parallel/thread_pool.h"
+#include "parallel/timer.h"
+
+namespace ihtl {
+
+/// Wall-clock per phase of the last spmv() call (Table 5's breakdown).
+struct IhtlPhaseTimes {
+  double reset_s = 0.0;  ///< zeroing the per-thread buffers
+  double push_s = 0.0;   ///< flipped-block push traversal
+  double merge_s = 0.0;  ///< per-thread buffer aggregation
+  double pull_s = 0.0;   ///< sparse-block pull traversal
+  double total() const { return reset_s + push_s + merge_s + pull_s; }
+};
+
+/// Reusable executor; holds the per-thread buffers and the precomputed
+/// work decomposition so repeated iterations pay no setup cost.
+template <typename Monoid = PlusMonoid>
+class IhtlEngine {
+ public:
+  IhtlEngine(const IhtlGraph& ig, ThreadPool& pool)
+      : ig_(&ig),
+        pool_(&pool),
+        buffers_(pool.size(), ig.num_hubs(), Monoid::identity()) {
+    // Edge-balanced (block, source-chunk) work items for the push phase.
+    const std::size_t chunks_per_block = pool.size() * 4;
+    for (std::size_t b = 0; b < ig.blocks().size(); ++b) {
+      const auto parts =
+          partition_by_edge(ig.blocks()[b].csr.offsets, chunks_per_block);
+      for (const Range& r : parts) {
+        if (r.size() > 0) push_chunks_.push_back({b, r});
+      }
+    }
+    // Edge-balanced destination chunks for the sparse pull phase.
+    sparse_chunks_ = partition_by_edge(ig.sparse().offsets, pool.size() * 8);
+  }
+
+  const IhtlGraph& graph() const { return *ig_; }
+  const IhtlPhaseTimes& last_phase_times() const { return times_; }
+
+  /// y[v] = combine over u in N-(v) of x[u], both in new-ID space.
+  void spmv(std::span<const value_t> x, std::span<value_t> y) {
+    assert(x.size() == ig_->num_vertices());
+    assert(y.size() == ig_->num_vertices());
+    const vid_t num_hubs = ig_->num_hubs();
+    Timer phase;
+
+    // Phase 0: reset per-thread buffers (each thread clears its own copy).
+    if (num_hubs > 0) {
+      pool_->run([&](std::size_t tid) {
+        value_t* buf = buffers_.get(tid);
+        for (vid_t h = 0; h < num_hubs; ++h) buf[h] = Monoid::identity();
+      });
+    }
+    times_.reset_s = phase.elapsed_seconds();
+
+    // Phase 1: push the flipped blocks (Algorithm 3, lines 1-4).
+    phase.reset();
+    parallel_for(
+        *pool_, 0, push_chunks_.size(),
+        [&](std::uint64_t c, std::size_t tid) {
+          const PushChunk& chunk = push_chunks_[c];
+          const FlippedBlock& blk = ig_->blocks()[chunk.block];
+          value_t* buf = buffers_.get(tid) + blk.hub_begin;
+          for (std::uint64_t v = chunk.sources.begin; v < chunk.sources.end;
+               ++v) {
+            const value_t xv = x[v];
+            for (const vid_t rel : blk.csr.neighbors(static_cast<vid_t>(v))) {
+              buf[rel] = Monoid::combine(buf[rel], xv);
+            }
+          }
+        },
+        {.grain = 1});
+    times_.push_s = phase.elapsed_seconds();
+
+    // Phase 2: aggregate thread buffers (Algorithm 3, lines 5-7).
+    phase.reset();
+    if (num_hubs > 0) {
+      parallel_for(*pool_, 0, num_hubs, [&](std::uint64_t h, std::size_t) {
+        value_t acc = Monoid::identity();
+        for (std::size_t t = 0; t < pool_->size(); ++t) {
+          acc = Monoid::combine(acc, buffers_.get(t)[h]);
+        }
+        y[h] = acc;
+      });
+    }
+    times_.merge_s = phase.elapsed_seconds();
+
+    // Phase 3: pull the sparse block (Algorithm 3, lines 8-10).
+    phase.reset();
+    const Adjacency& sparse = ig_->sparse();
+    parallel_for(
+        *pool_, 0, sparse_chunks_.size(),
+        [&](std::uint64_t p, std::size_t) {
+          for (std::uint64_t local = sparse_chunks_[p].begin;
+               local < sparse_chunks_[p].end; ++local) {
+            value_t acc = Monoid::identity();
+            for (const vid_t u : sparse.neighbors(static_cast<vid_t>(local))) {
+              acc = Monoid::combine(acc, x[u]);
+            }
+            y[num_hubs + local] = acc;
+          }
+        },
+        {.grain = 1});
+    times_.pull_s = phase.elapsed_seconds();
+  }
+
+ private:
+  struct PushChunk {
+    std::size_t block;
+    Range sources;
+  };
+
+  const IhtlGraph* ig_;
+  ThreadPool* pool_;
+  PerThread<value_t> buffers_;
+  std::vector<PushChunk> push_chunks_;
+  std::vector<Range> sparse_chunks_;
+  IhtlPhaseTimes times_;
+};
+
+/// One-shot convenience wrapper operating in the ORIGINAL ID space:
+/// permutes x in, runs one SpMV, permutes y back. For repeated iterations
+/// build an IhtlEngine and stay in the relabeled space instead.
+template <typename Monoid = PlusMonoid>
+void ihtl_spmv_once(ThreadPool& pool, const IhtlGraph& ig,
+                    std::span<const value_t> x, std::span<value_t> y) {
+  const auto& o2n = ig.old_to_new();
+  std::vector<value_t> xp(x.size()), yp(y.size());
+  for (std::size_t v = 0; v < x.size(); ++v) xp[o2n[v]] = x[v];
+  IhtlEngine<Monoid> engine(ig, pool);
+  engine.spmv(xp, yp);
+  for (std::size_t v = 0; v < y.size(); ++v) y[v] = yp[o2n[v]];
+}
+
+}  // namespace ihtl

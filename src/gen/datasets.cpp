@@ -1,0 +1,96 @@
+#include "gen/datasets.h"
+
+#include <stdexcept>
+
+#include "gen/generators.h"
+
+namespace ihtl {
+
+const std::vector<DatasetSpec>& all_datasets() {
+  static const std::vector<DatasetSpec> specs = {
+      {"LvJrnl", DatasetKind::social, 0.45},
+      {"Twtr10", DatasetKind::social, 0.65},
+      {"TwtrMpi", DatasetKind::social, 0.75},
+      {"Frndstr", DatasetKind::social, 0.15},
+      {"SK", DatasetKind::web, 0.95},
+      {"WbCc", DatasetKind::web, 0.60},
+      {"UKDls", DatasetKind::web, 0.55},
+      {"UU", DatasetKind::web, 0.65},
+      {"UKDmn", DatasetKind::web, 0.50},
+      {"ClWb9", DatasetKind::web, 0.30},
+  };
+  return specs;
+}
+
+const DatasetSpec& dataset_spec(const std::string& name) {
+  for (const auto& s : all_datasets()) {
+    if (s.name == name) return s;
+  }
+  throw std::out_of_range("unknown dataset: " + name);
+}
+
+namespace {
+
+std::uint64_t name_seed(const std::string& name) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h | 1;
+}
+
+unsigned scale_bits(DatasetScale scale) {
+  switch (scale) {
+    case DatasetScale::tiny:
+      return 10;
+    case DatasetScale::small:
+      return 13;
+    case DatasetScale::bench:
+      return 16;
+    case DatasetScale::large:
+      return 21;
+  }
+  return 13;
+}
+
+}  // namespace
+
+Graph make_dataset(const DatasetSpec& spec, DatasetScale scale) {
+  const unsigned bits = scale_bits(scale);
+  const std::uint64_t seed = name_seed(spec.name);
+  // The large scale trades average degree for vertex count: locality
+  // effects depend on |V| (vertex-data footprint vs cache), so spend the
+  // edge budget on more vertices.
+  const bool large = scale == DatasetScale::large;
+
+  if (spec.kind == DatasetKind::social) {
+    RmatParams p;
+    p.scale = bits;
+    p.edge_factor = large ? 10 : 16;
+    // skew in [0,1] maps a in [0.45, 0.70]: larger `a` concentrates edges
+    // onto fewer vertices (stronger hubs).
+    p.a = 0.45 + 0.25 * spec.skew;
+    p.b = p.c = (0.97 - p.a) / 2.0;
+    p.reciprocity = 0.45;  // social hubs are nearly symmetric (Fig. 9)
+    p.seed = seed;
+    return build_eval_graph(vid_t{1} << p.scale, rmat_edges(p));
+  }
+
+  WebParams p;
+  p.num_vertices = vid_t{1} << bits;
+  p.avg_out_degree = large ? 12 : 14;
+  p.max_out_degree = 48;  // web graphs have no out-hubs (Table 1)
+  // Sharper skew -> fewer popular pages absorbing more of the edges.
+  p.hub_fraction = 0.006 - 0.005 * spec.skew;       // [0.001, 0.006]
+  p.hub_edge_share = 0.30 + 0.45 * spec.skew;       // [0.30, 0.75]
+  p.locality_window = 0.01;
+  p.seed = seed;
+  return build_eval_graph(p.num_vertices, web_edges(p));
+}
+
+Graph make_dataset(const std::string& name, DatasetScale scale) {
+  return make_dataset(dataset_spec(name), scale);
+}
+
+}  // namespace ihtl

@@ -1,0 +1,154 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "gen/rng.h"
+
+namespace ihtl {
+
+namespace {
+
+/// Seeded Feistel-style scrambler: a bijection on [0, 2^bits) used to
+/// scatter RMAT's low-ID hub concentration across the ID space.
+vid_t scramble(vid_t v, unsigned bits, std::uint64_t key) {
+  const vid_t mask = bits >= 32 ? ~vid_t{0} : ((vid_t{1} << bits) - 1);
+  const unsigned half = bits / 2;
+  const vid_t half_mask = (vid_t{1} << half) - 1;
+  vid_t lo = v & half_mask;
+  vid_t hi = (v >> half) & half_mask;
+  for (int round = 0; round < 3; ++round) {
+    std::uint64_t f = key ^ (static_cast<std::uint64_t>(lo) << 16) ^
+                      (0x9E3779B9u * (round + 1));
+    f = f * 0xBF58476D1CE4E5B9ULL;
+    f ^= f >> 29;
+    const vid_t nhi = lo;
+    lo = (hi ^ static_cast<vid_t>(f)) & half_mask;
+    hi = nhi;
+  }
+  const vid_t out = ((hi << half) | lo) & mask;
+  return out;
+}
+
+}  // namespace
+
+std::vector<Edge> rmat_edges(const RmatParams& p) {
+  assert(p.a + p.b + p.c <= 1.0 + 1e-9);
+  const vid_t n = vid_t{1} << p.scale;
+  const eid_t m = static_cast<eid_t>(p.edge_factor) * n;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(m * (1.0 + p.reciprocity)) + 16);
+  Rng rng(p.seed);
+  const std::uint64_t scramble_key = p.seed * 0xD1342543DE82EF95ULL + 1;
+
+  for (eid_t e = 0; e < m; ++e) {
+    vid_t src = 0, dst = 0;
+    for (unsigned bit = 0; bit < p.scale; ++bit) {
+      const double r = rng.next_double();
+      // Per-level noise keeps the degree distribution from being too
+      // regular (standard RMAT practice).
+      const double noise = 0.05 * (rng.next_double() - 0.5);
+      const double a = p.a + noise;
+      const double b = p.b;
+      const double c = p.c;
+      src <<= 1;
+      dst <<= 1;
+      if (r < a) {
+        // top-left quadrant: neither bit set
+      } else if (r < a + b) {
+        dst |= 1;
+      } else if (r < a + b + c) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    // Degree-correlated reciprocation: pre-scramble, low dst IDs are the
+    // prospective hubs (quadrant bias), and social-network hubs reciprocate
+    // follows far more often than the tail (Figure 9: social in-hubs are
+    // almost symmetric). Popular accounts follow back.
+    const bool dst_is_hubby = dst < (vid_t{1} << p.scale) / 64;
+    const double recip_prob =
+        dst_is_hubby ? std::min(1.0, 2.0 * p.reciprocity)
+                     : p.reciprocity * std::sqrt(p.reciprocity);
+    src = scramble(src, p.scale, scramble_key);
+    dst = scramble(dst, p.scale, scramble_key);
+    edges.push_back({src, dst});
+    if (rng.next_double() < recip_prob) {
+      edges.push_back({dst, src});
+    }
+  }
+  return edges;
+}
+
+std::vector<Edge> web_edges(const WebParams& p) {
+  const vid_t n = p.num_vertices;
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(p.avg_out_degree) * n);
+  Rng rng(p.seed);
+
+  const vid_t num_hubs =
+      std::max<vid_t>(1, static_cast<vid_t>(p.hub_fraction * n));
+  // Popular pages are a seeded-random subset of IDs (not the low IDs).
+  std::vector<vid_t> hubs(num_hubs);
+  for (vid_t h = 0; h < num_hubs; ++h) {
+    hubs[h] = static_cast<vid_t>(rng.next_below(n));
+  }
+
+  const vid_t window =
+      std::max<vid_t>(4, static_cast<vid_t>(p.locality_window * n));
+  const double log_hubs = std::log(static_cast<double>(num_hubs) + 1.0);
+
+  for (vid_t v = 0; v < n; ++v) {
+    // Bounded out-degree: geometric-ish around the average, capped.
+    unsigned d = 1;
+    while (d < p.max_out_degree &&
+           rng.next_double() < 1.0 - 1.0 / p.avg_out_degree) {
+      ++d;
+    }
+    for (unsigned k = 0; k < d; ++k) {
+      vid_t dst;
+      if (rng.next_double() < p.hub_edge_share) {
+        // Zipf(1)-distributed hub rank: r = floor(e^{u * ln(H+1)}) - 1.
+        const double u = rng.next_double();
+        auto rank = static_cast<vid_t>(std::exp(u * log_hubs)) - 1;
+        if (rank >= num_hubs) rank = num_hubs - 1;
+        dst = hubs[rank];
+      } else {
+        // Local link: a nearby page (crawl order locality).
+        const auto off = static_cast<std::int64_t>(rng.next_below(2 * window)) -
+                         static_cast<std::int64_t>(window);
+        std::int64_t t = static_cast<std::int64_t>(v) + off;
+        if (t < 0) t += n;
+        if (t >= static_cast<std::int64_t>(n)) t -= n;
+        dst = static_cast<vid_t>(t);
+      }
+      edges.push_back({v, dst});
+    }
+  }
+  return edges;
+}
+
+std::vector<Edge> erdos_renyi_edges(vid_t n, eid_t m, std::uint64_t seed) {
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  Rng rng(seed);
+  for (eid_t e = 0; e < m; ++e) {
+    edges.push_back({static_cast<vid_t>(rng.next_below(n)),
+                     static_cast<vid_t>(rng.next_below(n))});
+  }
+  return edges;
+}
+
+Graph build_eval_graph(vid_t n, std::vector<Edge> edges) {
+  BuildOptions opt;
+  opt.remove_self_loops = true;
+  opt.dedup = true;
+  opt.remove_zero_degree = true;
+  opt.sort_neighbors = true;
+  return build_graph(n, edges, opt);
+}
+
+}  // namespace ihtl

@@ -1,0 +1,59 @@
+// Synthetic graph generators.
+//
+// The paper evaluates on public social networks and web crawls up to 7.9 B
+// edges (Table 1). Those datasets are unavailable here, so we generate
+// scaled-down graphs that preserve the two structural properties iHTL's
+// behaviour depends on:
+//   1. skewed (power-law-like) in-degree distribution — in-hubs exist and
+//      capture a large fraction of edges;
+//   2. hub symmetry: social-network in-hubs are also out-hubs (reciprocal
+//      follows), web-graph in-hubs are NOT out-hubs (popular pages link out
+//      little) — the Figure 9 contrast.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ihtl {
+
+/// RMAT/Kronecker generator parameters (social-network stand-in).
+struct RmatParams {
+  unsigned scale = 16;        ///< n = 2^scale vertices before compaction
+  unsigned edge_factor = 16;  ///< m = edge_factor * n edges
+  double a = 0.57, b = 0.19, c = 0.19;  ///< quadrant probs; d = 1-a-b-c
+  double reciprocity = 0.4;   ///< fraction of edges that get a reverse edge
+                              ///< (makes hubs symmetric, Figure 9 social)
+  std::uint64_t seed = 1;
+};
+
+/// Generates the edge list of an RMAT graph. Vertex IDs are scrambled by a
+/// seeded hash so hubs are not clustered at low IDs (real datasets'
+/// "initial order" is not degree-sorted).
+std::vector<Edge> rmat_edges(const RmatParams& p);
+
+/// Web-crawl stand-in parameters.
+struct WebParams {
+  vid_t num_vertices = 1u << 16;
+  unsigned avg_out_degree = 16;
+  unsigned max_out_degree = 64;   ///< web pages have bounded out-degree
+  double hub_fraction = 0.002;    ///< fraction of vertices that are popular
+  double hub_edge_share = 0.5;    ///< fraction of edges aimed at hub pages
+  double locality_window = 0.01;  ///< non-hub targets fall near the source
+  std::uint64_t seed = 1;
+};
+
+/// Generates a web-like edge list: few in-hubs with enormous in-degree, no
+/// out-hubs, strong spatial locality among non-hub targets.
+std::vector<Edge> web_edges(const WebParams& p);
+
+/// Erdős–Rényi G(n, m): m uniform random edges (no skew; negative control).
+std::vector<Edge> erdos_renyi_edges(vid_t n, eid_t m, std::uint64_t seed);
+
+/// Convenience: build a Graph from any of the above with the standard
+/// evaluation options (self-loops removed, zero-degree removed, sorted
+/// neighbour lists so asymmetricity is computable).
+Graph build_eval_graph(vid_t n, std::vector<Edge> edges);
+
+}  // namespace ihtl

@@ -1,0 +1,34 @@
+#include "graph/adjacency.h"
+
+#include <algorithm>
+
+namespace ihtl {
+
+bool Adjacency::contains(vid_t v, vid_t t) const {
+  const auto nbrs = neighbors(v);
+  return std::binary_search(nbrs.begin(), nbrs.end(), t);
+}
+
+void Adjacency::sort_all_neighbor_lists() {
+  const vid_t n = num_vertices();
+  for (vid_t v = 0; v < n; ++v) {
+    std::sort(targets.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              targets.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  }
+}
+
+bool Adjacency::valid() const {
+  if (offsets.empty()) return targets.empty();
+  if (offsets.front() != 0) return false;
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) return false;
+  }
+  if (offsets.back() != targets.size()) return false;
+  const vid_t n = num_vertices();
+  for (const vid_t t : targets) {
+    if (t >= n) return false;
+  }
+  return true;
+}
+
+}  // namespace ihtl

@@ -1,0 +1,47 @@
+// Compressed sparse adjacency structure (CSR or CSC depending on use).
+#pragma once
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace ihtl {
+
+/// One compressed adjacency: `offsets` has num_vertices()+1 entries and
+/// `targets[offsets[v] .. offsets[v+1])` are v's neighbours. When used as a
+/// CSR the targets are out-neighbours; as a CSC they are in-neighbours.
+struct Adjacency {
+  std::vector<eid_t> offsets;  // size n+1; offsets[0] == 0
+  std::vector<vid_t> targets;  // size m
+
+  vid_t num_vertices() const {
+    return offsets.empty() ? 0 : static_cast<vid_t>(offsets.size() - 1);
+  }
+  eid_t num_edges() const { return offsets.empty() ? 0 : offsets.back(); }
+
+  eid_t degree(vid_t v) const { return offsets[v + 1] - offsets[v]; }
+
+  std::span<const vid_t> neighbors(vid_t v) const {
+    return {targets.data() + offsets[v],
+            static_cast<std::size_t>(degree(v))};
+  }
+
+  /// True if `t` appears in v's neighbour list. Requires sorted neighbour
+  /// lists (BuildOptions::sort_neighbors or sort_all_neighbor_lists()).
+  bool contains(vid_t v, vid_t t) const;
+
+  /// Sorts every neighbour list ascending (enables contains()).
+  void sort_all_neighbor_lists();
+
+  /// Structural sanity: offsets monotone, targets in range.
+  bool valid() const;
+
+  /// Bytes of topology data (offsets + targets), for Table 4 accounting.
+  std::size_t topology_bytes() const {
+    return offsets.size() * sizeof(eid_t) + targets.size() * sizeof(vid_t);
+  }
+};
+
+}  // namespace ihtl

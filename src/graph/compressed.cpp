@@ -1,0 +1,58 @@
+#include "graph/compressed.h"
+
+#include <algorithm>
+
+namespace ihtl {
+
+namespace {
+
+void append_varint(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+}  // namespace
+
+CompressedAdjacency CompressedAdjacency::encode(const Adjacency& adj) {
+  CompressedAdjacency c;
+  const vid_t n = adj.num_vertices();
+  c.num_edges_ = adj.num_edges();
+  c.offsets_.reserve(static_cast<std::size_t>(n) + 1);
+  c.degrees_.reserve(n);
+  c.bytes_.reserve(adj.targets.size());  // compressed is usually smaller
+
+  std::vector<vid_t> sorted;
+  c.offsets_.push_back(0);
+  for (vid_t v = 0; v < n; ++v) {
+    const auto nbrs = adj.neighbors(v);
+    sorted.assign(nbrs.begin(), nbrs.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      // Plain gaps (not gap-1) so duplicate neighbours (multigraphs) encode
+      // correctly as zero deltas.
+      const std::uint32_t gap = i == 0 ? sorted[0] : sorted[i] - sorted[i - 1];
+      append_varint(c.bytes_, gap);
+    }
+    c.degrees_.push_back(sorted.size());
+    c.offsets_.push_back(c.bytes_.size());
+  }
+  return c;
+}
+
+Adjacency CompressedAdjacency::decode() const {
+  Adjacency adj;
+  const vid_t n = num_vertices();
+  adj.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (vid_t v = 0; v < n; ++v) adj.offsets[v + 1] = adj.offsets[v] + degrees_[v];
+  adj.targets.resize(num_edges_);
+  for (vid_t v = 0; v < n; ++v) {
+    eid_t cursor = adj.offsets[v];
+    for_each_neighbor(v, [&](vid_t u) { adj.targets[cursor++] = u; });
+  }
+  return adj;
+}
+
+}  // namespace ihtl

@@ -1,0 +1,113 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <unordered_set>
+
+namespace ihtl {
+
+Adjacency build_csr(vid_t n, std::span<const Edge> edges) {
+  Adjacency adj;
+  adj.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : edges) {
+    assert(e.src < n && e.dst < n);
+    ++adj.offsets[e.src + 1];
+  }
+  std::partial_sum(adj.offsets.begin(), adj.offsets.end(),
+                   adj.offsets.begin());
+  adj.targets.resize(edges.size());
+  std::vector<eid_t> cursor(adj.offsets.begin(), adj.offsets.end() - 1);
+  for (const Edge& e : edges) {
+    adj.targets[cursor[e.src]++] = e.dst;
+  }
+  return adj;
+}
+
+Adjacency transpose(const Adjacency& adj) {
+  const vid_t n = adj.num_vertices();
+  Adjacency out;
+  out.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const vid_t t : adj.targets) ++out.offsets[t + 1];
+  std::partial_sum(out.offsets.begin(), out.offsets.end(),
+                   out.offsets.begin());
+  out.targets.resize(adj.targets.size());
+  std::vector<eid_t> cursor(out.offsets.begin(), out.offsets.end() - 1);
+  for (vid_t v = 0; v < n; ++v) {
+    for (const vid_t t : adj.neighbors(v)) {
+      out.targets[cursor[t]++] = v;
+    }
+  }
+  return out;
+}
+
+Graph build_graph(vid_t n, std::span<const Edge> edges,
+                  const BuildOptions& opt) {
+  std::vector<Edge> work(edges.begin(), edges.end());
+
+  if (opt.remove_self_loops) {
+    std::erase_if(work, [](const Edge& e) { return e.src == e.dst; });
+  }
+  if (opt.dedup) {
+    std::sort(work.begin(), work.end(), [](const Edge& a, const Edge& b) {
+      return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+    });
+    work.erase(std::unique(work.begin(), work.end()), work.end());
+  }
+
+  vid_t num = n;
+  if (opt.remove_zero_degree) {
+    // Compact IDs so every remaining vertex has in-degree + out-degree > 0,
+    // preserving relative order (the paper removes zero-degree vertices
+    // before all measurements, Section 4.1).
+    std::vector<char> used(n, 0);
+    for (const Edge& e : work) {
+      used[e.src] = 1;
+      used[e.dst] = 1;
+    }
+    std::vector<vid_t> remap(n, 0);
+    vid_t next = 0;
+    for (vid_t v = 0; v < n; ++v) {
+      if (used[v]) remap[v] = next++;
+    }
+    for (Edge& e : work) {
+      e.src = remap[e.src];
+      e.dst = remap[e.dst];
+    }
+    num = next;
+  }
+
+  Adjacency out = build_csr(num, work);
+  Adjacency in = transpose(out);
+  if (opt.sort_neighbors) {
+    out.sort_all_neighbor_lists();
+    in.sort_all_neighbor_lists();
+  }
+  return Graph(std::move(out), std::move(in));
+}
+
+bool Graph::valid() const {
+  if (!out_.valid() || !in_.valid()) return false;
+  if (out_.num_vertices() != in_.num_vertices()) return false;
+  if (out_.num_edges() != in_.num_edges()) return false;
+  // Degree-sum cross check: sum of out-degrees seen from the CSC must match.
+  std::vector<eid_t> out_deg_from_in(out_.num_vertices(), 0);
+  for (vid_t v = 0; v < in_.num_vertices(); ++v) {
+    for (const vid_t u : in_.neighbors(v)) ++out_deg_from_in[u];
+  }
+  for (vid_t v = 0; v < out_.num_vertices(); ++v) {
+    if (out_deg_from_in[v] != out_.degree(v)) return false;
+  }
+  return true;
+}
+
+std::vector<Edge> to_edge_list(const Graph& g) {
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    for (const vid_t t : g.out().neighbors(v)) edges.push_back({v, t});
+  }
+  return edges;
+}
+
+}  // namespace ihtl

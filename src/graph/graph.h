@@ -1,0 +1,70 @@
+// Directed graph held in both CSR (out-edges) and CSC (in-edges), the dual
+// representation the paper's preprocessing walks (Section 3.2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/adjacency.h"
+#include "graph/types.h"
+
+namespace ihtl {
+class ThreadPool;  // fwd (defined in parallel/thread_pool.h)
+}
+
+namespace ihtl {
+
+/// Options for building a Graph from an edge list.
+struct BuildOptions {
+  bool remove_self_loops = false;
+  bool dedup = false;            ///< drop duplicate (src,dst) pairs
+  bool remove_zero_degree = false;  ///< compact away isolated vertices (§4.1)
+  bool sort_neighbors = false;   ///< sort lists (enables contains())
+};
+
+/// Immutable directed graph with synchronized CSR and CSC views.
+class Graph {
+ public:
+  Graph() = default;
+  Graph(Adjacency out, Adjacency in) : out_(std::move(out)), in_(std::move(in)) {}
+
+  vid_t num_vertices() const { return out_.num_vertices(); }
+  eid_t num_edges() const { return out_.num_edges(); }
+
+  /// CSR view: out().neighbors(v) are v's out-neighbours (N+ in the paper).
+  const Adjacency& out() const { return out_; }
+  /// CSC view: in().neighbors(v) are v's in-neighbours (N- in the paper).
+  const Adjacency& in() const { return in_; }
+
+  eid_t out_degree(vid_t v) const { return out_.degree(v); }
+  eid_t in_degree(vid_t v) const { return in_.degree(v); }
+
+  /// True if the edge v -> t exists. Requires sorted neighbour lists.
+  bool has_edge(vid_t v, vid_t t) const { return out_.contains(v, t); }
+
+  /// CSR + CSC consistency (same edge multiset both ways, valid offsets).
+  bool valid() const;
+
+  /// Total topology bytes of the CSC representation (Table 4 baseline).
+  std::size_t csc_topology_bytes() const { return in_.topology_bytes(); }
+
+ private:
+  Adjacency out_;
+  Adjacency in_;
+};
+
+/// Builds a graph over vertices [0, n) from an edge list.
+/// Edges referencing vertices >= n are invalid (asserted in debug builds).
+Graph build_graph(vid_t n, std::span<const Edge> edges,
+                  const BuildOptions& opt = {});
+
+/// Builds only a CSR from an edge list keyed by `src`.
+Adjacency build_csr(vid_t n, std::span<const Edge> edges);
+
+/// Transposes an adjacency (CSR <-> CSC).
+Adjacency transpose(const Adjacency& adj);
+
+/// Extracts the full edge list (from the CSR view), in CSR order.
+std::vector<Edge> to_edge_list(const Graph& g);
+
+}  // namespace ihtl

@@ -1,0 +1,118 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ihtl {
+
+namespace {
+
+constexpr char kMagic[8] = {'i', 'H', 'T', 'L', 'G', 'R', 'v', '1'};
+
+void write_raw(std::ofstream& out, const void* data, std::size_t bytes) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  if (!out) throw std::runtime_error("ihtl::save_graph_binary: write failed");
+}
+
+void read_raw(std::ifstream& in, void* data, std::size_t bytes) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (!in) throw std::runtime_error("ihtl::load_graph_binary: read failed");
+}
+
+void write_adjacency(std::ofstream& out, const Adjacency& adj) {
+  const std::uint64_t n_off = adj.offsets.size();
+  const std::uint64_t n_tgt = adj.targets.size();
+  write_raw(out, &n_off, sizeof(n_off));
+  write_raw(out, &n_tgt, sizeof(n_tgt));
+  write_raw(out, adj.offsets.data(), n_off * sizeof(eid_t));
+  write_raw(out, adj.targets.data(), n_tgt * sizeof(vid_t));
+}
+
+Adjacency read_adjacency(std::ifstream& in) {
+  std::uint64_t n_off = 0, n_tgt = 0;
+  read_raw(in, &n_off, sizeof(n_off));
+  read_raw(in, &n_tgt, sizeof(n_tgt));
+  Adjacency adj;
+  adj.offsets.resize(n_off);
+  adj.targets.resize(n_tgt);
+  read_raw(in, adj.offsets.data(), n_off * sizeof(eid_t));
+  read_raw(in, adj.targets.data(), n_tgt * sizeof(vid_t));
+  if (!adj.valid()) {
+    throw std::runtime_error("ihtl::load_graph_binary: corrupt adjacency");
+  }
+  return adj;
+}
+
+}  // namespace
+
+void save_graph_binary(const Graph& g, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_raw(out, kMagic, sizeof(kMagic));
+  write_adjacency(out, g.out());
+  write_adjacency(out, g.in());
+}
+
+Graph load_graph_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  char magic[8];
+  read_raw(in, magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("not an ihtl graph file: " + path);
+  }
+  Adjacency out_adj = read_adjacency(in);
+  Adjacency in_adj = read_adjacency(in);
+  return Graph(std::move(out_adj), std::move(in_adj));
+}
+
+void save_edge_list(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  out << "# " << g.num_vertices() << ' ' << g.num_edges() << '\n';
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    for (const vid_t t : g.out().neighbors(v)) {
+      out << v << ' ' << t << '\n';
+    }
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+Graph load_edge_list(const std::string& path, const BuildOptions& opt) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  std::vector<Edge> edges;
+  vid_t n = 0;
+  bool n_known = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream hdr(line.substr(1));
+      std::uint64_t hn = 0, hm = 0;
+      if (hdr >> hn >> hm) {
+        n = static_cast<vid_t>(hn);
+        n_known = true;
+        edges.reserve(hm);
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    std::uint64_t s = 0, d = 0;
+    if (!(ls >> s >> d)) {
+      throw std::runtime_error("malformed edge line in " + path + ": " + line);
+    }
+    edges.push_back({static_cast<vid_t>(s), static_cast<vid_t>(d)});
+    if (!n_known) {
+      n = std::max({n, static_cast<vid_t>(s + 1), static_cast<vid_t>(d + 1)});
+    }
+  }
+  return build_graph(n, edges, opt);
+}
+
+}  // namespace ihtl

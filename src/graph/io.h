@@ -1,0 +1,27 @@
+// Graph serialization: a binary container format (magic + sizes + raw CSR
+// arrays) and a plain-text edge-list reader/writer. Storing preprocessed
+// graphs in binary form is how the paper amortizes preprocessing across runs
+// (Section 4.2).
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace ihtl {
+
+/// Writes `g` to `path` in the ihtl binary format. Throws std::runtime_error
+/// on I/O failure.
+void save_graph_binary(const Graph& g, const std::string& path);
+
+/// Reads a graph previously written by save_graph_binary. Throws
+/// std::runtime_error on I/O failure or format mismatch.
+Graph load_graph_binary(const std::string& path);
+
+/// Writes "src dst\n" lines. First line is "# n m".
+void save_edge_list(const Graph& g, const std::string& path);
+
+/// Reads the save_edge_list format (or a bare edge list; n inferred).
+Graph load_edge_list(const std::string& path, const BuildOptions& opt = {});
+
+}  // namespace ihtl

@@ -1,0 +1,52 @@
+#include "graph/permute.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace ihtl {
+
+bool is_permutation(std::span<const vid_t> perm) {
+  std::vector<char> seen(perm.size(), 0);
+  for (const vid_t p : perm) {
+    if (p >= perm.size() || seen[p]) return false;
+    seen[p] = 1;
+  }
+  return true;
+}
+
+std::vector<vid_t> invert_permutation(std::span<const vid_t> perm) {
+  std::vector<vid_t> inv(perm.size());
+  for (vid_t v = 0; v < perm.size(); ++v) inv[perm[v]] = v;
+  return inv;
+}
+
+std::vector<vid_t> compose_permutations(std::span<const vid_t> first,
+                                        std::span<const vid_t> second) {
+  assert(first.size() == second.size());
+  std::vector<vid_t> out(first.size());
+  for (vid_t v = 0; v < first.size(); ++v) out[v] = second[first[v]];
+  return out;
+}
+
+std::vector<vid_t> identity_permutation(vid_t n) {
+  std::vector<vid_t> perm(n);
+  std::iota(perm.begin(), perm.end(), vid_t{0});
+  return perm;
+}
+
+Graph apply_permutation(const Graph& g, std::span<const vid_t> perm,
+                        bool sort_neighbors) {
+  assert(perm.size() == g.num_vertices());
+  std::vector<Edge> edges;
+  edges.reserve(g.num_edges());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    for (const vid_t t : g.out().neighbors(v)) {
+      edges.push_back({perm[v], perm[t]});
+    }
+  }
+  BuildOptions opt;
+  opt.sort_neighbors = sort_neighbors;
+  return build_graph(g.num_vertices(), edges, opt);
+}
+
+}  // namespace ihtl

@@ -1,0 +1,54 @@
+// Vertex permutations and relabeling.
+//
+// Relabeling algorithms (SlashBurn, GOrder, Rabbit-Order — Section 4.5) and
+// iHTL's own relabeling array (Section 3.2) are expressed as permutations.
+// Convention: a permutation `perm` maps OLD id -> NEW id, i.e. vertex v in
+// the input graph becomes vertex perm[v] in the relabeled graph.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ihtl {
+
+/// True iff `perm` is a bijection on [0, perm.size()).
+bool is_permutation(std::span<const vid_t> perm);
+
+/// Inverse permutation: inv[perm[v]] == v. The paper's "relabeling array"
+/// (Figure 4) stores NEW id -> OLD id, i.e. the inverse of our convention.
+std::vector<vid_t> invert_permutation(std::span<const vid_t> perm);
+
+/// Composition: result[v] = second[first[v]] (apply `first`, then `second`).
+std::vector<vid_t> compose_permutations(std::span<const vid_t> first,
+                                        std::span<const vid_t> second);
+
+/// Identity permutation of length n.
+std::vector<vid_t> identity_permutation(vid_t n);
+
+/// Relabels the graph: edge (u,v) becomes (perm[u], perm[v]).
+/// Neighbour lists of the result are sorted iff `sort_neighbors`.
+Graph apply_permutation(const Graph& g, std::span<const vid_t> perm,
+                        bool sort_neighbors = false);
+
+/// Permutes a per-vertex value array into the new ID space:
+/// out[perm[v]] = values[v].
+template <typename T>
+std::vector<T> permute_values(std::span<const T> values,
+                              std::span<const vid_t> perm) {
+  std::vector<T> out(values.size());
+  for (std::size_t v = 0; v < values.size(); ++v) out[perm[v]] = values[v];
+  return out;
+}
+
+/// Gathers a permuted array back to original IDs: out[v] = values[perm[v]].
+template <typename T>
+std::vector<T> unpermute_values(std::span<const T> values,
+                                std::span<const vid_t> perm) {
+  std::vector<T> out(values.size());
+  for (std::size_t v = 0; v < values.size(); ++v) out[v] = values[perm[v]];
+  return out;
+}
+
+}  // namespace ihtl

@@ -1,0 +1,87 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+namespace ihtl {
+
+GraphStats compute_stats(const Graph& g) {
+  GraphStats s;
+  s.num_vertices = g.num_vertices();
+  s.num_edges = g.num_edges();
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    s.max_in_degree = std::max(s.max_in_degree, g.in_degree(v));
+    s.max_out_degree = std::max(s.max_out_degree, g.out_degree(v));
+  }
+  s.avg_degree = s.num_vertices
+                     ? static_cast<double>(s.num_edges) / s.num_vertices
+                     : 0.0;
+
+  if (s.num_vertices > 0 && s.num_edges > 0) {
+    std::vector<eid_t> in_degs(s.num_vertices);
+    for (vid_t v = 0; v < s.num_vertices; ++v) in_degs[v] = g.in_degree(v);
+    std::sort(in_degs.begin(), in_degs.end(), std::greater<>());
+    const vid_t k = std::max<vid_t>(1, s.num_vertices / 100);
+    const eid_t covered =
+        std::accumulate(in_degs.begin(), in_degs.begin() + k, eid_t{0});
+    s.top1pct_in_edge_share =
+        static_cast<double>(covered) / static_cast<double>(s.num_edges);
+  }
+  return s;
+}
+
+double asymmetricity(const Graph& g, vid_t v) {
+  const auto in_nbrs = g.in().neighbors(v);
+  if (in_nbrs.empty()) return 0.0;
+  eid_t missing = 0;
+  for (const vid_t u : in_nbrs) {
+    if (!g.has_edge(v, u)) ++missing;
+  }
+  return static_cast<double>(missing) / static_cast<double>(in_nbrs.size());
+}
+
+double mean_asymmetricity_in_degree_range(const Graph& g, eid_t min_deg,
+                                          eid_t max_deg) {
+  double total = 0.0;
+  vid_t count = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const eid_t d = g.in_degree(v);
+    if (d >= min_deg && d < max_deg) {
+      total += asymmetricity(g, v);
+      ++count;
+    }
+  }
+  return count ? total / count : 0.0;
+}
+
+std::vector<std::vector<vid_t>> bucket_by_in_degree(const Graph& g) {
+  std::vector<std::vector<vid_t>> buckets;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    const eid_t d = g.in_degree(v);
+    if (d == 0) continue;
+    const unsigned b = std::bit_width(d) - 1;  // floor(log2(d))
+    if (buckets.size() <= b) buckets.resize(b + 1);
+    buckets[b].push_back(v);
+  }
+  return buckets;
+}
+
+vid_t vertices_needed_for_edge_share(const Graph& g, double share,
+                                     bool by_out_degree) {
+  const vid_t n = g.num_vertices();
+  std::vector<eid_t> degs(n);
+  for (vid_t v = 0; v < n; ++v) {
+    degs[v] = by_out_degree ? g.out_degree(v) : g.in_degree(v);
+  }
+  std::sort(degs.begin(), degs.end(), std::greater<>());
+  const auto target = static_cast<eid_t>(share * g.num_edges());
+  eid_t covered = 0;
+  for (vid_t k = 0; k < n; ++k) {
+    covered += degs[k];
+    if (covered >= target) return k + 1;
+  }
+  return n;
+}
+
+}  // namespace ihtl

@@ -1,0 +1,46 @@
+// Structural statistics: degree extrema, skew, and the per-vertex
+// asymmetricity measure of Figure 9.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ihtl {
+
+/// Summary statistics mirroring Table 1's columns.
+struct GraphStats {
+  vid_t num_vertices = 0;
+  eid_t num_edges = 0;
+  eid_t max_in_degree = 0;
+  eid_t max_out_degree = 0;
+  double avg_degree = 0.0;
+  /// Fraction of edges pointing at the top 1% in-degree vertices — a direct
+  /// skew measure (hubs capture "a disproportionately large fraction").
+  double top1pct_in_edge_share = 0.0;
+};
+
+GraphStats compute_stats(const Graph& g);
+
+/// Asymmetricity of v (Section 5.4):
+///   |{(u,v) in E : (v,u) not in E}| / |{(u,v) in E}|
+/// i.e. the fraction of v's in-neighbours that are not out-neighbours.
+/// Requires sorted out-neighbour lists. Vertices with in-degree 0 report 0.
+double asymmetricity(const Graph& g, vid_t v);
+
+/// Mean asymmetricity of all vertices whose in-degree falls in
+/// [min_deg, max_deg). Used to regenerate Figure 9's per-degree-bucket curve.
+double mean_asymmetricity_in_degree_range(const Graph& g, eid_t min_deg,
+                                          eid_t max_deg);
+
+/// Power-of-two in-degree bucketing: bucket b holds vertices with in-degree
+/// in [2^b, 2^(b+1)). Bucket 0 additionally holds degree-1 vertices; vertices
+/// of degree 0 are skipped. Returns per-bucket vertex lists.
+std::vector<std::vector<vid_t>> bucket_by_in_degree(const Graph& g);
+
+/// Smallest k such that the k highest in-degree vertices cover `share` of
+/// all edges (e.g. Section 5.4's "36% of vertices to capture 80% of edges").
+vid_t vertices_needed_for_edge_share(const Graph& g, double share,
+                                     bool by_out_degree);
+
+}  // namespace ihtl

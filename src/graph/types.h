@@ -1,0 +1,27 @@
+// Fundamental graph types.
+//
+// Matching the paper's storage layout (Section 4.1): vertex IDs are 4-byte
+// values (|V| < 2^32) and CSR/CSC index entries are 8 bytes.
+#pragma once
+
+#include <cstdint>
+
+namespace ihtl {
+
+/// Vertex identifier (4 bytes, as in the paper's neighbour arrays).
+using vid_t = std::uint32_t;
+
+/// Edge offset / edge count (8 bytes, as in the paper's index arrays).
+using eid_t = std::uint64_t;
+
+/// Vertex data element for SpMV (8 bytes, Section 4.1).
+using value_t = double;
+
+/// A directed edge src -> dst.
+struct Edge {
+  vid_t src = 0;
+  vid_t dst = 0;
+  bool operator==(const Edge&) const = default;
+};
+
+}  // namespace ihtl

@@ -1,0 +1,148 @@
+// Chunk-self-scheduling parallel_for with work stealing between workers.
+//
+// Each worker owns a contiguous slice of the iteration space and claims
+// chunks from it with a private atomic cursor; when its slice drains it
+// steals chunks from the most-loaded victim's cursor. This mirrors the
+// work-stealing scheduling of graph partitions described in the paper
+// (Section 4.1) while keeping per-chunk ordering deterministic enough for
+// fixed-thread-count reproducibility.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace ihtl {
+
+/// Scheduling knobs for parallel_for.
+struct ForOptions {
+  /// Iterations claimed per scheduling step. 0 = auto (range/threads/8,
+  /// clamped to [1, 4096]).
+  std::size_t grain = 0;
+};
+
+namespace detail {
+
+inline std::size_t auto_grain(std::size_t range, std::size_t threads) {
+  std::size_t g = range / (threads * 8 + 1);
+  if (g < 1) g = 1;
+  if (g > 4096) g = 4096;
+  return g;
+}
+
+/// Per-worker claimable slice. Thieves and the owner both claim via
+/// fetch_add on `next`; claims past `end` are discarded.
+struct alignas(64) Slice {
+  std::atomic<std::uint64_t> next{0};
+  std::uint64_t end = 0;
+};
+
+}  // namespace detail
+
+/// Runs `body(i, tid)` for every i in [begin, end) across the pool.
+///
+/// `body` must be safe to run concurrently for distinct i. Iterations are
+/// grouped into grain-sized chunks; a chunk runs on exactly one thread.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
+                  const Body& body, ForOptions opt = {}) {
+  const std::uint64_t range = end > begin ? end - begin : 0;
+  if (range == 0) return;
+  const std::size_t nt = pool.size();
+  if (nt == 1 || range == 1) {
+    for (std::uint64_t i = begin; i < end; ++i) body(i, 0);
+    return;
+  }
+  const std::uint64_t grain =
+      opt.grain ? opt.grain : detail::auto_grain(range, nt);
+
+  std::vector<detail::Slice> slices(nt);
+  const std::uint64_t per = range / nt;
+  const std::uint64_t extra = range % nt;
+  std::uint64_t cursor = begin;
+  for (std::size_t t = 0; t < nt; ++t) {
+    const std::uint64_t len = per + (t < extra ? 1 : 0);
+    slices[t].next.store(cursor, std::memory_order_relaxed);
+    slices[t].end = cursor + len;
+    cursor += len;
+  }
+
+  pool.run([&](std::size_t tid) {
+    // Drain own slice first, then steal from the victim with the most work.
+    auto drain = [&](detail::Slice& s) {
+      for (;;) {
+        const std::uint64_t lo =
+            s.next.fetch_add(grain, std::memory_order_relaxed);
+        if (lo >= s.end) return;
+        const std::uint64_t hi = lo + grain < s.end ? lo + grain : s.end;
+        for (std::uint64_t i = lo; i < hi; ++i) body(i, tid);
+      }
+    };
+    drain(slices[tid]);
+    for (;;) {
+      std::size_t victim = nt;
+      std::uint64_t best_left = 0;
+      for (std::size_t t = 0; t < nt; ++t) {
+        if (t == tid) continue;
+        const std::uint64_t nx = slices[t].next.load(std::memory_order_relaxed);
+        const std::uint64_t left = nx < slices[t].end ? slices[t].end - nx : 0;
+        if (left > best_left) {
+          best_left = left;
+          victim = t;
+        }
+      }
+      if (victim == nt) return;
+      drain(slices[victim]);
+    }
+  });
+}
+
+/// Runs `body(lo, hi, tid)` over grain-aligned chunks instead of single
+/// indices; useful when the body wants to hoist per-chunk state.
+template <typename Body>
+void parallel_for_chunks(ThreadPool& pool, std::uint64_t begin,
+                         std::uint64_t end, const Body& body,
+                         ForOptions opt = {}) {
+  const std::uint64_t range = end > begin ? end - begin : 0;
+  if (range == 0) return;
+  const std::size_t nt = pool.size();
+  if (nt == 1) {
+    body(begin, end, std::size_t{0});
+    return;
+  }
+  const std::uint64_t grain =
+      opt.grain ? opt.grain : detail::auto_grain(range, nt);
+  std::atomic<std::uint64_t> next{begin};
+  pool.run([&](std::size_t tid) {
+    for (;;) {
+      const std::uint64_t lo = next.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) return;
+      const std::uint64_t hi = lo + grain < end ? lo + grain : end;
+      body(lo, hi, tid);
+    }
+  });
+}
+
+/// Parallel reduction: `body(i, tid)` produces a T, combined with `combine`
+/// in fixed thread order so results are reproducible for a fixed pool size.
+template <typename T, typename Body, typename Combine>
+T parallel_reduce(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
+                  T identity, const Body& body, const Combine& combine,
+                  ForOptions opt = {}) {
+  const std::size_t nt = pool.size();
+  std::vector<T> partial(nt, identity);
+  parallel_for(
+      pool, begin, end,
+      [&](std::uint64_t i, std::size_t tid) {
+        partial[tid] = combine(partial[tid], body(i, tid));
+      },
+      opt);
+  T total = identity;
+  for (std::size_t t = 0; t < nt; ++t) total = combine(total, partial[t]);
+  return total;
+}
+
+}  // namespace ihtl

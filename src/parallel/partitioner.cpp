@@ -1,0 +1,47 @@
+#include "parallel/partitioner.h"
+
+#include <algorithm>
+
+namespace ihtl {
+
+std::vector<Range> partition_by_vertex(std::uint64_t n, std::size_t parts) {
+  if (parts == 0) parts = 1;
+  std::vector<Range> out;
+  out.reserve(parts);
+  const std::uint64_t per = n / parts;
+  const std::uint64_t extra = n % parts;
+  std::uint64_t cursor = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::uint64_t len = per + (p < extra ? 1 : 0);
+    out.push_back({cursor, cursor + len});
+    cursor += len;
+  }
+  return out;
+}
+
+std::vector<Range> partition_by_edge(std::span<const std::uint64_t> offsets,
+                                     std::size_t parts) {
+  if (parts == 0) parts = 1;
+  const std::uint64_t n = offsets.empty() ? 0 : offsets.size() - 1;
+  const std::uint64_t m = offsets.empty() ? 0 : offsets.back();
+  std::vector<Range> out;
+  out.reserve(parts);
+  std::uint64_t begin = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::uint64_t target = m * (p + 1) / parts;
+    // First vertex whose cumulative edge count reaches the target.
+    const auto it = std::lower_bound(offsets.begin() + begin + 1,
+                                     offsets.begin() + n + 1, target);
+    std::uint64_t end = p + 1 == parts
+                            ? n
+                            : static_cast<std::uint64_t>(it - offsets.begin());
+    if (end < begin) end = begin;
+    if (end > n) end = n;
+    out.push_back({begin, end});
+    begin = end;
+  }
+  out.back().end = n;
+  return out;
+}
+
+}  // namespace ihtl

@@ -1,0 +1,33 @@
+// Vertex- and edge-balanced range partitioning.
+//
+// GraphGrind-style pull traversal partitions the destination range so each
+// part carries roughly the same number of edges (Section 4.1, [35]); the
+// sparse-block pull in iHTL reuses the same partitioner. Vertex-balanced
+// splits are the trivial equal-count fallback.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ihtl {
+
+/// Half-open index range [begin, end).
+struct Range {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint64_t size() const { return end - begin; }
+  bool operator==(const Range&) const = default;
+};
+
+/// Splits [0, n) into `parts` ranges of near-equal length.
+std::vector<Range> partition_by_vertex(std::uint64_t n, std::size_t parts);
+
+/// Splits the vertex range [0, offsets.size()-1) into `parts` ranges such
+/// that each range covers a near-equal share of edges. `offsets` is a CSR/CSC
+/// offset array (size n+1, nondecreasing). Boundaries are found by binary
+/// search on the offset array, so cost is O(parts * log n).
+std::vector<Range> partition_by_edge(std::span<const std::uint64_t> offsets,
+                                     std::size_t parts);
+
+}  // namespace ihtl

@@ -1,0 +1,37 @@
+// Cache-line padded per-thread storage.
+//
+// iHTL's flipped-block push writes into per-thread buffers that are later
+// merged (Algorithm 3). Keeping each thread's buffer on its own cache lines
+// avoids false sharing during the push phase.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ihtl {
+
+/// `threads` independent arrays of `len` Ts, each aligned to 64 bytes.
+template <typename T>
+class PerThread {
+ public:
+  PerThread() = default;
+  PerThread(std::size_t threads, std::size_t len, const T& init = T{})
+      : len_(len), stride_((len * sizeof(T) + 63) / 64 * 64 / sizeof(T)) {
+    if (stride_ == 0) stride_ = 64 / sizeof(T);
+    data_.assign(threads * stride_, init);
+  }
+
+  T* get(std::size_t tid) { return data_.data() + tid * stride_; }
+  const T* get(std::size_t tid) const { return data_.data() + tid * stride_; }
+  std::size_t length() const { return len_; }
+  std::size_t threads() const { return stride_ ? data_.size() / stride_ : 0; }
+
+  void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  std::size_t len_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace ihtl

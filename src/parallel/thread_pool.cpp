@@ -1,0 +1,68 @@
+#include "parallel/thread_pool.h"
+
+namespace ihtl {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  num_threads_ = num_threads;
+  threads_.reserve(num_threads_ - 1);
+  for (std::size_t t = 1; t < num_threads_; ++t) {
+    threads_.emplace_back([this, t] { worker_loop(t); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& th : threads_) th.join();
+}
+
+void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
+  if (num_threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    remaining_ = num_threads_ - 1;
+    ++epoch_;
+  }
+  work_ready_.notify_all();
+  fn(0);  // the master participates as tid 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(std::size_t tid) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    (*job)(tid);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace ihtl

@@ -1,0 +1,57 @@
+// Master-worker thread pool used by every parallel kernel in the library.
+//
+// The paper's implementation uses a master-worker model with work stealing
+// over graph partitions (Section 4.1). This pool reproduces that structure:
+// a fixed set of persistent workers parked on a condition variable; the
+// master publishes a job (a callable run once per worker) and waits for all
+// workers to finish. Range scheduling with stealing lives in parallel_for.h.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ihtl {
+
+/// Persistent master-worker thread pool.
+///
+/// `run(fn)` invokes `fn(tid)` on every worker thread (tid in [0, size())),
+/// including the calling thread as tid 0, and returns when all invocations
+/// complete. The pool is reusable across jobs; jobs must not be nested.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of workers, including the master thread.
+  std::size_t size() const { return num_threads_; }
+
+  /// Runs `fn(tid)` on all `size()` workers and blocks until all return.
+  void run(const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide default pool, sized to hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(std::size_t tid);
+
+  std::size_t num_threads_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::size_t remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace ihtl

@@ -1,0 +1,33 @@
+// Wall-clock timing helpers used by the benches and the iHTL execution
+// breakdown instrumentation (Table 5).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace ihtl {
+
+/// Monotonic stopwatch; `elapsed_*` reads without stopping.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace ihtl

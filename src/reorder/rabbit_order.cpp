@@ -1,0 +1,103 @@
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "reorder/reorder.h"
+
+namespace ihtl {
+
+// Rabbit-Order [2]: hierarchical community aggregation.
+//
+// Vertices are visited in ascending total-degree order; each vertex merges
+// into the neighbouring community with the highest modularity gain
+//     dQ ~ w(v,c)/m - deg(v)*deg(c)/(2 m^2)
+// (undirected view of the graph). Merges form a forest; the final order is
+// a DFS over that forest, so every community — and recursively every
+// sub-community — occupies a contiguous new-ID range. This reproduces the
+// algorithm's "just-in-time" flavour: one pass, no global optimization.
+std::vector<vid_t> rabbit_order(const Graph& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> perm(n, 0);
+  if (n == 0) return perm;
+  const double m2 = 2.0 * static_cast<double>(std::max<eid_t>(1, g.num_edges()));
+
+  // Union-find over communities, tracking aggregate degree.
+  std::vector<vid_t> parent(n);
+  std::iota(parent.begin(), parent.end(), vid_t{0});
+  std::vector<double> comm_degree(n, 0.0);
+  std::vector<eid_t> total_degree(n, 0);
+  for (vid_t v = 0; v < n; ++v) {
+    total_degree[v] = g.in_degree(v) + g.out_degree(v);
+    comm_degree[v] = static_cast<double>(total_degree[v]);
+  }
+  auto find = [&](vid_t v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+
+  // Merge forest: children[c] lists vertices merged directly into c.
+  std::vector<std::vector<vid_t>> children(n);
+  std::vector<char> merged(n, 0);
+
+  std::vector<vid_t> visit(n);
+  std::iota(visit.begin(), visit.end(), vid_t{0});
+  std::sort(visit.begin(), visit.end(), [&](vid_t a, vid_t b) {
+    return total_degree[a] != total_degree[b]
+               ? total_degree[a] < total_degree[b]
+               : a < b;
+  });
+
+  std::unordered_map<vid_t, double> weight_to_comm;
+  for (const vid_t v : visit) {
+    weight_to_comm.clear();
+    auto tally = [&](vid_t u) {
+      if (u == v) return;
+      weight_to_comm[find(u)] += 1.0;
+    };
+    for (const vid_t u : g.out().neighbors(v)) tally(u);
+    for (const vid_t u : g.in().neighbors(v)) tally(u);
+
+    const vid_t v_root = find(v);
+    const double dv = static_cast<double>(total_degree[v]);
+    vid_t best_comm = n;
+    double best_gain = 0.0;
+    for (const auto& [c, w] : weight_to_comm) {
+      if (c == v_root) continue;
+      const double gain = w / m2 - dv * comm_degree[c] / (m2 * m2) * 2.0;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_comm = c;
+      }
+    }
+    if (best_comm == n) continue;  // no positive-gain merge: v stays a root
+    // Merge v's community into best_comm.
+    parent[v_root] = best_comm;
+    comm_degree[best_comm] += comm_degree[v_root];
+    children[best_comm].push_back(v_root == v ? v : v_root);
+    merged[v_root] = 1;
+  }
+
+  // DFS over the merge forest: roots in ascending ID, children in merge
+  // order. Each vertex receives its new ID at first visit.
+  vid_t next_id = 0;
+  std::vector<vid_t> stack;
+  for (vid_t r = 0; r < n; ++r) {
+    if (merged[r]) continue;  // not a root
+    stack.push_back(r);
+    while (!stack.empty()) {
+      const vid_t v = stack.back();
+      stack.pop_back();
+      perm[v] = next_id++;
+      // Children pushed in reverse so earliest merge is visited first.
+      for (auto it = children[v].rbegin(); it != children[v].rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  return perm;
+}
+
+}  // namespace ihtl

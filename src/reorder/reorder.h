@@ -1,0 +1,49 @@
+// Locality-optimizing relabeling algorithms (the paper's Section 4.5
+// comparison set), implemented from their original publications:
+//   - SlashBurn [24]: iterative hub removal + spoke separation.
+//   - GOrder [41]: windowed greedy ordering maximizing sibling/neighbour
+//     score within a sliding window of w recently placed vertices.
+//   - Rabbit-Order [2]: modularity-driven community aggregation followed by
+//     DFS numbering of the merge dendrogram.
+// Plus two controls: descending-degree sort and a seeded random shuffle.
+//
+// All functions return a permutation mapping OLD id -> NEW id.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ihtl {
+
+/// SlashBurn parameters.
+struct SlashBurnParams {
+  /// Hubs removed per iteration, as a fraction of |V| (the paper's k).
+  double k_fraction = 0.005;
+  std::size_t max_iterations = 1000;
+};
+
+/// SlashBurn: per round, the k highest-degree vertices of the remaining
+/// giant component move to the front of the order, non-giant connected
+/// components ("spokes") move to the back; repeats on the giant component.
+std::vector<vid_t> slashburn_order(const Graph& g, SlashBurnParams p = {});
+
+/// GOrder: greedy placement maximizing, over a window of the last `window`
+/// placed vertices, the sum of (a) direct edges to the candidate and
+/// (b) common in-neighbours with the candidate. Uses a lazy max-heap.
+/// Deliberately expensive — its preprocessing cost is part of Figure 8.
+std::vector<vid_t> gorder(const Graph& g, unsigned window = 5);
+
+/// Rabbit-Order: greedy modularity aggregation (vertices visited in
+/// ascending degree) building a merge forest; new IDs assigned by DFS over
+/// that forest so each community becomes a contiguous ID range.
+std::vector<vid_t> rabbit_order(const Graph& g);
+
+/// Descending total-degree sort (stable).
+std::vector<vid_t> degree_order(const Graph& g);
+
+/// Seeded uniform random permutation (locality-destroying control).
+std::vector<vid_t> random_order(vid_t n, std::uint64_t seed);
+
+}  // namespace ihtl

@@ -1,0 +1,34 @@
+#include <algorithm>
+#include <numeric>
+
+#include "gen/rng.h"
+#include "reorder/reorder.h"
+
+namespace ihtl {
+
+std::vector<vid_t> degree_order(const Graph& g) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), vid_t{0});
+  std::stable_sort(by_degree.begin(), by_degree.end(), [&](vid_t a, vid_t b) {
+    const eid_t da = g.in_degree(a) + g.out_degree(a);
+    const eid_t db = g.in_degree(b) + g.out_degree(b);
+    return da > db;
+  });
+  std::vector<vid_t> perm(n);
+  for (vid_t i = 0; i < n; ++i) perm[by_degree[i]] = i;
+  return perm;
+}
+
+std::vector<vid_t> random_order(vid_t n, std::uint64_t seed) {
+  std::vector<vid_t> perm(n);
+  std::iota(perm.begin(), perm.end(), vid_t{0});
+  Rng rng(seed);
+  for (vid_t i = n; i > 1; --i) {
+    const auto j = static_cast<vid_t>(rng.next_below(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+}  // namespace ihtl

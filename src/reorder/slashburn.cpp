@@ -1,0 +1,128 @@
+#include <algorithm>
+#include <numeric>
+
+#include "reorder/reorder.h"
+
+namespace ihtl {
+
+namespace {
+
+/// Union-find over vertex IDs with union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(vid_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), vid_t{0});
+  }
+  vid_t find(vid_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+  void unite(vid_t a, vid_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    if (size_[a] < size_[b]) std::swap(a, b);
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+  vid_t component_size(vid_t v) { return size_[find(v)]; }
+
+ private:
+  std::vector<vid_t> parent_;
+  std::vector<vid_t> size_;
+};
+
+}  // namespace
+
+std::vector<vid_t> slashburn_order(const Graph& g, SlashBurnParams p) {
+  const vid_t n = g.num_vertices();
+  std::vector<vid_t> perm(n, 0);
+  if (n == 0) return perm;
+
+  const vid_t k = std::max<vid_t>(
+      1, static_cast<vid_t>(p.k_fraction * static_cast<double>(n)));
+
+  std::vector<char> active(n, 1);   // still in the shrinking giant component
+  std::vector<vid_t> degree(n, 0);  // degree within the active subgraph
+  vid_t front = 0;  // next low ID to hand out (hubs)
+  vid_t back = n;   // one past the next high ID to hand out (spokes)
+
+  auto active_degree = [&](vid_t v) {
+    vid_t d = 0;
+    for (const vid_t u : g.out().neighbors(v)) d += active[u];
+    for (const vid_t u : g.in().neighbors(v)) d += active[u];
+    return d;
+  };
+
+  std::vector<vid_t> order_buf;
+  for (std::size_t iter = 0; iter < p.max_iterations && front < back; ++iter) {
+    // Gather active vertices and their degrees within the active subgraph.
+    order_buf.clear();
+    for (vid_t v = 0; v < n; ++v) {
+      if (active[v]) {
+        degree[v] = active_degree(v);
+        order_buf.push_back(v);
+      }
+    }
+    if (order_buf.empty()) break;
+    if (order_buf.size() <= k) {
+      // Remainder smaller than one slash: hand out front IDs and stop.
+      std::sort(order_buf.begin(), order_buf.end(), [&](vid_t a, vid_t b) {
+        return degree[a] != degree[b] ? degree[a] > degree[b] : a < b;
+      });
+      for (const vid_t v : order_buf) {
+        perm[v] = front++;
+        active[v] = 0;
+      }
+      break;
+    }
+
+    // Slash: k highest-degree vertices go to the front.
+    std::partial_sort(order_buf.begin(), order_buf.begin() + k,
+                      order_buf.end(), [&](vid_t a, vid_t b) {
+                        return degree[a] != degree[b] ? degree[a] > degree[b]
+                                                      : a < b;
+                      });
+    for (vid_t i = 0; i < k; ++i) {
+      perm[order_buf[i]] = front++;
+      active[order_buf[i]] = 0;
+    }
+
+    // Burn: find connected components of the remainder (undirected view);
+    // every non-giant ("spoke") vertex goes to the back.
+    UnionFind uf(n);
+    for (vid_t v = 0; v < n; ++v) {
+      if (!active[v]) continue;
+      for (const vid_t u : g.out().neighbors(v)) {
+        if (active[u]) uf.unite(v, u);
+      }
+    }
+    vid_t giant_root = n;
+    vid_t giant_size = 0;
+    for (vid_t v = 0; v < n; ++v) {
+      if (active[v] && uf.component_size(v) > giant_size) {
+        giant_size = uf.component_size(v);
+        giant_root = uf.find(v);
+      }
+    }
+    // Spokes taken in descending vertex order so the back region fills from
+    // the end, keeping small components contiguous.
+    for (vid_t v = n; v-- > 0;) {
+      if (active[v] && uf.find(v) != giant_root) {
+        perm[v] = --back;
+        active[v] = 0;
+      }
+    }
+  }
+
+  // Safety: any vertex not yet placed (max_iterations hit) gets front IDs.
+  for (vid_t v = 0; v < n; ++v) {
+    if (active[v]) perm[v] = front++;
+  }
+  return perm;
+}
+
+}  // namespace ihtl

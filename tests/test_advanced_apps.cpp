@@ -1,0 +1,183 @@
+// Tests for the Section 6 / Section 5.1 extension analytics: triangle
+// counting (degree-differentiated) and HITS (two-direction pull).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/analytics.h"
+#include "apps/hits.h"
+#include "apps/triangle_count.h"
+#include "test_util.h"
+
+namespace ihtl {
+namespace {
+
+using testing::expect_values_near;
+using testing::small_rmat;
+using testing::small_web;
+
+// ---------------------------------------------------------------- triangles
+
+Graph undirected(std::vector<Edge> edges, vid_t n) {
+  return symmetrize(build_graph(n, edges));
+}
+
+TEST(TriangleCount, SingleTriangle) {
+  const Graph g = undirected({{0, 1}, {1, 2}, {2, 0}}, 3);
+  ThreadPool pool(2);
+  EXPECT_EQ(count_triangles(pool, g).triangles, 1u);
+  EXPECT_EQ(count_triangles_serial(g), 1u);
+}
+
+TEST(TriangleCount, SquareHasNoTriangles) {
+  const Graph g = undirected({{0, 1}, {1, 2}, {2, 3}, {3, 0}}, 4);
+  ThreadPool pool(2);
+  EXPECT_EQ(count_triangles(pool, g).triangles, 0u);
+}
+
+TEST(TriangleCount, CompleteGraphK5) {
+  std::vector<Edge> edges;
+  for (vid_t u = 0; u < 5; ++u) {
+    for (vid_t v = u + 1; v < 5; ++v) edges.push_back({u, v});
+  }
+  const Graph g = undirected(edges, 5);
+  ThreadPool pool(3);
+  EXPECT_EQ(count_triangles(pool, g).triangles, 10u);  // C(5,3)
+}
+
+TEST(TriangleCount, StarHasNoTriangles) {
+  std::vector<Edge> edges;
+  for (vid_t v = 1; v < 50; ++v) edges.push_back({0, v});
+  const Graph g = undirected(edges, 50);
+  ThreadPool pool(2);
+  EXPECT_EQ(count_triangles(pool, g).triangles, 0u);
+}
+
+TEST(TriangleCount, WheelGraph) {
+  // Hub 0 connected to a cycle 1..n-1: n-1 triangles.
+  std::vector<Edge> edges;
+  const vid_t n = 20;
+  for (vid_t v = 1; v < n; ++v) {
+    edges.push_back({0, v});
+    edges.push_back({v, v == n - 1 ? 1 : v + 1});
+  }
+  const Graph g = undirected(edges, n);
+  ThreadPool pool(2);
+  EXPECT_EQ(count_triangles(pool, g).triangles, n - 1);
+}
+
+class TriangleEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TriangleEquivalence, ParallelHybridMatchesSerialReference) {
+  const Graph g = symmetrize(small_rmat(9, 6, GetParam()));
+  ThreadPool pool(4);
+  const std::uint64_t expected = count_triangles_serial(g);
+  // Default (auto threshold) and forced-bitmap configurations must agree.
+  EXPECT_EQ(count_triangles(pool, g).triangles, expected);
+  TriangleCountOptions all_bitmap;
+  all_bitmap.hub_degree_threshold = 1;  // nearly everything via bitmap
+  EXPECT_EQ(count_triangles(pool, g, all_bitmap).triangles, expected);
+  TriangleCountOptions no_bitmap;
+  no_bitmap.hub_degree_threshold = ~eid_t{0};  // pure merge
+  EXPECT_EQ(count_triangles(pool, g, no_bitmap).triangles, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TriangleEquivalence,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(TriangleCount, HubPathActuallyUsedOnSkewedGraph) {
+  const Graph g = symmetrize(small_web(1u << 11));
+  ThreadPool pool(2);
+  // Orientation directs edges toward higher rank, so even in-hubs keep a
+  // modest oriented out-degree; a low threshold guarantees bitmap use.
+  TriangleCountOptions opt;
+  opt.hub_degree_threshold = 2;
+  const auto result = count_triangles(pool, g, opt);
+  EXPECT_GT(result.hub_vertices, 0u);
+  EXPECT_EQ(result.triangles, count_triangles_serial(g));
+}
+
+TEST(TriangleCount, EmptyGraph) {
+  ThreadPool pool(2);
+  EXPECT_EQ(count_triangles(pool, build_graph(0, {})).triangles, 0u);
+}
+
+// --------------------------------------------------------------------- HITS
+
+TEST(Hits, AuthorityGoesToPointedAtVertex) {
+  // Everyone links to vertex 0; vertex 0 links nowhere.
+  std::vector<Edge> edges;
+  for (vid_t v = 1; v < 10; ++v) edges.push_back({v, 0});
+  const Graph g = build_graph(10, edges);
+  ThreadPool pool(2);
+  HitsOptions opt;
+  opt.iterations = 10;
+  const HitsResult r = hits(pool, g, opt);
+  for (vid_t v = 1; v < 10; ++v) {
+    EXPECT_GT(r.authority[0], r.authority[v]);
+    EXPECT_GT(r.hub[v], r.hub[0]);
+  }
+}
+
+TEST(Hits, ScoresAreL2Normalized) {
+  const Graph g = small_rmat(8, 6);
+  ThreadPool pool(2);
+  HitsOptions opt;
+  opt.iterations = 5;
+  const HitsResult r = hits(pool, g, opt);
+  double a_norm = 0, h_norm = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    a_norm += r.authority[v] * r.authority[v];
+    h_norm += r.hub[v] * r.hub[v];
+  }
+  EXPECT_NEAR(a_norm, 1.0, 1e-9);
+  EXPECT_NEAR(h_norm, 1.0, 1e-9);
+}
+
+TEST(Hits, IhtlMatchesPull) {
+  const Graph g = small_rmat(9, 6);
+  ThreadPool pool(3);
+  HitsOptions pull_opt;
+  pull_opt.iterations = 8;
+  HitsOptions ihtl_opt = pull_opt;
+  ihtl_opt.kernel = HitsKernel::ihtl;
+  ihtl_opt.ihtl.buffer_bytes = 64 * sizeof(value_t);
+  const HitsResult a = hits(pool, g, pull_opt);
+  const HitsResult b = hits(pool, g, ihtl_opt);
+  expect_values_near(a.authority, b.authority, 1e-8);
+  expect_values_near(a.hub, b.hub, 1e-8);
+}
+
+TEST(Hits, IhtlMatchesPullOnWebGraph) {
+  const Graph g = small_web(1u << 10);
+  ThreadPool pool(2);
+  HitsOptions pull_opt;
+  pull_opt.iterations = 6;
+  HitsOptions ihtl_opt = pull_opt;
+  ihtl_opt.kernel = HitsKernel::ihtl;
+  ihtl_opt.ihtl.buffer_bytes = 32 * sizeof(value_t);
+  const HitsResult a = hits(pool, g, pull_opt);
+  const HitsResult b = hits(pool, g, ihtl_opt);
+  expect_values_near(a.authority, b.authority, 1e-8);
+  expect_values_near(a.hub, b.hub, 1e-8);
+}
+
+TEST(Hits, ReversedViewSwapsDegrees) {
+  const Graph g = small_rmat(8, 4);
+  const Graph rev = reversed(g);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(rev.in_degree(v), g.out_degree(v));
+    EXPECT_EQ(rev.out_degree(v), g.in_degree(v));
+  }
+}
+
+TEST(Hits, EmptyGraph) {
+  ThreadPool pool(2);
+  HitsOptions opt;
+  opt.iterations = 3;
+  const HitsResult r = hits(pool, build_graph(0, {}), opt);
+  EXPECT_TRUE(r.authority.empty());
+}
+
+}  // namespace
+}  // namespace ihtl

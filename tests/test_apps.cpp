@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "apps/analytics.h"
+#include "apps/pagerank.h"
+#include "test_util.h"
+
+namespace ihtl {
+namespace {
+
+using testing::expect_values_near;
+using testing::figure2_graph;
+using testing::small_rmat;
+using testing::small_web;
+
+// ----------------------------------------------------------------- PageRank
+
+PageRankOptions test_pr_options() {
+  PageRankOptions opt;
+  opt.iterations = 8;
+  opt.ihtl.buffer_bytes = 32 * sizeof(value_t);
+  return opt;
+}
+
+TEST(PageRank, RanksSumToAtMostOne) {
+  ThreadPool pool(2);
+  const Graph g = small_rmat(9, 8);
+  const auto result = pagerank(pool, g, SpmvKernel::pull, test_pr_options());
+  const double sum =
+      std::accumulate(result.ranks.begin(), result.ranks.end(), 0.0);
+  // Dangling mass leaks (paper formula drops it), so sum <= 1.
+  EXPECT_LE(sum, 1.0 + 1e-9);
+  EXPECT_GT(sum, 0.3);
+}
+
+TEST(PageRank, HubOutranksLeaf) {
+  ThreadPool pool(2);
+  const Graph g = small_web(1u << 10);
+  const auto result = pagerank(pool, g, SpmvKernel::pull, test_pr_options());
+  vid_t hub = 0, leaf = 0;
+  for (vid_t v = 1; v < g.num_vertices(); ++v) {
+    if (g.in_degree(v) > g.in_degree(hub)) hub = v;
+    if (g.in_degree(v) < g.in_degree(leaf)) leaf = v;
+  }
+  EXPECT_GT(result.ranks[hub], result.ranks[leaf]);
+}
+
+TEST(PageRank, UniformOnCycle) {
+  // On a directed cycle PageRank is exactly uniform.
+  std::vector<Edge> edges;
+  for (vid_t v = 0; v < 32; ++v) edges.push_back({v, (v + 1) % 32});
+  const Graph g = build_graph(32, edges);
+  ThreadPool pool(2);
+  const auto result = pagerank(pool, g, SpmvKernel::pull, test_pr_options());
+  for (const value_t r : result.ranks) {
+    EXPECT_NEAR(r, 1.0 / 32, 1e-12);
+  }
+}
+
+class PageRankKernelsTest : public ::testing::TestWithParam<SpmvKernel> {};
+
+TEST_P(PageRankKernelsTest, AllKernelsAgreeWithPull) {
+  ThreadPool pool(3);
+  const Graph g = small_rmat(9, 8);
+  const auto opt = test_pr_options();
+  const auto reference = pagerank(pool, g, SpmvKernel::pull, opt);
+  const auto result = pagerank(pool, g, GetParam(), opt);
+  expect_values_near(reference.ranks, result.ranks, 1e-9);
+}
+
+TEST_P(PageRankKernelsTest, AllKernelsAgreeOnWebGraph) {
+  ThreadPool pool(2);
+  const Graph g = small_web(1u << 10);
+  const auto opt = test_pr_options();
+  const auto reference = pagerank(pool, g, SpmvKernel::pull, opt);
+  const auto result = pagerank(pool, g, GetParam(), opt);
+  expect_values_near(reference.ranks, result.ranks, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, PageRankKernelsTest,
+    ::testing::Values(SpmvKernel::pull_edge_balanced, SpmvKernel::push_atomic,
+                      SpmvKernel::push_buffered, SpmvKernel::push_partitioned,
+                      SpmvKernel::segmented_pull, SpmvKernel::ihtl),
+    [](const ::testing::TestParamInfo<SpmvKernel>& info) {
+      std::string name = kernel_name(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(PageRank, IhtlReportsPreprocessingTime) {
+  ThreadPool pool(2);
+  const Graph g = small_rmat(10, 8);
+  const auto result = pagerank(pool, g, SpmvKernel::ihtl, test_pr_options());
+  EXPECT_GT(result.preprocessing_seconds, 0.0);
+  EXPECT_GT(result.seconds_per_iteration, 0.0);
+}
+
+TEST(PageRank, PrebuiltIhtlGraphGivesSameRanks) {
+  ThreadPool pool(1);  // single thread -> identical accumulation order
+  const Graph g = small_rmat(9, 8);
+  const auto opt = test_pr_options();
+  const auto direct = pagerank(pool, g, SpmvKernel::ihtl, opt);
+  const IhtlGraph ig = build_ihtl_graph(g, opt.ihtl);
+  const auto prebuilt = pagerank_ihtl(pool, g, ig, opt);
+  EXPECT_EQ(direct.ranks, prebuilt.ranks);
+}
+
+TEST(PageRank, ToleranceTerminatesEarly) {
+  ThreadPool pool(2);
+  const Graph g = small_rmat(9, 8);
+  PageRankOptions opt = test_pr_options();
+  opt.iterations = 200;
+  opt.tolerance = 1e-6;
+  const auto result = pagerank(pool, g, SpmvKernel::pull, opt);
+  EXPECT_LT(result.iterations_run, 200u);
+  EXPECT_GT(result.iterations_run, 1u);
+}
+
+TEST(PageRank, ToleranceResultMatchesLongFixedRun) {
+  ThreadPool pool(2);
+  const Graph g = small_rmat(8, 6);
+  PageRankOptions converged = test_pr_options();
+  converged.iterations = 300;
+  converged.tolerance = 1e-13;
+  PageRankOptions fixed = test_pr_options();
+  fixed.iterations = 300;
+  const auto a = pagerank(pool, g, SpmvKernel::pull, converged);
+  const auto b = pagerank(pool, g, SpmvKernel::pull, fixed);
+  expect_values_near(b.ranks, a.ranks, 1e-9);
+}
+
+TEST(PageRank, IterationsRunReportedForFixedRun) {
+  ThreadPool pool(2);
+  const Graph g = small_rmat(7, 4);
+  const auto result = pagerank(pool, g, SpmvKernel::pull, test_pr_options());
+  EXPECT_EQ(result.iterations_run, test_pr_options().iterations);
+}
+
+TEST(PageRank, KernelNamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto k :
+       {SpmvKernel::pull, SpmvKernel::pull_edge_balanced,
+        SpmvKernel::segmented_pull, SpmvKernel::push_atomic,
+        SpmvKernel::push_buffered, SpmvKernel::push_partitioned,
+        SpmvKernel::ihtl}) {
+    EXPECT_TRUE(names.insert(kernel_name(k)).second);
+  }
+}
+
+// -------------------------------------------------------------- symmetrize
+
+TEST(Symmetrize, MakesEveryEdgeReciprocal) {
+  const Graph g = small_rmat(8, 4);
+  const Graph sym = symmetrize(g);
+  for (vid_t v = 0; v < sym.num_vertices(); ++v) {
+    for (const vid_t t : sym.out().neighbors(v)) {
+      ASSERT_TRUE(sym.has_edge(t, v)) << v << "->" << t;
+    }
+    EXPECT_EQ(sym.in_degree(v), sym.out_degree(v));
+  }
+}
+
+// ------------------------------------------------------ connected components
+
+TEST(ConnectedComponents, TwoIslands) {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {3, 4}};
+  const Graph g = symmetrize(build_graph(5, edges));
+  ThreadPool pool(2);
+  const auto result = connected_components(pool, g, AnalyticsKernel::pull);
+  EXPECT_EQ(result.values[0], 0.0);
+  EXPECT_EQ(result.values[1], 0.0);
+  EXPECT_EQ(result.values[2], 0.0);
+  EXPECT_EQ(result.values[3], 3.0);
+  EXPECT_EQ(result.values[4], 3.0);
+}
+
+TEST(ConnectedComponents, LabelIsMinimumOfComponent) {
+  ThreadPool pool(2);
+  const Graph g = symmetrize(small_rmat(8, 4));
+  const auto result = connected_components(pool, g, AnalyticsKernel::pull);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    // Label can never exceed the vertex's own ID.
+    ASSERT_LE(result.values[v], static_cast<value_t>(v));
+    // And the labelled vertex must carry its own label.
+    ASSERT_EQ(result.values[static_cast<vid_t>(result.values[v])],
+              result.values[v]);
+  }
+}
+
+TEST(ConnectedComponents, IhtlMatchesPull) {
+  ThreadPool pool(3);
+  const Graph g = symmetrize(small_rmat(9, 6));
+  IhtlConfig cfg;
+  cfg.buffer_bytes = 32 * sizeof(value_t);
+  const auto pull = connected_components(pool, g, AnalyticsKernel::pull);
+  const auto ihtl = connected_components(pool, g, AnalyticsKernel::ihtl, cfg);
+  EXPECT_EQ(pull.values, ihtl.values);
+}
+
+// --------------------------------------------------------------------- sssp
+
+TEST(SsspUnit, ChainDistances) {
+  std::vector<Edge> edges;
+  for (vid_t v = 0; v + 1 < 10; ++v) edges.push_back({v, v + 1});
+  const Graph g = build_graph(10, edges);
+  ThreadPool pool(2);
+  const auto result = sssp_unit(pool, g, 0, AnalyticsKernel::pull);
+  for (vid_t v = 0; v < 10; ++v) {
+    EXPECT_EQ(result.values[v], static_cast<value_t>(v));
+  }
+}
+
+TEST(SsspUnit, UnreachableIsInfinity) {
+  const std::vector<Edge> edges = {{0, 1}};
+  const Graph g = build_graph(3, edges);
+  ThreadPool pool(2);
+  const auto result = sssp_unit(pool, g, 0, AnalyticsKernel::pull);
+  EXPECT_EQ(result.values[1], 1.0);
+  EXPECT_TRUE(std::isinf(result.values[2]));
+}
+
+TEST(SsspUnit, IhtlMatchesPull) {
+  ThreadPool pool(2);
+  const Graph g = small_rmat(9, 6);
+  vid_t source = 0;
+  for (vid_t v = 1; v < g.num_vertices(); ++v) {
+    if (g.out_degree(v) > g.out_degree(source)) source = v;
+  }
+  IhtlConfig cfg;
+  cfg.buffer_bytes = 32 * sizeof(value_t);
+  const auto pull = sssp_unit(pool, g, source, AnalyticsKernel::pull);
+  const auto ihtl = sssp_unit(pool, g, source, AnalyticsKernel::ihtl, cfg);
+  EXPECT_EQ(pull.values, ihtl.values);
+}
+
+TEST(SsspUnit, TriangleInequalityOverEdges) {
+  // Property: for every edge (u,v), dist[v] <= dist[u] + 1.
+  ThreadPool pool(2);
+  const Graph g = small_rmat(8, 6);
+  const auto result = sssp_unit(pool, g, 3, AnalyticsKernel::pull);
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    if (std::isinf(result.values[u])) continue;
+    for (const vid_t v : g.out().neighbors(u)) {
+      ASSERT_LE(result.values[v], result.values[u] + 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ihtl

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "baselines/spmv.h"
+#include "test_util.h"
+
+namespace ihtl {
+namespace {
+
+using testing::expect_values_near;
+using testing::figure2_graph;
+using testing::random_values;
+using testing::small_rmat;
+
+std::vector<value_t> reference_pull(const Graph& g,
+                                    const std::vector<value_t>& x) {
+  std::vector<value_t> y(g.num_vertices());
+  spmv_pull_serial(g, x, y);
+  return y;
+}
+
+TEST(SpmvPullSerial, Figure2HandComputed) {
+  const Graph g = figure2_graph();
+  std::vector<value_t> x(8);
+  for (vid_t v = 0; v < 8; ++v) x[v] = v + 1.0;  // x = [1..8]
+  std::vector<value_t> y(8);
+  spmv_pull_serial(g, x, y);
+  // In-neighbours: v0 <- {5}; v2 <- {0,1,4,5,7}; v6 <- {1,3,4}.
+  EXPECT_DOUBLE_EQ(y[0], 6.0);
+  EXPECT_DOUBLE_EQ(y[2], 1 + 2 + 5 + 6 + 8.0);
+  EXPECT_DOUBLE_EQ(y[6], 2 + 4 + 5.0);
+  EXPECT_DOUBLE_EQ(y[7], 6.0);  // v7 <- {5}
+}
+
+TEST(SpmvPullSerial, MinMonoid) {
+  const Graph g = figure2_graph();
+  std::vector<value_t> x(8);
+  for (vid_t v = 0; v < 8; ++v) x[v] = 10.0 - v;
+  std::vector<value_t> y(8);
+  spmv_pull_serial<MinMonoid>(g, x, y);
+  // In-neighbours of 2 are {0,1,4,5,7}: values {10,9,6,5,3} -> min 3.
+  EXPECT_DOUBLE_EQ(y[2], 3.0);
+  // In-neighbours of 6 are {1,3,4}: values {9,7,6} -> min 6.
+  EXPECT_DOUBLE_EQ(y[6], 6.0);
+}
+
+class BaselineKernelsTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t>> {
+ protected:
+  // (rmat scale, pool threads)
+  Graph g_ = testing::small_rmat(std::get<0>(GetParam()), 8,
+                                 std::get<0>(GetParam()) * 31 + 7);
+  ThreadPool pool_{std::get<1>(GetParam())};
+};
+
+TEST_P(BaselineKernelsTest, ParallelPullMatchesSerial) {
+  const auto x = random_values(g_.num_vertices(), 1);
+  const auto expected = reference_pull(g_, x);
+  std::vector<value_t> y(g_.num_vertices());
+  spmv_pull(pool_, g_, x, y);
+  expect_values_near(expected, y);
+}
+
+TEST_P(BaselineKernelsTest, EdgeBalancedPullMatchesSerial) {
+  const auto x = random_values(g_.num_vertices(), 2);
+  const auto expected = reference_pull(g_, x);
+  std::vector<value_t> y(g_.num_vertices());
+  spmv_pull_edge_balanced(pool_, g_, x, y);
+  expect_values_near(expected, y);
+}
+
+TEST_P(BaselineKernelsTest, AtomicPushMatchesSerial) {
+  const auto x = random_values(g_.num_vertices(), 3);
+  const auto expected = reference_pull(g_, x);
+  std::vector<value_t> y(g_.num_vertices());
+  spmv_push_atomic(pool_, g_, x, y);
+  expect_values_near(expected, y, 1e-9);
+}
+
+TEST_P(BaselineKernelsTest, BufferedPushMatchesSerial) {
+  const auto x = random_values(g_.num_vertices(), 4);
+  const auto expected = reference_pull(g_, x);
+  std::vector<value_t> y(g_.num_vertices());
+  spmv_push_buffered(pool_, g_, x, y);
+  expect_values_near(expected, y, 1e-9);
+}
+
+TEST_P(BaselineKernelsTest, PartitionedPushMatchesSerial) {
+  const auto x = random_values(g_.num_vertices(), 5);
+  const auto expected = reference_pull(g_, x);
+  DestinationPartitionedPush push(g_, 8);
+  std::vector<value_t> y(g_.num_vertices());
+  push.run(pool_, x, y);
+  expect_values_near(expected, y, 1e-9);
+}
+
+TEST_P(BaselineKernelsTest, SegmentedPullMatchesSerial) {
+  const auto x = random_values(g_.num_vertices(), 6);
+  const auto expected = reference_pull(g_, x);
+  SegmentedPull pull(g_, g_.num_vertices() / 4 + 1);
+  std::vector<value_t> y(g_.num_vertices());
+  pull.run(pool_, x, y);
+  expect_values_near(expected, y, 1e-9);
+}
+
+TEST_P(BaselineKernelsTest, MinMonoidAcrossKernels) {
+  const auto x = random_values(g_.num_vertices(), 7);
+  std::vector<value_t> expected(g_.num_vertices());
+  spmv_pull_serial<MinMonoid>(g_, x, expected);
+  std::vector<value_t> y(g_.num_vertices());
+  spmv_pull<MinMonoid>(pool_, g_, x, y);
+  expect_values_near(expected, y);
+  spmv_push_buffered<MinMonoid>(pool_, g_, x, y);
+  expect_values_near(expected, y);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScalesAndThreads, BaselineKernelsTest,
+    ::testing::Combine(::testing::Values(6u, 8u, 10u),
+                       ::testing::Values(1u, 2u, 4u)),
+    [](const auto& info) {
+      return "scale" + std::to_string(std::get<0>(info.param)) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(DestinationPartitionedPush, PartitionsCoverEveryEdge) {
+  const Graph g = small_rmat(9, 8);
+  DestinationPartitionedPush push(g, 5);
+  EXPECT_EQ(push.num_parts(), 5u);
+  // Correctness of coverage is implied by the SpMV equivalence test above;
+  // here check topology accounting is sane (>= one CSR of the graph).
+  EXPECT_GE(push.topology_bytes(), g.num_edges() * sizeof(vid_t));
+}
+
+TEST(SegmentedPull, SingleSegmentEqualsPlainPull) {
+  ThreadPool pool(2);
+  const Graph g = small_rmat(8, 6);
+  const auto x = random_values(g.num_vertices(), 8);
+  SegmentedPull seg(g, g.num_vertices());  // one segment
+  EXPECT_EQ(seg.num_segments(), 1u);
+  std::vector<value_t> expected(g.num_vertices()), y(g.num_vertices());
+  spmv_pull_serial(g, x, expected);
+  seg.run(pool, x, y);
+  expect_values_near(expected, y);
+}
+
+TEST(SegmentedPull, ManyTinySegmentsStillCorrect) {
+  ThreadPool pool(3);
+  const Graph g = small_rmat(8, 6);
+  const auto x = random_values(g.num_vertices(), 9);
+  SegmentedPull seg(g, 8);  // dozens of segments
+  EXPECT_GT(seg.num_segments(), 10u);
+  std::vector<value_t> expected(g.num_vertices()), y(g.num_vertices());
+  spmv_pull_serial(g, x, expected);
+  seg.run(pool, x, y);
+  expect_values_near(expected, y, 1e-9);
+}
+
+TEST(Baselines, EmptyGraphAllKernels) {
+  ThreadPool pool(2);
+  const Graph g = build_graph(0, {});
+  std::vector<value_t> x, y;
+  spmv_pull(pool, g, x, y);
+  spmv_push_atomic(pool, g, x, y);
+  spmv_push_buffered(pool, g, x, y);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ihtl

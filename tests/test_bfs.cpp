@@ -1,0 +1,127 @@
+// Tests for the direction-optimizing BFS baseline (Section 5.2 family).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/analytics.h"
+#include "apps/bfs.h"
+#include "test_util.h"
+
+namespace ihtl {
+namespace {
+
+using testing::small_rmat;
+using testing::small_web;
+
+TEST(Bfs, ChainLevels) {
+  std::vector<Edge> edges;
+  for (vid_t v = 0; v + 1 < 10; ++v) edges.push_back({v, v + 1});
+  const Graph g = build_graph(10, edges);
+  ThreadPool pool(2);
+  const BfsResult r = bfs(pool, g, 0);
+  for (vid_t v = 0; v < 10; ++v) {
+    EXPECT_EQ(r.level[v], static_cast<std::int64_t>(v));
+  }
+}
+
+TEST(Bfs, UnreachableVerticesMarked) {
+  const std::vector<Edge> edges = {{0, 1}};
+  const Graph g = build_graph(3, edges);
+  ThreadPool pool(2);
+  const BfsResult r = bfs(pool, g, 0);
+  EXPECT_EQ(r.level[0], 0);
+  EXPECT_EQ(r.level[1], 1);
+  EXPECT_EQ(r.level[2], BfsResult::kUnreached);
+}
+
+TEST(Bfs, DirectionIsRespected) {
+  // Edges are directed: BFS from the sink reaches nothing.
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}};
+  const Graph g = build_graph(3, edges);
+  ThreadPool pool(2);
+  const BfsResult r = bfs(pool, g, 2);
+  EXPECT_EQ(r.level[2], 0);
+  EXPECT_EQ(r.level[0], BfsResult::kUnreached);
+  EXPECT_EQ(r.level[1], BfsResult::kUnreached);
+}
+
+class BfsModesTest : public ::testing::TestWithParam<BfsMode> {};
+
+TEST_P(BfsModesTest, AllModesMatchSsspLevels) {
+  // sssp_unit's Bellman-Ford levels are the ground truth.
+  const Graph g = small_rmat(9, 8);
+  ThreadPool pool(3);
+  vid_t source = 0;
+  for (vid_t v = 1; v < g.num_vertices(); ++v) {
+    if (g.out_degree(v) > g.out_degree(source)) source = v;
+  }
+  const AnalyticsResult truth =
+      sssp_unit(pool, g, source, AnalyticsKernel::pull);
+  BfsOptions opt;
+  opt.mode = GetParam();
+  const BfsResult r = bfs(pool, g, source, opt);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (std::isinf(truth.values[v])) {
+      ASSERT_EQ(r.level[v], BfsResult::kUnreached) << v;
+    } else {
+      ASSERT_EQ(r.level[v], static_cast<std::int64_t>(truth.values[v])) << v;
+    }
+  }
+}
+
+TEST_P(BfsModesTest, WebGraphMatchesSssp) {
+  const Graph g = small_web(1u << 10);
+  ThreadPool pool(2);
+  const AnalyticsResult truth = sssp_unit(pool, g, 3, AnalyticsKernel::pull);
+  BfsOptions opt;
+  opt.mode = GetParam();
+  const BfsResult r = bfs(pool, g, 3, opt);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (std::isinf(truth.values[v])) {
+      ASSERT_EQ(r.level[v], BfsResult::kUnreached);
+    } else {
+      ASSERT_EQ(r.level[v], static_cast<std::int64_t>(truth.values[v]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, BfsModesTest,
+    ::testing::Values(BfsMode::top_down, BfsMode::bottom_up,
+                      BfsMode::direction_optimizing),
+    [](const ::testing::TestParamInfo<BfsMode>& info) {
+      switch (info.param) {
+        case BfsMode::top_down:
+          return "top_down";
+        case BfsMode::bottom_up:
+          return "bottom_up";
+        case BfsMode::direction_optimizing:
+          return "direction_optimizing";
+      }
+      return "unknown";
+    });
+
+TEST(Bfs, DirectionOptimizingUsesBottomUpOnDenseComponent) {
+  // On a symmetrized skewed graph the frontier explodes after one hop; the
+  // heuristic must pick bottom-up at least once.
+  const Graph g = symmetrize(small_rmat(10, 16));
+  ThreadPool pool(2);
+  vid_t source = 0;
+  for (vid_t v = 1; v < g.num_vertices(); ++v) {
+    if (g.out_degree(v) > g.out_degree(source)) source = v;
+  }
+  const BfsResult r = bfs(pool, g, source);
+  EXPECT_GT(r.bottom_up_steps, 0u);
+  EXPECT_LT(r.bottom_up_steps, r.steps);  // and switches back for the tail
+}
+
+TEST(Bfs, SingleVertexGraph) {
+  const Graph g = build_graph(1, {});
+  ThreadPool pool(2);
+  const BfsResult r = bfs(pool, g, 0);
+  EXPECT_EQ(r.level[0], 0);
+  EXPECT_EQ(r.steps, 1u);  // one (empty) expansion step
+}
+
+}  // namespace
+}  // namespace ihtl

@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.h"
+#include "cachesim/trace_spmv.h"
+#include "core/ihtl_graph.h"
+#include "test_util.h"
+
+namespace ihtl {
+namespace {
+
+using testing::small_rmat;
+using testing::small_web;
+
+// --------------------------------------------------------------- CacheLevel
+
+TEST(CacheLevel, ColdMissThenHit) {
+  CacheLevel cache({.size_bytes = 1024, .line_bytes = 64, .ways = 2});
+  EXPECT_FALSE(cache.access(0));
+  EXPECT_TRUE(cache.access(0));
+  EXPECT_TRUE(cache.access(63));   // same line
+  EXPECT_FALSE(cache.access(64));  // next line
+  EXPECT_EQ(cache.accesses(), 4u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(CacheLevel, LruEvictionOrder) {
+  // 1 set x 2 ways: lines A, B fill the set; touching A then adding C must
+  // evict B (the least recently used).
+  CacheLevel cache({.size_bytes = 128, .line_bytes = 64, .ways = 2});
+  const std::uint64_t A = 0, B = 128, C = 256;  // all map to set 0
+  cache.access(A);
+  cache.access(B);
+  cache.access(A);  // A is now MRU
+  cache.access(C);  // evicts B
+  EXPECT_TRUE(cache.access(A));
+  EXPECT_FALSE(cache.access(B));
+}
+
+TEST(CacheLevel, WorkingSetLargerThanCacheThrashes) {
+  CacheLevel cache({.size_bytes = 1u << 10, .line_bytes = 64, .ways = 4});
+  // Stream over 64 KiB repeatedly: every access past the first pass still
+  // misses (LRU + sequential sweep = no reuse).
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t a = 0; a < (64u << 10); a += 64) cache.access(a);
+  }
+  EXPECT_EQ(cache.misses(), cache.accesses());
+}
+
+TEST(CacheLevel, WorkingSetFittingInCacheHitsAfterWarmup) {
+  CacheLevel cache({.size_bytes = 64u << 10, .line_bytes = 64, .ways = 8});
+  for (int pass = 0; pass < 4; ++pass) {
+    for (std::uint64_t a = 0; a < (32u << 10); a += 64) cache.access(a);
+  }
+  // Only the first pass misses.
+  EXPECT_EQ(cache.misses(), (32u << 10) / 64);
+}
+
+TEST(CacheLevel, NumSetsComputed) {
+  CacheConfig cfg{.size_bytes = 1u << 20, .line_bytes = 64, .ways = 16};
+  EXPECT_EQ(cfg.num_sets(), (1u << 20) / (64 * 16));
+}
+
+// ----------------------------------------------------------- CacheHierarchy
+
+TEST(CacheHierarchy, MissFallsThroughLevels) {
+  CacheHierarchy h = CacheHierarchy::tiny();
+  EXPECT_EQ(h.access(0), 3u);  // cold: memory
+  EXPECT_EQ(h.access(0), 0u);  // L1 hit
+  EXPECT_EQ(h.level(0).misses(), 1u);
+  EXPECT_EQ(h.level(1).misses(), 1u);
+  EXPECT_EQ(h.level(2).misses(), 1u);
+}
+
+TEST(CacheHierarchy, L2HitAfterL1Eviction) {
+  CacheHierarchy h = CacheHierarchy::tiny();  // L1 = 1 KiB
+  // Fill well past L1 but within L2 (8 KiB).
+  for (std::uint64_t a = 0; a < 4096; a += 64) h.access(a);
+  // Address 0 was evicted from L1 but should still be in L2.
+  EXPECT_EQ(h.access(0), 1u);
+}
+
+TEST(CacheHierarchy, CountersReset) {
+  CacheHierarchy h = CacheHierarchy::tiny();
+  h.access(0);
+  h.access(64);
+  h.reset_counters();
+  EXPECT_EQ(h.total_accesses(), 0u);
+  EXPECT_EQ(h.level(0).accesses(), 0u);
+  EXPECT_EQ(h.memory_accesses(), 0u);
+}
+
+TEST(CacheHierarchy, XeonGeometryMatchesPaperMachine) {
+  CacheHierarchy h = CacheHierarchy::xeon_gold_6130();
+  EXPECT_EQ(h.levels(), 3u);
+  EXPECT_EQ(h.level(0).config().size_bytes, 32u << 10);
+  EXPECT_EQ(h.level(1).config().size_bytes, 1u << 20);
+  EXPECT_EQ(h.level(2).config().size_bytes, 22u << 20);
+}
+
+// ------------------------------------------------------------ trace adapters
+
+TEST(TraceSpmv, PullCountsAllAccesses) {
+  const Graph g = testing::figure2_graph();
+  CacheHierarchy h = CacheHierarchy::tiny();
+  const TraceCounters c = trace_pull_spmv(g, h);
+  // Per vertex: 1 offset + 1 y store; per edge: 1 target + 1 x read.
+  EXPECT_EQ(c.memory_accesses, 2u * 8 + 2u * 14);
+}
+
+TEST(TraceSpmv, PushCountsAllAccesses) {
+  const Graph g = testing::figure2_graph();
+  CacheHierarchy h = CacheHierarchy::tiny();
+  const TraceCounters c = trace_push_spmv(g, h);
+  // Per vertex: 1 offset + 1 x read; per edge: 1 target + 1 y update.
+  EXPECT_EQ(c.memory_accesses, 2u * 8 + 2u * 14);
+}
+
+TEST(TraceSpmv, ProfileAccountsEveryRandomAccess) {
+  const Graph g = small_rmat(10, 8);
+  CacheHierarchy h = CacheHierarchy::tiny();
+  DegreeMissProfile profile;
+  trace_pull_spmv(g, h, &profile);
+  std::uint64_t total = 0;
+  for (const auto a : profile.accesses) total += a;
+  EXPECT_EQ(total, g.num_edges());  // one x-read per edge
+  for (std::size_t b = 0; b < profile.accesses.size(); ++b) {
+    EXPECT_LE(profile.llc_misses[b], profile.accesses[b]);
+  }
+}
+
+TEST(TraceSpmv, IhtlIssuesMoreAccessesButFewerLlcMisses) {
+  // Table 3's shape on a skewed graph whose vertex data (2^15 * 8 B =
+  // 256 KiB) is 4x the tiny L3, so pull traversal actually thrashes.
+  const Graph g = small_rmat(15, 16);
+  IhtlConfig cfg;
+  cfg.buffer_bytes = 8192;  // 1024 hubs/block == tiny L2 capacity
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+  ASSERT_GT(ig.num_hubs(), 0u);
+
+  CacheHierarchy pull_caches = CacheHierarchy::tiny();
+  const TraceCounters pull = trace_pull_spmv(g, pull_caches);
+  CacheHierarchy ihtl_caches = CacheHierarchy::tiny();
+  const TraceCounters ihtl = trace_ihtl_spmv(g, ig, ihtl_caches);
+
+  EXPECT_GT(ihtl.memory_accesses, pull.memory_accesses);
+  EXPECT_LT(ihtl.l3_misses, pull.l3_misses);
+}
+
+TEST(TraceSpmv, IhtlCollapsesHubMissRate) {
+  // Figure 1's shape: the top degree bucket's LLC miss rate must drop
+  // dramatically under iHTL. Vertex data must exceed the tiny L3 (see
+  // above) for pull to exhibit hub thrashing in the first place.
+  const Graph g = small_rmat(15, 16);
+  IhtlConfig cfg;
+  cfg.buffer_bytes = 8192;
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+
+  CacheHierarchy h1 = CacheHierarchy::tiny();
+  DegreeMissProfile pull_profile;
+  trace_pull_spmv(g, h1, &pull_profile);
+  CacheHierarchy h2 = CacheHierarchy::tiny();
+  DegreeMissProfile ihtl_profile;
+  trace_ihtl_spmv(g, ig, h2, &ihtl_profile);
+
+  // Find the highest bucket with meaningful traffic in pull.
+  std::size_t hub_bucket = pull_profile.accesses.size();
+  for (std::size_t b = pull_profile.accesses.size(); b-- > 0;) {
+    if (pull_profile.accesses[b] > 100) {
+      hub_bucket = b;
+      break;
+    }
+  }
+  ASSERT_LT(hub_bucket, pull_profile.accesses.size());
+  ASSERT_LT(hub_bucket, ihtl_profile.accesses.size());
+  EXPECT_LT(ihtl_profile.miss_rate(hub_bucket),
+            0.5 * pull_profile.miss_rate(hub_bucket) + 1e-12);
+}
+
+TEST(TraceSpmv, EmptyGraphProducesNoAccesses) {
+  const Graph g = build_graph(0, {});
+  CacheHierarchy h = CacheHierarchy::tiny();
+  const TraceCounters c = trace_pull_spmv(g, h);
+  EXPECT_EQ(c.memory_accesses, 0u);
+}
+
+}  // namespace
+}  // namespace ihtl

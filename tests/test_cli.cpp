@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cli/args.h"
+#include "cli/commands.h"
+#include "core/ihtl_graph.h"
+#include "graph/io.h"
+#include "test_util.h"
+
+namespace ihtl {
+namespace {
+
+// ---------------------------------------------------------------- ArgParser
+
+ArgParser make_parser() {
+  ArgParser p;
+  p.add_flag("name", true, "a string value");
+  p.add_flag("count", true, "an integer value");
+  p.add_flag("ratio", true, "a float value");
+  p.add_flag("verbose", false, "a boolean flag");
+  return p;
+}
+
+TEST(ArgParser, ParsesSeparateValueForm) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"tool", "--name", "alpha", "--count", "42"};
+  p.parse(5, argv);
+  EXPECT_EQ(p.get_string("name"), "alpha");
+  EXPECT_EQ(p.get_int("count"), 42);
+}
+
+TEST(ArgParser, ParsesEqualsForm) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"tool", "--name=beta", "--ratio=0.25"};
+  p.parse(3, argv);
+  EXPECT_EQ(p.get_string("name"), "beta");
+  EXPECT_DOUBLE_EQ(p.get_double("ratio"), 0.25);
+}
+
+TEST(ArgParser, BooleanFlag) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"tool", "--verbose"};
+  p.parse(2, argv);
+  EXPECT_TRUE(p.has("verbose"));
+  EXPECT_FALSE(p.has("name"));
+}
+
+TEST(ArgParser, PositionalArguments) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"tool", "input.txt", "--count", "1", "more.txt"};
+  p.parse(5, argv);
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.txt");
+  EXPECT_EQ(p.positional()[1], "more.txt");
+}
+
+TEST(ArgParser, DefaultsWhenAbsent) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"tool"};
+  p.parse(1, argv);
+  EXPECT_EQ(p.get_string("name", "dflt"), "dflt");
+  EXPECT_EQ(p.get_int("count", 7), 7);
+  EXPECT_DOUBLE_EQ(p.get_double("ratio", 1.5), 1.5);
+}
+
+TEST(ArgParser, RejectsUnknownFlag) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"tool", "--bogus"};
+  EXPECT_THROW(p.parse(2, argv), std::invalid_argument);
+}
+
+TEST(ArgParser, RejectsMissingValue) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"tool", "--name"};
+  EXPECT_THROW(p.parse(2, argv), std::invalid_argument);
+}
+
+TEST(ArgParser, RejectsValueOnBooleanFlag) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"tool", "--verbose=yes"};
+  EXPECT_THROW(p.parse(2, argv), std::invalid_argument);
+}
+
+TEST(ArgParser, RejectsMalformedNumbers) {
+  ArgParser p = make_parser();
+  const char* argv[] = {"tool", "--count", "12x", "--ratio", "1.5z"};
+  p.parse(5, argv);
+  EXPECT_THROW(p.get_int("count"), std::invalid_argument);
+  EXPECT_THROW(p.get_double("ratio"), std::invalid_argument);
+}
+
+TEST(ArgParser, HelpTextListsFlags) {
+  ArgParser p = make_parser();
+  const std::string help = p.help_text();
+  EXPECT_NE(help.find("--name"), std::string::npos);
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+}
+
+// ------------------------------------------------------------ CLI commands
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CmdConvert, EdgeListToBinaryGraph) {
+  const Graph g = testing::figure2_graph();
+  const std::string in = temp_path("cli_edges.txt");
+  const std::string out = temp_path("cli_graph.bin");
+  save_edge_list(g, in);
+  const char* argv[] = {"ihtl_convert", "--graph", in.c_str(),
+                        "--output", out.c_str(), "--to", "graph"};
+  EXPECT_EQ(cmd_convert(7, argv), 0);
+  const Graph loaded = load_graph_binary(out);
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+  std::remove(in.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(CmdConvert, GeneratedDatasetToIhtlBinary) {
+  const std::string out = temp_path("cli_ihtl.bin");
+  const char* argv[] = {"ihtl_convert", "--gen",   "LvJrnl",
+                        "--gen-scale",  "tiny",    "--output",
+                        out.c_str(),    "--to",    "ihtl",
+                        "--buffer-bytes", "256"};
+  EXPECT_EQ(cmd_convert(11, argv), 0);
+  const IhtlGraph ig = IhtlGraph::load_binary(out);
+  EXPECT_GT(ig.num_hubs(), 0u);
+  std::remove(out.c_str());
+}
+
+TEST(CmdConvert, MissingOutputFails) {
+  const char* argv[] = {"ihtl_convert", "--gen", "LvJrnl", "--gen-scale",
+                        "tiny"};
+  EXPECT_EQ(cmd_convert(5, argv), 1);
+}
+
+TEST(CmdConvert, BadFormatFails) {
+  const std::string out = temp_path("cli_bad.bin");
+  const char* argv[] = {"ihtl_convert", "--gen",  "LvJrnl", "--gen-scale",
+                        "tiny",         "--output", out.c_str(), "--to",
+                        "nonsense"};
+  EXPECT_EQ(cmd_convert(9, argv), 1);
+}
+
+TEST(CmdInfo, RunsOnGeneratedDataset) {
+  const char* argv[] = {"ihtl_info", "--gen", "SK", "--gen-scale", "tiny"};
+  EXPECT_EQ(cmd_info(5, argv), 0);
+}
+
+TEST(CmdInfo, FailsWithoutInput) {
+  const char* argv[] = {"ihtl_info"};
+  EXPECT_EQ(cmd_info(1, argv), 1);
+}
+
+TEST(CmdRun, PageRankAllCliKernels) {
+  for (const char* kernel : {"pull", "push-buffered", "ihtl"}) {
+    const char* argv[] = {"ihtl_run", "--gen",    "Twtr10", "--gen-scale",
+                          "tiny",     "--app",    "pagerank", "--kernel",
+                          kernel,     "--iterations", "3"};
+    EXPECT_EQ(cmd_run(11, argv), 0) << kernel;
+  }
+}
+
+TEST(CmdRun, EveryAppRuns) {
+  for (const char* app : {"cc", "sssp", "bfs", "bfs-frontier", "hits",
+                          "triangles", "kcore", "pagerank-delta"}) {
+    const char* argv[] = {"ihtl_run", "--gen", "LvJrnl", "--gen-scale",
+                          "tiny",     "--app", app,      "--iterations", "3"};
+    EXPECT_EQ(cmd_run(9, argv), 0) << app;
+  }
+}
+
+TEST(CmdRun, UnknownAppFails) {
+  const char* argv[] = {"ihtl_run", "--gen", "LvJrnl", "--gen-scale", "tiny",
+                        "--app", "frobnicate"};
+  EXPECT_EQ(cmd_run(7, argv), 1);
+}
+
+TEST(CmdRun, UnknownKernelFails) {
+  const char* argv[] = {"ihtl_run", "--gen", "LvJrnl", "--gen-scale", "tiny",
+                        "--app", "pagerank", "--kernel", "warp-drive"};
+  EXPECT_EQ(cmd_run(9, argv), 1);
+}
+
+TEST(CmdRun, SourceOutOfRangeFails) {
+  const char* argv[] = {"ihtl_run", "--gen",   "LvJrnl", "--gen-scale",
+                        "tiny",     "--app",   "sssp",   "--source",
+                        "99999999"};
+  EXPECT_EQ(cmd_run(9, argv), 1);
+}
+
+TEST(CmdRun, HelpReturnsZero) {
+  const char* argv[] = {"ihtl_run", "--help"};
+  EXPECT_EQ(cmd_run(2, argv), 0);
+}
+
+}  // namespace
+}  // namespace ihtl

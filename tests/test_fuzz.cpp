@@ -1,0 +1,113 @@
+// Randomized property sweeps ("fuzz" tier): random graphs from every
+// generator family x random build options x random iHTL configurations.
+// Each case checks the full invariant stack — structural validity,
+// permutation validity, exact edge partitioning, and SpMV equivalence
+// against the serial pull oracle.
+#include <gtest/gtest.h>
+
+#include "baselines/spmv.h"
+#include "core/ihtl_spmv.h"
+#include "gen/generators.h"
+#include "gen/rng.h"
+#include "graph/permute.h"
+#include "reorder/reorder.h"
+#include "test_util.h"
+
+namespace ihtl {
+namespace {
+
+using testing::expect_values_near;
+using testing::random_values;
+
+/// Builds a random graph whose family/size/options derive from the seed.
+Graph random_graph(std::uint64_t seed) {
+  Rng rng(seed);
+  const std::uint64_t family = rng.next_below(3);
+  const auto scale = static_cast<unsigned>(6 + rng.next_below(5));  // 64..1024
+  std::vector<Edge> edges;
+  vid_t n = vid_t{1} << scale;
+  if (family == 0) {
+    RmatParams p;
+    p.scale = scale;
+    p.edge_factor = static_cast<unsigned>(2 + rng.next_below(15));
+    p.reciprocity = rng.next_double();
+    p.seed = rng.next_u64();
+    edges = rmat_edges(p);
+  } else if (family == 1) {
+    WebParams p;
+    p.num_vertices = n;
+    p.avg_out_degree = static_cast<unsigned>(2 + rng.next_below(20));
+    p.max_out_degree = p.avg_out_degree * 3;
+    p.hub_fraction = 0.001 + 0.01 * rng.next_double();
+    p.hub_edge_share = rng.next_double();
+    p.seed = rng.next_u64();
+    edges = web_edges(p);
+  } else {
+    edges = erdos_renyi_edges(n, n * (1 + rng.next_below(12)), rng.next_u64());
+  }
+  BuildOptions opt;
+  opt.remove_self_loops = rng.next_below(2) == 0;
+  opt.dedup = rng.next_below(2) == 0;
+  opt.remove_zero_degree = rng.next_below(2) == 0;
+  opt.sort_neighbors = true;
+  return build_graph(n, edges, opt);
+}
+
+class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzTest, GraphInvariants) {
+  const Graph g = random_graph(GetParam());
+  EXPECT_TRUE(g.valid());
+  eid_t in_sum = 0, out_sum = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    in_sum += g.in_degree(v);
+    out_sum += g.out_degree(v);
+  }
+  EXPECT_EQ(in_sum, g.num_edges());
+  EXPECT_EQ(out_sum, g.num_edges());
+}
+
+TEST_P(FuzzTest, IhtlPartitioningAndEquivalence) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = random_graph(seed);
+  Rng rng(seed * 31 + 7);
+  IhtlConfig cfg;
+  cfg.buffer_bytes = (vid_t{4} << rng.next_below(7)) * sizeof(value_t);
+  cfg.admission_ratio = 0.1 + 0.8 * rng.next_double();
+  cfg.min_hub_in_degree = 1 + rng.next_below(4);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+  ASSERT_TRUE(ig.valid(g)) << "seed " << seed;
+
+  ThreadPool pool(1 + rng.next_below(4));
+  const auto x = random_values(g.num_vertices(), seed);
+  std::vector<value_t> expected(g.num_vertices()), y(g.num_vertices());
+  spmv_pull_serial(g, x, expected);
+  ihtl_spmv_once(pool, ig, x, y);
+  expect_values_near(expected, y, 1e-9);
+}
+
+TEST_P(FuzzTest, ReorderingsStayPermutations) {
+  const Graph g = random_graph(GetParam());
+  EXPECT_TRUE(is_permutation(slashburn_order(g)));
+  EXPECT_TRUE(is_permutation(rabbit_order(g)));
+  EXPECT_TRUE(is_permutation(degree_order(g)));
+}
+
+TEST_P(FuzzTest, PushPullAgreeOnRandomGraph) {
+  const std::uint64_t seed = GetParam();
+  const Graph g = random_graph(seed);
+  ThreadPool pool(2);
+  const auto x = random_values(g.num_vertices(), seed + 1);
+  std::vector<value_t> expected(g.num_vertices()), y(g.num_vertices());
+  spmv_pull_serial(g, x, expected);
+  spmv_push_buffered(pool, g, x, y);
+  expect_values_near(expected, y, 1e-9);
+  spmv_push_atomic(pool, g, x, y);
+  expect_values_near(expected, y, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace ihtl

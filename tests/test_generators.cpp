@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "gen/datasets.h"
+#include "gen/generators.h"
+#include "gen/rng.h"
+#include "graph/stats.h"
+
+namespace ihtl {
+namespace {
+
+// ---------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);  // roughly uniform
+}
+
+// --------------------------------------------------------------------- rmat
+
+TEST(Rmat, EdgeCountMatchesParams) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  p.reciprocity = 0.0;
+  const auto edges = rmat_edges(p);
+  EXPECT_EQ(edges.size(), (1u << 10) * 8u);
+}
+
+TEST(Rmat, ReciprocityAddsReverseEdges) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  p.reciprocity = 1.0;
+  const auto edges = rmat_edges(p);
+  EXPECT_EQ(edges.size(), 2u * (1u << 10) * 8u);
+}
+
+TEST(Rmat, DeterministicPerSeed) {
+  RmatParams p;
+  p.scale = 9;
+  p.seed = 5;
+  const auto a = rmat_edges(p);
+  const auto b = rmat_edges(p);
+  EXPECT_EQ(a, b);
+  p.seed = 6;
+  EXPECT_NE(rmat_edges(p), a);
+}
+
+TEST(Rmat, VertexIdsInRange) {
+  RmatParams p;
+  p.scale = 9;
+  for (const Edge& e : rmat_edges(p)) {
+    ASSERT_LT(e.src, 1u << 9);
+    ASSERT_LT(e.dst, 1u << 9);
+  }
+}
+
+TEST(Rmat, ProducesSkewedInDegrees) {
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 16;
+  const Graph g = build_eval_graph(1u << 12, rmat_edges(p));
+  const GraphStats s = compute_stats(g);
+  EXPECT_GT(static_cast<double>(s.max_in_degree), 10.0 * s.avg_degree);
+}
+
+TEST(Rmat, HubsNotConcentratedAtLowIds) {
+  // The ID scrambler must scatter hubs across the ID space.
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 16;
+  const Graph g = build_eval_graph(1u << 12, rmat_edges(p));
+  vid_t top = 0;
+  for (vid_t v = 1; v < g.num_vertices(); ++v) {
+    if (g.in_degree(v) > g.in_degree(top)) top = v;
+  }
+  // Probability the max-degree vertex lands in the lowest 1% by chance is
+  // ~1%; the unscrambled RMAT would put it at ID 0 deterministically.
+  EXPECT_GT(top, g.num_vertices() / 100);
+}
+
+// ---------------------------------------------------------------------- web
+
+TEST(Web, OutDegreeBounded) {
+  WebParams p;
+  p.num_vertices = 1u << 12;
+  p.max_out_degree = 32;
+  const Graph g = build_eval_graph(p.num_vertices, web_edges(p));
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_LE(g.out_degree(v), 32u);
+  }
+}
+
+TEST(Web, HasExtremeInHubsButNoOutHubs) {
+  WebParams p;
+  p.num_vertices = 1u << 13;
+  p.hub_fraction = 0.002;
+  p.hub_edge_share = 0.6;
+  const Graph g = build_eval_graph(p.num_vertices, web_edges(p));
+  const GraphStats s = compute_stats(g);
+  // Table 1's SK shape: max in-degree orders of magnitude over max out.
+  EXPECT_GT(s.max_in_degree, 20u * s.max_out_degree);
+}
+
+TEST(Web, Deterministic) {
+  WebParams p;
+  p.num_vertices = 1u << 10;
+  EXPECT_EQ(web_edges(p), web_edges(p));
+}
+
+// -------------------------------------------------------------- erdos-renyi
+
+TEST(ErdosRenyi, NoSkew) {
+  const Graph g = build_eval_graph(1u << 12, erdos_renyi_edges(1u << 12, 1u << 16, 3));
+  const GraphStats s = compute_stats(g);
+  // Uniform random graph: max degree stays within a small factor of mean.
+  EXPECT_LT(static_cast<double>(s.max_in_degree), 5.0 * s.avg_degree);
+}
+
+// ----------------------------------------------------------------- datasets
+
+TEST(Datasets, RegistryHasAllTenPaperDatasets) {
+  const auto& specs = all_datasets();
+  ASSERT_EQ(specs.size(), 10u);
+  EXPECT_EQ(specs[0].name, "LvJrnl");
+  EXPECT_EQ(specs[4].name, "SK");
+  EXPECT_EQ(specs[9].name, "ClWb9");
+  int social = 0, web = 0;
+  for (const auto& s : specs) {
+    (s.kind == DatasetKind::social ? social : web)++;
+  }
+  EXPECT_EQ(social, 4);  // Table 1: first 4 are social networks
+  EXPECT_EQ(web, 6);
+}
+
+TEST(Datasets, LookupByNameThrowsOnUnknown) {
+  EXPECT_EQ(dataset_spec("SK").kind, DatasetKind::web);
+  EXPECT_THROW(dataset_spec("nope"), std::out_of_range);
+}
+
+TEST(Datasets, TinyScaleIsSmallAndClean) {
+  const Graph g = make_dataset("LvJrnl", DatasetScale::tiny);
+  EXPECT_GT(g.num_vertices(), 100u);
+  EXPECT_LT(g.num_vertices(), 2048u);
+  EXPECT_TRUE(g.valid());
+  // Evaluation preprocessing: no zero-degree vertices.
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_GT(g.in_degree(v) + g.out_degree(v), 0u);
+  }
+}
+
+TEST(Datasets, DeterministicAcrossCalls) {
+  const Graph a = make_dataset("Twtr10", DatasetScale::tiny);
+  const Graph b = make_dataset("Twtr10", DatasetScale::tiny);
+  EXPECT_EQ(to_edge_list(a), to_edge_list(b));
+}
+
+TEST(Datasets, SkewOrderingRespected) {
+  // SK (skew 0.95) must concentrate in-edges far more than Frndstr (0.15).
+  const GraphStats sk = compute_stats(make_dataset("SK", DatasetScale::small));
+  const GraphStats fr =
+      compute_stats(make_dataset("Frndstr", DatasetScale::small));
+  EXPECT_GT(sk.top1pct_in_edge_share, fr.top1pct_in_edge_share);
+}
+
+class AllDatasetsTest : public ::testing::TestWithParam<DatasetSpec> {};
+
+TEST_P(AllDatasetsTest, BuildsValidSkewedGraph) {
+  const Graph g = make_dataset(GetParam(), DatasetScale::tiny);
+  EXPECT_TRUE(g.valid());
+  const GraphStats s = compute_stats(g);
+  EXPECT_GT(s.num_edges, s.num_vertices);  // dense enough to be interesting
+  // Every dataset must have in-hubs (iHTL's precondition).
+  EXPECT_GT(static_cast<double>(s.max_in_degree), 4.0 * s.avg_degree);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, AllDatasetsTest, ::testing::ValuesIn(all_datasets()),
+    [](const ::testing::TestParamInfo<DatasetSpec>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace ihtl

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph.h"
+#include "graph/permute.h"
+#include "graph/stats.h"
+#include "test_util.h"
+
+namespace ihtl {
+namespace {
+
+using testing::figure2_graph;
+using testing::small_rmat;
+using testing::small_web;
+
+// -------------------------------------------------------------------- build
+
+TEST(BuildGraph, Figure2HasExpectedShape) {
+  const Graph g = figure2_graph();
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.num_edges(), 14u);
+  // Paper: vertices 3 and 7 (our 2 and 6) are the in-hubs.
+  EXPECT_EQ(g.in_degree(2), 5u);
+  EXPECT_EQ(g.in_degree(6), 3u);
+  EXPECT_EQ(g.out_degree(5), 4u);
+}
+
+TEST(BuildGraph, CsrAndCscAgree) {
+  const Graph g = figure2_graph();
+  EXPECT_TRUE(g.valid());
+  // Every out-edge appears as an in-edge.
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    for (const vid_t t : g.out().neighbors(v)) {
+      const auto in_nbrs = g.in().neighbors(t);
+      EXPECT_NE(std::find(in_nbrs.begin(), in_nbrs.end(), v), in_nbrs.end());
+    }
+  }
+}
+
+TEST(BuildGraph, EmptyGraph) {
+  const Graph g = build_graph(0, {});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.valid());
+}
+
+TEST(BuildGraph, VerticesWithoutEdges) {
+  const std::vector<Edge> edges = {{0, 1}};
+  const Graph g = build_graph(5, edges);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.out_degree(4), 0u);
+}
+
+TEST(BuildGraph, RemoveSelfLoops) {
+  const std::vector<Edge> edges = {{0, 0}, {0, 1}, {1, 1}, {1, 0}};
+  const Graph g = build_graph(2, edges, {.remove_self_loops = true});
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(BuildGraph, DedupRemovesParallelEdges) {
+  const std::vector<Edge> edges = {{0, 1}, {0, 1}, {0, 1}, {1, 0}};
+  const Graph g = build_graph(2, edges, {.dedup = true});
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(BuildGraph, RemoveZeroDegreeCompacts) {
+  // Vertices 1 and 3 are isolated.
+  const std::vector<Edge> edges = {{0, 2}, {2, 4}};
+  const Graph g = build_graph(5, edges, {.remove_zero_degree = true});
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  // Relative order preserved: 0->0, 2->1, 4->2.
+  EXPECT_TRUE(g.out().contains(0, 1) || g.out().degree(0) == 1);
+  EXPECT_EQ(g.out().neighbors(0)[0], 1u);
+  EXPECT_EQ(g.out().neighbors(1)[0], 2u);
+}
+
+TEST(BuildGraph, SortNeighborsEnablesContains) {
+  const Graph g = figure2_graph(true);
+  EXPECT_TRUE(g.has_edge(5, 2));
+  EXPECT_FALSE(g.has_edge(2, 2));
+  EXPECT_TRUE(g.has_edge(6, 4));
+  EXPECT_FALSE(g.has_edge(0, 7));
+}
+
+// ---------------------------------------------------------------- transpose
+
+TEST(Transpose, RoundTripsToOriginal) {
+  const Graph g = small_rmat(8, 4);
+  Adjacency t = transpose(g.out());
+  Adjacency tt = transpose(t);
+  // transpose(transpose(CSR)) has the same edge multiset; compare sorted.
+  Adjacency orig = g.out();
+  orig.sort_all_neighbor_lists();
+  tt.sort_all_neighbor_lists();
+  EXPECT_EQ(orig.offsets, tt.offsets);
+  EXPECT_EQ(orig.targets, tt.targets);
+}
+
+TEST(Transpose, DegreesSwap) {
+  const Graph g = figure2_graph();
+  const Adjacency t = transpose(g.out());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(t.degree(v), g.in_degree(v));
+  }
+}
+
+// ---------------------------------------------------------------- adjacency
+
+TEST(Adjacency, ValidDetectsBadOffsets) {
+  Adjacency adj;
+  adj.offsets = {0, 2, 1};  // non-monotone
+  adj.targets = {0, 1};
+  EXPECT_FALSE(adj.valid());
+}
+
+TEST(Adjacency, ValidDetectsOutOfRangeTarget) {
+  Adjacency adj;
+  adj.offsets = {0, 1, 2};
+  adj.targets = {0, 5};  // vertex 5 doesn't exist
+  EXPECT_FALSE(adj.valid());
+}
+
+TEST(Adjacency, TopologyBytesMatchesLayout) {
+  const Graph g = figure2_graph();
+  // 9 offsets * 8B + 14 targets * 4B.
+  EXPECT_EQ(g.out().topology_bytes(), 9 * 8 + 14 * 4u);
+}
+
+// -------------------------------------------------------------------- stats
+
+TEST(Stats, Figure2Stats) {
+  const GraphStats s = compute_stats(figure2_graph());
+  EXPECT_EQ(s.num_vertices, 8u);
+  EXPECT_EQ(s.num_edges, 14u);
+  EXPECT_EQ(s.max_in_degree, 5u);
+  EXPECT_EQ(s.max_out_degree, 4u);
+}
+
+TEST(Stats, RmatIsSkewed) {
+  const GraphStats s = compute_stats(small_rmat(12, 8));
+  // Top 1% of vertices should hold far more than 1% of edges.
+  EXPECT_GT(s.top1pct_in_edge_share, 0.05);
+  EXPECT_GT(s.max_in_degree, 8 * 4u);  // well above average degree
+}
+
+TEST(Stats, AsymmetricityOfReciprocalPairIsZero) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 0}};
+  const Graph g = build_graph(2, edges, {.sort_neighbors = true});
+  EXPECT_DOUBLE_EQ(asymmetricity(g, 0), 0.0);
+  EXPECT_DOUBLE_EQ(asymmetricity(g, 1), 0.0);
+}
+
+TEST(Stats, AsymmetricityOfOneWayEdgeIsOne) {
+  const std::vector<Edge> edges = {{0, 1}};
+  const Graph g = build_graph(2, edges, {.sort_neighbors = true});
+  EXPECT_DOUBLE_EQ(asymmetricity(g, 1), 1.0);
+  EXPECT_DOUBLE_EQ(asymmetricity(g, 0), 0.0);  // no in-edges -> 0
+}
+
+TEST(Stats, AsymmetricityMixed) {
+  // v2 has in-neighbours {0,1}; reciprocates only to 0.
+  const std::vector<Edge> edges = {{0, 2}, {1, 2}, {2, 0}};
+  const Graph g = build_graph(3, edges, {.sort_neighbors = true});
+  EXPECT_DOUBLE_EQ(asymmetricity(g, 2), 0.5);
+}
+
+TEST(Stats, WebHubsAreAsymmetricSocialHubsAreNot) {
+  // Figure 9's contrast, as a property of our generators.
+  const Graph web = small_web(1u << 11);
+  const Graph social = small_rmat(11, 8);
+  const double web_hub_asym =
+      mean_asymmetricity_in_degree_range(web, 128, ~eid_t{0});
+  const double social_hub_asym =
+      mean_asymmetricity_in_degree_range(social, 128, ~eid_t{0});
+  EXPECT_GT(web_hub_asym, 0.85);
+  EXPECT_LT(social_hub_asym, 0.6);
+}
+
+TEST(Stats, BucketsPartitionNonZeroDegreeVertices) {
+  const Graph g = small_rmat(10, 6);
+  const auto buckets = bucket_by_in_degree(g);
+  vid_t total = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    for (const vid_t v : buckets[b]) {
+      const eid_t d = g.in_degree(v);
+      EXPECT_GE(d, eid_t{1} << b);
+      EXPECT_LT(d, eid_t{2} << b);
+      ++total;
+    }
+  }
+  vid_t expected = 0;
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    if (g.in_degree(v) > 0) ++expected;
+  }
+  EXPECT_EQ(total, expected);
+}
+
+TEST(Stats, VerticesNeededForEdgeShare) {
+  // Star graph: one vertex receives all 10 edges.
+  std::vector<Edge> edges;
+  for (vid_t v = 1; v <= 10; ++v) edges.push_back({v, 0});
+  const Graph g = build_graph(11, edges);
+  EXPECT_EQ(vertices_needed_for_edge_share(g, 0.8, false), 1u);
+  // By out-degree every source holds one edge: need 8 of them.
+  EXPECT_EQ(vertices_needed_for_edge_share(g, 0.8, true), 8u);
+}
+
+// ------------------------------------------------------------- permutations
+
+TEST(Permute, IdentityKeepsGraph) {
+  const Graph g = figure2_graph();
+  const Graph p = apply_permutation(g, identity_permutation(8), true);
+  EXPECT_EQ(to_edge_list(g), to_edge_list(p));
+}
+
+TEST(Permute, IsPermutationDetectsDuplicates) {
+  EXPECT_TRUE(is_permutation(std::vector<vid_t>{2, 0, 1}));
+  EXPECT_FALSE(is_permutation(std::vector<vid_t>{0, 0, 1}));
+  EXPECT_FALSE(is_permutation(std::vector<vid_t>{0, 3, 1}));
+}
+
+TEST(Permute, InvertRoundTrips) {
+  const std::vector<vid_t> perm = {3, 1, 0, 2};
+  const auto inv = invert_permutation(perm);
+  EXPECT_EQ(compose_permutations(perm, inv),
+            identity_permutation(4));
+  EXPECT_EQ(compose_permutations(inv, perm),
+            identity_permutation(4));
+}
+
+TEST(Permute, ApplyPreservesDegrees) {
+  const Graph g = small_rmat(9, 4);
+  const std::vector<vid_t> perm = invert_permutation(
+      identity_permutation(g.num_vertices()));  // identity; then a rotation:
+  std::vector<vid_t> rot(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    rot[v] = (v + 17) % g.num_vertices();
+  }
+  const Graph p = apply_permutation(g, rot);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.in_degree(v), p.in_degree(rot[v]));
+    EXPECT_EQ(g.out_degree(v), p.out_degree(rot[v]));
+  }
+}
+
+TEST(Permute, ValuesRoundTrip) {
+  const std::vector<vid_t> perm = {2, 0, 3, 1};
+  const std::vector<double> vals = {10, 20, 30, 40};
+  const auto permuted = permute_values<double>(vals, perm);
+  EXPECT_EQ(permuted, (std::vector<double>{20, 40, 10, 30}));
+  EXPECT_EQ(unpermute_values<double>(permuted, perm), vals);
+}
+
+TEST(ToEdgeList, RoundTripsThroughBuild) {
+  const Graph g = small_rmat(8, 4);
+  const auto edges = to_edge_list(g);
+  const Graph g2 = build_graph(g.num_vertices(), edges);
+  EXPECT_EQ(to_edge_list(g2), edges);
+}
+
+}  // namespace
+}  // namespace ihtl

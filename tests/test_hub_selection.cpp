@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/hub_selection.h"
+#include "test_util.h"
+
+namespace ihtl {
+namespace {
+
+using testing::figure2_graph;
+using testing::small_rmat;
+using testing::small_web;
+
+IhtlConfig tiny_cfg(vid_t hubs_per_block) {
+  IhtlConfig cfg;
+  cfg.buffer_bytes = hubs_per_block * sizeof(value_t);
+  cfg.min_hub_in_degree = 2;
+  return cfg;
+}
+
+TEST(HubSelection, Figure2PicksThePaperHubs) {
+  const Graph g = figure2_graph();
+  const HubSelection sel = select_hubs(g, tiny_cfg(2));
+  ASSERT_GE(sel.hubs.size(), 2u);
+  // Paper: vertices 3 and 7 (our 2 and 6) are the in-hubs; they have the
+  // two highest in-degrees (5 and 3) so they fill the first flipped block.
+  EXPECT_EQ(sel.hubs[0], 2u);
+  EXPECT_EQ(sel.hubs[1], 6u);
+}
+
+TEST(HubSelection, HubsSortedByDescendingInDegree) {
+  const Graph g = small_rmat(10, 8);
+  const HubSelection sel = select_hubs(g, tiny_cfg(16));
+  for (std::size_t i = 1; i < sel.hubs.size(); ++i) {
+    EXPECT_GE(g.in_degree(sel.hubs[i - 1]), g.in_degree(sel.hubs[i]));
+  }
+}
+
+TEST(HubSelection, HubsAreDistinct) {
+  const Graph g = small_rmat(10, 8);
+  const HubSelection sel = select_hubs(g, tiny_cfg(32));
+  std::set<vid_t> unique(sel.hubs.begin(), sel.hubs.end());
+  EXPECT_EQ(unique.size(), sel.hubs.size());
+}
+
+TEST(HubSelection, MinHubDegreeIsAccurate) {
+  const Graph g = small_rmat(10, 8);
+  const HubSelection sel = select_hubs(g, tiny_cfg(16));
+  ASSERT_FALSE(sel.hubs.empty());
+  eid_t min_deg = ~eid_t{0};
+  for (const vid_t h : sel.hubs) min_deg = std::min(min_deg, g.in_degree(h));
+  EXPECT_EQ(sel.min_hub_degree, min_deg);
+  EXPECT_GE(sel.min_hub_degree, 2u);
+}
+
+TEST(HubSelection, AdmissionRuleBoundsBlockSources) {
+  // Every admitted block past the first must have > ratio * block1 sources.
+  const Graph g = small_rmat(11, 16);
+  IhtlConfig cfg = tiny_cfg(8);  // tiny blocks force many of them
+  const HubSelection sel = select_hubs(g, cfg);
+  ASSERT_GE(sel.num_blocks, 2u) << "test needs multiple blocks";
+  ASSERT_EQ(sel.block_sources.size(), sel.num_blocks);
+  for (std::size_t b = 1; b < sel.num_blocks; ++b) {
+    EXPECT_GT(static_cast<double>(sel.block_sources[b]),
+              cfg.admission_ratio * sel.block1_sources)
+        << "block " << b;
+  }
+}
+
+TEST(HubSelection, StricterRatioNeverAddsBlocks) {
+  const Graph g = small_rmat(11, 16);
+  IhtlConfig loose = tiny_cfg(8);
+  loose.admission_ratio = 0.25;
+  IhtlConfig strict = tiny_cfg(8);
+  strict.admission_ratio = 0.75;
+  EXPECT_GE(select_hubs(g, loose).num_blocks,
+            select_hubs(g, strict).num_blocks);
+}
+
+TEST(HubSelection, MaxBlocksCapRespected) {
+  const Graph g = small_rmat(11, 16);
+  IhtlConfig cfg = tiny_cfg(4);
+  cfg.max_blocks = 3;
+  const HubSelection sel = select_hubs(g, cfg);
+  EXPECT_LE(sel.num_blocks, 3u);
+  EXPECT_LE(sel.hubs.size(), 3u * 4u);
+}
+
+TEST(HubSelection, EmptyGraph) {
+  const Graph g = build_graph(0, {});
+  const HubSelection sel = select_hubs(g, tiny_cfg(4));
+  EXPECT_EQ(sel.num_blocks, 0u);
+  EXPECT_TRUE(sel.hubs.empty());
+}
+
+TEST(HubSelection, GraphWithNoQualifyingHubs) {
+  // A chain: every in-degree is 1, below min_hub_in_degree = 2.
+  std::vector<Edge> edges;
+  for (vid_t v = 0; v + 1 < 10; ++v) edges.push_back({v, v + 1});
+  const Graph g = build_graph(10, edges);
+  const HubSelection sel = select_hubs(g, tiny_cfg(4));
+  EXPECT_EQ(sel.num_blocks, 0u);
+  EXPECT_TRUE(sel.hubs.empty());
+}
+
+TEST(HubSelection, WebGraphConcentratesEdgesInFewHubs) {
+  // Section 5.4's SK observation: a tiny hub fraction captures most edges.
+  const Graph g = small_web(1u << 12);
+  const HubSelection sel = select_hubs(g, tiny_cfg(64));
+  ASSERT_GT(sel.hubs.size(), 0u);
+  eid_t hub_edges = 0;
+  for (const vid_t h : sel.hubs) hub_edges += g.in_degree(h);
+  EXPECT_LT(sel.hubs.size(), g.num_vertices() / 20);
+  EXPECT_GT(static_cast<double>(hub_edges), 0.3 * g.num_edges());
+}
+
+TEST(HubSelection, BiggerBufferMeansFewerBlocks) {
+  const Graph g = small_rmat(11, 16);
+  const HubSelection small_buf = select_hubs(g, tiny_cfg(8));
+  const HubSelection big_buf = select_hubs(g, tiny_cfg(64));
+  EXPECT_GE(small_buf.num_blocks, big_buf.num_blocks);
+}
+
+TEST(HubSelection, DeterministicAcrossRuns) {
+  const Graph g = small_rmat(10, 8);
+  const HubSelection a = select_hubs(g, tiny_cfg(16));
+  const HubSelection b = select_hubs(g, tiny_cfg(16));
+  EXPECT_EQ(a.hubs, b.hubs);
+  EXPECT_EQ(a.num_blocks, b.num_blocks);
+}
+
+}  // namespace
+}  // namespace ihtl

@@ -1,0 +1,164 @@
+// Tests for the Section 6 extensions: single-pass block counting and
+// secondary (Rabbit-Order) sparse-block ordering.
+#include <gtest/gtest.h>
+
+#include "baselines/spmv.h"
+#include "core/ihtl_ext.h"
+#include "core/ihtl_spmv.h"
+#include "gen/datasets.h"
+#include "graph/permute.h"
+#include "reorder/reorder.h"
+#include "test_util.h"
+
+namespace ihtl {
+namespace {
+
+using testing::expect_values_near;
+using testing::random_values;
+using testing::small_rmat;
+using testing::small_web;
+
+IhtlConfig cfg_with_hubs(vid_t hubs_per_block) {
+  IhtlConfig cfg;
+  cfg.buffer_bytes = hubs_per_block * sizeof(value_t);
+  return cfg;
+}
+
+// ------------------------------------------------------- select_hubs_fast
+
+TEST(SelectHubsFast, SameHubOrderingAsExact) {
+  const Graph g = small_rmat(10, 8);
+  const IhtlConfig cfg = cfg_with_hubs(16);
+  const HubSelection exact = select_hubs(g, cfg);
+  const HubSelection fast = select_hubs_fast(g, cfg);
+  // Candidate ranking is identical; only the admitted count may differ
+  // (the fast variant undercounts sources of later blocks).
+  const std::size_t common = std::min(exact.hubs.size(), fast.hubs.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    EXPECT_EQ(exact.hubs[i], fast.hubs[i]) << i;
+  }
+  EXPECT_LE(fast.num_blocks, exact.num_blocks);
+  EXPECT_GT(fast.num_blocks, 0u);
+}
+
+TEST(SelectHubsFast, Block1CountsMatchExactly) {
+  // Block 1's source count is computed the same way in both variants.
+  const Graph g = small_rmat(10, 8);
+  const IhtlConfig cfg = cfg_with_hubs(32);
+  EXPECT_EQ(select_hubs(g, cfg).block1_sources,
+            select_hubs_fast(g, cfg).block1_sources);
+}
+
+TEST(SelectHubsFast, GraphBuiltFromFastSelectionIsValidAndCorrect) {
+  const Graph g = small_rmat(10, 8);
+  ThreadPool pool(2);
+  const IhtlConfig cfg = cfg_with_hubs(16);
+  const IhtlGraph ig = build_ihtl_graph(g, select_hubs_fast(g, cfg), cfg);
+  ASSERT_TRUE(ig.valid(g));
+  const auto x = random_values(g.num_vertices(), 3);
+  std::vector<value_t> expected(g.num_vertices()), y(g.num_vertices());
+  spmv_pull_serial(g, x, expected);
+  ihtl_spmv_once(pool, ig, x, y);
+  expect_values_near(expected, y, 1e-9);
+}
+
+TEST(SelectHubsFast, EmptyAndHublessGraphs) {
+  EXPECT_EQ(select_hubs_fast(build_graph(0, {}), cfg_with_hubs(4)).num_blocks,
+            0u);
+  std::vector<Edge> chain;
+  for (vid_t v = 0; v + 1 < 8; ++v) chain.push_back({v, v + 1});
+  EXPECT_EQ(
+      select_hubs_fast(build_graph(8, chain), cfg_with_hubs(4)).num_blocks,
+      0u);
+}
+
+TEST(SelectHubsFast, RespectsMaxBlocks) {
+  const Graph g = small_rmat(11, 16);
+  IhtlConfig cfg = cfg_with_hubs(8);
+  cfg.max_blocks = 2;
+  EXPECT_LE(select_hubs_fast(g, cfg).num_blocks, 2u);
+}
+
+class FastSelectionDatasets : public ::testing::TestWithParam<DatasetSpec> {};
+
+TEST_P(FastSelectionDatasets, ValidAcrossRegistry) {
+  const Graph g = make_dataset(GetParam(), DatasetScale::tiny);
+  const IhtlConfig cfg = cfg_with_hubs(32);
+  const HubSelection sel = select_hubs_fast(g, cfg);
+  const IhtlGraph ig = build_ihtl_graph(g, sel, cfg);
+  EXPECT_TRUE(ig.valid(g)) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, FastSelectionDatasets, ::testing::ValuesIn(all_datasets()),
+    [](const ::testing::TestParamInfo<DatasetSpec>& info) {
+      return info.param.name;
+    });
+
+// --------------------------------------------------- secondary ordering
+
+TEST(OrderedBuild, RabbitOrderedSparseBlockStillCorrect) {
+  const Graph g = small_rmat(10, 8);
+  ThreadPool pool(3);
+  const IhtlConfig cfg = cfg_with_hubs(16);
+  const auto priority = rabbit_order(g);
+  const IhtlGraph ig =
+      build_ihtl_graph_ordered(g, select_hubs(g, cfg), cfg, priority);
+  ASSERT_TRUE(ig.valid(g));
+  const auto x = random_values(g.num_vertices(), 5);
+  std::vector<value_t> expected(g.num_vertices()), y(g.num_vertices());
+  spmv_pull_serial(g, x, expected);
+  ihtl_spmv_once(pool, ig, x, y);
+  expect_values_near(expected, y, 1e-9);
+}
+
+TEST(OrderedBuild, ClassBoundariesUnchangedByPriority) {
+  // The secondary order permutes WITHIN classes only: hub/VWEH/FV counts
+  // and the hub order itself must be identical to the default build.
+  const Graph g = small_web(1u << 10);
+  const IhtlConfig cfg = cfg_with_hubs(16);
+  const HubSelection sel = select_hubs(g, cfg);
+  const IhtlGraph plain = build_ihtl_graph(g, sel, cfg);
+  const IhtlGraph ordered = build_ihtl_graph_ordered(
+      g, sel, cfg, random_order(g.num_vertices(), 99));
+  EXPECT_EQ(plain.num_hubs(), ordered.num_hubs());
+  EXPECT_EQ(plain.num_vweh(), ordered.num_vweh());
+  EXPECT_EQ(plain.num_fv(), ordered.num_fv());
+  for (vid_t h = 0; h < plain.num_hubs(); ++h) {
+    EXPECT_EQ(plain.new_to_old()[h], ordered.new_to_old()[h]);
+  }
+}
+
+TEST(OrderedBuild, PriorityActuallyReordersWithinClass) {
+  const Graph g = small_rmat(9, 8);
+  const IhtlConfig cfg = cfg_with_hubs(8);
+  const HubSelection sel = select_hubs(g, cfg);
+  const IhtlGraph plain = build_ihtl_graph(g, sel, cfg);
+  // Reverse priority: within VWEH, the default ascending-ID order must
+  // become descending.
+  std::vector<vid_t> reverse_priority(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    reverse_priority[v] = g.num_vertices() - 1 - v;
+  }
+  const IhtlGraph ordered =
+      build_ihtl_graph_ordered(g, sel, cfg, reverse_priority);
+  ASSERT_GT(plain.num_vweh(), 1u);
+  const vid_t first = plain.num_hubs();
+  const vid_t last = plain.num_push_sources() - 1;
+  EXPECT_EQ(plain.new_to_old()[first], ordered.new_to_old()[last]);
+  EXPECT_EQ(plain.new_to_old()[last], ordered.new_to_old()[first]);
+  EXPECT_TRUE(ordered.valid(g));
+}
+
+TEST(OrderedBuild, IdentityPriorityReproducesDefaultBuild) {
+  const Graph g = small_rmat(9, 8);
+  const IhtlConfig cfg = cfg_with_hubs(8);
+  const HubSelection sel = select_hubs(g, cfg);
+  const IhtlGraph plain = build_ihtl_graph(g, sel, cfg);
+  const IhtlGraph ordered = build_ihtl_graph_ordered(
+      g, sel, cfg, identity_permutation(g.num_vertices()));
+  EXPECT_EQ(plain.old_to_new(), ordered.old_to_new());
+}
+
+}  // namespace
+}  // namespace ihtl

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "core/ihtl_graph.h"
+#include "gen/datasets.h"
+#include "graph/permute.h"
+#include "test_util.h"
+
+namespace ihtl {
+namespace {
+
+using testing::figure2_graph;
+using testing::small_rmat;
+using testing::small_web;
+
+IhtlConfig cfg_with_hubs(vid_t hubs_per_block) {
+  IhtlConfig cfg;
+  cfg.buffer_bytes = hubs_per_block * sizeof(value_t);
+  return cfg;
+}
+
+TEST(IhtlGraph, Figure2Construction) {
+  const Graph g = figure2_graph();
+  IhtlConfig cfg = cfg_with_hubs(2);
+  cfg.min_hub_in_degree = 3;
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+
+  // Hubs are the paper's vertices 3 and 7 (our 2 and 6), relabeled to 0, 1.
+  ASSERT_EQ(ig.num_hubs(), 2u);
+  EXPECT_EQ(ig.new_to_old()[0], 2u);
+  EXPECT_EQ(ig.new_to_old()[1], 6u);
+  // VWEH: sources with edges to hubs = {0,1,3,4,5,7} minus hubs = 6 vertices
+  // (paper Figure 4 relabeling: VWEH = {2,5,6,8} 1-based = {1,4,5,7}, plus
+  // our 0-based extra sources: every in-neighbour of 2 or 6).
+  EXPECT_EQ(ig.num_vweh(), 6u);
+  EXPECT_EQ(ig.num_fv(), 0u);
+  EXPECT_TRUE(ig.valid(g));
+}
+
+TEST(IhtlGraph, Figure2EdgeSplit) {
+  const Graph g = figure2_graph();
+  IhtlConfig cfg = cfg_with_hubs(2);
+  cfg.min_hub_in_degree = 3;
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+  // In-degree(2) = 5 and in-degree(6) = 3: 8 edges in flipped blocks.
+  EXPECT_EQ(ig.flipped_edges(), 8u);
+  EXPECT_EQ(ig.sparse_edges(), 6u);
+}
+
+TEST(IhtlGraph, RelabelingIsPermutationWithClassOrder) {
+  const Graph g = small_rmat(10, 8);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  EXPECT_TRUE(is_permutation(ig.old_to_new()));
+
+  // VWEH and FV preserve original relative order (Section 3.2).
+  vid_t prev_vweh = 0;
+  bool first_vweh = true;
+  for (vid_t nv = ig.num_hubs(); nv < ig.num_push_sources(); ++nv) {
+    const vid_t old_id = ig.new_to_old()[nv];
+    if (!first_vweh) EXPECT_GT(old_id, prev_vweh);
+    prev_vweh = old_id;
+    first_vweh = false;
+  }
+  vid_t prev_fv = 0;
+  bool first_fv = true;
+  for (vid_t nv = ig.num_push_sources(); nv < ig.num_vertices(); ++nv) {
+    const vid_t old_id = ig.new_to_old()[nv];
+    if (!first_fv) EXPECT_GT(old_id, prev_fv);
+    prev_fv = old_id;
+    first_fv = false;
+  }
+}
+
+TEST(IhtlGraph, BlocksTileTheHubRange) {
+  const Graph g = small_rmat(11, 16);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(8));
+  ASSERT_GT(ig.blocks().size(), 1u) << "want multiple blocks for this test";
+  vid_t expected_begin = 0;
+  for (const FlippedBlock& b : ig.blocks()) {
+    EXPECT_EQ(b.hub_begin, expected_begin);
+    EXPECT_GT(b.hub_end, b.hub_begin);
+    expected_begin = b.hub_end;
+  }
+  EXPECT_EQ(expected_begin, ig.num_hubs());
+}
+
+TEST(IhtlGraph, BlockTargetsAreBlockRelative) {
+  const Graph g = small_rmat(10, 8);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(8));
+  for (const FlippedBlock& b : ig.blocks()) {
+    for (const vid_t rel : b.csr.targets) {
+      ASSERT_LT(rel, b.num_hubs());
+    }
+  }
+}
+
+TEST(IhtlGraph, EveryEdgeExactlyOnce) {
+  // The paper's key invariant: "every edge is traversed exactly once".
+  for (const unsigned scale : {6u, 8u, 10u}) {
+    const Graph g = small_rmat(scale, 8, scale);
+    const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(8));
+    EXPECT_TRUE(ig.valid(g)) << "scale " << scale;
+    EXPECT_EQ(ig.flipped_edges() + ig.sparse_edges(), g.num_edges());
+  }
+}
+
+TEST(IhtlGraph, FringeVerticesHaveNoEdgesToHubs) {
+  const Graph g = small_web(1u << 11);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  ASSERT_GT(ig.num_fv(), 0u);
+  std::vector<char> is_hub_old(g.num_vertices(), 0);
+  for (vid_t h = 0; h < ig.num_hubs(); ++h) is_hub_old[ig.new_to_old()[h]] = 1;
+  for (vid_t nv = ig.num_push_sources(); nv < ig.num_vertices(); ++nv) {
+    const vid_t old_v = ig.new_to_old()[nv];
+    for (const vid_t t : g.out().neighbors(old_v)) {
+      ASSERT_FALSE(is_hub_old[t])
+          << "FV vertex " << old_v << " has an edge to hub " << t;
+    }
+  }
+}
+
+TEST(IhtlGraph, SparseBlockHasNoHubDestinations) {
+  const Graph g = small_rmat(10, 8);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  // The sparse CSC covers destinations [num_hubs, n) only; its size must
+  // match and its sources must be valid new IDs.
+  EXPECT_EQ(ig.sparse().num_vertices(), ig.num_vertices() - ig.num_hubs());
+  for (const vid_t src : ig.sparse().targets) {
+    ASSERT_LT(src, ig.num_vertices());
+  }
+}
+
+TEST(IhtlGraph, HubInEdgesAllLandInFlippedBlocks) {
+  const Graph g = small_rmat(10, 8);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  eid_t hub_in_edges = 0;
+  for (vid_t h = 0; h < ig.num_hubs(); ++h) {
+    hub_in_edges += g.in_degree(ig.new_to_old()[h]);
+  }
+  EXPECT_EQ(hub_in_edges, ig.flipped_edges());
+}
+
+TEST(IhtlGraph, SocialGraphFlippedShareMatchesPaperBand) {
+  // Table 5: flipped blocks hold 45-67% of social-network edges. Allow a
+  // generous band for the synthetic stand-ins.
+  const Graph g = small_rmat(12, 16);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(256));
+  const double share =
+      static_cast<double>(ig.flipped_edges()) / ig.num_edges();
+  EXPECT_GT(share, 0.10);
+  EXPECT_LT(share, 0.90);
+}
+
+TEST(IhtlGraph, ZeroBlocksDegeneratesToPull) {
+  // A cycle has no hubs; iHTL must degrade gracefully to a pure sparse
+  // (pull) graph.
+  std::vector<Edge> edges;
+  for (vid_t v = 0; v < 16; ++v) edges.push_back({v, (v + 1) % 16});
+  const Graph g = build_graph(16, edges);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(4));
+  EXPECT_EQ(ig.num_hubs(), 0u);
+  EXPECT_TRUE(ig.blocks().empty());
+  EXPECT_EQ(ig.sparse_edges(), g.num_edges());
+  EXPECT_TRUE(ig.valid(g));
+}
+
+TEST(IhtlGraph, TopologyBytesExceedCscButModestly) {
+  // Table 4: iHTL topology is larger than plain CSC (replicated index
+  // arrays) but not absurdly so.
+  const Graph g = small_rmat(12, 16);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(512));
+  EXPECT_GT(ig.topology_bytes(), g.csc_topology_bytes());
+  EXPECT_LT(ig.topology_bytes(), 4 * g.csc_topology_bytes());
+}
+
+TEST(IhtlGraph, ValidRejectsWrongGraph) {
+  const Graph g = small_rmat(8, 4);
+  const Graph other = small_rmat(8, 4, 999);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(8));
+  EXPECT_TRUE(ig.valid(g));
+  EXPECT_FALSE(ig.valid(other));
+}
+
+class AllDatasetsIhtlTest
+    : public ::testing::TestWithParam<DatasetSpec> {};
+
+TEST_P(AllDatasetsIhtlTest, ConstructionValidOnEveryDataset) {
+  const Graph g = make_dataset(GetParam(), DatasetScale::tiny);
+  IhtlConfig cfg;
+  cfg.buffer_bytes = 32 * sizeof(value_t);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+  EXPECT_TRUE(ig.valid(g)) << GetParam().name;
+  EXPECT_GT(ig.num_hubs(), 0u) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, AllDatasetsIhtlTest, ::testing::ValuesIn(all_datasets()),
+    [](const ::testing::TestParamInfo<DatasetSpec>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace ihtl

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/ihtl_graph.h"
+#include "graph/io.h"
+#include "test_util.h"
+
+namespace ihtl {
+namespace {
+
+using testing::figure2_graph;
+using testing::small_rmat;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(GraphBinaryIo, RoundTrip) {
+  const Graph g = small_rmat(9, 8);
+  const std::string path = temp_path("graph_roundtrip.bin");
+  save_graph_binary(g, path);
+  const Graph loaded = load_graph_binary(path);
+  EXPECT_EQ(loaded.num_vertices(), g.num_vertices());
+  EXPECT_EQ(loaded.num_edges(), g.num_edges());
+  EXPECT_EQ(to_edge_list(loaded), to_edge_list(g));
+  EXPECT_TRUE(loaded.valid());
+  std::remove(path.c_str());
+}
+
+TEST(GraphBinaryIo, EmptyGraphRoundTrip) {
+  const Graph g = build_graph(0, {});
+  const std::string path = temp_path("empty_graph.bin");
+  save_graph_binary(g, path);
+  const Graph loaded = load_graph_binary(path);
+  EXPECT_EQ(loaded.num_vertices(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(GraphBinaryIo, RejectsMissingFile) {
+  EXPECT_THROW(load_graph_binary(temp_path("does_not_exist.bin")),
+               std::runtime_error);
+}
+
+TEST(GraphBinaryIo, RejectsWrongMagic) {
+  const std::string path = temp_path("bad_magic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTAGRAPHFILE-------------------";
+  }
+  EXPECT_THROW(load_graph_binary(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(GraphBinaryIo, RejectsTruncatedFile) {
+  const Graph g = small_rmat(8, 4);
+  const std::string path = temp_path("truncated.bin");
+  save_graph_binary(g, path);
+  // Truncate to half size.
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  const auto full = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<char> bytes(full / 2);
+  in.read(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_THROW(load_graph_binary(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, RoundTrip) {
+  const Graph g = figure2_graph();
+  const std::string path = temp_path("edges.txt");
+  save_edge_list(g, path);
+  const Graph loaded = load_edge_list(path);
+  EXPECT_EQ(to_edge_list(loaded), to_edge_list(g));
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, InfersVertexCountWithoutHeader) {
+  const std::string path = temp_path("headerless.txt");
+  {
+    std::ofstream out(path);
+    out << "0 5\n2 3\n";
+  }
+  const Graph g = load_edge_list(path);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, RejectsMalformedLine) {
+  const std::string path = temp_path("malformed.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\nbogus line\n";
+  }
+  EXPECT_THROW(load_edge_list(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(IhtlGraphIo, RoundTripPreservesEverything) {
+  const Graph g = small_rmat(9, 8);
+  IhtlConfig cfg;
+  cfg.buffer_bytes = 16 * sizeof(value_t);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+  const std::string path = temp_path("ihtl_graph.bin");
+  ig.save_binary(path);
+  const IhtlGraph loaded = IhtlGraph::load_binary(path);
+
+  EXPECT_EQ(loaded.num_vertices(), ig.num_vertices());
+  EXPECT_EQ(loaded.num_edges(), ig.num_edges());
+  EXPECT_EQ(loaded.num_hubs(), ig.num_hubs());
+  EXPECT_EQ(loaded.num_vweh(), ig.num_vweh());
+  EXPECT_EQ(loaded.min_hub_degree(), ig.min_hub_degree());
+  EXPECT_EQ(loaded.old_to_new(), ig.old_to_new());
+  EXPECT_EQ(loaded.new_to_old(), ig.new_to_old());
+  ASSERT_EQ(loaded.blocks().size(), ig.blocks().size());
+  for (std::size_t b = 0; b < ig.blocks().size(); ++b) {
+    EXPECT_EQ(loaded.blocks()[b].hub_begin, ig.blocks()[b].hub_begin);
+    EXPECT_EQ(loaded.blocks()[b].hub_end, ig.blocks()[b].hub_end);
+    EXPECT_EQ(loaded.blocks()[b].csr.offsets, ig.blocks()[b].csr.offsets);
+    EXPECT_EQ(loaded.blocks()[b].csr.targets, ig.blocks()[b].csr.targets);
+  }
+  EXPECT_EQ(loaded.sparse().offsets, ig.sparse().offsets);
+  EXPECT_EQ(loaded.sparse().targets, ig.sparse().targets);
+  EXPECT_TRUE(loaded.valid(g));
+  std::remove(path.c_str());
+}
+
+TEST(IhtlGraphIo, RejectsGraphFileMagic) {
+  // An iHTL-graph loader must not accept a plain graph container.
+  const Graph g = small_rmat(7, 4);
+  const std::string path = temp_path("plain_graph.bin");
+  save_graph_binary(g, path);
+  EXPECT_THROW(IhtlGraph::load_binary(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ihtl

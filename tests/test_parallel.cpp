@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+
+#include "parallel/parallel_for.h"
+#include "parallel/partitioner.h"
+#include "parallel/per_thread.h"
+#include "parallel/thread_pool.h"
+
+namespace ihtl {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsJobOnAllWorkers) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> hits(4);
+  pool.run([&](std::size_t tid) { hits[tid].fetch_add(1); });
+  for (std::size_t t = 0; t < 4; ++t) EXPECT_EQ(hits[t].load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  bool ran = false;
+  pool.run([&](std::size_t tid) {
+    EXPECT_EQ(tid, 0u);
+    ran = true;
+  });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  for (int job = 0; job < 50; ++job) {
+    pool.run([&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 150);
+}
+
+TEST(ThreadPool, DefaultSizeIsHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+// -------------------------------------------------------------- parallel_for
+
+class ParallelForTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(GetParam());
+  constexpr std::uint64_t kN = 10007;  // prime: exercises uneven splits
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(pool, 0, kN,
+               [&](std::uint64_t i, std::size_t) { hits[i].fetch_add(1); });
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(ParallelForTest, RespectsNonZeroBegin) {
+  ThreadPool pool(GetParam());
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(pool, 37, 83,
+               [&](std::uint64_t i, std::size_t) { hits[i].fetch_add(1); });
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 37 && i < 83) ? 1 : 0) << i;
+  }
+}
+
+TEST_P(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(GetParam());
+  std::atomic<int> calls{0};
+  parallel_for(pool, 5, 5, [&](std::uint64_t, std::size_t) { ++calls; });
+  parallel_for(pool, 7, 3, [&](std::uint64_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_P(ParallelForTest, TidStaysInBounds) {
+  ThreadPool pool(GetParam());
+  std::atomic<bool> ok{true};
+  parallel_for(pool, 0, 5000, [&](std::uint64_t, std::size_t tid) {
+    if (tid >= pool.size()) ok.store(false);
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST_P(ParallelForTest, ExplicitGrainCoversRange) {
+  ThreadPool pool(GetParam());
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(
+      pool, 0, 1000,
+      [&](std::uint64_t i, std::size_t) { hits[i].fetch_add(1); },
+      {.grain = 7});
+  for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST_P(ParallelForTest, ChunkVariantPartitionsRange) {
+  ThreadPool pool(GetParam());
+  constexpr std::uint64_t kN = 4321;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for_chunks(pool, 0, kN,
+                      [&](std::uint64_t lo, std::uint64_t hi, std::size_t) {
+                        for (std::uint64_t i = lo; i < hi; ++i) {
+                          hits[i].fetch_add(1);
+                        }
+                      });
+  for (std::uint64_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+TEST_P(ParallelForTest, ReduceSumsCorrectly) {
+  ThreadPool pool(GetParam());
+  const std::uint64_t n = 100000;
+  const auto total = parallel_reduce<std::uint64_t>(
+      pool, 0, n, 0, [](std::uint64_t i, std::size_t) { return i; },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(total, n * (n - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(PoolSizes, ParallelForTest,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+// -------------------------------------------------------------- partitioner
+
+TEST(PartitionByVertex, SplitsEvenly) {
+  const auto parts = partition_by_vertex(100, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], (Range{0, 25}));
+  EXPECT_EQ(parts[3], (Range{75, 100}));
+}
+
+TEST(PartitionByVertex, HandlesRemainder) {
+  const auto parts = partition_by_vertex(10, 3);
+  ASSERT_EQ(parts.size(), 3u);
+  std::uint64_t total = 0;
+  for (const auto& p : parts) {
+    total += p.size();
+    EXPECT_LE(p.size(), 4u);
+    EXPECT_GE(p.size(), 3u);
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+TEST(PartitionByVertex, MorePartsThanItems) {
+  const auto parts = partition_by_vertex(3, 8);
+  ASSERT_EQ(parts.size(), 8u);
+  std::uint64_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  EXPECT_EQ(total, 3u);
+  EXPECT_EQ(parts.back().end, 3u);
+}
+
+TEST(PartitionByEdge, BalancesSkewedOffsets) {
+  // One vertex holds 1000 edges, 9 hold one each.
+  std::vector<std::uint64_t> offsets = {0, 1000};
+  for (int i = 0; i < 9; ++i) offsets.push_back(offsets.back() + 1);
+  const auto parts = partition_by_edge(offsets, 2);
+  ASSERT_EQ(parts.size(), 2u);
+  // The hub vertex alone fills part 0.
+  EXPECT_EQ(parts[0], (Range{0, 1}));
+  EXPECT_EQ(parts[1], (Range{1, 10}));
+}
+
+TEST(PartitionByEdge, CoversAllVerticesContiguously) {
+  std::vector<std::uint64_t> offsets = {0};
+  for (int i = 0; i < 1000; ++i) {
+    offsets.push_back(offsets.back() + (i % 17));
+  }
+  const auto parts = partition_by_edge(offsets, 7);
+  ASSERT_EQ(parts.size(), 7u);
+  EXPECT_EQ(parts.front().begin, 0u);
+  EXPECT_EQ(parts.back().end, 1000u);
+  for (std::size_t p = 1; p < parts.size(); ++p) {
+    EXPECT_EQ(parts[p].begin, parts[p - 1].end);
+  }
+}
+
+TEST(PartitionByEdge, EmptyOffsets) {
+  const auto parts = partition_by_edge(std::vector<std::uint64_t>{0}, 3);
+  ASSERT_EQ(parts.size(), 3u);
+  for (const auto& p : parts) EXPECT_EQ(p.size(), 0u);
+}
+
+TEST(PartitionByEdge, EdgeCountsRoughlyEqual) {
+  std::vector<std::uint64_t> offsets = {0};
+  for (int i = 0; i < 5000; ++i) offsets.push_back(offsets.back() + 3);
+  const auto parts = partition_by_edge(offsets, 5);
+  for (const auto& p : parts) {
+    const std::uint64_t edges = offsets[p.end] - offsets[p.begin];
+    EXPECT_NEAR(static_cast<double>(edges), 3000.0, 3.0);
+  }
+}
+
+// ---------------------------------------------------------------- PerThread
+
+TEST(PerThread, BuffersAreIndependent) {
+  PerThread<double> buf(4, 100, 0.0);
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (std::size_t i = 0; i < 100; ++i) buf.get(t)[i] = t * 1000.0 + i;
+  }
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (std::size_t i = 0; i < 100; ++i) {
+      ASSERT_EQ(buf.get(t)[i], t * 1000.0 + i);
+    }
+  }
+}
+
+TEST(PerThread, InitialValueApplied) {
+  PerThread<int> buf(3, 17, 42);
+  for (std::size_t t = 0; t < 3; ++t) {
+    for (std::size_t i = 0; i < 17; ++i) ASSERT_EQ(buf.get(t)[i], 42);
+  }
+}
+
+TEST(PerThread, BuffersAreCacheLineAligned) {
+  PerThread<double> buf(2, 3, 0.0);
+  const auto a = reinterpret_cast<std::uintptr_t>(buf.get(0));
+  const auto b = reinterpret_cast<std::uintptr_t>(buf.get(1));
+  EXPECT_EQ((b - a) % 64, 0u);
+  EXPECT_GE(b - a, 3 * sizeof(double));
+}
+
+}  // namespace
+}  // namespace ihtl

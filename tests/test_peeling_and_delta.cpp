@@ -1,0 +1,189 @@
+// Tests for k-core decomposition, PageRank-Delta, and the cache-simulator
+// prefetcher model.
+#include <gtest/gtest.h>
+
+#include "apps/analytics.h"
+#include "apps/kcore.h"
+#include "apps/pagerank.h"
+#include "apps/pagerank_delta.h"
+#include "cachesim/cache.h"
+#include "gen/rng.h"
+#include "test_util.h"
+
+namespace ihtl {
+namespace {
+
+using testing::expect_values_near;
+using testing::small_rmat;
+using testing::small_web;
+
+// ------------------------------------------------------------------- k-core
+
+Graph sym(std::vector<Edge> edges, vid_t n) {
+  return symmetrize(build_graph(n, edges));
+}
+
+TEST(KCore, TriangleIsTwoCore) {
+  ThreadPool pool(2);
+  const KCoreResult r =
+      kcore_decomposition(pool, sym({{0, 1}, {1, 2}, {2, 0}}, 3));
+  EXPECT_EQ(r.max_core, 2u);
+  for (vid_t v = 0; v < 3; ++v) EXPECT_EQ(r.coreness[v], 2u);
+}
+
+TEST(KCore, ChainIsOneCore) {
+  std::vector<Edge> edges;
+  for (vid_t v = 0; v + 1 < 8; ++v) edges.push_back({v, v + 1});
+  ThreadPool pool(2);
+  const KCoreResult r = kcore_decomposition(pool, sym(edges, 8));
+  EXPECT_EQ(r.max_core, 1u);
+  for (vid_t v = 0; v < 8; ++v) EXPECT_EQ(r.coreness[v], 1u);
+}
+
+TEST(KCore, CliqueWithPendant) {
+  // K4 plus one pendant vertex: clique coreness 3, pendant 1.
+  std::vector<Edge> edges;
+  for (vid_t u = 0; u < 4; ++u) {
+    for (vid_t v = u + 1; v < 4; ++v) edges.push_back({u, v});
+  }
+  edges.push_back({0, 4});
+  ThreadPool pool(3);
+  const KCoreResult r = kcore_decomposition(pool, sym(edges, 5));
+  EXPECT_EQ(r.max_core, 3u);
+  for (vid_t v = 0; v < 4; ++v) EXPECT_EQ(r.coreness[v], 3u);
+  EXPECT_EQ(r.coreness[4], 1u);
+}
+
+TEST(KCore, IsolatedVertexIsZeroCore) {
+  ThreadPool pool(2);
+  const KCoreResult r = kcore_decomposition(pool, sym({{0, 1}}, 3));
+  EXPECT_EQ(r.coreness[2], 0u);
+}
+
+TEST(KCore, CorenessInvariants) {
+  // Property: coreness <= degree; the k-core subgraph check — every vertex
+  // of coreness >= k has >= k neighbours of coreness >= k.
+  ThreadPool pool(4);
+  const Graph g = symmetrize(small_rmat(9, 6));
+  const KCoreResult r = kcore_decomposition(pool, g);
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_LE(r.coreness[v], g.out_degree(v));
+    vid_t strong_neighbors = 0;
+    for (const vid_t u : g.out().neighbors(v)) {
+      strong_neighbors += r.coreness[u] >= r.coreness[v];
+    }
+    ASSERT_GE(strong_neighbors, r.coreness[v]) << "vertex " << v;
+  }
+  EXPECT_GT(r.max_core, 1u);  // skewed graphs have a dense core
+}
+
+TEST(KCore, HubsLiveInDeepCores) {
+  ThreadPool pool(2);
+  const Graph g = symmetrize(small_rmat(10, 8));
+  const KCoreResult r = kcore_decomposition(pool, g);
+  vid_t hub = 0;
+  for (vid_t v = 1; v < g.num_vertices(); ++v) {
+    if (g.out_degree(v) > g.out_degree(hub)) hub = v;
+  }
+  // The top hub's coreness is near the graph degeneracy.
+  EXPECT_GE(r.coreness[hub], r.max_core / 2);
+}
+
+TEST(KCore, EmptyGraph) {
+  ThreadPool pool(2);
+  const KCoreResult r = kcore_decomposition(pool, build_graph(0, {}));
+  EXPECT_EQ(r.max_core, 0u);
+}
+
+// ------------------------------------------------------------ PageRank-Delta
+
+TEST(PageRankDelta, ConvergesToPowerIterationFixpoint) {
+  const Graph g = small_rmat(9, 8);
+  ThreadPool pool(2);
+  PageRankOptions ref_opt;
+  ref_opt.iterations = 300;
+  ref_opt.tolerance = 1e-13;
+  const auto reference = pagerank(pool, g, SpmvKernel::pull, ref_opt);
+
+  PageRankDeltaOptions opt;
+  opt.epsilon = 0.0;  // exact mode
+  opt.max_rounds = 300;
+  const auto delta = pagerank_delta(pool, g, opt);
+  expect_values_near(reference.ranks, delta.ranks, 1e-7);
+}
+
+TEST(PageRankDelta, EpsilonShrinksWork) {
+  const Graph g = small_rmat(10, 8);
+  ThreadPool pool(2);
+  PageRankDeltaOptions exact;
+  exact.epsilon = 0.0;
+  exact.max_rounds = 40;
+  PageRankDeltaOptions pruned;
+  pruned.epsilon = 1e-3;
+  pruned.max_rounds = 40;
+  const auto a = pagerank_delta(pool, g, exact);
+  const auto b = pagerank_delta(pool, g, pruned);
+  EXPECT_LT(b.total_active, a.total_active);
+  // And the pruned result is still close.
+  expect_values_near(a.ranks, b.ranks, 1e-2);
+}
+
+TEST(PageRankDelta, FrontierDrainsAndStops) {
+  const Graph g = small_rmat(8, 6);
+  ThreadPool pool(2);
+  PageRankDeltaOptions opt;
+  opt.epsilon = 1e-4;
+  opt.max_rounds = 1000;
+  const auto r = pagerank_delta(pool, g, opt);
+  EXPECT_LT(r.rounds, 1000u);  // converged, not capped
+}
+
+TEST(PageRankDelta, EmptyGraph) {
+  ThreadPool pool(2);
+  const auto r = pagerank_delta(pool, build_graph(0, {}));
+  EXPECT_TRUE(r.ranks.empty());
+}
+
+// --------------------------------------------------------------- prefetcher
+
+TEST(Prefetcher, SequentialStreamHitsL2) {
+  CacheHierarchy h = CacheHierarchy::tiny();
+  h.set_next_line_prefetch(true);
+  // Stream far beyond every level: without prefetch all accesses miss
+  // everywhere; with next-line prefetch the L2 absorbs the stream.
+  std::uint64_t l2_hits = 0;
+  const std::uint64_t lines = 4096;
+  for (std::uint64_t i = 0; i < lines; ++i) {
+    l2_hits += h.access(i * 64) == 1;
+  }
+  EXPECT_GT(l2_hits, lines / 2);
+  EXPECT_GT(h.prefetch_installs(), lines / 2);
+}
+
+TEST(Prefetcher, OffByDefaultAndNeutralForRandom) {
+  CacheHierarchy plain = CacheHierarchy::tiny();
+  EXPECT_EQ(plain.prefetch_installs(), 0u);
+  // Random far-apart accesses: prefetching next lines never helps.
+  CacheHierarchy pf = CacheHierarchy::tiny();
+  pf.set_next_line_prefetch(true);
+  std::uint64_t seed = 42;
+  std::uint64_t plain_miss = 0, pf_miss = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t addr = (splitmix64(seed) % (1u << 24)) & ~63ULL;
+    plain_miss += plain.access(addr) == plain.levels();
+    pf_miss += pf.access(addr) == pf.levels();
+  }
+  EXPECT_NEAR(static_cast<double>(pf_miss), static_cast<double>(plain_miss),
+              plain_miss * 0.05 + 50.0);
+}
+
+TEST(Prefetcher, CountersResetIncludesPrefetch) {
+  CacheHierarchy h = CacheHierarchy::tiny();
+  h.set_next_line_prefetch(true);
+  for (std::uint64_t i = 0; i < 100; ++i) h.access(i * 64);
+  h.reset_counters();
+  EXPECT_EQ(h.prefetch_installs(), 0u);
+}
+
+}  // namespace
+}  // namespace ihtl

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "baselines/spmv.h"
+#include "graph/permute.h"
+#include "graph/stats.h"
+#include "reorder/reorder.h"
+#include "test_util.h"
+
+namespace ihtl {
+namespace {
+
+using testing::small_rmat;
+using testing::small_web;
+
+using OrderFn = std::function<std::vector<vid_t>(const Graph&)>;
+
+struct OrderCase {
+  std::string name;
+  OrderFn fn;
+};
+
+std::vector<OrderCase> all_orders() {
+  return {
+      {"SlashBurn", [](const Graph& g) { return slashburn_order(g); }},
+      {"GOrder", [](const Graph& g) { return gorder(g); }},
+      {"RabbitOrder", [](const Graph& g) { return rabbit_order(g); }},
+      {"Degree", [](const Graph& g) { return degree_order(g); }},
+      {"Random",
+       [](const Graph& g) { return random_order(g.num_vertices(), 17); }},
+  };
+}
+
+class ReorderTest : public ::testing::TestWithParam<OrderCase> {};
+
+TEST_P(ReorderTest, ProducesValidPermutation) {
+  const Graph g = small_rmat(9, 8);
+  const auto perm = GetParam().fn(g);
+  ASSERT_EQ(perm.size(), g.num_vertices());
+  EXPECT_TRUE(is_permutation(perm));
+}
+
+TEST_P(ReorderTest, ValidOnWebGraph) {
+  const Graph g = small_web(1u << 9);
+  EXPECT_TRUE(is_permutation(GetParam().fn(g)));
+}
+
+TEST_P(ReorderTest, ValidOnEmptyAndSingletonGraphs) {
+  EXPECT_TRUE(GetParam().fn(build_graph(0, {})).empty());
+  const std::vector<Edge> one = {{0, 0}};
+  EXPECT_EQ(GetParam().fn(build_graph(1, one)).size(), 1u);
+}
+
+TEST_P(ReorderTest, RelabeledGraphPreservesStructure) {
+  const Graph g = small_rmat(8, 6);
+  const auto perm = GetParam().fn(g);
+  const Graph relabeled = apply_permutation(g, perm);
+  EXPECT_EQ(relabeled.num_edges(), g.num_edges());
+  const GraphStats a = compute_stats(g);
+  const GraphStats b = compute_stats(relabeled);
+  EXPECT_EQ(a.max_in_degree, b.max_in_degree);
+  EXPECT_EQ(a.max_out_degree, b.max_out_degree);
+}
+
+TEST_P(ReorderTest, Deterministic) {
+  const Graph g = small_rmat(8, 6);
+  EXPECT_EQ(GetParam().fn(g), GetParam().fn(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, ReorderTest, ::testing::ValuesIn(all_orders()),
+    [](const ::testing::TestParamInfo<OrderCase>& info) {
+      return info.param.name;
+    });
+
+// --------------------------------------------------------- algorithm-specific
+
+TEST(SlashBurn, HubsLandAtLowIds) {
+  const Graph g = small_rmat(10, 8);
+  const auto perm = slashburn_order(g);
+  // The max-degree vertex must be placed within the first slash (k ids).
+  vid_t top = 0;
+  for (vid_t v = 1; v < g.num_vertices(); ++v) {
+    if (g.in_degree(v) + g.out_degree(v) >
+        g.in_degree(top) + g.out_degree(top)) {
+      top = v;
+    }
+  }
+  const vid_t k = std::max<vid_t>(1, static_cast<vid_t>(0.005 * g.num_vertices()));
+  EXPECT_LT(perm[top], k);
+}
+
+TEST(SlashBurn, StarGraphCenterIsFirst) {
+  std::vector<Edge> edges;
+  for (vid_t v = 1; v < 20; ++v) edges.push_back({v, 0});
+  const Graph g = build_graph(20, edges);
+  const auto perm = slashburn_order(g);
+  EXPECT_EQ(perm[0], 0u);  // the star centre gets the first ID
+}
+
+TEST(GOrder, PlacesConnectedVerticesNearby) {
+  // Two disjoint cliques: GOrder must number each clique contiguously.
+  std::vector<Edge> edges;
+  for (vid_t u = 0; u < 5; ++u) {
+    for (vid_t v = 0; v < 5; ++v) {
+      if (u != v) {
+        edges.push_back({u, v});
+        edges.push_back({u + 5, v + 5});
+      }
+    }
+  }
+  const Graph g = build_graph(10, edges);
+  const auto perm = gorder(g, 3);
+  // Within each clique, the spread of new IDs is exactly 4 (contiguous).
+  vid_t lo0 = 10, hi0 = 0, lo1 = 10, hi1 = 0;
+  for (vid_t v = 0; v < 5; ++v) {
+    lo0 = std::min(lo0, perm[v]);
+    hi0 = std::max(hi0, perm[v]);
+    lo1 = std::min(lo1, perm[v + 5]);
+    hi1 = std::max(hi1, perm[v + 5]);
+  }
+  EXPECT_EQ(hi0 - lo0, 4u);
+  EXPECT_EQ(hi1 - lo1, 4u);
+}
+
+TEST(RabbitOrder, CommunitiesGetContiguousIds) {
+  // Two dense communities joined by one bridge edge.
+  std::vector<Edge> edges;
+  for (vid_t u = 0; u < 6; ++u) {
+    for (vid_t v = 0; v < 6; ++v) {
+      if (u != v) {
+        edges.push_back({u, v});
+        edges.push_back({u + 6, v + 6});
+      }
+    }
+  }
+  edges.push_back({0, 6});
+  const Graph g = build_graph(12, edges);
+  const auto perm = rabbit_order(g);
+  // Count how many of community 0's vertices land in the lower half.
+  int lower = 0;
+  for (vid_t v = 0; v < 6; ++v) lower += perm[v] < 6;
+  EXPECT_TRUE(lower == 6 || lower == 0)
+      << "community split across the ID space";
+}
+
+TEST(DegreeOrder, SortsByDescendingTotalDegree) {
+  const Graph g = small_rmat(9, 8);
+  const auto perm = degree_order(g);
+  const auto inv = invert_permutation(perm);
+  for (vid_t i = 1; i < g.num_vertices(); ++i) {
+    const eid_t prev = g.in_degree(inv[i - 1]) + g.out_degree(inv[i - 1]);
+    const eid_t cur = g.in_degree(inv[i]) + g.out_degree(inv[i]);
+    ASSERT_GE(prev, cur);
+  }
+}
+
+TEST(RandomOrder, DifferentSeedsDiffer) {
+  EXPECT_NE(random_order(1000, 1), random_order(1000, 2));
+  EXPECT_EQ(random_order(1000, 3), random_order(1000, 3));
+}
+
+TEST(Reorder, SpmvResultInvariantUnderRelabeling) {
+  // Relabeling must never change SpMV results (mapped through the perm).
+  const Graph g = small_rmat(8, 6);
+  const auto x = testing::random_values(g.num_vertices(), 3);
+  std::vector<value_t> y(g.num_vertices());
+  spmv_pull_serial(g, x, y);
+
+  for (const auto& oc : all_orders()) {
+    const auto perm = oc.fn(g);
+    const Graph rg = apply_permutation(g, perm);
+    const auto xp = permute_values<value_t>(x, perm);
+    std::vector<value_t> yp(g.num_vertices());
+    spmv_pull_serial(rg, xp, yp);
+    const auto y_back = unpermute_values<value_t>(yp, perm);
+    testing::expect_values_near(y, y_back, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ihtl

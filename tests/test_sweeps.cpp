@@ -1,0 +1,190 @@
+// Final parameterized sweep tier: cross-module properties exercised over
+// the full dataset registry and seed ranges — the widest net in the suite.
+#include <gtest/gtest.h>
+
+#include "apps/kcore.h"
+#include "apps/pagerank.h"
+#include "cachesim/trace_spmv.h"
+#include "core/ihtl_compressed.h"
+#include "core/ihtl_spmv.h"
+#include "gen/datasets.h"
+#include "graph/compressed.h"
+#include "test_util.h"
+
+namespace ihtl {
+namespace {
+
+using testing::expect_values_near;
+using testing::random_values;
+using testing::small_rmat;
+
+// -------------------------------------------------- compression round trips
+
+class CompressionSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CompressionSweep, RoundTripOnRandomRmat) {
+  const Graph g = small_rmat(8, 6, GetParam());
+  for (const Adjacency* adj : {&g.out(), &g.in()}) {
+    const CompressedAdjacency c = CompressedAdjacency::encode(*adj);
+    Adjacency expected = *adj;
+    expected.sort_all_neighbor_lists();
+    const Adjacency decoded = c.decode();
+    ASSERT_EQ(decoded.offsets, expected.offsets);
+    ASSERT_EQ(decoded.targets, expected.targets);
+    ASSERT_EQ(c.topology_bytes() > 0, g.num_vertices() > 0);
+  }
+}
+
+TEST_P(CompressionSweep, DegreesPreserved) {
+  const Graph g = small_rmat(8, 6, GetParam());
+  const CompressedAdjacency c = CompressedAdjacency::encode(g.in());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_EQ(c.degree(v), g.in_degree(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressionSweep,
+                         ::testing::Range<std::uint64_t>(100, 110));
+
+// --------------------------------------- compressed executor on all datasets
+
+class CompressedDatasetSweep : public ::testing::TestWithParam<DatasetSpec> {};
+
+TEST_P(CompressedDatasetSweep, CompressedIhtlMatchesUncompressed) {
+  const Graph g = make_dataset(GetParam(), DatasetScale::tiny);
+  ThreadPool pool(2);
+  IhtlConfig cfg;
+  cfg.buffer_bytes = 32 * sizeof(value_t);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+  const CompressedIhtlGraph cig = CompressedIhtlGraph::from(ig);
+
+  const auto x = random_values(g.num_vertices(), 77);
+  const auto& o2n = ig.old_to_new();
+  std::vector<value_t> xp(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) xp[o2n[v]] = x[v];
+
+  IhtlEngine<PlusMonoid> engine(ig, pool);
+  std::vector<value_t> y_raw(g.num_vertices()), y_zip(g.num_vertices());
+  engine.spmv(xp, y_raw);
+  compressed_ihtl_spmv(pool, cig, xp, y_zip);
+  expect_values_near(y_raw, y_zip, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, CompressedDatasetSweep, ::testing::ValuesIn(all_datasets()),
+    [](const ::testing::TestParamInfo<DatasetSpec>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------- kcore across datasets
+
+class KCoreDatasetSweep : public ::testing::TestWithParam<DatasetSpec> {};
+
+TEST_P(KCoreDatasetSweep, InvariantsHoldOnRegistry) {
+  ThreadPool pool(3);
+  const Graph g = make_dataset(GetParam(), DatasetScale::tiny);
+  // Run on the directed graph (out-degree peeling): coreness <= out-degree
+  // and the k-core property must hold in the directed sense.
+  const KCoreResult r = kcore_decomposition(pool, g);
+  ASSERT_EQ(r.coreness.size(), g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    ASSERT_LE(r.coreness[v], g.out_degree(v));
+    ASSERT_LE(r.coreness[v], r.max_core);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, KCoreDatasetSweep, ::testing::ValuesIn(all_datasets()),
+    [](const ::testing::TestParamInfo<DatasetSpec>& info) {
+      return info.param.name;
+    });
+
+// ------------------------------------------- trace adapters across datasets
+
+class TraceDatasetSweep : public ::testing::TestWithParam<DatasetSpec> {};
+
+TEST_P(TraceDatasetSweep, TraceCountsAreStructural) {
+  // Access counts depend only on topology: pull touches 2 per vertex +
+  // 2 per edge; iHTL accounting must cover every edge exactly once across
+  // its push and pull phases.
+  const Graph g = make_dataset(GetParam(), DatasetScale::tiny);
+  CacheHierarchy h = CacheHierarchy::tiny();
+  const TraceCounters pull = trace_pull_spmv(g, h);
+  EXPECT_EQ(pull.memory_accesses,
+            2 * static_cast<std::uint64_t>(g.num_vertices()) +
+                2 * g.num_edges());
+
+  IhtlConfig cfg;
+  cfg.buffer_bytes = 32 * sizeof(value_t);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+  CacheHierarchy h2 = CacheHierarchy::tiny();
+  DegreeMissProfile profile;
+  trace_ihtl_spmv(g, ig, h2, &profile);
+  std::uint64_t attributed = 0;
+  for (const auto a : profile.accesses) attributed += a;
+  EXPECT_EQ(attributed, g.num_edges());  // every edge's random access, once
+}
+
+TEST_P(TraceDatasetSweep, PrefetcherNeverIncreasesPullL2MissesMuch) {
+  // Prefetching next lines helps the sequential topology streams and can
+  // only marginally pollute; L2 misses must not blow up.
+  const Graph g = make_dataset(GetParam(), DatasetScale::tiny);
+  CacheHierarchy plain = CacheHierarchy::tiny();
+  const TraceCounters base = trace_pull_spmv(g, plain);
+  CacheHierarchy pf = CacheHierarchy::tiny();
+  pf.set_next_line_prefetch(true);
+  const TraceCounters with_pf = trace_pull_spmv(g, pf);
+  EXPECT_LT(with_pf.l2_misses, base.l2_misses * 1.1 + 100);
+  EXPECT_GT(pf.prefetch_installs(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, TraceDatasetSweep, ::testing::ValuesIn(all_datasets()),
+    [](const ::testing::TestParamInfo<DatasetSpec>& info) {
+      return info.param.name;
+    });
+
+// ------------------------------------------ PageRank kernels x web datasets
+
+struct KernelDatasetCase {
+  SpmvKernel kernel;
+  std::string dataset;
+};
+
+class KernelDatasetSweep
+    : public ::testing::TestWithParam<KernelDatasetCase> {};
+
+TEST_P(KernelDatasetSweep, MatchesPullRanks) {
+  ThreadPool pool(2);
+  const Graph g = make_dataset(GetParam().dataset, DatasetScale::tiny);
+  PageRankOptions opt;
+  opt.iterations = 6;
+  opt.ihtl.buffer_bytes = 64 * sizeof(value_t);
+  const auto reference = pagerank(pool, g, SpmvKernel::pull, opt);
+  const auto result = pagerank(pool, g, GetParam().kernel, opt);
+  expect_values_near(reference.ranks, result.ranks, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cross, KernelDatasetSweep,
+    ::testing::Values(
+        KernelDatasetCase{SpmvKernel::ihtl, "SK"},
+        KernelDatasetCase{SpmvKernel::ihtl, "Frndstr"},
+        KernelDatasetCase{SpmvKernel::ihtl, "ClWb9"},
+        KernelDatasetCase{SpmvKernel::push_partitioned, "SK"},
+        KernelDatasetCase{SpmvKernel::push_partitioned, "TwtrMpi"},
+        KernelDatasetCase{SpmvKernel::segmented_pull, "UU"},
+        KernelDatasetCase{SpmvKernel::segmented_pull, "LvJrnl"},
+        KernelDatasetCase{SpmvKernel::push_buffered, "UKDmn"},
+        KernelDatasetCase{SpmvKernel::push_atomic, "WbCc"}),
+    [](const ::testing::TestParamInfo<KernelDatasetCase>& info) {
+      std::string name =
+          kernel_name(info.param.kernel) + "_" + info.param.dataset;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace ihtl

@@ -1,0 +1,68 @@
+// Shared fixtures/helpers for the ihtl test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "gen/generators.h"
+#include "gen/rng.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace ihtl::testing {
+
+/// The paper's Figure 2(a) example graph (0-based: paper vertex k -> k-1).
+/// In-hubs are vertices 2 and 6 (paper's 3 and 7).
+inline Graph figure2_graph(bool sort_neighbors = true) {
+  const std::vector<Edge> edges = {
+      {0, 2}, {1, 2}, {1, 6}, {2, 5}, {3, 6}, {4, 2}, {4, 6},
+      {5, 0}, {5, 2}, {5, 3}, {5, 7}, {6, 1}, {6, 4}, {7, 2},
+  };
+  return build_graph(8, edges, {.sort_neighbors = sort_neighbors});
+}
+
+/// A small deterministic skewed graph for fast structural tests.
+inline Graph small_rmat(unsigned scale = 10, unsigned edge_factor = 8,
+                        std::uint64_t seed = 123) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = edge_factor;
+  p.seed = seed;
+  return build_eval_graph(vid_t{1} << scale, rmat_edges(p));
+}
+
+/// A small deterministic web-like graph (asymmetric in-hubs).
+inline Graph small_web(vid_t n = 1u << 10, std::uint64_t seed = 5) {
+  WebParams p;
+  p.num_vertices = n;
+  p.seed = seed;
+  return build_eval_graph(n, web_edges(p));
+}
+
+/// Random input vector with entries in [0, 1).
+inline std::vector<value_t> random_values(std::size_t n, std::uint64_t seed) {
+  std::vector<value_t> x(n);
+  Rng rng(seed);
+  for (auto& v : x) v = rng.next_double();
+  return x;
+}
+
+/// Elementwise comparison with absolute/relative tolerance.
+inline void expect_values_near(const std::vector<value_t>& expected,
+                               const std::vector<value_t>& actual,
+                               double tol = 1e-9) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (std::isinf(expected[i])) {
+      EXPECT_EQ(expected[i], actual[i]) << "at index " << i;
+    } else {
+      EXPECT_NEAR(expected[i], actual[i],
+                  tol * std::max(1.0, std::abs(expected[i])))
+          << "at index " << i;
+    }
+  }
+}
+
+}  // namespace ihtl::testing

@@ -1,0 +1,5 @@
+// CLI: convert edge lists / binary graphs into the ihtl container formats.
+// See `ihtl_convert --help`.
+#include "cli/commands.h"
+
+int main(int argc, char** argv) { return ihtl::cmd_convert(argc, argv); }

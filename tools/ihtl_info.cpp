@@ -1,0 +1,5 @@
+// CLI: structural report of a graph plus an iHTL hub-selection preview.
+// See `ihtl_info --help`.
+#include "cli/commands.h"
+
+int main(int argc, char** argv) { return ihtl::cmd_info(argc, argv); }

@@ -1,0 +1,5 @@
+// CLI: run an analytic (pagerank / cc / sssp / bfs / hits / triangles) on a
+// graph with a chosen traversal kernel. See `ihtl_run --help`.
+#include "cli/commands.h"
+
+int main(int argc, char** argv) { return ihtl::cmd_run(argc, argv); }
