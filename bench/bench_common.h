@@ -48,10 +48,22 @@ inline Graph load_bench_graph(const DatasetSpec& spec, DatasetScale scale) {
   Graph g = make_dataset(spec, scale);
   std::error_code ec;
   fs::create_directories(dir, ec);
-  if (!ec) {
+  if (ec) {
+    std::fprintf(stderr,
+                 "[bench_data] warning: cannot create cache dir %s (%s); "
+                 "this dataset will be regenerated on every run\n",
+                 dir.string().c_str(), ec.message().c_str());
+    return g;
+  }
+  try {
     save_graph_binary(g, path.string());
     std::fprintf(stderr, "[bench_data] generated %s in %.1fs (cached)\n",
                  path.string().c_str(), t.elapsed_seconds());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "[bench_data] warning: failed to cache %s (%s); "
+                 "this dataset will be regenerated on every run\n",
+                 path.string().c_str(), e.what());
   }
   return g;
 }

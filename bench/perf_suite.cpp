@@ -1,0 +1,161 @@
+// Structured perf suite: runs the iHTL SpMV engine and PageRank over the
+// bench datasets and emits one machine-readable JSON snapshot
+// (BENCH_spmv.json) combining per-phase span times, thread-pool
+// chunk/steal counters, and cache-simulator miss counters per dataset.
+// This file is the repo's perf trajectory: regenerate it after perf work
+// and compare against the committed snapshot with `tools/bench_diff`.
+//
+//   ./bench/perf_suite                        # writes ./BENCH_spmv.json
+//   ./bench/perf_suite --out new.json --iterations 20
+//   ./tools/bench_diff BENCH_spmv.json new.json
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/pagerank.h"
+#include "bench_common.h"
+#include "cachesim/trace_spmv.h"
+#include "cli/args.h"
+#include "core/ihtl_spmv.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/report.h"
+
+namespace {
+
+using namespace ihtl;
+using namespace ihtl::bench;
+using telemetry::JsonValue;
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) out.push_back(s.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+JsonValue run_dataset(const std::string& name, ThreadPool& pool,
+                      unsigned iterations) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  reg.clear();
+  pool.reset_stats();
+
+  const DatasetSpec& spec = dataset_spec(name);
+  const Graph g = load_bench_graph(spec, kBenchScale);
+  const IhtlConfig cfg = scaled_ihtl_config();
+
+  // Preprocessing spans ("preprocess/*") land in the global registry.
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+
+  // SpMV phase breakdown ("spmv/*" spans) over `iterations` runs.
+  IhtlEngine<PlusMonoid> engine(ig, pool);
+  std::vector<value_t> x(g.num_vertices(), 1.0), y(g.num_vertices(), 0.0);
+  for (unsigned i = 0; i < iterations; ++i) engine.spmv(x, y);
+
+  // PageRank exercises the full app path (its engine also records into the
+  // global registry, under the same spmv/* spans).
+  {
+    telemetry::ScopedSpan span(reg, "pagerank");
+    PageRankOptions opt;
+    opt.iterations = iterations;
+    opt.ihtl = cfg;
+    pagerank(pool, g, SpmvKernel::ihtl, opt);
+  }
+
+  // Cache-model counters: replay iHTL and pull through the scaled
+  // hierarchy so LLC-miss regressions are visible without PAPI.
+  {
+    CacheHierarchy caches = scaled_hierarchy();
+    trace_ihtl_spmv(g, ig, caches);
+    caches.export_metrics(reg, "cachesim.ihtl");
+  }
+  {
+    CacheHierarchy caches = scaled_hierarchy();
+    trace_pull_spmv(g, caches);
+    caches.export_metrics(reg, "cachesim.pull");
+  }
+
+  pool.export_metrics(reg);
+
+  JsonValue graph = JsonValue::object();
+  graph.set("name", spec.name);
+  graph.set("kind", spec.kind == DatasetKind::social ? "social" : "web");
+  graph.set("vertices", static_cast<std::uint64_t>(g.num_vertices()));
+  graph.set("edges", static_cast<std::uint64_t>(g.num_edges()));
+  graph.set("hubs", static_cast<std::uint64_t>(ig.num_hubs()));
+  graph.set("blocks", static_cast<std::uint64_t>(ig.blocks().size()));
+  graph.set("flipped_edges", static_cast<std::uint64_t>(ig.flipped_edges()));
+
+  JsonValue entry = JsonValue::object();
+  entry.set("graph", std::move(graph));
+  JsonValue snapshot = telemetry::metrics_to_json(reg);
+  for (const auto& [key, value] : snapshot.entries()) entry.set(key, value);
+
+  const auto spmv = reg.span("spmv");
+  std::printf("%-8s spmv %.3f ms/iter  llc misses (ihtl) %llu\n",
+              spec.name.c_str(), spmv ? 1e3 * spmv->avg_s() : 0.0,
+              static_cast<unsigned long long>(
+                  reg.counter_total("cachesim.ihtl.memory_accesses")));
+  return entry;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("out", true, "output path (default BENCH_spmv.json)");
+  args.add_flag("iterations", true, "SpMV/PageRank iterations (default 10)");
+  args.add_flag("threads", true, "worker threads (default hw concurrency)");
+  args.add_flag("datasets", true,
+                "comma-separated dataset names (default TwtrMpi,SK,LvJrnl,WbCc)");
+  args.add_flag("help", false, "show usage");
+  try {
+    args.parse(argc, argv);
+    if (args.has("help")) {
+      std::printf("usage: perf_suite [flags]\n%s", args.help_text().c_str());
+      return 0;
+    }
+    const std::string out_path = args.get_string("out", "BENCH_spmv.json");
+    const auto iterations =
+        static_cast<unsigned>(args.get_int("iterations", 10));
+    const std::vector<std::string> names =
+        split_csv(args.get_string("datasets", "TwtrMpi,SK,LvJrnl,WbCc"));
+    ThreadPool pool(static_cast<std::size_t>(args.get_int("threads", 0)));
+
+    print_header("perf_suite", "telemetry snapshot",
+                 "per-phase spans + pool counters + cachesim misses, "
+                 "bench scale");
+
+    JsonValue datasets = JsonValue::array();
+    for (const std::string& name : names) {
+      datasets.push_back(run_dataset(name, pool, iterations));
+    }
+
+    JsonValue doc = JsonValue::object();
+    JsonValue run = JsonValue::object();
+    run.set("suite", "perf_suite");
+    run.set("scale", "bench");
+    run.set("iterations", static_cast<std::uint64_t>(iterations));
+    run.set("threads", static_cast<std::uint64_t>(pool.size()));
+    doc.set("run", std::move(run));
+    JsonValue config = JsonValue::object();
+    const IhtlConfig cfg = scaled_ihtl_config();
+    config.set("buffer_bytes", static_cast<std::uint64_t>(cfg.buffer_bytes));
+    config.set("admission_ratio", cfg.admission_ratio);
+    doc.set("config", std::move(config));
+    doc.set("datasets", std::move(datasets));
+
+    telemetry::write_json_file(doc, out_path);
+    std::printf("wrote %s (%zu datasets)\n", out_path.c_str(), names.size());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "perf_suite: %s\n", e.what());
+    return 1;
+  }
+}

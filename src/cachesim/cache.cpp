@@ -1,6 +1,8 @@
 #include "cachesim/cache.h"
 
 #include <bit>
+
+#include "telemetry/metrics.h"
 #include <cassert>
 
 namespace ihtl {
@@ -124,6 +126,20 @@ void CacheHierarchy::reset_counters() {
   total_accesses_ = 0;
   prefetch_installs_ = 0;
   for (CacheLevel& level : levels_) level.reset_counters();
+}
+
+void CacheHierarchy::export_metrics(telemetry::MetricsRegistry& reg,
+                                    const std::string& prefix) const {
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    const CacheLevel& lvl = levels_[i];
+    const std::string p = prefix + ".l" + std::to_string(i + 1);
+    reg.counter(p + ".accesses").add(0, lvl.accesses());
+    reg.counter(p + ".misses").add(0, lvl.misses());
+    reg.set_gauge(p + ".miss_rate", lvl.miss_rate());
+  }
+  reg.counter(prefix + ".accesses").add(0, total_accesses_);
+  reg.counter(prefix + ".memory_accesses").add(0, memory_accesses());
+  reg.counter(prefix + ".prefetch_installs").add(0, prefetch_installs_);
 }
 
 }  // namespace ihtl

@@ -10,11 +10,16 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "graph/types.h"
 
 namespace ihtl {
+
+namespace telemetry {
+class MetricsRegistry;
+}  // namespace telemetry
 
 /// Geometry of one cache level.
 struct CacheConfig {
@@ -90,6 +95,15 @@ class CacheHierarchy {
     return levels_.empty() ? total_accesses_ : levels_.back().misses();
   }
   void reset_counters();
+
+  /// Adds the hierarchy's counters into `reg`: per level
+  /// `<prefix>.l<k>.accesses/.misses` plus `<prefix>.accesses`,
+  /// `<prefix>.memory_accesses`, `<prefix>.prefetch_installs`, and
+  /// per-level `<prefix>.l<k>.miss_rate` gauges. Counters accumulate —
+  /// snapshot into a fresh/cleared registry or reset_counters() between
+  /// exports.
+  void export_metrics(telemetry::MetricsRegistry& reg,
+                      const std::string& prefix = "cachesim") const;
 
  private:
   std::vector<CacheLevel> levels_;

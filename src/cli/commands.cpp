@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <exception>
+#include <fstream>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -22,6 +23,9 @@
 #include "graph/stats.h"
 #include "parallel/thread_pool.h"
 #include "parallel/timer.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/report.h"
 
 namespace ihtl {
 
@@ -185,11 +189,41 @@ int cmd_run(int argc, const char* const* argv) {
   args.add_flag("source", true, "source vertex for sssp/bfs (default 0)");
   args.add_flag("top", true, "print top-K vertices (default 5)");
   args.add_flag("threads", true, "worker threads (default hw concurrency)");
+  args.add_flag("metrics-out", true,
+                "write a JSON telemetry report (spans/counters/gauges) here");
   try {
     args.parse(argc, argv);
     if (args.has("help")) return usage("ihtl_run", args);
     const std::string app = args.get_string("app");
     if (app.empty()) throw std::invalid_argument("need --app <name>");
+
+    // Validate the metrics path up front: a 20-minute run must not discover
+    // an unwritable output directory after the work is done. The guard
+    // removes the pre-opened file again if the run fails for any reason
+    // (including exceptions), so failures leave no empty report behind.
+    struct MetricsFileGuard {
+      std::ofstream file;
+      std::string path;
+      bool keep = false;
+      ~MetricsFileGuard() {
+        if (file.is_open() && !keep) {
+          file.close();
+          std::remove(path.c_str());
+        }
+      }
+    } metrics;
+    metrics.path = args.get_string("metrics-out");
+    if (!metrics.path.empty()) {
+      metrics.file.open(metrics.path);
+      if (!metrics.file) {
+        std::fprintf(stderr,
+                     "ihtl_run: cannot open --metrics-out path '%s' for "
+                     "writing\n",
+                     metrics.path.c_str());
+        return 1;
+      }
+      telemetry::MetricsRegistry::global().clear();
+    }
 
     const Graph g = load_input_graph(args);
     ThreadPool pool(static_cast<std::size_t>(args.get_int("threads", 0)));
@@ -214,6 +248,9 @@ int cmd_run(int argc, const char* const* argv) {
       }
     };
 
+    // Dispatch in a lambda so every successful app path funnels through the
+    // telemetry report writer below.
+    const int rc = [&]() -> int {
     if (app == "pagerank") {
       SpmvKernel kernel = SpmvKernel::ihtl;
       const SpmvKernel all[] = {
@@ -338,6 +375,38 @@ int cmd_run(int argc, const char* const* argv) {
       return 0;
     }
     throw std::invalid_argument("unknown app: " + app);
+    }();
+
+    if (rc == 0 && metrics.file.is_open()) {
+      using telemetry::JsonValue;
+      auto& reg = telemetry::MetricsRegistry::global();
+      pool.export_metrics(reg);
+      JsonValue run = JsonValue::object();
+      run.set("tool", "ihtl_run");
+      run.set("app", app);
+      run.set("kernel", kernel_str);
+      run.set("iterations", static_cast<std::uint64_t>(iterations));
+      run.set("threads", static_cast<std::uint64_t>(pool.size()));
+      JsonValue graph = JsonValue::object();
+      graph.set("vertices", static_cast<std::uint64_t>(g.num_vertices()));
+      graph.set("edges", static_cast<std::uint64_t>(g.num_edges()));
+      JsonValue config = JsonValue::object();
+      config.set("buffer_bytes", static_cast<std::uint64_t>(cfg.buffer_bytes));
+      config.set("admission_ratio", cfg.admission_ratio);
+      metrics.file << telemetry::make_report(reg, std::move(run),
+                                             std::move(graph),
+                                             std::move(config))
+                          .dump();
+      metrics.file.flush();
+      if (!metrics.file) {
+        std::fprintf(stderr, "ihtl_run: write to '%s' failed\n",
+                     metrics.path.c_str());
+        return 1;
+      }
+      metrics.keep = true;
+      std::fprintf(stderr, "wrote metrics to %s\n", metrics.path.c_str());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ihtl_run: %s\n", e.what());
     return 1;

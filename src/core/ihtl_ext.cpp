@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics.h"
+
 namespace ihtl {
 
 HubSelection select_hubs_fast(const Graph& g, const IhtlConfig& cfg) {
@@ -91,6 +93,8 @@ HubSelection select_hubs_fast(const Graph& g, const IhtlConfig& cfg) {
 IhtlGraph build_ihtl_graph_ordered(const Graph& g, const HubSelection& sel,
                                    const IhtlConfig& cfg,
                                    std::span<const vid_t> priority) {
+  telemetry::ScopedSpan preprocess(telemetry::MetricsRegistry::global(),
+                                   "preprocess");
   return detail::build_ihtl_graph_impl(g, sel, cfg, priority);
 }
 

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "telemetry/metrics.h"
+
 namespace ihtl {
 
 eid_t IhtlGraph::flipped_edges() const {
@@ -22,11 +24,20 @@ std::size_t IhtlGraph::topology_bytes() const {
 }
 
 IhtlGraph build_ihtl_graph(const Graph& g, const IhtlConfig& cfg) {
-  return build_ihtl_graph(g, select_hubs(g, cfg), cfg);
+  auto& reg = telemetry::MetricsRegistry::global();
+  telemetry::ScopedSpan preprocess(reg, "preprocess");
+  HubSelection sel;
+  {
+    telemetry::ScopedSpan s(reg, "hub-select");
+    sel = select_hubs(g, cfg);
+  }
+  return detail::build_ihtl_graph_impl(g, sel, cfg, {});
 }
 
 IhtlGraph build_ihtl_graph(const Graph& g, const HubSelection& sel,
                            const IhtlConfig& cfg) {
+  telemetry::ScopedSpan preprocess(telemetry::MetricsRegistry::global(),
+                                   "preprocess");
   return detail::build_ihtl_graph_impl(g, sel, cfg, {});
 }
 
@@ -41,9 +52,12 @@ IhtlGraph detail::build_ihtl_graph_impl(const Graph& g,
   ig.num_hubs_ = static_cast<vid_t>(sel.hubs.size());
   ig.min_hub_degree_ = sel.min_hub_degree;
 
+  auto& reg = telemetry::MetricsRegistry::global();
+
   // Step 1: relabeling array (Section 3.2 / Figure 4). Hubs take the lowest
   // IDs in selection (descending-degree) order; VWEH then FV keep their
   // original relative order.
+  telemetry::ScopedSpan relabel_span(reg, "relabel");
   std::vector<char> is_hub(n, 0);
   ig.old_to_new_.assign(n, 0);
   for (vid_t i = 0; i < ig.num_hubs_; ++i) {
@@ -89,11 +103,13 @@ IhtlGraph detail::build_ihtl_graph_impl(const Graph& g,
                       next);
   ig.new_to_old_.assign(n, 0);
   for (vid_t v = 0; v < n; ++v) ig.new_to_old_[ig.old_to_new_[v]] = v;
+  relabel_span.stop();
 
   // Step 2: flipped blocks — a pass over in-edges of each block's hubs,
   // stored as a CSR over the push-source range (Section 3.2 builds this
   // from the CSR of the main graph; building from the CSC of the same edges
   // is equivalent and touches only the needed edges).
+  telemetry::ScopedSpan flipped_span(reg, "build-flipped");
   const vid_t hubs_per_block = cfg.hubs_per_block();
   const vid_t num_push_sources = ig.num_hubs_ + ig.num_vweh_;
   ig.blocks_.reserve(sel.num_blocks);
@@ -121,9 +137,11 @@ IhtlGraph detail::build_ihtl_graph_impl(const Graph& g,
     }
     ig.blocks_.push_back(std::move(blk));
   }
+  flipped_span.stop();
 
   // Step 3: sparse block — CSC over non-hub destinations with relabeled
   // sources (a pass over the CSC of the main graph, Section 3.2).
+  telemetry::ScopedSpan sparse_span(reg, "build-sparse");
   const vid_t num_sparse_dst = n - ig.num_hubs_;
   ig.sparse_.offsets.assign(static_cast<std::size_t>(num_sparse_dst) + 1, 0);
   for (vid_t local = 0; local < num_sparse_dst; ++local) {

@@ -25,10 +25,12 @@
 #include "parallel/per_thread.h"
 #include "parallel/thread_pool.h"
 #include "parallel/timer.h"
+#include "telemetry/metrics.h"
 
 namespace ihtl {
 
 /// Wall-clock per phase of the last spmv() call (Table 5's breakdown).
+/// Thin single-call view over the cumulative "spmv/*" telemetry spans.
 struct IhtlPhaseTimes {
   double reset_s = 0.0;  ///< zeroing the per-thread buffers
   double push_s = 0.0;   ///< flipped-block push traversal
@@ -57,10 +59,31 @@ class IhtlEngine {
     }
     // Edge-balanced destination chunks for the sparse pull phase.
     sparse_chunks_ = partition_by_edge(ig.sparse().offsets, pool.size() * 8);
+    set_metrics(&telemetry::MetricsRegistry::global());
   }
 
   const IhtlGraph& graph() const { return *ig_; }
   const IhtlPhaseTimes& last_phase_times() const { return times_; }
+
+  /// Redirects the engine's spans/counters to `reg` (nullptr disables
+  /// recording entirely). Handles are resolved once here, so the per-call
+  /// cost in spmv() is a few relaxed atomic adds per phase.
+  void set_metrics(telemetry::MetricsRegistry* reg) {
+    if (reg) {
+      span_total_ = reg->timer("spmv");
+      span_reset_ = reg->timer("spmv/reset");
+      span_push_ = reg->timer("spmv/push");
+      span_merge_ = reg->timer("spmv/merge");
+      span_pull_ = reg->timer("spmv/pull");
+      calls_ = reg->counter("spmv.calls");
+      push_chunk_items_ = reg->counter("spmv.push_chunk_items");
+      sparse_chunk_items_ = reg->counter("spmv.sparse_chunk_items");
+    } else {
+      span_total_ = span_reset_ = span_push_ = span_merge_ = span_pull_ =
+          telemetry::TimerStat();
+      calls_ = push_chunk_items_ = sparse_chunk_items_ = telemetry::Counter();
+    }
+  }
 
   /// y[v] = combine over u in N-(v) of x[u], both in new-ID space.
   void spmv(std::span<const value_t> x, std::span<value_t> y) {
@@ -77,6 +100,7 @@ class IhtlEngine {
       });
     }
     times_.reset_s = phase.elapsed_seconds();
+    span_reset_.record_seconds(times_.reset_s);
 
     // Phase 1: push the flipped blocks (Algorithm 3, lines 1-4).
     phase.reset();
@@ -96,6 +120,7 @@ class IhtlEngine {
         },
         {.grain = 1});
     times_.push_s = phase.elapsed_seconds();
+    span_push_.record_seconds(times_.push_s);
 
     // Phase 2: aggregate thread buffers (Algorithm 3, lines 5-7).
     phase.reset();
@@ -109,6 +134,7 @@ class IhtlEngine {
       });
     }
     times_.merge_s = phase.elapsed_seconds();
+    span_merge_.record_seconds(times_.merge_s);
 
     // Phase 3: pull the sparse block (Algorithm 3, lines 8-10).
     phase.reset();
@@ -127,6 +153,12 @@ class IhtlEngine {
         },
         {.grain = 1});
     times_.pull_s = phase.elapsed_seconds();
+    span_pull_.record_seconds(times_.pull_s);
+
+    span_total_.record_seconds(times_.total());
+    calls_.inc(0);
+    push_chunk_items_.add(0, push_chunks_.size());
+    sparse_chunk_items_.add(0, sparse_chunks_.size());
   }
 
  private:
@@ -141,6 +173,9 @@ class IhtlEngine {
   std::vector<PushChunk> push_chunks_;
   std::vector<Range> sparse_chunks_;
   IhtlPhaseTimes times_;
+  telemetry::TimerStat span_total_, span_reset_, span_push_, span_merge_,
+      span_pull_;
+  telemetry::Counter calls_, push_chunk_items_, sparse_chunk_items_;
 };
 
 /// One-shot convenience wrapper operating in the ORIGINAL ID space:

@@ -54,6 +54,7 @@ void parallel_for(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
   const std::size_t nt = pool.size();
   if (nt == 1 || range == 1) {
     for (std::uint64_t i = begin; i < end; ++i) body(i, 0);
+    pool.worker_stats(0).chunks.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   const std::uint64_t grain =
@@ -72,16 +73,20 @@ void parallel_for(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
 
   pool.run([&](std::size_t tid) {
     // Drain own slice first, then steal from the victim with the most work.
-    auto drain = [&](detail::Slice& s) {
+    // Chunk claims are tallied locally and flushed once per worker per loop
+    // so the telemetry costs two relaxed fetch_adds, not one per chunk.
+    std::uint64_t own_chunks = 0, stolen_chunks = 0;
+    auto drain = [&](detail::Slice& s, std::uint64_t& tally) {
       for (;;) {
         const std::uint64_t lo =
             s.next.fetch_add(grain, std::memory_order_relaxed);
         if (lo >= s.end) return;
+        ++tally;
         const std::uint64_t hi = lo + grain < s.end ? lo + grain : s.end;
         for (std::uint64_t i = lo; i < hi; ++i) body(i, tid);
       }
     };
-    drain(slices[tid]);
+    drain(slices[tid], own_chunks);
     for (;;) {
       std::size_t victim = nt;
       std::uint64_t best_left = 0;
@@ -94,8 +99,15 @@ void parallel_for(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
           victim = t;
         }
       }
-      if (victim == nt) return;
-      drain(slices[victim]);
+      if (victim == nt) break;
+      drain(slices[victim], stolen_chunks);
+    }
+    WorkerStats& ws = pool.worker_stats(tid);
+    if (own_chunks) {
+      ws.chunks.fetch_add(own_chunks, std::memory_order_relaxed);
+    }
+    if (stolen_chunks) {
+      ws.steals.fetch_add(stolen_chunks, std::memory_order_relaxed);
     }
   });
 }
@@ -111,17 +123,24 @@ void parallel_for_chunks(ThreadPool& pool, std::uint64_t begin,
   const std::size_t nt = pool.size();
   if (nt == 1) {
     body(begin, end, std::size_t{0});
+    pool.worker_stats(0).chunks.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   const std::uint64_t grain =
       opt.grain ? opt.grain : detail::auto_grain(range, nt);
   std::atomic<std::uint64_t> next{begin};
   pool.run([&](std::size_t tid) {
+    std::uint64_t claimed = 0;
     for (;;) {
       const std::uint64_t lo = next.fetch_add(grain, std::memory_order_relaxed);
-      if (lo >= end) return;
+      if (lo >= end) break;
+      ++claimed;
       const std::uint64_t hi = lo + grain < end ? lo + grain : end;
       body(lo, hi, tid);
+    }
+    if (claimed) {
+      pool.worker_stats(tid).chunks.fetch_add(claimed,
+                                              std::memory_order_relaxed);
     }
   });
 }

@@ -22,8 +22,12 @@ std::vector<Range> partition_by_vertex(std::uint64_t n, std::size_t parts) {
 std::vector<Range> partition_by_edge(std::span<const std::uint64_t> offsets,
                                      std::size_t parts) {
   if (parts == 0) parts = 1;
-  const std::uint64_t n = offsets.empty() ? 0 : offsets.size() - 1;
-  const std::uint64_t m = offsets.empty() ? 0 : offsets.back();
+  if (offsets.size() <= 1) {
+    // No vertices (an empty span has no valid begin()+1); every part is empty.
+    return std::vector<Range>(parts, Range{0, 0});
+  }
+  const std::uint64_t n = offsets.size() - 1;
+  const std::uint64_t m = offsets.back();
   std::vector<Range> out;
   out.reserve(parts);
   std::uint64_t begin = 0;

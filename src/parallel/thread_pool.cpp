@@ -1,5 +1,9 @@
 #include "parallel/thread_pool.h"
 
+#include <algorithm>
+
+#include "telemetry/metrics.h"
+
 namespace ihtl {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
@@ -8,6 +12,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
     if (num_threads == 0) num_threads = 1;
   }
   num_threads_ = num_threads;
+  stats_ = std::make_unique<WorkerStats[]>(num_threads_);
   threads_.reserve(num_threads_ - 1);
   for (std::size_t t = 1; t < num_threads_; ++t) {
     threads_.emplace_back([this, t] { worker_loop(t); });
@@ -24,6 +29,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
+  jobs_.fetch_add(1, std::memory_order_relaxed);
   if (num_threads_ == 1) {
     fn(0);
     return;
@@ -58,6 +64,37 @@ void ThreadPool::worker_loop(std::size_t tid) {
       if (--remaining_ == 0) work_done_.notify_one();
     }
   }
+}
+
+void ThreadPool::reset_stats() {
+  jobs_.store(0, std::memory_order_relaxed);
+  for (std::size_t t = 0; t < num_threads_; ++t) {
+    stats_[t].chunks.store(0, std::memory_order_relaxed);
+    stats_[t].steals.store(0, std::memory_order_relaxed);
+  }
+}
+
+void ThreadPool::export_metrics(telemetry::MetricsRegistry& reg,
+                                const std::string& prefix) const {
+  std::uint64_t total_chunks = 0, total_steals = 0, max_chunks = 0;
+  for (std::size_t t = 0; t < num_threads_; ++t) {
+    const std::uint64_t c = stats_[t].chunks.load(std::memory_order_relaxed);
+    const std::uint64_t s = stats_[t].steals.load(std::memory_order_relaxed);
+    total_chunks += c;
+    total_steals += s;
+    max_chunks = std::max(max_chunks, c + s);
+    const std::string w = prefix + ".worker" + std::to_string(t);
+    reg.counter(w + ".chunks").add(0, c);
+    reg.counter(w + ".steals").add(0, s);
+  }
+  reg.counter(prefix + ".jobs").add(0, jobs_run());
+  reg.counter(prefix + ".chunks").add(0, total_chunks);
+  reg.counter(prefix + ".steals").add(0, total_steals);
+  reg.set_gauge(prefix + ".threads", static_cast<double>(num_threads_));
+  const double mean = static_cast<double>(total_chunks + total_steals) /
+                      static_cast<double>(num_threads_);
+  reg.set_gauge(prefix + ".imbalance",
+                mean > 0 ? static_cast<double>(max_chunks) / mean : 1.0);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -7,14 +7,32 @@
 // workers to finish. Range scheduling with stealing lives in parallel_for.h.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace ihtl {
+
+namespace telemetry {
+class MetricsRegistry;
+}  // namespace telemetry
+
+/// Per-worker scheduling statistics, updated by parallel_for with relaxed
+/// atomics (one line per worker; one fetch_add per worker per loop, not per
+/// chunk). `chunks` counts chunks claimed from the worker's own slice,
+/// `steals` chunks claimed from other workers' slices — their spread across
+/// workers is the first direct view of load imbalance in this codebase.
+struct alignas(64) WorkerStats {
+  std::atomic<std::uint64_t> chunks{0};
+  std::atomic<std::uint64_t> steals{0};
+};
 
 /// Persistent master-worker thread pool.
 ///
@@ -39,11 +57,31 @@ class ThreadPool {
   /// Process-wide default pool, sized to hardware concurrency.
   static ThreadPool& global();
 
+  // --- scheduling telemetry ----------------------------------------------
+  WorkerStats& worker_stats(std::size_t tid) { return stats_[tid]; }
+  const WorkerStats& worker_stats(std::size_t tid) const { return stats_[tid]; }
+  /// Jobs dispatched via run() since construction (or reset_stats()).
+  std::uint64_t jobs_run() const {
+    return jobs_.load(std::memory_order_relaxed);
+  }
+  /// Zeroes the job/chunk/steal counters.
+  void reset_stats();
+  /// Adds the pool's lifetime totals into `reg` as counters
+  /// `<prefix>.jobs/.chunks/.steals` plus per-worker
+  /// `<prefix>.worker<k>.chunks/.steals`, and gauges `<prefix>.threads` and
+  /// `<prefix>.imbalance` (max worker chunk count over the mean; 1.0 =
+  /// perfectly balanced). Counters accumulate — snapshot into a fresh or
+  /// cleared registry, or call reset_stats() between exports.
+  void export_metrics(telemetry::MetricsRegistry& reg,
+                      const std::string& prefix = "pool") const;
+
  private:
   void worker_loop(std::size_t tid);
 
   std::size_t num_threads_;
   std::vector<std::thread> threads_;
+  std::unique_ptr<WorkerStats[]> stats_;
+  std::atomic<std::uint64_t> jobs_{0};
 
   std::mutex mutex_;
   std::condition_variable work_ready_;

@@ -1,0 +1,130 @@
+// Minimal dependency-free JSON document: build, serialize, parse.
+//
+// The telemetry reports (--metrics-out, BENCH_*.json) need a stable
+// machine-readable format, and bench_diff needs to read it back; this is the
+// smallest JSON implementation that supports both directions. Objects keep
+// insertion order so emitted schemas are byte-stable across runs. Numbers
+// are doubles, which is exact for counters below 2^53 — far beyond any
+// counter this library produces.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace ihtl::telemetry {
+
+class JsonValue {
+ public:
+  enum class Type { null, boolean, number, string, array, object };
+
+  using Array = std::vector<JsonValue>;
+  /// Insertion-ordered key/value pairs (stable output schema).
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  JsonValue() = default;
+  JsonValue(bool b) : type_(Type::boolean), bool_(b) {}
+  JsonValue(double v) : type_(Type::number), num_(v) {}
+  JsonValue(std::int64_t v)
+      : type_(Type::number), num_(static_cast<double>(v)) {}
+  JsonValue(std::uint64_t v)
+      : type_(Type::number), num_(static_cast<double>(v)) {}
+  JsonValue(int v) : type_(Type::number), num_(v) {}
+  JsonValue(std::string s) : type_(Type::string), str_(std::move(s)) {}
+  JsonValue(const char* s) : type_(Type::string), str_(s) {}
+
+  static JsonValue object() {
+    JsonValue v;
+    v.type_ = Type::object;
+    return v;
+  }
+  static JsonValue array() {
+    JsonValue v;
+    v.type_ = Type::array;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::null; }
+  bool is_bool() const { return type_ == Type::boolean; }
+  bool is_number() const { return type_ == Type::number; }
+  bool is_string() const { return type_ == Type::string; }
+  bool is_array() const { return type_ == Type::array; }
+  bool is_object() const { return type_ == Type::object; }
+
+  bool as_bool() const {
+    require(Type::boolean);
+    return bool_;
+  }
+  double as_number() const {
+    require(Type::number);
+    return num_;
+  }
+  const std::string& as_string() const {
+    require(Type::string);
+    return str_;
+  }
+  const Array& items() const {
+    require(Type::array);
+    return arr_;
+  }
+  const Object& entries() const {
+    require(Type::object);
+    return obj_;
+  }
+
+  /// Object lookup; nullptr if absent or not an object.
+  const JsonValue* find(std::string_view key) const {
+    if (type_ != Type::object) return nullptr;
+    for (const auto& [k, v] : obj_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  /// Object insert-or-assign; converts a null value into an object first.
+  JsonValue& set(std::string key, JsonValue value) {
+    if (type_ == Type::null) type_ = Type::object;
+    require(Type::object);
+    for (auto& [k, v] : obj_) {
+      if (k == key) {
+        v = std::move(value);
+        return v;
+      }
+    }
+    obj_.emplace_back(std::move(key), std::move(value));
+    return obj_.back().second;
+  }
+
+  /// Array append; converts a null value into an array first.
+  void push_back(JsonValue value) {
+    if (type_ == Type::null) type_ = Type::array;
+    require(Type::array);
+    arr_.push_back(std::move(value));
+  }
+
+  /// Serializes the document. `indent` > 0 pretty-prints.
+  std::string dump(int indent = 2) const;
+
+  /// Parses a complete JSON document; throws std::runtime_error with a
+  /// byte offset on malformed input or trailing garbage.
+  static JsonValue parse(std::string_view text);
+
+ private:
+  void require(Type t) const {
+    if (type_ != t) throw std::runtime_error("JsonValue: wrong type access");
+  }
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+}  // namespace ihtl::telemetry

@@ -1,0 +1,152 @@
+#include "telemetry/metrics.h"
+
+#include <thread>
+
+namespace ihtl::telemetry {
+
+MetricsRegistry::MetricsRegistry(std::size_t shards) : shards_(shards) {
+  if (shards_ == 0) {
+    shards_ = std::thread::hardware_concurrency();
+    if (shards_ == 0) shards_ = 1;
+  }
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(name, std::make_unique<detail::CounterShards>(shards_))
+             .first;
+  }
+  return Counter(it->second.get());
+}
+
+TimerStat MetricsRegistry::timer(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = timers_.find(path);
+  if (it == timers_.end()) {
+    it = timers_.emplace(path, std::make_unique<detail::TimerCells>()).first;
+  }
+  return TimerStat(it->second.get());
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  gauges_[name] = value;
+}
+
+std::uint64_t MetricsRegistry::counter_total(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) return 0;
+  std::uint64_t sum = 0;
+  for (const auto& c : it->second->cells) {
+    sum += c.value.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+SpanStats MetricsRegistry::to_stats(const detail::TimerCells& c) {
+  SpanStats s;
+  s.count = c.count.load(std::memory_order_relaxed);
+  s.total_s = static_cast<double>(c.total_ns.load(std::memory_order_relaxed)) * 1e-9;
+  if (s.count > 0) {
+    s.min_s = static_cast<double>(c.min_ns.load(std::memory_order_relaxed)) * 1e-9;
+    s.max_s = static_cast<double>(c.max_ns.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  return s;
+}
+
+std::optional<SpanStats> MetricsRegistry::span(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = timers_.find(path);
+  if (it == timers_.end()) return std::nullopt;
+  return to_stats(*it->second);
+}
+
+std::optional<double> MetricsRegistry::gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, shards] : counters_) {
+    std::uint64_t sum = 0;
+    for (const auto& c : shards->cells) {
+      sum += c.value.load(std::memory_order_relaxed);
+    }
+    out.emplace(name, sum);
+  }
+  return out;
+}
+
+std::map<std::string, SpanStats> MetricsRegistry::spans() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, SpanStats> out;
+  for (const auto& [path, cells] : timers_) {
+    out.emplace(path, to_stats(*cells));
+  }
+  return out;
+}
+
+std::map<std::string, double> MetricsRegistry::gauges() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_;
+}
+
+void MetricsRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, shards] : counters_) {
+    for (auto& c : shards->cells) c.value.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [path, cells] : timers_) {
+    cells->count.store(0, std::memory_order_relaxed);
+    cells->total_ns.store(0, std::memory_order_relaxed);
+    cells->min_ns.store(~std::uint64_t{0}, std::memory_order_relaxed);
+    cells->max_ns.store(0, std::memory_order_relaxed);
+  }
+  gauges_.clear();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry reg;
+  return reg;
+}
+
+namespace {
+
+/// Per-thread stack of open span names; joined with '/' at record time.
+thread_local std::vector<std::string> t_span_path;
+
+std::string joined_path() {
+  std::string path;
+  for (const std::string& part : t_span_path) {
+    if (!path.empty()) path += '/';
+    path += part;
+  }
+  return path;
+}
+
+}  // namespace
+
+ScopedSpan::ScopedSpan(MetricsRegistry* reg, std::string_view name)
+    : reg_(reg), start_(clock::now()) {
+  t_span_path.emplace_back(name);
+}
+
+double ScopedSpan::stop() {
+  if (!open_) return 0.0;
+  open_ = false;
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - start_).count();
+  if (reg_) reg_->record_span(joined_path(), elapsed);
+  t_span_path.pop_back();
+  return elapsed;
+}
+
+}  // namespace ihtl::telemetry

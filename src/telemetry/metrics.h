@@ -1,0 +1,198 @@
+// Metrics registry: named counters, gauges, and span timers.
+//
+// Counters are sharded per thread (one cache line per shard, mirroring the
+// PerThread layout used by the SpMV buffers) so hot-path increments are a
+// single relaxed fetch_add on a thread-private line — wait-free and free of
+// false sharing. Span timers aggregate count/total/min/max with relaxed
+// atomics, so a pre-resolved handle can be updated from the SpMV hot loop
+// without taking the registry lock. The registry mutex guards only name
+// registration and snapshotting; handles stay valid for the registry's
+// lifetime (clear() zeroes values but never invalidates handles).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ihtl::telemetry {
+
+namespace detail {
+
+struct alignas(64) CounterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+struct CounterShards {
+  explicit CounterShards(std::size_t n) : cells(n) {}
+  std::vector<CounterCell> cells;
+};
+
+struct TimerCells {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> total_ns{0};
+  std::atomic<std::uint64_t> min_ns{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_ns{0};
+};
+
+}  // namespace detail
+
+/// Wait-free handle to a sharded counter. Default-constructed handles are
+/// inert no-ops, so instrumented code needs no null checks.
+class Counter {
+ public:
+  Counter() = default;
+
+  /// Adds `v` to the calling thread's shard. `tid` is the pool worker id;
+  /// ids beyond the shard count fold onto a shard (still race-free — shards
+  /// are atomics).
+  void add(std::size_t tid, std::uint64_t v) {
+    if (!shards_) return;
+    auto& cells = shards_->cells;
+    const std::size_t i = tid < cells.size() ? tid : tid % cells.size();
+    cells[i].value.fetch_add(v, std::memory_order_relaxed);
+  }
+  void inc(std::size_t tid) { add(tid, 1); }
+
+  /// Sum over all shards.
+  std::uint64_t total() const {
+    if (!shards_) return 0;
+    std::uint64_t sum = 0;
+    for (const auto& c : shards_->cells) {
+      sum += c.value.load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(detail::CounterShards* s) : shards_(s) {}
+  detail::CounterShards* shards_ = nullptr;
+};
+
+/// Aggregated statistics of one span timer (one phase-tree node).
+struct SpanStats {
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+  double min_s = 0.0;
+  double max_s = 0.0;
+  double avg_s() const { return count ? total_s / static_cast<double>(count) : 0.0; }
+};
+
+/// Handle to a span timer; recording is a handful of relaxed atomics.
+/// Default-constructed handles are inert no-ops.
+class TimerStat {
+ public:
+  TimerStat() = default;
+
+  void record_ns(std::uint64_t ns) {
+    if (!cells_) return;
+    cells_->count.fetch_add(1, std::memory_order_relaxed);
+    cells_->total_ns.fetch_add(ns, std::memory_order_relaxed);
+    update_min(cells_->min_ns, ns);
+    update_max(cells_->max_ns, ns);
+  }
+  void record_seconds(double s) {
+    record_ns(s <= 0 ? 0 : static_cast<std::uint64_t>(s * 1e9));
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit TimerStat(detail::TimerCells* c) : cells_(c) {}
+  static void update_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void update_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  detail::TimerCells* cells_ = nullptr;
+};
+
+/// Registry of named metrics. Thread-safe; one instance per measurement
+/// scope (the process-wide `global()` backs the CLI and the engines by
+/// default, benches snapshot per-dataset registries or clear the global).
+class MetricsRegistry {
+ public:
+  /// `shards` = per-counter shard count (0 = hardware concurrency).
+  explicit MetricsRegistry(std::size_t shards = 0);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create; the returned handle is valid for the registry lifetime.
+  Counter counter(const std::string& name);
+  TimerStat timer(const std::string& path);
+
+  /// Convenience slow paths (one lock each).
+  void add(const std::string& name, std::uint64_t v) { counter(name).add(0, v); }
+  void record_span(const std::string& path, double seconds) {
+    timer(path).record_seconds(seconds);
+  }
+  void set_gauge(const std::string& name, double value);
+
+  std::uint64_t counter_total(const std::string& name) const;
+  std::optional<SpanStats> span(const std::string& path) const;
+  std::optional<double> gauge(const std::string& name) const;
+
+  // Snapshots (sorted by name; values read with relaxed loads).
+  std::map<std::string, std::uint64_t> counters() const;
+  std::map<std::string, SpanStats> spans() const;
+  std::map<std::string, double> gauges() const;
+
+  /// Zeroes every value but keeps registrations, so previously handed-out
+  /// Counter/TimerStat handles remain valid.
+  void clear();
+
+  std::size_t shard_count() const { return shards_; }
+
+  /// Process-wide default registry.
+  static MetricsRegistry& global();
+
+ private:
+  static SpanStats to_stats(const detail::TimerCells& c);
+
+  std::size_t shards_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<detail::CounterShards>> counters_;
+  std::map<std::string, std::unique_ptr<detail::TimerCells>> timers_;
+  std::map<std::string, double> gauges_;
+};
+
+/// RAII span: times its own scope and records the elapsed time under the
+/// '/'-joined path of all enclosing ScopedSpans on this thread ("spmv/push",
+/// "preprocess/hub-select"). Spans must nest lexically (guaranteed by RAII).
+/// A null registry still participates in path nesting but records nothing.
+class ScopedSpan {
+ public:
+  ScopedSpan(MetricsRegistry& reg, std::string_view name)
+      : ScopedSpan(&reg, name) {}
+  ScopedSpan(MetricsRegistry* reg, std::string_view name);
+  ~ScopedSpan() { stop(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Records now instead of at scope exit; idempotent. Returns the elapsed
+  /// seconds (0 on the second and later calls).
+  double stop();
+
+ private:
+  using clock = std::chrono::steady_clock;
+  MetricsRegistry* reg_;
+  clock::time_point start_;
+  bool open_ = true;
+};
+
+}  // namespace ihtl::telemetry

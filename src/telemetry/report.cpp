@@ -1,0 +1,58 @@
+#include "telemetry/report.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace ihtl::telemetry {
+
+JsonValue metrics_to_json(const MetricsRegistry& reg) {
+  JsonValue out = JsonValue::object();
+
+  JsonValue spans = JsonValue::object();
+  for (const auto& [path, s] : reg.spans()) {
+    JsonValue entry = JsonValue::object();
+    entry.set("count", s.count);
+    entry.set("total_s", s.total_s);
+    entry.set("avg_s", s.avg_s());
+    entry.set("min_s", s.min_s);
+    entry.set("max_s", s.max_s);
+    spans.set(path, std::move(entry));
+  }
+  out.set("spans", std::move(spans));
+
+  JsonValue counters = JsonValue::object();
+  for (const auto& [name, v] : reg.counters()) counters.set(name, v);
+  out.set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::object();
+  for (const auto& [name, v] : reg.gauges()) gauges.set(name, v);
+  out.set("gauges", std::move(gauges));
+
+  return out;
+}
+
+JsonValue make_report(const MetricsRegistry& reg, JsonValue run,
+                      JsonValue graph, JsonValue config) {
+  JsonValue out = JsonValue::object();
+  out.set("run", std::move(run));
+  out.set("graph", std::move(graph));
+  out.set("config", std::move(config));
+  JsonValue snapshot = metrics_to_json(reg);
+  for (const auto& [key, value] : snapshot.entries()) {
+    out.set(key, value);
+  }
+  return out;
+}
+
+void write_json_file(const JsonValue& doc, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open for write: " + path);
+  }
+  out << doc.dump();
+  if (!out) {
+    throw std::runtime_error("write failed: " + path);
+  }
+}
+
+}  // namespace ihtl::telemetry

@@ -1,0 +1,33 @@
+// Serialization of registry snapshots to the stable perf-report schema.
+//
+// Single run:  { "run": {...}, "graph": {...}, "config": {...},
+//                "spans": {path: {count,total_s,avg_s,min_s,max_s}},
+//                "counters": {name: value}, "gauges": {name: value} }
+// Suite:       { "run": {...}, "config": {...}, "datasets": [single-run
+//                objects minus "run"/"config"] }
+// bench_diff and the telemetry tests re-parse these documents, so the
+// schema is part of the repo's compatibility surface — extend it by adding
+// keys, never by renaming them.
+#pragma once
+
+#include <string>
+
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+
+namespace ihtl::telemetry {
+
+/// Snapshot of `reg` as {"spans": ..., "counters": ..., "gauges": ...}.
+/// Span entries carry count/total_s/avg_s/min_s/max_s; keys are sorted.
+JsonValue metrics_to_json(const MetricsRegistry& reg);
+
+/// Full single-run report: run/graph/config sections (caller-built objects,
+/// any may be null) followed by the registry snapshot sections.
+JsonValue make_report(const MetricsRegistry& reg, JsonValue run,
+                      JsonValue graph, JsonValue config);
+
+/// Writes `doc.dump()` to `path`; throws std::runtime_error if the file
+/// cannot be opened or the write fails.
+void write_json_file(const JsonValue& doc, const std::string& path);
+
+}  // namespace ihtl::telemetry

@@ -2,11 +2,13 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "cli/args.h"
 #include "cli/commands.h"
 #include "core/ihtl_graph.h"
 #include "graph/io.h"
+#include "telemetry/json.h"
 #include "test_util.h"
 
 namespace ihtl {
@@ -194,6 +196,39 @@ TEST(CmdRun, SourceOutOfRangeFails) {
 TEST(CmdRun, HelpReturnsZero) {
   const char* argv[] = {"ihtl_run", "--help"};
   EXPECT_EQ(cmd_run(2, argv), 0);
+}
+
+TEST(CmdRun, MetricsOutWritesJson) {
+  const std::string out = temp_path("cli_metrics.json");
+  const char* argv[] = {"ihtl_run", "--gen",    "LvJrnl",  "--gen-scale",
+                        "tiny",     "--app",    "pagerank", "--iterations",
+                        "3",        "--metrics-out", out.c_str()};
+  ASSERT_EQ(cmd_run(11, argv), 0);
+  std::ifstream in(out);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const auto doc = telemetry::JsonValue::parse(ss.str());
+  const auto* run = doc.find("run");
+  ASSERT_NE(run, nullptr);
+  ASSERT_NE(run->find("app"), nullptr);
+  EXPECT_EQ(run->find("app")->as_string(), "pagerank");
+  const auto* spans = doc.find("spans");
+  ASSERT_NE(spans, nullptr);
+  EXPECT_NE(spans->find("spmv"), nullptr);
+  EXPECT_NE(spans->find("spmv/push"), nullptr);
+  const auto* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_NE(counters->find("spmv.calls"), nullptr);
+  std::remove(out.c_str());
+}
+
+TEST(CmdRun, MetricsOutUnwritablePathFails) {
+  const std::string out = temp_path("no_such_dir") + "/metrics.json";
+  const char* argv[] = {"ihtl_run", "--gen",    "LvJrnl",  "--gen-scale",
+                        "tiny",     "--app",    "pagerank", "--metrics-out",
+                        out.c_str()};
+  EXPECT_EQ(cmd_run(9, argv), 1);
 }
 
 }  // namespace

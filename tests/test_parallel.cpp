@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <set>
+#include <span>
 
 #include "parallel/parallel_for.h"
 #include "parallel/partitioner.h"
@@ -186,6 +188,56 @@ TEST(PartitionByEdge, EmptyOffsets) {
   const auto parts = partition_by_edge(std::vector<std::uint64_t>{0}, 3);
   ASSERT_EQ(parts.size(), 3u);
   for (const auto& p : parts) EXPECT_EQ(p.size(), 0u);
+}
+
+TEST(PartitionByEdge, TrulyEmptySpan) {
+  const auto parts = partition_by_edge(std::span<const std::uint64_t>{}, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  for (const auto& p : parts) EXPECT_EQ(p, (Range{0, 0}));
+}
+
+TEST(PartitionByEdge, MorePartsThanVertices) {
+  const std::vector<std::uint64_t> offsets = {0, 2, 5, 9};  // 3 vertices
+  const auto parts = partition_by_edge(offsets, 8);
+  ASSERT_EQ(parts.size(), 8u);
+  EXPECT_EQ(parts.front().begin, 0u);
+  EXPECT_EQ(parts.back().end, 3u);
+  std::uint64_t total = 0;
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    if (p > 0) EXPECT_EQ(parts[p].begin, parts[p - 1].end);
+    total += parts[p].size();
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(PartitionByEdge, SingleVertex) {
+  const std::vector<std::uint64_t> offsets = {0, 7};
+  const auto parts = partition_by_edge(offsets, 3);
+  ASSERT_EQ(parts.size(), 3u);
+  std::uint64_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  EXPECT_EQ(total, 1u);
+  EXPECT_EQ(parts.back().end, 1u);
+}
+
+TEST(PartitionByEdge, AllEdgesOnLastVertex) {
+  // Nine zero-degree vertices, then one holding every edge: the heavy
+  // vertex must land in the final non-empty part without overflowing n.
+  std::vector<std::uint64_t> offsets(10, 0);
+  offsets.push_back(1000);
+  const auto parts = partition_by_edge(offsets, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts.front().begin, 0u);
+  EXPECT_EQ(parts.back().end, 10u);
+  for (std::size_t p = 1; p < parts.size(); ++p) {
+    EXPECT_EQ(parts[p].begin, parts[p - 1].end);
+  }
+  // The part containing the hub carries all 1000 edges.
+  std::uint64_t max_edges = 0;
+  for (const auto& p : parts) {
+    max_edges = std::max(max_edges, offsets[p.end] - offsets[p.begin]);
+  }
+  EXPECT_EQ(max_edges, 1000u);
 }
 
 TEST(PartitionByEdge, EdgeCountsRoughlyEqual) {

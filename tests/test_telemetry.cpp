@@ -1,0 +1,365 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cachesim/cache.h"
+#include "core/ihtl_spmv.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/report.h"
+#include "test_util.h"
+
+namespace ihtl {
+namespace {
+
+using telemetry::Counter;
+using telemetry::JsonValue;
+using telemetry::MetricsRegistry;
+using telemetry::ScopedSpan;
+using telemetry::TimerStat;
+
+// -------------------------------------------------------------------- JSON
+
+TEST(Json, BuildAndDumpPrimitives) {
+  JsonValue doc = JsonValue::object();
+  doc.set("flag", true);
+  doc.set("count", std::uint64_t{42});
+  doc.set("ratio", 0.25);
+  doc.set("name", "ihtl");
+  doc.set("missing", JsonValue());
+  const std::string text = doc.dump(0);
+  EXPECT_NE(text.find("\"flag\":true"), std::string::npos);
+  EXPECT_NE(text.find("\"count\":42"), std::string::npos);
+  EXPECT_NE(text.find("\"ratio\":0.25"), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"ihtl\""), std::string::npos);
+  EXPECT_NE(text.find("\"missing\":null"), std::string::npos);
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  JsonValue doc = JsonValue::object();
+  doc.set("zebra", 1);
+  doc.set("alpha", 2);
+  const std::string text = doc.dump(0);
+  EXPECT_LT(text.find("zebra"), text.find("alpha"));
+}
+
+TEST(Json, SetOverwritesExistingKey) {
+  JsonValue doc = JsonValue::object();
+  doc.set("k", 1);
+  doc.set("k", 2);
+  ASSERT_EQ(doc.entries().size(), 1u);
+  EXPECT_DOUBLE_EQ(doc.find("k")->as_number(), 2.0);
+}
+
+TEST(Json, ParseRoundTrip) {
+  JsonValue doc = JsonValue::object();
+  doc.set("n", std::uint64_t{123456789});
+  doc.set("f", 3.5);
+  doc.set("s", "a \"quoted\"\nstring\twith\\escapes");
+  JsonValue arr = JsonValue::array();
+  arr.push_back(1);
+  arr.push_back(false);
+  arr.push_back(JsonValue());
+  doc.set("arr", std::move(arr));
+  JsonValue nested = JsonValue::object();
+  nested.set("deep", "value");
+  doc.set("obj", std::move(nested));
+
+  const JsonValue back = JsonValue::parse(doc.dump());
+  EXPECT_DOUBLE_EQ(back.find("n")->as_number(), 123456789.0);
+  EXPECT_DOUBLE_EQ(back.find("f")->as_number(), 3.5);
+  EXPECT_EQ(back.find("s")->as_string(), "a \"quoted\"\nstring\twith\\escapes");
+  ASSERT_EQ(back.find("arr")->items().size(), 3u);
+  EXPECT_FALSE(back.find("arr")->items()[1].as_bool());
+  EXPECT_TRUE(back.find("arr")->items()[2].is_null());
+  EXPECT_EQ(back.find("obj")->find("deep")->as_string(), "value");
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  // The JSON escape for U+00E9 decodes to the two UTF-8 bytes 0xC3 0xA9.
+  const std::string input = std::string("\"\\") + "u00e9A\"";
+  const JsonValue v = JsonValue::parse(input);
+  EXPECT_EQ(v.as_string(), "\xc3\xa9"
+                           "A");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{\"a\":1} extra"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse(""), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("nul"), std::runtime_error);
+}
+
+TEST(Json, WrongTypeAccessThrows) {
+  const JsonValue v(1.5);
+  EXPECT_THROW(v.as_string(), std::runtime_error);
+  EXPECT_THROW(v.entries(), std::runtime_error);
+  EXPECT_EQ(v.find("k"), nullptr);
+}
+
+TEST(Json, IntegersSurviveExactly) {
+  // Counter values are uint64 but stored as doubles — exact below 2^53.
+  const std::uint64_t big = (std::uint64_t{1} << 53) - 1;
+  JsonValue doc = JsonValue::object();
+  doc.set("big", big);
+  const JsonValue back = JsonValue::parse(doc.dump());
+  EXPECT_EQ(static_cast<std::uint64_t>(back.find("big")->as_number()), big);
+}
+
+// ----------------------------------------------------------------- Counters
+
+TEST(Metrics, CounterShardingAcrossThreads) {
+  MetricsRegistry reg(4);
+  Counter c = reg.counter("work.items");
+  ThreadPool pool(4);
+  parallel_for(pool, 0, 10000,
+               [&](std::uint64_t, std::size_t tid) { c.inc(tid); });
+  EXPECT_EQ(c.total(), 10000u);
+  EXPECT_EQ(reg.counter_total("work.items"), 10000u);
+}
+
+TEST(Metrics, CounterTotalsDeterministicAcrossRuns) {
+  // Sharded counters must sum to the same total regardless of which worker
+  // claimed which chunk.
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    MetricsRegistry reg(threads);
+    Counter c = reg.counter("det");
+    ThreadPool pool(threads);
+    for (int rep = 0; rep < 3; ++rep) {
+      parallel_for(pool, 0, 4321,
+                   [&](std::uint64_t, std::size_t tid) { c.inc(tid); });
+    }
+    EXPECT_EQ(c.total(), 3u * 4321u) << threads << " threads";
+  }
+}
+
+TEST(Metrics, CounterTidBeyondShardCountFolds) {
+  MetricsRegistry reg(2);
+  Counter c = reg.counter("folded");
+  c.add(0, 1);
+  c.add(7, 2);   // folds onto shard 1
+  c.add(98, 4);  // folds onto shard 0
+  EXPECT_EQ(c.total(), 7u);
+}
+
+TEST(Metrics, DefaultConstructedHandlesAreInert) {
+  Counter c;
+  TimerStat t;
+  c.inc(0);
+  c.add(3, 100);
+  t.record_seconds(1.0);
+  EXPECT_EQ(c.total(), 0u);
+}
+
+TEST(Metrics, HandleSurvivesClear) {
+  MetricsRegistry reg(2);
+  Counter c = reg.counter("persist");
+  c.add(0, 5);
+  reg.clear();
+  EXPECT_EQ(c.total(), 0u);
+  c.add(1, 3);
+  EXPECT_EQ(reg.counter_total("persist"), 3u);
+}
+
+// ------------------------------------------------------------------- Timers
+
+TEST(Metrics, TimerStatAggregatesMinMaxCount) {
+  MetricsRegistry reg(1);
+  TimerStat t = reg.timer("phase");
+  t.record_ns(2000);
+  t.record_ns(500);
+  t.record_ns(1000);
+  const auto stats = reg.span("phase");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->count, 3u);
+  EXPECT_NEAR(stats->total_s, 3.5e-6, 1e-12);
+  EXPECT_NEAR(stats->min_s, 5e-7, 1e-12);
+  EXPECT_NEAR(stats->max_s, 2e-6, 1e-12);
+  EXPECT_NEAR(stats->avg_s(), 3.5e-6 / 3, 1e-12);
+}
+
+TEST(Metrics, SpanAbsentReturnsNullopt) {
+  MetricsRegistry reg(1);
+  EXPECT_FALSE(reg.span("nope").has_value());
+  EXPECT_FALSE(reg.gauge("nope").has_value());
+  EXPECT_EQ(reg.counter_total("nope"), 0u);
+}
+
+// -------------------------------------------------------------- ScopedSpan
+
+TEST(Metrics, ScopedSpanNestingBuildsPaths) {
+  MetricsRegistry reg(1);
+  {
+    ScopedSpan outer(reg, "spmv");
+    {
+      ScopedSpan inner(reg, "push");
+    }
+    {
+      ScopedSpan inner(reg, "merge");
+    }
+  }
+  const auto spans = reg.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_TRUE(spans.count("spmv"));
+  EXPECT_TRUE(spans.count("spmv/push"));
+  EXPECT_TRUE(spans.count("spmv/merge"));
+  EXPECT_EQ(spans.at("spmv").count, 1u);
+}
+
+TEST(Metrics, ScopedSpanStopIsIdempotent) {
+  MetricsRegistry reg(1);
+  ScopedSpan span(reg, "once");
+  const double first = span.stop();
+  EXPECT_GE(first, 0.0);
+  EXPECT_EQ(span.stop(), 0.0);
+  EXPECT_EQ(reg.span("once")->count, 1u);
+}
+
+TEST(Metrics, ScopedSpanNullRegistryStillNests) {
+  MetricsRegistry reg(1);
+  {
+    ScopedSpan silent(nullptr, "ghost");
+    ScopedSpan real(reg, "child");
+  }
+  // The null-registry parent contributes to the path but records nothing.
+  EXPECT_TRUE(reg.span("ghost/child").has_value());
+  EXPECT_FALSE(reg.span("ghost").has_value());
+}
+
+// ------------------------------------------------------------------ Gauges
+
+TEST(Metrics, GaugesSetAndSnapshot) {
+  MetricsRegistry reg(1);
+  reg.set_gauge("threads", 4.0);
+  reg.set_gauge("threads", 8.0);  // overwrite
+  EXPECT_DOUBLE_EQ(reg.gauge("threads").value(), 8.0);
+  EXPECT_EQ(reg.gauges().size(), 1u);
+}
+
+// ------------------------------------------------------- subsystem exports
+
+TEST(Metrics, ThreadPoolExportsChunkAndStealCounters) {
+  MetricsRegistry reg(4);
+  ThreadPool pool(2);
+  pool.reset_stats();
+  parallel_for(pool, 0, 1000, [](std::uint64_t, std::size_t) {});
+  pool.export_metrics(reg, "pool");
+  EXPECT_GE(reg.counter_total("pool.jobs"), 1u);
+  EXPECT_GE(reg.counter_total("pool.chunks"), 1u);
+  EXPECT_DOUBLE_EQ(reg.gauge("pool.threads").value(), 2.0);
+  EXPECT_GE(reg.gauge("pool.imbalance").value(), 1.0);
+  // Per-worker counters exist for every worker.
+  std::uint64_t per_worker = 0;
+  for (std::size_t t = 0; t < pool.size(); ++t) {
+    per_worker += reg.counter_total("pool.worker" + std::to_string(t) +
+                                    ".chunks");
+  }
+  EXPECT_EQ(per_worker, reg.counter_total("pool.chunks"));
+}
+
+TEST(Metrics, CacheHierarchyExportsPerLevelCounters) {
+  MetricsRegistry reg(1);
+  CacheHierarchy caches = CacheHierarchy::tiny();
+  for (std::uint64_t i = 0; i < 256; ++i) caches.access(i * 64);
+  caches.export_metrics(reg, "sim");
+  EXPECT_EQ(reg.counter_total("sim.accesses"), 256u);
+  EXPECT_EQ(reg.counter_total("sim.l1.accesses"), 256u);
+  EXPECT_GE(reg.counter_total("sim.l1.misses"), 1u);
+  EXPECT_EQ(reg.counter_total("sim.memory_accesses"),
+            caches.memory_accesses());
+  ASSERT_TRUE(reg.gauge("sim.l1.miss_rate").has_value());
+  EXPECT_NEAR(reg.gauge("sim.l1.miss_rate").value(),
+              caches.level(0).miss_rate(), 1e-12);
+}
+
+TEST(Metrics, EngineRecordsIntoCustomRegistry) {
+  const Graph g = testing::figure2_graph();
+  IhtlConfig cfg;
+  cfg.buffer_bytes = 2 * sizeof(value_t);
+  cfg.min_hub_in_degree = 3;
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+  ThreadPool pool(2);
+  IhtlEngine<PlusMonoid> engine(ig, pool);
+
+  MetricsRegistry reg(4);
+  engine.set_metrics(&reg);
+  std::vector<value_t> x(g.num_vertices(), 1.0), y(g.num_vertices());
+  engine.spmv(x, y);
+  engine.spmv(x, y);
+
+  EXPECT_EQ(reg.counter_total("spmv.calls"), 2u);
+  for (const char* path : {"spmv", "spmv/reset", "spmv/push", "spmv/merge",
+                           "spmv/pull"}) {
+    const auto stats = reg.span(path);
+    ASSERT_TRUE(stats.has_value()) << path;
+    EXPECT_EQ(stats->count, 2u) << path;
+  }
+  // Detaching makes further calls silent.
+  engine.set_metrics(nullptr);
+  engine.spmv(x, y);
+  EXPECT_EQ(reg.counter_total("spmv.calls"), 2u);
+}
+
+// ------------------------------------------------------------------ Report
+
+TEST(Report, SchemaRoundTripsThroughParse) {
+  MetricsRegistry reg(2);
+  reg.counter("hits").add(0, 7);
+  reg.record_span("phase/sub", 0.5);
+  reg.set_gauge("ratio", 0.75);
+
+  JsonValue run = JsonValue::object();
+  run.set("tool", "test");
+  JsonValue graph = JsonValue::object();
+  graph.set("vertices", std::uint64_t{8});
+  JsonValue config = JsonValue::object();
+  config.set("buffer_bytes", std::uint64_t{1024});
+
+  const JsonValue report = telemetry::make_report(
+      reg, std::move(run), std::move(graph), std::move(config));
+  const JsonValue back = JsonValue::parse(report.dump());
+
+  EXPECT_EQ(back.find("run")->find("tool")->as_string(), "test");
+  EXPECT_DOUBLE_EQ(back.find("graph")->find("vertices")->as_number(), 8.0);
+  EXPECT_DOUBLE_EQ(back.find("config")->find("buffer_bytes")->as_number(),
+                   1024.0);
+  EXPECT_DOUBLE_EQ(back.find("counters")->find("hits")->as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(back.find("gauges")->find("ratio")->as_number(), 0.75);
+  const JsonValue* span = back.find("spans")->find("phase/sub");
+  ASSERT_NE(span, nullptr);
+  EXPECT_DOUBLE_EQ(span->find("count")->as_number(), 1.0);
+  EXPECT_NEAR(span->find("total_s")->as_number(), 0.5, 1e-9);
+  EXPECT_NEAR(span->find("avg_s")->as_number(), 0.5, 1e-9);
+  EXPECT_NEAR(span->find("min_s")->as_number(), 0.5, 1e-9);
+  EXPECT_NEAR(span->find("max_s")->as_number(), 0.5, 1e-9);
+}
+
+TEST(Report, WriteJsonFileRoundTrip) {
+  MetricsRegistry reg(1);
+  reg.add("n", 3);
+  const std::string path = ::testing::TempDir() + "/telemetry_report.json";
+  telemetry::write_json_file(telemetry::metrics_to_json(reg), path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const JsonValue back = JsonValue::parse(ss.str());
+  EXPECT_DOUBLE_EQ(back.find("counters")->find("n")->as_number(), 3.0);
+  std::remove(path.c_str());
+}
+
+TEST(Report, WriteJsonFileThrowsOnBadPath) {
+  EXPECT_THROW(telemetry::write_json_file(JsonValue::object(),
+                                          "/no/such/dir/report.json"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ihtl

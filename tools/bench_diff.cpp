@@ -1,0 +1,152 @@
+// Compares two telemetry snapshots (BENCH_*.json from bench/perf_suite, or
+// single-run reports from `ihtl_run --metrics-out`) and reports per-metric
+// deltas. Metrics whose time/miss cost grew past the threshold are flagged
+// as regressions; with --strict the exit code reflects them, so CI can gate
+// on perf without parsing the output.
+//
+//   bench_diff old.json new.json [--threshold 0.10] [--strict] [--all]
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "cli/args.h"
+#include "telemetry/json.h"
+
+namespace {
+
+using ihtl::telemetry::JsonValue;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// Flattens the spans/counters/gauges sections of one run/dataset object
+/// into dotted metric names under `prefix`.
+void flatten_sections(const JsonValue& obj, const std::string& prefix,
+                      std::map<std::string, double>& out) {
+  if (const JsonValue* spans = obj.find("spans"); spans && spans->is_object()) {
+    for (const auto& [path, entry] : spans->entries()) {
+      if (const JsonValue* v = entry.find("total_s")) {
+        out[prefix + "span." + path + ".total_s"] = v->as_number();
+      }
+      if (const JsonValue* v = entry.find("count")) {
+        out[prefix + "span." + path + ".count"] = v->as_number();
+      }
+    }
+  }
+  if (const JsonValue* counters = obj.find("counters");
+      counters && counters->is_object()) {
+    for (const auto& [name, v] : counters->entries()) {
+      out[prefix + "counter." + name] = v.as_number();
+    }
+  }
+  if (const JsonValue* gauges = obj.find("gauges");
+      gauges && gauges->is_object()) {
+    for (const auto& [name, v] : gauges->entries()) {
+      out[prefix + "gauge." + name] = v.as_number();
+    }
+  }
+}
+
+std::map<std::string, double> flatten(const JsonValue& doc) {
+  std::map<std::string, double> out;
+  if (const JsonValue* datasets = doc.find("datasets");
+      datasets && datasets->is_array()) {
+    for (const JsonValue& entry : datasets->items()) {
+      std::string name = "dataset";
+      if (const JsonValue* g = entry.find("graph")) {
+        if (const JsonValue* n = g->find("name")) name = n->as_string();
+      }
+      flatten_sections(entry, name + ".", out);
+    }
+  } else {
+    flatten_sections(doc, "", out);
+  }
+  return out;
+}
+
+/// Regressions are judged on metrics where "more" is "worse": span times,
+/// cache misses / memory accesses, and steal counts.
+bool regression_sensitive(const std::string& key) {
+  return key.find(".total_s") != std::string::npos ||
+         key.find("misses") != std::string::npos ||
+         key.find("memory_accesses") != std::string::npos ||
+         key.find("steals") != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ihtl::ArgParser args;
+  args.add_flag("threshold", true, "regression threshold (default 0.10)");
+  args.add_flag("strict", false, "exit 1 if any regression is flagged");
+  args.add_flag("all", false, "print unchanged metrics too");
+  args.add_flag("help", false, "show usage");
+  try {
+    args.parse(argc, argv);
+    if (args.has("help") || args.positional().size() != 2) {
+      std::printf("usage: bench_diff <old.json> <new.json> "
+                  "[--threshold 0.10] [--strict] [--all]\n%s",
+                  args.help_text().c_str());
+      return args.has("help") ? 0 : 2;
+    }
+    const double threshold = args.get_double("threshold", 0.10);
+    const std::string old_path = args.positional()[0];
+    const std::string new_path = args.positional()[1];
+    const auto old_metrics = flatten(JsonValue::parse(read_file(old_path)));
+    const auto new_metrics = flatten(JsonValue::parse(read_file(new_path)));
+
+    std::printf("%-56s %14s %14s %9s\n", "metric", "old", "new", "delta");
+    int regressions = 0, improvements = 0, compared = 0;
+    for (const auto& [key, old_v] : old_metrics) {
+      const auto it = new_metrics.find(key);
+      if (it == new_metrics.end()) {
+        std::printf("%-56s %14.6g %14s %9s\n", key.c_str(), old_v, "-",
+                    "gone");
+        continue;
+      }
+      ++compared;
+      const double new_v = it->second;
+      const double delta =
+          old_v != 0.0 ? (new_v - old_v) / std::fabs(old_v)
+                       : (new_v == 0.0 ? 0.0 : INFINITY);
+      const bool beyond = std::fabs(delta) > threshold;
+      const bool sensitive = regression_sensitive(key);
+      const char* mark = "";
+      if (beyond && sensitive) {
+        if (delta > 0) {
+          mark = "  << REGRESSION";
+          ++regressions;
+        } else {
+          mark = "  << improved";
+          ++improvements;
+        }
+      }
+      if (beyond || args.has("all")) {
+        std::printf("%-56s %14.6g %14.6g %+8.1f%%%s\n", key.c_str(), old_v,
+                    new_v, 100.0 * delta, mark);
+      }
+    }
+    for (const auto& [key, new_v] : new_metrics) {
+      if (!old_metrics.count(key)) {
+        std::printf("%-56s %14s %14.6g %9s\n", key.c_str(), "-", new_v,
+                    "new");
+      }
+    }
+    std::printf("\ncompared %d metrics: %d regression(s), %d improvement(s) "
+                "beyond %.0f%%\n",
+                compared, regressions, improvements, 100.0 * threshold);
+    if (args.has("strict") && regressions > 0) return 1;
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s\n", e.what());
+    return 2;
+  }
+}
