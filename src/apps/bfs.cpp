@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "check/invariants.h"
 #include "parallel/parallel_for.h"
 #include "parallel/timer.h"
 
@@ -124,6 +125,14 @@ BfsResult bfs(ThreadPool& pool, const Graph& g, vid_t source,
     remaining_edges -= std::min(remaining_edges, frontier_out_edges);
     frontier = std::move(next.first);
     frontier_out_edges = next.second;
+    // Monotone-frontier invariant: every vertex claimed this step carries
+    // exactly the current depth (a smaller level would mean a visited vertex
+    // was re-claimed; a larger one, a skipped level).
+    IHTL_IF_INVARIANTS(for (const vid_t v : frontier) {
+      IHTL_INVARIANT(
+          state.level[v].load(std::memory_order_relaxed) == depth,
+          "BFS frontier vertex level does not match the current depth");
+    })
     ++result.steps;
     ++depth;
   }

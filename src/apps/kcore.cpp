@@ -2,6 +2,7 @@
 
 #include <atomic>
 
+#include "check/invariants.h"
 #include "parallel/parallel_for.h"
 #include "parallel/timer.h"
 
@@ -47,6 +48,12 @@ KCoreResult kcore_decomposition(ThreadPool& pool, const Graph& g) {
       });
       for (std::size_t t = 0; t < nt; ++t) {
         for (const vid_t v : peeled[t]) {
+          // Monotone-peel invariant: a vertex is peeled at most once, and
+          // only while its remaining degree is genuinely below k.
+          IHTL_INVARIANT(alive[v], "k-core peeled a vertex twice");
+          IHTL_INVARIANT(degree[v].load(std::memory_order_relaxed) <
+                             static_cast<std::int64_t>(k),
+                         "k-core peeled a vertex with degree >= k");
           alive[v] = 0;
           result.coreness[v] = k - 1;
           ++removed;

@@ -1,0 +1,439 @@
+#include "check/diff_runner.h"
+
+#include <algorithm>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "gen/generators.h"
+#include "gen/rng.h"
+#include "telemetry/metrics.h"
+
+namespace ihtl::check {
+
+std::string family_name(GenFamily f) {
+  switch (f) {
+    case GenFamily::rmat:
+      return "rmat";
+    case GenFamily::web:
+      return "web";
+    case GenFamily::erdos_renyi:
+      return "erdos-renyi";
+    case GenFamily::ring:
+      return "ring";
+    case GenFamily::star:
+      return "star";
+    case GenFamily::empty_edges:
+      return "empty";
+    case GenFamily::single_vertex:
+      return "single-vertex";
+  }
+  return "unknown";
+}
+
+std::string hub_policy_name(HubPolicy p) {
+  switch (p) {
+    case HubPolicy::standard:
+      return "standard";
+    case HubPolicy::all_hub:
+      return "all-hub";
+    case HubPolicy::zero_hub:
+      return "zero-hub";
+  }
+  return "unknown";
+}
+
+CaseParams CaseParams::draw(std::uint64_t seed) {
+  // SEED-STABILITY: every field below is drawn exactly once, in this frozen
+  // order, regardless of which family/workload consumes it. APPEND new
+  // draws at the end; never insert, remove, or make one conditional —
+  // doing so re-keys every replay seed ever recorded.
+  Rng rng(seed);
+  CaseParams p;
+  p.seed = seed;
+  const std::uint64_t family_roll = rng.next_below(16);
+  p.num_vertices = static_cast<vid_t>(33 + rng.next_below(992));
+  p.edge_factor = static_cast<unsigned>(2 + rng.next_below(15));
+  p.reciprocity = rng.next_double();
+  p.avg_out_degree = static_cast<unsigned>(2 + rng.next_below(20));
+  p.hub_fraction = 0.001 + 0.01 * rng.next_double();
+  p.hub_edge_share = rng.next_double();
+  p.num_edges =
+      static_cast<eid_t>(p.num_vertices) * (1 + rng.next_below(12));
+  p.graph_seed = rng.next_u64();
+  p.build.remove_self_loops = rng.next_below(2) == 0;
+  p.build.dedup = rng.next_below(2) == 0;
+  p.build.remove_zero_degree = rng.next_below(2) == 0;
+  p.build.sort_neighbors = true;
+  p.buffer_values = std::size_t{4} << rng.next_below(8);
+  p.admission_ratio = 0.05 + 0.9 * rng.next_double();
+  p.min_hub_in_degree = 1 + rng.next_below(4);
+  p.separate_fringe = rng.next_below(2) == 0;
+  const std::uint64_t policy_roll = rng.next_below(10);
+  p.threads = static_cast<unsigned>(1 + rng.next_below(4));
+  p.workload = static_cast<Workload>(rng.next_below(kNumWorkloads));
+  p.iterations = static_cast<unsigned>(2 + rng.next_below(3));
+  p.source = static_cast<vid_t>(rng.next_below(1u << 20));
+  p.x_seed = rng.next_u64();
+
+  // Derived values (no draws): rolls map onto families/policies so the
+  // degenerate shapes keep a fixed share of the lattice.
+  if (family_roll < 5) {
+    p.family = GenFamily::rmat;
+  } else if (family_roll < 9) {
+    p.family = GenFamily::web;
+  } else if (family_roll < 12) {
+    p.family = GenFamily::erdos_renyi;
+  } else if (family_roll == 12) {
+    p.family = GenFamily::ring;
+  } else if (family_roll == 13) {
+    p.family = GenFamily::star;
+  } else if (family_roll == 14) {
+    p.family = GenFamily::empty_edges;
+  } else {
+    p.family = GenFamily::single_vertex;
+  }
+  if (p.family == GenFamily::single_vertex) p.num_vertices = 1;
+  if (policy_roll == 0) {
+    p.hub_policy = HubPolicy::all_hub;
+  } else if (policy_roll == 1) {
+    p.hub_policy = HubPolicy::zero_hub;
+  }
+  return p;
+}
+
+IhtlConfig CaseParams::ihtl_config() const {
+  IhtlConfig cfg;
+  cfg.buffer_bytes = buffer_values * sizeof(value_t);
+  cfg.admission_ratio = admission_ratio;
+  cfg.min_hub_in_degree = min_hub_in_degree;
+  cfg.separate_fringe = separate_fringe;
+  switch (hub_policy) {
+    case HubPolicy::standard:
+      break;
+    case HubPolicy::all_hub:
+      // Admit every vertex with an in-edge into some flipped block.
+      cfg.min_hub_in_degree = 1;
+      cfg.admission_ratio = 0.0;
+      break;
+    case HubPolicy::zero_hub:
+      // No vertex qualifies: the iHTL graph degenerates to pure pull.
+      cfg.min_hub_in_degree = std::numeric_limits<eid_t>::max();
+      break;
+  }
+  return cfg;
+}
+
+OracleOptions CaseParams::oracle_options() const {
+  OracleOptions opt;
+  opt.workload = workload;
+  opt.iterations = iterations;
+  opt.source = source;
+  opt.x_seed = x_seed;
+  return opt;
+}
+
+std::string CaseParams::describe() const {
+  std::ostringstream os;
+  os << "seed 0x" << std::hex << seed << std::dec << " family="
+     << family_name(family) << " n=" << num_vertices << " workload="
+     << workload_name(workload) << " threads=" << threads << " policy="
+     << hub_policy_name(hub_policy) << " hubs/block=" << buffer_values
+     << " admission=" << admission_ratio << " minHubDeg=" << min_hub_in_degree
+     << " fringe=" << (separate_fringe ? 1 : 0) << " build[loops="
+     << (build.remove_self_loops ? 1 : 0) << ",dedup=" << (build.dedup ? 1 : 0)
+     << ",zerodeg=" << (build.remove_zero_degree ? 1 : 0) << "]";
+  return os.str();
+}
+
+std::uint64_t point_seed(std::uint64_t base_seed, std::size_t index) {
+  std::uint64_t state =
+      base_seed + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(index + 1);
+  return splitmix64(state);
+}
+
+std::vector<Edge> make_case_edges(const CaseParams& p) {
+  const vid_t n = p.num_vertices;
+  switch (p.family) {
+    case GenFamily::rmat: {
+      RmatParams rp;
+      rp.scale = 0;
+      while ((vid_t{1} << rp.scale) < n) ++rp.scale;
+      rp.edge_factor = p.edge_factor;
+      rp.reciprocity = p.reciprocity;
+      rp.seed = p.graph_seed;
+      std::vector<Edge> edges = rmat_edges(rp);
+      // Fold the 2^scale ID space onto [0, n): keeps the skew while letting
+      // the lattice cover non-power-of-two vertex counts.
+      for (Edge& e : edges) {
+        e.src %= n;
+        e.dst %= n;
+      }
+      return edges;
+    }
+    case GenFamily::web: {
+      WebParams wp;
+      wp.num_vertices = n;
+      wp.avg_out_degree = p.avg_out_degree;
+      wp.max_out_degree = p.avg_out_degree * 3;
+      wp.hub_fraction = p.hub_fraction;
+      wp.hub_edge_share = p.hub_edge_share;
+      wp.seed = p.graph_seed;
+      return web_edges(wp);
+    }
+    case GenFamily::erdos_renyi:
+      return erdos_renyi_edges(n, p.num_edges, p.graph_seed);
+    case GenFamily::ring: {
+      std::vector<Edge> edges;
+      if (n >= 2) {
+        edges.reserve(n);
+        for (vid_t v = 0; v < n; ++v) edges.push_back({v, (v + 1) % n});
+      }
+      return edges;
+    }
+    case GenFamily::star: {
+      std::vector<Edge> edges;
+      edges.reserve(n > 0 ? n - 1 : 0);
+      for (vid_t v = 1; v < n; ++v) edges.push_back({v, 0});
+      return edges;
+    }
+    case GenFamily::empty_edges:
+    case GenFamily::single_vertex:
+      return {};
+  }
+  return {};
+}
+
+Graph make_case_graph(const CaseParams& p) {
+  return build_graph(p.num_vertices, make_case_edges(p), p.build);
+}
+
+CaseResult run_point(std::uint64_t seed, const DiffOptions& opt) {
+  CaseParams p = CaseParams::draw(seed);
+  if (opt.force_threads > 0) p.threads = opt.force_threads;
+  if (opt.force_workload) p.workload = *opt.force_workload;
+
+  const Graph g = make_case_graph(p);
+  ThreadPool pool(p.threads);
+  OracleOptions oopt = p.oracle_options();
+  oopt.plus_engine_override = opt.engine_override;
+  CaseResult result{p, run_oracle(pool, g, p.ihtl_config(), oopt)};
+
+  auto& reg = telemetry::MetricsRegistry::global();
+  reg.counter("check/points_run").inc(0);
+  reg.counter("check/mismatches").add(0, result.report.ok ? 0 : 1);
+  reg.counter("check/minimize_steps").add(0, 0);  // register for reports
+  return result;
+}
+
+std::optional<CaseResult> run_lattice(const DiffOptions& opt) {
+  for (std::size_t i = 0; i < opt.points; ++i) {
+    const std::uint64_t seed = point_seed(opt.base_seed, i);
+    CaseResult r = run_point(seed, opt);
+    if (opt.out && opt.verbose) {
+      *opt.out << "[" << i + 1 << "/" << opt.points << "] "
+               << r.params.describe() << " -> " << r.report.summary() << "\n";
+    }
+    if (!r.report.ok) return r;
+  }
+  return std::nullopt;
+}
+
+MinimizedCase minimize_case(const CaseResult& failure,
+                            const DiffOptions& opt) {
+  MinimizedCase m;
+  m.params = failure.params;
+  m.report = failure.report;
+  m.injected_fault = static_cast<bool>(opt.engine_override);
+
+  auto step_counter =
+      telemetry::MetricsRegistry::global().counter("check/minimize_steps");
+  const IhtlConfig cfg = m.params.ihtl_config();
+  OracleOptions oopt = m.params.oracle_options();
+  oopt.plus_engine_override = opt.engine_override;
+
+  auto fails = [&](vid_t n, const std::vector<Edge>& edges,
+                   OracleReport* out) {
+    ++m.steps;
+    step_counter.inc(0);
+    const Graph g = build_graph(n, edges, m.params.build);
+    ThreadPool pool(m.params.threads);
+    OracleReport rep = run_oracle(pool, g, cfg, oopt);
+    if (out) *out = rep;
+    return !rep.ok;
+  };
+
+  vid_t n = m.params.num_vertices;
+  std::vector<Edge> edges = make_case_edges(m.params);
+
+  // The failure must reproduce from the regenerated inputs before any
+  // shrinking is trusted.
+  OracleReport rep;
+  if (!fails(n, edges, &rep)) {
+    m.num_vertices = n;
+    m.edges = std::move(edges);
+    return m;  // reproduced stays false; caller reports the replay anomaly
+  }
+  m.reproduced = true;
+  m.report = rep;
+
+  // Phase 1: greedy chunked edge removal (ddmin-style). Chunks halve down
+  // to single edges; a pass at chunk size 1 with no removal is a fixpoint.
+  const std::size_t budget = 4000;  // oracle evaluations
+  std::size_t chunk = std::max<std::size_t>(1, edges.size() / 2);
+  while (m.steps < budget) {
+    bool removed_any = false;
+    for (std::size_t start = 0; start < edges.size() && m.steps < budget;) {
+      const std::size_t end = std::min(edges.size(), start + chunk);
+      std::vector<Edge> candidate;
+      candidate.reserve(edges.size() - (end - start));
+      candidate.insert(candidate.end(), edges.begin(),
+                       edges.begin() + static_cast<std::ptrdiff_t>(start));
+      candidate.insert(candidate.end(),
+                       edges.begin() + static_cast<std::ptrdiff_t>(end),
+                       edges.end());
+      if (fails(n, candidate, &rep)) {
+        edges = std::move(candidate);
+        m.report = rep;
+        removed_any = true;  // same start now covers new edges; retry it
+      } else {
+        start = end;
+      }
+    }
+    if (chunk == 1) {
+      if (!removed_any) break;
+    } else {
+      chunk = std::max<std::size_t>(1, chunk / 2);
+    }
+  }
+
+  // Phase 2: shrink the vertex space — truncate past the highest used ID,
+  // then compact out interior isolated vertices (kept only if the failure
+  // survives; e.g. PageRank's 1/n base term depends on the count).
+  vid_t max_used = 0;
+  for (const Edge& e : edges) {
+    max_used = std::max(max_used, std::max(e.src, e.dst));
+  }
+  const vid_t truncated = edges.empty() ? 1 : max_used + 1;
+  if (truncated < n && fails(truncated, edges, &rep)) {
+    n = truncated;
+    m.report = rep;
+  }
+  {
+    std::vector<vid_t> remap(n, n);
+    vid_t next_id = 0;
+    for (vid_t v = 0; v < n; ++v) {
+      for (const Edge& e : edges) {
+        if (e.src == v || e.dst == v) {
+          remap[v] = next_id++;
+          break;
+        }
+      }
+    }
+    if (next_id > 0 && next_id < n) {
+      std::vector<Edge> compacted;
+      compacted.reserve(edges.size());
+      for (const Edge& e : edges) {
+        compacted.push_back({remap[e.src], remap[e.dst]});
+      }
+      if (fails(next_id, compacted, &rep)) {
+        n = next_id;
+        edges = std::move(compacted);
+        m.report = rep;
+      }
+    }
+  }
+
+  m.num_vertices = n;
+  m.edges = std::move(edges);
+  return m;
+}
+
+namespace {
+
+const char* workload_enum_name(Workload w) {
+  switch (w) {
+    case Workload::spmv_plus:
+      return "spmv_plus";
+    case Workload::spmv_min:
+      return "spmv_min";
+    case Workload::spmv_max:
+      return "spmv_max";
+    case Workload::pagerank:
+      return "pagerank";
+    case Workload::pagerank_delta:
+      return "pagerank_delta";
+    case Workload::hits:
+      return "hits";
+    case Workload::bfs:
+      return "bfs";
+    case Workload::kcore:
+      return "kcore";
+  }
+  return "spmv_plus";
+}
+
+}  // namespace
+
+std::string repro_snippet(const MinimizedCase& m) {
+  const CaseParams& p = m.params;
+  const IhtlConfig cfg = p.ihtl_config();
+  std::ostringstream os;
+  os.precision(17);  // doubles must round-trip exactly for replay fidelity
+  os << "// Minimized ihtl_check repro: replay seed 0x" << std::hex << p.seed
+     << std::dec << ", " << m.num_vertices << " vertices, " << m.edges.size()
+     << " edges.\n"
+     << "// Failure: " << m.report.summary() << "\n"
+     << "// Compile against the ihtl libraries (see tests/test_check.cpp for\n"
+     << "// the same call driven under gtest) and commit as a regression.\n"
+     << "#include <cstdio>\n"
+     << "#include <vector>\n"
+     << "\n"
+     << "#include \"check/oracle.h\"\n"
+     << "#include \"graph/graph.h\"\n"
+     << "#include \"parallel/thread_pool.h\"\n"
+     << "\n"
+     << "int main() {\n"
+     << "  using namespace ihtl;\n"
+     << "  const std::vector<Edge> edges = {";
+  for (std::size_t i = 0; i < m.edges.size(); ++i) {
+    if (i % 8 == 0) os << "\n      ";
+    os << "{" << m.edges[i].src << ", " << m.edges[i].dst << "},";
+    if (i % 8 != 7 && i + 1 != m.edges.size()) os << " ";
+  }
+  os << "\n  };\n"
+     << "  BuildOptions build;\n"
+     << "  build.remove_self_loops = " << (p.build.remove_self_loops ? "true" : "false")
+     << ";\n"
+     << "  build.dedup = " << (p.build.dedup ? "true" : "false") << ";\n"
+     << "  build.remove_zero_degree = "
+     << (p.build.remove_zero_degree ? "true" : "false") << ";\n"
+     << "  build.sort_neighbors = true;\n"
+     << "  const Graph g = build_graph(" << m.num_vertices
+     << ", edges, build);\n"
+     << "  IhtlConfig cfg;\n"
+     << "  cfg.buffer_bytes = " << cfg.buffer_bytes << ";\n"
+     << "  cfg.admission_ratio = " << cfg.admission_ratio << ";\n"
+     << "  cfg.min_hub_in_degree = " << cfg.min_hub_in_degree << "ULL;\n"
+     << "  cfg.separate_fringe = " << (cfg.separate_fringe ? "true" : "false")
+     << ";\n"
+     << "  ThreadPool pool(" << p.threads << ");\n"
+     << "  check::OracleOptions opt;\n"
+     << "  opt.workload = check::Workload::" << workload_enum_name(p.workload)
+     << ";\n"
+     << "  opt.iterations = " << p.iterations << ";\n"
+     << "  opt.source = " << p.source << ";\n"
+     << "  opt.x_seed = " << p.x_seed << "ULL;\n";
+  if (m.injected_fault) {
+    os << "  // The original run injected the drop-merge fault; without this\n"
+       << "  // line the real engine passes and the repro proves nothing.\n"
+       << "  opt.plus_engine_override = check::drop_merge_fault();\n";
+  }
+  os << "  const check::OracleReport report = check::run_oracle(pool, g, cfg, opt);\n"
+     << "  std::puts(report.summary().c_str());\n"
+     << "  return report.ok ? 0 : 1;\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace ihtl::check

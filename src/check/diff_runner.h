@@ -1,0 +1,140 @@
+// Generative differential runner: walks a seeded configuration lattice
+// (generator family x build options x hub-selection policy x flipped-block
+// budget x thread count x workload) and executes the oracle at every point.
+// Any point is exactly reproducible from its 64-bit seed (`ihtl_check
+// --replay <seed>`), and a failing point can be greedily minimized to a
+// small self-contained repro snippet.
+//
+// SEED-STABILITY CONTRACT: every lattice parameter is drawn centrally in
+// CaseParams::draw, which draws EVERY field exactly once in a frozen order
+// regardless of which family/workload ends up using it. Adding a parameter
+// means appending a draw at the end — never inserting one — so existing
+// replay seeds keep meaning across refactors. (The old fuzz tier drew
+// parameters inline with family-dependent order; editing it silently
+// re-keyed every seed.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/oracle.h"
+#include "graph/graph.h"
+
+namespace ihtl::check {
+
+enum class GenFamily {
+  rmat,           ///< social-network stand-in (skewed, reciprocal hubs)
+  web,            ///< web-crawl stand-in (asymmetric in-hubs)
+  erdos_renyi,    ///< uniform negative control
+  ring,           ///< single cycle: diameter n, one in-edge per vertex
+  star,           ///< all edges into vertex 0: one mega-hub
+  empty_edges,    ///< vertices but no edges
+  single_vertex,  ///< the 1-vertex graph
+};
+inline constexpr int kNumFamilies = 7;
+std::string family_name(GenFamily f);
+
+/// Hub-selection extremes of the lattice. `all_hub` forces every vertex
+/// with an in-edge into a flipped block; `zero_hub` disables hub selection
+/// entirely (pure sparse pull).
+enum class HubPolicy { standard, all_hub, zero_hub };
+std::string hub_policy_name(HubPolicy p);
+
+/// Every parameter of one differential point, with explicit fields.
+struct CaseParams {
+  // -- identity ------------------------------------------------------------
+  std::uint64_t seed = 0;  ///< the point's replay key
+  // -- graph ---------------------------------------------------------------
+  GenFamily family = GenFamily::rmat;
+  vid_t num_vertices = 0;       ///< arbitrary (non-power-of-two) counts
+  unsigned edge_factor = 0;     ///< rmat
+  double reciprocity = 0.0;     ///< rmat
+  unsigned avg_out_degree = 0;  ///< web
+  double hub_fraction = 0.0;    ///< web
+  double hub_edge_share = 0.0;  ///< web
+  eid_t num_edges = 0;          ///< erdos_renyi
+  std::uint64_t graph_seed = 0;
+  BuildOptions build;
+  // -- iHTL configuration lattice ------------------------------------------
+  std::size_t buffer_values = 0;  ///< hubs per flipped block
+  double admission_ratio = 0.5;
+  eid_t min_hub_in_degree = 2;
+  bool separate_fringe = true;
+  HubPolicy hub_policy = HubPolicy::standard;
+  // -- execution -----------------------------------------------------------
+  unsigned threads = 1;
+  Workload workload = Workload::spmv_plus;
+  unsigned iterations = 3;
+  vid_t source = 0;  ///< BFS source (modulo |V| at use)
+  std::uint64_t x_seed = 1;
+
+  /// Draws a full point from `seed`. See the seed-stability contract above.
+  static CaseParams draw(std::uint64_t seed);
+
+  /// The IhtlConfig for this point, with the hub policy folded in.
+  IhtlConfig ihtl_config() const;
+  /// The oracle options for this point (without any engine override).
+  OracleOptions oracle_options() const;
+  /// One-line human description for logs and failure reports.
+  std::string describe() const;
+};
+
+/// Seed of lattice point `index` under `base_seed` (splitmix-decorrelated,
+/// so neighbouring indices share no RNG structure).
+std::uint64_t point_seed(std::uint64_t base_seed, std::size_t index);
+
+/// The raw generated edge list of a point (before BuildOptions are applied);
+/// the minimizer shrinks exactly this list.
+std::vector<Edge> make_case_edges(const CaseParams& p);
+/// Builds the point's graph: build_graph(num_vertices, edges, build).
+Graph make_case_graph(const CaseParams& p);
+
+struct CaseResult {
+  CaseParams params;  ///< effective parameters (after any forces)
+  OracleReport report;
+};
+
+struct DiffOptions {
+  std::uint64_t base_seed = 2026;
+  std::size_t points = 64;
+  unsigned force_threads = 0;  ///< > 0 overrides CaseParams::threads
+  std::optional<Workload> force_workload;
+  EngineOverride engine_override;  ///< fault injection (tests / --inject-fault)
+  bool verbose = false;
+  std::ostream* out = nullptr;  ///< progress stream (nullptr = silent)
+};
+
+/// Runs one lattice point. Telemetry: increments check/points_run, and
+/// check/mismatches on failure.
+CaseResult run_point(std::uint64_t seed, const DiffOptions& opt = {});
+
+/// Walks `opt.points` lattice points; returns the first failing case, or
+/// nullopt if every point passed.
+std::optional<CaseResult> run_lattice(const DiffOptions& opt);
+
+/// A failing case shrunk by the greedy minimizer.
+struct MinimizedCase {
+  bool reproduced = false;  ///< regenerated inputs reproduced the failure
+  bool injected_fault = false;  ///< an engine override was active (self-test)
+  vid_t num_vertices = 0;
+  std::vector<Edge> edges;  ///< input to build_graph (params.build applies)
+  CaseParams params;
+  OracleReport report;    ///< report on the minimized graph
+  std::size_t steps = 0;  ///< oracle evaluations spent minimizing
+};
+
+/// Greedy delta-debugging minimizer: removes edge chunks (halving the chunk
+/// size down to single edges) while the oracle still fails, then truncates
+/// and compacts the vertex ID space. Telemetry: each oracle evaluation
+/// increments check/minimize_steps.
+MinimizedCase minimize_case(const CaseResult& failure,
+                            const DiffOptions& opt = {});
+
+/// A self-contained compilable C++ repro of a minimized case.
+std::string repro_snippet(const MinimizedCase& m);
+
+}  // namespace ihtl::check

@@ -1,0 +1,49 @@
+// Debug-build invariant hooks (the check subsystem's third leg, next to the
+// oracle and the differential runner).
+//
+// Compiled in only under -DIHTL_CHECK_INVARIANTS (CMake option of the same
+// name); in normal builds every macro expands to nothing, so hot paths keep
+// their Release codegen. Hook sites live in ihtl_graph.cpp (edge-partition
+// conservation, permutation bijectivity), ihtl_spmv.h (push-chunk tiling,
+// per-thread buffer disjointness before merge), thread_pool.cpp (no nested
+// jobs), and bfs.cpp / kcore.cpp (monotone frontier / peel).
+//
+// This header is intentionally dependency-free (stdio only) so that every
+// layer — parallel/, core/, apps/ — can include it without cycles.
+#pragma once
+
+#ifdef IHTL_CHECK_INVARIANTS
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ihtl::check {
+
+/// Reports a violated invariant and aborts (so CI and sanitizer runs fail
+/// loudly at the first violation, with the hook site in the backtrace).
+[[noreturn]] inline void invariant_failure(const char* file, int line,
+                                           const char* what) {
+  std::fprintf(stderr, "IHTL_INVARIANT violated at %s:%d: %s\n", file, line,
+               what);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ihtl::check
+
+/// Checks `cond` in invariant builds; no-op otherwise.
+#define IHTL_INVARIANT(cond, msg)          \
+  (static_cast<bool>(cond)                 \
+       ? static_cast<void>(0)              \
+       : ::ihtl::check::invariant_failure(__FILE__, __LINE__, msg))
+
+/// Emits `...` (declarations/statements) only in invariant builds. Use for
+/// check code whose setup would otherwise cost time or memory in Release.
+#define IHTL_IF_INVARIANTS(...) __VA_ARGS__
+
+#else  // !IHTL_CHECK_INVARIANTS
+
+#define IHTL_INVARIANT(cond, msg) static_cast<void>(0)
+#define IHTL_IF_INVARIANTS(...)
+
+#endif  // IHTL_CHECK_INVARIANTS

@@ -1,0 +1,472 @@
+#include "check/oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <type_traits>
+#include <vector>
+
+#include "apps/analytics.h"
+#include "apps/bfs.h"
+#include "apps/hits.h"
+#include "apps/kcore.h"
+#include "apps/pagerank_delta.h"
+#include "baselines/spmv.h"
+#include "gen/rng.h"
+
+namespace ihtl::check {
+
+std::string workload_name(Workload w) {
+  switch (w) {
+    case Workload::spmv_plus:
+      return "spmv-plus";
+    case Workload::spmv_min:
+      return "spmv-min";
+    case Workload::spmv_max:
+      return "spmv-max";
+    case Workload::pagerank:
+      return "pagerank";
+    case Workload::pagerank_delta:
+      return "pagerank-delta";
+    case Workload::hits:
+      return "hits";
+    case Workload::bfs:
+      return "bfs";
+    case Workload::kcore:
+      return "kcore";
+  }
+  return "unknown";
+}
+
+std::optional<Workload> workload_from_name(const std::string& name) {
+  for (int i = 0; i < kNumWorkloads; ++i) {
+    const auto w = static_cast<Workload>(i);
+    if (workload_name(w) == name) return w;
+  }
+  return std::nullopt;
+}
+
+std::string vertex_class_name(VertexClass c) {
+  switch (c) {
+    case VertexClass::hub:
+      return "hub";
+    case VertexClass::vweh:
+      return "vweh";
+    case VertexClass::fv:
+      return "fv";
+    case VertexClass::none:
+      return "none";
+  }
+  return "unknown";
+}
+
+VertexClass classify_vertex(const IhtlGraph& ig, vid_t new_id,
+                            int* block_out) {
+  if (block_out) *block_out = -1;
+  if (new_id < ig.num_hubs()) {
+    if (block_out) {
+      for (std::size_t b = 0; b < ig.blocks().size(); ++b) {
+        const FlippedBlock& blk = ig.blocks()[b];
+        if (new_id >= blk.hub_begin && new_id < blk.hub_end) {
+          *block_out = static_cast<int>(b);
+          break;
+        }
+      }
+    }
+    return VertexClass::hub;
+  }
+  if (new_id < ig.num_push_sources()) return VertexClass::vweh;
+  return VertexClass::fv;
+}
+
+std::string OracleReport::summary() const {
+  char buf[256];
+  if (ok) {
+    std::snprintf(buf, sizeof(buf), "OK[%s]", workload_name(workload).c_str());
+    return buf;
+  }
+  if (kind == "structure") {
+    std::snprintf(buf, sizeof(buf),
+                  "MISMATCH[%s/structure]: IhtlGraph::valid() failed",
+                  workload_name(workload).c_str());
+    return buf;
+  }
+  const Mismatch& m = *first;
+  std::snprintf(buf, sizeof(buf),
+                "MISMATCH[%s] engine=%s iteration=%u vertex=%u (new %u, "
+                "class %s, block %d): expected %.17g actual %.17g (+%u more)",
+                workload_name(workload).c_str(), engine.c_str(), m.iteration,
+                m.vertex_old, m.vertex_new, vertex_class_name(m.cls).c_str(),
+                m.block, static_cast<double>(m.expected),
+                static_cast<double>(m.actual),
+                num_divergent ? num_divergent - 1 : 0);
+  return buf;
+}
+
+EngineOverride drop_merge_fault() {
+  return [](IhtlEngine<PlusMonoid>& engine, const IhtlGraph& ig) -> SpmvFn {
+    return [&engine, &ig](std::span<const value_t> x, std::span<value_t> y) {
+      engine.spmv(x, y);
+      if (ig.blocks().empty()) return;
+      // The fault: the last flipped block's merge never lands — its hubs
+      // read back as if every per-thread buffer held the identity.
+      const FlippedBlock& blk = ig.blocks().back();
+      for (vid_t h = blk.hub_begin; h < blk.hub_end; ++h) {
+        y[h] = PlusMonoid::identity();
+      }
+    };
+  };
+}
+
+namespace {
+
+bool values_differ(value_t expected, value_t actual, double tol) {
+  if (std::isinf(expected) || std::isinf(actual)) return expected != actual;
+  return std::abs(expected - actual) > tol * std::max(1.0, std::abs(expected));
+}
+
+/// Compares old-ID-space vectors; on divergence fills `rep` (classifying
+/// through `ig` when given) and returns true.
+bool report_compare(std::span<const value_t> expected,
+                    std::span<const value_t> actual, double tol,
+                    unsigned iteration, const IhtlGraph* ig,
+                    const char* engine, OracleReport& rep) {
+  std::optional<Mismatch> first;
+  vid_t divergent = 0;
+  for (std::size_t v = 0; v < expected.size(); ++v) {
+    if (!values_differ(expected[v], actual[v], tol)) continue;
+    ++divergent;
+    if (!first) {
+      Mismatch m;
+      m.vertex_old = static_cast<vid_t>(v);
+      m.vertex_new = m.vertex_old;
+      if (ig) {
+        m.vertex_new = ig->old_to_new()[v];
+        m.cls = classify_vertex(*ig, m.vertex_new, &m.block);
+      }
+      m.iteration = iteration;
+      m.expected = expected[v];
+      m.actual = actual[v];
+      first = m;
+    }
+  }
+  if (divergent == 0) return false;
+  rep.ok = false;
+  rep.kind = "value";
+  rep.engine = engine;
+  rep.first = first;
+  rep.num_divergent = divergent;
+  return true;
+}
+
+std::vector<value_t> reference_input(vid_t n, std::uint64_t seed) {
+  std::vector<value_t> x(n);
+  Rng rng(seed);
+  for (auto& v : x) v = rng.next_double();
+  return x;
+}
+
+/// Repeated-SpMV oracle: per iteration, the serial pull on the original
+/// graph is the reference; the engine (possibly overridden) runs on the
+/// relabeled graph. The reference result feeds both sides' next iteration,
+/// so a divergence at iteration i means the engines disagree on IDENTICAL
+/// input at that iteration.
+template <typename Monoid>
+void oracle_spmv(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
+                 const OracleOptions& opt, OracleReport& rep) {
+  const vid_t n = g.num_vertices();
+  IhtlEngine<Monoid> engine(ig, pool);
+  SpmvFn under_test = [&engine](std::span<const value_t> x,
+                                std::span<value_t> y) { engine.spmv(x, y); };
+  if constexpr (std::is_same_v<Monoid, PlusMonoid>) {
+    if (opt.plus_engine_override) {
+      under_test = opt.plus_engine_override(engine, ig);
+    }
+  }
+  const auto& o2n = ig.old_to_new();
+  std::vector<value_t> x = reference_input(n, opt.x_seed);
+  std::vector<value_t> expected(n), xp(n), yp(n), actual(n);
+  for (unsigned it = 0; it < opt.iterations; ++it) {
+    spmv_pull_serial<Monoid>(g, x, expected);
+    for (vid_t v = 0; v < n; ++v) xp[o2n[v]] = x[v];
+    under_test(xp, yp);
+    for (vid_t v = 0; v < n; ++v) actual[v] = yp[o2n[v]];
+    if (report_compare(expected, actual, opt.tolerance, it, &ig, "ihtl",
+                       rep)) {
+      return;
+    }
+    // Feed the reference forward; rescale plus results so magnitudes stay
+    // O(1) and the relative tolerance keeps meaning across iterations.
+    if constexpr (std::is_same_v<Monoid, PlusMonoid>) {
+      value_t maxv = 0;
+      for (const value_t v : expected) maxv = std::max(maxv, std::abs(v));
+      const value_t scale = maxv > 0 ? 1.0 / maxv : 1.0;
+      for (vid_t v = 0; v < n; ++v) x[v] = expected[v] * scale;
+    } else {
+      x = expected;
+    }
+  }
+}
+
+/// PageRank oracle: the reference is a from-scratch serial power iteration;
+/// the engine side replicates the same recurrence in the relabeled space on
+/// top of the (possibly overridden) iHTL engine. Compared per iteration.
+void oracle_pagerank(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
+                     const OracleOptions& opt, OracleReport& rep) {
+  const vid_t n = g.num_vertices();
+  if (n == 0) return;
+  const double damping = 0.85;
+  const value_t base = (1.0 - damping) / n;
+
+  IhtlEngine<PlusMonoid> engine(ig, pool);
+  SpmvFn under_test = [&engine](std::span<const value_t> x,
+                                std::span<value_t> y) { engine.spmv(x, y); };
+  if (opt.plus_engine_override) {
+    under_test = opt.plus_engine_override(engine, ig);
+  }
+  const auto& o2n = ig.old_to_new();
+
+  std::vector<value_t> pr(n, 1.0 / n), x(n), y(n);
+  std::vector<value_t> pr_new(n, 1.0 / n), xn(n), yn(n), actual(n);
+  std::vector<eid_t> deg(n), deg_new(n);
+  for (vid_t v = 0; v < n; ++v) {
+    deg[v] = g.out_degree(v);
+    deg_new[o2n[v]] = deg[v];
+  }
+  for (unsigned it = 0; it < opt.iterations; ++it) {
+    for (vid_t v = 0; v < n; ++v) {
+      x[v] = deg[v] ? damping * pr[v] / deg[v] : 0.0;
+    }
+    spmv_pull_serial<PlusMonoid>(g, x, y);
+    for (vid_t v = 0; v < n; ++v) pr[v] = base + y[v];
+
+    for (vid_t v = 0; v < n; ++v) {
+      xn[v] = deg_new[v] ? damping * pr_new[v] / deg_new[v] : 0.0;
+    }
+    under_test(xn, yn);
+    for (vid_t v = 0; v < n; ++v) pr_new[v] = base + yn[v];
+
+    for (vid_t v = 0; v < n; ++v) actual[v] = pr_new[o2n[v]];
+    if (report_compare(pr, actual, opt.tolerance, it, &ig, "ihtl", rep)) {
+      return;
+    }
+  }
+}
+
+/// Delta-PageRank oracle: with epsilon = 0, the frontier formulation must
+/// reproduce the plain power iteration exactly (up to fp associativity).
+void oracle_pagerank_delta(ThreadPool& pool, const Graph& g,
+                           const OracleOptions& opt, OracleReport& rep) {
+  const vid_t n = g.num_vertices();
+  if (n == 0) return;
+  const double damping = 0.85;
+  const value_t base = (1.0 - damping) / n;
+  std::vector<value_t> pr(n, 1.0 / n), x(n), y(n);
+  for (unsigned it = 0; it < opt.iterations; ++it) {
+    for (vid_t v = 0; v < n; ++v) {
+      const eid_t deg = g.out_degree(v);
+      x[v] = deg ? damping * pr[v] / deg : 0.0;
+    }
+    spmv_pull_serial<PlusMonoid>(g, x, y);
+    for (vid_t v = 0; v < n; ++v) pr[v] = base + y[v];
+  }
+
+  PageRankDeltaOptions dopt;
+  dopt.damping = damping;
+  dopt.epsilon = 0.0;
+  dopt.max_rounds = opt.iterations;
+  const PageRankDeltaResult r = pagerank_delta(pool, g, dopt);
+  report_compare(pr, r.ranks, opt.tolerance,
+                 opt.iterations ? opt.iterations - 1 : 0, nullptr,
+                 "pagerank-delta", rep);
+}
+
+void serial_l2_normalize(std::vector<value_t>& v) {
+  double norm_sq = 0;
+  for (const value_t e : v) norm_sq += e * e;
+  const double norm = std::sqrt(norm_sq);
+  if (norm == 0.0) return;
+  for (value_t& e : v) e /= norm;
+}
+
+/// HITS oracle: serial authority/hub recurrence vs the two-direction iHTL
+/// path. Authority mismatches are classified through the forward iHTL graph
+/// (the one that accelerates the authority pull).
+void oracle_hits(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
+                 const IhtlConfig& cfg, const OracleOptions& opt,
+                 OracleReport& rep) {
+  const vid_t n = g.num_vertices();
+  if (n == 0) return;
+  std::vector<value_t> auth(n, 1.0), hub(n, 1.0);
+  for (unsigned it = 0; it < opt.iterations; ++it) {
+    std::vector<value_t> auth_next(n, 0.0), hub_next(n, 0.0);
+    for (vid_t v = 0; v < n; ++v) {
+      value_t acc = 0;
+      for (const vid_t u : g.in().neighbors(v)) acc += hub[u];
+      auth_next[v] = acc;
+    }
+    serial_l2_normalize(auth_next);
+    for (vid_t v = 0; v < n; ++v) {
+      value_t acc = 0;
+      for (const vid_t u : g.out().neighbors(v)) acc += auth_next[u];
+      hub_next[v] = acc;
+    }
+    serial_l2_normalize(hub_next);
+    auth = std::move(auth_next);
+    hub = std::move(hub_next);
+  }
+
+  HitsOptions hopt;
+  hopt.iterations = opt.iterations;
+  hopt.kernel = HitsKernel::ihtl;
+  hopt.ihtl = cfg;
+  const HitsResult r = hits(pool, g, hopt);
+  const unsigned last = opt.iterations ? opt.iterations - 1 : 0;
+  if (report_compare(auth, r.authority, opt.tolerance, last, &ig,
+                     "ihtl-hits-authority", rep)) {
+    return;
+  }
+  report_compare(hub, r.hub, opt.tolerance, last, nullptr, "ihtl-hits-hub",
+                 rep);
+}
+
+std::vector<value_t> serial_bfs_levels(const Graph& g, vid_t source) {
+  const vid_t n = g.num_vertices();
+  std::vector<value_t> level(n, MinMonoid::identity());
+  if (n == 0) return level;
+  std::deque<vid_t> queue;
+  level[source] = 0.0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const vid_t u = queue.front();
+    queue.pop_front();
+    for (const vid_t t : g.out().neighbors(u)) {
+      if (std::isinf(level[t])) {
+        level[t] = level[u] + 1.0;
+        queue.push_back(t);
+      }
+    }
+  }
+  return level;
+}
+
+/// BFS oracle: a textbook serial queue BFS is the reference; both the
+/// min-monoid iHTL fixpoint and the frontier direction-optimizing BFS must
+/// reproduce its levels exactly (small integers in doubles — no tolerance).
+void oracle_bfs(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
+                const IhtlConfig& cfg, const OracleOptions& opt,
+                OracleReport& rep) {
+  const vid_t n = g.num_vertices();
+  if (n == 0) return;
+  const vid_t source = opt.source % n;
+  const std::vector<value_t> expected = serial_bfs_levels(g, source);
+
+  const AnalyticsResult r =
+      sssp_unit(pool, g, source, AnalyticsKernel::ihtl, cfg);
+  if (report_compare(expected, r.values, 0.0, 0, &ig, "ihtl-min-spmv", rep)) {
+    return;
+  }
+
+  const BfsResult fr = bfs(pool, g, source);
+  std::vector<value_t> frontier_levels(n);
+  for (vid_t v = 0; v < n; ++v) {
+    frontier_levels[v] = fr.level[v] == BfsResult::kUnreached
+                             ? MinMonoid::identity()
+                             : static_cast<value_t>(fr.level[v]);
+  }
+  report_compare(expected, frontier_levels, 0.0, 0, nullptr, "frontier-bfs",
+                 rep);
+}
+
+/// k-core oracle: serial one-vertex-at-a-time peeling vs the parallel
+/// wave peeler, both on the symmetric closure. Coreness is order-independent
+/// so the two must agree exactly.
+void oracle_kcore(ThreadPool& pool, const Graph& g, const OracleOptions& opt,
+                  OracleReport& rep) {
+  (void)opt;
+  const Graph sym = symmetrize(g);
+  const vid_t n = sym.num_vertices();
+  std::vector<value_t> expected(n, 0.0);
+  {
+    std::vector<std::int64_t> degree(n);
+    std::vector<char> alive(n, 1);
+    vid_t remaining = n;
+    for (vid_t v = 0; v < n; ++v) {
+      degree[v] = static_cast<std::int64_t>(sym.out_degree(v));
+    }
+    vid_t k = 1;
+    while (remaining > 0) {
+      bool peeled = true;
+      while (peeled) {
+        peeled = false;
+        for (vid_t v = 0; v < n; ++v) {
+          if (!alive[v] || degree[v] >= static_cast<std::int64_t>(k)) continue;
+          alive[v] = 0;
+          expected[v] = static_cast<value_t>(k - 1);
+          --remaining;
+          for (const vid_t u : sym.in().neighbors(v)) --degree[u];
+          peeled = true;
+        }
+      }
+      if (remaining > 0) ++k;
+    }
+  }
+  const KCoreResult r = kcore_decomposition(pool, sym);
+  std::vector<value_t> actual(n);
+  for (vid_t v = 0; v < n; ++v) actual[v] = static_cast<value_t>(r.coreness[v]);
+  report_compare(expected, actual, 0.0, 0, nullptr, "kcore-peeler", rep);
+}
+
+}  // namespace
+
+OracleReport run_oracle(ThreadPool& pool, const Graph& g,
+                        const IhtlConfig& cfg, const OracleOptions& opt) {
+  OracleReport rep;
+  rep.workload = opt.workload;
+
+  // Workloads that traverse through the relabeled space get a structural
+  // pre-check: a broken edge partition or permutation is reported as such
+  // rather than as a downstream value divergence.
+  const bool needs_ihtl = opt.workload != Workload::pagerank_delta &&
+                          opt.workload != Workload::kcore;
+  IhtlGraph ig;
+  if (needs_ihtl) {
+    ig = build_ihtl_graph(g, cfg);
+    if (!ig.valid(g)) {
+      rep.ok = false;
+      rep.kind = "structure";
+      return rep;
+    }
+  }
+
+  switch (opt.workload) {
+    case Workload::spmv_plus:
+      oracle_spmv<PlusMonoid>(pool, g, ig, opt, rep);
+      break;
+    case Workload::spmv_min:
+      oracle_spmv<MinMonoid>(pool, g, ig, opt, rep);
+      break;
+    case Workload::spmv_max:
+      oracle_spmv<MaxMonoid>(pool, g, ig, opt, rep);
+      break;
+    case Workload::pagerank:
+      oracle_pagerank(pool, g, ig, opt, rep);
+      break;
+    case Workload::pagerank_delta:
+      oracle_pagerank_delta(pool, g, opt, rep);
+      break;
+    case Workload::hits:
+      oracle_hits(pool, g, ig, cfg, opt, rep);
+      break;
+    case Workload::bfs:
+      oracle_bfs(pool, g, ig, cfg, opt, rep);
+      break;
+    case Workload::kcore:
+      oracle_kcore(pool, g, opt, rep);
+      break;
+  }
+  return rep;
+}
+
+}  // namespace ihtl::check

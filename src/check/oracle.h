@@ -1,0 +1,111 @@
+// Differential oracle: runs a workload through an independent serial
+// reference engine and through the iHTL engine, and reports the first
+// divergence with its structural classification — the divergent vertex, its
+// class under the iHTL relabeling (hub / VWEH / FV), the flipped block that
+// owns it (for hubs), and the first divergent iteration.
+//
+// iHTL's claim is that flipped-push + merge + pull is equivalent to plain
+// pull SpMV; this oracle is the machine-checkable form of that claim, over
+// every workload the repo implements. The diff runner (diff_runner.h) drives
+// it across a seeded configuration lattice; tests drive it directly and can
+// substitute a deliberately broken engine to exercise the reporter.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/ihtl_config.h"
+#include "core/ihtl_graph.h"
+#include "core/ihtl_spmv.h"
+#include "graph/graph.h"
+#include "parallel/thread_pool.h"
+
+namespace ihtl::check {
+
+/// Workloads the oracle can differentiate. The three spmv_* entries exercise
+/// the raw engine under each semiring; the rest are full analytics whose
+/// iHTL path must match an independent serial implementation.
+enum class Workload {
+  spmv_plus,
+  spmv_min,
+  spmv_max,
+  pagerank,
+  pagerank_delta,
+  hits,
+  bfs,
+  kcore,
+};
+inline constexpr int kNumWorkloads = 8;
+
+std::string workload_name(Workload w);
+std::optional<Workload> workload_from_name(const std::string& name);
+
+/// Vertex class under the iHTL relabeling (none = no iHTL graph involved in
+/// the divergent engine, e.g. the kcore peeler).
+enum class VertexClass { hub, vweh, fv, none };
+std::string vertex_class_name(VertexClass c);
+
+/// Classifies a NEW (relabeled) vertex ID; for hubs, *block_out receives the
+/// owning flipped-block index (otherwise -1).
+VertexClass classify_vertex(const IhtlGraph& ig, vid_t new_id, int* block_out);
+
+/// The first divergent vertex of a failed comparison.
+struct Mismatch {
+  vid_t vertex_old = 0;  ///< original-ID-space vertex
+  vid_t vertex_new = 0;  ///< relabeled ID (== vertex_old when cls == none)
+  VertexClass cls = VertexClass::none;
+  int block = -1;        ///< owning flipped block for hubs, else -1
+  unsigned iteration = 0;  ///< first divergent iteration (0-based)
+  value_t expected = 0;
+  value_t actual = 0;
+};
+
+struct OracleReport {
+  Workload workload = Workload::spmv_plus;
+  bool ok = true;
+  /// "value" = outputs diverged; "structure" = IhtlGraph::valid() failed
+  /// (edge partition / permutation broken before any traversal ran).
+  std::string kind = "value";
+  /// Which engine under test diverged ("ihtl", "ihtl-min-spmv",
+  /// "frontier-bfs", "kcore", ...).
+  std::string engine = "ihtl";
+  std::optional<Mismatch> first;
+  vid_t num_divergent = 0;  ///< divergent vertices at the first bad iteration
+  std::string summary() const;  ///< one line: "OK" or the classification
+};
+
+/// An SpMV engine under test: y = combine over in-neighbours of x, in the
+/// NEW (relabeled) ID space — the signature of IhtlEngine::spmv.
+using SpmvFn =
+    std::function<void(std::span<const value_t>, std::span<value_t>)>;
+
+/// Test hook: replaces the plus-monoid engine under test. Receives the real
+/// engine (to delegate to) and its graph; returns the spmv to use instead.
+/// Applied by the spmv_plus and pagerank workloads only.
+using EngineOverride =
+    std::function<SpmvFn(IhtlEngine<PlusMonoid>&, const IhtlGraph&)>;
+
+/// A deliberately broken engine: delegates to the real engine, then drops
+/// the merge of the LAST flipped block (its hubs read back as identity, as
+/// if the per-thread buffers for that block were never aggregated). Used by
+/// tests and `ihtl_check --inject-fault` to prove the oracle detects,
+/// replays, and minimizes real fault shapes.
+EngineOverride drop_merge_fault();
+
+struct OracleOptions {
+  Workload workload = Workload::spmv_plus;
+  unsigned iterations = 3;   ///< iterations for iterative workloads
+  vid_t source = 0;          ///< BFS source (taken modulo |V|)
+  std::uint64_t x_seed = 1;  ///< seed of the SpMV input vector
+  double tolerance = 1e-9;   ///< relative tolerance for float workloads
+  EngineOverride plus_engine_override;  ///< test-only fault injection
+};
+
+/// Runs `opt.workload` on `g` through the serial reference and the iHTL
+/// engine built from `cfg`, comparing per iteration.
+OracleReport run_oracle(ThreadPool& pool, const Graph& g,
+                        const IhtlConfig& cfg, const OracleOptions& opt = {});
+
+}  // namespace ihtl::check

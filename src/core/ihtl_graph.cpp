@@ -6,6 +6,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "check/invariants.h"
+#include "graph/permute.h"
 #include "telemetry/metrics.h"
 
 namespace ihtl {
@@ -158,6 +160,15 @@ IhtlGraph detail::build_ihtl_graph_impl(const Graph& g,
       ig.sparse_.targets[cur++] = ig.old_to_new_[u];
     }
   }
+
+  // Invariant-build checks: the relabeling must be a bijection and the
+  // flipped blocks plus the sparse block must partition the edge set (every
+  // edge owned exactly once — the structural precondition for push + merge
+  // + pull to equal one pull SpMV).
+  IHTL_INVARIANT(is_permutation(ig.old_to_new_),
+                 "iHTL relabeling is not a bijection");
+  IHTL_INVARIANT(ig.flipped_edges() + ig.sparse_edges() == ig.m_,
+                 "flipped + sparse blocks do not conserve the edge count");
   return ig;
 }
 

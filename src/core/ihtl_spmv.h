@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "baselines/semiring.h"
+#include "check/invariants.h"
 #include "core/ihtl_graph.h"
 #include "parallel/parallel_for.h"
 #include "parallel/partitioner.h"
@@ -60,6 +61,36 @@ class IhtlEngine {
     // Edge-balanced destination chunks for the sparse pull phase.
     sparse_chunks_ = partition_by_edge(ig.sparse().offsets, pool.size() * 8);
     set_metrics(&telemetry::MetricsRegistry::global());
+
+    // Invariant-build checks. The push decomposition must tile each flipped
+    // block exactly (chunks in source order, non-overlapping, edges covered
+    // once), and the per-thread hub buffers must occupy disjoint memory —
+    // the push phase relies on both for race freedom.
+    IHTL_IF_INVARIANTS({
+      for (std::size_t b = 0; b < ig.blocks().size(); ++b) {
+        const auto& offsets = ig.blocks()[b].csr.offsets;
+        eid_t covered = 0;
+        std::uint64_t prev_end = 0;
+        for (const PushChunk& c : push_chunks_) {
+          if (c.block != b) continue;
+          IHTL_INVARIANT(c.sources.begin >= prev_end,
+                         "push chunks overlap or are unsorted within a block");
+          IHTL_INVARIANT(c.sources.end <= offsets.size() - 1,
+                         "push chunk exceeds the block's source range");
+          prev_end = c.sources.end;
+          covered += offsets[c.sources.end] - offsets[c.sources.begin];
+        }
+        IHTL_INVARIANT(covered == ig.blocks()[b].num_edges(),
+                       "push chunks do not cover the block's edges exactly");
+      }
+      const vid_t num_hubs = ig.num_hubs();
+      for (std::size_t t = 0; t + 1 < pool.size(); ++t) {
+        const value_t* lo = buffers_.get(t);
+        const value_t* hi = buffers_.get(t + 1);
+        IHTL_INVARIANT(lo + num_hubs <= hi || hi + num_hubs <= lo,
+                       "per-thread hub buffers overlap before merge");
+      }
+    });
   }
 
   const IhtlGraph& graph() const { return *ig_; }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/invariants.h"
 #include "telemetry/metrics.h"
 
 namespace ihtl {
@@ -29,6 +30,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
+  IHTL_INVARIANT(!in_run_.exchange(true, std::memory_order_acquire),
+                 "nested ThreadPool::run (job launched from inside a job)");
+  IHTL_IF_INVARIANTS(struct RunGuard {
+    std::atomic<bool>& flag;
+    ~RunGuard() { flag.store(false, std::memory_order_release); }
+  } guard{in_run_};)
   jobs_.fetch_add(1, std::memory_order_relaxed);
   if (num_threads_ == 1) {
     fn(0);

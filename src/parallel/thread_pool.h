@@ -90,6 +90,10 @@ class ThreadPool {
   std::uint64_t epoch_ = 0;
   std::size_t remaining_ = 0;
   bool shutdown_ = false;
+  /// Set for the duration of run(); only read under IHTL_CHECK_INVARIANTS
+  /// to reject nested jobs (declared unconditionally so the ABI does not
+  /// depend on the invariant flag).
+  std::atomic<bool> in_run_{false};
 };
 
 }  // namespace ihtl

@@ -1,0 +1,184 @@
+// Tests of the check subsystem itself: the oracle must pass on correct
+// engines, the mismatch reporter must localize an injected fault (vertex
+// class, owning block, iteration), the minimizer must shrink a failing case
+// below 32 vertices into a compilable snippet, replay must be bit-stable,
+// and the parameter draw must never re-key existing seeds (golden test).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "check/diff_runner.h"
+#include "check/oracle.h"
+#include "telemetry/metrics.h"
+#include "test_util.h"
+
+namespace ihtl {
+namespace {
+
+using check::CaseParams;
+using check::CaseResult;
+using check::DiffOptions;
+using check::GenFamily;
+using check::HubPolicy;
+using check::MinimizedCase;
+using check::Mismatch;
+using check::OracleOptions;
+using check::OracleReport;
+using check::VertexClass;
+using check::Workload;
+
+TEST(Oracle, AllWorkloadsCleanOnFigure2) {
+  const Graph g = testing::figure2_graph();
+  ThreadPool pool(3);
+  IhtlConfig cfg;
+  cfg.buffer_bytes = 2 * sizeof(value_t);  // two hubs per block
+  cfg.min_hub_in_degree = 3;
+  for (int w = 0; w < check::kNumWorkloads; ++w) {
+    OracleOptions opt;
+    opt.workload = static_cast<Workload>(w);
+    const OracleReport rep = check::run_oracle(pool, g, cfg, opt);
+    EXPECT_TRUE(rep.ok) << rep.summary();
+    EXPECT_EQ(rep.summary(),
+              "OK[" + check::workload_name(opt.workload) + "]");
+  }
+}
+
+TEST(Oracle, AllWorkloadsCleanOnSkewedGraphs) {
+  ThreadPool pool(4);
+  const IhtlConfig cfg;
+  for (const Graph& g : {testing::small_rmat(8), testing::small_web(1u << 8)}) {
+    for (int w = 0; w < check::kNumWorkloads; ++w) {
+      OracleOptions opt;
+      opt.workload = static_cast<Workload>(w);
+      const OracleReport rep = check::run_oracle(pool, g, cfg, opt);
+      EXPECT_TRUE(rep.ok) << rep.summary();
+    }
+  }
+}
+
+TEST(Oracle, DropMergeFaultIsDetectedAndClassified) {
+  const Graph g = testing::small_web(1u << 8);
+  ThreadPool pool(2);
+  IhtlConfig cfg;
+  cfg.buffer_bytes = 4 * sizeof(value_t);  // several blocks, so "last" is real
+  OracleOptions opt;
+  opt.workload = Workload::spmv_plus;
+  opt.plus_engine_override = check::drop_merge_fault();
+  const OracleReport rep = check::run_oracle(pool, g, cfg, opt);
+
+  ASSERT_FALSE(rep.ok);
+  EXPECT_EQ(rep.kind, "value");
+  EXPECT_EQ(rep.engine, "ihtl");
+  ASSERT_TRUE(rep.first.has_value());
+  const Mismatch& m = *rep.first;
+  // The dropped merge zeroes hub outputs, so the first divergent vertex must
+  // be a hub owned by the LAST flipped block, at the first iteration.
+  EXPECT_EQ(m.cls, VertexClass::hub);
+  EXPECT_EQ(m.iteration, 0u);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+  ASSERT_FALSE(ig.blocks().empty());
+  EXPECT_EQ(m.block, static_cast<int>(ig.blocks().size() - 1));
+  EXPECT_GE(m.vertex_new, ig.blocks().back().hub_begin);
+  EXPECT_LT(m.vertex_new, ig.blocks().back().hub_end);
+  EXPECT_EQ(m.actual, 0.0);
+  EXPECT_GT(m.expected, 0.0);
+}
+
+TEST(Oracle, PagerankAlsoSeesTheFault) {
+  const Graph g = testing::small_web(1u << 8);
+  ThreadPool pool(2);
+  IhtlConfig cfg;
+  cfg.buffer_bytes = 4 * sizeof(value_t);
+  OracleOptions opt;
+  opt.workload = Workload::pagerank;
+  opt.plus_engine_override = check::drop_merge_fault();
+  const OracleReport rep = check::run_oracle(pool, g, cfg, opt);
+  ASSERT_FALSE(rep.ok);
+  ASSERT_TRUE(rep.first.has_value());
+  EXPECT_EQ(rep.first->cls, VertexClass::hub);
+}
+
+/// Finds a lattice point where the injected fault actually fires (a point
+/// with at least one flipped block under the spmv_plus workload).
+std::optional<CaseResult> find_faulting_point(const DiffOptions& opt) {
+  for (std::size_t i = 0; i < 64; ++i) {
+    CaseResult r = check::run_point(check::point_seed(opt.base_seed, i), opt);
+    if (!r.report.ok) return r;
+  }
+  return std::nullopt;
+}
+
+TEST(Minimizer, ShrinksInjectedFaultBelow32Vertices) {
+  DiffOptions opt;
+  opt.base_seed = 2026;
+  opt.force_workload = Workload::spmv_plus;
+  opt.engine_override = check::drop_merge_fault();
+  const std::optional<CaseResult> failure = find_faulting_point(opt);
+  ASSERT_TRUE(failure.has_value())
+      << "no lattice point produced a flipped block";
+
+  const MinimizedCase m = check::minimize_case(*failure, opt);
+  EXPECT_TRUE(m.reproduced);
+  EXPECT_LT(m.num_vertices, 32u);
+  EXPECT_FALSE(m.report.ok);
+  EXPECT_GT(m.steps, 0u);
+
+  const std::string snippet = check::repro_snippet(m);
+  EXPECT_NE(snippet.find("build_graph"), std::string::npos);
+  EXPECT_NE(snippet.find("run_oracle"), std::string::npos);
+  EXPECT_NE(snippet.find("check::Workload::spmv_plus"), std::string::npos);
+  EXPECT_NE(snippet.find("int main()"), std::string::npos);
+}
+
+TEST(Replay, SameSeedSameResult) {
+  const std::uint64_t seed = check::point_seed(2026, 7);
+  const CaseResult a = check::run_point(seed);
+  const CaseResult b = check::run_point(seed);
+  EXPECT_EQ(a.params.describe(), b.params.describe());
+  EXPECT_EQ(a.report.summary(), b.report.summary());
+  EXPECT_EQ(a.params.seed, seed);
+}
+
+// GOLDEN: CaseParams::draw(424242) must keep producing exactly these values.
+// If this test fails, a draw was inserted/removed/reordered in
+// CaseParams::draw — which silently re-keys every replay seed ever recorded
+// (CI logs, committed repros). Only APPEND draws; see the seed-stability
+// contract in diff_runner.h.
+TEST(SeedStability, DrawIsFrozen) {
+  const CaseParams p = CaseParams::draw(424242);
+  EXPECT_EQ(p.seed, 424242u);
+  EXPECT_EQ(p.family, GenFamily::single_vertex);
+  EXPECT_EQ(p.num_vertices, 1u);  // pinned by the single_vertex family
+  EXPECT_EQ(p.edge_factor, 11u);
+  EXPECT_EQ(p.graph_seed, 5005801170018117661ull);
+  EXPECT_EQ(p.buffer_values, 512u);
+  EXPECT_EQ(p.min_hub_in_degree, 1u);
+  EXPECT_EQ(p.hub_policy, HubPolicy::all_hub);
+  EXPECT_EQ(p.threads, 2u);
+  EXPECT_EQ(p.workload, Workload::hits);
+  EXPECT_EQ(p.iterations, 3u);
+  EXPECT_EQ(p.source, 114590u);
+  EXPECT_EQ(p.x_seed, 3664447913708261913ull);
+}
+
+TEST(Telemetry, CheckCountersGrow) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  const std::uint64_t points0 = reg.counter_total("check/points_run");
+  const std::uint64_t mism0 = reg.counter_total("check/mismatches");
+  const std::uint64_t steps0 = reg.counter_total("check/minimize_steps");
+
+  DiffOptions opt;
+  opt.base_seed = 2026;
+  opt.force_workload = Workload::spmv_plus;
+  opt.engine_override = check::drop_merge_fault();
+  const std::optional<CaseResult> failure = find_faulting_point(opt);
+  ASSERT_TRUE(failure.has_value());
+  check::minimize_case(*failure, opt);
+
+  EXPECT_GT(reg.counter_total("check/points_run"), points0);
+  EXPECT_GT(reg.counter_total("check/mismatches"), mism0);
+  EXPECT_GT(reg.counter_total("check/minimize_steps"), steps0);
+}
+
+}  // namespace
+}  // namespace ihtl

@@ -1,14 +1,16 @@
-// Randomized property sweeps ("fuzz" tier): random graphs from every
-// generator family x random build options x random iHTL configurations.
-// Each case checks the full invariant stack — structural validity,
-// permutation validity, exact edge partitioning, and SpMV equivalence
-// against the serial pull oracle.
+// Randomized property sweeps ("fuzz" tier), now driven by the check
+// subsystem: each case is one point of the diff runner's seeded lattice
+// (CaseParams::draw), so any failure here is replayable verbatim with
+// `ihtl_check --replay <seed>`. On top of the lattice sweep, parameterized
+// edge-case shapes pin down the corners the lattice only samples: non-power-
+// of-two vertex counts, zero-edge and single-vertex graphs, and the all-hub /
+// zero-hub threshold extremes — each across every oracle workload.
 #include <gtest/gtest.h>
 
 #include "baselines/spmv.h"
+#include "check/diff_runner.h"
+#include "check/oracle.h"
 #include "core/ihtl_spmv.h"
-#include "gen/generators.h"
-#include "gen/rng.h"
 #include "graph/permute.h"
 #include "reorder/reorder.h"
 #include "test_util.h"
@@ -16,47 +18,36 @@
 namespace ihtl {
 namespace {
 
+using check::CaseParams;
+using check::CaseResult;
+using check::GenFamily;
+using check::HubPolicy;
+using check::OracleOptions;
+using check::OracleReport;
+using check::Workload;
 using testing::expect_values_near;
 using testing::random_values;
 
-/// Builds a random graph whose family/size/options derive from the seed.
-Graph random_graph(std::uint64_t seed) {
-  Rng rng(seed);
-  const std::uint64_t family = rng.next_below(3);
-  const auto scale = static_cast<unsigned>(6 + rng.next_below(5));  // 64..1024
-  std::vector<Edge> edges;
-  vid_t n = vid_t{1} << scale;
-  if (family == 0) {
-    RmatParams p;
-    p.scale = scale;
-    p.edge_factor = static_cast<unsigned>(2 + rng.next_below(15));
-    p.reciprocity = rng.next_double();
-    p.seed = rng.next_u64();
-    edges = rmat_edges(p);
-  } else if (family == 1) {
-    WebParams p;
-    p.num_vertices = n;
-    p.avg_out_degree = static_cast<unsigned>(2 + rng.next_below(20));
-    p.max_out_degree = p.avg_out_degree * 3;
-    p.hub_fraction = 0.001 + 0.01 * rng.next_double();
-    p.hub_edge_share = rng.next_double();
-    p.seed = rng.next_u64();
-    edges = web_edges(p);
-  } else {
-    edges = erdos_renyi_edges(n, n * (1 + rng.next_below(12)), rng.next_u64());
+constexpr std::uint64_t kBaseSeed = 2026;
+
+class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  std::uint64_t seed() const {
+    return check::point_seed(kBaseSeed, GetParam());
   }
-  BuildOptions opt;
-  opt.remove_self_loops = rng.next_below(2) == 0;
-  opt.dedup = rng.next_below(2) == 0;
-  opt.remove_zero_degree = rng.next_below(2) == 0;
-  opt.sort_neighbors = true;
-  return build_graph(n, edges, opt);
+};
+
+/// The full differential oracle on one lattice point — the same run
+/// `ihtl_check` performs, so CI failures replay outside gtest too.
+TEST_P(FuzzTest, LatticePointIsClean) {
+  const CaseResult r = check::run_point(seed());
+  EXPECT_TRUE(r.report.ok) << r.params.describe() << "\n"
+                           << r.report.summary() << "\nreplay: ihtl_check"
+                           << " --replay " << r.params.seed;
 }
 
-class FuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
-
 TEST_P(FuzzTest, GraphInvariants) {
-  const Graph g = random_graph(GetParam());
+  const Graph g = check::make_case_graph(CaseParams::draw(seed()));
   EXPECT_TRUE(g.valid());
   eid_t in_sum = 0, out_sum = 0;
   for (vid_t v = 0; v < g.num_vertices(); ++v) {
@@ -67,37 +58,18 @@ TEST_P(FuzzTest, GraphInvariants) {
   EXPECT_EQ(out_sum, g.num_edges());
 }
 
-TEST_P(FuzzTest, IhtlPartitioningAndEquivalence) {
-  const std::uint64_t seed = GetParam();
-  const Graph g = random_graph(seed);
-  Rng rng(seed * 31 + 7);
-  IhtlConfig cfg;
-  cfg.buffer_bytes = (vid_t{4} << rng.next_below(7)) * sizeof(value_t);
-  cfg.admission_ratio = 0.1 + 0.8 * rng.next_double();
-  cfg.min_hub_in_degree = 1 + rng.next_below(4);
-  const IhtlGraph ig = build_ihtl_graph(g, cfg);
-  ASSERT_TRUE(ig.valid(g)) << "seed " << seed;
-
-  ThreadPool pool(1 + rng.next_below(4));
-  const auto x = random_values(g.num_vertices(), seed);
-  std::vector<value_t> expected(g.num_vertices()), y(g.num_vertices());
-  spmv_pull_serial(g, x, expected);
-  ihtl_spmv_once(pool, ig, x, y);
-  expect_values_near(expected, y, 1e-9);
-}
-
 TEST_P(FuzzTest, ReorderingsStayPermutations) {
-  const Graph g = random_graph(GetParam());
+  const Graph g = check::make_case_graph(CaseParams::draw(seed()));
   EXPECT_TRUE(is_permutation(slashburn_order(g)));
   EXPECT_TRUE(is_permutation(rabbit_order(g)));
   EXPECT_TRUE(is_permutation(degree_order(g)));
 }
 
 TEST_P(FuzzTest, PushPullAgreeOnRandomGraph) {
-  const std::uint64_t seed = GetParam();
-  const Graph g = random_graph(seed);
-  ThreadPool pool(2);
-  const auto x = random_values(g.num_vertices(), seed + 1);
+  const CaseParams p = CaseParams::draw(seed());
+  const Graph g = check::make_case_graph(p);
+  ThreadPool pool(p.threads);
+  const auto x = random_values(g.num_vertices(), p.x_seed);
   std::vector<value_t> expected(g.num_vertices()), y(g.num_vertices());
   spmv_pull_serial(g, x, expected);
   spmv_push_buffered(pool, g, x, y);
@@ -107,7 +79,64 @@ TEST_P(FuzzTest, PushPullAgreeOnRandomGraph) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
-                         ::testing::Range<std::uint64_t>(1, 21));
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+/// A pinned edge-case shape: the lattice families cover these statistically,
+/// the named cases guarantee them on every run.
+struct EdgeCaseSpec {
+  const char* name;
+  GenFamily family;
+  vid_t num_vertices;
+  HubPolicy policy;
+};
+
+void PrintTo(const EdgeCaseSpec& spec, std::ostream* os) { *os << spec.name; }
+
+class EdgeCaseTest : public ::testing::TestWithParam<EdgeCaseSpec> {};
+
+TEST_P(EdgeCaseTest, AllWorkloadsMatchReference) {
+  const EdgeCaseSpec& spec = GetParam();
+  // A fixed lattice point supplies the build options / config / x_seed; the
+  // shape under test overrides the structural fields.
+  CaseParams p = CaseParams::draw(check::point_seed(kBaseSeed, 12345));
+  p.family = spec.family;
+  p.num_vertices = spec.num_vertices;
+  p.hub_policy = spec.policy;
+  p.threads = 3;
+  const Graph g = check::make_case_graph(p);
+  ThreadPool pool(p.threads);
+  for (int w = 0; w < check::kNumWorkloads; ++w) {
+    OracleOptions opt = p.oracle_options();
+    opt.workload = static_cast<Workload>(w);
+    const OracleReport rep = check::run_oracle(pool, g, p.ihtl_config(), opt);
+    EXPECT_TRUE(rep.ok) << spec.name << ": " << rep.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, EdgeCaseTest,
+    ::testing::Values(
+        // Non-power-of-two vertex counts across the generator families.
+        EdgeCaseSpec{"rmat_n37", GenFamily::rmat, 37, HubPolicy::standard},
+        EdgeCaseSpec{"web_n1000", GenFamily::web, 1000, HubPolicy::standard},
+        EdgeCaseSpec{"er_n1023", GenFamily::erdos_renyi, 1023,
+                     HubPolicy::standard},
+        // Degenerate graphs.
+        EdgeCaseSpec{"zero_edges_n5", GenFamily::empty_edges, 5,
+                     HubPolicy::standard},
+        EdgeCaseSpec{"single_vertex", GenFamily::single_vertex, 1,
+                     HubPolicy::standard},
+        EdgeCaseSpec{"ring_n97", GenFamily::ring, 97, HubPolicy::standard},
+        EdgeCaseSpec{"star_n64", GenFamily::star, 64, HubPolicy::standard},
+        // Hub-selection threshold extremes.
+        EdgeCaseSpec{"all_hub_rmat", GenFamily::rmat, 211, HubPolicy::all_hub},
+        EdgeCaseSpec{"zero_hub_web", GenFamily::web, 211, HubPolicy::zero_hub},
+        EdgeCaseSpec{"all_hub_star", GenFamily::star, 64, HubPolicy::all_hub},
+        EdgeCaseSpec{"zero_hub_ring", GenFamily::ring, 97,
+                     HubPolicy::zero_hub}),
+    [](const ::testing::TestParamInfo<EdgeCaseSpec>& info) {
+      return info.param.name;
+    });
 
 }  // namespace
 }  // namespace ihtl

@@ -1,0 +1,152 @@
+// ihtl_check: differential-oracle CLI.
+//
+// Default mode walks a seeded configuration lattice (--points points under
+// --seed) and exits 0 iff every point's iHTL results match the serial
+// reference. On the first failing point it prints the replay command,
+// greedily minimizes the case, prints a self-contained repro snippet
+// (optionally written to --repro-out), and exits 1. `--replay SEED` re-runs
+// exactly one lattice point; `--inject-fault` swaps in the deliberately
+// broken drop-merge engine to demonstrate the detect/replay/minimize path.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "check/diff_runner.h"
+#include "check/oracle.h"
+#include "cli/args.h"
+#include "telemetry/metrics.h"
+#include "telemetry/report.h"
+
+namespace {
+
+using namespace ihtl;
+using namespace ihtl::check;
+
+void write_metrics(const std::string& path, std::uint64_t base_seed,
+                   std::size_t points, bool ok) {
+  auto& reg = telemetry::MetricsRegistry::global();
+  telemetry::JsonValue run = telemetry::JsonValue::object();
+  run.set("tool", "ihtl_check");
+  run.set("seed", base_seed);
+  run.set("points", static_cast<std::uint64_t>(points));
+  run.set("ok", ok);
+  const telemetry::JsonValue doc = telemetry::make_report(
+      reg, std::move(run), telemetry::JsonValue(), telemetry::JsonValue());
+  telemetry::write_json_file(doc, path);
+}
+
+int handle_failure(const CaseResult& failure, const DiffOptions& opt,
+                   bool minimize, const std::string& repro_out) {
+  std::cerr << "FAIL: " << failure.params.describe() << "\n"
+            << "      " << failure.report.summary() << "\n"
+            << "Replay with: ihtl_check --replay " << failure.params.seed;
+  // Forced flags are part of the point's identity — echo them so the replay
+  // command reproduces the exact run.
+  if (opt.force_workload) {
+    std::cerr << " --workload " << workload_name(*opt.force_workload);
+  }
+  if (opt.force_threads > 0) std::cerr << " --threads " << opt.force_threads;
+  if (opt.engine_override) std::cerr << " --inject-fault";
+  std::cerr << "\n";
+  if (!minimize) return 1;
+
+  const MinimizedCase m = minimize_case(failure, opt);
+  if (!m.reproduced) {
+    std::cerr << "warning: failure did not reproduce from regenerated "
+                 "inputs; skipping minimization (nondeterministic bug?)\n";
+    return 1;
+  }
+  std::cerr << "Minimized to " << m.num_vertices << " vertices / "
+            << m.edges.size() << " edges in " << m.steps
+            << " oracle evaluations.\n";
+  const std::string snippet = repro_snippet(m);
+  std::cout << "\n" << snippet;
+  if (!repro_out.empty()) {
+    std::ofstream out(repro_out);
+    if (!out) {
+      std::cerr << "error: cannot open " << repro_out << " for writing\n";
+    } else {
+      out << snippet;
+      std::cerr << "Repro snippet written to " << repro_out << "\n";
+    }
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("points", true, "number of lattice points to run (64)");
+  args.add_flag("seed", true, "base seed of the lattice (2026)");
+  args.add_flag("replay", true, "re-run exactly one point by its seed");
+  args.add_flag("workload", true,
+                "force one workload (spmv-plus, spmv-min, spmv-max, "
+                "pagerank, pagerank-delta, hits, bfs, kcore)");
+  args.add_flag("threads", true, "force the thread count (0 = lattice)");
+  args.add_flag("inject-fault", false,
+                "swap in the broken drop-merge engine (self-test)");
+  args.add_flag("no-minimize", false, "report the failure without shrinking");
+  args.add_flag("repro-out", true, "write the repro snippet to this file");
+  args.add_flag("metrics-out", true, "write a JSON telemetry report");
+  args.add_flag("verbose", false, "log every lattice point");
+  args.add_flag("help", false, "show this help");
+  try {
+    args.parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n" << args.help_text();
+    return 2;
+  }
+  if (args.has("help")) {
+    std::cout << "usage: ihtl_check [flags]\n" << args.help_text();
+    return 0;
+  }
+
+  telemetry::MetricsRegistry::global().clear();
+
+  DiffOptions opt;
+  opt.base_seed = static_cast<std::uint64_t>(args.get_int("seed", 2026));
+  opt.points = static_cast<std::size_t>(args.get_int("points", 64));
+  opt.force_threads =
+      static_cast<unsigned>(args.get_int("threads", 0));
+  opt.verbose = args.has("verbose");
+  opt.out = &std::cerr;
+  if (args.has("workload")) {
+    const std::string name = args.get_string("workload");
+    const std::optional<Workload> w = workload_from_name(name);
+    if (!w) {
+      std::cerr << "error: unknown workload '" << name << "'\n";
+      return 2;
+    }
+    opt.force_workload = w;
+  }
+  if (args.has("inject-fault")) opt.engine_override = drop_merge_fault();
+
+  const std::string metrics_out = args.get_string("metrics-out");
+  const std::string repro_out = args.get_string("repro-out");
+  const bool minimize = !args.has("no-minimize");
+
+  int rc = 0;
+  if (args.has("replay")) {
+    const std::uint64_t seed =
+        static_cast<std::uint64_t>(args.get_int("replay"));
+    const CaseResult r = run_point(seed, opt);
+    std::cerr << r.params.describe() << "\n" << r.report.summary() << "\n";
+    rc = r.report.ok ? 0 : handle_failure(r, opt, minimize, repro_out);
+  } else {
+    const std::optional<CaseResult> failure = run_lattice(opt);
+    if (failure) {
+      rc = handle_failure(*failure, opt, minimize, repro_out);
+    } else {
+      std::cerr << "OK: " << opt.points << " lattice points clean (seed "
+                << opt.base_seed << ")\n";
+    }
+  }
+
+  if (!metrics_out.empty()) {
+    write_metrics(metrics_out, opt.base_seed, opt.points, rc == 0);
+  }
+  return rc;
+}
