@@ -41,20 +41,21 @@ std::vector<std::string> split_csv(const std::string& s) {
 }
 
 JsonValue run_dataset(const std::string& name, ThreadPool& pool,
-                      unsigned iterations) {
+                      unsigned iterations, PushPolicy policy) {
   auto& reg = telemetry::MetricsRegistry::global();
   reg.clear();
   pool.reset_stats();
 
   const DatasetSpec& spec = dataset_spec(name);
   const Graph g = load_bench_graph(spec, kBenchScale);
-  const IhtlConfig cfg = scaled_ihtl_config();
+  IhtlConfig cfg = scaled_ihtl_config();
+  cfg.push_policy = policy;
 
   // Preprocessing spans ("preprocess/*") land in the global registry.
   const IhtlGraph ig = build_ihtl_graph(g, cfg);
 
   // SpMV phase breakdown ("spmv/*" spans) over `iterations` runs.
-  IhtlEngine<PlusMonoid> engine(ig, pool);
+  IhtlEngine<PlusMonoid> engine(ig, pool, cfg.push_policy);
   std::vector<value_t> x(g.num_vertices(), 1.0), y(g.num_vertices(), 0.0);
   for (unsigned i = 0; i < iterations; ++i) engine.spmv(x, y);
 
@@ -114,6 +115,8 @@ int main(int argc, char** argv) {
   args.add_flag("threads", true, "worker threads (default hw concurrency)");
   args.add_flag("datasets", true,
                 "comma-separated dataset names (default TwtrMpi,SK,LvJrnl,WbCc)");
+  args.add_flag("push-policy", true,
+                "engine push/merge policy: auto | shared | single-owner");
   args.add_flag("help", false, "show usage");
   try {
     args.parse(argc, argv);
@@ -127,6 +130,15 @@ int main(int argc, char** argv) {
     const std::vector<std::string> names =
         split_csv(args.get_string("datasets", "TwtrMpi,SK,LvJrnl,WbCc"));
     ThreadPool pool(static_cast<std::size_t>(args.get_int("threads", 0)));
+    PushPolicy policy = PushPolicy::automatic;
+    if (args.has("push-policy")) {
+      const std::string pname = args.get_string("push-policy");
+      const auto parsed = push_policy_from_name(pname);
+      if (!parsed) {
+        throw std::invalid_argument("unknown --push-policy: " + pname);
+      }
+      policy = *parsed;
+    }
 
     print_header("perf_suite", "telemetry snapshot",
                  "per-phase spans + pool counters + cachesim misses, "
@@ -134,7 +146,7 @@ int main(int argc, char** argv) {
 
     JsonValue datasets = JsonValue::array();
     for (const std::string& name : names) {
-      datasets.push_back(run_dataset(name, pool, iterations));
+      datasets.push_back(run_dataset(name, pool, iterations, policy));
     }
 
     JsonValue doc = JsonValue::object();
@@ -148,6 +160,7 @@ int main(int argc, char** argv) {
     const IhtlConfig cfg = scaled_ihtl_config();
     config.set("buffer_bytes", static_cast<std::uint64_t>(cfg.buffer_bytes));
     config.set("admission_ratio", cfg.admission_ratio);
+    config.set("push_policy", push_policy_name(policy));
     doc.set("config", std::move(config));
     doc.set("datasets", std::move(datasets));
 

@@ -72,7 +72,7 @@ AnalyticsResult run_kernel(ThreadPool& pool, const Graph& g,
   // iHTL: permute into the relabeled space, iterate, permute back.
   Timer prep;
   const IhtlGraph ig = build_ihtl_graph(g, cfg);
-  IhtlEngine<MinMonoid> engine(ig, pool);
+  IhtlEngine<MinMonoid> engine(ig, pool, cfg.push_policy);
   const double prep_s = prep.elapsed_seconds();
   const auto& o2n = ig.old_to_new();
   std::vector<value_t> init_new(n);

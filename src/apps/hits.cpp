@@ -56,8 +56,8 @@ HitsResult hits(ThreadPool& pool, const Graph& g, const HitsOptions& opt) {
   const Graph rev = reversed(g);
   const IhtlGraph ig_fwd = build_ihtl_graph(g, opt.ihtl);
   const IhtlGraph ig_rev = build_ihtl_graph(rev, opt.ihtl);
-  IhtlEngine<PlusMonoid> fwd(ig_fwd, pool);
-  IhtlEngine<PlusMonoid> bwd(ig_rev, pool);
+  IhtlEngine<PlusMonoid> fwd(ig_fwd, pool, opt.ihtl.push_policy);
+  IhtlEngine<PlusMonoid> bwd(ig_rev, pool, opt.ihtl.push_policy);
   result.preprocessing_seconds = prep.elapsed_seconds();
 
   // Iterate in each direction's relabeled space; translate between the two

@@ -90,7 +90,7 @@ PageRankResult pagerank_ihtl(ThreadPool& pool, const Graph& g,
   std::vector<eid_t> deg_new(n);
   for (vid_t v = 0; v < n; ++v) deg_new[o2n[v]] = g.out_degree(v);
 
-  IhtlEngine<PlusMonoid> engine(ig, pool);
+  IhtlEngine<PlusMonoid> engine(ig, pool, opt.ihtl.push_policy);
   PageRankResult result = run_pagerank(
       pool, deg_new, n, opt,
       [&](std::span<const value_t> x, std::span<value_t> y) {

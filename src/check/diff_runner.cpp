@@ -75,6 +75,7 @@ CaseParams CaseParams::draw(std::uint64_t seed) {
   p.iterations = static_cast<unsigned>(2 + rng.next_below(3));
   p.source = static_cast<vid_t>(rng.next_below(1u << 20));
   p.x_seed = rng.next_u64();
+  const std::uint64_t push_roll = rng.next_below(6);  // appended (PR 3)
 
   // Derived values (no draws): rolls map onto families/policies so the
   // degenerate shapes keep a fixed share of the lattice.
@@ -99,6 +100,13 @@ CaseParams CaseParams::draw(std::uint64_t seed) {
   } else if (policy_roll == 1) {
     p.hub_policy = HubPolicy::zero_hub;
   }
+  if (push_roll < 2) {
+    p.push_policy = PushPolicy::automatic;
+  } else if (push_roll < 4) {
+    p.push_policy = PushPolicy::shared;
+  } else {
+    p.push_policy = PushPolicy::single_owner;
+  }
   return p;
 }
 
@@ -121,6 +129,7 @@ IhtlConfig CaseParams::ihtl_config() const {
       cfg.min_hub_in_degree = std::numeric_limits<eid_t>::max();
       break;
   }
+  cfg.push_policy = push_policy;
   return cfg;
 }
 
@@ -138,7 +147,8 @@ std::string CaseParams::describe() const {
   os << "seed 0x" << std::hex << seed << std::dec << " family="
      << family_name(family) << " n=" << num_vertices << " workload="
      << workload_name(workload) << " threads=" << threads << " policy="
-     << hub_policy_name(hub_policy) << " hubs/block=" << buffer_values
+     << hub_policy_name(hub_policy) << " push="
+     << push_policy_name(push_policy) << " hubs/block=" << buffer_values
      << " admission=" << admission_ratio << " minHubDeg=" << min_hub_in_degree
      << " fringe=" << (separate_fringe ? 1 : 0) << " build[loops="
      << (build.remove_self_loops ? 1 : 0) << ",dedup=" << (build.dedup ? 1 : 0)
@@ -212,6 +222,7 @@ CaseResult run_point(std::uint64_t seed, const DiffOptions& opt) {
   CaseParams p = CaseParams::draw(seed);
   if (opt.force_threads > 0) p.threads = opt.force_threads;
   if (opt.force_workload) p.workload = *opt.force_workload;
+  if (opt.force_push_policy) p.push_policy = *opt.force_push_policy;
 
   const Graph g = make_case_graph(p);
   ThreadPool pool(p.threads);
@@ -373,6 +384,18 @@ const char* workload_enum_name(Workload w) {
   return "spmv_plus";
 }
 
+const char* push_policy_enum_name(PushPolicy p) {
+  switch (p) {
+    case PushPolicy::automatic:
+      return "automatic";
+    case PushPolicy::shared:
+      return "shared";
+    case PushPolicy::single_owner:
+      return "single_owner";
+  }
+  return "automatic";
+}
+
 }  // namespace
 
 std::string repro_snippet(const MinimizedCase& m) {
@@ -417,6 +440,8 @@ std::string repro_snippet(const MinimizedCase& m) {
      << "  cfg.min_hub_in_degree = " << cfg.min_hub_in_degree << "ULL;\n"
      << "  cfg.separate_fringe = " << (cfg.separate_fringe ? "true" : "false")
      << ";\n"
+     << "  cfg.push_policy = PushPolicy::"
+     << push_policy_enum_name(cfg.push_policy) << ";\n"
      << "  ThreadPool pool(" << p.threads << ");\n"
      << "  check::OracleOptions opt;\n"
      << "  opt.workload = check::Workload::" << workload_enum_name(p.workload)

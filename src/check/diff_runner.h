@@ -65,6 +65,10 @@ struct CaseParams {
   eid_t min_hub_in_degree = 2;
   bool separate_fringe = true;
   HubPolicy hub_policy = HubPolicy::standard;
+  /// Engine push/merge policy axis (drawn LAST — appended after x_seed per
+  /// the seed-stability contract, so pre-existing replay seeds still decode
+  /// to the same graph/workload and simply gain a policy).
+  PushPolicy push_policy = PushPolicy::automatic;
   // -- execution -----------------------------------------------------------
   unsigned threads = 1;
   Workload workload = Workload::spmv_plus;
@@ -103,6 +107,7 @@ struct DiffOptions {
   std::size_t points = 64;
   unsigned force_threads = 0;  ///< > 0 overrides CaseParams::threads
   std::optional<Workload> force_workload;
+  std::optional<PushPolicy> force_push_policy;
   EngineOverride engine_override;  ///< fault injection (tests / --inject-fault)
   bool verbose = false;
   std::ostream* out = nullptr;  ///< progress stream (nullptr = silent)

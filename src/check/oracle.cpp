@@ -174,9 +174,10 @@ std::vector<value_t> reference_input(vid_t n, std::uint64_t seed) {
 /// input at that iteration.
 template <typename Monoid>
 void oracle_spmv(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
-                 const OracleOptions& opt, OracleReport& rep) {
+                 const IhtlConfig& cfg, const OracleOptions& opt,
+                 OracleReport& rep) {
   const vid_t n = g.num_vertices();
-  IhtlEngine<Monoid> engine(ig, pool);
+  IhtlEngine<Monoid> engine(ig, pool, cfg.push_policy);
   SpmvFn under_test = [&engine](std::span<const value_t> x,
                                 std::span<value_t> y) { engine.spmv(x, y); };
   if constexpr (std::is_same_v<Monoid, PlusMonoid>) {
@@ -213,13 +214,14 @@ void oracle_spmv(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
 /// the engine side replicates the same recurrence in the relabeled space on
 /// top of the (possibly overridden) iHTL engine. Compared per iteration.
 void oracle_pagerank(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
-                     const OracleOptions& opt, OracleReport& rep) {
+                     const IhtlConfig& cfg, const OracleOptions& opt,
+                     OracleReport& rep) {
   const vid_t n = g.num_vertices();
   if (n == 0) return;
   const double damping = 0.85;
   const value_t base = (1.0 - damping) / n;
 
-  IhtlEngine<PlusMonoid> engine(ig, pool);
+  IhtlEngine<PlusMonoid> engine(ig, pool, cfg.push_policy);
   SpmvFn under_test = [&engine](std::span<const value_t> x,
                                 std::span<value_t> y) { engine.spmv(x, y); };
   if (opt.plus_engine_override) {
@@ -442,16 +444,16 @@ OracleReport run_oracle(ThreadPool& pool, const Graph& g,
 
   switch (opt.workload) {
     case Workload::spmv_plus:
-      oracle_spmv<PlusMonoid>(pool, g, ig, opt, rep);
+      oracle_spmv<PlusMonoid>(pool, g, ig, cfg, opt, rep);
       break;
     case Workload::spmv_min:
-      oracle_spmv<MinMonoid>(pool, g, ig, opt, rep);
+      oracle_spmv<MinMonoid>(pool, g, ig, cfg, opt, rep);
       break;
     case Workload::spmv_max:
-      oracle_spmv<MaxMonoid>(pool, g, ig, opt, rep);
+      oracle_spmv<MaxMonoid>(pool, g, ig, cfg, opt, rep);
       break;
     case Workload::pagerank:
-      oracle_pagerank(pool, g, ig, opt, rep);
+      oracle_pagerank(pool, g, ig, cfg, opt, rep);
       break;
     case Workload::pagerank_delta:
       oracle_pagerank_delta(pool, g, opt, rep);

@@ -73,6 +73,15 @@ IhtlConfig config_from_args(const ArgParser& args) {
   if (args.has("admission-ratio")) {
     cfg.admission_ratio = args.get_double("admission-ratio");
   }
+  if (args.has("push-policy")) {
+    const std::string name = args.get_string("push-policy");
+    const auto policy = push_policy_from_name(name);
+    if (!policy) {
+      throw std::invalid_argument("unknown --push-policy '" + name +
+                                  "' (auto, shared, single-owner)");
+    }
+    cfg.push_policy = *policy;
+  }
   return cfg;
 }
 
@@ -83,12 +92,25 @@ void add_common_input_flags(ArgParser& args) {
   args.add_flag("buffer-bytes", true, "iHTL hub-buffer bytes (default 1 MiB)");
   args.add_flag("admission-ratio", true,
                 "flipped-block admission ratio (default 0.5)");
+  args.add_flag("push-policy", true,
+                "engine push/merge policy: auto | shared | single-owner "
+                "(default auto)");
   args.add_flag("help", false, "show usage");
 }
 
 int usage(const char* tool, const ArgParser& args) {
   std::printf("usage: %s [flags]\n%s", tool, args.help_text().c_str());
   return 0;
+}
+
+/// Basename of argv[0], so a multi-named binary (ihtl_convert / ihtl_build)
+/// prints the name it was invoked under; falls back for empty argv.
+std::string invoked_as(int argc, const char* const* argv,
+                       const char* fallback) {
+  if (argc < 1 || !argv[0] || !*argv[0]) return fallback;
+  const std::string path = argv[0];
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
 }
 
 }  // namespace
@@ -100,7 +122,9 @@ int cmd_convert(int argc, const char* const* argv) {
   args.add_flag("to", true, "output format: graph | ihtl (default graph)");
   try {
     args.parse(argc, argv);
-    if (args.has("help")) return usage("ihtl_convert", args);
+    if (args.has("help")) {
+      return usage(invoked_as(argc, argv, "ihtl_convert").c_str(), args);
+    }
     const std::string output = args.get_string("output");
     if (output.empty()) throw std::invalid_argument("need --output <path>");
     const std::string to = args.get_string("to", "graph");
@@ -131,7 +155,8 @@ int cmd_convert(int argc, const char* const* argv) {
     std::fprintf(stderr, "wrote %s\n", output.c_str());
     return 0;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "ihtl_convert: %s\n", e.what());
+    std::fprintf(stderr, "%s: %s\n", invoked_as(argc, argv, "ihtl_convert").c_str(),
+                 e.what());
     return 1;
   }
 }
@@ -393,6 +418,7 @@ int cmd_run(int argc, const char* const* argv) {
       JsonValue config = JsonValue::object();
       config.set("buffer_bytes", static_cast<std::uint64_t>(cfg.buffer_bytes));
       config.set("admission_ratio", cfg.admission_ratio);
+      config.set("push_policy", push_policy_name(cfg.push_policy));
       metrics.file << telemetry::make_report(reg, std::move(run),
                                              std::move(graph),
                                              std::move(config))

@@ -3,10 +3,33 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+#include <string>
 
 #include "graph/types.h"
 
 namespace ihtl {
+
+/// How the engine distributes a flipped block's push work and merges the
+/// result (see IhtlEngine in core/ihtl_spmv.h for the mechanics).
+enum class PushPolicy {
+  /// Per block, chosen at engine-build time from block/edge statistics:
+  /// blocks too small to amortize multi-thread buffering go single-owner,
+  /// the rest stay shared. The production default.
+  automatic,
+  /// Every block is chunked across threads into per-thread buffers and
+  /// merged in fixed thread order (the paper's Algorithm 3).
+  shared,
+  /// Every block is one work item: the claiming thread pushes the whole
+  /// block directly into the output slice (atomic-free — the block's hub
+  /// range belongs to it alone), so the block needs no buffer reset and no
+  /// merge, and its result is independent of which thread ran it.
+  single_owner,
+};
+
+/// CLI-facing names: "auto", "shared", "single-owner".
+std::string push_policy_name(PushPolicy p);
+std::optional<PushPolicy> push_policy_from_name(const std::string& name);
 
 /// Parameters controlling hub selection and flipped-block construction.
 struct IhtlConfig {
@@ -33,11 +56,37 @@ struct IhtlConfig {
   /// non-hub as VWEH — the ablation for that design choice.
   bool separate_fringe = true;
 
+  /// Push/merge execution policy for engines built from this config.
+  /// Consumed by IhtlEngine only — build_ihtl_graph ignores it (the block
+  /// structure is policy-independent), so a serialized IhtlGraph can be run
+  /// under any policy.
+  PushPolicy push_policy = PushPolicy::automatic;
+
   /// Hubs per flipped block.
   vid_t hubs_per_block() const {
     const auto h = buffer_bytes / sizeof(value_t);
     return h == 0 ? 1 : static_cast<vid_t>(h);
   }
 };
+
+inline std::string push_policy_name(PushPolicy p) {
+  switch (p) {
+    case PushPolicy::automatic:
+      return "auto";
+    case PushPolicy::shared:
+      return "shared";
+    case PushPolicy::single_owner:
+      return "single-owner";
+  }
+  return "unknown";
+}
+
+inline std::optional<PushPolicy> push_policy_from_name(
+    const std::string& name) {
+  if (name == "auto") return PushPolicy::automatic;
+  if (name == "shared") return PushPolicy::shared;
+  if (name == "single-owner") return PushPolicy::single_owner;
+  return std::nullopt;
+}
 
 }  // namespace ihtl

@@ -1,31 +1,45 @@
-// The iHTL SpMV executor (Algorithm 3).
+// The iHTL SpMV executor (Algorithm 3), touched-aware and tiled.
 //
 // One SpMV over the iHTL graph runs three phases:
 //   1. PUSH the flipped blocks: threads claim (block, source-chunk) work
 //      items; every update lands in the thread's private hub buffer (the
 //      block-relative target index stored in the block CSR plus the block's
 //      hub base is exactly the buffer slot). No synchronization needed;
-//      a thread works on one flipped block at a time.
-//   2. MERGE the per-thread buffers into the hub results (parallel over
-//      hubs; fixed thread order -> deterministic floating point).
+//      a thread works on one flipped block at a time. Blocks resolved to
+//      single-owner (see PushPolicy) are one work item each and push
+//      straight into the output slice instead — their hub range belongs to
+//      exactly one thread, so the write is atomic-free and the block needs
+//      neither buffer reset nor merge.
+//   2. MERGE the per-thread buffers into the hub results, in cache-line
+//      tiles: each tile streams every touching thread's buffer segment once
+//      (vectorizable inner loop), in fixed thread order so floating-point
+//      results are deterministic for a given chunk->thread assignment.
+//      Threads that never pushed into a tile's block are skipped entirely.
 //   3. PULL the sparse block for all non-hub destinations (edge-balanced
 //      chunks, private writes).
+// Buffer RESET before the push is equally touched-aware: only the (thread,
+// block) segments dirtied by the PREVIOUS call are re-zeroed, so zero-hub
+// graphs and skewed chunk ownership pay O(touched) instead of
+// O(threads x hubs).
 // Inputs and outputs live in the NEW (relabeled) ID space; apps permute at
 // the boundary (the paper iterates entirely in the relabeled space too).
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <span>
 #include <vector>
 
 #include "baselines/semiring.h"
 #include "check/invariants.h"
+#include "core/ihtl_config.h"
 #include "core/ihtl_graph.h"
 #include "parallel/parallel_for.h"
 #include "parallel/partitioner.h"
 #include "parallel/per_thread.h"
 #include "parallel/thread_pool.h"
 #include "parallel/timer.h"
+#include "parallel/touch_matrix.h"
 #include "telemetry/metrics.h"
 
 namespace ihtl {
@@ -33,46 +47,124 @@ namespace ihtl {
 /// Wall-clock per phase of the last spmv() call (Table 5's breakdown).
 /// Thin single-call view over the cumulative "spmv/*" telemetry spans.
 struct IhtlPhaseTimes {
-  double reset_s = 0.0;  ///< zeroing the per-thread buffers
+  double reset_s = 0.0;  ///< zeroing the dirtied per-thread buffer segments
   double push_s = 0.0;   ///< flipped-block push traversal
-  double merge_s = 0.0;  ///< per-thread buffer aggregation
+  double merge_s = 0.0;  ///< tiled per-thread buffer aggregation
   double pull_s = 0.0;   ///< sparse-block pull traversal
   double total() const { return reset_s + push_s + merge_s + pull_s; }
 };
 
-/// Reusable executor; holds the per-thread buffers and the precomputed
-/// work decomposition so repeated iterations pay no setup cost.
+/// Work-avoidance counters of the last spmv() call (also accumulated into
+/// the "spmv.*" telemetry counters; see set_metrics).
+struct IhtlSpmvStats {
+  /// Buffer values re-zeroed by the reset phase (dirty segments only).
+  std::uint64_t reset_values_cleared = 0;
+  /// Buffer values the dense engine would have zeroed but reset skipped
+  /// (untouched segments + single-owner hub ranges, per thread).
+  std::uint64_t reset_values_skipped = 0;
+  /// Merge tiles processed (shared blocks only).
+  std::uint64_t merge_tiles = 0;
+  /// Per-tile thread segments streamed by the merge.
+  std::uint64_t merge_segments_streamed = 0;
+  /// Per-tile thread segments skipped because the thread never pushed into
+  /// the tile's block.
+  std::uint64_t merge_segments_skipped = 0;
+};
+
+/// Reusable executor; holds the per-thread buffers, the touch bitmaps and
+/// the precomputed work decomposition so repeated iterations pay no setup
+/// cost. `policy` resolves each flipped block to shared (multi-thread
+/// buffers + tiled merge) or single-owner (direct push, no merge) at build
+/// time; PushPolicy::automatic picks per block from block/edge statistics.
 template <typename Monoid = PlusMonoid>
 class IhtlEngine {
  public:
-  IhtlEngine(const IhtlGraph& ig, ThreadPool& pool)
-      : ig_(&ig),
-        pool_(&pool),
-        buffers_(pool.size(), ig.num_hubs(), Monoid::identity()) {
-    // Edge-balanced (block, source-chunk) work items for the push phase.
-    const std::size_t chunks_per_block = pool.size() * 4;
-    for (std::size_t b = 0; b < ig.blocks().size(); ++b) {
-      const auto parts =
-          partition_by_edge(ig.blocks()[b].csr.offsets, chunks_per_block);
-      for (const Range& r : parts) {
-        if (r.size() > 0) push_chunks_.push_back({b, r});
+  IhtlEngine(const IhtlGraph& ig, ThreadPool& pool,
+             PushPolicy policy = PushPolicy::automatic)
+      : ig_(&ig), pool_(&pool), policy_(policy) {
+    const std::size_t num_blocks = ig.blocks().size();
+    block_direct_.assign(num_blocks, 0);
+
+    // Resolve the per-block mode. A block goes single-owner when splitting
+    // it across threads cannot pay for the extra buffer reset + merge: with
+    // one worker chunking never helps, and a block holding less than
+    // ~1/(16 T) of the flipped edges contributes a few percent of one
+    // thread's push share at most.
+    if (num_blocks > 0 && policy != PushPolicy::shared) {
+      eid_t flipped = 0;
+      for (const FlippedBlock& b : ig.blocks()) flipped += b.num_edges();
+      const eid_t threshold = std::max<eid_t>(
+          kSingleOwnerMinEdges,
+          flipped / static_cast<eid_t>(pool.size() * 16));
+      for (std::size_t b = 0; b < num_blocks; ++b) {
+        const eid_t edges = ig.blocks()[b].num_edges();
+        if (edges == 0) continue;  // merge tiles supply the identity fill
+        if (policy == PushPolicy::single_owner || pool.size() == 1 ||
+            edges <= threshold) {
+          block_direct_[b] = 1;
+          ++single_owner_blocks_;
+        }
       }
     }
+
+    // Work decomposition for the push phase: edge-balanced (block,
+    // source-chunk) items for shared blocks, one whole-block item for
+    // single-owner blocks.
+    const std::size_t chunks_per_block = pool.size() * 4;
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      const auto& offsets = ig.blocks()[b].csr.offsets;
+      if (block_direct_[b]) {
+        push_chunks_.push_back({b, Range{0, offsets.size() - 1}, true});
+        continue;
+      }
+      const auto parts = partition_by_edge(offsets, chunks_per_block);
+      for (const Range& r : parts) {
+        if (r.size() > 0) push_chunks_.push_back({b, r, false});
+      }
+    }
+
+    // Per-thread buffers + touch bitmaps back the shared blocks only; an
+    // all-single-owner decomposition needs neither.
+    const bool any_shared = single_owner_blocks_ < num_blocks;
+    if (any_shared) {
+      buffers_ = PerThread<value_t>(pool.size(), ig.num_hubs(),
+                                    Monoid::identity());
+      touched_ = TouchMatrix(pool.size(), num_blocks);
+      // Cache-line-tiled merge chunks over the shared blocks' hub ranges.
+      for (std::size_t b = 0; b < num_blocks; ++b) {
+        if (block_direct_[b]) continue;
+        const FlippedBlock& blk = ig.blocks()[b];
+        for (vid_t lo = blk.hub_begin; lo < blk.hub_end;
+             lo += kMergeTileValues) {
+          const vid_t hi = std::min<vid_t>(lo + kMergeTileValues, blk.hub_end);
+          merge_tiles_.push_back({b, lo, hi});
+        }
+      }
+    }
+    reset_tally_.assign(pool.size(), PhaseTally{});
+    merge_tally_.assign(pool.size(), PhaseTally{});
+
     // Edge-balanced destination chunks for the sparse pull phase.
     sparse_chunks_ = partition_by_edge(ig.sparse().offsets, pool.size() * 8);
     set_metrics(&telemetry::MetricsRegistry::global());
 
     // Invariant-build checks. The push decomposition must tile each flipped
     // block exactly (chunks in source order, non-overlapping, edges covered
-    // once), and the per-thread hub buffers must occupy disjoint memory —
-    // the push phase relies on both for race freedom.
+    // once), single-owner blocks must be exactly one chunk, the merge tiles
+    // must partition each shared block's hub range in order, and the
+    // per-thread hub buffers must occupy disjoint memory — push and merge
+    // rely on all four for race freedom.
     IHTL_IF_INVARIANTS({
-      for (std::size_t b = 0; b < ig.blocks().size(); ++b) {
+      for (std::size_t b = 0; b < num_blocks; ++b) {
         const auto& offsets = ig.blocks()[b].csr.offsets;
         eid_t covered = 0;
+        std::size_t chunks = 0;
         std::uint64_t prev_end = 0;
         for (const PushChunk& c : push_chunks_) {
           if (c.block != b) continue;
+          ++chunks;
+          IHTL_INVARIANT(c.direct == (block_direct_[b] != 0),
+                         "push chunk mode disagrees with its block's policy");
           IHTL_INVARIANT(c.sources.begin >= prev_end,
                          "push chunks overlap or are unsorted within a block");
           IHTL_INVARIANT(c.sources.end <= offsets.size() - 1,
@@ -82,19 +174,42 @@ class IhtlEngine {
         }
         IHTL_INVARIANT(covered == ig.blocks()[b].num_edges(),
                        "push chunks do not cover the block's edges exactly");
+        IHTL_INVARIANT(!block_direct_[b] || chunks == 1,
+                       "single-owner block decomposed into multiple chunks");
+        if (!block_direct_[b]) {
+          vid_t expect = ig.blocks()[b].hub_begin;
+          for (const MergeTile& t : merge_tiles_) {
+            if (t.block != b) continue;
+            IHTL_INVARIANT(t.begin == expect,
+                           "merge tiles leave a gap or overlap in a block");
+            expect = t.end;
+          }
+          IHTL_INVARIANT(expect == ig.blocks()[b].hub_end,
+                         "merge tiles do not cover the block's hub range");
+        }
       }
       const vid_t num_hubs = ig.num_hubs();
-      for (std::size_t t = 0; t + 1 < pool.size(); ++t) {
-        const value_t* lo = buffers_.get(t);
-        const value_t* hi = buffers_.get(t + 1);
-        IHTL_INVARIANT(lo + num_hubs <= hi || hi + num_hubs <= lo,
-                       "per-thread hub buffers overlap before merge");
+      if (buffers_.length() == num_hubs && num_hubs > 0) {
+        for (std::size_t t = 0; t + 1 < pool.size(); ++t) {
+          const value_t* lo = buffers_.get(t);
+          const value_t* hi = buffers_.get(t + 1);
+          IHTL_INVARIANT(lo + num_hubs <= hi || hi + num_hubs <= lo,
+                         "per-thread hub buffers overlap before merge");
+        }
       }
     });
   }
 
   const IhtlGraph& graph() const { return *ig_; }
   const IhtlPhaseTimes& last_phase_times() const { return times_; }
+  const IhtlSpmvStats& last_stats() const { return stats_; }
+
+  /// The policy this engine was built with (as requested, not resolved).
+  PushPolicy policy() const { return policy_; }
+  /// Blocks resolved to single-owner direct push at build time.
+  std::size_t single_owner_blocks() const { return single_owner_blocks_; }
+  /// Merge tiles covering the shared blocks' hub ranges.
+  std::size_t merge_tile_count() const { return merge_tiles_.size(); }
 
   /// Redirects the engine's spans/counters to `reg` (nullptr disables
   /// recording entirely). Handles are resolved once here, so the per-call
@@ -109,10 +224,18 @@ class IhtlEngine {
       calls_ = reg->counter("spmv.calls");
       push_chunk_items_ = reg->counter("spmv.push_chunk_items");
       sparse_chunk_items_ = reg->counter("spmv.sparse_chunk_items");
+      merge_tiles_run_ = reg->counter("spmv.merge_tiles");
+      merge_tiles_skipped_ = reg->counter("spmv.merge_tiles_skipped");
+      reset_values_cleared_ = reg->counter("spmv.reset_values_cleared");
+      reset_values_skipped_ = reg->counter("spmv.reset_values_skipped");
+      reg->set_gauge("spmv.blocks_single_owner",
+                     static_cast<double>(single_owner_blocks_));
     } else {
       span_total_ = span_reset_ = span_push_ = span_merge_ = span_pull_ =
           telemetry::TimerStat();
-      calls_ = push_chunk_items_ = sparse_chunk_items_ = telemetry::Counter();
+      calls_ = push_chunk_items_ = sparse_chunk_items_ = merge_tiles_run_ =
+          merge_tiles_skipped_ = reset_values_cleared_ =
+              reset_values_skipped_ = telemetry::Counter();
     }
   }
 
@@ -121,26 +244,69 @@ class IhtlEngine {
     assert(x.size() == ig_->num_vertices());
     assert(y.size() == ig_->num_vertices());
     const vid_t num_hubs = ig_->num_hubs();
+    stats_ = IhtlSpmvStats{};
     Timer phase;
 
-    // Phase 0: reset per-thread buffers (each thread clears its own copy).
-    if (num_hubs > 0) {
+    // Phase 0: reset — each thread re-zeroes only the buffer segments it
+    // dirtied in the PREVIOUS call (the touch bits), then clears its bits.
+    if (buffers_.length() > 0) {
       pool_->run([&](std::size_t tid) {
         value_t* buf = buffers_.get(tid);
-        for (vid_t h = 0; h < num_hubs; ++h) buf[h] = Monoid::identity();
+        std::uint64_t cleared = 0;
+        for (std::size_t b = 0; b < block_direct_.size(); ++b) {
+          if (block_direct_[b] || !touched_.test(tid, b)) continue;
+          const FlippedBlock& blk = ig_->blocks()[b];
+          for (vid_t h = blk.hub_begin; h < blk.hub_end; ++h) {
+            buf[h] = Monoid::identity();
+          }
+          cleared += blk.num_hubs();
+        }
+        touched_.clear_row(tid);
+        reset_tally_[tid] = {cleared, num_hubs - cleared};
       });
+      for (const PhaseTally& t : reset_tally_) {
+        stats_.reset_values_cleared += t.a;
+        stats_.reset_values_skipped += t.b;
+      }
+    } else {
+      // No shared blocks: the dense engine would still have zeroed every
+      // per-thread hub slot; all of it is skipped here.
+      stats_.reset_values_skipped =
+          static_cast<std::uint64_t>(pool_->size()) * num_hubs;
     }
+    IHTL_IF_INVARIANTS({
+      // The touched-tracking must leave reset buffers indistinguishable
+      // from freshly initialized ones (a stale dirty bit or a missed one
+      // shows up here, one call late).
+      for (std::size_t t = 0; t < pool_->size(); ++t) {
+        for (std::size_t h = 0; h < buffers_.length(); ++h) {
+          IHTL_INVARIANT(buffers_.get(t)[h] == Monoid::identity(),
+                         "buffer not identity after touched-aware reset");
+        }
+      }
+    });
     times_.reset_s = phase.elapsed_seconds();
     span_reset_.record_seconds(times_.reset_s);
 
-    // Phase 1: push the flipped blocks (Algorithm 3, lines 1-4).
+    // Phase 1: push the flipped blocks (Algorithm 3, lines 1-4). Shared
+    // chunks accumulate into the thread's private buffer and set the
+    // (thread, block) touch bit; single-owner chunks initialize and
+    // accumulate the block's output slice directly.
     phase.reset();
     parallel_for(
         *pool_, 0, push_chunks_.size(),
         [&](std::uint64_t c, std::size_t tid) {
           const PushChunk& chunk = push_chunks_[c];
           const FlippedBlock& blk = ig_->blocks()[chunk.block];
-          value_t* buf = buffers_.get(tid) + blk.hub_begin;
+          value_t* buf;
+          if (chunk.direct) {
+            buf = y.data() + blk.hub_begin;
+            const vid_t nh = blk.num_hubs();
+            for (vid_t h = 0; h < nh; ++h) buf[h] = Monoid::identity();
+          } else {
+            touched_.set(tid, chunk.block);
+            buf = buffers_.get(tid) + blk.hub_begin;
+          }
           for (std::uint64_t v = chunk.sources.begin; v < chunk.sources.end;
                ++v) {
             const value_t xv = x[v];
@@ -153,16 +319,38 @@ class IhtlEngine {
     times_.push_s = phase.elapsed_seconds();
     span_push_.record_seconds(times_.push_s);
 
-    // Phase 2: aggregate thread buffers (Algorithm 3, lines 5-7).
+    // Phase 2: tiled aggregation of the shared blocks (Algorithm 3, lines
+    // 5-7). Each tile streams the touching threads' segments once, in
+    // ascending thread order — the same combine order per hub as the
+    // classic per-hub loop, so results are unchanged.
     phase.reset();
-    if (num_hubs > 0) {
-      parallel_for(*pool_, 0, num_hubs, [&](std::uint64_t h, std::size_t) {
-        value_t acc = Monoid::identity();
-        for (std::size_t t = 0; t < pool_->size(); ++t) {
-          acc = Monoid::combine(acc, buffers_.get(t)[h]);
-        }
-        y[h] = acc;
-      });
+    if (!merge_tiles_.empty()) {
+      for (PhaseTally& t : merge_tally_) t = PhaseTally{};
+      parallel_for(
+          *pool_, 0, merge_tiles_.size(),
+          [&](std::uint64_t i, std::size_t tid) {
+            const MergeTile& tile = merge_tiles_[i];
+            const vid_t len = tile.end - tile.begin;
+            value_t* yt = y.data() + tile.begin;
+            for (vid_t k = 0; k < len; ++k) yt[k] = Monoid::identity();
+            std::uint64_t streamed = 0;
+            for (std::size_t t = 0; t < pool_->size(); ++t) {
+              if (!touched_.test(t, tile.block)) continue;
+              ++streamed;
+              const value_t* seg = buffers_.get(t) + tile.begin;
+              for (vid_t k = 0; k < len; ++k) {
+                yt[k] = Monoid::combine(yt[k], seg[k]);
+              }
+            }
+            merge_tally_[tid].a += streamed;
+            merge_tally_[tid].b += pool_->size() - streamed;
+          },
+          {.grain = 1});
+      stats_.merge_tiles = merge_tiles_.size();
+      for (const PhaseTally& t : merge_tally_) {
+        stats_.merge_segments_streamed += t.a;
+        stats_.merge_segments_skipped += t.b;
+      }
     }
     times_.merge_s = phase.elapsed_seconds();
     span_merge_.record_seconds(times_.merge_s);
@@ -190,37 +378,79 @@ class IhtlEngine {
     calls_.inc(0);
     push_chunk_items_.add(0, push_chunks_.size());
     sparse_chunk_items_.add(0, sparse_chunks_.size());
+    merge_tiles_run_.add(0, stats_.merge_tiles);
+    merge_tiles_skipped_.add(0, stats_.merge_segments_skipped);
+    reset_values_cleared_.add(0, stats_.reset_values_cleared);
+    reset_values_skipped_.add(0, stats_.reset_values_skipped);
   }
 
  private:
+  /// Merge tile width in hub values: 4 KB of value_t, a whole number of
+  /// cache lines, small enough that a tile plus one buffer segment per
+  /// thread stays L1/L2-resident while streaming.
+  static constexpr vid_t kMergeTileValues = 512;
+  /// automatic keeps blocks below this edge count single-owner outright.
+  static constexpr eid_t kSingleOwnerMinEdges = 4096;
+
   struct PushChunk {
     std::size_t block;
     Range sources;
+    bool direct;  ///< single-owner: push straight into y, skip merge
+  };
+  struct MergeTile {
+    std::size_t block;
+    vid_t begin;  ///< absolute hub IDs [begin, end) within the block
+    vid_t end;
+  };
+  struct alignas(64) PhaseTally {
+    std::uint64_t a = 0, b = 0;
   };
 
   const IhtlGraph* ig_;
   ThreadPool* pool_;
+  PushPolicy policy_;
+  std::vector<std::uint8_t> block_direct_;
+  std::size_t single_owner_blocks_ = 0;
   PerThread<value_t> buffers_;
+  TouchMatrix touched_;
   std::vector<PushChunk> push_chunks_;
+  std::vector<MergeTile> merge_tiles_;
   std::vector<Range> sparse_chunks_;
+  std::vector<PhaseTally> reset_tally_, merge_tally_;
   IhtlPhaseTimes times_;
+  IhtlSpmvStats stats_;
   telemetry::TimerStat span_total_, span_reset_, span_push_, span_merge_,
       span_pull_;
-  telemetry::Counter calls_, push_chunk_items_, sparse_chunk_items_;
+  telemetry::Counter calls_, push_chunk_items_, sparse_chunk_items_,
+      merge_tiles_run_, merge_tiles_skipped_, reset_values_cleared_,
+      reset_values_skipped_;
 };
 
 /// One-shot convenience wrapper operating in the ORIGINAL ID space:
-/// permutes x in, runs one SpMV, permutes y back. For repeated iterations
-/// build an IhtlEngine and stay in the relabeled space instead.
-template <typename Monoid = PlusMonoid>
-void ihtl_spmv_once(ThreadPool& pool, const IhtlGraph& ig,
-                    std::span<const value_t> x, std::span<value_t> y) {
-  const auto& o2n = ig.old_to_new();
+/// permutes x in, runs one SpMV on `engine`, permutes y back. Reuses the
+/// caller's engine, so repeated one-shot calls pay no buffer or work-
+/// decomposition setup.
+template <typename Monoid>
+void ihtl_spmv_once(IhtlEngine<Monoid>& engine, std::span<const value_t> x,
+                    std::span<value_t> y) {
+  const auto& o2n = engine.graph().old_to_new();
   std::vector<value_t> xp(x.size()), yp(y.size());
   for (std::size_t v = 0; v < x.size(); ++v) xp[o2n[v]] = x[v];
-  IhtlEngine<Monoid> engine(ig, pool);
   engine.spmv(xp, yp);
   for (std::size_t v = 0; v < y.size(); ++v) y[v] = yp[o2n[v]];
+}
+
+/// Engine-less variant. NOTE: constructs a fresh IhtlEngine — per-thread
+/// buffers plus the push/merge work decomposition, O(threads x hubs + m/
+/// chunk) — on EVERY call. Fine for a genuine one-shot; for anything
+/// iterative build an IhtlEngine once and use the overload above (or stay
+/// in the relabeled space entirely, as the apps do).
+template <typename Monoid = PlusMonoid>
+void ihtl_spmv_once(ThreadPool& pool, const IhtlGraph& ig,
+                    std::span<const value_t> x, std::span<value_t> y,
+                    PushPolicy policy = PushPolicy::automatic) {
+  IhtlEngine<Monoid> engine(ig, pool, policy);
+  ihtl_spmv_once(engine, x, y);
 }
 
 }  // namespace ihtl

@@ -1,0 +1,78 @@
+// Per-thread touch bitmaps (threads x slots).
+//
+// The iHTL engine tracks which (thread, flipped-block) pairs the push phase
+// actually wrote so that buffer reset and merge can skip everything else
+// (O(touched) instead of O(threads x blocks' hubs)). Each thread owns one
+// cache-line-padded row of bits: setting/clearing its own row needs no
+// atomics, and rows never share a line, so the push hot path pays one plain
+// word OR per chunk. Cross-row reads (the merge phase scanning every
+// thread's bit for a block) are safe because the thread-pool join between
+// push and merge orders them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ihtl {
+
+/// `threads` independent bitmaps of `slots` bits, one 64-byte-aligned row
+/// per thread. Writers must only touch their own row; readers must be
+/// ordered against writers externally (e.g. by a pool barrier).
+class TouchMatrix {
+ public:
+  TouchMatrix() = default;
+  TouchMatrix(std::size_t threads, std::size_t slots)
+      : slots_(slots),
+        // Round the row up to whole cache lines so rows never share one.
+        words_per_row_(((slots + 63) / 64 + 7) / 8 * 8),
+        words_(threads * words_per_row_, 0) {}
+
+  std::size_t threads() const {
+    return words_per_row_ ? words_.size() / words_per_row_ : 0;
+  }
+  std::size_t slots() const { return slots_; }
+
+  /// Marks (tid, slot). Row-private: call only from thread `tid`'s work.
+  void set(std::size_t tid, std::size_t slot) {
+    row(tid)[slot / 64] |= std::uint64_t{1} << (slot % 64);
+  }
+
+  bool test(std::size_t tid, std::size_t slot) const {
+    return (row(tid)[slot / 64] >> (slot % 64)) & 1;
+  }
+
+  /// Clears thread `tid`'s whole row. Row-private, like set().
+  void clear_row(std::size_t tid) {
+    std::uint64_t* r = row(tid);
+    for (std::size_t w = 0; w < words_per_row_; ++w) r[w] = 0;
+  }
+
+  /// Number of set bits in thread `tid`'s row.
+  std::size_t count_row(std::size_t tid) const {
+    std::size_t n = 0;
+    const std::uint64_t* r = row(tid);
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      std::uint64_t v = r[w];
+      while (v) {
+        v &= v - 1;
+        ++n;
+      }
+    }
+    return n;
+  }
+
+ private:
+  std::uint64_t* row(std::size_t tid) {
+    return words_.data() + tid * words_per_row_;
+  }
+  const std::uint64_t* row(std::size_t tid) const {
+    return words_.data() + tid * words_per_row_;
+  }
+
+  std::size_t slots_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ihtl

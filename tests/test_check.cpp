@@ -159,6 +159,29 @@ TEST(SeedStability, DrawIsFrozen) {
   EXPECT_EQ(p.iterations, 3u);
   EXPECT_EQ(p.source, 114590u);
   EXPECT_EQ(p.x_seed, 3664447913708261913ull);
+  // Appended in PR 3 (push-policy axis); draws after x_seed per the contract.
+  EXPECT_EQ(p.push_policy, PushPolicy::shared);
+}
+
+// The lattice's push-policy axis: every policy must pass the oracle under
+// all three spmv semirings (pinned points, so a regression in one policy's
+// merge/reset path cannot hide behind lattice sampling).
+TEST(SeedStability, PushPolicyLatticePinnedPerPolicyAndSemiring) {
+  for (const PushPolicy policy : {PushPolicy::automatic, PushPolicy::shared,
+                                  PushPolicy::single_owner}) {
+    for (const Workload w :
+         {Workload::spmv_plus, Workload::spmv_min, Workload::spmv_max}) {
+      DiffOptions opt;
+      opt.base_seed = 2026;
+      opt.points = 4;
+      opt.force_push_policy = policy;
+      opt.force_workload = w;
+      const std::optional<CaseResult> failure = check::run_lattice(opt);
+      EXPECT_FALSE(failure.has_value())
+          << "policy " << push_policy_name(policy) << " workload "
+          << workload_name(w) << ": " << failure->report.summary();
+    }
+  }
 }
 
 TEST(Telemetry, CheckCountersGrow) {

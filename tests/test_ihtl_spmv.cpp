@@ -207,6 +207,162 @@ TEST(IhtlSpmv, SerializedGraphComputesSameResult) {
   std::remove(path.c_str());
 }
 
+// --- push-policy and touched-tracking coverage ------------------------------
+
+/// Runs one spmv under `policy` in the relabeled space and returns y.
+template <typename Monoid>
+std::vector<value_t> run_policy(const IhtlGraph& ig, ThreadPool& pool,
+                                PushPolicy policy,
+                                const std::vector<value_t>& xp) {
+  IhtlEngine<Monoid> engine(ig, pool, policy);
+  std::vector<value_t> y(xp.size());
+  engine.spmv(xp, y);
+  return y;
+}
+
+template <typename Monoid>
+void expect_policies_bit_identical(const Graph& g) {
+  // One worker: every policy processes each block in the same source order,
+  // so plus/min/max results must agree to the last bit (the acceptance
+  // criterion that lets --push-policy be flipped without perturbing apps).
+  ThreadPool pool(1);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  ASSERT_GT(ig.num_hubs(), 0u);
+  const auto x = random_values(g.num_vertices(), 61);
+  std::vector<value_t> xp(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) xp[ig.old_to_new()[v]] = x[v];
+  const auto y_shared = run_policy<Monoid>(ig, pool, PushPolicy::shared, xp);
+  const auto y_single =
+      run_policy<Monoid>(ig, pool, PushPolicy::single_owner, xp);
+  const auto y_auto = run_policy<Monoid>(ig, pool, PushPolicy::automatic, xp);
+  EXPECT_EQ(y_shared, y_single);
+  EXPECT_EQ(y_shared, y_auto);
+}
+
+TEST(IhtlSpmvPolicy, PoliciesBitIdenticalPlus) {
+  expect_policies_bit_identical<PlusMonoid>(small_rmat(9, 8));
+}
+TEST(IhtlSpmvPolicy, PoliciesBitIdenticalMin) {
+  expect_policies_bit_identical<MinMonoid>(small_rmat(9, 8));
+}
+TEST(IhtlSpmvPolicy, PoliciesBitIdenticalMax) {
+  expect_policies_bit_identical<MaxMonoid>(small_rmat(9, 8));
+}
+
+TEST(IhtlSpmvPolicy, ForcedPoliciesMatchSerialPullMultiThread) {
+  const Graph g = small_rmat(9, 8);
+  for (const PushPolicy policy : {PushPolicy::automatic, PushPolicy::shared,
+                                  PushPolicy::single_owner}) {
+    ThreadPool pool(3);
+    const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+    const auto x = random_values(g.num_vertices(), 62);
+    std::vector<value_t> expected(g.num_vertices()), y(g.num_vertices());
+    spmv_pull_serial(g, x, expected);
+    ihtl_spmv_once(pool, ig, x, y, policy);
+    expect_values_near(expected, y, 1e-9);
+  }
+}
+
+TEST(IhtlSpmvPolicy, ZeroHubGraphSkipsAllMergeWork) {
+  // Cycle: no hubs, no flipped blocks. The touched-aware engine must not
+  // allocate, reset, or merge any buffer — the old dense engine paid
+  // O(threads x hubs) here for nothing.
+  std::vector<Edge> edges;
+  for (vid_t v = 0; v < 64; ++v) edges.push_back({v, (v + 1) % 64});
+  const Graph g = build_graph(64, edges);
+  ThreadPool pool(2);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(4));
+  ASSERT_EQ(ig.num_hubs(), 0u);
+  IhtlEngine<PlusMonoid> engine(ig, pool);
+  EXPECT_EQ(engine.merge_tile_count(), 0u);
+  EXPECT_EQ(engine.single_owner_blocks(), 0u);
+  std::vector<value_t> x(g.num_vertices(), 1.0), y(g.num_vertices());
+  engine.spmv(x, y);
+  const IhtlSpmvStats& s = engine.last_stats();
+  EXPECT_EQ(s.merge_tiles, 0u);
+  EXPECT_EQ(s.merge_segments_streamed, 0u);
+  EXPECT_EQ(s.reset_values_cleared, 0u);
+}
+
+TEST(IhtlSpmvPolicy, SingleBlockGoesSingleOwnerAndSkipsMerge) {
+  // One worker + one small flipped block: the automatic policy must resolve
+  // it to single-owner, leaving zero merge tiles and zero buffer resets.
+  const Graph g = figure2_graph();
+  IhtlConfig cfg = cfg_with_hubs(2);
+  cfg.min_hub_in_degree = 3;
+  ThreadPool pool(1);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+  ASSERT_EQ(ig.blocks().size(), 1u);
+  IhtlEngine<PlusMonoid> engine(ig, pool);
+  EXPECT_EQ(engine.single_owner_blocks(), 1u);
+  EXPECT_EQ(engine.merge_tile_count(), 0u);
+  std::vector<value_t> x(8), y(8);
+  for (vid_t v = 0; v < 8; ++v) x[ig.old_to_new()[v]] = v + 1.0;
+  engine.spmv(x, y);
+  const IhtlSpmvStats& s = engine.last_stats();
+  EXPECT_EQ(s.merge_tiles, 0u);
+  EXPECT_EQ(s.reset_values_cleared, 0u);
+  // The dense engine would have zeroed threads x num_hubs slots.
+  EXPECT_EQ(s.reset_values_skipped, ig.num_hubs());
+  // Results still correct through the direct path.
+  EXPECT_DOUBLE_EQ(y[ig.old_to_new()[2]], 1 + 2 + 5 + 6 + 8.0);
+  EXPECT_DOUBLE_EQ(y[ig.old_to_new()[6]], 2 + 4 + 5.0);
+}
+
+TEST(IhtlSpmvPolicy, TouchedResetClearsOnlyDirtySegments) {
+  // Forced-shared, one worker: the first call dirties every block the
+  // thread pushed into; the second call's reset must clear exactly those
+  // hub slots and nothing else (threads x hubs in the dense engine).
+  const Graph g = small_rmat(9, 8);
+  ThreadPool pool(1);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  ASSERT_GT(ig.blocks().size(), 1u);
+  IhtlEngine<PlusMonoid> engine(ig, pool, PushPolicy::shared);
+  std::vector<value_t> x(g.num_vertices(), 1.0), y(g.num_vertices());
+  engine.spmv(x, y);
+  // Call 1 starts from freshly initialized buffers: nothing to clear.
+  EXPECT_EQ(engine.last_stats().reset_values_cleared, 0u);
+  vid_t dirty_hubs = 0;
+  for (const FlippedBlock& blk : ig.blocks()) {
+    if (blk.num_edges() > 0) dirty_hubs += blk.num_hubs();
+  }
+  engine.spmv(x, y);
+  const IhtlSpmvStats& s = engine.last_stats();
+  EXPECT_EQ(s.reset_values_cleared, dirty_hubs);
+  EXPECT_EQ(s.reset_values_cleared + s.reset_values_skipped, ig.num_hubs());
+  // One worker touches every block it merged: no segment skipped.
+  EXPECT_EQ(s.merge_segments_skipped, 0u);
+  EXPECT_EQ(s.merge_segments_streamed, s.merge_tiles);
+}
+
+TEST(IhtlSpmvPolicy, SingleOwnerGaugeExported) {
+  const Graph g = figure2_graph();
+  IhtlConfig cfg = cfg_with_hubs(2);
+  cfg.min_hub_in_degree = 3;
+  ThreadPool pool(1);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+  IhtlEngine<PlusMonoid> engine(ig, pool);
+  const auto gauge =
+      telemetry::MetricsRegistry::global().gauge("spmv.blocks_single_owner");
+  ASSERT_TRUE(gauge.has_value());
+  EXPECT_DOUBLE_EQ(*gauge, static_cast<double>(engine.single_owner_blocks()));
+}
+
+TEST(IhtlSpmvPolicy, OneShotEngineOverloadMatchesEngineless) {
+  const Graph g = small_rmat(9, 8);
+  ThreadPool pool(1);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  const auto x = random_values(g.num_vertices(), 63);
+  std::vector<value_t> y1(g.num_vertices()), y2(g.num_vertices());
+  ihtl_spmv_once(pool, ig, x, y1);
+  IhtlEngine<PlusMonoid> engine(ig, pool);
+  ihtl_spmv_once(engine, x, y2);
+  EXPECT_EQ(y1, y2);
+  // The reuse overload leaves the engine consistent for further calls.
+  ihtl_spmv_once(engine, x, y2);
+  EXPECT_EQ(y1, y2);
+}
+
 class AllDatasetsSpmvTest : public ::testing::TestWithParam<DatasetSpec> {};
 
 TEST_P(AllDatasetsSpmvTest, EquivalenceOnEveryDataset) {

@@ -1,0 +1,69 @@
+#!/usr/bin/env sh
+# Docs-consistency checker: the README CLI reference must match each tool's
+# actual --help output.
+#
+#   tools/check_cli_docs.sh [--update] <tools-dir> [readme]
+#
+# For every `<!-- cli:NAME -->` ... `<!-- /cli:NAME -->` block in the
+# README, runs `<tools-dir>/NAME --help` and diffs it against the block's
+# fenced code contents. Default mode exits 1 on any drift (CI's
+# docs-consistency job); `--update` rewrites the blocks in place instead
+# (run it after changing a tool's flags).
+set -eu
+
+MODE=check
+if [ "${1:-}" = "--update" ]; then
+  MODE=update
+  shift
+fi
+TOOLS_DIR=${1:?usage: check_cli_docs.sh [--update] <tools-dir> [readme]}
+README=${2:-README.md}
+
+[ -f "$README" ] || { echo "error: $README not found" >&2; exit 2; }
+
+TOOLS=$(sed -n 's/^<!-- cli:\([a-z_]*\) -->$/\1/p' "$README")
+[ -n "$TOOLS" ] || { echo "error: no <!-- cli:* --> blocks in $README" >&2; exit 2; }
+
+STATUS=0
+for tool in $TOOLS; do
+  BIN="$TOOLS_DIR/$tool"
+  if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not built (build the tools target first)" >&2
+    exit 2
+  fi
+  HELP=$("$BIN" --help)
+  # The fenced block between this tool's markers, without the fences.
+  DOC=$(awk -v tool="$tool" '
+    $0 == "<!-- cli:" tool " -->" { grab = 1; next }
+    $0 == "<!-- /cli:" tool " -->" { grab = 0 }
+    grab && $0 != "```"' "$README")
+  if [ "$HELP" = "$DOC" ]; then
+    echo "ok: $tool --help matches $README"
+    continue
+  fi
+  if [ "$MODE" = check ]; then
+    echo "DRIFT: $tool --help no longer matches $README:" >&2
+    printf '%s\n' "$DOC" > /tmp/cli_doc.$$
+    printf '%s\n' "$HELP" > /tmp/cli_help.$$
+    diff -u /tmp/cli_doc.$$ /tmp/cli_help.$$ >&2 || true
+    rm -f /tmp/cli_doc.$$ /tmp/cli_help.$$
+    echo "(refresh with: tools/check_cli_docs.sh --update $TOOLS_DIR $README)" >&2
+    STATUS=1
+  else
+    printf '%s\n' "$HELP" > /tmp/cli_help.$$
+    awk -v tool="$tool" -v helpfile="/tmp/cli_help.$$" '
+      $0 == "<!-- cli:" tool " -->" {
+        print; print "```"
+        while ((getline line < helpfile) > 0) print line
+        close(helpfile)
+        print "```"
+        skip = 1; next
+      }
+      $0 == "<!-- /cli:" tool " -->" { skip = 0 }
+      !skip' "$README" > "$README.tmp"
+    mv "$README.tmp" "$README"
+    rm -f /tmp/cli_help.$$
+    echo "updated: $tool block in $README"
+  fi
+done
+exit $STATUS

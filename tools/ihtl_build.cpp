@@ -1,0 +1,6 @@
+// CLI: preprocess a graph into its iHTL form (alias of `ihtl_convert` —
+// "build" matches the paper's preprocessing vocabulary and the docs; both
+// binaries run the same command). See `ihtl_build --help`.
+#include "cli/commands.h"
+
+int main(int argc, char** argv) { return ihtl::cmd_convert(argc, argv); }

@@ -48,6 +48,9 @@ int handle_failure(const CaseResult& failure, const DiffOptions& opt,
     std::cerr << " --workload " << workload_name(*opt.force_workload);
   }
   if (opt.force_threads > 0) std::cerr << " --threads " << opt.force_threads;
+  if (opt.force_push_policy) {
+    std::cerr << " --push-policy " << push_policy_name(*opt.force_push_policy);
+  }
   if (opt.engine_override) std::cerr << " --inject-fault";
   std::cerr << "\n";
   if (!minimize) return 1;
@@ -86,6 +89,8 @@ int main(int argc, char** argv) {
                 "force one workload (spmv-plus, spmv-min, spmv-max, "
                 "pagerank, pagerank-delta, hits, bfs, kcore)");
   args.add_flag("threads", true, "force the thread count (0 = lattice)");
+  args.add_flag("push-policy", true,
+                "force the engine push policy (auto, shared, single-owner)");
   args.add_flag("inject-fault", false,
                 "swap in the broken drop-merge engine (self-test)");
   args.add_flag("no-minimize", false, "report the failure without shrinking");
@@ -121,6 +126,16 @@ int main(int argc, char** argv) {
       return 2;
     }
     opt.force_workload = w;
+  }
+  if (args.has("push-policy")) {
+    const std::string name = args.get_string("push-policy");
+    const std::optional<PushPolicy> p = push_policy_from_name(name);
+    if (!p) {
+      std::cerr << "error: unknown push policy '" << name
+                << "' (auto, shared, single-owner)\n";
+      return 2;
+    }
+    opt.force_push_policy = p;
   }
   if (args.has("inject-fault")) opt.engine_override = drop_merge_fault();
 
