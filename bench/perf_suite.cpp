@@ -9,6 +9,7 @@
 //   ./bench/perf_suite --out new.json --iterations 20
 //   ./tools/bench_diff BENCH_spmv.json new.json
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
 #include "telemetry/report.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -117,6 +119,9 @@ int main(int argc, char** argv) {
                 "comma-separated dataset names (default TwtrMpi,SK,LvJrnl,WbCc)");
   args.add_flag("push-policy", true,
                 "engine push/merge policy: auto | shared | single-owner");
+  args.add_flag("trace-out", true,
+                "write a Chrome trace_event JSON timeline of the whole "
+                "suite here");
   args.add_flag("help", false, "show usage");
   try {
     args.parse(argc, argv);
@@ -144,9 +149,27 @@ int main(int argc, char** argv) {
                  "per-phase spans + pool counters + cachesim misses, "
                  "bench scale");
 
+    // Optional timeline of the whole suite; uninstalled before the buffer
+    // dies so producers never see a dangling pointer.
+    std::unique_ptr<telemetry::TraceBuffer> trace;
+    const std::string trace_path = args.get_string("trace-out");
+    if (!trace_path.empty()) {
+      trace = std::make_unique<telemetry::TraceBuffer>(pool.size());
+      telemetry::TraceBuffer::set_active(trace.get());
+    }
+
     JsonValue datasets = JsonValue::array();
     for (const std::string& name : names) {
       datasets.push_back(run_dataset(name, pool, iterations, policy));
+    }
+
+    if (trace) {
+      telemetry::TraceBuffer::set_active(nullptr);
+      telemetry::write_json_file(trace->to_chrome_trace(), trace_path);
+      std::printf("wrote trace to %s (%llu events, %llu dropped)\n",
+                  trace_path.c_str(),
+                  static_cast<unsigned long long>(trace->recorded()),
+                  static_cast<unsigned long long>(trace->dropped()));
     }
 
     JsonValue doc = JsonValue::object();

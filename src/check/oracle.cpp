@@ -119,6 +119,16 @@ EngineOverride drop_merge_fault() {
   };
 }
 
+TraceDropFault::TraceDropFault()
+    : buffer_(std::make_unique<telemetry::TraceBuffer>(1, 1)) {
+  buffer_->set_drop_all(true);
+  previous_ = telemetry::TraceBuffer::set_active(buffer_.get());
+}
+
+TraceDropFault::~TraceDropFault() {
+  telemetry::TraceBuffer::set_active(previous_);
+}
+
 namespace {
 
 bool values_differ(value_t expected, value_t actual, double tol) {

@@ -11,7 +11,9 @@
 // substitute a deliberately broken engine to exercise the reporter.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -21,6 +23,7 @@
 #include "core/ihtl_spmv.h"
 #include "graph/graph.h"
 #include "parallel/thread_pool.h"
+#include "telemetry/trace.h"
 
 namespace ihtl::check {
 
@@ -93,6 +96,29 @@ using EngineOverride =
 /// tests and `ihtl_check --inject-fault` to prove the oracle detects,
 /// replays, and minimizes real fault shapes.
 EngineOverride drop_merge_fault();
+
+/// Fault injection for the tracing pipeline: while alive, installs a tiny
+/// (one ring, minimal capacity) TraceBuffer in drop-all mode as the
+/// process-wide active buffer, so every trace producer runs its degraded
+/// path — events are counted and discarded, as on a severe overflow. The
+/// oracle and the report pipeline must reach identical verdicts with it
+/// installed; tests and `ihtl_check --inject-trace-drop` verify that.
+/// Restores the previously active buffer on destruction.
+class TraceDropFault {
+ public:
+  TraceDropFault();
+  ~TraceDropFault();
+
+  TraceDropFault(const TraceDropFault&) = delete;
+  TraceDropFault& operator=(const TraceDropFault&) = delete;
+
+  /// Events producers attempted to record (all force-dropped).
+  std::uint64_t dropped() const { return buffer_->dropped(); }
+
+ private:
+  std::unique_ptr<telemetry::TraceBuffer> buffer_;
+  telemetry::TraceBuffer* previous_;
+};
 
 struct OracleOptions {
   Workload workload = Workload::spmv_plus;

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <exception>
 #include <fstream>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -16,8 +17,10 @@
 #include "apps/pagerank.h"
 #include "apps/pagerank_delta.h"
 #include "apps/triangle_count.h"
+#include "baselines/spmv.h"
 #include "cli/args.h"
 #include "core/ihtl_graph.h"
+#include "core/ihtl_spmv.h"
 #include "gen/datasets.h"
 #include "graph/io.h"
 #include "graph/stats.h"
@@ -25,7 +28,9 @@
 #include "parallel/timer.h"
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
+#include "telemetry/perf_counters.h"
 #include "telemetry/report.h"
+#include "telemetry/trace.h"
 
 namespace ihtl {
 
@@ -34,7 +39,9 @@ namespace {
 /// Loads a graph from --graph (binary container or edge-list text) or
 /// generates one from --gen/--gen-scale.
 Graph load_input_graph(const ArgParser& args) {
-  if (args.has("gen")) {
+  // --dataset is an alias for --gen, registered by tools (ihtl_profile)
+  // whose vocabulary centers on the named datasets.
+  if (args.has("gen") || args.has("dataset")) {
     const std::string scale_name = args.get_string("gen-scale", "bench");
     DatasetScale scale;
     if (scale_name == "tiny") {
@@ -48,7 +55,9 @@ Graph load_input_graph(const ArgParser& args) {
     } else {
       throw std::invalid_argument("unknown --gen-scale: " + scale_name);
     }
-    return make_dataset(args.get_string("gen"), scale);
+    return make_dataset(args.has("gen") ? args.get_string("gen")
+                                        : args.get_string("dataset"),
+                        scale);
   }
   const std::string path = args.get_string("graph");
   if (path.empty()) {
@@ -112,6 +121,68 @@ std::string invoked_as(int argc, const char* const* argv,
   const std::size_t slash = path.find_last_of('/');
   return slash == std::string::npos ? path : path.substr(slash + 1);
 }
+
+/// Validates a JSON output path up front: a long run must not discover an
+/// unwritable output directory after the work is done. The guard removes
+/// the pre-opened file again if the run fails for any reason (including
+/// exceptions), so failures leave no empty report behind.
+struct OutputFileGuard {
+  std::ofstream file;
+  std::string path;
+  bool keep = false;
+  /// Returns false (after printing an error) when the path is unwritable.
+  bool open(const ArgParser& args, const char* flag, const char* tool) {
+    path = args.get_string(flag);
+    if (path.empty()) return true;
+    file.open(path);
+    if (!file) {
+      std::fprintf(stderr, "%s: cannot open --%s path '%s' for writing\n",
+                   tool, flag, path.c_str());
+      return false;
+    }
+    return true;
+  }
+  ~OutputFileGuard() {
+    if (file.is_open() && !keep) {
+      file.close();
+      std::remove(path.c_str());
+    }
+  }
+};
+
+/// Installs a TraceBuffer as the process-wide active buffer for the guard's
+/// lifetime and writes the Chrome trace JSON on demand. Uninstalls before
+/// the buffer is destroyed (producers must never see a dangling pointer).
+struct TraceGuard {
+  std::unique_ptr<telemetry::TraceBuffer> buffer;
+  std::string path;
+  void install(const std::string& out_path, std::size_t rings) {
+    if (out_path.empty()) return;
+    path = out_path;
+    buffer = std::make_unique<telemetry::TraceBuffer>(rings);
+    telemetry::TraceBuffer::set_active(buffer.get());
+  }
+  void uninstall() {
+    if (buffer) telemetry::TraceBuffer::set_active(nullptr);
+  }
+  ~TraceGuard() { uninstall(); }
+  /// Uninstalls and writes the trace; returns a process exit code.
+  int write(const char* tool) {
+    if (!buffer) return 0;
+    uninstall();
+    try {
+      telemetry::write_json_file(buffer->to_chrome_trace(), path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: %s\n", tool, e.what());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote trace to %s (%llu events, %llu dropped)\n",
+                 path.c_str(),
+                 static_cast<unsigned long long>(buffer->recorded()),
+                 static_cast<unsigned long long>(buffer->dropped()));
+    return 0;
+  }
+};
 
 }  // namespace
 
@@ -216,42 +287,23 @@ int cmd_run(int argc, const char* const* argv) {
   args.add_flag("threads", true, "worker threads (default hw concurrency)");
   args.add_flag("metrics-out", true,
                 "write a JSON telemetry report (spans/counters/gauges) here");
+  args.add_flag("trace-out", true,
+                "write a Chrome trace_event JSON timeline here (open in "
+                "chrome://tracing or Perfetto)");
   try {
     args.parse(argc, argv);
     if (args.has("help")) return usage("ihtl_run", args);
     const std::string app = args.get_string("app");
     if (app.empty()) throw std::invalid_argument("need --app <name>");
 
-    // Validate the metrics path up front: a 20-minute run must not discover
-    // an unwritable output directory after the work is done. The guard
-    // removes the pre-opened file again if the run fails for any reason
-    // (including exceptions), so failures leave no empty report behind.
-    struct MetricsFileGuard {
-      std::ofstream file;
-      std::string path;
-      bool keep = false;
-      ~MetricsFileGuard() {
-        if (file.is_open() && !keep) {
-          file.close();
-          std::remove(path.c_str());
-        }
-      }
-    } metrics;
-    metrics.path = args.get_string("metrics-out");
-    if (!metrics.path.empty()) {
-      metrics.file.open(metrics.path);
-      if (!metrics.file) {
-        std::fprintf(stderr,
-                     "ihtl_run: cannot open --metrics-out path '%s' for "
-                     "writing\n",
-                     metrics.path.c_str());
-        return 1;
-      }
-      telemetry::MetricsRegistry::global().clear();
-    }
+    OutputFileGuard metrics;
+    if (!metrics.open(args, "metrics-out", "ihtl_run")) return 1;
+    if (metrics.file.is_open()) telemetry::MetricsRegistry::global().clear();
 
     const Graph g = load_input_graph(args);
     ThreadPool pool(static_cast<std::size_t>(args.get_int("threads", 0)));
+    TraceGuard trace;
+    trace.install(args.get_string("trace-out"), pool.size());
     const IhtlConfig cfg = config_from_args(args);
     const auto iterations =
         static_cast<unsigned>(args.get_int("iterations", 20));
@@ -402,6 +454,10 @@ int cmd_run(int argc, const char* const* argv) {
     throw std::invalid_argument("unknown app: " + app);
     }();
 
+    if (rc == 0) {
+      const int trc = trace.write("ihtl_run");
+      if (trc != 0) return trc;
+    }
     if (rc == 0 && metrics.file.is_open()) {
       using telemetry::JsonValue;
       auto& reg = telemetry::MetricsRegistry::global();
@@ -435,6 +491,334 @@ int cmd_run(int argc, const char* const* argv) {
     return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "ihtl_run: %s\n", e.what());
+    return 1;
+  }
+}
+
+namespace {
+
+/// One row of the profile table: wall time, HW-counter deltas and the
+/// phase-appropriate work denominator, summed over every measured
+/// repetition.
+struct ProfileRow {
+  double seconds = 0.0;
+  telemetry::HwStats hw;
+  std::uint64_t work = 0;  ///< edges (push/pull) or values (reset/merge)
+};
+
+void print_profile_row(const char* name, const ProfileRow& row,
+                       std::uint64_t iterations_total) {
+  const double per_iter_ms =
+      iterations_total ? 1e3 * row.seconds / static_cast<double>(iterations_total)
+                       : 0.0;
+  std::printf("%-12s %10.3f %14llu", name, per_iter_ms,
+              static_cast<unsigned long long>(
+                  iterations_total ? row.work / iterations_total : 0));
+  if (row.hw.samples > 0 && row.work > 0) {
+    const double per_work = 1.0 / static_cast<double>(row.work);
+    std::printf(" %12.4f %12.4f %12.4f %8.2f\n",
+                static_cast<double>(row.hw.sum.llc_misses) * per_work,
+                static_cast<double>(row.hw.sum.l1d_misses) * per_work,
+                static_cast<double>(row.hw.sum.dtlb_misses) * per_work,
+                row.hw.sum.ipc());
+  } else {
+    std::printf(" %12s %12s %12s %8s\n", "-", "-", "-", "-");
+  }
+}
+
+telemetry::JsonValue profile_row_to_json(const ProfileRow& row,
+                                         std::uint64_t iterations_total) {
+  using telemetry::JsonValue;
+  JsonValue entry = JsonValue::object();
+  entry.set("seconds_total", row.seconds);
+  entry.set("seconds_per_iteration",
+            iterations_total
+                ? row.seconds / static_cast<double>(iterations_total)
+                : 0.0);
+  entry.set("work_items", row.work);
+  if (row.hw.samples > 0) {
+    JsonValue hw = JsonValue::object();
+    hw.set("cycles", row.hw.sum.cycles);
+    hw.set("instructions", row.hw.sum.instructions);
+    hw.set("ipc", row.hw.sum.ipc());
+    hw.set("llc_loads", row.hw.sum.llc_loads);
+    hw.set("llc_misses", row.hw.sum.llc_misses);
+    hw.set("l1d_misses", row.hw.sum.l1d_misses);
+    hw.set("dtlb_misses", row.hw.sum.dtlb_misses);
+    hw.set("samples", row.hw.samples);
+    if (row.work > 0) {
+      hw.set("llc_misses_per_item",
+             static_cast<double>(row.hw.sum.llc_misses) /
+                 static_cast<double>(row.work));
+      hw.set("l1d_misses_per_item",
+             static_cast<double>(row.hw.sum.l1d_misses) /
+                 static_cast<double>(row.work));
+    }
+    entry.set("hw", std::move(hw));
+  }
+  return entry;
+}
+
+}  // namespace
+
+int cmd_profile(int argc, const char* const* argv) {
+  ArgParser args;
+  add_common_input_flags(args);
+  args.add_flag("dataset", true, "alias for --gen (named generated dataset)");
+  args.add_flag("iterations", true,
+                "SpMV iterations per repetition (default 10)");
+  args.add_flag("repeat", true, "measured repetitions (default 3)");
+  args.add_flag("threads", true, "worker threads (default hw concurrency)");
+  args.add_flag("compare", true,
+                "baseline profiled alongside: pull | none (default pull)");
+  args.add_flag("per-block", false,
+                "add per-flipped-block push rows (needs hardware counters)");
+  args.add_flag("no-hw", false,
+                "skip perf_event_open; software timings only");
+  args.add_flag("require-hw", false,
+                "exit 1 if hardware counters are unavailable");
+  args.add_flag("fallback-ok", false,
+                "exit 0 without hardware counters (the default; explicit "
+                "for CI jobs)");
+  args.add_flag("out", true, "write the profile report JSON here");
+  args.add_flag("trace-out", true,
+                "write a Chrome trace_event JSON timeline here (open in "
+                "chrome://tracing or Perfetto)");
+  try {
+    args.parse(argc, argv);
+    if (args.has("help")) return usage("ihtl_profile", args);
+    const auto iterations = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(1, args.get_int("iterations", 10)));
+    const auto repeat = static_cast<std::uint64_t>(
+        std::max<std::int64_t>(1, args.get_int("repeat", 3)));
+    const std::string compare = args.get_string("compare", "pull");
+    if (compare != "pull" && compare != "none") {
+      throw std::invalid_argument("--compare must be 'pull' or 'none'");
+    }
+    if (args.has("require-hw") && args.has("no-hw")) {
+      throw std::invalid_argument("--require-hw contradicts --no-hw");
+    }
+
+    OutputFileGuard out;
+    if (!out.open(args, "out", "ihtl_profile")) return 1;
+
+    // Hardware counters: probe availability once. Unavailability is a
+    // reported outcome, not an error — unless --require-hw asks otherwise.
+    if (args.has("no-hw")) {
+      telemetry::perf::force_unavailable("disabled via --no-hw");
+    }
+    const bool hw_available = telemetry::perf::enable();
+    const std::string hw_reason =
+        hw_available ? "" : telemetry::perf::unavailable_reason();
+    if (!hw_available) {
+      std::fprintf(stderr, "ihtl_profile: hw_counters: unavailable (%s)\n",
+                   hw_reason.c_str());
+      if (args.has("require-hw")) return 1;
+    }
+
+    const Graph g = load_input_graph(args);
+    ThreadPool pool(static_cast<std::size_t>(args.get_int("threads", 0)));
+    const IhtlConfig cfg = config_from_args(args);
+    Timer prep;
+    const IhtlGraph ig = build_ihtl_graph(g, cfg);
+    const double preprocessing_s = prep.elapsed_seconds();
+
+    auto& reg = telemetry::MetricsRegistry::global();
+    reg.clear();
+    IhtlEngine<PlusMonoid> engine(ig, pool, cfg.push_policy);
+    engine.set_metrics(&reg);
+    engine.set_per_block_hw(args.has("per-block"));
+
+    // Uniform input vector: the PageRank-shaped SpMV workload the paper
+    // profiles in Table 3. Outputs are kept separate per kernel so the
+    // comparison never reads the other kernel's result.
+    const std::size_t n = ig.num_vertices();
+    std::vector<value_t> x(n, n ? value_t{1} / static_cast<value_t>(n)
+                                : value_t{0});
+    std::vector<value_t> y(n, value_t{0});
+    std::vector<value_t> y_base(n, value_t{0});
+
+    // Warmup: touch every buffer/page once so the measured repetitions
+    // profile steady-state behavior, not first-touch faults.
+    engine.spmv(x, y);
+    if (compare == "pull") spmv_pull(pool, g, x, y_base);
+
+    TraceGuard trace;
+    trace.install(args.get_string("trace-out"), pool.size());
+
+    ProfileRow reset_row, push_row, merge_row, pull_row, base_row;
+    std::map<std::string, ProfileRow> block_rows;
+    const std::uint64_t iterations_total = iterations * repeat;
+
+    for (std::uint64_t rep = 0; rep < repeat; ++rep) {
+      // Fresh counters every repetition: a slow first rep (cold caches,
+      // frequency ramp) must not contaminate the later ones' attribution,
+      // and the scheduler stats feed the per-rep imbalance gauge.
+      reg.clear();
+      pool.reset_stats();
+      reg.set_hw_status(hw_available, hw_reason);
+
+      std::uint64_t reset_values = 0, merge_segments = 0;
+      for (std::uint64_t it = 0; it < iterations; ++it) {
+        engine.spmv(x, y);
+        reset_values += engine.last_stats().reset_values_cleared;
+        merge_segments += engine.last_stats().merge_segments_streamed;
+      }
+      if (compare == "pull") {
+        // Worker HW deltas land on "baseline/pull" via the PhaseScope; the
+        // wall time is recorded per iteration by hand (a ScopedSpan would
+        // double-count the master thread's HW delta).
+        telemetry::perf::PhaseScope scope(&reg, "baseline/pull");
+        for (std::uint64_t it = 0; it < iterations; ++it) {
+          Timer t;
+          spmv_pull(pool, g, x, y_base);
+          reg.record_span("baseline/pull", t.elapsed_seconds());
+        }
+      }
+
+      const auto spans = reg.spans();
+      const auto hw = reg.hw();
+      auto take = [&](const char* path, ProfileRow& row,
+                      std::uint64_t work) {
+        if (const auto it = spans.find(path); it != spans.end()) {
+          row.seconds += it->second.total_s;
+        }
+        if (const auto it = hw.find(path); it != hw.end()) {
+          row.hw.sum.accumulate(it->second.sum);
+          row.hw.samples += it->second.samples;
+        }
+        row.work += work;
+      };
+      take("spmv/reset", reset_row, reset_values);
+      take("spmv/push", push_row, ig.flipped_edges() * iterations);
+      take("spmv/merge", merge_row, merge_segments);
+      take("spmv/pull", pull_row, ig.sparse_edges() * iterations);
+      if (compare == "pull") {
+        take("baseline/pull", base_row, g.num_edges() * iterations);
+      }
+      for (const auto& [path, stats] : hw) {
+        if (path.rfind("spmv/push/block", 0) != 0) continue;
+        const std::size_t b = std::stoul(path.substr(15));
+        ProfileRow& row = block_rows[path];
+        row.hw.sum.accumulate(stats.sum);
+        row.hw.samples += stats.samples;
+        row.work = b < ig.blocks().size()
+                       ? static_cast<std::uint64_t>(
+                             ig.blocks()[b].num_edges()) *
+                             iterations * (rep + 1)
+                       : 0;
+      }
+    }
+
+    const int trc = trace.write("ihtl_profile");
+    if (trc != 0) return trc;
+
+    // The paper's Table 3 shape: one row per phase, misses normalized by
+    // the phase's own work unit (edges for the traversals, buffer values
+    // for reset, streamed tile segments for merge).
+    std::printf("profile: %llu x %llu SpMV iterations, %zu threads, "
+                "%zu block(s), %u hubs\n",
+                static_cast<unsigned long long>(repeat),
+                static_cast<unsigned long long>(iterations), pool.size(),
+                ig.blocks().size(), ig.num_hubs());
+    std::printf("hw_counters: %s%s%s\n",
+                hw_available ? "available" : "unavailable",
+                hw_available ? "" : " — ", hw_available ? "" : hw_reason.c_str());
+    std::printf("%-12s %10s %14s %12s %12s %12s %8s\n", "phase",
+                "ms/iter", "work/iter", "LLC-miss/wk", "L1d-miss/wk",
+                "dTLB-miss/wk", "IPC");
+    print_profile_row("reset", reset_row, iterations_total);
+    print_profile_row("push", push_row, iterations_total);
+    for (const auto& [path, row] : block_rows) {
+      print_profile_row(("  " + path.substr(10)).c_str(), row,
+                        iterations_total);
+    }
+    print_profile_row("merge", merge_row, iterations_total);
+    print_profile_row("pull", pull_row, iterations_total);
+    const ProfileRow total_row = [&] {
+      ProfileRow t;
+      for (const ProfileRow* r : {&reset_row, &push_row, &merge_row,
+                                  &pull_row}) {
+        t.seconds += r->seconds;
+        t.hw.sum.accumulate(r->hw.sum);
+        t.hw.samples += r->hw.samples;
+        t.work += r->work;
+      }
+      t.work = (static_cast<std::uint64_t>(ig.flipped_edges()) +
+                ig.sparse_edges()) *
+               iterations_total;
+      return t;
+    }();
+    print_profile_row("ihtl total", total_row, iterations_total);
+    if (compare == "pull") {
+      print_profile_row("pull-only", base_row, iterations_total);
+      if (base_row.seconds > 0 && total_row.seconds > 0) {
+        std::printf("speedup vs pull-only: %.2fx\n",
+                    base_row.seconds / total_row.seconds);
+      }
+    }
+
+    if (out.file.is_open()) {
+      using telemetry::JsonValue;
+      pool.export_metrics(reg);
+      JsonValue run = JsonValue::object();
+      run.set("tool", "ihtl_profile");
+      run.set("iterations", iterations);
+      run.set("repetitions", repeat);
+      run.set("threads", static_cast<std::uint64_t>(pool.size()));
+      run.set("compare", compare);
+      run.set("preprocessing_seconds", preprocessing_s);
+      JsonValue graph = JsonValue::object();
+      graph.set("vertices", static_cast<std::uint64_t>(g.num_vertices()));
+      graph.set("edges", static_cast<std::uint64_t>(g.num_edges()));
+      graph.set("flipped_edges",
+                static_cast<std::uint64_t>(ig.flipped_edges()));
+      graph.set("sparse_edges",
+                static_cast<std::uint64_t>(ig.sparse_edges()));
+      graph.set("hubs", static_cast<std::uint64_t>(ig.num_hubs()));
+      graph.set("blocks", static_cast<std::uint64_t>(ig.blocks().size()));
+      JsonValue config = JsonValue::object();
+      config.set("buffer_bytes",
+                 static_cast<std::uint64_t>(cfg.buffer_bytes));
+      config.set("admission_ratio", cfg.admission_ratio);
+      config.set("push_policy", push_policy_name(cfg.push_policy));
+      JsonValue report = telemetry::make_report(reg, std::move(run),
+                                                std::move(graph),
+                                                std::move(config));
+      JsonValue phases = JsonValue::object();
+      phases.set("reset", profile_row_to_json(reset_row, iterations_total));
+      phases.set("push", profile_row_to_json(push_row, iterations_total));
+      phases.set("merge", profile_row_to_json(merge_row, iterations_total));
+      phases.set("pull", profile_row_to_json(pull_row, iterations_total));
+      for (const auto& [path, row] : block_rows) {
+        phases.set(path, profile_row_to_json(row, iterations_total));
+      }
+      JsonValue profile = JsonValue::object();
+      profile.set("phases", std::move(phases));
+      profile.set("ihtl_total",
+                  profile_row_to_json(total_row, iterations_total));
+      if (compare == "pull") {
+        profile.set("pull_baseline",
+                    profile_row_to_json(base_row, iterations_total));
+        if (base_row.seconds > 0 && total_row.seconds > 0) {
+          profile.set("speedup_vs_pull",
+                      base_row.seconds / total_row.seconds);
+        }
+      }
+      report.set("profile", std::move(profile));
+      out.file << report.dump();
+      out.file.flush();
+      if (!out.file) {
+        std::fprintf(stderr, "ihtl_profile: write to '%s' failed\n",
+                     out.path.c_str());
+        return 1;
+      }
+      out.keep = true;
+      std::fprintf(stderr, "wrote profile to %s\n", out.path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ihtl_profile: %s\n", e.what());
     return 1;
   }
 }

@@ -6,6 +6,8 @@
 //   ihtl_info    — structural report: stats, skew, hub-selection preview
 //   ihtl_run     — run an analytic (pagerank / cc / sssp / bfs / hits /
 //                  triangles) with a chosen kernel and print results
+//   ihtl_profile — per-phase hardware-counter profile of the iHTL SpMV
+//                  against the pull baseline (the paper's Table 3)
 #pragma once
 
 namespace ihtl {
@@ -15,5 +17,6 @@ namespace ihtl {
 int cmd_convert(int argc, const char* const* argv);
 int cmd_info(int argc, const char* const* argv);
 int cmd_run(int argc, const char* const* argv);
+int cmd_profile(int argc, const char* const* argv);
 
 }  // namespace ihtl

@@ -27,7 +27,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "baselines/semiring.h"
@@ -41,6 +43,8 @@
 #include "parallel/timer.h"
 #include "parallel/touch_matrix.h"
 #include "telemetry/metrics.h"
+#include "telemetry/perf_counters.h"
+#include "telemetry/trace.h"
 
 namespace ihtl {
 
@@ -211,10 +215,25 @@ class IhtlEngine {
   /// Merge tiles covering the shared blocks' hub ranges.
   std::size_t merge_tile_count() const { return merge_tiles_.size(); }
 
+  /// When on (and HW profiling is available), the push phase additionally
+  /// attributes per-chunk HW-counter deltas to "spmv/push/block<k>" paths —
+  /// the per-flipped-block rows of the paper's Table 3. Costs two counter
+  /// reads per push chunk; meant for ihtl_profile runs, off by default.
+  void set_per_block_hw(bool on) {
+    per_block_hw_ = on;
+    if (on && block_hw_paths_.size() != block_direct_.size()) {
+      block_hw_paths_.resize(block_direct_.size());
+      for (std::size_t b = 0; b < block_hw_paths_.size(); ++b) {
+        block_hw_paths_[b] = "spmv/push/block" + std::to_string(b);
+      }
+    }
+  }
+
   /// Redirects the engine's spans/counters to `reg` (nullptr disables
   /// recording entirely). Handles are resolved once here, so the per-call
   /// cost in spmv() is a few relaxed atomic adds per phase.
   void set_metrics(telemetry::MetricsRegistry* reg) {
+    metrics_reg_ = reg;
     if (reg) {
       span_total_ = reg->timer("spmv");
       span_reset_ = reg->timer("spmv/reset");
@@ -245,10 +264,21 @@ class IhtlEngine {
     assert(y.size() == ig_->num_vertices());
     const vid_t num_hubs = ig_->num_hubs();
     stats_ = IhtlSpmvStats{};
+    // Timeline hook: the per-flipped-block push items land as "phase"
+    // events (block id + direct flag), on top of the generic chunk/steal
+    // events parallel_for emits. Name interned once per call.
+    telemetry::TraceBuffer* const trace = telemetry::TraceBuffer::active();
+    const std::uint32_t trace_push_block =
+        trace ? trace->intern("push-block") : 0;
     Timer phase;
 
     // Phase 0: reset — each thread re-zeroes only the buffer segments it
     // dirtied in the PREVIOUS call (the touch bits), then clears its bits.
+    // The PhaseScope routes every worker's HW-counter job delta (captured
+    // by ThreadPool::run when profiling is on) to this phase's span path;
+    // re-emplacing it per phase keeps exactly one target installed.
+    std::optional<telemetry::perf::PhaseScope> hw;
+    hw.emplace(metrics_reg_, "spmv/reset");
     if (buffers_.length() > 0) {
       pool_->run([&](std::size_t tid) {
         value_t* buf = buffers_.get(tid);
@@ -293,11 +323,17 @@ class IhtlEngine {
     // (thread, block) touch bit; single-owner chunks initialize and
     // accumulate the block's output slice directly.
     phase.reset();
+    hw.emplace(metrics_reg_, "spmv/push");
+    const bool per_block_hw =
+        per_block_hw_ && metrics_reg_ && telemetry::perf::available();
     parallel_for(
         *pool_, 0, push_chunks_.size(),
         [&](std::uint64_t c, std::size_t tid) {
           const PushChunk& chunk = push_chunks_[c];
           const FlippedBlock& blk = ig_->blocks()[chunk.block];
+          const std::uint64_t t0 = trace ? trace->now_ns() : 0;
+          telemetry::PerfCounterValues hw0;
+          if (per_block_hw) hw0 = telemetry::perf::snapshot_this_thread();
           value_t* buf;
           if (chunk.direct) {
             buf = y.data() + blk.hub_begin;
@@ -314,6 +350,17 @@ class IhtlEngine {
               buf[rel] = Monoid::combine(buf[rel], xv);
             }
           }
+          if (per_block_hw && hw0.available) {
+            metrics_reg_->add_hw(
+                block_hw_paths_[chunk.block],
+                telemetry::perf::snapshot_this_thread().delta_since(hw0));
+          }
+          if (trace) {
+            trace->record(telemetry::TraceEventKind::phase, trace_push_block,
+                          t0, trace->now_ns() - t0,
+                          static_cast<std::uint32_t>(chunk.block),
+                          chunk.direct ? 1 : 0);
+          }
         },
         {.grain = 1});
     times_.push_s = phase.elapsed_seconds();
@@ -324,6 +371,7 @@ class IhtlEngine {
     // ascending thread order — the same combine order per hub as the
     // classic per-hub loop, so results are unchanged.
     phase.reset();
+    hw.emplace(metrics_reg_, "spmv/merge");
     if (!merge_tiles_.empty()) {
       for (PhaseTally& t : merge_tally_) t = PhaseTally{};
       parallel_for(
@@ -357,6 +405,7 @@ class IhtlEngine {
 
     // Phase 3: pull the sparse block (Algorithm 3, lines 8-10).
     phase.reset();
+    hw.emplace(metrics_reg_, "spmv/pull");
     const Adjacency& sparse = ig_->sparse();
     parallel_for(
         *pool_, 0, sparse_chunks_.size(),
@@ -373,6 +422,7 @@ class IhtlEngine {
         {.grain = 1});
     times_.pull_s = phase.elapsed_seconds();
     span_pull_.record_seconds(times_.pull_s);
+    hw.reset();
 
     span_total_.record_seconds(times_.total());
     calls_.inc(0);
@@ -419,6 +469,9 @@ class IhtlEngine {
   std::vector<PhaseTally> reset_tally_, merge_tally_;
   IhtlPhaseTimes times_;
   IhtlSpmvStats stats_;
+  telemetry::MetricsRegistry* metrics_reg_ = nullptr;
+  bool per_block_hw_ = false;
+  std::vector<std::string> block_hw_paths_;
   telemetry::TimerStat span_total_, span_reset_, span_push_, span_merge_,
       span_pull_;
   telemetry::Counter calls_, push_chunk_items_, sparse_chunk_items_,

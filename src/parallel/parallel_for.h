@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "parallel/thread_pool.h"
+#include "telemetry/trace.h"
 
 namespace ihtl {
 
@@ -52,9 +53,21 @@ void parallel_for(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
   const std::uint64_t range = end > begin ? end - begin : 0;
   if (range == 0) return;
   const std::size_t nt = pool.size();
+  // Timeline hook: one complete event per claimed chunk (category "chunk"
+  // for own-slice claims, "steal" for stolen ones). A single relaxed load
+  // when tracing is off; the name is interned once per loop, outside the
+  // claim path.
+  telemetry::TraceBuffer* const trace = telemetry::TraceBuffer::active();
+  const std::uint32_t trace_name = trace ? trace->intern("parallel_for") : 0;
   if (nt == 1 || range == 1) {
+    const std::uint64_t t0 = trace ? trace->now_ns() : 0;
     for (std::uint64_t i = begin; i < end; ++i) body(i, 0);
     pool.worker_stats(0).chunks.fetch_add(1, std::memory_order_relaxed);
+    if (trace) {
+      trace->record(telemetry::TraceEventKind::chunk, trace_name, t0,
+                    trace->now_ns() - t0, static_cast<std::uint32_t>(begin),
+                    static_cast<std::uint32_t>(end));
+    }
     return;
   }
   const std::uint64_t grain =
@@ -76,17 +89,24 @@ void parallel_for(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
     // Chunk claims are tallied locally and flushed once per worker per loop
     // so the telemetry costs two relaxed fetch_adds, not one per chunk.
     std::uint64_t own_chunks = 0, stolen_chunks = 0;
-    auto drain = [&](detail::Slice& s, std::uint64_t& tally) {
+    auto drain = [&](detail::Slice& s, std::uint64_t& tally,
+                     telemetry::TraceEventKind kind) {
       for (;;) {
         const std::uint64_t lo =
             s.next.fetch_add(grain, std::memory_order_relaxed);
         if (lo >= s.end) return;
         ++tally;
         const std::uint64_t hi = lo + grain < s.end ? lo + grain : s.end;
+        const std::uint64_t t0 = trace ? trace->now_ns() : 0;
         for (std::uint64_t i = lo; i < hi; ++i) body(i, tid);
+        if (trace) {
+          trace->record(kind, trace_name, t0, trace->now_ns() - t0,
+                        static_cast<std::uint32_t>(lo),
+                        static_cast<std::uint32_t>(hi));
+        }
       }
     };
-    drain(slices[tid], own_chunks);
+    drain(slices[tid], own_chunks, telemetry::TraceEventKind::chunk);
     for (;;) {
       std::size_t victim = nt;
       std::uint64_t best_left = 0;
@@ -100,7 +120,7 @@ void parallel_for(ThreadPool& pool, std::uint64_t begin, std::uint64_t end,
         }
       }
       if (victim == nt) break;
-      drain(slices[victim], stolen_chunks);
+      drain(slices[victim], stolen_chunks, telemetry::TraceEventKind::steal);
     }
     WorkerStats& ws = pool.worker_stats(tid);
     if (own_chunks) {
@@ -121,9 +141,18 @@ void parallel_for_chunks(ThreadPool& pool, std::uint64_t begin,
   const std::uint64_t range = end > begin ? end - begin : 0;
   if (range == 0) return;
   const std::size_t nt = pool.size();
+  telemetry::TraceBuffer* const trace = telemetry::TraceBuffer::active();
+  const std::uint32_t trace_name =
+      trace ? trace->intern("parallel_for_chunks") : 0;
   if (nt == 1) {
+    const std::uint64_t t0 = trace ? trace->now_ns() : 0;
     body(begin, end, std::size_t{0});
     pool.worker_stats(0).chunks.fetch_add(1, std::memory_order_relaxed);
+    if (trace) {
+      trace->record(telemetry::TraceEventKind::chunk, trace_name, t0,
+                    trace->now_ns() - t0, static_cast<std::uint32_t>(begin),
+                    static_cast<std::uint32_t>(end));
+    }
     return;
   }
   const std::uint64_t grain =
@@ -136,7 +165,13 @@ void parallel_for_chunks(ThreadPool& pool, std::uint64_t begin,
       if (lo >= end) break;
       ++claimed;
       const std::uint64_t hi = lo + grain < end ? lo + grain : end;
+      const std::uint64_t t0 = trace ? trace->now_ns() : 0;
       body(lo, hi, tid);
+      if (trace) {
+        trace->record(telemetry::TraceEventKind::chunk, trace_name, t0,
+                      trace->now_ns() - t0, static_cast<std::uint32_t>(lo),
+                      static_cast<std::uint32_t>(hi));
+      }
     }
     if (claimed) {
       pool.worker_stats(tid).chunks.fetch_add(claimed,

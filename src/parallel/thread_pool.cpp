@@ -4,6 +4,7 @@
 
 #include "check/invariants.h"
 #include "telemetry/metrics.h"
+#include "telemetry/perf_counters.h"
 
 namespace ihtl {
 
@@ -37,18 +38,33 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
     ~RunGuard() { flag.store(false, std::memory_order_release); }
   } guard{in_run_};)
   jobs_.fetch_add(1, std::memory_order_relaxed);
+  // When a perf::PhaseScope is armed, every worker brackets the job with a
+  // per-thread HW-counter snapshot so the phase accumulates deltas from ALL
+  // workers, not just the span-recording thread. One branch when disabled.
+  std::function<void(std::size_t)> wrapped;
+  const std::function<void(std::size_t)>* job = &fn;
+  if (telemetry::perf::capture_armed()) {
+    wrapped = [&fn](std::size_t tid) {
+      const telemetry::PerfCounterValues before =
+          telemetry::perf::snapshot_this_thread();
+      fn(tid);
+      telemetry::perf::accumulate_job_delta(
+          telemetry::perf::snapshot_this_thread().delta_since(before));
+    };
+    job = &wrapped;
+  }
   if (num_threads_ == 1) {
-    fn(0);
+    (*job)(0);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    job_ = &fn;
+    job_ = job;
     remaining_ = num_threads_ - 1;
     ++epoch_;
   }
   work_ready_.notify_all();
-  fn(0);  // the master participates as tid 0
+  (*job)(0);  // the master participates as tid 0
   std::unique_lock<std::mutex> lock(mutex_);
   work_done_.wait(lock, [this] { return remaining_ == 0; });
   job_ = nullptr;
@@ -98,10 +114,17 @@ void ThreadPool::export_metrics(telemetry::MetricsRegistry& reg,
   reg.counter(prefix + ".chunks").add(0, total_chunks);
   reg.counter(prefix + ".steals").add(0, total_steals);
   reg.set_gauge(prefix + ".threads", static_cast<double>(num_threads_));
-  const double mean = static_cast<double>(total_chunks + total_steals) /
-                      static_cast<double>(num_threads_);
-  reg.set_gauge(prefix + ".imbalance",
-                mean > 0 ? static_cast<double>(max_chunks) / mean : 1.0);
+  // Zero claimed work (e.g. a profiling repetition that only ran serial
+  // phases) is perfectly balanced by definition: report exactly 1.0 rather
+  // than risking 0/0 -> NaN poisoning report diffs downstream.
+  const std::uint64_t total_work = total_chunks + total_steals;
+  double imbalance = 1.0;
+  if (total_work > 0) {
+    const double mean =
+        static_cast<double>(total_work) / static_cast<double>(num_threads_);
+    imbalance = static_cast<double>(max_chunks) / mean;
+  }
+  reg.set_gauge(prefix + ".imbalance", imbalance);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "telemetry/trace.h"
+
 namespace ihtl::telemetry {
 
 MetricsRegistry::MetricsRegistry(std::size_t shards) : shards_(shards) {
@@ -99,6 +101,39 @@ std::map<std::string, double> MetricsRegistry::gauges() const {
   return gauges_;
 }
 
+void MetricsRegistry::add_hw(const std::string& path,
+                             const PerfCounterValues& delta) {
+  if (!delta.available) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  HwStats& stats = hw_[path];
+  stats.sum.accumulate(delta);
+  ++stats.samples;
+}
+
+std::optional<HwStats> MetricsRegistry::hw_stats(
+    const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = hw_.find(path);
+  if (it == hw_.end()) return std::nullopt;
+  return it->second;
+}
+
+void MetricsRegistry::set_hw_status(bool available, std::string reason) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  hw_status_ = {available, std::move(reason)};
+}
+
+std::optional<std::pair<bool, std::string>> MetricsRegistry::hw_status()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hw_status_;
+}
+
+std::map<std::string, HwStats> MetricsRegistry::hw() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hw_;
+}
+
 void MetricsRegistry::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, shards] : counters_) {
@@ -111,6 +146,8 @@ void MetricsRegistry::clear() {
     cells->max_ns.store(0, std::memory_order_relaxed);
   }
   gauges_.clear();
+  hw_.clear();
+  hw_status_.reset();
 }
 
 MetricsRegistry& MetricsRegistry::global() {
@@ -137,6 +174,8 @@ std::string joined_path() {
 ScopedSpan::ScopedSpan(MetricsRegistry* reg, std::string_view name)
     : reg_(reg), start_(clock::now()) {
   t_span_path.emplace_back(name);
+  if (reg_ && perf::available()) hw_start_ = perf::snapshot_this_thread();
+  if ((trace_ = TraceBuffer::active())) trace_start_ns_ = trace_->now_ns();
 }
 
 double ScopedSpan::stop() {
@@ -144,7 +183,22 @@ double ScopedSpan::stop() {
   open_ = false;
   const double elapsed =
       std::chrono::duration<double>(clock::now() - start_).count();
-  if (reg_) reg_->record_span(joined_path(), elapsed);
+  if (reg_ || trace_) {
+    const std::string path = joined_path();
+    if (reg_) {
+      reg_->record_span(path, elapsed);
+      if (hw_start_.available) {
+        reg_->add_hw(path,
+                     perf::snapshot_this_thread().delta_since(hw_start_));
+      }
+    }
+    // Only record into the buffer that was active at construction — a
+    // buffer swapped mid-span would give the event a foreign time base.
+    if (trace_ && TraceBuffer::active() == trace_) {
+      trace_->record(TraceEventKind::span, trace_->intern(path),
+                     trace_start_ns_, trace_->now_ns() - trace_start_ns_);
+    }
+  }
   t_span_path.pop_back();
   return elapsed;
 }

@@ -19,9 +19,14 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
+#include "telemetry/perf_counters.h"
+
 namespace ihtl::telemetry {
+
+class TraceBuffer;
 
 namespace detail {
 
@@ -120,6 +125,14 @@ class TimerStat {
   detail::TimerCells* cells_ = nullptr;
 };
 
+/// Aggregated hardware-counter deltas attributed to one span path (summed
+/// over every sample — one per worker per pool job under a PhaseScope, one
+/// per ScopedSpan stop on the recording thread).
+struct HwStats {
+  PerfCounterValues sum;
+  std::uint64_t samples = 0;
+};
+
 /// Registry of named metrics. Thread-safe; one instance per measurement
 /// scope (the process-wide `global()` backs the CLI and the engines by
 /// default, benches snapshot per-dataset registries or clear the global).
@@ -146,10 +159,22 @@ class MetricsRegistry {
   std::optional<SpanStats> span(const std::string& path) const;
   std::optional<double> gauge(const std::string& name) const;
 
+  /// Adds one HW-counter delta under `path` (same namespace as the span
+  /// tree). Unavailable deltas are dropped, so callers can record
+  /// unconditionally.
+  void add_hw(const std::string& path, const PerfCounterValues& delta);
+  std::optional<HwStats> hw_stats(const std::string& path) const;
+
+  /// Records whether hardware counters were usable for this measurement
+  /// scope (and why not); reports emit it as the `hw_counters` section.
+  void set_hw_status(bool available, std::string reason = "");
+  std::optional<std::pair<bool, std::string>> hw_status() const;
+
   // Snapshots (sorted by name; values read with relaxed loads).
   std::map<std::string, std::uint64_t> counters() const;
   std::map<std::string, SpanStats> spans() const;
   std::map<std::string, double> gauges() const;
+  std::map<std::string, HwStats> hw() const;
 
   /// Zeroes every value but keeps registrations, so previously handed-out
   /// Counter/TimerStat handles remain valid.
@@ -168,12 +193,21 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<detail::CounterShards>> counters_;
   std::map<std::string, std::unique_ptr<detail::TimerCells>> timers_;
   std::map<std::string, double> gauges_;
+  std::map<std::string, HwStats> hw_;
+  std::optional<std::pair<bool, std::string>> hw_status_;
 };
 
 /// RAII span: times its own scope and records the elapsed time under the
 /// '/'-joined path of all enclosing ScopedSpans on this thread ("spmv/push",
 /// "preprocess/hub-select"). Spans must nest lexically (guaranteed by RAII).
 /// A null registry still participates in path nesting but records nothing.
+///
+/// When perf profiling is enabled, the span also snapshots the calling
+/// thread's HW counters at both boundaries and records the delta under its
+/// path (MetricsRegistry::add_hw) — counters observed on the RECORDING
+/// thread only; use perf::PhaseScope for all-worker phase deltas. When a
+/// TraceBuffer is active at both boundaries, the span additionally lands as
+/// one timeline event.
 class ScopedSpan {
  public:
   ScopedSpan(MetricsRegistry& reg, std::string_view name)
@@ -193,6 +227,9 @@ class ScopedSpan {
   MetricsRegistry* reg_;
   clock::time_point start_;
   bool open_ = true;
+  PerfCounterValues hw_start_;
+  TraceBuffer* trace_ = nullptr;  ///< active buffer at construction
+  std::uint64_t trace_start_ns_ = 0;
 };
 
 }  // namespace ihtl::telemetry

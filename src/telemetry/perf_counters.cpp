@@ -1,0 +1,285 @@
+#include "telemetry/perf_counters.h"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+#include "telemetry/metrics.h"
+
+#ifdef __linux__
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace ihtl::telemetry {
+
+namespace {
+
+std::uint64_t sub_clamped(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+
+}  // namespace
+
+PerfCounterValues PerfCounterValues::delta_since(
+    const PerfCounterValues& base) const {
+  PerfCounterValues d;
+  d.available = available && base.available;
+  if (!d.available) return d;
+  d.cycles = sub_clamped(cycles, base.cycles);
+  d.instructions = sub_clamped(instructions, base.instructions);
+  d.llc_loads = sub_clamped(llc_loads, base.llc_loads);
+  d.llc_misses = sub_clamped(llc_misses, base.llc_misses);
+  d.l1d_misses = sub_clamped(l1d_misses, base.l1d_misses);
+  d.dtlb_misses = sub_clamped(dtlb_misses, base.dtlb_misses);
+  return d;
+}
+
+void PerfCounterValues::accumulate(const PerfCounterValues& d) {
+  if (!d.available) return;
+  available = true;
+  cycles += d.cycles;
+  instructions += d.instructions;
+  llc_loads += d.llc_loads;
+  llc_misses += d.llc_misses;
+  l1d_misses += d.l1d_misses;
+  dtlb_misses += d.dtlb_misses;
+}
+
+#ifdef __linux__
+
+namespace {
+
+struct EventSpec {
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+constexpr std::uint64_t cache_config(std::uint64_t cache, std::uint64_t op,
+                                     std::uint64_t result) {
+  return cache | (op << 8) | (result << 16);
+}
+
+// Index order matches the PerfCounterValues fields.
+constexpr EventSpec kEvents[PerfCounterGroup::kNumEvents] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE,
+     cache_config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                  PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+    {PERF_TYPE_HW_CACHE,
+     cache_config(PERF_COUNT_HW_CACHE_LL, PERF_COUNT_HW_CACHE_OP_READ,
+                  PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    {PERF_TYPE_HW_CACHE,
+     cache_config(PERF_COUNT_HW_CACHE_L1D, PERF_COUNT_HW_CACHE_OP_READ,
+                  PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    {PERF_TYPE_HW_CACHE,
+     cache_config(PERF_COUNT_HW_CACHE_DTLB, PERF_COUNT_HW_CACHE_OP_READ,
+                  PERF_COUNT_HW_CACHE_RESULT_MISS)},
+};
+
+int open_event(const EventSpec& spec) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = spec.type;
+  attr.config = spec.config;
+  attr.disabled = 0;
+  attr.exclude_kernel = 1;  // self-monitoring works at perf_event_paranoid<=2
+  attr.exclude_hv = 1;
+  attr.read_format =
+      PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+  // pid=0, cpu=-1: this thread, any CPU.
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, 0, -1, -1, 0UL));
+}
+
+/// Scales a multiplexed read to its whole-interval estimate.
+std::uint64_t read_scaled(int fd) {
+  if (fd < 0) return 0;
+  std::uint64_t buf[3] = {0, 0, 0};  // value, time_enabled, time_running
+  const ssize_t n = ::read(fd, buf, sizeof(buf));
+  if (n != static_cast<ssize_t>(sizeof(buf))) return 0;
+  if (buf[2] == 0) return 0;  // never scheduled onto the PMU
+  if (buf[1] == buf[2]) return buf[0];
+  const double scale =
+      static_cast<double>(buf[1]) / static_cast<double>(buf[2]);
+  return static_cast<std::uint64_t>(static_cast<double>(buf[0]) * scale);
+}
+
+}  // namespace
+
+bool PerfCounterGroup::open() {
+  if (opened_) return true;
+  int first_errno = 0;
+  int opened_count = 0;
+  for (int i = 0; i < kNumEvents; ++i) {
+    fds_[i] = open_event(kEvents[i]);
+    if (fds_[i] >= 0) {
+      ++opened_count;
+    } else if (first_errno == 0) {
+      first_errno = errno;
+    }
+  }
+  // IPC is the floor: without cycles + instructions the table is useless.
+  if (fds_[0] < 0 || fds_[1] < 0) {
+    error_ = std::string("perf_event_open failed: ") +
+             std::strerror(first_errno ? first_errno : EINVAL) +
+             " (check /proc/sys/kernel/perf_event_paranoid <= 2 and that "
+             "the container seccomp profile allows perf_event_open)";
+    close();
+    return false;
+  }
+  opened_ = true;
+  error_.clear();
+  return true;
+}
+
+void PerfCounterGroup::close() {
+  for (int& fd : fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  opened_ = false;
+}
+
+PerfCounterValues PerfCounterGroup::read() const {
+  PerfCounterValues v;
+  if (!opened_) return v;
+  v.cycles = read_scaled(fds_[0]);
+  v.instructions = read_scaled(fds_[1]);
+  v.llc_loads = read_scaled(fds_[2]);
+  v.llc_misses = read_scaled(fds_[3]);
+  v.l1d_misses = read_scaled(fds_[4]);
+  v.dtlb_misses = read_scaled(fds_[5]);
+  v.available = true;
+  return v;
+}
+
+#else  // !__linux__
+
+bool PerfCounterGroup::open() {
+  error_ = "perf_event_open is Linux-only; hardware counters unavailable "
+           "on this platform";
+  return false;
+}
+
+void PerfCounterGroup::close() { opened_ = false; }
+
+PerfCounterValues PerfCounterGroup::read() const { return {}; }
+
+#endif  // __linux__
+
+PerfCounterGroup::~PerfCounterGroup() { close(); }
+
+namespace perf {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_available{false};
+std::atomic<bool> g_forced_unavailable{false};
+std::atomic<PhaseScope*> g_phase{nullptr};
+std::mutex g_reason_mutex;
+std::string g_reason =
+    "hardware-counter profiling not enabled (telemetry::perf::enable())";
+
+void set_reason(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(g_reason_mutex);
+  g_reason = reason;
+}
+
+/// The calling thread's lazily opened counter group. Opened once per
+/// thread; stays open (fds close on thread exit) so enable/disable cycles
+/// don't churn syscalls.
+PerfCounterGroup* thread_group() {
+  thread_local PerfCounterGroup group;
+  thread_local bool attempted = false;
+  if (!attempted) {
+    attempted = true;
+    group.open();
+  }
+  return group.is_open() ? &group : nullptr;
+}
+
+}  // namespace
+
+bool enable() {
+  if (g_forced_unavailable.load(std::memory_order_relaxed)) {
+    g_enabled.store(true, std::memory_order_relaxed);
+    g_available.store(false, std::memory_order_relaxed);
+    return false;
+  }
+  g_enabled.store(true, std::memory_order_relaxed);
+  // Probe on this thread; workers that individually fail later just report
+  // unavailable snapshots.
+  if (thread_group()) {
+    g_available.store(true, std::memory_order_relaxed);
+    return true;
+  }
+  PerfCounterGroup scratch;
+  scratch.open();
+  set_reason(scratch.error().empty()
+                 ? "perf_event_open failed on the probing thread"
+                 : scratch.error());
+  g_available.store(false, std::memory_order_relaxed);
+  return false;
+}
+
+void disable() { g_enabled.store(false, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+bool available() {
+  return enabled() && g_available.load(std::memory_order_relaxed);
+}
+
+std::string unavailable_reason() {
+  std::lock_guard<std::mutex> lock(g_reason_mutex);
+  return g_reason;
+}
+
+void force_unavailable(const std::string& reason) {
+  g_forced_unavailable.store(true, std::memory_order_relaxed);
+  g_available.store(false, std::memory_order_relaxed);
+  set_reason(reason);
+}
+
+void clear_forced_unavailable() {
+  g_forced_unavailable.store(false, std::memory_order_relaxed);
+}
+
+PerfCounterValues snapshot_this_thread() {
+  if (!available()) return {};
+  PerfCounterGroup* group = thread_group();
+  if (!group) return {};
+  return group->read();
+}
+
+bool capture_armed() {
+  return available() && g_phase.load(std::memory_order_acquire) != nullptr;
+}
+
+void accumulate_job_delta(const PerfCounterValues& delta) {
+  if (!delta.available) return;
+  PhaseScope* scope = g_phase.load(std::memory_order_acquire);
+  if (!scope || !scope->reg_) return;
+  scope->reg_->add_hw(scope->path_, delta);
+}
+
+PhaseScope::PhaseScope(MetricsRegistry* reg, std::string path)
+    : reg_(reg), path_(std::move(path)) {
+  prev_ = g_phase.exchange(this, std::memory_order_acq_rel);
+}
+
+PhaseScope::~PhaseScope() {
+  g_phase.store(prev_, std::memory_order_release);
+}
+
+}  // namespace perf
+
+}  // namespace ihtl::telemetry

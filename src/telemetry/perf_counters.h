@@ -1,0 +1,139 @@
+// Hardware performance counters over Linux perf_event_open.
+//
+// The paper's locality argument (Table 3: push-to-hubs keeps random writes
+// L2-resident, cutting LLC misses) can only be validated on real hardware
+// with real counters; the cachesim model is a proxy. This layer samples six
+// events — cycles, instructions, LLC loads, LLC load misses, L1d load
+// misses, dTLB load misses — per THREAD (perf counters are thread-scoped),
+// so the pool workers each carry their own counter group and phase deltas
+// aggregate across workers.
+//
+// Availability is a runtime property: perf_event_open fails under
+// restrictive perf_event_paranoid, seccomp-filtered containers, and on
+// non-Linux builds. Every entry point degrades to "unavailable" values
+// (available == false) instead of erroring, so instrumented code needs no
+// platform guards and reports state `hw_counters: {available: false}`
+// explicitly rather than silently omitting data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ihtl::telemetry {
+
+class MetricsRegistry;
+
+/// One snapshot (or delta) of the six-event counter set. `available` is
+/// false when the counters could not be read — all values are then zero and
+/// consumers must not divide by them.
+struct PerfCounterValues {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t llc_loads = 0;
+  std::uint64_t llc_misses = 0;
+  std::uint64_t l1d_misses = 0;
+  std::uint64_t dtlb_misses = 0;
+  bool available = false;
+
+  /// Monotone delta (clamped at 0 per field — multiplexing scaling can make
+  /// raw reads wobble backwards by a few counts).
+  PerfCounterValues delta_since(const PerfCounterValues& base) const;
+  void accumulate(const PerfCounterValues& d);
+  double ipc() const {
+    return cycles ? static_cast<double>(instructions) /
+                        static_cast<double>(cycles)
+                  : 0.0;
+  }
+};
+
+/// A per-thread set of perf file descriptors, one per event. Events are
+/// opened individually (not as a kernel group) so one unsupported event —
+/// LLC events are absent on some PMUs — doesn't void the rest; the kernel
+/// time-multiplexes and reads are scaled by time_enabled/time_running.
+/// Open/read only valid from the owning thread.
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup() = default;
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  /// Opens the event set for the CALLING thread; idempotent. Returns true
+  /// if at least cycles and instructions opened (the IPC floor).
+  bool open();
+  void close();
+  bool is_open() const { return opened_; }
+
+  /// Reads the current counts (scaled for multiplexing). Unavailable
+  /// (all-zero, available=false) when not open.
+  PerfCounterValues read() const;
+
+  /// Why open() failed (empty while open or before the first attempt).
+  const std::string& error() const { return error_; }
+
+  static constexpr int kNumEvents = 6;
+
+ private:
+  int fds_[kNumEvents] = {-1, -1, -1, -1, -1, -1};
+  bool opened_ = false;
+  std::string error_;
+};
+
+/// Process-wide profiling switch. When enabled, each thread lazily opens a
+/// PerfCounterGroup on first snapshot; ThreadPool::run snapshots around
+/// every job on every worker and accumulates the deltas into the span path
+/// installed by the innermost PhaseScope.
+namespace perf {
+
+/// Turns profiling on and probes availability on the calling thread.
+/// Returns the availability (false => see unavailable_reason()).
+bool enable();
+void disable();
+bool enabled();
+
+/// Meaningful after enable(); false before.
+bool available();
+std::string unavailable_reason();
+
+/// Forces the unavailable path (tests, and callers that want the software-
+/// spans-only report without touching the syscall). Sticky until cleared.
+void force_unavailable(const std::string& reason);
+void clear_forced_unavailable();
+
+/// Counter snapshot of the calling thread; unavailable values when
+/// profiling is off or the thread's group could not open.
+PerfCounterValues snapshot_this_thread();
+
+/// True when ThreadPool::run should capture per-worker deltas: profiling
+/// enabled, counters available, and a PhaseScope target installed.
+bool capture_armed();
+
+/// Called by ThreadPool::run with one worker's per-job delta; adds it to
+/// the installed PhaseScope's registry under its span path. No-op without
+/// a target.
+void accumulate_job_delta(const PerfCounterValues& delta);
+
+/// RAII target for per-worker capture: while alive, every pool job's
+/// per-worker counter deltas accumulate into `reg` under `path` (the same
+/// namespace as the span tree, e.g. "spmv/push"). Scopes nest; the
+/// innermost wins. Construction is one atomic exchange — cheap enough to
+/// wrap every engine phase unconditionally.
+class PhaseScope {
+ public:
+  PhaseScope(MetricsRegistry* reg, std::string path);
+  ~PhaseScope();
+
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  friend void accumulate_job_delta(const PerfCounterValues&);
+  MetricsRegistry* reg_;
+  std::string path_;
+  PhaseScope* prev_;
+};
+
+}  // namespace perf
+
+}  // namespace ihtl::telemetry

@@ -5,8 +5,26 @@
 
 namespace ihtl::telemetry {
 
+namespace {
+
+JsonValue hw_to_json(const HwStats& h) {
+  JsonValue entry = JsonValue::object();
+  entry.set("cycles", h.sum.cycles);
+  entry.set("instructions", h.sum.instructions);
+  entry.set("ipc", h.sum.ipc());
+  entry.set("llc_loads", h.sum.llc_loads);
+  entry.set("llc_misses", h.sum.llc_misses);
+  entry.set("l1d_misses", h.sum.l1d_misses);
+  entry.set("dtlb_misses", h.sum.dtlb_misses);
+  entry.set("samples", h.samples);
+  return entry;
+}
+
+}  // namespace
+
 JsonValue metrics_to_json(const MetricsRegistry& reg) {
   JsonValue out = JsonValue::object();
+  const std::map<std::string, HwStats> hw = reg.hw();
 
   JsonValue spans = JsonValue::object();
   for (const auto& [path, s] : reg.spans()) {
@@ -16,6 +34,11 @@ JsonValue metrics_to_json(const MetricsRegistry& reg) {
     entry.set("avg_s", s.avg_s());
     entry.set("min_s", s.min_s);
     entry.set("max_s", s.max_s);
+    // Additive key (schema contract): HW-counter deltas attributed to this
+    // span path, when hardware profiling recorded any.
+    if (const auto it = hw.find(path); it != hw.end()) {
+      entry.set("hw", hw_to_json(it->second));
+    }
     spans.set(path, std::move(entry));
   }
   out.set("spans", std::move(spans));
@@ -27,6 +50,22 @@ JsonValue metrics_to_json(const MetricsRegistry& reg) {
   JsonValue gauges = JsonValue::object();
   for (const auto& [name, v] : reg.gauges()) gauges.set(name, v);
   out.set("gauges", std::move(gauges));
+
+  // Additive section: explicit availability plus every HW path (including
+  // ones with no matching span, e.g. per-block push attributions).
+  const auto status = reg.hw_status();
+  if (status || !hw.empty()) {
+    JsonValue section = JsonValue::object();
+    const bool available = status ? status->first : !hw.empty();
+    section.set("available", available);
+    if (status && !status->first && !status->second.empty()) {
+      section.set("reason", status->second);
+    }
+    JsonValue paths = JsonValue::object();
+    for (const auto& [path, h] : hw) paths.set(path, hw_to_json(h));
+    section.set("paths", std::move(paths));
+    out.set("hw_counters", std::move(section));
+  }
 
   return out;
 }

@@ -1,0 +1,168 @@
+#include "telemetry/trace.h"
+
+#include <thread>
+#include <unordered_map>
+
+namespace ihtl::telemetry {
+
+namespace {
+
+std::atomic<TraceBuffer*> g_active{nullptr};
+std::atomic<std::uint32_t> g_next_thread_slot{0};
+
+const char* kind_name(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::span:
+      return "span";
+    case TraceEventKind::chunk:
+      return "chunk";
+    case TraceEventKind::steal:
+      return "steal";
+    case TraceEventKind::phase:
+      return "phase";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::uint32_t trace_thread_slot() {
+  thread_local const std::uint32_t slot =
+      g_next_thread_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+TraceBuffer::TraceBuffer(std::size_t rings, std::size_t capacity_per_ring)
+    : epoch_(std::chrono::steady_clock::now()) {
+  if (rings == 0) {
+    rings = std::thread::hardware_concurrency();
+    if (rings == 0) rings = 1;
+  }
+  rings_n_ = rings;
+  capacity_ = capacity_per_ring ? capacity_per_ring : 1;
+  rings_ = std::make_unique<Ring[]>(rings_n_);
+  for (std::size_t r = 0; r < rings_n_; ++r) {
+    rings_[r].slots.resize(capacity_);
+  }
+  names_.emplace_back("?");  // reserved id 0
+}
+
+std::uint32_t TraceBuffer::intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(names_mutex_);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<std::uint32_t>(i);
+  }
+  names_.emplace_back(name);
+  return static_cast<std::uint32_t>(names_.size() - 1);
+}
+
+void TraceBuffer::record(TraceEventKind kind, std::uint32_t name_id,
+                         std::uint64_t start_ns, std::uint64_t dur_ns,
+                         std::uint32_t arg0, std::uint32_t arg1) {
+  if (drop_all_.load(std::memory_order_relaxed)) {
+    forced_drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint32_t thread = trace_thread_slot();
+  Ring& ring = rings_[thread % rings_n_];
+  const std::uint64_t seq =
+      ring.head.fetch_add(1, std::memory_order_relaxed);
+  TraceEvent& slot = ring.slots[seq % capacity_];
+  slot.start_ns = start_ns;
+  slot.dur_ns = dur_ns;
+  slot.name_id = name_id;
+  slot.thread = thread;
+  slot.arg0 = arg0;
+  slot.arg1 = arg1;
+  slot.kind = kind;
+}
+
+std::uint64_t TraceBuffer::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+std::uint64_t TraceBuffer::recorded() const {
+  std::uint64_t total = 0;
+  for (std::size_t r = 0; r < rings_n_; ++r) {
+    total += rings_[r].head.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  std::uint64_t lost = forced_drops_.load(std::memory_order_relaxed);
+  for (std::size_t r = 0; r < rings_n_; ++r) {
+    const std::uint64_t head = rings_[r].head.load(std::memory_order_relaxed);
+    if (head > capacity_) lost += head - capacity_;
+  }
+  return lost;
+}
+
+JsonValue TraceBuffer::to_chrome_trace() const {
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(names_mutex_);
+    names = names_;
+  }
+  auto name_of = [&](std::uint32_t id) -> const std::string& {
+    return id < names.size() ? names[id] : names[0];
+  };
+
+  JsonValue events = JsonValue::array();
+  for (std::size_t r = 0; r < rings_n_; ++r) {
+    const Ring& ring = rings_[r];
+    const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+    const std::uint64_t n = head < capacity_ ? head : capacity_;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const TraceEvent& e = ring.slots[i];
+      JsonValue ev = JsonValue::object();
+      ev.set("name", name_of(e.name_id));
+      ev.set("cat", kind_name(e.kind));
+      ev.set("ph", "X");
+      ev.set("ts", static_cast<double>(e.start_ns) / 1e3);   // microseconds
+      ev.set("dur", static_cast<double>(e.dur_ns) / 1e3);
+      ev.set("pid", 1);
+      ev.set("tid", static_cast<std::uint64_t>(e.thread));
+      JsonValue args = JsonValue::object();
+      switch (e.kind) {
+        case TraceEventKind::chunk:
+        case TraceEventKind::steal:
+          args.set("lo", static_cast<std::uint64_t>(e.arg0));
+          args.set("hi", static_cast<std::uint64_t>(e.arg1));
+          break;
+        case TraceEventKind::phase:
+          args.set("block", static_cast<std::uint64_t>(e.arg0));
+          args.set("direct", e.arg1 != 0);
+          break;
+        case TraceEventKind::span:
+          break;
+      }
+      ev.set("args", std::move(args));
+      events.push_back(std::move(ev));
+    }
+  }
+
+  JsonValue doc = JsonValue::object();
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  JsonValue other = JsonValue::object();
+  other.set("recorded_events", recorded());
+  other.set("dropped_events", dropped());
+  other.set("rings", static_cast<std::uint64_t>(rings_n_));
+  other.set("capacity_per_ring", static_cast<std::uint64_t>(capacity_));
+  doc.set("otherData", std::move(other));
+  return doc;
+}
+
+TraceBuffer* TraceBuffer::active() {
+  return g_active.load(std::memory_order_acquire);
+}
+
+TraceBuffer* TraceBuffer::set_active(TraceBuffer* buffer) {
+  return g_active.exchange(buffer, std::memory_order_acq_rel);
+}
+
+}  // namespace ihtl::telemetry

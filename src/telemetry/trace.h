@@ -1,0 +1,119 @@
+// Per-thread timeline tracing: lock-free event rings + Chrome trace export.
+//
+// Wall-clock spans tell you how long a phase took; the timeline tells you
+// WHY — which worker ran which chunk when, where the steals landed, how the
+// flipped blocks interleave. Each OS thread writes fixed-size TraceEvents
+// into its own ring buffer (single writer per ring in the common case; ids
+// beyond the ring count fold, racing writers may then overwrite each other
+// — acceptable for a diagnostic trace, never unsafe). Rings wrap: when a
+// buffer overflows, the OLDEST events are overwritten and counted as
+// dropped, so tracing a long run degrades to "most recent window" instead
+// of growing without bound or crashing.
+//
+// Export is the Chrome trace_event JSON format ("ph":"X" complete events),
+// loadable in chrome://tracing and Perfetto. Producers record through the
+// process-wide active() buffer — a single relaxed load when tracing is off.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace ihtl::telemetry {
+
+enum class TraceEventKind : std::uint8_t {
+  span = 0,   ///< ScopedSpan scope (args: none)
+  chunk = 1,  ///< parallel_for chunk from the worker's own slice (lo, hi)
+  steal = 2,  ///< parallel_for chunk stolen from a victim slice (lo, hi)
+  phase = 3,  ///< engine phase / per-flipped-block push item (block, direct)
+};
+
+/// Fixed-size POD event; written whole into a ring slot.
+struct TraceEvent {
+  std::uint64_t start_ns = 0;  ///< relative to the buffer's construction
+  std::uint64_t dur_ns = 0;
+  std::uint32_t name_id = 0;   ///< interned via TraceBuffer::intern
+  std::uint32_t thread = 0;    ///< process-wide stable OS-thread slot
+  std::uint32_t arg0 = 0;
+  std::uint32_t arg1 = 0;
+  TraceEventKind kind = TraceEventKind::span;
+};
+
+/// Process-wide stable small integer for the calling OS thread (assigned on
+/// first use). Used as the Chrome trace "tid" and to pick the ring.
+std::uint32_t trace_thread_slot();
+
+class TraceBuffer {
+ public:
+  /// `rings` = number of event rings (0 = hardware concurrency; thread
+  /// slots beyond it fold). `capacity_per_ring` = events retained per ring
+  /// before wrap-around.
+  explicit TraceBuffer(std::size_t rings = 0,
+                       std::size_t capacity_per_ring = 1 << 14);
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// Interns `name` and returns its id (registry mutex; call outside hot
+  /// loops and cache the id). Id 0 is the reserved "?" name.
+  std::uint32_t intern(std::string_view name);
+
+  /// Records one event on the calling thread's ring. Wait-free: a relaxed
+  /// fetch_add plus a slot write; overflow overwrites the oldest event.
+  void record(TraceEventKind kind, std::uint32_t name_id,
+              std::uint64_t start_ns, std::uint64_t dur_ns,
+              std::uint32_t arg0 = 0, std::uint32_t arg1 = 0);
+
+  /// Nanoseconds since this buffer was constructed (steady clock).
+  std::uint64_t now_ns() const;
+
+  /// Events accepted by record() (including ones later overwritten).
+  std::uint64_t recorded() const;
+  /// Events lost: overwritten by wrap-around plus force-dropped ones.
+  std::uint64_t dropped() const;
+
+  /// Fault injection (check/*): when set, record() drops every event (and
+  /// counts it) — the overflow-degradation path, forced to 100%.
+  void set_drop_all(bool drop) {
+    drop_all_.store(drop, std::memory_order_relaxed);
+  }
+
+  /// Chrome trace_event document: {"traceEvents": [...], "displayTimeUnit":
+  /// "ms", "otherData": {recorded/dropped/ring stats}}. Call after the
+  /// traced work quiesced; racing writers may tear the youngest events.
+  JsonValue to_chrome_trace() const;
+
+  std::size_t ring_count() const { return rings_n_; }
+  std::size_t capacity_per_ring() const { return capacity_; }
+
+  /// Process-wide active buffer; nullptr disables all producers. Installers
+  /// must uninstall (set_active(previous)) before destroying the buffer.
+  static TraceBuffer* active();
+  /// Returns the previously active buffer.
+  static TraceBuffer* set_active(TraceBuffer* buffer);
+
+ private:
+  struct Ring {
+    std::vector<TraceEvent> slots;
+    std::atomic<std::uint64_t> head{0};
+  };
+
+  std::size_t rings_n_;
+  std::size_t capacity_;
+  std::unique_ptr<Ring[]> rings_;
+  std::atomic<std::uint64_t> forced_drops_{0};
+  std::atomic<bool> drop_all_{false};
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex names_mutex_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace ihtl::telemetry

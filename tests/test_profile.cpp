@@ -1,0 +1,305 @@
+// Tests for the profiling layer: the trace ring buffers and their Chrome
+// export, the perf-counter fallback path, the zero-work imbalance gauge,
+// the trace-drop fault, and the ihtl_profile CLI end to end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "check/oracle.h"
+#include "cli/commands.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+#include "telemetry/perf_counters.h"
+#include "telemetry/report.h"
+#include "telemetry/trace.h"
+
+namespace ihtl {
+namespace {
+
+using telemetry::JsonValue;
+using telemetry::MetricsRegistry;
+using telemetry::ScopedSpan;
+using telemetry::TraceBuffer;
+using telemetry::TraceEventKind;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// RAII active-buffer installer so a failing assertion can't leak a
+/// dangling process-wide buffer into later tests.
+struct ActiveTrace {
+  explicit ActiveTrace(TraceBuffer* b) { prev = TraceBuffer::set_active(b); }
+  ~ActiveTrace() { TraceBuffer::set_active(prev); }
+  TraceBuffer* prev;
+};
+
+// ------------------------------------------------------------- TraceBuffer
+
+TEST(TraceBuffer, RecordsAndExportsEvents) {
+  TraceBuffer buf(2, 16);
+  const std::uint32_t name = buf.intern("work");
+  EXPECT_NE(name, 0u);
+  EXPECT_EQ(buf.intern("work"), name);  // interning is idempotent
+  buf.record(TraceEventKind::chunk, name, 100, 50, 0, 10);
+  buf.record(TraceEventKind::steal, name, 200, 25, 10, 20);
+  EXPECT_EQ(buf.recorded(), 2u);
+  EXPECT_EQ(buf.dropped(), 0u);
+
+  const JsonValue doc = buf.to_chrome_trace();
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->items().size(), 2u);
+  const JsonValue& first = events->items()[0];
+  EXPECT_EQ(first.find("name")->as_string(), "work");
+  EXPECT_EQ(first.find("ph")->as_string(), "X");
+  EXPECT_DOUBLE_EQ(first.find("ts")->as_number(), 0.1);  // 100 ns = 0.1 us
+  const JsonValue* args = first.find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_DOUBLE_EQ(args->find("hi")->as_number(), 10.0);
+}
+
+TEST(TraceBuffer, WrapAroundUnderConcurrentWriters) {
+  // Many writers, tiny rings: most events must be overwritten, none may
+  // crash or corrupt the export, and the drop accounting must add up.
+  constexpr std::size_t kCapacity = 32;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5000;
+  TraceBuffer buf(2, kCapacity);  // 2 rings: writers share rings on purpose
+  const std::uint32_t name = buf.intern("storm");
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&buf, name] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        buf.record(TraceEventKind::span, name, i, 1);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+
+  EXPECT_EQ(buf.recorded(), kThreads * kPerThread);
+  // Retained events are bounded by the total ring capacity; the rest must
+  // be counted as dropped.
+  EXPECT_GE(buf.dropped(), buf.recorded() - 2 * kCapacity);
+  const JsonValue doc = buf.to_chrome_trace();
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_LE(events->items().size(), 2 * kCapacity);
+  EXPECT_GT(events->items().size(), 0u);
+  const JsonValue* other = doc.find("otherData");
+  ASSERT_NE(other, nullptr);
+  EXPECT_DOUBLE_EQ(other->find("recorded_events")->as_number(),
+                   static_cast<double>(kThreads * kPerThread));
+}
+
+TEST(TraceBuffer, ChromeTraceJsonRoundTrips) {
+  // The export must be well-formed JSON that our own parser accepts, with
+  // the keys chrome://tracing requires on every event.
+  TraceBuffer buf(1, 64);
+  ActiveTrace guard(&buf);
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for(pool, 0, 1000, [&](std::uint64_t i, std::size_t) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  {
+    ScopedSpan span(nullptr, "outer");  // null registry still traces
+  }
+  EXPECT_GT(buf.recorded(), 0u);
+
+  const JsonValue parsed = JsonValue::parse(buf.to_chrome_trace().dump());
+  const JsonValue* events = parsed.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_GT(events->items().size(), 0u);
+  for (const JsonValue& ev : events->items()) {
+    for (const char* key : {"name", "cat", "ph", "ts", "dur", "pid", "tid"}) {
+      EXPECT_NE(ev.find(key), nullptr) << "missing " << key;
+    }
+    EXPECT_EQ(ev.find("ph")->as_string(), "X");
+  }
+}
+
+TEST(TraceBuffer, SpanRecordsIntoActiveBuffer) {
+  TraceBuffer buf(1, 64);
+  {
+    ActiveTrace guard(&buf);
+    ScopedSpan outer(nullptr, "a");
+    { ScopedSpan inner(nullptr, "b"); }
+  }
+  ASSERT_EQ(buf.recorded(), 2u);
+  const JsonValue doc = buf.to_chrome_trace();
+  const auto& events = doc.find("traceEvents")->items();
+  // Inner span stops first, so it exports first; paths are '/'-joined.
+  EXPECT_EQ(events[0].find("name")->as_string(), "a/b");
+  EXPECT_EQ(events[1].find("name")->as_string(), "a");
+}
+
+TEST(TraceBuffer, DropAllDiscardsButCounts) {
+  TraceBuffer buf(1, 64);
+  buf.set_drop_all(true);
+  buf.record(TraceEventKind::span, 0, 0, 1);
+  buf.record(TraceEventKind::span, 0, 0, 1);
+  EXPECT_EQ(buf.recorded(), 0u);
+  EXPECT_EQ(buf.dropped(), 2u);
+  EXPECT_TRUE(buf.to_chrome_trace().find("traceEvents")->items().empty());
+}
+
+TEST(TraceDropFault, PipelineDegradesGracefully) {
+  check::TraceDropFault fault;
+  ThreadPool pool(2);
+  std::atomic<std::uint64_t> sum{0};
+  parallel_for(pool, 0, 500, [&](std::uint64_t i, std::size_t) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  { ScopedSpan span(nullptr, "faulted"); }
+  // The work itself is unaffected; every trace event is discarded but
+  // accounted for.
+  EXPECT_EQ(sum.load(), 500u * 499u / 2u);
+  EXPECT_GT(fault.dropped(), 0u);
+}
+
+// ---------------------------------------------------------- perf fallback
+
+TEST(PerfCounters, ForcedUnavailableReportsCleanly) {
+  telemetry::perf::force_unavailable("forced by test");
+  EXPECT_FALSE(telemetry::perf::enable());
+  EXPECT_TRUE(telemetry::perf::enabled());
+  EXPECT_FALSE(telemetry::perf::available());
+  EXPECT_EQ(telemetry::perf::unavailable_reason(), "forced by test");
+
+  const telemetry::PerfCounterValues v =
+      telemetry::perf::snapshot_this_thread();
+  EXPECT_FALSE(v.available);
+  EXPECT_EQ(v.cycles, 0u);
+
+  // A registry whose status says "unavailable" must emit an explicit
+  // hw_counters section with available:false — never abort, never omit.
+  MetricsRegistry reg(2);
+  reg.set_hw_status(false, telemetry::perf::unavailable_reason());
+  { ScopedSpan span(reg, "phase"); }
+  const JsonValue doc = telemetry::metrics_to_json(reg);
+  const JsonValue* hw = doc.find("hw_counters");
+  ASSERT_NE(hw, nullptr);
+  EXPECT_FALSE(hw->find("available")->as_bool());
+  EXPECT_EQ(hw->find("reason")->as_string(), "forced by test");
+  // The span itself still records (software timing is independent of HW).
+  EXPECT_NE(doc.find("spans")->find("phase"), nullptr);
+
+  telemetry::perf::clear_forced_unavailable();
+  telemetry::perf::disable();
+}
+
+TEST(PerfCounters, DeltaClampsAndAccumulates) {
+  telemetry::PerfCounterValues a, b;
+  a.available = b.available = true;
+  a.cycles = 100;
+  b.cycles = 150;
+  b.instructions = 75;
+  const auto d = b.delta_since(a);
+  EXPECT_TRUE(d.available);
+  EXPECT_EQ(d.cycles, 50u);
+  EXPECT_EQ(d.instructions, 75u);
+  // Backwards wobble (multiplex scaling) clamps to zero, never underflows.
+  const auto neg = a.delta_since(b);
+  EXPECT_EQ(neg.cycles, 0u);
+
+  telemetry::PerfCounterValues sum;
+  sum.accumulate(d);
+  sum.accumulate(d);
+  EXPECT_EQ(sum.cycles, 100u);
+  EXPECT_DOUBLE_EQ(sum.ipc(), 1.5);
+  // Unavailable deltas are ignored entirely.
+  telemetry::PerfCounterValues unavailable;
+  unavailable.cycles = 999;
+  sum.accumulate(unavailable);
+  EXPECT_EQ(sum.cycles, 100u);
+}
+
+// ------------------------------------------------------- imbalance gauge
+
+TEST(WorkerStats, ZeroChunksExportsImbalanceOne) {
+  ThreadPool pool(3);
+  pool.reset_stats();
+  MetricsRegistry reg(2);
+  pool.export_metrics(reg, "pool");
+  const auto imbalance = reg.gauge("pool.imbalance");
+  ASSERT_TRUE(imbalance.has_value());
+  EXPECT_DOUBLE_EQ(*imbalance, 1.0);  // no work = balanced, never NaN
+}
+
+// -------------------------------------------------------- cmd_profile CLI
+
+TEST(CmdProfile, EndToEndFallbackReport) {
+  // Force the no-HW path so the test is deterministic on any machine, and
+  // verify the CLI exits 0 with an explicit unavailable report plus a
+  // loadable Chrome trace.
+  const std::string out = testing::TempDir() + "ihtl_profile_report.json";
+  const std::string trace = testing::TempDir() + "ihtl_profile_trace.json";
+  const char* argv[] = {
+      "ihtl_profile", "--dataset",   "TwtrMpi",     "--gen-scale",
+      "tiny",         "--iterations", "2",          "--repeat",
+      "2",            "--threads",    "2",          "--no-hw",
+      "--fallback-ok", "--per-block", "--out",      out.c_str(),
+      "--trace-out",  trace.c_str(),
+  };
+  const int rc = cmd_profile(static_cast<int>(std::size(argv)), argv);
+  EXPECT_EQ(rc, 0);
+
+  const JsonValue report = JsonValue::parse(slurp(out));
+  const JsonValue* hw = report.find("hw_counters");
+  ASSERT_NE(hw, nullptr);
+  EXPECT_FALSE(hw->find("available")->as_bool());
+  const JsonValue* profile = report.find("profile");
+  ASSERT_NE(profile, nullptr);
+  const JsonValue* phases = profile->find("phases");
+  ASSERT_NE(phases, nullptr);
+  for (const char* phase : {"reset", "push", "merge", "pull"}) {
+    const JsonValue* entry = phases->find(phase);
+    ASSERT_NE(entry, nullptr) << phase;
+    EXPECT_GE(entry->find("seconds_total")->as_number(), 0.0);
+    // Without HW counters the rows must omit the hw block, not fake it.
+    EXPECT_EQ(entry->find("hw"), nullptr) << phase;
+  }
+  ASSERT_NE(profile->find("pull_baseline"), nullptr);
+  // The per-rep pool stats reset keeps the imbalance gauge finite.
+  const JsonValue* gauges = report.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const JsonValue* imbalance = gauges->find("pool.imbalance");
+  ASSERT_NE(imbalance, nullptr);
+  EXPECT_GE(imbalance->as_number(), 1.0);
+
+  const JsonValue trace_doc = JsonValue::parse(slurp(trace));
+  const JsonValue* events = trace_doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->items().size(), 0u);
+
+  std::remove(out.c_str());
+  std::remove(trace.c_str());
+  telemetry::perf::clear_forced_unavailable();
+  telemetry::perf::disable();
+}
+
+TEST(CmdProfile, RequireHwContradictsNoHw) {
+  const char* argv[] = {"ihtl_profile", "--dataset", "TwtrMpi",
+                        "--gen-scale",  "tiny",      "--no-hw",
+                        "--require-hw"};
+  EXPECT_EQ(cmd_profile(static_cast<int>(std::size(argv)), argv), 1);
+}
+
+}  // namespace
+}  // namespace ihtl

@@ -27,16 +27,21 @@ std::string read_file(const std::string& path) {
   return ss.str();
 }
 
-/// Flattens the spans/counters/gauges sections of one run/dataset object
-/// into dotted metric names under `prefix`.
+/// Flattens the spans/counters/gauges/hw_counters sections of one run/
+/// dataset object into dotted metric names under `prefix`. The report
+/// schema is additive — newer producers attach extra keys (per-span "hw"
+/// sub-objects, whole new sections) — so everything unrecognized or
+/// non-numeric is skipped, never an error: an old bench_diff must keep
+/// working against a new report and vice versa.
 void flatten_sections(const JsonValue& obj, const std::string& prefix,
                       std::map<std::string, double>& out) {
   if (const JsonValue* spans = obj.find("spans"); spans && spans->is_object()) {
     for (const auto& [path, entry] : spans->entries()) {
-      if (const JsonValue* v = entry.find("total_s")) {
+      if (const JsonValue* v = entry.find("total_s");
+          v && v->is_number()) {
         out[prefix + "span." + path + ".total_s"] = v->as_number();
       }
-      if (const JsonValue* v = entry.find("count")) {
+      if (const JsonValue* v = entry.find("count"); v && v->is_number()) {
         out[prefix + "span." + path + ".count"] = v->as_number();
       }
     }
@@ -44,13 +49,30 @@ void flatten_sections(const JsonValue& obj, const std::string& prefix,
   if (const JsonValue* counters = obj.find("counters");
       counters && counters->is_object()) {
     for (const auto& [name, v] : counters->entries()) {
-      out[prefix + "counter." + name] = v.as_number();
+      if (v.is_number()) out[prefix + "counter." + name] = v.as_number();
     }
   }
   if (const JsonValue* gauges = obj.find("gauges");
       gauges && gauges->is_object()) {
     for (const auto& [name, v] : gauges->entries()) {
-      out[prefix + "gauge." + name] = v.as_number();
+      if (v.is_number()) out[prefix + "gauge." + name] = v.as_number();
+    }
+  }
+  // Hardware-counter paths land as `hw.<span path>.<event>`, so CI can
+  // gate on e.g. `--require-key llc_misses` and regressions in real cache
+  // misses are diffed like any other metric.
+  if (const JsonValue* hw = obj.find("hw_counters");
+      hw && hw->is_object()) {
+    if (const JsonValue* paths = hw->find("paths");
+        paths && paths->is_object()) {
+      for (const auto& [path, entry] : paths->entries()) {
+        if (!entry.is_object()) continue;
+        for (const auto& [event, v] : entry.entries()) {
+          if (v.is_number()) {
+            out[prefix + "hw." + path + "." + event] = v.as_number();
+          }
+        }
+      }
     }
   }
 }
@@ -88,6 +110,9 @@ int main(int argc, char** argv) {
   args.add_flag("threshold", true, "regression threshold (default 0.10)");
   args.add_flag("strict", false, "exit 1 if any regression is flagged");
   args.add_flag("all", false, "print unchanged metrics too");
+  args.add_flag("require-key", true,
+                "comma-separated substrings that must each match at least "
+                "one metric in new.json (e.g. llc_misses); exit 1 otherwise");
   args.add_flag("help", false, "show usage");
   try {
     args.parse(argc, argv);
@@ -102,6 +127,39 @@ int main(int argc, char** argv) {
     const std::string new_path = args.positional()[1];
     const auto old_metrics = flatten(JsonValue::parse(read_file(old_path)));
     const auto new_metrics = flatten(JsonValue::parse(read_file(new_path)));
+
+    // Gate on required metrics BEFORE diffing: a report that silently lost
+    // its hardware counters (perf became unavailable on the CI runner)
+    // must fail loudly, not pass because nothing regressed.
+    if (args.has("require-key")) {
+      const std::string spec = args.get_string("require-key");
+      int missing = 0;
+      std::size_t start = 0;
+      while (start <= spec.size()) {
+        const std::size_t comma = spec.find(',', start);
+        const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+        if (end > start) {
+          const std::string needle = spec.substr(start, end - start);
+          bool found = false;
+          for (const auto& [key, v] : new_metrics) {
+            if (key.find(needle) != std::string::npos) {
+              found = true;
+              break;
+            }
+          }
+          if (!found) {
+            std::fprintf(stderr,
+                         "bench_diff: required key '%s' matches no metric "
+                         "in %s\n",
+                         needle.c_str(), new_path.c_str());
+            ++missing;
+          }
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (missing > 0) return 1;
+    }
 
     std::printf("%-56s %14s %14s %9s\n", "metric", "old", "new", "delta");
     int regressions = 0, improvements = 0, compared = 0;

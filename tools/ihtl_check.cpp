@@ -93,6 +93,9 @@ int main(int argc, char** argv) {
                 "force the engine push policy (auto, shared, single-owner)");
   args.add_flag("inject-fault", false,
                 "swap in the broken drop-merge engine (self-test)");
+  args.add_flag("inject-trace-drop", false,
+                "install a drop-all trace buffer: the check must reach the "
+                "same verdict while every trace event is discarded");
   args.add_flag("no-minimize", false, "report the failure without shrinking");
   args.add_flag("repro-out", true, "write the repro snippet to this file");
   args.add_flag("metrics-out", true, "write a JSON telemetry report");
@@ -138,6 +141,8 @@ int main(int argc, char** argv) {
     opt.force_push_policy = p;
   }
   if (args.has("inject-fault")) opt.engine_override = drop_merge_fault();
+  std::optional<TraceDropFault> trace_drop;
+  if (args.has("inject-trace-drop")) trace_drop.emplace();
 
   const std::string metrics_out = args.get_string("metrics-out");
   const std::string repro_out = args.get_string("repro-out");
@@ -160,6 +165,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (trace_drop) {
+    std::cerr << "trace-drop fault: " << trace_drop->dropped()
+              << " event(s) discarded; verdict unaffected\n";
+  }
   if (!metrics_out.empty()) {
     write_metrics(metrics_out, opt.base_seed, opt.points, rc == 0);
   }

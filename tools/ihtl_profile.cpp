@@ -1,0 +1,5 @@
+// CLI: per-phase hardware-counter profile of the iHTL SpMV against the
+// pull-only baseline (the paper's Table 3). See `ihtl_profile --help`.
+#include "cli/commands.h"
+
+int main(int argc, char** argv) { return ihtl::cmd_profile(argc, argv); }
