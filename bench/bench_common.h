@@ -42,7 +42,16 @@ inline Graph load_bench_graph(const DatasetSpec& spec, DatasetScale scale) {
   const fs::path dir = "bench_data";
   const fs::path path = dir / (spec.name + "_" + suffix + ".ihtlgr");
   if (fs::exists(path)) {
-    return load_graph_binary(path.string());
+    // A stale or corrupt cache (e.g. written by a build with a different
+    // container version or type widths) falls through to regeneration.
+    try {
+      return load_graph_binary(path.string());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "[bench_data] warning: cached %s unreadable (%s); "
+                   "regenerating\n",
+                   path.string().c_str(), e.what());
+    }
   }
   Timer t;
   Graph g = make_dataset(spec, scale);

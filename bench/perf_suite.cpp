@@ -8,6 +8,7 @@
 //   ./bench/perf_suite                        # writes ./BENCH_spmv.json
 //   ./bench/perf_suite --out new.json --iterations 20
 //   ./tools/bench_diff BENCH_spmv.json new.json
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -43,7 +44,8 @@ std::vector<std::string> split_csv(const std::string& s) {
 }
 
 JsonValue run_dataset(const std::string& name, ThreadPool& pool,
-                      unsigned iterations, PushPolicy policy) {
+                      unsigned iterations, PushPolicy policy,
+                      std::size_t batch) {
   auto& reg = telemetry::MetricsRegistry::global();
   reg.clear();
   pool.reset_stats();
@@ -56,19 +58,40 @@ JsonValue run_dataset(const std::string& name, ThreadPool& pool,
   // Preprocessing spans ("preprocess/*") land in the global registry.
   const IhtlGraph ig = build_ihtl_graph(g, cfg);
 
-  // SpMV phase breakdown ("spmv/*" spans) over `iterations` runs.
+  // SpMV phase breakdown ("spmv/*" spans) over `iterations` runs. With
+  // --batch > 1 the k-lane engine path is profiled instead, so the same
+  // span paths describe the batched traversal (spmv.batch_lanes in the
+  // snapshot records which one ran).
   IhtlEngine<PlusMonoid> engine(ig, pool, cfg.push_policy);
-  std::vector<value_t> x(g.num_vertices(), 1.0), y(g.num_vertices(), 0.0);
-  for (unsigned i = 0; i < iterations; ++i) engine.spmv(x, y);
+  std::vector<value_t> x(static_cast<std::size_t>(g.num_vertices()) * batch,
+                         1.0);
+  std::vector<value_t> y(x.size(), 0.0);
+  for (unsigned i = 0; i < iterations; ++i) {
+    if (batch > 1) {
+      engine.spmv_batch(x, y, batch);
+    } else {
+      engine.spmv(x, y);
+    }
+  }
 
   // PageRank exercises the full app path (its engine also records into the
-  // global registry, under the same spmv/* spans).
+  // global registry, under the same spmv/* spans). Batched runs drive the
+  // k-source personalized variant over sources 0..k-1.
   {
     telemetry::ScopedSpan span(reg, "pagerank");
     PageRankOptions opt;
     opt.iterations = iterations;
     opt.ihtl = cfg;
-    pagerank(pool, g, SpmvKernel::ihtl, opt);
+    if (batch > 1) {
+      std::vector<vid_t> sources(batch);
+      for (std::size_t lane = 0; lane < batch; ++lane) {
+        sources[lane] = static_cast<vid_t>(
+            lane % std::max<vid_t>(1, g.num_vertices()));
+      }
+      pagerank_personalized_batch(pool, g, ig, sources, opt);
+    } else {
+      pagerank(pool, g, SpmvKernel::ihtl, opt);
+    }
   }
 
   // Cache-model counters: replay iHTL and pull through the scaled
@@ -119,6 +142,10 @@ int main(int argc, char** argv) {
                 "comma-separated dataset names (default TwtrMpi,SK,LvJrnl,WbCc)");
   args.add_flag("push-policy", true,
                 "engine push/merge policy: auto | shared | single-owner");
+  args.add_flag("batch", true,
+                "batch lanes k (default 1): profile the k-lane spmv_batch "
+                "path and k-source personalized PageRank instead of the "
+                "scalar engine");
   args.add_flag("trace-out", true,
                 "write a Chrome trace_event JSON timeline of the whole "
                 "suite here");
@@ -144,6 +171,9 @@ int main(int argc, char** argv) {
       }
       policy = *parsed;
     }
+    const std::int64_t batch_arg = args.get_int("batch", 1);
+    if (batch_arg < 1) throw std::invalid_argument("--batch must be >= 1");
+    const auto batch = static_cast<std::size_t>(batch_arg);
 
     print_header("perf_suite", "telemetry snapshot",
                  "per-phase spans + pool counters + cachesim misses, "
@@ -160,7 +190,7 @@ int main(int argc, char** argv) {
 
     JsonValue datasets = JsonValue::array();
     for (const std::string& name : names) {
-      datasets.push_back(run_dataset(name, pool, iterations, policy));
+      datasets.push_back(run_dataset(name, pool, iterations, policy, batch));
     }
 
     if (trace) {
@@ -177,6 +207,7 @@ int main(int argc, char** argv) {
     run.set("suite", "perf_suite");
     run.set("scale", "bench");
     run.set("iterations", static_cast<std::uint64_t>(iterations));
+    run.set("batch", static_cast<std::uint64_t>(batch));
     run.set("threads", static_cast<std::uint64_t>(pool.size()));
     doc.set("run", std::move(run));
     JsonValue config = JsonValue::object();

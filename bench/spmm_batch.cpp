@@ -1,0 +1,190 @@
+// Batched multi-vector SpMV throughput: how much per-vector work one
+// k-lane traversal buys over k scalar traversals. One edge visit feeds k
+// lanes (a 64-byte line of doubles at k = 8), so the random-access cost of
+// the topology and source rows is amortized k ways — the per-vector
+// throughput curve over k is the payoff of the SpMM-style engine path.
+//
+//   ./bench/spmm_batch                          # TwtrMpi large, k in 1,2,4,8
+//   ./bench/spmm_batch --ks 1,4 --scale bench   # CI smoke
+//   ./bench/spmm_batch --min-speedup 1.3        # exit 1 unless max-k wins
+//
+// Results are merged into BENCH_spmv.json under a top-level "spmm_batch"
+// section (existing perf_suite content is preserved).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cli/args.h"
+#include "core/ihtl_spmv.h"
+#include "telemetry/json.h"
+#include "telemetry/report.h"
+
+namespace {
+
+using namespace ihtl;
+using namespace ihtl::bench;
+using telemetry::JsonValue;
+
+std::vector<std::size_t> parse_ks(const std::string& s) {
+  std::vector<std::size_t> ks;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) {
+      const long v = std::stol(s.substr(start, end - start));
+      if (v < 1) throw std::invalid_argument("--ks entries must be >= 1");
+      ks.push_back(static_cast<std::size_t>(v));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (ks.empty()) throw std::invalid_argument("--ks must name at least one k");
+  return ks;
+}
+
+/// Loads an existing JSON snapshot to merge into; a missing or unreadable
+/// file just starts a fresh document (the section is self-contained).
+JsonValue load_snapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return JsonValue::object();
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    JsonValue doc = JsonValue::parse(buf.str());
+    if (doc.is_object()) return doc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "spmm_batch: existing %s not parseable (%s); rewriting\n",
+                 path.c_str(), e.what());
+  }
+  return JsonValue::object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("out", true, "snapshot to merge into (default BENCH_spmv.json)");
+  args.add_flag("dataset", true, "dataset name (default TwtrMpi, RMAT social)");
+  args.add_flag("scale", true, "bench | large (default large)");
+  args.add_flag("iterations", true, "batched SpMV calls per k (default 10)");
+  args.add_flag("threads", true, "worker threads (default hw concurrency)");
+  args.add_flag("ks", true, "comma-separated lane counts (default 1,2,4,8)");
+  args.add_flag("min-speedup", true,
+                "exit 1 unless the largest k reaches this per-vector "
+                "speedup over k=1 (default 0 = no check)");
+  args.add_flag("help", false, "show usage");
+  try {
+    args.parse(argc, argv);
+    if (args.has("help")) {
+      std::printf("usage: spmm_batch [flags]\n%s", args.help_text().c_str());
+      return 0;
+    }
+    const std::string out_path = args.get_string("out", "BENCH_spmv.json");
+    const std::string name = args.get_string("dataset", "TwtrMpi");
+    const std::string scale_name = args.get_string("scale", "large");
+    DatasetScale scale;
+    if (scale_name == "large") {
+      scale = kWallClockScale;
+    } else if (scale_name == "bench") {
+      scale = kBenchScale;
+    } else {
+      throw std::invalid_argument("--scale must be 'bench' or 'large'");
+    }
+    const auto iterations = static_cast<unsigned>(
+        std::max<std::int64_t>(1, args.get_int("iterations", 10)));
+    const std::vector<std::size_t> ks = parse_ks(args.get_string("ks", "1,2,4,8"));
+    const double min_speedup = args.get_double("min-speedup", 0.0);
+    ThreadPool pool(static_cast<std::size_t>(args.get_int("threads", 0)));
+
+    print_header("spmm_batch", "batched multi-vector SpMV",
+                 "per-vector throughput of the k-lane engine path vs k=1");
+
+    const DatasetSpec& spec = dataset_spec(name);
+    const Graph g = load_bench_graph(spec, scale);
+    print_dataset_line(g, spec);
+    const IhtlConfig cfg = hw_ihtl_config();
+    Timer prep;
+    const IhtlGraph ig = build_ihtl_graph(g, cfg);
+    std::printf("# preprocessing %.1fs, %zu block(s), %u hubs\n",
+                prep.elapsed_seconds(), ig.blocks().size(), ig.num_hubs());
+
+    IhtlEngine<PlusMonoid> engine(ig, pool, cfg.push_policy);
+    const std::size_t n = ig.num_vertices();
+    const double m = static_cast<double>(g.num_edges());
+
+    std::printf("%6s %14s %14s %16s %12s\n", "k", "ms/batch-spmv",
+                "ms/vector", "per-vec GTEPS", "vs k=1");
+    JsonValue entries = JsonValue::array();
+    double base_per_vector_s = 0.0;  // seconds per vector at k=1
+    double max_k_speedup = 0.0;
+    std::size_t max_k = 0;
+    for (const std::size_t k : ks) {
+      std::vector<value_t> x(n * k, n ? 1.0 / static_cast<double>(n) : 0.0);
+      std::vector<value_t> y(x.size(), 0.0);
+      engine.spmv_batch(x, y, k);  // warmup: first-touch + buffer build
+      Timer t;
+      for (unsigned i = 0; i < iterations; ++i) engine.spmv_batch(x, y, k);
+      const double seconds = t.elapsed_seconds();
+      const double per_call_s = seconds / iterations;
+      const double per_vector_s = per_call_s / static_cast<double>(k);
+      const double per_vector_gteps =
+          per_vector_s > 0 ? m / per_vector_s / 1e9 : 0.0;
+      if (k == 1) base_per_vector_s = per_vector_s;
+      const double speedup = base_per_vector_s > 0 && per_vector_s > 0
+                                 ? base_per_vector_s / per_vector_s
+                                 : 0.0;
+      if (k >= max_k) {
+        max_k = k;
+        max_k_speedup = speedup;
+      }
+      std::printf("%6zu %14.3f %14.3f %16.3f %11.2fx\n", k, 1e3 * per_call_s,
+                  1e3 * per_vector_s, per_vector_gteps, speedup);
+
+      JsonValue entry = JsonValue::object();
+      entry.set("k", static_cast<std::uint64_t>(k));
+      entry.set("seconds_per_call", per_call_s);
+      entry.set("seconds_per_vector", per_vector_s);
+      entry.set("per_vector_gteps", per_vector_gteps);
+      if (speedup > 0) entry.set("per_vector_speedup_vs_k1", speedup);
+      entries.push_back(std::move(entry));
+    }
+
+    JsonValue doc = load_snapshot(out_path);
+    JsonValue section = JsonValue::object();
+    section.set("dataset", spec.name);
+    section.set("kind", spec.kind == DatasetKind::social ? "social" : "web");
+    section.set("scale", scale_name);
+    section.set("vertices", static_cast<std::uint64_t>(g.num_vertices()));
+    section.set("edges", static_cast<std::uint64_t>(g.num_edges()));
+    section.set("iterations", static_cast<std::uint64_t>(iterations));
+    section.set("threads", static_cast<std::uint64_t>(pool.size()));
+    section.set("buffer_bytes", static_cast<std::uint64_t>(cfg.buffer_bytes));
+    section.set("entries", std::move(entries));
+    doc.set("spmm_batch", std::move(section));
+    telemetry::write_json_file(doc, out_path);
+    std::printf("merged spmm_batch section into %s\n", out_path.c_str());
+
+    if (min_speedup > 0.0) {
+      if (max_k_speedup < min_speedup) {
+        std::fprintf(stderr,
+                     "spmm_batch: per-vector speedup at k=%zu is %.2fx, "
+                     "below required %.2fx\n",
+                     max_k, max_k_speedup, min_speedup);
+        return 1;
+      }
+      std::printf("speedup check passed: %.2fx >= %.2fx at k=%zu\n",
+                  max_k_speedup, min_speedup, max_k);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "spmm_batch: %s\n", e.what());
+    return 1;
+  }
+}

@@ -90,7 +90,94 @@ AnalyticsResult run_kernel(ThreadPool& pool, const Graph& g,
   return result;
 }
 
+/// Batched min fixpoint over a vertex-major n×k value array: one SpMV per
+/// round advances all k lanes; the round loop ends when no lane improves
+/// anywhere. `spmv(x, y)` must be a batched min-SpMV over n×k arrays.
+template <typename SpmvFn>
+AnalyticsResult min_fixpoint_batch(ThreadPool& pool, vid_t n, std::size_t k,
+                                   std::vector<value_t> init,
+                                   const SpmvFn& spmv, unsigned max_rounds) {
+  std::vector<value_t> vals = std::move(init);
+  std::vector<value_t> x(vals.size()), y(vals.size());
+  AnalyticsResult result;
+  Timer timer;
+  for (unsigned round = 0; round < max_rounds; ++round) {
+    parallel_for(pool, 0, n, [&](std::uint64_t v, std::size_t) {
+      for (std::size_t lane = 0; lane < k; ++lane) {
+        x[v * k + lane] = vals[v * k + lane] + 1.0;
+      }
+    });
+    spmv(std::span<const value_t>(x), std::span<value_t>(y));
+    std::atomic<bool> changed{false};
+    parallel_for(pool, 0, n, [&](std::uint64_t v, std::size_t) {
+      bool improved = false;
+      for (std::size_t lane = 0; lane < k; ++lane) {
+        const std::size_t i = v * k + lane;
+        if (y[i] < vals[i]) {
+          vals[i] = y[i];
+          improved = true;
+        }
+      }
+      if (improved) changed.store(true, std::memory_order_relaxed);
+    });
+    ++result.iterations;
+    if (!changed.load()) break;
+  }
+  result.seconds = timer.elapsed_seconds();
+  result.values = std::move(vals);
+  return result;
+}
+
 }  // namespace
+
+AnalyticsResult bfs_multi_source(ThreadPool& pool, const Graph& g,
+                                 std::span<const vid_t> sources,
+                                 AnalyticsKernel kernel,
+                                 const IhtlConfig& cfg) {
+  const vid_t n = g.num_vertices();
+  const std::size_t k = sources.size();
+  if (n == 0 || k == 0) return {};
+  std::vector<value_t> init(static_cast<std::size_t>(n) * k,
+                            MinMonoid::identity());
+  const unsigned max_rounds = n;
+  if (kernel == AnalyticsKernel::pull) {
+    for (std::size_t lane = 0; lane < k; ++lane) {
+      init[static_cast<std::size_t>(sources[lane] % n) * k + lane] = 0.0;
+    }
+    return min_fixpoint_batch(
+        pool, n, k, std::move(init),
+        [&](std::span<const value_t> x, std::span<value_t> y) {
+          spmv_pull_batch<MinMonoid>(pool, g, x, y, k);
+        },
+        max_rounds);
+  }
+  // iHTL: iterate in the relabeled space, rows moving as k-lane blocks.
+  Timer prep;
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+  IhtlEngine<MinMonoid> engine(ig, pool, cfg.push_policy);
+  const double prep_s = prep.elapsed_seconds();
+  const auto& o2n = ig.old_to_new();
+  for (std::size_t lane = 0; lane < k; ++lane) {
+    init[static_cast<std::size_t>(o2n[sources[lane] % n]) * k + lane] = 0.0;
+  }
+  AnalyticsResult result = min_fixpoint_batch(
+      pool, n, k, std::move(init),
+      [&](std::span<const value_t> x, std::span<value_t> y) {
+        engine.spmv_batch(x, y, k);
+      },
+      max_rounds);
+  std::vector<value_t> back(result.values.size());
+  for (vid_t v = 0; v < n; ++v) {
+    const std::size_t src = static_cast<std::size_t>(o2n[v]) * k;
+    const std::size_t dst = static_cast<std::size_t>(v) * k;
+    for (std::size_t lane = 0; lane < k; ++lane) {
+      back[dst + lane] = result.values[src + lane];
+    }
+  }
+  result.values = std::move(back);
+  result.preprocessing_seconds = prep_s;
+  return result;
+}
 
 AnalyticsResult connected_components(ThreadPool& pool, const Graph& g,
                                      AnalyticsKernel kernel,

@@ -4,6 +4,7 @@
 // require irregular traversals" applies beyond PageRank.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/ihtl_config.h"
@@ -39,5 +40,16 @@ AnalyticsResult connected_components(ThreadPool& pool, const Graph& g,
 /// +infinity.
 AnalyticsResult sssp_unit(ThreadPool& pool, const Graph& g, vid_t source,
                           AnalyticsKernel kernel, const IhtlConfig& cfg = {});
+
+/// Multi-source BFS: one level vector per source, all k = sources.size()
+/// frontiers advanced together by batched min-SpMV rounds (every edge is
+/// traversed once per round for all sources). `values` comes back as a
+/// vertex-major n×k array in the original ID space — lane l of vertex v at
+/// v*k + l holds v's BFS level from sources[l] (+infinity if unreached).
+/// Rounds continue until no lane improves.
+AnalyticsResult bfs_multi_source(ThreadPool& pool, const Graph& g,
+                                 std::span<const vid_t> sources,
+                                 AnalyticsKernel kernel,
+                                 const IhtlConfig& cfg = {});
 
 }  // namespace ihtl

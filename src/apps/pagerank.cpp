@@ -103,6 +103,80 @@ PageRankResult pagerank_ihtl(ThreadPool& pool, const Graph& g,
   return result;
 }
 
+PageRankResult pagerank_personalized_batch(ThreadPool& pool, const Graph& g,
+                                           const IhtlGraph& ig,
+                                           std::span<const vid_t> sources,
+                                           const PageRankOptions& opt) {
+  const vid_t n = g.num_vertices();
+  const std::size_t k = sources.size();
+  PageRankResult result;
+  if (n == 0 || k == 0) return result;
+  const auto& o2n = ig.old_to_new();
+  std::vector<eid_t> deg_new(n);
+  for (vid_t v = 0; v < n; ++v) deg_new[o2n[v]] = g.out_degree(v);
+
+  // One-hot restart per lane: lane l's mass re-enters only at sources[l]
+  // (taken modulo n, matching the oracle's source handling).
+  std::vector<value_t> base(static_cast<std::size_t>(n) * k, 0.0);
+  std::vector<value_t> pr(base.size(), 0.0);
+  for (std::size_t lane = 0; lane < k; ++lane) {
+    const std::size_t row = static_cast<std::size_t>(o2n[sources[lane] % n]);
+    base[row * k + lane] = 1.0 - opt.damping;
+    pr[row * k + lane] = 1.0;
+  }
+
+  IhtlEngine<PlusMonoid> engine(ig, pool, opt.ihtl.push_policy);
+  std::vector<value_t> x(pr.size()), y(pr.size());
+  Timer timer;
+  for (unsigned it = 0; it < opt.iterations; ++it) {
+    parallel_for(pool, 0, n, [&](std::uint64_t v, std::size_t) {
+      const value_t scale =
+          deg_new[v] ? opt.damping / static_cast<value_t>(deg_new[v]) : 0.0;
+      for (std::size_t lane = 0; lane < k; ++lane) {
+        x[v * k + lane] = pr[v * k + lane] * scale;
+      }
+    });
+    engine.spmv_batch(x, y, k);
+    ++result.iterations_run;
+    if (opt.tolerance > 0.0) {
+      const double delta = parallel_reduce<double>(
+          pool, 0, n, 0.0,
+          [&](std::uint64_t v, std::size_t) {
+            double d = 0.0;
+            for (std::size_t lane = 0; lane < k; ++lane) {
+              const std::size_t i = v * k + lane;
+              const value_t next = base[i] + y[i];
+              d += std::abs(next - pr[i]);
+              pr[i] = next;
+            }
+            return d;
+          },
+          [](double a, double b) { return a + b; });
+      if (delta < opt.tolerance * static_cast<double>(k)) break;
+    } else {
+      parallel_for(pool, 0, n, [&](std::uint64_t v, std::size_t) {
+        for (std::size_t lane = 0; lane < k; ++lane) {
+          const std::size_t i = v * k + lane;
+          pr[i] = base[i] + y[i];
+        }
+      });
+    }
+  }
+  result.seconds_per_iteration =
+      result.iterations_run ? timer.elapsed_seconds() / result.iterations_run
+                            : 0.0;
+  // Back to original IDs, lane rows moving as contiguous blocks.
+  result.ranks.resize(pr.size());
+  for (vid_t v = 0; v < n; ++v) {
+    const std::size_t src = static_cast<std::size_t>(o2n[v]) * k;
+    const std::size_t dst = static_cast<std::size_t>(v) * k;
+    for (std::size_t lane = 0; lane < k; ++lane) {
+      result.ranks[dst + lane] = pr[src + lane];
+    }
+  }
+  return result;
+}
+
 PageRankResult pagerank(ThreadPool& pool, const Graph& g, SpmvKernel kernel,
                         const PageRankOptions& opt) {
   const vid_t n = g.num_vertices();

@@ -5,6 +5,7 @@
 // variant is directly comparable.
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -63,5 +64,17 @@ PageRankResult pagerank(ThreadPool& pool, const Graph& g, SpmvKernel kernel,
 PageRankResult pagerank_ihtl(ThreadPool& pool, const Graph& g,
                              const IhtlGraph& ig,
                              const PageRankOptions& opt = {});
+
+/// Batched personalized PageRank on the iHTL engine: lane l restarts into
+/// sources[l] (one-hot personalization), and every iteration advances all
+/// k = sources.size() lanes with a single batched SpMV traversal. `ranks`
+/// comes back as a vertex-major n×k array in the original ID space (lane l
+/// of vertex v at v*k + l). With tolerance > 0 the iteration stops once the
+/// summed L1 rank change across all lanes falls below tolerance * k (the
+/// per-lane average of the scalar criterion).
+PageRankResult pagerank_personalized_batch(ThreadPool& pool, const Graph& g,
+                                           const IhtlGraph& ig,
+                                           std::span<const vid_t> sources,
+                                           const PageRankOptions& opt = {});
 
 }  // namespace ihtl

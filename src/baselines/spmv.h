@@ -55,6 +55,50 @@ void spmv_pull_serial(const Graph& g, std::span<const value_t> x,
   }
 }
 
+/// Serial batched pull over vertex-major n×k arrays (element (v, lane) at
+/// v*k + lane): for every destination v and lane l,
+///     y[v*k+l] = combine over u in N-(v) of x[u*k+l].
+/// Ground truth for the engine's spmv_batch path — each lane is exactly
+/// spmv_pull_serial over that lane's strided vector.
+template <typename Monoid = PlusMonoid>
+void spmv_pull_serial_batch(const Graph& g, std::span<const value_t> x,
+                            std::span<value_t> y, std::size_t k) {
+  const Adjacency& in = g.in();
+  for (vid_t v = 0; v < g.num_vertices(); ++v) {
+    value_t* acc = y.data() + static_cast<std::size_t>(v) * k;
+    for (std::size_t lane = 0; lane < k; ++lane) {
+      acc[lane] = Monoid::identity();
+    }
+    for (const vid_t u : in.neighbors(v)) {
+      const value_t* xu = x.data() + static_cast<std::size_t>(u) * k;
+      for (std::size_t lane = 0; lane < k; ++lane) {
+        acc[lane] = Monoid::combine(acc[lane], xu[lane]);
+      }
+    }
+  }
+}
+
+/// Parallel batched pull: the plain-pull comparison baseline at batch k —
+/// one edge visit serves all k lanes of its source row.
+template <typename Monoid = PlusMonoid>
+void spmv_pull_batch(ThreadPool& pool, const Graph& g,
+                     std::span<const value_t> x, std::span<value_t> y,
+                     std::size_t k) {
+  const Adjacency& in = g.in();
+  parallel_for(pool, 0, g.num_vertices(), [&](std::uint64_t v, std::size_t) {
+    value_t* acc = y.data() + v * k;
+    for (std::size_t lane = 0; lane < k; ++lane) {
+      acc[lane] = Monoid::identity();
+    }
+    for (const vid_t u : in.neighbors(static_cast<vid_t>(v))) {
+      const value_t* xu = x.data() + static_cast<std::size_t>(u) * k;
+      for (std::size_t lane = 0; lane < k; ++lane) {
+        acc[lane] = Monoid::combine(acc[lane], xu[lane]);
+      }
+    }
+  });
+}
+
 /// Pull with edge-balanced destination chunks (GraphGrind-style).
 template <typename Monoid = PlusMonoid>
 void spmv_pull_edge_balanced(ThreadPool& pool, const Graph& g,

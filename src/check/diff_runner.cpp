@@ -75,7 +75,8 @@ CaseParams CaseParams::draw(std::uint64_t seed) {
   p.iterations = static_cast<unsigned>(2 + rng.next_below(3));
   p.source = static_cast<vid_t>(rng.next_below(1u << 20));
   p.x_seed = rng.next_u64();
-  const std::uint64_t push_roll = rng.next_below(6);  // appended (PR 3)
+  const std::uint64_t push_roll = rng.next_below(6);   // appended (PR 3)
+  const std::uint64_t batch_roll = rng.next_below(8);  // appended (PR 5)
 
   // Derived values (no draws): rolls map onto families/policies so the
   // degenerate shapes keep a fixed share of the lattice.
@@ -106,6 +107,17 @@ CaseParams CaseParams::draw(std::uint64_t seed) {
     p.push_policy = PushPolicy::shared;
   } else {
     p.push_policy = PushPolicy::single_owner;
+  }
+  // Half the lattice stays scalar; the rest splits across small powers of
+  // two, with k=8 (one cache line of doubles per row) the deepest point.
+  if (batch_roll < 4) {
+    p.batch = 1;
+  } else if (batch_roll < 6) {
+    p.batch = 2;
+  } else if (batch_roll == 6) {
+    p.batch = 4;
+  } else {
+    p.batch = 8;
   }
   return p;
 }
@@ -139,6 +151,7 @@ OracleOptions CaseParams::oracle_options() const {
   opt.iterations = iterations;
   opt.source = source;
   opt.x_seed = x_seed;
+  opt.batch = batch;
   return opt;
 }
 
@@ -148,7 +161,8 @@ std::string CaseParams::describe() const {
      << family_name(family) << " n=" << num_vertices << " workload="
      << workload_name(workload) << " threads=" << threads << " policy="
      << hub_policy_name(hub_policy) << " push="
-     << push_policy_name(push_policy) << " hubs/block=" << buffer_values
+     << push_policy_name(push_policy) << " batch=" << batch
+     << " hubs/block=" << buffer_values
      << " admission=" << admission_ratio << " minHubDeg=" << min_hub_in_degree
      << " fringe=" << (separate_fringe ? 1 : 0) << " build[loops="
      << (build.remove_self_loops ? 1 : 0) << ",dedup=" << (build.dedup ? 1 : 0)
@@ -223,6 +237,7 @@ CaseResult run_point(std::uint64_t seed, const DiffOptions& opt) {
   if (opt.force_threads > 0) p.threads = opt.force_threads;
   if (opt.force_workload) p.workload = *opt.force_workload;
   if (opt.force_push_policy) p.push_policy = *opt.force_push_policy;
+  if (opt.force_batch) p.batch = *opt.force_batch;
 
   const Graph g = make_case_graph(p);
   ThreadPool pool(p.threads);
@@ -448,7 +463,8 @@ std::string repro_snippet(const MinimizedCase& m) {
      << ";\n"
      << "  opt.iterations = " << p.iterations << ";\n"
      << "  opt.source = " << p.source << ";\n"
-     << "  opt.x_seed = " << p.x_seed << "ULL;\n";
+     << "  opt.x_seed = " << p.x_seed << "ULL;\n"
+     << "  opt.batch = " << p.batch << ";\n";
   if (m.injected_fault) {
     os << "  // The original run injected the drop-merge fault; without this\n"
        << "  // line the real engine passes and the repro proves nothing.\n"

@@ -75,6 +75,9 @@ struct CaseParams {
   unsigned iterations = 3;
   vid_t source = 0;  ///< BFS source (modulo |V| at use)
   std::uint64_t x_seed = 1;
+  /// Batch axis (appended after push_policy per the seed-stability
+  /// contract): lanes for the SpMV-shaped workloads; others ignore it.
+  std::size_t batch = 1;
 
   /// Draws a full point from `seed`. See the seed-stability contract above.
   static CaseParams draw(std::uint64_t seed);
@@ -108,6 +111,7 @@ struct DiffOptions {
   unsigned force_threads = 0;  ///< > 0 overrides CaseParams::threads
   std::optional<Workload> force_workload;
   std::optional<PushPolicy> force_push_policy;
+  std::optional<std::size_t> force_batch;  ///< overrides CaseParams::batch
   EngineOverride engine_override;  ///< fault injection (tests / --inject-fault)
   bool verbose = false;
   std::ostream* out = nullptr;  ///< progress stream (nullptr = silent)

@@ -60,6 +60,7 @@ struct Mismatch {
   vid_t vertex_new = 0;  ///< relabeled ID (== vertex_old when cls == none)
   VertexClass cls = VertexClass::none;
   int block = -1;        ///< owning flipped block for hubs, else -1
+  int lane = -1;         ///< batch lane for batched workloads, else -1
   unsigned iteration = 0;  ///< first divergent iteration (0-based)
   value_t expected = 0;
   value_t actual = 0;
@@ -126,6 +127,12 @@ struct OracleOptions {
   vid_t source = 0;          ///< BFS source (taken modulo |V|)
   std::uint64_t x_seed = 1;  ///< seed of the SpMV input vector
   double tolerance = 1e-9;   ///< relative tolerance for float workloads
+  /// Lanes for the SpMV-shaped workloads (spmv_plus/min/max): batch > 1
+  /// runs the engine's spmv_batch over `batch` independently seeded input
+  /// vectors against the serial batched pull, comparing every lane. Other
+  /// workloads (and fault-injected runs, whose override hook is scalar)
+  /// ignore it.
+  std::size_t batch = 1;
   EngineOverride plus_engine_override;  ///< test-only fault injection
 };
 

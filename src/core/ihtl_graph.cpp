@@ -241,7 +241,10 @@ bool IhtlGraph::valid(const Graph& original) const {
 
 namespace {
 
-constexpr char kMagic[8] = {'i', 'H', 'T', 'L', 'I', 'G', 'v', '1'};
+// v2: the header stamps sizeof(vid_t)/sizeof(eid_t) so files written by a
+// build with different type widths are rejected instead of loading garbage.
+constexpr char kMagic[8] = {'i', 'H', 'T', 'L', 'I', 'G', 'v', '2'};
+constexpr char kMagicV1[8] = {'i', 'H', 'T', 'L', 'I', 'G', 'v', '1'};
 
 void put(std::ofstream& out, const void* p, std::size_t bytes) {
   out.write(static_cast<const char*>(p), static_cast<std::streamsize>(bytes));
@@ -273,6 +276,8 @@ void IhtlGraph::save_binary(const std::string& path) const {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot open for write: " + path);
   put(out, kMagic, sizeof(kMagic));
+  const std::uint8_t widths[2] = {sizeof(vid_t), sizeof(eid_t)};
+  put(out, widths, sizeof(widths));
   put(out, &n_, sizeof(n_));
   put(out, &m_, sizeof(m_));
   put(out, &num_hubs_, sizeof(num_hubs_));
@@ -297,8 +302,24 @@ IhtlGraph IhtlGraph::load_binary(const std::string& path) {
   if (!in) throw std::runtime_error("cannot open for read: " + path);
   char magic[8];
   get(in, magic, sizeof(magic));
+  if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+    throw std::runtime_error(
+        "ihtl IhtlGraph file " + path +
+        " uses the v1 header (no type widths); regenerate it with this "
+        "version's save_binary");
+  }
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     throw std::runtime_error("not an ihtl IhtlGraph file: " + path);
+  }
+  std::uint8_t widths[2] = {0, 0};
+  get(in, widths, sizeof(widths));
+  if (widths[0] != sizeof(vid_t) || widths[1] != sizeof(eid_t)) {
+    throw std::runtime_error(
+        "ihtl IhtlGraph file " + path + " was written with vid_t=" +
+        std::to_string(widths[0]) + "B/eid_t=" + std::to_string(widths[1]) +
+        "B but this build uses vid_t=" + std::to_string(sizeof(vid_t)) +
+        "B/eid_t=" + std::to_string(sizeof(eid_t)) +
+        "B; regenerate the file with a matching build");
   }
   IhtlGraph ig;
   get(in, &ig.n_, sizeof(ig.n_));

@@ -241,6 +241,7 @@ class IhtlEngine {
       span_merge_ = reg->timer("spmv/merge");
       span_pull_ = reg->timer("spmv/pull");
       calls_ = reg->counter("spmv.calls");
+      batch_lanes_ = reg->counter("spmv.batch_lanes");
       push_chunk_items_ = reg->counter("spmv.push_chunk_items");
       sparse_chunk_items_ = reg->counter("spmv.sparse_chunk_items");
       merge_tiles_run_ = reg->counter("spmv.merge_tiles");
@@ -252,8 +253,8 @@ class IhtlEngine {
     } else {
       span_total_ = span_reset_ = span_push_ = span_merge_ = span_pull_ =
           telemetry::TimerStat();
-      calls_ = push_chunk_items_ = sparse_chunk_items_ = merge_tiles_run_ =
-          merge_tiles_skipped_ = reset_values_cleared_ =
+      calls_ = batch_lanes_ = push_chunk_items_ = sparse_chunk_items_ =
+          merge_tiles_run_ = merge_tiles_skipped_ = reset_values_cleared_ =
               reset_values_skipped_ = telemetry::Counter();
     }
   }
@@ -434,6 +435,217 @@ class IhtlEngine {
     reset_values_skipped_.add(0, stats_.reset_values_skipped);
   }
 
+  /// Batched SpMM-style variant: k right-hand-side vectors per traversal.
+  /// x and y are vertex-major n×k arrays (element (v, lane) at v*k + lane),
+  /// both in the new-ID space. The graph — blocks, chunks, tiles — is walked
+  /// exactly once per call; each random access (a hub-buffer slot in push, an
+  /// x row in pull) is amortized over the k lanes, and at k=8 doubles one
+  /// row is exactly one 64-byte cache line. The k-lane hub buffers live
+  /// beside the scalar ones (hub-major, hub h at offset h*k) with their own
+  /// touch bitmaps, so scalar and batched calls can interleave freely; both
+  /// are sized/reset lazily on first use at a given k. k==1 delegates to the
+  /// scalar path outright.
+  void spmv_batch(std::span<const value_t> x, std::span<value_t> y,
+                  std::size_t k) {
+    assert(k >= 1);
+    if (k == 1) {
+      spmv(x, y);
+      return;
+    }
+    const std::size_t n = ig_->num_vertices();
+    assert(x.size() == n * k);
+    assert(y.size() == n * k);
+    (void)n;
+    const vid_t num_hubs = ig_->num_hubs();
+    const std::size_t num_blocks = block_direct_.size();
+    const bool any_shared = single_owner_blocks_ < num_blocks;
+    stats_ = IhtlSpmvStats{};
+    telemetry::TraceBuffer* const trace = telemetry::TraceBuffer::active();
+    const std::uint32_t trace_push_block =
+        trace ? trace->intern("push-block") : 0;
+    Timer phase;
+
+    // Lane-widened buffers are (re)built whenever k changes; a fresh build
+    // is identity-initialized, so the first reset has nothing to clear.
+    if (any_shared && batch_k_ != k) {
+      batch_buffers_ = PerThread<value_t>(
+          pool_->size(), static_cast<std::size_t>(num_hubs) * k,
+          Monoid::identity());
+      batch_touched_ = TouchMatrix(pool_->size(), num_blocks);
+      batch_k_ = k;
+    }
+
+    // Phase 0: reset — identical touched-aware policy to the scalar path,
+    // over k-wide segments (hub h spans [h*k, (h+1)*k)).
+    std::optional<telemetry::perf::PhaseScope> hw;
+    hw.emplace(metrics_reg_, "spmv/reset");
+    if (any_shared) {
+      pool_->run([&](std::size_t tid) {
+        value_t* buf = batch_buffers_.get(tid);
+        std::uint64_t cleared = 0;
+        for (std::size_t b = 0; b < num_blocks; ++b) {
+          if (block_direct_[b] || !batch_touched_.test(tid, b)) continue;
+          const FlippedBlock& blk = ig_->blocks()[b];
+          value_t* seg = buf + static_cast<std::size_t>(blk.hub_begin) * k;
+          const std::size_t len = static_cast<std::size_t>(blk.num_hubs()) * k;
+          for (std::size_t i = 0; i < len; ++i) seg[i] = Monoid::identity();
+          cleared += len;
+        }
+        batch_touched_.clear_row(tid);
+        reset_tally_[tid] = {cleared,
+                             static_cast<std::uint64_t>(num_hubs) * k - cleared};
+      });
+      for (const PhaseTally& t : reset_tally_) {
+        stats_.reset_values_cleared += t.a;
+        stats_.reset_values_skipped += t.b;
+      }
+    } else {
+      stats_.reset_values_skipped =
+          static_cast<std::uint64_t>(pool_->size()) * num_hubs * k;
+    }
+    IHTL_IF_INVARIANTS({
+      for (std::size_t t = 0; t < pool_->size(); ++t) {
+        for (std::size_t i = 0; i < batch_buffers_.length(); ++i) {
+          IHTL_INVARIANT(batch_buffers_.get(t)[i] == Monoid::identity(),
+                         "batch buffer not identity after touched-aware reset");
+        }
+      }
+    });
+    times_.reset_s = phase.elapsed_seconds();
+    span_reset_.record_seconds(times_.reset_s);
+
+    // Phase 1: push. Same (block, source-chunk) decomposition as the scalar
+    // path; each edge updates a contiguous k-lane row of the hub buffer.
+    phase.reset();
+    hw.emplace(metrics_reg_, "spmv/push");
+    const bool per_block_hw =
+        per_block_hw_ && metrics_reg_ && telemetry::perf::available();
+    parallel_for(
+        *pool_, 0, push_chunks_.size(),
+        [&](std::uint64_t c, std::size_t tid) {
+          const PushChunk& chunk = push_chunks_[c];
+          const FlippedBlock& blk = ig_->blocks()[chunk.block];
+          const std::uint64_t t0 = trace ? trace->now_ns() : 0;
+          telemetry::PerfCounterValues hw0;
+          if (per_block_hw) hw0 = telemetry::perf::snapshot_this_thread();
+          value_t* buf;
+          if (chunk.direct) {
+            buf = y.data() + static_cast<std::size_t>(blk.hub_begin) * k;
+            const std::size_t len =
+                static_cast<std::size_t>(blk.num_hubs()) * k;
+            for (std::size_t i = 0; i < len; ++i) buf[i] = Monoid::identity();
+          } else {
+            batch_touched_.set(tid, chunk.block);
+            buf = batch_buffers_.get(tid) +
+                  static_cast<std::size_t>(blk.hub_begin) * k;
+          }
+          for (std::uint64_t v = chunk.sources.begin; v < chunk.sources.end;
+               ++v) {
+            const value_t* xv = x.data() + v * k;
+            for (const vid_t rel : blk.csr.neighbors(static_cast<vid_t>(v))) {
+              value_t* dst = buf + static_cast<std::size_t>(rel) * k;
+              for (std::size_t lane = 0; lane < k; ++lane) {
+                dst[lane] = Monoid::combine(dst[lane], xv[lane]);
+              }
+            }
+          }
+          if (per_block_hw && hw0.available) {
+            metrics_reg_->add_hw(
+                block_hw_paths_[chunk.block],
+                telemetry::perf::snapshot_this_thread().delta_since(hw0));
+          }
+          if (trace) {
+            trace->record(telemetry::TraceEventKind::phase, trace_push_block,
+                          t0, trace->now_ns() - t0,
+                          static_cast<std::uint32_t>(chunk.block),
+                          chunk.direct ? 1 : 0);
+          }
+        },
+        {.grain = 1});
+    times_.push_s = phase.elapsed_seconds();
+    span_push_.record_seconds(times_.push_s);
+
+    // Phase 2: merge. A scalar tile of [begin, end) hubs is the contiguous
+    // value range [begin*k, end*k) here — same streaming, k× longer runs.
+    phase.reset();
+    hw.emplace(metrics_reg_, "spmv/merge");
+    if (!merge_tiles_.empty()) {
+      for (PhaseTally& t : merge_tally_) t = PhaseTally{};
+      parallel_for(
+          *pool_, 0, merge_tiles_.size(),
+          [&](std::uint64_t i, std::size_t tid) {
+            const MergeTile& tile = merge_tiles_[i];
+            const std::size_t len =
+                static_cast<std::size_t>(tile.end - tile.begin) * k;
+            value_t* yt =
+                y.data() + static_cast<std::size_t>(tile.begin) * k;
+            for (std::size_t j = 0; j < len; ++j) yt[j] = Monoid::identity();
+            std::uint64_t streamed = 0;
+            for (std::size_t t = 0; t < pool_->size(); ++t) {
+              if (!batch_touched_.test(t, tile.block)) continue;
+              ++streamed;
+              const value_t* seg = batch_buffers_.get(t) +
+                                   static_cast<std::size_t>(tile.begin) * k;
+              for (std::size_t j = 0; j < len; ++j) {
+                yt[j] = Monoid::combine(yt[j], seg[j]);
+              }
+            }
+            merge_tally_[tid].a += streamed;
+            merge_tally_[tid].b += pool_->size() - streamed;
+          },
+          {.grain = 1});
+      stats_.merge_tiles = merge_tiles_.size();
+      for (const PhaseTally& t : merge_tally_) {
+        stats_.merge_segments_streamed += t.a;
+        stats_.merge_segments_skipped += t.b;
+      }
+    }
+    times_.merge_s = phase.elapsed_seconds();
+    span_merge_.record_seconds(times_.merge_s);
+
+    // Phase 3: pull. Edge-visited-once over the strided n×k array: each
+    // in-edge reads one contiguous k-lane x row into k private accumulators.
+    phase.reset();
+    hw.emplace(metrics_reg_, "spmv/pull");
+    const Adjacency& sparse = ig_->sparse();
+    parallel_for(
+        *pool_, 0, sparse_chunks_.size(),
+        [&](std::uint64_t p, std::size_t) {
+          for (std::uint64_t local = sparse_chunks_[p].begin;
+               local < sparse_chunks_[p].end; ++local) {
+            value_t* acc =
+                y.data() + (static_cast<std::size_t>(num_hubs) + local) * k;
+            for (std::size_t lane = 0; lane < k; ++lane) {
+              acc[lane] = Monoid::identity();
+            }
+            for (const vid_t u : sparse.neighbors(static_cast<vid_t>(local))) {
+              const value_t* xu = x.data() + static_cast<std::size_t>(u) * k;
+              for (std::size_t lane = 0; lane < k; ++lane) {
+                acc[lane] = Monoid::combine(acc[lane], xu[lane]);
+              }
+            }
+          }
+        },
+        {.grain = 1});
+    times_.pull_s = phase.elapsed_seconds();
+    span_pull_.record_seconds(times_.pull_s);
+    hw.reset();
+
+    span_total_.record_seconds(times_.total());
+    calls_.inc(0);
+    batch_lanes_.add(0, k);
+    push_chunk_items_.add(0, push_chunks_.size());
+    sparse_chunk_items_.add(0, sparse_chunks_.size());
+    merge_tiles_run_.add(0, stats_.merge_tiles);
+    merge_tiles_skipped_.add(0, stats_.merge_segments_skipped);
+    reset_values_cleared_.add(0, stats_.reset_values_cleared);
+    reset_values_skipped_.add(0, stats_.reset_values_skipped);
+  }
+
+  /// Lanes the batch buffers are currently sized for (0 until the first
+  /// spmv_batch call with k > 1).
+  std::size_t batch_lanes() const { return batch_k_; }
+
  private:
   /// Merge tile width in hub values: 4 KB of value_t, a whole number of
   /// cache lines, small enough that a tile plus one buffer segment per
@@ -463,6 +675,13 @@ class IhtlEngine {
   std::size_t single_owner_blocks_ = 0;
   PerThread<value_t> buffers_;
   TouchMatrix touched_;
+  // k-lane counterparts backing spmv_batch, (re)built lazily when the
+  // requested lane count changes; disjoint from the scalar pair so scalar
+  // and batched calls interleave without invalidating each other's touch
+  // bits.
+  PerThread<value_t> batch_buffers_;
+  TouchMatrix batch_touched_;
+  std::size_t batch_k_ = 0;
   std::vector<PushChunk> push_chunks_;
   std::vector<MergeTile> merge_tiles_;
   std::vector<Range> sparse_chunks_;
@@ -474,7 +693,8 @@ class IhtlEngine {
   std::vector<std::string> block_hw_paths_;
   telemetry::TimerStat span_total_, span_reset_, span_push_, span_merge_,
       span_pull_;
-  telemetry::Counter calls_, push_chunk_items_, sparse_chunk_items_,
+  telemetry::Counter calls_, batch_lanes_, push_chunk_items_,
+      sparse_chunk_items_,
       merge_tiles_run_, merge_tiles_skipped_, reset_values_cleared_,
       reset_values_skipped_;
 };
@@ -491,6 +711,31 @@ void ihtl_spmv_once(IhtlEngine<Monoid>& engine, std::span<const value_t> x,
   for (std::size_t v = 0; v < x.size(); ++v) xp[o2n[v]] = x[v];
   engine.spmv(xp, yp);
   for (std::size_t v = 0; v < y.size(); ++v) y[v] = yp[o2n[v]];
+}
+
+/// Batched counterpart of ihtl_spmv_once: permutes every lane of the
+/// vertex-major n×k arrays into the relabeled space, runs one batched SpMV,
+/// permutes back. A vertex's k-lane row moves as one contiguous block.
+template <typename Monoid>
+void ihtl_spmv_batch_once(IhtlEngine<Monoid>& engine,
+                          std::span<const value_t> x, std::span<value_t> y,
+                          std::size_t k) {
+  const auto& o2n = engine.graph().old_to_new();
+  const std::size_t n = o2n.size();
+  std::vector<value_t> xp(x.size()), yp(y.size());
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t nv = o2n[v];
+    for (std::size_t lane = 0; lane < k; ++lane) {
+      xp[nv * k + lane] = x[v * k + lane];
+    }
+  }
+  engine.spmv_batch(xp, yp, k);
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t nv = o2n[v];
+    for (std::size_t lane = 0; lane < k; ++lane) {
+      y[v * k + lane] = yp[nv * k + lane];
+    }
+  }
 }
 
 /// Engine-less variant. NOTE: constructs a fresh IhtlEngine — per-thread

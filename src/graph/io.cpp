@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -11,7 +12,11 @@ namespace ihtl {
 
 namespace {
 
-constexpr char kMagic[8] = {'i', 'H', 'T', 'L', 'G', 'R', 'v', '1'};
+// Container format v2: the header stamps the on-disk integer widths so a
+// file written with different vid_t/eid_t sizes is rejected with a clear
+// message instead of loading as garbage.
+constexpr char kMagic[8] = {'i', 'H', 'T', 'L', 'G', 'R', 'v', '2'};
+constexpr char kMagicV1[8] = {'i', 'H', 'T', 'L', 'G', 'R', 'v', '1'};
 
 void write_raw(std::ofstream& out, const void* data, std::size_t bytes) {
   out.write(static_cast<const char*>(data),
@@ -33,10 +38,22 @@ void write_adjacency(std::ofstream& out, const Adjacency& adj) {
   write_raw(out, adj.targets.data(), n_tgt * sizeof(vid_t));
 }
 
-Adjacency read_adjacency(std::ifstream& in) {
+/// Reads one adjacency, bounding the on-disk counts by the bytes actually
+/// left in the file: a corrupt count must produce a clean "corrupt
+/// adjacency" error, never a multi-GB resize / bad_alloc.
+Adjacency read_adjacency(std::ifstream& in, std::uint64_t file_size) {
   std::uint64_t n_off = 0, n_tgt = 0;
   read_raw(in, &n_off, sizeof(n_off));
   read_raw(in, &n_tgt, sizeof(n_tgt));
+  const auto pos = static_cast<std::uint64_t>(in.tellg());
+  const std::uint64_t remaining = file_size > pos ? file_size - pos : 0;
+  // Checked n_off*8 + n_tgt*4 <= remaining, without overflow.
+  if (n_off > remaining / sizeof(eid_t) ||
+      n_tgt > (remaining - n_off * sizeof(eid_t)) / sizeof(vid_t)) {
+    throw std::runtime_error(
+        "ihtl::load_graph_binary: corrupt adjacency (counts exceed file "
+        "size)");
+  }
   Adjacency adj;
   adj.offsets.resize(n_off);
   adj.targets.resize(n_tgt);
@@ -48,12 +65,21 @@ Adjacency read_adjacency(std::ifstream& in) {
   return adj;
 }
 
+std::uint64_t stream_size(std::ifstream& in) {
+  in.seekg(0, std::ios::end);
+  const auto size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
+  return size;
+}
+
 }  // namespace
 
 void save_graph_binary(const Graph& g, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) throw std::runtime_error("cannot open for write: " + path);
   write_raw(out, kMagic, sizeof(kMagic));
+  const std::uint8_t widths[2] = {sizeof(vid_t), sizeof(eid_t)};
+  write_raw(out, widths, sizeof(widths));
   write_adjacency(out, g.out());
   write_adjacency(out, g.in());
 }
@@ -61,13 +87,31 @@ void save_graph_binary(const Graph& g, const std::string& path) {
 Graph load_graph_binary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open for read: " + path);
+  const std::uint64_t file_size = stream_size(in);
   char magic[8];
   read_raw(in, magic, sizeof(magic));
+  if (std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) == 0) {
+    throw std::runtime_error(
+        "ihtl graph file " + path +
+        " uses the v1 header (no type widths); rewrite it with this "
+        "version's save_graph_binary / ihtl_convert");
+  }
   if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     throw std::runtime_error("not an ihtl graph file: " + path);
   }
-  Adjacency out_adj = read_adjacency(in);
-  Adjacency in_adj = read_adjacency(in);
+  std::uint8_t widths[2] = {0, 0};
+  read_raw(in, widths, sizeof(widths));
+  if (widths[0] != sizeof(vid_t) || widths[1] != sizeof(eid_t)) {
+    std::ostringstream msg;
+    msg << "ihtl graph file " << path << " was written with vid_t="
+        << unsigned{widths[0]} << "B/eid_t=" << unsigned{widths[1]}
+        << "B but this build uses vid_t=" << sizeof(vid_t)
+        << "B/eid_t=" << sizeof(eid_t)
+        << "B; regenerate the file with a matching build";
+    throw std::runtime_error(msg.str());
+  }
+  Adjacency out_adj = read_adjacency(in, file_size);
+  Adjacency in_adj = read_adjacency(in, file_size);
   return Graph(std::move(out_adj), std::move(in_adj));
 }
 
@@ -86,6 +130,8 @@ void save_edge_list(const Graph& g, const std::string& path) {
 Graph load_edge_list(const std::string& path, const BuildOptions& opt) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open for read: " + path);
+  // IDs must leave room for n = id + 1 to fit vid_t.
+  constexpr std::uint64_t kMaxId = std::numeric_limits<vid_t>::max() - 1;
   std::vector<Edge> edges;
   vid_t n = 0;
   bool n_known = false;
@@ -96,6 +142,10 @@ Graph load_edge_list(const std::string& path, const BuildOptions& opt) {
       std::istringstream hdr(line.substr(1));
       std::uint64_t hn = 0, hm = 0;
       if (hdr >> hn >> hm) {
+        if (hn > kMaxId + 1) {
+          throw std::runtime_error("vertex count overflows vid_t in " + path +
+                                   ": " + line);
+        }
         n = static_cast<vid_t>(hn);
         n_known = true;
         edges.reserve(hm);
@@ -106,6 +156,15 @@ Graph load_edge_list(const std::string& path, const BuildOptions& opt) {
     std::uint64_t s = 0, d = 0;
     if (!(ls >> s >> d)) {
       throw std::runtime_error("malformed edge line in " + path + ": " + line);
+    }
+    if (s > kMaxId || d > kMaxId) {
+      throw std::runtime_error("vertex id overflows vid_t in " + path + ": " +
+                               line);
+    }
+    if (n_known && (s >= n || d >= n)) {
+      throw std::runtime_error("vertex id exceeds declared count " +
+                               std::to_string(n) + " in " + path + ": " +
+                               line);
     }
     edges.push_back({static_cast<vid_t>(s), static_cast<vid_t>(d)});
     if (!n_known) {

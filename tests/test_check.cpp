@@ -161,6 +161,8 @@ TEST(SeedStability, DrawIsFrozen) {
   EXPECT_EQ(p.x_seed, 3664447913708261913ull);
   // Appended in PR 3 (push-policy axis); draws after x_seed per the contract.
   EXPECT_EQ(p.push_policy, PushPolicy::shared);
+  // Appended in PR 5 (batch axis); drawn after push_policy per the contract.
+  EXPECT_EQ(p.batch, 1u);
 }
 
 // The lattice's push-policy axis: every policy must pass the oracle under
@@ -182,6 +184,42 @@ TEST(SeedStability, PushPolicyLatticePinnedPerPolicyAndSemiring) {
           << workload_name(w) << ": " << failure->report.summary();
     }
   }
+}
+
+// The lattice's batch axis: every forced lane count must pass the oracle
+// under all three spmv semirings (pinned points, mirroring the push-policy
+// pinning above, so a regression in the k-lane buffers cannot hide behind
+// lattice sampling).
+TEST(SeedStability, BatchLatticePinnedPerLaneCountAndSemiring) {
+  for (const std::size_t batch : {std::size_t{2}, std::size_t{8}}) {
+    for (const Workload w :
+         {Workload::spmv_plus, Workload::spmv_min, Workload::spmv_max}) {
+      DiffOptions opt;
+      opt.base_seed = 2026;
+      opt.points = 4;
+      opt.force_batch = batch;
+      opt.force_workload = w;
+      const std::optional<CaseResult> failure = check::run_lattice(opt);
+      EXPECT_FALSE(failure.has_value())
+          << "batch " << batch << " workload " << workload_name(w) << ": "
+          << failure->report.summary();
+    }
+  }
+}
+
+// Fault injection must still be detected when the lattice point itself draws
+// a batch > 1: the scalar override path takes precedence (the hook wraps the
+// scalar spmv signature), so the self-test keeps proving the oracle bites.
+TEST(SeedStability, InjectedFaultDetectedWithForcedBatch) {
+  DiffOptions opt;
+  opt.base_seed = 2026;
+  opt.force_workload = Workload::spmv_plus;
+  opt.force_batch = 8;
+  opt.engine_override = check::drop_merge_fault();
+  const std::optional<CaseResult> failure = find_faulting_point(opt);
+  ASSERT_TRUE(failure.has_value())
+      << "no lattice point produced a flipped block";
+  EXPECT_FALSE(failure->report.ok);
 }
 
 TEST(Telemetry, CheckCountersGrow) {

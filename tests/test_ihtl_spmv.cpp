@@ -363,6 +363,148 @@ TEST(IhtlSpmvPolicy, OneShotEngineOverloadMatchesEngineless) {
   EXPECT_EQ(y1, y2);
 }
 
+// --- batched (SpMM-style) path ----------------------------------------------
+
+/// Runs the batched engine in original-ID space against the serial batched
+/// pull reference on vertex-major n×k arrays.
+template <typename Monoid = PlusMonoid>
+void expect_batch_matches_serial(const Graph& g, const IhtlConfig& cfg,
+                                 std::size_t threads, std::size_t k,
+                                 std::uint64_t seed,
+                                 PushPolicy policy = PushPolicy::automatic) {
+  ThreadPool pool(threads);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+  const auto x = random_values(g.num_vertices() * k, seed);
+  std::vector<value_t> expected(x.size()), y(x.size());
+  spmv_pull_serial_batch<Monoid>(g, x, expected, k);
+  IhtlEngine<Monoid> engine(ig, pool, policy);
+  ihtl_spmv_batch_once(engine, x, y, k);
+  expect_values_near(expected, y, 1e-9);
+}
+
+class IhtlSpmvBatch
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(IhtlSpmvBatch, MatchesSerialBatchPull) {
+  const auto [threads, k] = GetParam();
+  expect_batch_matches_serial(small_rmat(9, 8), cfg_with_hubs(16), threads, k,
+                              threads * 100 + k);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IhtlSpmvBatch,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),       // threads
+                       ::testing::Values(2u, 3u, 8u)),      // lanes
+    [](const auto& info) {
+      return "t" + std::to_string(std::get<0>(info.param)) + "_k" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(IhtlSpmvBatchPath, EachLaneMatchesScalarSpmv) {
+  // Lane l of one batched call must equal a scalar call over lane l's
+  // strided vector — the batched path changes layout, not semantics.
+  const Graph g = small_rmat(9, 8);
+  const std::size_t k = 4;
+  ThreadPool pool(1);  // bitwise-comparable per-chunk combine order
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  IhtlEngine<PlusMonoid> engine(ig, pool);
+  const vid_t n = g.num_vertices();
+  const auto xb = random_values(n * k, 71);
+  std::vector<value_t> yb(n * k);
+  std::vector<value_t> xbp(n * k), ybp(n * k);
+  const auto& o2n = ig.old_to_new();
+  for (vid_t v = 0; v < n; ++v) {
+    for (std::size_t lane = 0; lane < k; ++lane) {
+      xbp[static_cast<std::size_t>(o2n[v]) * k + lane] = xb[v * k + lane];
+    }
+  }
+  engine.spmv_batch(xbp, ybp, k);
+  for (std::size_t lane = 0; lane < k; ++lane) {
+    std::vector<value_t> xs(n), ys(n);
+    for (vid_t v = 0; v < n; ++v) xs[o2n[v]] = xb[v * k + lane];
+    engine.spmv(xs, ys);
+    for (vid_t v = 0; v < n; ++v) {
+      EXPECT_EQ(ys[o2n[v]], ybp[static_cast<std::size_t>(o2n[v]) * k + lane])
+          << "lane " << lane << " vertex " << v;
+    }
+  }
+}
+
+TEST(IhtlSpmvBatchPath, KOneDelegatesToScalar) {
+  const Graph g = small_rmat(9, 8);
+  ThreadPool pool(1);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  IhtlEngine<PlusMonoid> engine(ig, pool);
+  const auto x = random_values(g.num_vertices(), 72);
+  std::vector<value_t> xp(g.num_vertices());
+  for (vid_t v = 0; v < g.num_vertices(); ++v) xp[ig.old_to_new()[v]] = x[v];
+  std::vector<value_t> y1(xp.size()), y2(xp.size());
+  engine.spmv(xp, y1);
+  engine.spmv_batch(xp, y2, 1);
+  EXPECT_EQ(y1, y2);
+  EXPECT_EQ(engine.batch_lanes(), 0u);  // no k-lane buffers were built
+}
+
+TEST(IhtlSpmvBatchPath, ScalarAndBatchCallsInterleave) {
+  // Scalar and batched calls keep separate buffers + touch bits; mixing
+  // them (including changing k mid-stream) must never corrupt either path.
+  const Graph g = small_rmat(9, 8);
+  ThreadPool pool(2);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  IhtlEngine<PlusMonoid> engine(ig, pool);
+  const vid_t n = g.num_vertices();
+  const auto xs = random_values(n, 73);
+  std::vector<value_t> es(n);
+  spmv_pull_serial(g, xs, es);
+  for (const std::size_t k : {std::size_t{2}, std::size_t{8},
+                              std::size_t{2}}) {
+    const auto xb = random_values(n * k, 74 + k);
+    std::vector<value_t> eb(n * k), yb(n * k);
+    spmv_pull_serial_batch(g, xb, eb, k);
+    ihtl_spmv_batch_once(engine, xb, yb, k);
+    expect_values_near(eb, yb, 1e-9);
+    std::vector<value_t> ys(n);
+    ihtl_spmv_once(engine, xs, ys);
+    expect_values_near(es, ys, 1e-9);
+  }
+}
+
+TEST(IhtlSpmvBatchPath, MinMonoidBatchEquivalence) {
+  expect_batch_matches_serial<MinMonoid>(small_rmat(9, 8), cfg_with_hubs(16),
+                                         3, 4, 75);
+}
+
+TEST(IhtlSpmvBatchPath, MaxMonoidBatchEquivalence) {
+  expect_batch_matches_serial<MaxMonoid>(small_rmat(9, 8), cfg_with_hubs(16),
+                                         2, 4, 76);
+}
+
+TEST(IhtlSpmvBatchPath, ForcedPoliciesBatchEquivalence) {
+  for (const PushPolicy policy : {PushPolicy::automatic, PushPolicy::shared,
+                                  PushPolicy::single_owner}) {
+    expect_batch_matches_serial(small_rmat(9, 8), cfg_with_hubs(16), 3, 4, 77,
+                                policy);
+  }
+}
+
+TEST(IhtlSpmvBatchPath, ZeroHubGraphBatchEquivalence) {
+  std::vector<Edge> edges;
+  for (vid_t v = 0; v < 64; ++v) edges.push_back({v, (v + 1) % 64});
+  expect_batch_matches_serial(build_graph(64, edges), cfg_with_hubs(4), 2, 4,
+                              78);
+}
+
+TEST(IhtlSpmvBatchPath, ParallelPullBatchMatchesSerial) {
+  const Graph g = small_rmat(9, 8);
+  const std::size_t k = 4;
+  ThreadPool pool(3);
+  const auto x = random_values(g.num_vertices() * k, 79);
+  std::vector<value_t> expected(x.size()), y(x.size());
+  spmv_pull_serial_batch(g, x, expected, k);
+  spmv_pull_batch(pool, g, x, y, k);
+  expect_values_near(expected, y, 1e-12);
+}
+
 class AllDatasetsSpmvTest : public ::testing::TestWithParam<DatasetSpec> {};
 
 TEST_P(AllDatasetsSpmvTest, EquivalenceOnEveryDataset) {

@@ -72,6 +72,73 @@ TEST(GraphBinaryIo, RejectsTruncatedFile) {
   std::remove(path.c_str());
 }
 
+TEST(GraphBinaryIo, RejectsCorruptAdjacencyCounts) {
+  // A corrupt on-disk count must produce a clean "corrupt adjacency" error,
+  // never a multi-GB resize that dies in bad_alloc. The offset count here
+  // claims ~2^56 entries in a file a few hundred bytes long.
+  const Graph g = small_rmat(8, 4);
+  const std::string path = temp_path("corrupt_count.bin");
+  save_graph_binary(g, path);
+  {
+    std::fstream io(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+    io.seekp(10);  // first adjacency's n_off, just past magic + widths
+    const std::uint64_t huge = std::uint64_t{1} << 56;
+    io.write(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  }
+  try {
+    load_graph_binary(path);
+    FAIL() << "corrupt count accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("corrupt adjacency"),
+              std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphBinaryIo, RejectsV1HeaderWithClearMessage) {
+  const std::string path = temp_path("v1_header.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "iHTLGRv1";
+    // Arbitrary v1-era payload bytes.
+    const std::uint64_t zeros[4] = {0, 0, 0, 0};
+    out.write(reinterpret_cast<const char*>(zeros), sizeof(zeros));
+  }
+  try {
+    load_graph_binary(path);
+    FAIL() << "v1 file accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("v1 header"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphBinaryIo, RejectsTypeWidthMismatch) {
+  // A file stamped with 8-byte vertex ids must not load into this build's
+  // 4-byte vid_t; before the v2 header it deserialized as garbage.
+  const Graph g = small_rmat(8, 4);
+  const std::string path = temp_path("width_mismatch.bin");
+  save_graph_binary(g, path);
+  {
+    std::fstream io(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+    io.seekp(8);  // the width bytes directly after the magic
+    const std::uint8_t widths[2] = {8, 8};
+    io.write(reinterpret_cast<const char*>(widths), sizeof(widths));
+  }
+  try {
+    load_graph_binary(path);
+    FAIL() << "width mismatch accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("vid_t"), std::string::npos)
+        << e.what();
+  }
+  std::remove(path.c_str());
+}
+
 TEST(EdgeListIo, RoundTrip) {
   const Graph g = figure2_graph();
   const std::string path = temp_path("edges.txt");
@@ -100,6 +167,71 @@ TEST(EdgeListIo, RejectsMalformedLine) {
     out << "0 1\nbogus line\n";
   }
   EXPECT_THROW(load_edge_list(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, RejectsIdExceedingDeclaredCount) {
+  // The header declares 4 vertices; an endpoint of 7 used to be accepted
+  // silently and build an 8-vertex graph the header never promised.
+  const std::string path = temp_path("oversized_id.txt");
+  {
+    std::ofstream out(path);
+    out << "# 4 2\n0 1\n2 7\n";
+  }
+  try {
+    load_edge_list(path);
+    FAIL() << "out-of-range endpoint accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 7"), std::string::npos) << what;
+    EXPECT_NE(what.find("declared count 4"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, Rejects64BitIdTruncation) {
+  // 2^33 used to be static_cast down to vid_t (== 0) silently.
+  const std::string path = temp_path("truncated_id.txt");
+  {
+    std::ofstream out(path);
+    out << "0 8589934592\n";
+  }
+  try {
+    load_edge_list(path);
+    FAIL() << "64-bit id accepted";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("overflows vid_t"), std::string::npos) << what;
+    EXPECT_NE(what.find("8589934592"), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListIo, RejectsHeaderCountOverflow) {
+  const std::string path = temp_path("huge_header.txt");
+  {
+    std::ofstream out(path);
+    out << "# 8589934592 1\n0 1\n";
+  }
+  EXPECT_THROW(load_edge_list(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(IhtlGraphIo, RejectsTypeWidthMismatch) {
+  const Graph g = small_rmat(7, 4);
+  IhtlConfig cfg;
+  cfg.buffer_bytes = 8 * sizeof(value_t);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+  const std::string path = temp_path("ihtl_width_mismatch.bin");
+  ig.save_binary(path);
+  {
+    std::fstream io(path,
+                    std::ios::binary | std::ios::in | std::ios::out);
+    io.seekp(8);
+    const std::uint8_t widths[2] = {2, 4};
+    io.write(reinterpret_cast<const char*>(widths), sizeof(widths));
+  }
+  EXPECT_THROW(IhtlGraph::load_binary(path), std::runtime_error);
   std::remove(path.c_str());
 }
 

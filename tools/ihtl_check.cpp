@@ -51,6 +51,7 @@ int handle_failure(const CaseResult& failure, const DiffOptions& opt,
   if (opt.force_push_policy) {
     std::cerr << " --push-policy " << push_policy_name(*opt.force_push_policy);
   }
+  if (opt.force_batch) std::cerr << " --batch " << *opt.force_batch;
   if (opt.engine_override) std::cerr << " --inject-fault";
   std::cerr << "\n";
   if (!minimize) return 1;
@@ -91,6 +92,9 @@ int main(int argc, char** argv) {
   args.add_flag("threads", true, "force the thread count (0 = lattice)");
   args.add_flag("push-policy", true,
                 "force the engine push policy (auto, shared, single-owner)");
+  args.add_flag("batch", true,
+                "force the batch lane count for SpMV-shaped workloads "
+                "(0 = lattice; k>1 runs the batched engine path)");
   args.add_flag("inject-fault", false,
                 "swap in the broken drop-merge engine (self-test)");
   args.add_flag("inject-trace-drop", false,
@@ -139,6 +143,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     opt.force_push_policy = p;
+  }
+  if (args.has("batch")) {
+    const long long k = args.get_int("batch", 0);
+    if (k < 0) {
+      std::cerr << "error: --batch must be >= 1 (or 0 for the lattice)\n";
+      return 2;
+    }
+    if (k > 0) opt.force_batch = static_cast<std::size_t>(k);
   }
   if (args.has("inject-fault")) opt.engine_override = drop_merge_fault();
   std::optional<TraceDropFault> trace_drop;
