@@ -1,0 +1,265 @@
+// Serving throughput of the micro-batching admission queue: queries/sec of
+// concurrent single-source PPR requests through the Batcher at k = 1 (every
+// request its own traversal) vs k = max_lanes with a coalescing deadline.
+// This is the serving-side restatement of the spmm_batch result — k lanes
+// share every edge fetch, so coalesced requests amortize the traversal —
+// measured end to end through the admission queue, with the dispatch/
+// promise overhead included and the TCP layer excluded.
+//
+//   ./bench/serve_throughput                         # TwtrMpi bench scale
+//   ./bench/serve_throughput --min-speedup 1.2       # exit 1 unless k=8 wins
+//
+// Results are merged into BENCH_serve.json under a top-level "serve"
+// section; tools/bench_diff diffs them across commits.
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "cli/args.h"
+#include "serve/batcher.h"
+#include "serve/session.h"
+#include "telemetry/json.h"
+#include "telemetry/report.h"
+
+namespace {
+
+using namespace ihtl;
+using namespace ihtl::bench;
+using serve::QueryOp;
+using serve::QueryRequest;
+using telemetry::JsonValue;
+
+/// Loads an existing JSON snapshot to merge into; a missing or unreadable
+/// file just starts a fresh document (the section is self-contained).
+JsonValue load_snapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return JsonValue::object();
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    JsonValue doc = JsonValue::parse(buf.str());
+    if (doc.is_object()) return doc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "serve_throughput: existing %s not parseable (%s); "
+                 "rewriting\n",
+                 path.c_str(), e.what());
+  }
+  return JsonValue::object();
+}
+
+struct ConfigResult {
+  std::size_t max_lanes = 1;
+  unsigned delay_us = 0;
+  double seconds = 0.0;
+  double qps = 0.0;
+  double lane_occupancy = 0.0;
+  std::uint64_t flushes = 0;
+};
+
+/// Runs `producers` threads, each submitting `queries` single-source PPR
+/// requests with distinct sources (no two requests share a fingerprint, so
+/// the batcher — not any cache — is what's measured).
+ConfigResult run_config(serve::GraphSession& session, std::size_t max_lanes,
+                        unsigned delay_us, unsigned producers,
+                        unsigned queries, unsigned iterations) {
+  serve::BatcherOptions opt;
+  opt.max_lanes = max_lanes;
+  opt.max_delay = std::chrono::microseconds(delay_us);
+  serve::Batcher batcher(
+      opt, [&session](const serve::Batcher::Group& g) {
+        std::vector<vid_t> sources;
+        sources.reserve(g.lanes);
+        for (const QueryRequest& r : g.requests) {
+          sources.insert(sources.end(), r.sources.begin(), r.sources.end());
+        }
+        const std::vector<value_t> full = session.ppr_batch(
+            sources, g.requests.front().iterations,
+            g.requests.front().damping);
+        const vid_t n = session.num_vertices();
+        std::vector<std::vector<value_t>> out(g.requests.size());
+        std::size_t off = 0;
+        for (std::size_t i = 0; i < g.requests.size(); ++i) {
+          const std::size_t k = g.requests[i].lanes();
+          out[i].resize(static_cast<std::size_t>(n) * k);
+          for (vid_t v = 0; v < n; ++v) {
+            for (std::size_t lane = 0; lane < k; ++lane) {
+              out[i][static_cast<std::size_t>(v) * k + lane] =
+                  full[static_cast<std::size_t>(v) * g.lanes + off + lane];
+            }
+          }
+          off += k;
+        }
+        return out;
+      });
+
+  const vid_t n = session.num_vertices();
+  std::atomic<std::uint64_t> completed{0};
+  Timer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (unsigned p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (unsigned q = 0; q < queries; ++q) {
+        QueryRequest req;
+        req.op = QueryOp::ppr;
+        req.iterations = iterations;
+        req.sources.push_back(
+            static_cast<vid_t>((p * queries + q) % (n ? n : 1)));
+        batcher.submit(req);
+        completed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  ConfigResult r;
+  r.seconds = timer.elapsed_seconds();
+  batcher.stop();
+  r.max_lanes = max_lanes;
+  r.delay_us = delay_us;
+  r.qps = r.seconds > 0
+              ? static_cast<double>(completed.load()) / r.seconds
+              : 0.0;
+  r.lane_occupancy = batcher.mean_lane_occupancy();
+  r.flushes = batcher.flushes();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("out", true,
+                "snapshot to merge into (default BENCH_serve.json)");
+  args.add_flag("dataset", true, "dataset name (default TwtrMpi)");
+  args.add_flag("scale", true, "bench | large (default bench)");
+  args.add_flag("producers", true, "concurrent client threads (default 8)");
+  args.add_flag("queries", true, "queries per producer (default 24)");
+  args.add_flag("iterations", true, "PPR iterations per query (default 5)");
+  args.add_flag("max-lanes", true, "batched config lane count (default 8)");
+  args.add_flag("delay-us", true,
+                "batched config coalescing deadline (default 200)");
+  args.add_flag("threads", true, "worker threads (default hw concurrency)");
+  args.add_flag("min-speedup", true,
+                "exit 1 unless the batched config reaches this queries/sec "
+                "speedup over k=1 (default 0 = no check)");
+  args.add_flag("help", false, "show usage");
+  try {
+    args.parse(argc, argv);
+    if (args.has("help")) {
+      std::printf("usage: serve_throughput [flags]\n%s",
+                  args.help_text().c_str());
+      return 0;
+    }
+    const std::string out_path =
+        args.get_string("out", "BENCH_serve.json");
+    const std::string name = args.get_string("dataset", "TwtrMpi");
+    const std::string scale_name = args.get_string("scale", "bench");
+    DatasetScale scale;
+    if (scale_name == "large") {
+      scale = kWallClockScale;
+    } else if (scale_name == "bench") {
+      scale = kBenchScale;
+    } else {
+      throw std::invalid_argument("--scale must be 'bench' or 'large'");
+    }
+    const auto producers = static_cast<unsigned>(
+        std::max<std::int64_t>(1, args.get_int("producers", 8)));
+    const auto queries = static_cast<unsigned>(
+        std::max<std::int64_t>(1, args.get_int("queries", 24)));
+    const auto iterations = static_cast<unsigned>(
+        std::max<std::int64_t>(1, args.get_int("iterations", 5)));
+    const auto max_lanes = static_cast<std::size_t>(
+        std::max<std::int64_t>(2, args.get_int("max-lanes", 8)));
+    const auto delay_us =
+        static_cast<unsigned>(args.get_int("delay-us", 200));
+    const double min_speedup = args.get_double("min-speedup", 0.0);
+
+    const std::string what =
+        "queries/sec through the admission queue, k=1 vs k=" +
+        std::to_string(max_lanes);
+    print_header("serve_throughput", "micro-batched query serving",
+                 what.c_str());
+
+    const DatasetSpec& spec = dataset_spec(name);
+    Graph g = load_bench_graph(spec, scale);
+    print_dataset_line(g, spec);
+
+    serve::SessionOptions sopt;
+    sopt.ihtl = scale == DatasetScale::large ? hw_ihtl_config()
+                                             : scaled_ihtl_config();
+    sopt.threads =
+        static_cast<std::size_t>(args.get_int("threads", 0));
+    serve::GraphSession session(std::move(g), sopt);
+    std::printf("# preprocessing %.1fs, %u hubs\n",
+                session.preprocess_seconds(),
+                session.ihtl_graph().num_hubs());
+    std::printf("# %u producers x %u queries, PPR %u iteration(s)\n",
+                producers, queries, iterations);
+    std::printf("%-28s %12s %12s %10s %8s\n", "config", "seconds",
+                "queries/s", "occupancy", "flushes");
+
+    // k=1 first: every request flushes alone, the serving-layer analogue
+    // of scalar SpMV. Then the batched config.
+    const ConfigResult serial =
+        run_config(session, 1, 0, producers, queries, iterations);
+    std::printf("%-28s %12.3f %12.1f %10.2f %8llu\n", "k=1 (no batching)",
+                serial.seconds, serial.qps, serial.lane_occupancy,
+                static_cast<unsigned long long>(serial.flushes));
+    const ConfigResult batched = run_config(
+        session, max_lanes, delay_us, producers, queries, iterations);
+    std::ostringstream label;
+    label << "k=" << max_lanes << " / " << delay_us << "us";
+    std::printf("%-28s %12.3f %12.1f %10.2f %8llu\n",
+                label.str().c_str(), batched.seconds, batched.qps,
+                batched.lane_occupancy,
+                static_cast<unsigned long long>(batched.flushes));
+
+    const double speedup =
+        serial.qps > 0 ? batched.qps / serial.qps : 0.0;
+    std::printf("\nbatched speedup: %.2fx queries/sec "
+                "(lane occupancy %.2f of %zu)\n",
+                speedup, batched.lane_occupancy, max_lanes);
+
+    JsonValue doc = load_snapshot(out_path);
+    JsonValue section = JsonValue::object();
+    JsonValue run = JsonValue::object();
+    run.set("dataset", spec.name);
+    run.set("scale", scale_name);
+    run.set("producers", static_cast<std::uint64_t>(producers));
+    run.set("queries_per_producer", static_cast<std::uint64_t>(queries));
+    run.set("ppr_iterations", static_cast<std::uint64_t>(iterations));
+    section.set("run", std::move(run));
+    JsonValue gauges = JsonValue::object();
+    gauges.set("serve.qps_k1", serial.qps);
+    gauges.set("serve.qps_batched", batched.qps);
+    gauges.set("serve.speedup", speedup);
+    gauges.set("serve.lane_occupancy", batched.lane_occupancy);
+    gauges.set("serve.k1.total_s", serial.seconds);
+    gauges.set("serve.batched.total_s", batched.seconds);
+    section.set("gauges", std::move(gauges));
+    JsonValue counters = JsonValue::object();
+    counters.set("serve.k1.flushes", serial.flushes);
+    counters.set("serve.batched.flushes", batched.flushes);
+    section.set("counters", std::move(counters));
+    doc.set("serve", std::move(section));
+    telemetry::write_json_file(doc, out_path);
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (min_speedup > 0.0 && speedup < min_speedup) {
+      std::fprintf(stderr,
+                   "serve_throughput: speedup %.2fx below required %.2fx\n",
+                   speedup, min_speedup);
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "serve_throughput: %s\n", e.what());
+    return 1;
+  }
+}

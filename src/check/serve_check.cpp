@@ -1,0 +1,372 @@
+#include "check/serve_check.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "gen/datasets.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "telemetry/json.h"
+
+namespace ihtl::check {
+
+namespace {
+
+using serve::QueryOp;
+using serve::QueryRequest;
+using telemetry::JsonValue;
+
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Tiny deterministic stream over one point's seed; the lattice draws and
+/// every client workload come from here, so a point is reproducible from
+/// (base_seed, index) alone.
+struct Draw {
+  std::uint64_t state;
+  std::uint64_t next() { return state = splitmix64(state); }
+  std::uint64_t next(std::uint64_t bound) { return next() % bound; }
+};
+
+/// One point's configuration, fully derived from its seed.
+struct ServePoint {
+  std::string dataset;
+  unsigned threads = 1;
+  std::size_t max_lanes = 8;
+  unsigned delay_us = 200;
+  std::size_t cache_bytes = 8u << 20;
+  unsigned clients = 4;
+  std::string describe() const {
+    std::ostringstream s;
+    s << "dataset=" << dataset << " threads=" << threads
+      << " max_lanes=" << max_lanes << " delay_us=" << delay_us
+      << " cache=" << (cache_bytes ? "on" : "off")
+      << " clients=" << clients;
+    return s.str();
+  }
+};
+
+ServePoint draw_point(Draw& d, const ServeCheckOptions& opt) {
+  ServePoint p;
+  // Social + web shapes, both skew extremes; tiny keeps a point sub-second.
+  static const char* kDatasets[] = {"TwtrMpi", "Frndstr", "SK", "UU"};
+  p.dataset = kDatasets[d.next(4)];
+  // Biased to 1 thread: that is the bit-identical configuration, the
+  // strongest comparison the check can make.
+  static const unsigned kThreads[] = {1, 1, 2, 4};
+  p.threads = opt.force_threads ? opt.force_threads : kThreads[d.next(4)];
+  static const std::size_t kLanes[] = {1, 2, 4, 8};
+  p.max_lanes = kLanes[d.next(4)];
+  static const unsigned kDelay[] = {0, 50, 200, 1000};
+  p.delay_us = kDelay[d.next(4)];
+  p.cache_bytes = d.next(4) == 0 ? 0 : (8u << 20);
+  static const unsigned kClients[] = {2, 4, 8};
+  p.clients = opt.force_clients ? opt.force_clients : kClients[d.next(3)];
+  return p;
+}
+
+/// Seeded mixed workload of one client (mirrors ihtl_query --mix, but
+/// independent — the check must not depend on the CLI layer).
+std::vector<QueryRequest> make_workload(Draw d, unsigned count, vid_t n) {
+  std::vector<QueryRequest> out;
+  out.reserve(count);
+  const vid_t pool = std::min<vid_t>(n ? n : 1, 64);
+  for (unsigned i = 0; i < count; ++i) {
+    QueryRequest req;
+    switch (d.next(3)) {
+      case 0:
+        req.op = QueryOp::ppr;
+        req.iterations = 4;
+        break;
+      case 1:
+        req.op = QueryOp::bfs;
+        break;
+      default:
+        req.op = QueryOp::spmv;
+        req.x_seed = d.next(8);
+        break;
+    }
+    if (req.op != QueryOp::spmv) {
+      const std::size_t k = 1 + d.next(4);
+      for (std::size_t j = 0; j < k; ++j) {
+        req.sources.push_back(static_cast<vid_t>(d.next(pool)));
+      }
+    }
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+/// Serial oracle: answer one request alone on the 1-thread session.
+std::vector<value_t> oracle_answer(serve::GraphSession& oracle,
+                                   const QueryRequest& req) {
+  switch (req.op) {
+    case QueryOp::ppr:
+      return oracle.ppr_batch(req.sources, req.iterations, req.damping);
+    case QueryOp::bfs:
+      return oracle.bfs_batch(req.sources);
+    default: {
+      const std::uint64_t seed = req.x_seed;
+      return oracle.spmv_batch(std::span<const std::uint64_t>(&seed, 1));
+    }
+  }
+}
+
+/// Bitwise when exact, else relative 1e-9 (or 1e-9 absolute near zero).
+bool values_match(const std::vector<value_t>& got,
+                  const std::vector<value_t>& want, bool exact,
+                  std::string* why) {
+  if (got.size() != want.size()) {
+    if (why) {
+      *why = "size mismatch: got " + std::to_string(got.size()) +
+             ", want " + std::to_string(want.size());
+    }
+    return false;
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    bool ok;
+    if (exact) {
+      // Bitwise: distinguishes -0.0/0.0 and NaN patterns, the strongest
+      // statement that batching composition changed nothing.
+      ok = std::memcmp(&got[i], &want[i], sizeof(value_t)) == 0;
+    } else {
+      const double scale = std::max(std::fabs(want[i]), 1.0);
+      ok = std::fabs(got[i] - want[i]) <= 1e-9 * scale;
+    }
+    if (!ok) {
+      if (why) {
+        std::ostringstream s;
+        s.precision(17);
+        s << "index " << i << ": got " << got[i] << ", want " << want[i]
+          << (exact ? " (bitwise)" : " (rel 1e-9)");
+        *why = s.str();
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parses the "values" array of an ok response.
+bool parse_values(const JsonValue& resp, std::vector<value_t>& out,
+                  bool& cached, std::string* why) {
+  const JsonValue* ok = resp.find("ok");
+  if (!ok || !ok->is_bool() || !ok->as_bool()) {
+    const JsonValue* err = resp.find("error");
+    if (why) {
+      *why = "server error: " +
+             (err && err->is_string() ? err->as_string() : "(none)");
+    }
+    return false;
+  }
+  const JsonValue* c = resp.find("cached");
+  cached = c && c->is_bool() && c->as_bool();
+  const JsonValue* values = resp.find("values");
+  if (!values || !values->is_array()) {
+    if (why) *why = "response has no values array";
+    return false;
+  }
+  out.clear();
+  out.reserve(values->items().size());
+  for (const JsonValue& v : values->items()) {
+    // BFS unreachable travels as -1; non-finite would arrive as null.
+    if (!v.is_number()) {
+      if (why) *why = "non-numeric value in response";
+      return false;
+    }
+    out.push_back(v.as_number());
+  }
+  return true;
+}
+
+struct PointFailure {
+  std::mutex mutex;
+  std::string message;  ///< first failure wins
+  void record(const std::string& m) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (message.empty()) message = m;
+  }
+  bool failed() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return !message.empty();
+  }
+};
+
+/// Runs one lattice point; returns the failure description or "".
+std::string run_point(std::uint64_t point_seed, const ServeCheckOptions& opt,
+                      std::uint64_t& queries_checked) {
+  Draw draw{point_seed};
+  const ServePoint p = draw_point(draw, opt);
+
+  Graph g = make_dataset(p.dataset, DatasetScale::tiny);
+  const vid_t n = g.num_vertices();
+
+  // The oracle session: same preprocessing, one thread, answers each
+  // request alone. Computed up front (its engine allows one caller).
+  serve::SessionOptions oracle_opt;
+  oracle_opt.threads = 1;
+  serve::GraphSession oracle(g, oracle_opt);
+
+  std::vector<std::vector<QueryRequest>> workloads(p.clients);
+  std::vector<std::vector<std::vector<value_t>>> expected(p.clients);
+  for (unsigned c = 0; c < p.clients; ++c) {
+    workloads[c] =
+        make_workload(Draw{splitmix64(point_seed ^ (c + 1))},
+                      opt.queries_per_client, n);
+    for (const QueryRequest& req : workloads[c]) {
+      expected[c].push_back(oracle_answer(oracle, req));
+    }
+  }
+
+  serve::SessionOptions sopt;
+  sopt.threads = p.threads;
+  serve::GraphSession session(std::move(g), sopt);
+  serve::ServerOptions server_opt;
+  server_opt.max_lanes = p.max_lanes;
+  server_opt.max_batch_delay = std::chrono::microseconds(p.delay_us);
+  server_opt.cache_bytes = p.cache_bytes;
+  server_opt.fault = opt.fault;
+  serve::Server server(session, server_opt);
+
+  // Exact when one compute thread (deterministic chunk order) or min-
+  // monoid ops; bfs stays exact at any thread count.
+  const bool exact_all = p.threads == 1;
+
+  PointFailure failure;
+  std::atomic<std::uint64_t> checked{0};
+  std::vector<std::thread> clients;
+  clients.reserve(p.clients);
+  for (unsigned c = 0; c < p.clients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        serve::Client client;
+        client.connect("127.0.0.1", server.port());
+        // Two passes over the same workload: pass 2 re-sends identical
+        // fingerprints, so with the cache on its answers must come back
+        // cached AND equal — the cache-coherence half of the check.
+        for (int pass = 0; pass < 2; ++pass) {
+          for (std::size_t q = 0; q < workloads[c].size(); ++q) {
+            if (failure.failed()) return;
+            const QueryRequest& req = workloads[c][q];
+            const JsonValue resp = client.roundtrip(req);
+            std::vector<value_t> got;
+            bool cached = false;
+            std::string why;
+            if (!parse_values(resp, got, cached, &why)) {
+              failure.record("client " + std::to_string(c) + " query " +
+                             std::to_string(q) + ": " + why);
+              return;
+            }
+            // A cached answer is the stored computed vector verbatim, so
+            // the same exactness rule applies to both passes.
+            const bool exact = exact_all || req.op == QueryOp::bfs;
+            if (!values_match(got, expected[c][q], exact, &why)) {
+              failure.record("client " + std::to_string(c) + " query " +
+                             std::to_string(q) + " (" +
+                             serve::op_name(req.op) + ", pass " +
+                             std::to_string(pass) + "): " + why);
+              return;
+            }
+            checked.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      } catch (const std::exception& e) {
+        failure.record("client " + std::to_string(c) +
+                       " transport: " + e.what());
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // Cache-hit floor: every pass-2 query re-sent an already-answered
+  // fingerprint (put-before-respond guarantees visibility).
+  if (!failure.failed() && p.cache_bytes > 0) {
+    serve::Client client;
+    client.connect("127.0.0.1", server.port());
+    QueryRequest stats;
+    stats.op = QueryOp::stats;
+    const JsonValue resp = client.roundtrip(stats);
+    const JsonValue* s = resp.find("stats");
+    const JsonValue* gauges = s ? s->find("gauges") : nullptr;
+    const JsonValue* hits =
+        gauges ? gauges->find("serve.cache.hits") : nullptr;
+    const double floor =
+        static_cast<double>(p.clients) * opt.queries_per_client;
+    if (!hits || !hits->is_number() || hits->as_number() < floor) {
+      std::ostringstream why;
+      why << "cache hits " << (hits ? hits->as_number() : -1)
+          << " below the duplicate-pass floor " << floor;
+      failure.record(why.str());
+    }
+  }
+
+  // Epoch contract: bump, re-send one query — must recompute (cached
+  // false) and still match the oracle (the graph did not actually change).
+  if (!failure.failed() && !workloads.empty() && !workloads[0].empty()) {
+    serve::Client client;
+    client.connect("127.0.0.1", server.port());
+    QueryRequest bump;
+    bump.op = QueryOp::bump_epoch;
+    client.roundtrip(bump);
+    const QueryRequest& req = workloads[0][0];
+    const JsonValue resp = client.roundtrip(req);
+    std::vector<value_t> got;
+    bool cached = false;
+    std::string why;
+    if (!parse_values(resp, got, cached, &why)) {
+      failure.record("post-bump query: " + why);
+    } else if (cached) {
+      failure.record("post-bump answer still served from cache");
+    } else if (!values_match(got, expected[0][0],
+                             exact_all || req.op == QueryOp::bfs, &why)) {
+      failure.record("post-bump recompute diverged: " + why);
+    } else {
+      checked.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  server.stop();
+  queries_checked += checked.load();
+  std::lock_guard<std::mutex> lock(failure.mutex);
+  return failure.message;
+}
+
+}  // namespace
+
+ServeCheckResult run_serve_lattice(const ServeCheckOptions& opt) {
+  ServeCheckResult result;
+  for (std::size_t i = 0; i < opt.points; ++i) {
+    const std::uint64_t point_seed = splitmix64(opt.base_seed + i);
+    Draw d{point_seed};
+    if (opt.verbose && opt.out) {
+      (*opt.out) << "serve point " << i << " (seed " << point_seed
+                 << "): " << draw_point(d, opt).describe() << "\n";
+    }
+    const std::string failure = run_point(point_seed, opt,
+                                          result.queries_checked);
+    ++result.points_run;
+    if (!failure.empty()) {
+      result.ok = false;
+      std::ostringstream s;
+      Draw d2{point_seed};
+      s << "serve point " << i << " (seed " << point_seed << ", "
+        << draw_point(d2, opt).describe() << "): " << failure;
+      result.failure = s.str();
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace ihtl::check

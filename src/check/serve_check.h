@@ -1,0 +1,50 @@
+// Concurrent-client differential check of the serve subsystem.
+//
+// A SEPARATE lattice from diff_runner's (the CaseParams seed-stability
+// contract stays untouched): each point builds one dataset, starts a real
+// Server on a loopback TCP port, fires N concurrent clients with seeded
+// mixed ppr/bfs/spmv workloads, and compares every response against a
+// serial oracle — a second 1-thread GraphSession answering each request
+// alone, with no batching, no cache, and no concurrency. The comparison is
+// BITWISE when the server computes with one thread or the op is bfs (min
+// is order-independent), and within 1e-9 relative tolerance otherwise
+// (plus-reduction order varies under work stealing).
+//
+// Each point also exercises the caching contract (a repeated pass must be
+// served from cache, verbatim) and the epoch contract (bump-epoch forces a
+// recompute that still matches the oracle). Fault injection (delayed /
+// dropped batch flushes) stresses the deadline path: answers must stay
+// correct, only latency may change.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "serve/batcher.h"
+
+namespace ihtl::check {
+
+struct ServeCheckOptions {
+  std::uint64_t base_seed = 2026;
+  std::size_t points = 4;
+  unsigned force_clients = 0;  ///< 0 = lattice (2/4/8)
+  unsigned force_threads = 0;  ///< 0 = lattice (biased to 1 = exact compare)
+  unsigned queries_per_client = 6;
+  serve::FlushFault fault;  ///< injected into every point's batcher
+  bool verbose = false;
+  std::ostream* out = nullptr;  ///< progress/diagnostics (nullptr = silent)
+};
+
+struct ServeCheckResult {
+  bool ok = true;
+  std::size_t points_run = 0;
+  std::uint64_t queries_checked = 0;
+  std::string failure;  ///< first failing point's description, empty if ok
+};
+
+/// Runs the serve lattice; every point is reproducible from
+/// (base_seed, point index) alone.
+ServeCheckResult run_serve_lattice(const ServeCheckOptions& opt);
+
+}  // namespace ihtl::check

@@ -8,6 +8,12 @@
 //                  triangles) with a chosen kernel and print results
 //   ihtl_profile — per-phase hardware-counter profile of the iHTL SpMV
 //                  against the pull baseline (the paper's Table 3)
+//   ihtl_serve   — long-lived query daemon: load a graph once, serve
+//                  ppr / multi-source bfs / spmv over TCP with
+//                  micro-batching and a result cache
+//   ihtl_query   — client for ihtl_serve: single queries or a seeded
+//                  concurrent mixed workload
+//   bench_diff   — diff two telemetry JSON snapshots, flag regressions
 #pragma once
 
 namespace ihtl {
@@ -18,5 +24,8 @@ int cmd_convert(int argc, const char* const* argv);
 int cmd_info(int argc, const char* const* argv);
 int cmd_run(int argc, const char* const* argv);
 int cmd_profile(int argc, const char* const* argv);
+int cmd_serve(int argc, const char* const* argv);
+int cmd_query(int argc, const char* const* argv);
+int cmd_bench_diff(int argc, const char* const* argv);
 
 }  // namespace ihtl

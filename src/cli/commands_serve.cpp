@@ -1,0 +1,361 @@
+// cmd_serve / cmd_query — the query daemon and its line client.
+//
+// ihtl_serve loads (or generates) a graph ONCE, preprocesses it into the
+// iHTL layout, and then answers ppr/bfs/spmv queries over the TCP protocol
+// in serve/protocol.h until a shutdown op or SIGTERM-by-ctrl-c. ihtl_query
+// is the matching client: single queries, or a seeded mixed workload from
+// N concurrent connections (the CI smoke test's hammer).
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/args.h"
+#include "cli/commands.h"
+#include "cli/common.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "telemetry/json.h"
+
+namespace ihtl {
+
+namespace {
+
+using serve::QueryOp;
+using serve::QueryRequest;
+using telemetry::JsonValue;
+
+}  // namespace
+
+int cmd_serve(int argc, const char* const* argv) {
+  ArgParser args;
+  add_common_input_flags(args);
+  args.add_flag("port", true, "TCP port on 127.0.0.1 (default 0 = ephemeral)");
+  args.add_flag("port-file", true,
+                "write the bound port here once listening (scripts poll "
+                "this instead of parsing stdout)");
+  args.add_flag("threads", true, "worker threads (default hw concurrency)");
+  args.add_flag("max-lanes", true,
+                "batch lanes per flush, k of spmv_batch (default 8)");
+  args.add_flag("max-batch-delay-us", true,
+                "micro-batching deadline: max extra latency a request pays "
+                "waiting for lane-mates (default 200)");
+  args.add_flag("cache-bytes", true,
+                "result-cache byte budget, 0 disables (default 64 MiB)");
+  args.add_flag("metrics-out", true,
+                "write a JSON telemetry report here on shutdown");
+  args.add_flag("metrics-interval-ms", true,
+                "also rewrite --metrics-out every N ms while serving "
+                "(atomic replace; default 0 = only on shutdown)");
+  args.add_flag("inject-flush-delay-us", true,
+                "fault injection: stall every batch flush this long");
+  args.add_flag("inject-flush-drops", true,
+                "fault injection: re-queue the first N flushes");
+  try {
+    args.parse(argc, argv);
+    if (args.has("help")) return usage("ihtl_serve", args);
+
+    OutputFileGuard metrics;
+    if (!metrics.open(args, "metrics-out", "ihtl_serve")) return 1;
+    // The guard only validates writability; the server rewrites the path
+    // atomically itself (tmp + rename), so release the pre-opened handle.
+    if (metrics.file.is_open()) metrics.file.close();
+
+    const Graph g = load_input_graph(args);
+    std::fprintf(stderr, "loaded graph: %u vertices, %llu edges\n",
+                 g.num_vertices(),
+                 static_cast<unsigned long long>(g.num_edges()));
+
+    serve::SessionOptions sopt;
+    sopt.ihtl = config_from_args(args);
+    sopt.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    serve::ServerOptions opt;
+    opt.port = static_cast<std::uint16_t>(args.get_int("port", 0));
+    opt.max_lanes = static_cast<std::size_t>(args.get_int("max-lanes", 8));
+    opt.max_batch_delay =
+        std::chrono::microseconds(args.get_int("max-batch-delay-us", 200));
+    opt.cache_bytes =
+        static_cast<std::size_t>(args.get_int("cache-bytes", 64 << 20));
+    opt.fault.delay_us =
+        static_cast<unsigned>(args.get_int("inject-flush-delay-us", 0));
+    opt.fault.drop_flushes =
+        static_cast<unsigned>(args.get_int("inject-flush-drops", 0));
+
+    serve::GraphSession session(std::move(g), sopt);
+    std::fprintf(stderr, "iHTL preprocessing: %u hubs, %zu block(s) (%.1fs)\n",
+                 session.ihtl_graph().num_hubs(),
+                 session.ihtl_graph().blocks().size(),
+                 session.preprocess_seconds());
+    serve::Server server(session, opt);
+
+    // Port first to stdout (parseable), then the port file: a script that
+    // saw the file can connect immediately.
+    std::printf("listening on 127.0.0.1:%u\n", server.port());
+    std::fflush(stdout);
+    const std::string port_file = args.get_string("port-file");
+    if (!port_file.empty()) {
+      std::ofstream pf(port_file);
+      pf << server.port() << "\n";
+      if (!pf) {
+        std::fprintf(stderr, "ihtl_serve: cannot write --port-file %s\n",
+                     port_file.c_str());
+        server.stop();
+        return 1;
+      }
+    }
+
+    const auto interval_ms = args.get_int("metrics-interval-ms", 0);
+    std::thread dumper;
+    std::atomic<bool> dump_stop{false};
+    if (!metrics.path.empty() && interval_ms > 0) {
+      dumper = std::thread([&] {
+        while (!dump_stop.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+          if (dump_stop.load(std::memory_order_acquire)) break;
+          try {
+            server.dump_metrics(metrics.path);
+          } catch (const std::exception&) {
+            // Periodic dump failures are non-fatal; the shutdown dump
+            // reports them.
+          }
+        }
+      });
+    }
+
+    server.wait();
+    server.stop();
+    dump_stop.store(true, std::memory_order_release);
+    if (dumper.joinable()) dumper.join();
+
+    if (!metrics.path.empty()) {
+      server.dump_metrics(metrics.path);
+      metrics.keep = true;
+      std::fprintf(stderr, "wrote metrics to %s\n", metrics.path.c_str());
+    }
+    std::fprintf(stderr, "served %llu request(s)\n",
+                 static_cast<unsigned long long>(server.requests_served()));
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ihtl_serve: %s\n", e.what());
+    return 1;
+  }
+}
+
+namespace {
+
+/// Seeded mixed workload of one client thread: `count` queries drawn from
+/// ppr/bfs/spmv with small source sets. Drawn per-thread from (seed,
+/// thread id), so N threads send distinct but reproducible streams.
+std::vector<QueryRequest> make_workload(std::uint64_t seed, unsigned count,
+                                        vid_t num_vertices) {
+  std::mt19937_64 rng(seed);
+  std::vector<QueryRequest> out;
+  out.reserve(count);
+  const vid_t n = num_vertices ? num_vertices : 1;
+  for (unsigned i = 0; i < count; ++i) {
+    QueryRequest req;
+    switch (rng() % 3) {
+      case 0:
+        req.op = QueryOp::ppr;
+        req.iterations = 5;
+        break;
+      case 1:
+        req.op = QueryOp::bfs;
+        break;
+      default:
+        req.op = QueryOp::spmv;
+        req.x_seed = rng() % 16;
+        break;
+    }
+    if (req.op != QueryOp::spmv) {
+      const std::size_t k = 1 + rng() % 4;
+      for (std::size_t j = 0; j < k; ++j) {
+        // Narrow source pool → duplicate fingerprints across threads → the
+        // cache-hit assertion has something to assert.
+        req.sources.push_back(static_cast<vid_t>(rng() % std::min<vid_t>(
+                                                     n, 64)));
+      }
+    }
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+}  // namespace
+
+int cmd_query(int argc, const char* const* argv) {
+  ArgParser args;
+  args.add_flag("host", true, "server host (default 127.0.0.1)");
+  args.add_flag("port", true, "server port (required unless --port-file)");
+  args.add_flag("port-file", true, "read the port from this file");
+  args.add_flag("op", true, "single query: ppr | bfs | spmv | stats | "
+                            "bump-epoch | shutdown");
+  args.add_flag("source", true,
+                "source vertex for ppr/bfs; repeatable via comma list");
+  args.add_flag("iterations", true, "ppr iterations (default 10)");
+  args.add_flag("damping", true, "ppr damping (default 0.85)");
+  args.add_flag("x-seed", true, "spmv input-vector seed (default 1)");
+  args.add_flag("no-cache", false, "bypass the server's result cache");
+  args.add_flag("mix", true,
+                "instead of --op: run a seeded mixed workload of N queries "
+                "per client thread, sent twice (second pass must hit the "
+                "cache)");
+  args.add_flag("clients", true, "concurrent client threads for --mix "
+                                 "(default 4)");
+  args.add_flag("seed", true, "workload seed for --mix (default 42)");
+  args.add_flag("vertices", true,
+                "source-id upper bound for --mix (default 64)");
+  args.add_flag("assert-cache-hits", false,
+                "after --mix, query /stats and fail unless the cache served "
+                "at least one full second pass");
+  args.add_flag("shutdown-after", false,
+                "send a shutdown op when done (stops the server)");
+  args.add_flag("help", false, "show usage");
+  try {
+    args.parse(argc, argv);
+    if (args.has("help")) return usage("ihtl_query", args);
+    const std::string host = args.get_string("host", "127.0.0.1");
+    std::uint16_t port = static_cast<std::uint16_t>(args.get_int("port", 0));
+    const std::string port_file = args.get_string("port-file");
+    if (port == 0 && !port_file.empty()) {
+      std::ifstream pf(port_file);
+      unsigned p = 0;
+      if (!(pf >> p) || p == 0 || p > 65535) {
+        throw std::runtime_error("cannot read a port from " + port_file);
+      }
+      port = static_cast<std::uint16_t>(p);
+    }
+    if (port == 0) throw std::invalid_argument("need --port or --port-file");
+
+    if (args.has("mix")) {
+      const auto per_client = static_cast<unsigned>(args.get_int("mix"));
+      const auto clients =
+          static_cast<unsigned>(args.get_int("clients", 4));
+      const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+      const auto vertices =
+          static_cast<vid_t>(args.get_int("vertices", 64));
+      std::atomic<unsigned> failures{0};
+      std::atomic<std::uint64_t> sent{0};
+      std::vector<std::thread> threads;
+      threads.reserve(clients);
+      for (unsigned c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+          try {
+            serve::Client client;
+            client.connect(host, port);
+            const std::vector<QueryRequest> workload =
+                make_workload(seed + c, per_client, vertices);
+            // Two passes: the second sends identical fingerprints, so with
+            // caching on every one of its answers is servable from cache.
+            for (int pass = 0; pass < 2; ++pass) {
+              for (const QueryRequest& req : workload) {
+                const JsonValue resp = client.roundtrip(req);
+                const JsonValue* ok = resp.find("ok");
+                if (!ok || !ok->is_bool() || !ok->as_bool()) {
+                  failures.fetch_add(1);
+                  return;
+                }
+                sent.fetch_add(1);
+              }
+            }
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "ihtl_query[client %u]: %s\n", c, e.what());
+            failures.fetch_add(1);
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      std::printf("mix: %llu queries ok, %u client failure(s)\n",
+                  static_cast<unsigned long long>(sent.load()),
+                  failures.load());
+      if (failures.load() > 0) return 1;
+
+      if (args.has("assert-cache-hits")) {
+        serve::Client client;
+        client.connect(host, port);
+        QueryRequest stats;
+        stats.op = QueryOp::stats;
+        const JsonValue resp = client.roundtrip(stats);
+        const JsonValue* s = resp.find("stats");
+        const JsonValue* hits =
+            s ? s->find("gauges") : nullptr;
+        const JsonValue* hit_count =
+            hits ? hits->find("serve.cache.hits") : nullptr;
+        const double observed =
+            hit_count && hit_count->is_number() ? hit_count->as_number() : 0;
+        // Every second-pass query repeats a first-pass fingerprint; even
+        // with cross-thread duplication the hit count must reach one full
+        // pass worth of queries.
+        const double expected =
+            static_cast<double>(clients) * per_client;
+        std::printf("cache hits: %.0f (expected >= %.0f)\n", observed,
+                    expected);
+        if (observed < expected) {
+          std::fprintf(stderr,
+                       "ihtl_query: cache hits below the duplicate-query "
+                       "floor\n");
+          return 1;
+        }
+      }
+      if (args.has("shutdown-after")) {
+        serve::Client client;
+        client.connect(host, port);
+        QueryRequest req;
+        req.op = QueryOp::shutdown;
+        client.roundtrip(req);
+      }
+      return 0;
+    }
+
+    // Single query.
+    const std::string op_str = args.get_string("op", "stats");
+    const auto op = serve::op_from_name(op_str);
+    if (!op) throw std::invalid_argument("unknown --op: " + op_str);
+    QueryRequest req;
+    req.op = *op;
+    if (req.op == QueryOp::ppr || req.op == QueryOp::bfs) {
+      const std::string spec = args.get_string("source", "0");
+      std::size_t start = 0;
+      while (start <= spec.size()) {
+        const std::size_t comma = spec.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? spec.size() : comma;
+        if (end > start) {
+          req.sources.push_back(static_cast<vid_t>(
+              std::stoul(spec.substr(start, end - start))));
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (req.sources.empty()) req.sources.push_back(0);
+    }
+    req.iterations = static_cast<unsigned>(args.get_int("iterations", 10));
+    req.damping = args.get_double("damping", 0.85);
+    req.x_seed = static_cast<std::uint64_t>(args.get_int("x-seed", 1));
+    req.use_cache = !args.has("no-cache");
+
+    serve::Client client;
+    client.connect(host, port);
+    const JsonValue resp = client.roundtrip(req);
+    std::printf("%s\n", resp.dump(2).c_str());
+    const JsonValue* ok = resp.find("ok");
+    const bool success = ok && ok->is_bool() && ok->as_bool();
+    if (success && args.has("shutdown-after") &&
+        req.op != QueryOp::shutdown) {
+      QueryRequest sd;
+      sd.op = QueryOp::shutdown;
+      client.roundtrip(sd);
+    }
+    return success ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ihtl_query: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace ihtl

@@ -1,0 +1,143 @@
+#include "cli/common.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "gen/datasets.h"
+#include "graph/io.h"
+#include "telemetry/report.h"
+
+namespace ihtl {
+
+Graph load_input_graph(const ArgParser& args) {
+  // --dataset is an alias for --gen, registered by tools (ihtl_profile)
+  // whose vocabulary centers on the named datasets.
+  if (args.has("gen") || args.has("dataset")) {
+    const std::string scale_name = args.get_string("gen-scale", "bench");
+    DatasetScale scale;
+    if (scale_name == "tiny") {
+      scale = DatasetScale::tiny;
+    } else if (scale_name == "small") {
+      scale = DatasetScale::small;
+    } else if (scale_name == "bench") {
+      scale = DatasetScale::bench;
+    } else if (scale_name == "large") {
+      scale = DatasetScale::large;
+    } else {
+      throw std::invalid_argument("unknown --gen-scale: " + scale_name);
+    }
+    return make_dataset(args.has("gen") ? args.get_string("gen")
+                                        : args.get_string("dataset"),
+                        scale);
+  }
+  const std::string path = args.get_string("graph");
+  if (path.empty()) {
+    throw std::invalid_argument("need --graph <file> or --gen <dataset>");
+  }
+  try {
+    return load_graph_binary(path);
+  } catch (const std::exception&) {
+    BuildOptions opt;
+    opt.dedup = true;
+    opt.remove_self_loops = true;
+    opt.sort_neighbors = true;
+    return load_edge_list(path, opt);
+  }
+}
+
+IhtlConfig config_from_args(const ArgParser& args) {
+  IhtlConfig cfg;
+  if (args.has("buffer-bytes")) {
+    cfg.buffer_bytes = static_cast<std::size_t>(args.get_int("buffer-bytes"));
+  }
+  if (args.has("admission-ratio")) {
+    cfg.admission_ratio = args.get_double("admission-ratio");
+  }
+  if (args.has("push-policy")) {
+    const std::string name = args.get_string("push-policy");
+    const auto policy = push_policy_from_name(name);
+    if (!policy) {
+      throw std::invalid_argument("unknown --push-policy '" + name +
+                                  "' (auto, shared, single-owner)");
+    }
+    cfg.push_policy = *policy;
+  }
+  return cfg;
+}
+
+void add_common_input_flags(ArgParser& args) {
+  args.add_flag("graph", true, "input graph: ihtl binary or edge-list text");
+  args.add_flag("gen", true, "generate a named dataset instead (e.g. TwtrMpi)");
+  args.add_flag("gen-scale", true, "tiny|small|bench|large (default bench)");
+  args.add_flag("buffer-bytes", true, "iHTL hub-buffer bytes (default 1 MiB)");
+  args.add_flag("admission-ratio", true,
+                "flipped-block admission ratio (default 0.5)");
+  args.add_flag("push-policy", true,
+                "engine push/merge policy: auto | shared | single-owner "
+                "(default auto)");
+  args.add_flag("help", false, "show usage");
+}
+
+int usage(const char* tool, const ArgParser& args) {
+  std::printf("usage: %s [flags]\n%s", tool, args.help_text().c_str());
+  return 0;
+}
+
+std::string invoked_as(int argc, const char* const* argv,
+                       const char* fallback) {
+  if (argc < 1 || !argv[0] || !*argv[0]) return fallback;
+  const std::string path = argv[0];
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+bool OutputFileGuard::open(const ArgParser& args, const char* flag,
+                           const char* tool) {
+  path = args.get_string(flag);
+  if (path.empty()) return true;
+  file.open(path);
+  if (!file) {
+    std::fprintf(stderr, "%s: cannot open --%s path '%s' for writing\n",
+                 tool, flag, path.c_str());
+    return false;
+  }
+  return true;
+}
+
+OutputFileGuard::~OutputFileGuard() {
+  if (file.is_open() && !keep) {
+    file.close();
+    std::remove(path.c_str());
+  }
+}
+
+void TraceGuard::install(const std::string& out_path, std::size_t rings) {
+  if (out_path.empty()) return;
+  path = out_path;
+  buffer = std::make_unique<telemetry::TraceBuffer>(rings);
+  telemetry::TraceBuffer::set_active(buffer.get());
+}
+
+void TraceGuard::uninstall() {
+  if (buffer) telemetry::TraceBuffer::set_active(nullptr);
+}
+
+TraceGuard::~TraceGuard() { uninstall(); }
+
+int TraceGuard::write(const char* tool) {
+  if (!buffer) return 0;
+  uninstall();
+  try {
+    telemetry::write_json_file(buffer->to_chrome_trace(), path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", tool, e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote trace to %s (%llu events, %llu dropped)\n",
+               path.c_str(),
+               static_cast<unsigned long long>(buffer->recorded()),
+               static_cast<unsigned long long>(buffer->dropped()));
+  return 0;
+}
+
+}  // namespace ihtl

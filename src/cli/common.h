@@ -1,0 +1,61 @@
+// Shared plumbing of the cmd_* implementations: input-graph loading,
+// common flags, and the output-file / trace guards. Internal to src/cli —
+// the public surface is commands.h.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "cli/args.h"
+#include "core/ihtl_config.h"
+#include "graph/graph.h"
+#include "telemetry/trace.h"
+
+namespace ihtl {
+
+/// Loads a graph from --graph (binary container or edge-list text) or
+/// generates one from --gen/--gen-scale (--dataset is a --gen alias).
+Graph load_input_graph(const ArgParser& args);
+
+/// --buffer-bytes / --admission-ratio / --push-policy → IhtlConfig.
+IhtlConfig config_from_args(const ArgParser& args);
+
+/// Registers the input flags shared by every graph-consuming tool.
+void add_common_input_flags(ArgParser& args);
+
+/// Prints usage for `tool` and returns exit code 0.
+int usage(const char* tool, const ArgParser& args);
+
+/// Basename of argv[0], so a multi-named binary (ihtl_convert / ihtl_build)
+/// prints the name it was invoked under; falls back for empty argv.
+std::string invoked_as(int argc, const char* const* argv,
+                       const char* fallback);
+
+/// Validates a JSON output path up front: a long run must not discover an
+/// unwritable output directory after the work is done. The guard removes
+/// the pre-opened file again if the run fails for any reason (including
+/// exceptions), so failures leave no empty report behind.
+struct OutputFileGuard {
+  std::ofstream file;
+  std::string path;
+  bool keep = false;
+  /// Returns false (after printing an error) when the path is unwritable.
+  bool open(const ArgParser& args, const char* flag, const char* tool);
+  ~OutputFileGuard();
+};
+
+/// Installs a TraceBuffer as the process-wide active buffer for the guard's
+/// lifetime and writes the Chrome trace JSON on demand. Uninstalls before
+/// the buffer is destroyed (producers must never see a dangling pointer).
+struct TraceGuard {
+  std::unique_ptr<telemetry::TraceBuffer> buffer;
+  std::string path;
+  void install(const std::string& out_path, std::size_t rings);
+  void uninstall();
+  ~TraceGuard();
+  /// Uninstalls and writes the trace; returns a process exit code.
+  int write(const char* tool);
+};
+
+}  // namespace ihtl

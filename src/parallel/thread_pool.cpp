@@ -21,13 +21,17 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;
     shutdown_ = true;
   }
   work_ready_.notify_all();
   for (auto& th : threads_) th.join();
+  threads_.clear();
 }
 
 void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
@@ -53,8 +57,11 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
     };
     job = &wrapped;
   }
-  if (num_threads_ == 1) {
-    (*job)(0);
+  // Single-worker pools, and pools whose workers were joined by shutdown(),
+  // execute the job inline on the caller — every tid still runs exactly
+  // once, so parallel_for / engine code is oblivious to the drain.
+  if (num_threads_ == 1 || threads_.empty()) {
+    for (std::size_t t = 0; t < num_threads_; ++t) (*job)(t);
     return;
   }
   {

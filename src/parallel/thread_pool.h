@@ -52,7 +52,17 @@ class ThreadPool {
   std::size_t size() const { return num_threads_; }
 
   /// Runs `fn(tid)` on all `size()` workers and blocks until all return.
+  /// After shutdown() the same contract holds with the worker threads gone:
+  /// the calling thread executes fn(0) .. fn(size()-1) serially.
   void run(const std::function<void(std::size_t)>& fn);
+
+  /// Drains and joins the worker threads; idempotent and safe to call while
+  /// the pool is still referenced by long-lived engines. run() keeps
+  /// working afterwards (serial inline execution with the same tid range),
+  /// so an owner can order "stop parallelism" strictly before the buffers
+  /// the workers might touch are freed — the destructor ordering hazard of
+  /// a long-lived object owning both a pool and IhtlEngine state.
+  void shutdown();
 
   /// Process-wide default pool, sized to hardware concurrency.
   static ThreadPool& global();

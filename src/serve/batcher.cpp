@@ -1,0 +1,205 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "telemetry/metrics.h"
+
+namespace ihtl::serve {
+
+Batcher::Batcher(BatcherOptions opt, ComputeFn compute)
+    : opt_(std::move(opt)), compute_(std::move(compute)) {
+  if (opt_.max_lanes == 0) opt_.max_lanes = 1;
+  drops_remaining_ = opt_.fault.drop_flushes;
+  dispatch_ = std::thread([this] { dispatch_loop(); });
+}
+
+Batcher::~Batcher() { stop(); }
+
+std::vector<value_t> Batcher::submit(const QueryRequest& req) {
+  if (!req.is_compute() || req.lanes() == 0) {
+    throw std::runtime_error("batcher only accepts compute requests");
+  }
+  std::future<std::vector<value_t>> future;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw std::runtime_error("batcher is stopped");
+    ClassQueue& q = queues_[batch_class(req)];
+    Pending p;
+    p.request = req;
+    p.enqueued = Clock::now();
+    future = p.promise.get_future();
+    q.lanes += req.lanes();
+    total_lanes_ += req.lanes();
+    q.pending.push_back(std::move(p));
+  }
+  wake_dispatch_.notify_one();
+  return future.get();
+}
+
+void Batcher::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+    // The drain must terminate: faults stop applying once we are stopping.
+    drops_remaining_ = 0;
+  }
+  wake_dispatch_.notify_one();
+  if (dispatch_.joinable()) dispatch_.join();
+}
+
+std::size_t Batcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_lanes_;
+}
+
+void Batcher::export_gauges(telemetry::MetricsRegistry& reg,
+                            const std::string& prefix) const {
+  reg.set_gauge(prefix + ".flushes", static_cast<double>(flushes_));
+  reg.set_gauge(prefix + ".full_flushes", static_cast<double>(full_flushes_));
+  reg.set_gauge(prefix + ".deadline_flushes",
+                static_cast<double>(deadline_flushes_));
+  reg.set_gauge(prefix + ".dropped_flushes",
+                static_cast<double>(dropped_flushes_));
+  reg.set_gauge(prefix + ".lanes_flushed",
+                static_cast<double>(lanes_flushed_));
+  reg.set_gauge(prefix + ".lane_occupancy", mean_lane_occupancy());
+  reg.set_gauge(prefix + ".queue_depth",
+                static_cast<double>(queue_depth()));
+}
+
+bool Batcher::pop_group(std::unique_lock<std::mutex>& /*lock*/,
+                        Clock::time_point now, std::string& cls,
+                        std::vector<Pending>& out, bool& was_full) {
+  // Prefer a full class; otherwise the class whose OLDEST request has
+  // expired its deadline. When stopping, everything is due immediately.
+  const std::map<std::string, ClassQueue>::iterator end = queues_.end();
+  auto chosen = end;
+  bool full = false;
+  for (auto it = queues_.begin(); it != end; ++it) {
+    if (it->second.pending.empty()) continue;
+    const bool is_full =
+        it->second.lanes >= opt_.max_lanes ||
+        it->second.pending.front().request.lanes() >= opt_.max_lanes;
+    const bool due =
+        stopping_ ||
+        now - it->second.pending.front().enqueued >= opt_.max_delay;
+    if (is_full) {
+      chosen = it;
+      full = true;
+      break;
+    }
+    if (due && chosen == end) chosen = it;
+  }
+  if (chosen == end) return false;
+
+  // Take requests in arrival order until the next one would overflow
+  // max_lanes. A single request wider than max_lanes flushes alone (it
+  // can't share a traversal, but it must not starve either).
+  ClassQueue& q = chosen->second;
+  std::size_t lanes = 0;
+  while (!q.pending.empty()) {
+    const std::size_t next = q.pending.front().request.lanes();
+    if (!out.empty() && lanes + next > opt_.max_lanes) break;
+    lanes += next;
+    out.push_back(std::move(q.pending.front()));
+    q.pending.pop_front();
+    if (lanes >= opt_.max_lanes) break;
+  }
+  q.lanes -= lanes;
+  total_lanes_ -= lanes;
+  cls = chosen->first;
+  if (q.pending.empty()) queues_.erase(chosen);
+  was_full = full;
+  return true;
+}
+
+void Batcher::run_group(std::vector<Pending> group, bool was_full) {
+  Group g;
+  g.requests.reserve(group.size());
+  for (const Pending& p : group) {
+    g.lanes += p.request.lanes();
+    g.requests.push_back(p.request);
+  }
+  ++flushes_;
+  lanes_flushed_ += g.lanes;
+  if (was_full) {
+    ++full_flushes_;
+  } else {
+    ++deadline_flushes_;
+  }
+  try {
+    std::vector<std::vector<value_t>> results = compute_(g);
+    if (results.size() != group.size()) {
+      throw std::runtime_error("compute returned wrong result count");
+    }
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      group[i].promise.set_value(std::move(results[i]));
+    }
+  } catch (...) {
+    for (Pending& p : group) {
+      p.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+void Batcher::dispatch_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // Wake when: something is enqueued, the nearest deadline expires, or
+    // stop() is requested. With an empty queue, sleep indefinitely.
+    if (total_lanes_ == 0) {
+      if (stopping_) return;
+      wake_dispatch_.wait(lock, [this] {
+        return total_lanes_ > 0 || stopping_;
+      });
+      continue;
+    }
+    const Clock::time_point now = Clock::now();
+    std::string cls;
+    std::vector<Pending> group;
+    bool was_full = false;
+    if (!pop_group(lock, now, cls, group, was_full)) {
+      Clock::time_point nearest = Clock::time_point::max();
+      for (const auto& [name, q] : queues_) {
+        if (q.pending.empty()) continue;
+        nearest = std::min(nearest, q.pending.front().enqueued +
+                                        opt_.max_delay);
+      }
+      wake_dispatch_.wait_until(lock, nearest);
+      continue;
+    }
+
+    // Fault injection (lattice check only): drop re-queues the group at
+    // the FRONT in arrival order, so a later wakeup retries it; delay
+    // stalls the flush past its deadline.
+    if (drops_remaining_ > 0) {
+      --drops_remaining_;
+      ++dropped_flushes_;
+      ClassQueue& q = queues_[cls];
+      for (auto it = group.rbegin(); it != group.rend(); ++it) {
+        q.lanes += it->request.lanes();
+        total_lanes_ += it->request.lanes();
+        q.pending.push_front(std::move(*it));
+      }
+      // Without the sleep a zero-delay drop would respin immediately on
+      // the still-due group; yield the deadline once.
+      lock.unlock();
+      std::this_thread::sleep_for(opt_.max_delay);
+      lock.lock();
+      continue;
+    }
+
+    lock.unlock();
+    if (opt_.fault.delay_us > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(opt_.fault.delay_us));
+    }
+    run_group(std::move(group), was_full);
+    lock.lock();
+  }
+}
+
+}  // namespace ihtl::serve

@@ -1,0 +1,151 @@
+// Micro-batching admission queue: coalesce compatible queries into one
+// batched SpMV traversal.
+//
+// This is the serving-side payoff of `spmv_batch`: k lanes share every edge
+// fetch, so k coalesced single-source queries cost roughly one traversal of
+// memory traffic instead of k. The queue groups pending requests by
+// batch_class() (op + lane-independent params) and flushes a class when its
+// lanes fill `max_lanes` or its oldest request has waited `max_delay`; a
+// request alone on an idle queue therefore pays at most `max_delay` extra
+// latency in exchange for the chance to amortize.
+//
+// Threading: producers (connection handlers) block in submit(); ONE
+// dispatch thread owned by the Batcher pops groups and runs the compute
+// callback — it is the only caller of the GraphSession compute methods, so
+// the engines' single-caller contract holds no matter how many clients
+// connect.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/types.h"
+#include "serve/protocol.h"
+
+namespace ihtl::telemetry {
+class MetricsRegistry;
+}  // namespace ihtl::telemetry
+
+namespace ihtl::serve {
+
+/// Fault-injection knobs for the lattice check: delay every flush by
+/// `delay_us`, and silently re-queue (drop) the first `drop_flushes`
+/// flushes instead of running them. Dropped flushes are retried on the next
+/// wakeup, so progress is guaranteed — the faults stress deadline handling
+/// and the differential check's tolerance for reordered batches, they never
+/// lose requests.
+struct FlushFault {
+  unsigned delay_us = 0;
+  unsigned drop_flushes = 0;
+};
+
+struct BatcherOptions {
+  std::size_t max_lanes = 8;  ///< flush a class at this many lanes
+  std::chrono::microseconds max_delay{200};
+  FlushFault fault;
+};
+
+class Batcher {
+ public:
+  /// One flushed group: every request shares a batch_class. The compute
+  /// function returns one result vector PER REQUEST (n×lanes(), original
+  /// ID space), in group order.
+  struct Group {
+    std::vector<QueryRequest> requests;
+    std::size_t lanes = 0;
+  };
+  using ComputeFn =
+      std::function<std::vector<std::vector<value_t>>(const Group&)>;
+
+  /// Starts the dispatch thread. `compute` runs on that thread only.
+  Batcher(BatcherOptions opt, ComputeFn compute);
+  ~Batcher();
+
+  Batcher(const Batcher&) = delete;
+  Batcher& operator=(const Batcher&) = delete;
+
+  /// Enqueues a compute request and blocks until its flush completes.
+  /// Throws whatever the compute function threw for the group. Requests
+  /// wider than max_lanes flush alone (they cannot share a traversal).
+  std::vector<value_t> submit(const QueryRequest& req);
+
+  /// Drains every pending request (ignoring injected faults) and joins the
+  /// dispatch thread. Idempotent; submit() after stop() throws.
+  void stop();
+
+  /// Pending lanes across all classes (telemetry snapshot).
+  std::size_t queue_depth() const;
+
+  std::uint64_t flushes() const { return flushes_; }
+  std::uint64_t full_flushes() const { return full_flushes_; }
+  std::uint64_t deadline_flushes() const { return deadline_flushes_; }
+  std::uint64_t dropped_flushes() const { return dropped_flushes_; }
+  std::uint64_t lanes_flushed() const { return lanes_flushed_; }
+
+  /// Mean lanes per flush — the lane-occupancy headline (1.0 = no
+  /// coalescing happened, max_lanes = every flush full).
+  double mean_lane_occupancy() const {
+    return flushes_ ? static_cast<double>(lanes_flushed_) /
+                          static_cast<double>(flushes_)
+                    : 0.0;
+  }
+
+  /// Publishes absolute `<prefix>.*` gauges for the counters above plus
+  /// `.queue_depth` and `.lane_occupancy`; idempotent.
+  void export_gauges(telemetry::MetricsRegistry& reg,
+                     const std::string& prefix) const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    QueryRequest request;
+    std::promise<std::vector<value_t>> promise;
+    Clock::time_point enqueued;
+  };
+  struct ClassQueue {
+    std::deque<Pending> pending;
+    std::size_t lanes = 0;
+  };
+
+  void dispatch_loop();
+  /// Pops the next group to flush under `lock`; nullopt when nothing is
+  /// due. `now` decides deadline expiry.
+  bool pop_group(std::unique_lock<std::mutex>& lock, Clock::time_point now,
+                 std::string& cls, std::vector<Pending>& out,
+                 bool& was_full);
+  void run_group(std::vector<Pending> group, bool was_full);
+
+  BatcherOptions opt_;
+  ComputeFn compute_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_dispatch_;
+  std::map<std::string, ClassQueue> queues_;  ///< batch_class → waiters
+  std::size_t total_lanes_ = 0;
+  bool stopping_ = false;
+  unsigned drops_remaining_ = 0;
+
+  // Counters are written by the dispatch thread only; read via the const
+  // accessors from stats handlers (monotonic, torn reads are harmless —
+  // they are exported as gauges, not deltas).
+  std::uint64_t flushes_ = 0;
+  std::uint64_t full_flushes_ = 0;
+  std::uint64_t deadline_flushes_ = 0;
+  std::uint64_t dropped_flushes_ = 0;
+  std::uint64_t lanes_flushed_ = 0;
+
+  std::thread dispatch_;
+};
+
+}  // namespace ihtl::serve

@@ -1,0 +1,243 @@
+#include "serve/protocol.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace ihtl::serve {
+
+using telemetry::JsonValue;
+
+const char* op_name(QueryOp op) {
+  switch (op) {
+    case QueryOp::ppr: return "ppr";
+    case QueryOp::bfs: return "bfs";
+    case QueryOp::spmv: return "spmv";
+    case QueryOp::stats: return "stats";
+    case QueryOp::bump_epoch: return "bump-epoch";
+    case QueryOp::shutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+std::optional<QueryOp> op_from_name(const std::string& name) {
+  if (name == "ppr") return QueryOp::ppr;
+  if (name == "bfs") return QueryOp::bfs;
+  if (name == "spmv") return QueryOp::spmv;
+  if (name == "stats") return QueryOp::stats;
+  if (name == "bump-epoch") return QueryOp::bump_epoch;
+  if (name == "shutdown") return QueryOp::shutdown;
+  return std::nullopt;
+}
+
+QueryRequest parse_request(const JsonValue& doc) {
+  if (!doc.is_object()) throw std::runtime_error("request must be an object");
+  const JsonValue* op = doc.find("op");
+  if (!op || !op->is_string()) {
+    throw std::runtime_error("request needs a string 'op'");
+  }
+  const std::optional<QueryOp> parsed = op_from_name(op->as_string());
+  if (!parsed) throw std::runtime_error("unknown op: " + op->as_string());
+
+  QueryRequest req;
+  req.op = *parsed;
+  if (req.op == QueryOp::ppr || req.op == QueryOp::bfs) {
+    const JsonValue* sources = doc.find("sources");
+    if (!sources || !sources->is_array() || sources->items().empty()) {
+      throw std::runtime_error("op needs a non-empty 'sources' array");
+    }
+    if (sources->items().size() > kMaxSourcesPerRequest) {
+      throw std::runtime_error("too many sources in one request");
+    }
+    for (const JsonValue& s : sources->items()) {
+      if (!s.is_number() || s.as_number() < 0) {
+        throw std::runtime_error("'sources' entries must be non-negative");
+      }
+      req.sources.push_back(static_cast<vid_t>(s.as_number()));
+    }
+  }
+  if (req.op == QueryOp::ppr) {
+    if (const JsonValue* it = doc.find("iterations")) {
+      if (!it->is_number() || it->as_number() < 1 || it->as_number() > 1000) {
+        throw std::runtime_error("'iterations' must be in [1, 1000]");
+      }
+      req.iterations = static_cast<unsigned>(it->as_number());
+    }
+    if (const JsonValue* d = doc.find("damping")) {
+      if (!d->is_number() || d->as_number() <= 0.0 || d->as_number() >= 1.0) {
+        throw std::runtime_error("'damping' must be in (0, 1)");
+      }
+      req.damping = d->as_number();
+    }
+  }
+  if (req.op == QueryOp::spmv) {
+    if (const JsonValue* s = doc.find("x_seed")) {
+      if (!s->is_number() || s->as_number() < 0) {
+        throw std::runtime_error("'x_seed' must be non-negative");
+      }
+      req.x_seed = static_cast<std::uint64_t>(s->as_number());
+    }
+  }
+  if (const JsonValue* c = doc.find("cache")) {
+    if (!c->is_bool()) throw std::runtime_error("'cache' must be a boolean");
+    req.use_cache = c->as_bool();
+  }
+  return req;
+}
+
+JsonValue request_to_json(const QueryRequest& req) {
+  JsonValue doc = JsonValue::object();
+  doc.set("op", op_name(req.op));
+  if (req.op == QueryOp::ppr || req.op == QueryOp::bfs) {
+    JsonValue sources = JsonValue::array();
+    for (const vid_t s : req.sources) {
+      sources.push_back(static_cast<std::uint64_t>(s));
+    }
+    doc.set("sources", std::move(sources));
+  }
+  if (req.op == QueryOp::ppr) {
+    doc.set("iterations", static_cast<std::uint64_t>(req.iterations));
+    doc.set("damping", req.damping);
+  }
+  if (req.op == QueryOp::spmv) doc.set("x_seed", req.x_seed);
+  if (!req.use_cache) doc.set("cache", false);
+  return doc;
+}
+
+std::string fingerprint(const QueryRequest& req) {
+  std::ostringstream key;
+  key << batch_class(req);
+  if (req.op == QueryOp::ppr || req.op == QueryOp::bfs) {
+    key << ":s";
+    for (std::size_t i = 0; i < req.sources.size(); ++i) {
+      key << (i ? "," : "") << req.sources[i];
+    }
+  }
+  if (req.op == QueryOp::spmv) key << ":x" << req.x_seed;
+  return key.str();
+}
+
+std::string batch_class(const QueryRequest& req) {
+  std::ostringstream key;
+  key << op_name(req.op);
+  if (req.op == QueryOp::ppr) {
+    key << ":i" << req.iterations << ":d" << req.damping;
+  }
+  return key.str();
+}
+
+namespace {
+
+void read_exact(int fd, void* buf, std::size_t len) {
+  auto* p = static_cast<char*>(buf);
+  while (len > 0) {
+    const ssize_t got = ::recv(fd, p, len, 0);
+    if (got == 0) throw std::runtime_error("connection closed mid-frame");
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("recv: ") + std::strerror(errno));
+    }
+    p += got;
+    len -= static_cast<std::size_t>(got);
+  }
+}
+
+void write_exact(int fd, const void* buf, std::size_t len) {
+  const auto* p = static_cast<const char*>(buf);
+  while (len > 0) {
+    const ssize_t put = ::send(fd, p, len, MSG_NOSIGNAL);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+    }
+    p += put;
+    len -= static_cast<std::size_t>(put);
+  }
+}
+
+}  // namespace
+
+bool read_frame(int fd, std::string& payload) {
+  unsigned char header[4];
+  // A clean EOF (or a reset) before any header byte means "no more
+  // requests", not an error; mid-header EOF is a truncated frame.
+  const ssize_t first = ::recv(fd, header, 1, 0);
+  if (first == 0) return false;
+  if (first < 0) {
+    if (errno == ECONNRESET) return false;
+    throw std::runtime_error(std::string("recv: ") + std::strerror(errno));
+  }
+  read_exact(fd, header + 1, 3);
+  const std::uint32_t len = (std::uint32_t{header[0]} << 24) |
+                            (std::uint32_t{header[1]} << 16) |
+                            (std::uint32_t{header[2]} << 8) |
+                            std::uint32_t{header[3]};
+  if (len > kMaxFrameBytes) throw std::runtime_error("oversized frame");
+  payload.resize(len);
+  if (len > 0) read_exact(fd, payload.data(), len);
+  return true;
+}
+
+void write_frame(int fd, const std::string& payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    throw std::runtime_error("oversized frame");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  const unsigned char header[4] = {
+      static_cast<unsigned char>(len >> 24),
+      static_cast<unsigned char>(len >> 16),
+      static_cast<unsigned char>(len >> 8),
+      static_cast<unsigned char>(len),
+  };
+  write_exact(fd, header, sizeof(header));
+  if (len > 0) write_exact(fd, payload.data(), payload.size());
+}
+
+void Client::connect(const std::string& host, std::uint16_t port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close();
+    throw std::runtime_error("bad host address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    close();
+    throw std::runtime_error("connect " + host + ":" + std::to_string(port) +
+                             ": " + err);
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+JsonValue Client::roundtrip(const JsonValue& req) {
+  if (fd_ < 0) throw std::runtime_error("client not connected");
+  write_frame(fd_, req.dump(0));
+  std::string payload;
+  if (!read_frame(fd_, payload)) {
+    throw std::runtime_error("server closed the connection");
+  }
+  return JsonValue::parse(payload);
+}
+
+}  // namespace ihtl::serve

@@ -1,0 +1,118 @@
+// Wire protocol of the query server: length-prefixed JSON frames.
+//
+// Every message — request and response — is one frame: a 4-byte big-endian
+// payload length followed by that many bytes of UTF-8 JSON. JSON keeps the
+// protocol debuggable (a client is ~10 lines of python) and reuses the
+// repo's own parser; the length prefix makes framing trivial over TCP.
+//
+// Request schema (one object per frame):
+//   {"op": "ppr",  "sources": [v...], "iterations": I, "damping": D}
+//   {"op": "bfs",  "sources": [v...]}
+//   {"op": "spmv", "x_seed": S}        // dense x derived from the seed
+//   {"op": "stats"}                    // telemetry snapshot, no compute
+//   {"op": "bump-epoch"}               // invalidate the result cache
+//   {"op": "shutdown"}                 // stop the server
+// Optional on compute ops: "cache": false bypasses the result cache.
+//
+// Response schema:
+//   {"ok": true, "epoch": E, "cached": B, "values": [...]}   // compute ops
+//   {"ok": true, "stats": {...}}                             // stats
+//   {"ok": true, "epoch": E}                                 // bump-epoch
+//   {"ok": false, "error": "..."}                            // any failure
+// `values` is the query result in the ORIGINAL vertex-ID space, vertex-
+// major n×k for k-source ppr/bfs (lane l of vertex v at v*k+l). BFS levels
+// use -1 for unreachable vertices (JSON cannot carry +inf).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+#include "telemetry/json.h"
+
+namespace ihtl::serve {
+
+/// Frames larger than this are a protocol error, not a allocation request.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Sources per ppr/bfs request; a request is at most this many batch lanes.
+inline constexpr std::size_t kMaxSourcesPerRequest = 64;
+
+enum class QueryOp { ppr, bfs, spmv, stats, bump_epoch, shutdown };
+
+const char* op_name(QueryOp op);
+std::optional<QueryOp> op_from_name(const std::string& name);
+
+struct QueryRequest {
+  QueryOp op = QueryOp::stats;
+  std::vector<vid_t> sources;   ///< ppr / bfs
+  unsigned iterations = 10;     ///< ppr
+  double damping = 0.85;        ///< ppr
+  std::uint64_t x_seed = 1;     ///< spmv
+  bool use_cache = true;
+
+  /// Batch lanes this request occupies in a flush.
+  std::size_t lanes() const {
+    return op == QueryOp::spmv ? 1 : sources.size();
+  }
+  /// True for ops that run a batched engine traversal (ppr/bfs/spmv).
+  bool is_compute() const {
+    return op == QueryOp::ppr || op == QueryOp::bfs || op == QueryOp::spmv;
+  }
+};
+
+/// Parses a request object; throws std::runtime_error on schema violations
+/// (unknown op, missing/out-of-range sources, too many lanes).
+QueryRequest parse_request(const telemetry::JsonValue& doc);
+telemetry::JsonValue request_to_json(const QueryRequest& req);
+
+/// Canonical cache key of a compute request: op + every parameter that
+/// affects the answer, sources/seed included. Two requests with equal
+/// fingerprints (at the same graph epoch) have identical results.
+std::string fingerprint(const QueryRequest& req);
+
+/// Admission-queue class: fingerprint minus the per-lane parameters
+/// (sources, x_seed). Requests in the same class can share one batched
+/// traversal — each source or seed becomes one arithmetic-independent
+/// lane; requests in different classes never coalesce.
+std::string batch_class(const QueryRequest& req);
+
+// --- frame I/O (blocking, over a connected socket fd) ---------------------
+
+/// Reads one frame; false on clean EOF, throws on a short read, an
+/// oversized frame, or a socket error.
+bool read_frame(int fd, std::string& payload);
+
+/// Writes one frame; throws on error. Suppresses SIGPIPE (MSG_NOSIGNAL),
+/// so a client that disconnected mid-response surfaces as an exception on
+/// the handler thread, not a process kill.
+void write_frame(int fd, const std::string& payload);
+
+/// Blocking loopback client used by ihtl_query, the lattice check, and the
+/// tests: connect once, then round-trip frames.
+class Client {
+ public:
+  Client() = default;
+  ~Client() { close(); }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Throws on connection failure.
+  void connect(const std::string& host, std::uint16_t port);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends `req`, blocks for the response. Throws on transport errors; a
+  /// server-side {"ok": false} is returned to the caller, not thrown.
+  telemetry::JsonValue roundtrip(const telemetry::JsonValue& req);
+  telemetry::JsonValue roundtrip(const QueryRequest& req) {
+    return roundtrip(request_to_json(req));
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace ihtl::serve

@@ -1,0 +1,137 @@
+#include "serve/result_cache.h"
+
+#include <functional>
+
+#include "telemetry/metrics.h"
+
+namespace ihtl::serve {
+
+namespace {
+/// Fixed bookkeeping charged per entry on top of the value bytes, so a
+/// pathological workload of thousands of tiny answers still respects the
+/// budget in spirit.
+constexpr std::size_t kEntryOverheadBytes = 128;
+}  // namespace
+
+ResultCache::ResultCache(std::size_t byte_budget, std::size_t num_shards)
+    : byte_budget_(byte_budget) {
+  if (num_shards == 0) num_shards = 1;
+  shard_budget_ = byte_budget / num_shards;
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResultCache::Shard& ResultCache::shard_for(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+std::string ResultCache::full_key(const std::string& fingerprint,
+                                  std::uint64_t epoch) {
+  return fingerprint + "@" + std::to_string(epoch);
+}
+
+ResultCache::Value ResultCache::get(const std::string& fingerprint,
+                                    std::uint64_t epoch) {
+  if (!enabled()) return nullptr;
+  const std::string key = full_key(fingerprint, epoch);
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->value;
+}
+
+void ResultCache::put(const std::string& fingerprint, std::uint64_t epoch,
+                      Value value) {
+  if (!enabled() || !value) return;
+  const std::string key = full_key(fingerprint, epoch);
+  const std::size_t entry_bytes =
+      value->size() * sizeof(value_t) + key.size() + kEntryOverheadBytes;
+  if (entry_bytes > shard_budget_) return;  // would evict the whole shard
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (const auto it = shard.index.find(key); it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.bytes += entry_bytes;
+    it->second->value = std::move(value);
+    it->second->bytes = entry_bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{key, std::move(value), entry_bytes});
+    shard.index.emplace(key, shard.lru.begin());
+    shard.bytes += entry_bytes;
+  }
+  while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+std::uint64_t ResultCache::hits() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    total += s->hits;
+  }
+  return total;
+}
+
+std::uint64_t ResultCache::misses() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    total += s->misses;
+  }
+  return total;
+}
+
+std::uint64_t ResultCache::evictions() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    total += s->evictions;
+  }
+  return total;
+}
+
+std::uint64_t ResultCache::bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    total += s->bytes;
+  }
+  return total;
+}
+
+std::uint64_t ResultCache::entries() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> lock(s->mutex);
+    total += s->lru.size();
+  }
+  return total;
+}
+
+void ResultCache::export_gauges(telemetry::MetricsRegistry& reg,
+                                const std::string& prefix) const {
+  const auto h = static_cast<double>(hits());
+  const auto m = static_cast<double>(misses());
+  reg.set_gauge(prefix + ".hits", h);
+  reg.set_gauge(prefix + ".misses", m);
+  reg.set_gauge(prefix + ".evictions", static_cast<double>(evictions()));
+  reg.set_gauge(prefix + ".bytes", static_cast<double>(bytes()));
+  reg.set_gauge(prefix + ".entries", static_cast<double>(entries()));
+  reg.set_gauge(prefix + ".hit_rate", h + m > 0 ? h / (h + m) : 0.0);
+}
+
+}  // namespace ihtl::serve

@@ -1,0 +1,81 @@
+// Sharded LRU result cache keyed on (query fingerprint, graph epoch).
+//
+// Hub-heavy graphs concentrate query traffic the same way they concentrate
+// edges: popular sources repeat, so a served answer is worth keeping. Keys
+// carry the graph epoch, so invalidation after a graph mutation is one
+// atomic bump — stale entries simply stop matching and age out of the LRU
+// instead of requiring a synchronized sweep. Shards keep the lock a
+// per-shard mutex held for a map lookup + list splice; values are shared
+// immutable vectors, so a hit hands back a refcount, never a copy.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace ihtl::telemetry {
+class MetricsRegistry;
+}  // namespace ihtl::telemetry
+
+namespace ihtl::serve {
+
+class ResultCache {
+ public:
+  using Value = std::shared_ptr<const std::vector<value_t>>;
+
+  /// `byte_budget` bounds the summed value-array bytes (plus per-entry key
+  /// overhead) across all shards; 0 disables the cache entirely (every get
+  /// misses, puts are dropped). Entries larger than one shard's budget are
+  /// never admitted.
+  explicit ResultCache(std::size_t byte_budget, std::size_t num_shards = 8);
+
+  bool enabled() const { return byte_budget_ > 0; }
+
+  /// nullptr on miss. A hit refreshes the entry's LRU position.
+  Value get(const std::string& fingerprint, std::uint64_t epoch);
+
+  /// Inserts or refreshes; evicts least-recently-used entries of the same
+  /// shard until the shard fits its budget slice.
+  void put(const std::string& fingerprint, std::uint64_t epoch, Value value);
+
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+  std::uint64_t bytes() const;
+  std::uint64_t entries() const;
+
+  /// Publishes absolute `<prefix>.hits/.misses/.evictions/.bytes/.entries`
+  /// and `<prefix>.hit_rate` gauges — idempotent under repeated export.
+  void export_gauges(telemetry::MetricsRegistry& reg,
+                     const std::string& prefix) const;
+
+ private:
+  struct Entry {
+    std::string key;
+    Value value;
+    std::size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0, misses = 0, evictions = 0;
+  };
+
+  Shard& shard_for(const std::string& key);
+  static std::string full_key(const std::string& fingerprint,
+                              std::uint64_t epoch);
+
+  std::size_t byte_budget_;
+  std::size_t shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ihtl::serve

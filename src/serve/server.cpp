@@ -1,0 +1,292 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "telemetry/report.h"
+
+namespace ihtl::serve {
+
+using telemetry::JsonValue;
+
+Server::Server(GraphSession& session, const ServerOptions& opt)
+    : session_(session), opt_(opt), cache_(opt.cache_bytes) {
+  requests_total_ = metrics_.counter("serve.requests");
+  requests_cached_ = metrics_.counter("serve.requests_cached");
+  requests_errors_ = metrics_.counter("serve.requests_errors");
+
+  BatcherOptions bopt;
+  bopt.max_lanes = opt_.max_lanes;
+  bopt.max_delay = opt_.max_batch_delay;
+  bopt.fault = opt_.fault;
+  batcher_ = std::make_unique<Batcher>(bopt, [this](const Batcher::Group& g) {
+    // Dispatch thread: one batched traversal for the whole group, then
+    // slice the n×K vertex-major result back into per-request n×k arrays.
+    const QueryRequest& head = g.requests.front();
+    std::vector<vid_t> sources;
+    std::vector<std::uint64_t> seeds;
+    for (const QueryRequest& r : g.requests) {
+      if (r.op == QueryOp::spmv) {
+        seeds.push_back(r.x_seed);
+      } else {
+        sources.insert(sources.end(), r.sources.begin(), r.sources.end());
+      }
+    }
+    std::vector<value_t> full;
+    switch (head.op) {
+      case QueryOp::ppr:
+        full = session_.ppr_batch(sources, head.iterations, head.damping);
+        break;
+      case QueryOp::bfs:
+        full = session_.bfs_batch(sources);
+        break;
+      case QueryOp::spmv:
+        full = session_.spmv_batch(seeds);
+        break;
+      default:
+        throw std::runtime_error("non-compute op reached the batcher");
+    }
+    const std::size_t total = g.lanes;
+    const vid_t n = session_.num_vertices();
+    std::vector<std::vector<value_t>> out(g.requests.size());
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < g.requests.size(); ++i) {
+      const std::size_t k = g.requests[i].lanes();
+      std::vector<value_t>& slice = out[i];
+      slice.resize(static_cast<std::size_t>(n) * k);
+      for (vid_t v = 0; v < n; ++v) {
+        for (std::size_t lane = 0; lane < k; ++lane) {
+          slice[static_cast<std::size_t>(v) * k + lane] =
+              full[static_cast<std::size_t>(v) * total + off + lane];
+        }
+      }
+      off += k;
+    }
+    return out;
+  });
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(opt_.port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("bind 127.0.0.1:" + std::to_string(opt_.port) +
+                             ": " + err);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("listen: " + err);
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::wait() {
+  std::unique_lock<std::mutex> lock(wait_mutex_);
+  wait_cv_.wait(lock, [this] {
+    return stopped_.load(std::memory_order_acquire);
+  });
+}
+
+void Server::stop() {
+  // Serialized: concurrent stop() callers must not race on the joins. The
+  // shutdown-op handler never calls stop() (it cannot join itself) — it
+  // only flips stopped_ and wakes wait().
+  std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+  stopped_.store(true, std::memory_order_release);
+  wait_cv_.notify_all();
+  if (stop_complete_) return;
+  stop_complete_ = true;
+  // Closing the listener unblocks accept(); shutting down the live
+  // connection fds unblocks their read_frame()s.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    handlers.swap(handlers_);
+  }
+  for (std::thread& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+  if (batcher_) batcher_->stop();
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by stop()
+    }
+    if (stopped_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    conn_fds_.push_back(fd);
+    handlers_.emplace_back([this, fd] { handle_connection(fd); });
+  }
+}
+
+void Server::handle_connection(int fd) {
+  std::string payload;
+  try {
+    while (!stopped_.load(std::memory_order_acquire)) {
+      if (!read_frame(fd, payload)) break;
+      JsonValue response;
+      bool shutdown_requested = false;
+      try {
+        const QueryRequest req = parse_request(JsonValue::parse(payload));
+        response = handle_request(req);
+        shutdown_requested = req.op == QueryOp::shutdown;
+      } catch (const std::exception& e) {
+        requests_errors_.inc(0);
+        response = JsonValue::object();
+        response.set("ok", false);
+        response.set("error", std::string(e.what()));
+      }
+      write_frame(fd, response.dump(0));
+      if (shutdown_requested) {
+        // Acknowledged on the wire; now wake wait() so the owner runs
+        // stop() — a handler thread cannot join itself.
+        stopped_.store(true, std::memory_order_release);
+        wait_cv_.notify_all();
+        break;
+      }
+    }
+  } catch (const std::exception&) {
+    // Transport error (client vanished mid-frame): drop the connection.
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  std::erase(conn_fds_, fd);
+}
+
+JsonValue Server::handle_request(const QueryRequest& req) {
+  JsonValue response = JsonValue::object();
+  if (req.op == QueryOp::stats) {
+    response.set("ok", true);
+    response.set("epoch", session_.epoch());
+    response.set("stats", stats_json());
+    return response;
+  }
+  if (req.op == QueryOp::bump_epoch) {
+    session_.bump_epoch();
+    response.set("ok", true);
+    response.set("epoch", session_.epoch());
+    return response;
+  }
+  if (req.op == QueryOp::shutdown) {
+    // The caller (handle_connection) signals the stop AFTER writing this
+    // response, so the acknowledging frame cannot be cut off by stop()
+    // closing the connection fds.
+    response.set("ok", true);
+    return response;
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  // The epoch is read ONCE per request: a bump that lands mid-compute
+  // keys both the lookup and the insert to the pre-bump graph state.
+  const std::uint64_t epoch = session_.epoch();
+  const std::string key = fingerprint(req);
+  bool cached = false;
+  ResultCache::Value values;
+  if (req.use_cache) values = cache_.get(key, epoch);
+  if (values) {
+    cached = true;
+  } else {
+    values = std::make_shared<const std::vector<value_t>>(
+        batcher_->submit(req));
+    // Put BEFORE responding: a client that re-sends the same query after
+    // reading this response is guaranteed to hit.
+    if (req.use_cache) cache_.put(key, epoch, values);
+  }
+  requests_total_.inc(0);
+  if (cached) requests_cached_.inc(0);
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  latency_.record_ns(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+
+  response.set("ok", true);
+  response.set("epoch", epoch);
+  response.set("cached", cached);
+  JsonValue arr = JsonValue::array();
+  for (const value_t v : *values) arr.push_back(v);
+  response.set("values", std::move(arr));
+  return response;
+}
+
+void Server::refresh_gauges() {
+  cache_.export_gauges(metrics_, "serve.cache");
+  batcher_->export_gauges(metrics_, "serve.batch");
+  latency_.export_gauges(metrics_, "serve.latency");
+  metrics_.set_gauge("serve.threads",
+                     static_cast<double>(session_.pool().size()));
+  metrics_.set_gauge("serve.epoch", static_cast<double>(session_.epoch()));
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    metrics_.set_gauge("serve.connections",
+                       static_cast<double>(conn_fds_.size()));
+  }
+}
+
+JsonValue Server::stats_json() {
+  refresh_gauges();
+  return telemetry::metrics_to_json(metrics_);
+}
+
+void Server::dump_metrics(const std::string& path) {
+  refresh_gauges();
+  JsonValue run = JsonValue::object();
+  run.set("tool", "ihtl_serve");
+  run.set("port", static_cast<std::uint64_t>(port_));
+  run.set("requests", requests_served());
+  JsonValue graph = JsonValue::object();
+  graph.set("vertices", static_cast<std::uint64_t>(session_.num_vertices()));
+  graph.set("hubs",
+            static_cast<std::uint64_t>(session_.ihtl_graph().num_hubs()));
+  telemetry::write_json_file(
+      telemetry::make_report(metrics_, std::move(run), std::move(graph),
+                             JsonValue()),
+      path);
+}
+
+}  // namespace ihtl::serve

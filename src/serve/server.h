@@ -1,0 +1,114 @@
+// TCP query server: accept loop, per-connection handlers, result cache,
+// and the telemetry surface behind `/stats` and the periodic metrics dump.
+//
+// Thread map (see ARCHITECTURE.md for the ownership diagram):
+//   accept thread   — blocks in accept(), spawns one handler per client
+//   handler threads — parse frames, consult the cache, submit() to the
+//                     batcher (blocking), write responses
+//   dispatch thread — owned by the Batcher; the ONLY caller of the
+//                     GraphSession compute methods
+// stop() closes the listener and every live connection fd, joins all
+// threads, then drains the batcher — so a stopped server has answered or
+// error-replied every accepted frame.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.h"
+#include "serve/protocol.h"
+#include "serve/result_cache.h"
+#include "serve/session.h"
+#include "telemetry/histogram.h"
+#include "telemetry/metrics.h"
+
+namespace ihtl::serve {
+
+struct ServerOptions {
+  std::uint16_t port = 0;  ///< 0 = ephemeral, read back via port()
+  std::size_t max_lanes = 8;
+  std::chrono::microseconds max_batch_delay{200};
+  std::size_t cache_bytes = 64u << 20;
+  FlushFault fault;
+};
+
+class Server {
+ public:
+  /// Binds 127.0.0.1:port and starts the accept loop. The session must
+  /// outlive the server. Throws on bind failure.
+  Server(GraphSession& session, const ServerOptions& opt);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves an ephemeral request).
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks until a client sends {"op": "shutdown"} or stop() is called.
+  void wait();
+
+  /// Stops accepting, closes live connections, drains the batcher. Safe to
+  /// call from any thread and repeatedly.
+  void stop();
+
+  bool running() const { return !stopped_.load(std::memory_order_acquire); }
+
+  /// Requests served (compute ops only; stats/bump-epoch excluded).
+  std::uint64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  /// The server-local registry: engine spans land here at compute time;
+  /// refresh_gauges() folds in the absolute cache/batcher/latency state.
+  telemetry::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Re-exports cache, batcher, and latency-histogram gauges — called
+  /// before every /stats response and metrics dump; idempotent.
+  void refresh_gauges();
+
+  /// Writes a metrics snapshot JSON (make_report schema, "serve" section
+  /// included) to `path` atomically.
+  void dump_metrics(const std::string& path);
+
+ private:
+  void accept_loop();
+  void handle_connection(int fd);
+  telemetry::JsonValue handle_request(const QueryRequest& req);
+  telemetry::JsonValue stats_json();
+
+  GraphSession& session_;
+  ServerOptions opt_;
+  telemetry::MetricsRegistry metrics_;
+  ResultCache cache_;
+  telemetry::LatencyHistogram latency_;
+  std::unique_ptr<Batcher> batcher_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> requests_served_{0};
+
+  std::mutex conn_mutex_;
+  std::vector<int> conn_fds_;  ///< live connection fds, for stop()
+  std::vector<std::thread> handlers_;
+  std::thread accept_thread_;
+
+  std::mutex wait_mutex_;
+  std::condition_variable wait_cv_;
+  std::mutex stop_mutex_;
+  bool stop_complete_ = false;  ///< guarded by stop_mutex_
+
+  // Pre-resolved event-time counters (cheap increments on the hot path;
+  // the absolute gauges come from refresh_gauges instead).
+  telemetry::Counter requests_total_;
+  telemetry::Counter requests_cached_;
+  telemetry::Counter requests_errors_;
+};
+
+}  // namespace ihtl::serve

@@ -1,0 +1,210 @@
+#include "serve/session.h"
+
+#include <cmath>
+#include <utility>
+
+#include "parallel/parallel_for.h"
+#include "parallel/timer.h"
+#include "telemetry/metrics.h"
+
+namespace ihtl::serve {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+value_t spmv_input_value(std::uint64_t seed, vid_t v) {
+  const std::uint64_t mixed = splitmix64(seed ^ (0x9e3779b97f4a7c15ULL *
+                                                 (std::uint64_t{v} + 1)));
+  // Top 53 bits → [0, 1): exact in a double, identical on every caller.
+  return static_cast<value_t>(mixed >> 11) * 0x1.0p-53;
+}
+
+GraphSession::GraphSession(Graph g, const SessionOptions& opt,
+                           telemetry::MetricsRegistry* reg)
+    : g_(std::move(g)),
+      pool_(opt.threads),
+      ig_([&] {
+        Timer prep;
+        IhtlGraph built = build_ihtl_graph(g_, opt.ihtl);
+        preprocess_s_ = prep.elapsed_seconds();
+        return built;
+      }()),
+      plus_engine_(ig_, pool_, opt.ihtl.push_policy),
+      min_engine_(ig_, pool_, opt.ihtl.push_policy) {
+  const vid_t n = g_.num_vertices();
+  const auto& o2n = ig_.old_to_new();
+  deg_new_.assign(n, 0);
+  for (vid_t v = 0; v < n; ++v) deg_new_[o2n[v]] = g_.out_degree(v);
+  if (reg != nullptr) {
+    plus_engine_.set_metrics(reg);
+    min_engine_.set_metrics(reg);
+  }
+}
+
+GraphSession::~GraphSession() { drain(); }
+
+void GraphSession::drain() {
+  // Members destruct in reverse declaration order, so without this the
+  // engines (declared after pool_) would die first and the pool's join
+  // would be safe anyway — but a long-lived server wants the workers gone
+  // at stop() time, not at destruction, while queries may still trickle in
+  // and run serially. ThreadPool::shutdown() is idempotent.
+  if (drained_) return;
+  drained_ = true;
+  pool_.shutdown();
+}
+
+std::vector<value_t> GraphSession::ppr_batch(std::span<const vid_t> sources,
+                                             unsigned iterations,
+                                             double damping) {
+  const vid_t n = g_.num_vertices();
+  const std::size_t k = sources.size();
+  if (n == 0 || k == 0) return {};
+  const auto& o2n = ig_.old_to_new();
+
+  // One-hot restart per lane, exactly as pagerank_personalized_batch but
+  // over the persistent engine and with a FIXED iteration count: no
+  // tolerance early-out, so a lane's answer is a pure function of its own
+  // source and never of the batch it happened to share a flush with.
+  std::vector<value_t> base(static_cast<std::size_t>(n) * k, 0.0);
+  std::vector<value_t> pr(base.size(), 0.0);
+  for (std::size_t lane = 0; lane < k; ++lane) {
+    const std::size_t row = static_cast<std::size_t>(o2n[sources[lane] % n]);
+    base[row * k + lane] = 1.0 - damping;
+    pr[row * k + lane] = 1.0;
+  }
+
+  std::vector<value_t> x(pr.size()), y(pr.size());
+  for (unsigned it = 0; it < iterations; ++it) {
+    parallel_for(pool_, 0, n, [&](std::uint64_t v, std::size_t) {
+      const value_t scale =
+          deg_new_[v] ? damping / static_cast<value_t>(deg_new_[v]) : 0.0;
+      for (std::size_t lane = 0; lane < k; ++lane) {
+        x[v * k + lane] = pr[v * k + lane] * scale;
+      }
+    });
+    if (k == 1) {
+      plus_engine_.spmv(x, y);
+    } else {
+      plus_engine_.spmv_batch(x, y, k);
+    }
+    parallel_for(pool_, 0, n, [&](std::uint64_t v, std::size_t) {
+      for (std::size_t lane = 0; lane < k; ++lane) {
+        const std::size_t i = v * k + lane;
+        pr[i] = base[i] + y[i];
+      }
+    });
+  }
+
+  std::vector<value_t> out(pr.size());
+  for (vid_t v = 0; v < n; ++v) {
+    const std::size_t src = static_cast<std::size_t>(o2n[v]) * k;
+    const std::size_t dst = static_cast<std::size_t>(v) * k;
+    for (std::size_t lane = 0; lane < k; ++lane) {
+      out[dst + lane] = pr[src + lane];
+    }
+  }
+  return out;
+}
+
+std::vector<value_t> GraphSession::bfs_batch(std::span<const vid_t> sources) {
+  const vid_t n = g_.num_vertices();
+  const std::size_t k = sources.size();
+  if (n == 0 || k == 0) return {};
+  const auto& o2n = ig_.old_to_new();
+
+  std::vector<value_t> vals(static_cast<std::size_t>(n) * k,
+                            MinMonoid::identity());
+  for (std::size_t lane = 0; lane < k; ++lane) {
+    vals[static_cast<std::size_t>(o2n[sources[lane] % n]) * k + lane] = 0.0;
+  }
+
+  // min_fixpoint_batch over the persistent engine: a lane that has reached
+  // its own fixpoint is a no-op under further min rounds, so deeper lanes
+  // sharing the batch never change a shallow lane's levels.
+  std::vector<value_t> x(vals.size()), y(vals.size());
+  const unsigned max_rounds = n;
+  for (unsigned round = 0; round < max_rounds; ++round) {
+    parallel_for(pool_, 0, n, [&](std::uint64_t v, std::size_t) {
+      for (std::size_t lane = 0; lane < k; ++lane) {
+        x[v * k + lane] = vals[v * k + lane] + 1.0;
+      }
+    });
+    if (k == 1) {
+      min_engine_.spmv(x, y);
+    } else {
+      min_engine_.spmv_batch(x, y, k);
+    }
+    std::atomic<bool> changed{false};
+    parallel_for(pool_, 0, n, [&](std::uint64_t v, std::size_t) {
+      bool improved = false;
+      for (std::size_t lane = 0; lane < k; ++lane) {
+        const std::size_t i = v * k + lane;
+        if (y[i] < vals[i]) {
+          vals[i] = y[i];
+          improved = true;
+        }
+      }
+      if (improved) changed.store(true, std::memory_order_relaxed);
+    });
+    if (!changed.load()) break;
+  }
+
+  // Back to original IDs, with unreachable (+inf) mapped to -1 so the
+  // levels survive a JSON round trip (protocol.h).
+  std::vector<value_t> out(vals.size());
+  for (vid_t v = 0; v < n; ++v) {
+    const std::size_t src = static_cast<std::size_t>(o2n[v]) * k;
+    const std::size_t dst = static_cast<std::size_t>(v) * k;
+    for (std::size_t lane = 0; lane < k; ++lane) {
+      const value_t level = vals[src + lane];
+      out[dst + lane] = std::isinf(level) ? value_t{-1.0} : level;
+    }
+  }
+  return out;
+}
+
+std::vector<value_t> GraphSession::spmv_batch(
+    std::span<const std::uint64_t> x_seeds) {
+  const vid_t n = g_.num_vertices();
+  const std::size_t k = x_seeds.size();
+  if (n == 0 || k == 0) return {};
+  const auto& o2n = ig_.old_to_new();
+
+  // Lane l's dense input is the seed-derived vector in ORIGINAL ID space,
+  // permuted into the relabeled space here (the oracle builds the same
+  // vector and multiplies with a serial kernel).
+  std::vector<value_t> x(static_cast<std::size_t>(n) * k);
+  for (vid_t v = 0; v < n; ++v) {
+    const std::size_t row = static_cast<std::size_t>(o2n[v]) * k;
+    for (std::size_t lane = 0; lane < k; ++lane) {
+      x[row + lane] = spmv_input_value(x_seeds[lane], v);
+    }
+  }
+  std::vector<value_t> y(x.size());
+  if (k == 1) {
+    plus_engine_.spmv(x, y);
+  } else {
+    plus_engine_.spmv_batch(x, y, k);
+  }
+
+  std::vector<value_t> out(y.size());
+  for (vid_t v = 0; v < n; ++v) {
+    const std::size_t src = static_cast<std::size_t>(o2n[v]) * k;
+    const std::size_t dst = static_cast<std::size_t>(v) * k;
+    for (std::size_t lane = 0; lane < k; ++lane) {
+      out[dst + lane] = y[src + lane];
+    }
+  }
+  return out;
+}
+
+}  // namespace ihtl::serve

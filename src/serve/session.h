@@ -1,0 +1,110 @@
+// GraphSession: one graph, preprocessed once, served forever.
+//
+// The serving layer's whole premise (and the LLC-characterization argument
+// in PAPERS.md) is that the expensive state — the iHTL graph, the engines'
+// per-thread hub buffers, the relabeled degree array — is built once and
+// stays hot across requests, instead of being rebuilt per call the way the
+// one-shot app entry points do. A session owns exactly that state: the
+// thread pool, a PlusMonoid engine (ppr/spmv) and a MinMonoid engine (bfs)
+// over one shared IhtlGraph, plus the graph epoch that keys the result
+// cache.
+//
+// THREADING CONTRACT: the compute methods (ppr_batch / bfs_batch /
+// spmv_batch) drive ThreadPool::run and the engines' mutable buffers, so
+// exactly ONE thread — the batcher's dispatch thread in the server — may
+// call them. epoch()/bump_epoch() are atomic and callable from anywhere.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/ihtl_config.h"
+#include "core/ihtl_graph.h"
+#include "core/ihtl_spmv.h"
+#include "graph/graph.h"
+#include "parallel/thread_pool.h"
+
+namespace ihtl::telemetry {
+class MetricsRegistry;
+}  // namespace ihtl::telemetry
+
+namespace ihtl::serve {
+
+struct SessionOptions {
+  IhtlConfig ihtl;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+};
+
+class GraphSession {
+ public:
+  /// Preprocesses `g` (hub selection, relabeling, flipped blocks) and
+  /// builds both engines. `reg` receives the engines' spmv spans/counters;
+  /// nullptr leaves them on the global registry.
+  GraphSession(Graph g, const SessionOptions& opt,
+               telemetry::MetricsRegistry* reg = nullptr);
+  ~GraphSession();
+
+  GraphSession(const GraphSession&) = delete;
+  GraphSession& operator=(const GraphSession&) = delete;
+
+  const Graph& graph() const { return g_; }
+  const IhtlGraph& ihtl_graph() const { return ig_; }
+  vid_t num_vertices() const { return g_.num_vertices(); }
+  ThreadPool& pool() { return pool_; }
+  double preprocess_seconds() const { return preprocess_s_; }
+
+  /// Cache-keying epoch; bump on any (future) graph mutation to invalidate
+  /// every cached answer at once.
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+  void bump_epoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// Drains the pool's workers (ThreadPool::shutdown) while the engines'
+  /// buffers are still alive; compute still works afterwards, serially.
+  /// Called by the destructor — the explicit ordering fix for a long-lived
+  /// owner of both a pool and engine state.
+  void drain();
+
+  // --- compute (dispatch thread only) -------------------------------------
+  // All results are vertex-major n×k arrays in the ORIGINAL ID space (lane
+  // l of vertex v at v*k+l). Per-lane arithmetic is independent of the
+  // other lanes, so a lane's answer does not depend on which requests were
+  // coalesced with it (bitwise so with a 1-thread pool; see serve_check).
+
+  /// Personalized PageRank: lane l restarts into sources[l], exactly
+  /// `iterations` damped rounds (fixed count — no tolerance early-out, so
+  /// batch composition cannot change a lane's answer).
+  std::vector<value_t> ppr_batch(std::span<const vid_t> sources,
+                                 unsigned iterations, double damping);
+
+  /// Multi-source BFS levels; unreachable vertices get -1 (JSON-safe, see
+  /// protocol.h). Rounds run until no lane improves; a lane past its own
+  /// fixpoint is unaffected by extra rounds driven by deeper lanes.
+  std::vector<value_t> bfs_batch(std::span<const vid_t> sources);
+
+  /// Plain plus-SpMV, one lane per seed: lane l's input vector is the
+  /// deterministic dense x derived from x_seeds[l] (see spmv_input_value).
+  std::vector<value_t> spmv_batch(std::span<const std::uint64_t> x_seeds);
+
+ private:
+  Graph g_;
+  ThreadPool pool_;
+  IhtlGraph ig_;
+  std::vector<eid_t> deg_new_;  ///< out-degrees in the relabeled space
+  IhtlEngine<PlusMonoid> plus_engine_;
+  IhtlEngine<MinMonoid> min_engine_;
+  std::atomic<std::uint64_t> epoch_{0};
+  double preprocess_s_ = 0.0;
+  bool drained_ = false;
+};
+
+/// The deterministic dense input value of vertex `v` (original ID) under
+/// seed `seed`: splitmix64 mixed to a double in [0, 1). Shared by the
+/// server, the oracle, and the client tools, so a seed names one exact
+/// vector everywhere.
+value_t spmv_input_value(std::uint64_t seed, vid_t v);
+
+}  // namespace ihtl::serve

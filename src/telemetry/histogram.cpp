@@ -1,0 +1,69 @@
+#include "telemetry/histogram.h"
+
+#include <bit>
+
+#include "telemetry/metrics.h"
+
+namespace ihtl::telemetry {
+
+void LatencyHistogram::record_ns(std::uint64_t ns) {
+  const std::size_t bucket = std::bit_width(ns);  // 0 -> bucket 0
+  buckets_[bucket < kBuckets ? bucket : kBuckets - 1].fetch_add(
+      1, std::memory_order_relaxed);
+  std::uint64_t cur = max_ns_.load(std::memory_order_relaxed);
+  while (ns > cur &&
+         !max_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t LatencyHistogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double LatencyHistogram::percentile_us(double p) const {
+  std::uint64_t counts[kBuckets];
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  // Rank of the requested percentile (1-based, nearest-rank method).
+  const auto rank = static_cast<std::uint64_t>(p / 100.0 *
+                                               static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += counts[i];
+    if (seen > rank || (seen == total && counts[i] > 0)) {
+      // Bucket i spans [2^(i-1), 2^i) ns; answer its geometric midpoint.
+      if (i == 0) return 0.0;
+      const double lo = static_cast<double>(std::uint64_t{1} << (i - 1));
+      return lo * 1.4142135623730951 * 1e-3;  // sqrt(2)*lo ns -> us
+    }
+  }
+  return 0.0;
+}
+
+double LatencyHistogram::max_us() const {
+  return static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-3;
+}
+
+void LatencyHistogram::export_gauges(MetricsRegistry& reg,
+                                     const std::string& prefix) const {
+  reg.set_gauge(prefix + ".count", static_cast<double>(count()));
+  reg.set_gauge(prefix + ".p50_us", percentile_us(50.0));
+  reg.set_gauge(prefix + ".p90_us", percentile_us(90.0));
+  reg.set_gauge(prefix + ".p99_us", percentile_us(99.0));
+  reg.set_gauge(prefix + ".max_us", max_us());
+}
+
+void LatencyHistogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace ihtl::telemetry

@@ -1,0 +1,56 @@
+// Log-bucketed latency histogram with percentile estimation.
+//
+// The span timers (TimerStat) keep count/total/min/max only — enough for
+// phase breakdowns, useless for request-latency SLOs. This histogram fills
+// the gap for the serving layer: recording is one relaxed fetch_add on a
+// power-of-two bucket (wait-free, callable from every connection thread),
+// and percentiles are reconstructed from the bucket counts on demand. A
+// bucket spans one binary order of magnitude of nanoseconds, and the
+// estimator answers with the bucket's geometric midpoint, so a reported
+// p99 is within ~1.4x of the true value — the resolution that matters for
+// "did tail latency double", not for nanosecond accounting.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace ihtl::telemetry {
+
+class MetricsRegistry;
+
+class LatencyHistogram {
+ public:
+  /// Records one latency sample. Thread-safe, wait-free.
+  void record_ns(std::uint64_t ns);
+  void record_seconds(double s) {
+    record_ns(s <= 0 ? 0 : static_cast<std::uint64_t>(s * 1e9));
+  }
+
+  /// Samples recorded so far.
+  std::uint64_t count() const;
+
+  /// Latency (in microseconds) at percentile `p` in [0, 100]; 0 when empty.
+  /// Reconstructed from the log buckets (geometric-midpoint estimate).
+  double percentile_us(double p) const;
+
+  /// Largest sample observed, exact (not bucketed), in microseconds.
+  double max_us() const;
+
+  /// Publishes `<prefix>.count` plus `<prefix>.p50_us/.p90_us/.p99_us/
+  /// .max_us` as gauges — absolute values, so repeated exports (every
+  /// /stats query, every periodic metrics dump) are idempotent.
+  void export_gauges(MetricsRegistry& reg, const std::string& prefix) const;
+
+  /// Zeroes all buckets (not linearizable against concurrent recording;
+  /// meant for between-phase resets in tests and benches).
+  void reset();
+
+ private:
+  /// Bucket i counts samples with bit_width(ns) == i, i.e. [2^(i-1), 2^i).
+  static constexpr std::size_t kBuckets = 64;
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> max_ns_{0};
+};
+
+}  // namespace ihtl::telemetry

@@ -1,5 +1,6 @@
 #include "telemetry/report.h"
 
+#include <cstdio>
 #include <fstream>
 #include <stdexcept>
 
@@ -84,13 +85,35 @@ JsonValue make_report(const MetricsRegistry& reg, JsonValue run,
 }
 
 void write_json_file(const JsonValue& doc, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("cannot open for write: " + path);
+  // Write-to-temp + rename, so a reader polling `path` (bench_diff in CI,
+  // a dashboard tailing a server's periodic metrics dump) never observes a
+  // truncated — i.e. invalid-JSON — document, even when the same path is
+  // rewritten every few seconds. rename(2) is atomic within a filesystem;
+  // a rename failure (e.g. cross-device temp dirs never happen here since
+  // the temp lives beside the target) falls back to the direct write.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      // Path itself may still be writable (e.g. `path` is a pre-created
+      // file in a read-only directory); preserve the old direct behavior.
+      std::ofstream direct(path);
+      if (!direct) throw std::runtime_error("cannot open for write: " + path);
+      direct << doc.dump();
+      if (!direct) throw std::runtime_error("write failed: " + path);
+      return;
+    }
+    out << doc.dump();
+    out.flush();
+    if (!out) {
+      out.close();
+      std::remove(tmp.c_str());
+      throw std::runtime_error("write failed: " + path);
+    }
   }
-  out << doc.dump();
-  if (!out) {
-    throw std::runtime_error("write failed: " + path);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename into place: " + path);
   }
 }
 

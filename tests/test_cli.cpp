@@ -231,5 +231,86 @@ TEST(CmdRun, MetricsOutUnwritablePathFails) {
   EXPECT_EQ(cmd_run(9, argv), 1);
 }
 
+// ------------------------------------------------------------- bench_diff
+
+void write_text(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+}
+
+TEST(CmdBenchDiff, MissingBaselineIsAnErrorByDefault) {
+  const std::string fresh = temp_path("bd_new.json");
+  write_text(fresh, R"({"serve": {"gauges": {"serve.qps": 100.0}}})");
+  const std::string absent = temp_path("bd_absent.json");
+  const char* argv[] = {"bench_diff", absent.c_str(), fresh.c_str()};
+  EXPECT_EQ(cmd_bench_diff(3, argv), 2);
+  std::remove(fresh.c_str());
+}
+
+TEST(CmdBenchDiff, BaselineMissingOkSkipsTheDiff) {
+  // First run of a brand-new bench section: no baseline snapshot exists
+  // yet, and that must not fail the regression gate.
+  const std::string fresh = temp_path("bd_new2.json");
+  write_text(fresh, R"({"serve": {"gauges": {"serve.qps": 100.0}}})");
+  const std::string absent = temp_path("bd_absent2.json");
+  const char* argv[] = {"bench_diff", absent.c_str(), fresh.c_str(),
+                        "--baseline-missing-ok", "--strict"};
+  EXPECT_EQ(cmd_bench_diff(5, argv), 0);
+  std::remove(fresh.c_str());
+}
+
+TEST(CmdBenchDiff, BaselineMissingOkStillRequiresTheNewSnapshot) {
+  // The escape hatch covers exactly one case — the missing baseline. A
+  // missing or unparseable NEW snapshot stays an error.
+  const std::string absent_old = temp_path("bd_absent3.json");
+  const std::string absent_new = temp_path("bd_absent4.json");
+  const char* argv[] = {"bench_diff", absent_old.c_str(), absent_new.c_str(),
+                        "--baseline-missing-ok"};
+  EXPECT_EQ(cmd_bench_diff(4, argv), 2);
+
+  const std::string garbage = temp_path("bd_garbage.json");
+  write_text(garbage, "not json");
+  const char* argv2[] = {"bench_diff", absent_old.c_str(), garbage.c_str(),
+                         "--baseline-missing-ok"};
+  EXPECT_EQ(cmd_bench_diff(4, argv2), 2);
+  std::remove(garbage.c_str());
+}
+
+TEST(CmdBenchDiff, NamedSectionsAreFlattenedAndDiffed) {
+  // Sections merged beside the suite (BENCH_serve.json's "serve",
+  // BENCH_spmv.json's "spmm_batch") must be visible to the diff —
+  // --require-key on a section metric proves they were flattened.
+  const std::string old_path = temp_path("bd_serve_old.json");
+  const std::string new_path = temp_path("bd_serve_new.json");
+  write_text(old_path,
+             R"({"serve": {"run": {"dataset": "TwtrMpi"},)"
+             R"( "gauges": {"serve.qps_batched": 200.0},)"
+             R"( "counters": {"serve.batched.flushes": 4}}})");
+  write_text(new_path,
+             R"({"serve": {"run": {"dataset": "TwtrMpi"},)"
+             R"( "gauges": {"serve.qps_batched": 210.0},)"
+             R"( "counters": {"serve.batched.flushes": 4}}})");
+  const char* argv[] = {"bench_diff",     old_path.c_str(), new_path.c_str(),
+                        "--require-key", "serve.qps_batched", "--strict"};
+  EXPECT_EQ(cmd_bench_diff(6, argv), 0);
+  // A key that matches nothing still fails, proving the gate is live.
+  const char* argv2[] = {"bench_diff",    old_path.c_str(), new_path.c_str(),
+                         "--require-key", "no.such.metric"};
+  EXPECT_EQ(cmd_bench_diff(5, argv2), 1);
+  std::remove(old_path.c_str());
+  std::remove(new_path.c_str());
+}
+
+TEST(CmdBenchDiff, IdenticalSnapshotsPassStrict) {
+  const std::string path = temp_path("bd_same.json");
+  write_text(path,
+             R"({"serve": {"gauges": {"serve.qps": 100.0},)"
+             R"( "counters": {"serve.flushes": 4}}})");
+  const char* argv[] = {"bench_diff", path.c_str(), path.c_str(),
+                        "--strict"};
+  EXPECT_EQ(cmd_bench_diff(4, argv), 0);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace ihtl

@@ -469,6 +469,88 @@ TEST(IhtlSpmvBatchPath, ScalarAndBatchCallsInterleave) {
   }
 }
 
+TEST(IhtlSpmvBatchPath, BatchLanesTrackLazyBufferRebuilds) {
+  // batch_buffers_ are (re)built lazily on the first spmv_batch call with a
+  // new k; batch_lanes() exposes the currently-built width. Scalar calls in
+  // between must neither tear the batch buffers down nor corrupt them.
+  // The forced shared policy guarantees the lane-widened buffers actually
+  // exist (single-owner blocks push straight to y and skip them).
+  const Graph g = small_rmat(9, 8);
+  ThreadPool pool(2);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  IhtlEngine<PlusMonoid> engine(ig, pool, PushPolicy::shared);
+  const vid_t n = g.num_vertices();
+  EXPECT_EQ(engine.batch_lanes(), 0u);
+
+  const auto run_k = [&](std::size_t k, std::uint64_t seed) {
+    const auto xb = random_values(n * k, seed);
+    std::vector<value_t> eb(n * k), yb(n * k);
+    spmv_pull_serial_batch(g, xb, eb, k);
+    ihtl_spmv_batch_once(engine, xb, yb, k);
+    expect_values_near(eb, yb, 1e-9);
+  };
+  run_k(3, 81);
+  EXPECT_EQ(engine.batch_lanes(), 3u);
+  // Scalar call: batch buffers stay built at the old width.
+  const auto xs = random_values(n, 82);
+  std::vector<value_t> es(n), ys(n);
+  spmv_pull_serial(g, xs, es);
+  ihtl_spmv_once(engine, xs, ys);
+  expect_values_near(es, ys, 1e-9);
+  EXPECT_EQ(engine.batch_lanes(), 3u);
+  // Widening and narrowing both rebuild; k=1 delegates and leaves the
+  // buffers untouched.
+  run_k(7, 83);
+  EXPECT_EQ(engine.batch_lanes(), 7u);
+  run_k(2, 84);
+  EXPECT_EQ(engine.batch_lanes(), 2u);
+  std::vector<value_t> xp(n), y1(n);
+  for (vid_t v = 0; v < n; ++v) xp[ig.old_to_new()[v]] = xs[v];
+  engine.spmv_batch(xp, y1, 1);
+  EXPECT_EQ(engine.batch_lanes(), 2u);
+  // And the previously-built width still computes correctly.
+  run_k(2, 85);
+}
+
+TEST(IhtlSpmvBatchPath, PoolSharedAcrossManyBatchCallsThenShutdown) {
+  // Regression for the long-lived-owner ordering hazard (GraphSession):
+  // one pool feeding repeated spmv_batch calls across k changes, engines
+  // still alive when the pool shuts down — compute must keep working
+  // (serially) and the first parallel results must be reproduced exactly.
+  const Graph g = small_rmat(9, 8);
+  ThreadPool pool(4);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  IhtlEngine<PlusMonoid> plus(ig, pool);
+  IhtlEngine<MinMonoid> min(ig, pool);
+  const vid_t n = g.num_vertices();
+  const std::size_t k = 4;
+  const auto xb = random_values(n * k, 86);
+  std::vector<value_t> expected(n * k);
+  spmv_pull_serial_batch(g, xb, expected, k);
+  for (int round = 0; round < 20; ++round) {
+    // Alternate widths so the lazy buffers rebuild repeatedly on one pool.
+    const std::size_t kk = (round % 2) ? k : k / 2;
+    const std::span<const value_t> xr(xb.data(), n * kk);
+    std::vector<value_t> yb(n * kk), er(n * kk);
+    spmv_pull_serial_batch(g, xr, er, kk);
+    ihtl_spmv_batch_once(plus, xr, yb, kk);
+    expect_values_near(er, yb, 1e-9);
+  }
+  pool.shutdown();
+  // Both engines still compute after the workers are gone.
+  std::vector<value_t> after(n * k);
+  ihtl_spmv_batch_once(plus, xb, after, k);
+  expect_values_near(expected, after, 1e-9);
+  std::vector<value_t> ym(n), em(n);
+  const auto xm = random_values(n, 87);
+  spmv_pull_serial<MinMonoid>(g, xm, em);
+  ihtl_spmv_once<MinMonoid>(pool, ig, xm, ym);
+  expect_values_near(em, ym, 1e-9);
+  // The engine built before shutdown works too.
+  ihtl_spmv_once(min, xm, ym);
+  expect_values_near(em, ym, 1e-9);
+}
+
 TEST(IhtlSpmvBatchPath, MinMonoidBatchEquivalence) {
   expect_batch_matches_serial<MinMonoid>(small_rmat(9, 8), cfg_with_hubs(16),
                                          3, 4, 75);

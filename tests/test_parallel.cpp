@@ -5,6 +5,7 @@
 #include <numeric>
 #include <set>
 #include <span>
+#include <thread>
 
 #include "parallel/parallel_for.h"
 #include "parallel/partitioner.h"
@@ -50,6 +51,28 @@ TEST(ThreadPool, DefaultSizeIsHardwareConcurrency) {
 
 TEST(ThreadPool, GlobalPoolIsSingleton) {
   EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(4);
+  pool.shutdown();
+  pool.shutdown();
+  EXPECT_EQ(pool.size(), 4u);
+}
+
+TEST(ThreadPool, RunAfterShutdownExecutesSeriallyWithSameTidRange) {
+  // The destructor-ordering contract for long-lived owners (GraphSession):
+  // after shutdown() the workers are joined, yet run() still covers every
+  // tid — serially, on the calling thread.
+  ThreadPool pool(3);
+  pool.shutdown();
+  const auto caller = std::this_thread::get_id();
+  std::set<std::size_t> tids;
+  pool.run([&](std::size_t tid) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    tids.insert(tid);
+  });
+  EXPECT_EQ(tids, (std::set<std::size_t>{0, 1, 2}));
 }
 
 // -------------------------------------------------------------- parallel_for

@@ -1,0 +1,598 @@
+// Tests for the serve subsystem: wire protocol, result cache, admission
+// batcher, GraphSession oracle equivalence, and the full TCP server loop.
+// The heavier concurrent-client differential coverage lives in the serve
+// lattice (src/check/serve_check.*, driven by ihtl_check --serve-points);
+// these tests pin down each layer's contract in isolation.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "apps/analytics.h"
+#include "apps/pagerank.h"
+#include "serve/batcher.h"
+#include "serve/protocol.h"
+#include "serve/result_cache.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "telemetry/metrics.h"
+#include "test_util.h"
+
+namespace ihtl {
+namespace {
+
+using serve::Batcher;
+using serve::BatcherOptions;
+using serve::GraphSession;
+using serve::QueryOp;
+using serve::QueryRequest;
+using serve::ResultCache;
+using serve::SessionOptions;
+using telemetry::JsonValue;
+using testing::small_web;
+
+// ---------------------------------------------------------------- protocol
+
+QueryRequest ppr_request(std::vector<vid_t> sources, unsigned iterations = 5,
+                         double damping = 0.85) {
+  QueryRequest req;
+  req.op = QueryOp::ppr;
+  req.sources = std::move(sources);
+  req.iterations = iterations;
+  req.damping = damping;
+  return req;
+}
+
+TEST(ServeProtocol, OpNamesRoundTrip) {
+  for (const QueryOp op : {QueryOp::ppr, QueryOp::bfs, QueryOp::spmv,
+                           QueryOp::stats, QueryOp::bump_epoch,
+                           QueryOp::shutdown}) {
+    const auto back = serve::op_from_name(serve::op_name(op));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, op);
+  }
+  EXPECT_FALSE(serve::op_from_name("pagerank").has_value());
+}
+
+TEST(ServeProtocol, RequestJsonRoundTrip) {
+  QueryRequest req = ppr_request({3, 1, 4}, 7, 0.9);
+  req.use_cache = false;
+  const QueryRequest back = serve::parse_request(serve::request_to_json(req));
+  EXPECT_EQ(back.op, QueryOp::ppr);
+  EXPECT_EQ(back.sources, req.sources);
+  EXPECT_EQ(back.iterations, 7u);
+  EXPECT_DOUBLE_EQ(back.damping, 0.9);
+  EXPECT_FALSE(back.use_cache);
+
+  QueryRequest spmv;
+  spmv.op = QueryOp::spmv;
+  spmv.x_seed = 42;
+  const QueryRequest sback =
+      serve::parse_request(serve::request_to_json(spmv));
+  EXPECT_EQ(sback.op, QueryOp::spmv);
+  EXPECT_EQ(sback.x_seed, 42u);
+  EXPECT_TRUE(sback.use_cache);
+}
+
+TEST(ServeProtocol, ParseRejectsSchemaViolations) {
+  const auto parse = [](const std::string& text) {
+    return serve::parse_request(JsonValue::parse(text));
+  };
+  EXPECT_THROW(parse(R"({"op": "nope"})"), std::runtime_error);
+  EXPECT_THROW(parse(R"({"op": "ppr", "sources": []})"), std::runtime_error);
+  EXPECT_THROW(parse(R"({"op": "bfs"})"), std::runtime_error);
+  EXPECT_THROW(parse(R"({"op": "ppr", "sources": [-1]})"),
+               std::runtime_error);
+  EXPECT_THROW(parse(R"({"op": "ppr", "sources": [0], "iterations": 0})"),
+               std::runtime_error);
+  EXPECT_THROW(parse(R"({"op": "ppr", "sources": [0], "damping": 1.0})"),
+               std::runtime_error);
+  // One source over the lane cap.
+  std::string many = R"({"op": "bfs", "sources": [)";
+  for (std::size_t i = 0; i <= serve::kMaxSourcesPerRequest; ++i) {
+    if (i) many += ",";
+    many += std::to_string(i);
+  }
+  many += "]}";
+  EXPECT_THROW(parse(many), std::runtime_error);
+}
+
+TEST(ServeProtocol, FingerprintCoversParamsBatchClassDoesNot) {
+  const QueryRequest a = ppr_request({1, 2});
+  const QueryRequest b = ppr_request({1, 3});
+  // Sources are per-lane parameters: they change the fingerprint (cache
+  // identity) but not the batch class (coalescing identity).
+  EXPECT_NE(serve::fingerprint(a), serve::fingerprint(b));
+  EXPECT_EQ(serve::batch_class(a), serve::batch_class(b));
+  // Iterations/damping change the traversal itself, so both differ.
+  const QueryRequest c = ppr_request({1, 2}, 9);
+  EXPECT_NE(serve::fingerprint(a), serve::fingerprint(c));
+  EXPECT_NE(serve::batch_class(a), serve::batch_class(c));
+  // Same for spmv seeds: distinct seeds are distinct cache entries but
+  // coalesce into one batched traversal.
+  QueryRequest s1, s2;
+  s1.op = s2.op = QueryOp::spmv;
+  s1.x_seed = 1;
+  s2.x_seed = 2;
+  EXPECT_NE(serve::fingerprint(s1), serve::fingerprint(s2));
+  EXPECT_EQ(serve::batch_class(s1), serve::batch_class(s2));
+  // Different ops never share a class.
+  QueryRequest bfs;
+  bfs.op = QueryOp::bfs;
+  bfs.sources = {1, 2};
+  EXPECT_NE(serve::batch_class(a), serve::batch_class(bfs));
+}
+
+TEST(ServeProtocol, FrameRoundTripOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  const std::string payload = R"({"op": "stats"})";
+  serve::write_frame(fds[0], payload);
+  std::string got;
+  ASSERT_TRUE(serve::read_frame(fds[1], got));
+  EXPECT_EQ(got, payload);
+  // Clean EOF surfaces as false, not an exception.
+  ::close(fds[0]);
+  EXPECT_FALSE(serve::read_frame(fds[1], got));
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocol, OversizedFrameHeaderRejected) {
+  int fds[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+  // A header advertising > kMaxFrameBytes must throw, not allocate.
+  const std::uint32_t huge = serve::kMaxFrameBytes + 1;
+  unsigned char header[4] = {
+      static_cast<unsigned char>(huge >> 24),
+      static_cast<unsigned char>(huge >> 16),
+      static_cast<unsigned char>(huge >> 8),
+      static_cast<unsigned char>(huge),
+  };
+  ASSERT_EQ(4, ::send(fds[0], header, 4, 0));
+  std::string got;
+  EXPECT_THROW(serve::read_frame(fds[1], got), std::runtime_error);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// ------------------------------------------------------------ result cache
+
+ResultCache::Value make_value(std::size_t n, value_t fill) {
+  return std::make_shared<const std::vector<value_t>>(n, fill);
+}
+
+TEST(ServeResultCache, MissThenHitThenEpochInvalidates) {
+  ResultCache cache(1 << 20);
+  EXPECT_EQ(nullptr, cache.get("q", 0));
+  cache.put("q", 0, make_value(8, 1.0));
+  const ResultCache::Value hit = cache.get("q", 0);
+  ASSERT_NE(nullptr, hit);
+  EXPECT_DOUBLE_EQ((*hit)[0], 1.0);
+  // Same fingerprint at a newer epoch is a different key entirely.
+  EXPECT_EQ(nullptr, cache.get("q", 1));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(ServeResultCache, LruEvictsWithinBudget) {
+  // One shard so the LRU order is globally observable; each value is
+  // ~4 KiB, the budget fits only a few.
+  ResultCache cache(10 << 10, 1);
+  cache.put("a", 0, make_value(512, 1.0));
+  cache.put("b", 0, make_value(512, 2.0));
+  ASSERT_NE(nullptr, cache.get("a", 0));  // refresh: "b" is now LRU
+  cache.put("c", 0, make_value(512, 3.0));
+  EXPECT_NE(nullptr, cache.get("a", 0));
+  EXPECT_NE(nullptr, cache.get("c", 0));
+  EXPECT_EQ(nullptr, cache.get("b", 0));  // evicted as least-recently-used
+  EXPECT_GE(cache.evictions(), 1u);
+  EXPECT_LE(cache.bytes(), 10u << 10);
+}
+
+TEST(ServeResultCache, ZeroBudgetDisablesAndOversizedNotAdmitted) {
+  ResultCache off(0);
+  EXPECT_FALSE(off.enabled());
+  off.put("q", 0, make_value(8, 1.0));
+  EXPECT_EQ(nullptr, off.get("q", 0));
+
+  ResultCache tiny(1 << 10, 1);
+  tiny.put("big", 0, make_value(1 << 16, 1.0));  // 512 KiB > whole budget
+  EXPECT_EQ(nullptr, tiny.get("big", 0));
+  EXPECT_EQ(tiny.entries(), 0u);
+}
+
+TEST(ServeResultCache, ExportsAbsoluteGauges) {
+  ResultCache cache(1 << 20);
+  cache.put("q", 0, make_value(8, 1.0));
+  cache.get("q", 0);
+  cache.get("absent", 0);
+  telemetry::MetricsRegistry reg;
+  cache.export_gauges(reg, "serve.cache");
+  cache.export_gauges(reg, "serve.cache");  // idempotent
+  const auto gauges = reg.gauges();
+  EXPECT_DOUBLE_EQ(gauges.at("serve.cache.hits"), 1.0);
+  EXPECT_DOUBLE_EQ(gauges.at("serve.cache.misses"), 1.0);
+  EXPECT_DOUBLE_EQ(gauges.at("serve.cache.hit_rate"), 0.5);
+  EXPECT_DOUBLE_EQ(gauges.at("serve.cache.entries"), 1.0);
+}
+
+// ---------------------------------------------------------------- batcher
+
+/// Echo compute: each request's result is lanes() copies of its first
+/// source (or its x_seed). Enough to verify routing without a graph.
+std::vector<std::vector<value_t>> echo_compute(const Batcher::Group& g) {
+  std::vector<std::vector<value_t>> out;
+  out.reserve(g.requests.size());
+  for (const QueryRequest& r : g.requests) {
+    const value_t v = r.op == QueryOp::spmv
+                          ? static_cast<value_t>(r.x_seed)
+                          : static_cast<value_t>(r.sources.front());
+    out.emplace_back(r.lanes(), v);
+  }
+  return out;
+}
+
+TEST(ServeBatcher, FullClassFlushesAsOneGroup) {
+  // Deadline far away: the only way the submits can complete is a full
+  // flush, so the coalescing assertion is deterministic.
+  BatcherOptions opt;
+  opt.max_lanes = 4;
+  opt.max_delay = std::chrono::microseconds(10'000'000);
+  Batcher batcher(opt, echo_compute);
+  std::vector<std::thread> producers;
+  std::vector<std::vector<value_t>> results(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    producers.emplace_back([&batcher, &results, i] {
+      results[i] = batcher.submit(ppr_request({static_cast<vid_t>(i)}));
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(results[i].size(), 1u);
+    EXPECT_DOUBLE_EQ(results[i][0], static_cast<value_t>(i));
+  }
+  EXPECT_EQ(batcher.flushes(), 1u);
+  EXPECT_EQ(batcher.full_flushes(), 1u);
+  EXPECT_EQ(batcher.lanes_flushed(), 4u);
+  EXPECT_DOUBLE_EQ(batcher.mean_lane_occupancy(), 4.0);
+  batcher.stop();
+}
+
+TEST(ServeBatcher, DeadlineFlushesPartialGroup) {
+  BatcherOptions opt;
+  opt.max_lanes = 8;
+  opt.max_delay = std::chrono::microseconds(500);
+  Batcher batcher(opt, echo_compute);
+  const std::vector<value_t> r = batcher.submit(ppr_request({7}));
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r[0], 7.0);
+  EXPECT_EQ(batcher.flushes(), 1u);
+  EXPECT_EQ(batcher.deadline_flushes(), 1u);
+  EXPECT_EQ(batcher.full_flushes(), 0u);
+  batcher.stop();
+}
+
+TEST(ServeBatcher, OversizedRequestFlushesAlone) {
+  BatcherOptions opt;
+  opt.max_lanes = 2;
+  opt.max_delay = std::chrono::microseconds(500);
+  Batcher batcher(opt, echo_compute);
+  const std::vector<value_t> r = batcher.submit(ppr_request({1, 2, 3}));
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(batcher.flushes(), 1u);
+  EXPECT_EQ(batcher.lanes_flushed(), 3u);
+  batcher.stop();
+}
+
+TEST(ServeBatcher, DistinctClassesNeverShareAGroup) {
+  BatcherOptions opt;
+  opt.max_lanes = 8;
+  opt.max_delay = std::chrono::microseconds(500);
+  std::mutex mu;
+  std::vector<std::vector<std::string>> groups;
+  Batcher batcher(opt, [&](const Batcher::Group& g) {
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::string> classes;
+    for (const QueryRequest& r : g.requests) {
+      classes.push_back(serve::batch_class(r));
+    }
+    groups.push_back(std::move(classes));
+    return echo_compute(g);
+  });
+  std::thread t1([&] { batcher.submit(ppr_request({1}, 5)); });
+  std::thread t2([&] { batcher.submit(ppr_request({2}, 9)); });
+  t1.join();
+  t2.join();
+  batcher.stop();
+  ASSERT_GE(groups.size(), 2u);
+  for (const auto& classes : groups) {
+    for (const auto& c : classes) EXPECT_EQ(c, classes.front());
+  }
+}
+
+TEST(ServeBatcher, DropFaultRetriesUntilServed) {
+  BatcherOptions opt;
+  opt.max_lanes = 8;
+  opt.max_delay = std::chrono::microseconds(200);
+  opt.fault.drop_flushes = 2;
+  Batcher batcher(opt, echo_compute);
+  const std::vector<value_t> r = batcher.submit(ppr_request({5}));
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r[0], 5.0);
+  EXPECT_EQ(batcher.dropped_flushes(), 2u);
+  batcher.stop();
+}
+
+TEST(ServeBatcher, StopDrainsPendingRequests) {
+  // The deadline is effectively infinite, so only stop() can release the
+  // waiting submit — stop must drain, not abandon.
+  BatcherOptions opt;
+  opt.max_lanes = 8;
+  opt.max_delay = std::chrono::microseconds(10'000'000);
+  Batcher batcher(opt, echo_compute);
+  std::vector<value_t> result;
+  std::thread waiter(
+      [&] { result = batcher.submit(ppr_request({9})); });
+  while (batcher.queue_depth() == 0) std::this_thread::yield();
+  batcher.stop();
+  waiter.join();
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_DOUBLE_EQ(result[0], 9.0);
+  batcher.stop();  // idempotent
+  EXPECT_THROW(batcher.submit(ppr_request({1})), std::runtime_error);
+}
+
+TEST(ServeBatcher, ComputeExceptionPropagatesToSubmitter) {
+  BatcherOptions opt;
+  opt.max_delay = std::chrono::microseconds(100);
+  Batcher batcher(opt, [](const Batcher::Group&)
+                           -> std::vector<std::vector<value_t>> {
+    throw std::runtime_error("engine on fire");
+  });
+  EXPECT_THROW(batcher.submit(ppr_request({1})), std::runtime_error);
+  batcher.stop();
+}
+
+// ------------------------------------------------------------ GraphSession
+
+SessionOptions one_thread_session() {
+  SessionOptions opt;
+  opt.ihtl.buffer_bytes = 32 * sizeof(value_t);
+  opt.threads = 1;
+  return opt;
+}
+
+TEST(ServeSession, PprBatchMatchesAppPersonalizedBatch) {
+  const Graph g = small_web(1 << 9);
+  GraphSession session(small_web(1 << 9), one_thread_session());
+  const std::vector<vid_t> sources = {3, 17, 101};
+  const std::vector<value_t> got = session.ppr_batch(sources, 5, 0.85);
+
+  ThreadPool pool(1);
+  IhtlConfig cfg;
+  cfg.buffer_bytes = 32 * sizeof(value_t);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+  PageRankOptions popt;
+  popt.iterations = 5;
+  popt.tolerance = 0.0;  // fixed-count, like the session
+  const PageRankResult want =
+      pagerank_personalized_batch(pool, g, ig, sources, popt);
+  ASSERT_EQ(got.size(), want.ranks.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i], want.ranks[i]) << "at " << i;
+  }
+}
+
+TEST(ServeSession, BfsBatchMatchesAppWithMinusOneForUnreachable) {
+  const Graph g = small_web(1 << 9);
+  GraphSession session(small_web(1 << 9), one_thread_session());
+  const std::vector<vid_t> sources = {0, 42};
+  const std::vector<value_t> got = session.bfs_batch(sources);
+
+  ThreadPool pool(1);
+  IhtlConfig cfg;
+  cfg.buffer_bytes = 32 * sizeof(value_t);
+  const AnalyticsResult want =
+      bfs_multi_source(pool, g, sources, AnalyticsKernel::ihtl, cfg);
+  ASSERT_EQ(got.size(), want.values.size());
+  bool saw_unreachable = false;
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (std::isinf(want.values[i])) {
+      EXPECT_DOUBLE_EQ(got[i], -1.0) << "at " << i;
+      saw_unreachable = true;
+    } else {
+      EXPECT_DOUBLE_EQ(got[i], want.values[i]) << "at " << i;
+    }
+  }
+  // The web generator leaves some vertices unreachable from low sources;
+  // if this ever stops holding, pick different sources so the -1 mapping
+  // stays exercised.
+  EXPECT_TRUE(saw_unreachable);
+}
+
+TEST(ServeSession, SpmvBatchMatchesEngineOnDerivedInput) {
+  const Graph g = small_web(1 << 9);
+  GraphSession session(small_web(1 << 9), one_thread_session());
+  const std::uint64_t seed = 99;
+  const std::vector<std::uint64_t> seeds = {seed};
+  const std::vector<value_t> got = session.spmv_batch(seeds);
+
+  ThreadPool pool(1);
+  IhtlConfig cfg;
+  cfg.buffer_bytes = 32 * sizeof(value_t);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+  const vid_t n = g.num_vertices();
+  std::vector<value_t> x(n), want(n);
+  for (vid_t v = 0; v < n; ++v) x[v] = serve::spmv_input_value(seed, v);
+  ihtl_spmv_once(pool, ig, x, want);
+  ASSERT_EQ(got.size(), want.size());
+  for (vid_t v = 0; v < n; ++v) EXPECT_DOUBLE_EQ(got[v], want[v]);
+}
+
+TEST(ServeSession, BatchCompositionDoesNotChangeALanesAnswer) {
+  // The whole admission-queue design rests on this: with a 1-thread pool a
+  // lane's answer is bitwise independent of which requests were coalesced
+  // around it.
+  GraphSession session(small_web(1 << 9), one_thread_session());
+  const std::vector<vid_t> all = {3, 17, 101, 7};
+  const std::vector<value_t> fused = session.ppr_batch(all, 4, 0.85);
+  const vid_t n = session.num_vertices();
+  for (std::size_t lane = 0; lane < all.size(); ++lane) {
+    const std::vector<vid_t> solo = {all[lane]};
+    const std::vector<value_t> alone = session.ppr_batch(solo, 4, 0.85);
+    for (vid_t v = 0; v < n; ++v) {
+      ASSERT_EQ(alone[v], fused[static_cast<std::size_t>(v) * all.size() +
+                                lane])
+          << "lane " << lane << " vertex " << v;
+    }
+  }
+}
+
+TEST(ServeSession, DrainThenComputeStillWorksSerially) {
+  GraphSession session(small_web(1 << 8), one_thread_session());
+  const std::vector<vid_t> sources = {5};
+  const std::vector<value_t> before = session.ppr_batch(sources, 3, 0.85);
+  session.drain();
+  session.drain();  // idempotent
+  const std::vector<value_t> after = session.ppr_batch(sources, 3, 0.85);
+  EXPECT_EQ(before, after);
+}
+
+TEST(ServeSession, EpochBumpsMonotonically) {
+  GraphSession session(small_web(1 << 8), one_thread_session());
+  EXPECT_EQ(session.epoch(), 0u);
+  session.bump_epoch();
+  session.bump_epoch();
+  EXPECT_EQ(session.epoch(), 2u);
+}
+
+// ---------------------------------------------------------------- server
+
+class ServeServerTest : public ::testing::Test {
+ protected:
+  ServeServerTest()
+      : session_(small_web(1 << 8), one_thread_session()),
+        server_(session_, make_options()) {
+    client_.connect("127.0.0.1", server_.port());
+  }
+  static serve::ServerOptions make_options() {
+    serve::ServerOptions opt;
+    opt.max_lanes = 4;
+    opt.max_batch_delay = std::chrono::microseconds(100);
+    opt.cache_bytes = 4 << 20;
+    return opt;
+  }
+
+  GraphSession session_;
+  serve::Server server_;
+  serve::Client client_;
+};
+
+TEST_F(ServeServerTest, ComputeCacheEpochAndStatsContract) {
+  const QueryRequest req = ppr_request({3, 9}, 4);
+  const JsonValue first = client_.roundtrip(req);
+  ASSERT_TRUE(first.find("ok")->as_bool()) << first.dump();
+  EXPECT_FALSE(first.find("cached")->as_bool());
+  const auto& values = first.find("values")->items();
+  ASSERT_EQ(values.size(),
+            static_cast<std::size_t>(session_.num_vertices()) * 2);
+
+  // Same request again: served verbatim from the cache.
+  const JsonValue second = client_.roundtrip(req);
+  ASSERT_TRUE(second.find("ok")->as_bool());
+  EXPECT_TRUE(second.find("cached")->as_bool());
+  const auto& cached_values = second.find("values")->items();
+  ASSERT_EQ(cached_values.size(), values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i].as_number(), cached_values[i].as_number());
+  }
+
+  // An epoch bump invalidates: the third answer is recomputed yet equal.
+  QueryRequest bump;
+  bump.op = QueryOp::bump_epoch;
+  const JsonValue bumped = client_.roundtrip(bump);
+  ASSERT_TRUE(bumped.find("ok")->as_bool());
+  EXPECT_EQ(bumped.find("epoch")->as_number(), 1.0);
+  const JsonValue third = client_.roundtrip(req);
+  EXPECT_FALSE(third.find("cached")->as_bool());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    EXPECT_EQ(values[i].as_number(),
+              third.find("values")->items()[i].as_number());
+  }
+
+  // Stats reflect what just happened.
+  QueryRequest stats;
+  stats.op = QueryOp::stats;
+  const JsonValue s = client_.roundtrip(stats);
+  ASSERT_TRUE(s.find("ok")->as_bool());
+  const JsonValue* gauges = s.find("stats")->find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_GE(gauges->find("serve.cache.hits")->as_number(), 1.0);
+  EXPECT_GE(gauges->find("serve.latency.count")->as_number(), 3.0);
+  EXPECT_GE(gauges->find("serve.batch.flushes")->as_number(), 2.0);
+  EXPECT_EQ(server_.requests_served(), 3u);
+}
+
+TEST_F(ServeServerTest, CacheOptOutRecomputes) {
+  QueryRequest req = ppr_request({11}, 3);
+  req.use_cache = false;
+  const JsonValue first = client_.roundtrip(req);
+  const JsonValue second = client_.roundtrip(req);
+  ASSERT_TRUE(first.find("ok")->as_bool());
+  ASSERT_TRUE(second.find("ok")->as_bool());
+  EXPECT_FALSE(first.find("cached")->as_bool());
+  EXPECT_FALSE(second.find("cached")->as_bool());
+}
+
+TEST_F(ServeServerTest, MalformedRequestGetsErrorNotDisconnect) {
+  JsonValue bad = JsonValue::object();
+  bad.set("op", "ppr");  // missing sources
+  const JsonValue resp = client_.roundtrip(bad);
+  ASSERT_FALSE(resp.find("ok")->as_bool());
+  EXPECT_TRUE(resp.find("error")->is_string());
+  // The connection survives the error: the next request still works.
+  QueryRequest stats;
+  stats.op = QueryOp::stats;
+  EXPECT_TRUE(client_.roundtrip(stats).find("ok")->as_bool());
+}
+
+TEST_F(ServeServerTest, ShutdownOpStopsTheServer) {
+  QueryRequest down;
+  down.op = QueryOp::shutdown;
+  const JsonValue resp = client_.roundtrip(down);
+  ASSERT_TRUE(resp.find("ok")->as_bool());
+  server_.wait();  // returns because the op signalled stop
+  server_.stop();
+  EXPECT_FALSE(server_.running());
+}
+
+TEST_F(ServeServerTest, ConcurrentClientsAllAnswered) {
+  constexpr int kClients = 8;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([this, c, &ok] {
+      serve::Client cl;
+      cl.connect("127.0.0.1", server_.port());
+      const JsonValue resp =
+          cl.roundtrip(ppr_request({static_cast<vid_t>(c * 3 + 1)}, 3));
+      if (resp.find("ok")->as_bool() &&
+          resp.find("values")->items().size() ==
+              static_cast<std::size_t>(session_.num_vertices())) {
+        ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(ok.load(), kClients);
+}
+
+}  // namespace
+}  // namespace ihtl

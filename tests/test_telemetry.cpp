@@ -10,6 +10,7 @@
 #include "core/ihtl_spmv.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
+#include "telemetry/histogram.h"
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
 #include "telemetry/report.h"
@@ -359,6 +360,89 @@ TEST(Report, WriteJsonFileThrowsOnBadPath) {
   EXPECT_THROW(telemetry::write_json_file(JsonValue::object(),
                                           "/no/such/dir/report.json"),
                std::runtime_error);
+}
+
+TEST(Report, ZeroSpanReportIsValidJson) {
+  // A server's periodic metrics dump can fire before any request completed
+  // a span; the writer must still emit a parseable document with every
+  // section present (empty objects, not missing keys or bare commas).
+  MetricsRegistry reg(1);
+  const JsonValue report = telemetry::make_report(
+      reg, JsonValue::object(), JsonValue(), JsonValue());
+  const JsonValue back = JsonValue::parse(report.dump());
+  for (const char* key : {"spans", "counters", "gauges"}) {
+    const JsonValue* section = back.find(key);
+    ASSERT_NE(section, nullptr) << key;
+    EXPECT_TRUE(section->is_object()) << key;
+    EXPECT_TRUE(section->entries().empty()) << key;
+  }
+
+  const std::string path = ::testing::TempDir() + "/telemetry_empty.json";
+  telemetry::write_json_file(report, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NO_THROW(JsonValue::parse(ss.str()));
+  std::remove(path.c_str());
+}
+
+TEST(Report, WriteJsonFileIsAtomicNoTempFileLeftBehind) {
+  // The periodic dump rewrites the same path while readers may be mid-read;
+  // the writer goes through <path>.tmp + rename, and must not leave the
+  // temporary behind on success.
+  MetricsRegistry reg(1);
+  reg.add("n", 1);
+  const std::string path = ::testing::TempDir() + "/telemetry_atomic.json";
+  telemetry::write_json_file(telemetry::metrics_to_json(reg), path);
+  reg.add("n", 1);
+  telemetry::write_json_file(telemetry::metrics_to_json(reg), path);
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const JsonValue back = JsonValue::parse(ss.str());
+  EXPECT_DOUBLE_EQ(back.find("counters")->find("n")->as_number(), 2.0);
+  std::remove(path.c_str());
+}
+
+// --------------------------------------------------------------- Histogram
+
+TEST(LatencyHistogram, EmptyReportsZero) {
+  telemetry::LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.percentile_us(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.max_us(), 0.0);
+}
+
+TEST(LatencyHistogram, PercentilesAreBucketAccurate) {
+  telemetry::LatencyHistogram h;
+  // 90 samples near 1us, 10 near 1ms: p50 lands in the 1us decade, p99 in
+  // the 1ms decade. The log2-bucket estimate is within ~1.4x.
+  for (int i = 0; i < 90; ++i) h.record_ns(1'000);
+  for (int i = 0; i < 10; ++i) h.record_ns(1'000'000);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_GT(h.percentile_us(50), 0.5);
+  EXPECT_LT(h.percentile_us(50), 2.0);
+  EXPECT_GT(h.percentile_us(99), 500.0);
+  EXPECT_LT(h.percentile_us(99), 2000.0);
+  EXPECT_DOUBLE_EQ(h.max_us(), 1000.0);  // max is exact, not bucketed
+  EXPECT_GE(h.percentile_us(99), h.percentile_us(50));
+}
+
+TEST(LatencyHistogram, ExportsGaugesAndResets) {
+  telemetry::LatencyHistogram h;
+  h.record_seconds(0.002);
+  MetricsRegistry reg(1);
+  h.export_gauges(reg, "lat");
+  const auto gauges = reg.gauges();
+  EXPECT_DOUBLE_EQ(gauges.at("lat.count"), 1.0);
+  EXPECT_GT(gauges.at("lat.p99_us"), 0.0);
+  EXPECT_DOUBLE_EQ(gauges.at("lat.max_us"), 2000.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.max_us(), 0.0);
 }
 
 }  // namespace

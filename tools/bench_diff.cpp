@@ -1,210 +1,5 @@
-// Compares two telemetry snapshots (BENCH_*.json from bench/perf_suite, or
-// single-run reports from `ihtl_run --metrics-out`) and reports per-metric
-// deltas. Metrics whose time/miss cost grew past the threshold are flagged
-// as regressions; with --strict the exit code reflects them, so CI can gate
-// on perf without parsing the output.
-//
-//   bench_diff old.json new.json [--threshold 0.10] [--strict] [--all]
-#include <cmath>
-#include <cstdio>
-#include <fstream>
-#include <map>
-#include <sstream>
-#include <string>
+// CLI: diff two telemetry snapshots and flag perf regressions. See
+// `bench_diff --help`.
+#include "cli/commands.h"
 
-#include "cli/args.h"
-#include "telemetry/json.h"
-
-namespace {
-
-using ihtl::telemetry::JsonValue;
-
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open: " + path);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
-}
-
-/// Flattens the spans/counters/gauges/hw_counters sections of one run/
-/// dataset object into dotted metric names under `prefix`. The report
-/// schema is additive — newer producers attach extra keys (per-span "hw"
-/// sub-objects, whole new sections) — so everything unrecognized or
-/// non-numeric is skipped, never an error: an old bench_diff must keep
-/// working against a new report and vice versa.
-void flatten_sections(const JsonValue& obj, const std::string& prefix,
-                      std::map<std::string, double>& out) {
-  if (const JsonValue* spans = obj.find("spans"); spans && spans->is_object()) {
-    for (const auto& [path, entry] : spans->entries()) {
-      if (const JsonValue* v = entry.find("total_s");
-          v && v->is_number()) {
-        out[prefix + "span." + path + ".total_s"] = v->as_number();
-      }
-      if (const JsonValue* v = entry.find("count"); v && v->is_number()) {
-        out[prefix + "span." + path + ".count"] = v->as_number();
-      }
-    }
-  }
-  if (const JsonValue* counters = obj.find("counters");
-      counters && counters->is_object()) {
-    for (const auto& [name, v] : counters->entries()) {
-      if (v.is_number()) out[prefix + "counter." + name] = v.as_number();
-    }
-  }
-  if (const JsonValue* gauges = obj.find("gauges");
-      gauges && gauges->is_object()) {
-    for (const auto& [name, v] : gauges->entries()) {
-      if (v.is_number()) out[prefix + "gauge." + name] = v.as_number();
-    }
-  }
-  // Hardware-counter paths land as `hw.<span path>.<event>`, so CI can
-  // gate on e.g. `--require-key llc_misses` and regressions in real cache
-  // misses are diffed like any other metric.
-  if (const JsonValue* hw = obj.find("hw_counters");
-      hw && hw->is_object()) {
-    if (const JsonValue* paths = hw->find("paths");
-        paths && paths->is_object()) {
-      for (const auto& [path, entry] : paths->entries()) {
-        if (!entry.is_object()) continue;
-        for (const auto& [event, v] : entry.entries()) {
-          if (v.is_number()) {
-            out[prefix + "hw." + path + "." + event] = v.as_number();
-          }
-        }
-      }
-    }
-  }
-}
-
-std::map<std::string, double> flatten(const JsonValue& doc) {
-  std::map<std::string, double> out;
-  if (const JsonValue* datasets = doc.find("datasets");
-      datasets && datasets->is_array()) {
-    for (const JsonValue& entry : datasets->items()) {
-      std::string name = "dataset";
-      if (const JsonValue* g = entry.find("graph")) {
-        if (const JsonValue* n = g->find("name")) name = n->as_string();
-      }
-      flatten_sections(entry, name + ".", out);
-    }
-  } else {
-    flatten_sections(doc, "", out);
-  }
-  return out;
-}
-
-/// Regressions are judged on metrics where "more" is "worse": span times,
-/// cache misses / memory accesses, and steal counts.
-bool regression_sensitive(const std::string& key) {
-  return key.find(".total_s") != std::string::npos ||
-         key.find("misses") != std::string::npos ||
-         key.find("memory_accesses") != std::string::npos ||
-         key.find("steals") != std::string::npos;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  ihtl::ArgParser args;
-  args.add_flag("threshold", true, "regression threshold (default 0.10)");
-  args.add_flag("strict", false, "exit 1 if any regression is flagged");
-  args.add_flag("all", false, "print unchanged metrics too");
-  args.add_flag("require-key", true,
-                "comma-separated substrings that must each match at least "
-                "one metric in new.json (e.g. llc_misses); exit 1 otherwise");
-  args.add_flag("help", false, "show usage");
-  try {
-    args.parse(argc, argv);
-    if (args.has("help") || args.positional().size() != 2) {
-      std::printf("usage: bench_diff <old.json> <new.json> "
-                  "[--threshold 0.10] [--strict] [--all]\n%s",
-                  args.help_text().c_str());
-      return args.has("help") ? 0 : 2;
-    }
-    const double threshold = args.get_double("threshold", 0.10);
-    const std::string old_path = args.positional()[0];
-    const std::string new_path = args.positional()[1];
-    const auto old_metrics = flatten(JsonValue::parse(read_file(old_path)));
-    const auto new_metrics = flatten(JsonValue::parse(read_file(new_path)));
-
-    // Gate on required metrics BEFORE diffing: a report that silently lost
-    // its hardware counters (perf became unavailable on the CI runner)
-    // must fail loudly, not pass because nothing regressed.
-    if (args.has("require-key")) {
-      const std::string spec = args.get_string("require-key");
-      int missing = 0;
-      std::size_t start = 0;
-      while (start <= spec.size()) {
-        const std::size_t comma = spec.find(',', start);
-        const std::size_t end = comma == std::string::npos ? spec.size() : comma;
-        if (end > start) {
-          const std::string needle = spec.substr(start, end - start);
-          bool found = false;
-          for (const auto& [key, v] : new_metrics) {
-            if (key.find(needle) != std::string::npos) {
-              found = true;
-              break;
-            }
-          }
-          if (!found) {
-            std::fprintf(stderr,
-                         "bench_diff: required key '%s' matches no metric "
-                         "in %s\n",
-                         needle.c_str(), new_path.c_str());
-            ++missing;
-          }
-        }
-        if (comma == std::string::npos) break;
-        start = comma + 1;
-      }
-      if (missing > 0) return 1;
-    }
-
-    std::printf("%-56s %14s %14s %9s\n", "metric", "old", "new", "delta");
-    int regressions = 0, improvements = 0, compared = 0;
-    for (const auto& [key, old_v] : old_metrics) {
-      const auto it = new_metrics.find(key);
-      if (it == new_metrics.end()) {
-        std::printf("%-56s %14.6g %14s %9s\n", key.c_str(), old_v, "-",
-                    "gone");
-        continue;
-      }
-      ++compared;
-      const double new_v = it->second;
-      const double delta =
-          old_v != 0.0 ? (new_v - old_v) / std::fabs(old_v)
-                       : (new_v == 0.0 ? 0.0 : INFINITY);
-      const bool beyond = std::fabs(delta) > threshold;
-      const bool sensitive = regression_sensitive(key);
-      const char* mark = "";
-      if (beyond && sensitive) {
-        if (delta > 0) {
-          mark = "  << REGRESSION";
-          ++regressions;
-        } else {
-          mark = "  << improved";
-          ++improvements;
-        }
-      }
-      if (beyond || args.has("all")) {
-        std::printf("%-56s %14.6g %14.6g %+8.1f%%%s\n", key.c_str(), old_v,
-                    new_v, 100.0 * delta, mark);
-      }
-    }
-    for (const auto& [key, new_v] : new_metrics) {
-      if (!old_metrics.count(key)) {
-        std::printf("%-56s %14s %14.6g %9s\n", key.c_str(), "-", new_v,
-                    "new");
-      }
-    }
-    std::printf("\ncompared %d metrics: %d regression(s), %d improvement(s) "
-                "beyond %.0f%%\n",
-                compared, regressions, improvements, 100.0 * threshold);
-    if (args.has("strict") && regressions > 0) return 1;
-    return 0;
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "bench_diff: %s\n", e.what());
-    return 2;
-  }
-}
+int main(int argc, char** argv) { return ihtl::cmd_bench_diff(argc, argv); }

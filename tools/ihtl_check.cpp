@@ -15,6 +15,7 @@
 
 #include "check/diff_runner.h"
 #include "check/oracle.h"
+#include "check/serve_check.h"
 #include "cli/args.h"
 #include "telemetry/metrics.h"
 #include "telemetry/report.h"
@@ -100,6 +101,18 @@ int main(int argc, char** argv) {
   args.add_flag("inject-trace-drop", false,
                 "install a drop-all trace buffer: the check must reach the "
                 "same verdict while every trace event is discarded");
+  args.add_flag("serve-points", true,
+                "also run N points of the serve lattice: concurrent TCP "
+                "clients vs a serial oracle (0 = skip; separate seed space "
+                "from the engine lattice)");
+  args.add_flag("serve-clients", true,
+                "force the client count per serve point (0 = lattice)");
+  args.add_flag("serve-queries", true,
+                "queries per client per serve point (default 6)");
+  args.add_flag("inject-flush-delay-us", true,
+                "serve fault injection: stall every batch flush this long");
+  args.add_flag("inject-flush-drops", true,
+                "serve fault injection: re-queue the first N flushes");
   args.add_flag("no-minimize", false, "report the failure without shrinking");
   args.add_flag("repro-out", true, "write the repro snippet to this file");
   args.add_flag("metrics-out", true, "write a JSON telemetry report");
@@ -174,6 +187,43 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "OK: " << opt.points << " lattice points clean (seed "
                 << opt.base_seed << ")\n";
+    }
+  }
+
+  // The serve lattice runs after the engine lattice (and only when the
+  // latter passed): its oracle sits on top of the same engines, so an
+  // engine-level divergence would just fail twice.
+  const auto serve_points =
+      static_cast<std::size_t>(args.get_int("serve-points", 0));
+  if (rc == 0 && serve_points > 0) {
+    ServeCheckOptions sopt;
+    sopt.base_seed = opt.base_seed;
+    sopt.points = serve_points;
+    sopt.force_clients =
+        static_cast<unsigned>(args.get_int("serve-clients", 0));
+    sopt.force_threads = opt.force_threads;
+    sopt.queries_per_client =
+        static_cast<unsigned>(args.get_int("serve-queries", 6));
+    sopt.fault.delay_us =
+        static_cast<unsigned>(args.get_int("inject-flush-delay-us", 0));
+    sopt.fault.drop_flushes =
+        static_cast<unsigned>(args.get_int("inject-flush-drops", 0));
+    sopt.verbose = opt.verbose;
+    sopt.out = &std::cerr;
+    const ServeCheckResult sr = run_serve_lattice(sopt);
+    if (sr.ok) {
+      std::cerr << "OK: " << sr.points_run << " serve points clean ("
+                << sr.queries_checked << " queries vs serial oracle)\n";
+    } else {
+      std::cerr << "FAIL: " << sr.failure << "\n"
+                << "Replay with: ihtl_check --points 0 --serve-points "
+                << serve_points << " --seed " << opt.base_seed;
+      if (sopt.force_clients) {
+        std::cerr << " --serve-clients " << sopt.force_clients;
+      }
+      if (opt.force_threads) std::cerr << " --threads " << opt.force_threads;
+      std::cerr << "\n";
+      rc = 1;
     }
   }
 

@@ -1,0 +1,6 @@
+// CLI: client for ihtl_serve — single queries, stats, or a seeded
+// concurrent mixed workload with cache-hit assertions. See
+// `ihtl_query --help`.
+#include "cli/commands.h"
+
+int main(int argc, char** argv) { return ihtl::cmd_query(argc, argv); }

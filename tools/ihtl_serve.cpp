@@ -1,0 +1,6 @@
+// CLI: long-lived query daemon — load a graph once, answer ppr / bfs /
+// spmv queries over TCP with micro-batching and a result cache. See
+// `ihtl_serve --help` and src/serve/protocol.h for the wire format.
+#include "cli/commands.h"
+
+int main(int argc, char** argv) { return ihtl::cmd_serve(argc, argv); }
