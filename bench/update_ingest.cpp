@@ -1,0 +1,248 @@
+// Streaming-update ingest throughput: updates/sec of seeded UpdateBatch
+// streams through GraphSession::apply_update under the two threshold
+// regimes — incremental patching (rebuild_threshold = 1e9, every batch
+// patches the flipped/sparse blocks in place) vs forced full rebuild
+// (rebuild_threshold = -1, every batch re-runs the iHTL builder). The gap
+// is the price the rebuild threshold is trading against layout quality.
+// Also measures the consuming workload: warm-start PageRank-Delta resumed
+// from the pre-update ranks vs a cold start on the post-update graph.
+//
+//   ./bench/update_ingest                        # TwtrMpi bench scale
+//   ./bench/update_ingest --min-speedup 2        # exit 1 unless patching wins
+//
+// Results are merged into BENCH_update.json under a top-level "update"
+// section; tools/bench_diff diffs them across commits.
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/pagerank_delta.h"
+#include "bench_common.h"
+#include "cli/args.h"
+#include "core/ihtl_update.h"
+#include "parallel/thread_pool.h"
+#include "serve/session.h"
+#include "telemetry/json.h"
+#include "telemetry/report.h"
+
+namespace {
+
+using namespace ihtl;
+using namespace ihtl::bench;
+using telemetry::JsonValue;
+
+JsonValue load_snapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return JsonValue::object();
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    JsonValue doc = JsonValue::parse(buf.str());
+    if (doc.is_object()) return doc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "update_ingest: existing %s not parseable (%s); rewriting\n",
+                 path.c_str(), e.what());
+  }
+  return JsonValue::object();
+}
+
+/// Seeded batch stream: batch b inserts `edits` uniform edges and removes
+/// batch b-1's inserts (guaranteed present, so every batch is valid and the
+/// graph size stays bounded while both the insert and remove paths run).
+std::vector<UpdateBatch> make_batches(vid_t n, unsigned batches,
+                                      unsigned edits, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<UpdateBatch> out(batches);
+  for (unsigned b = 0; b < batches; ++b) {
+    out[b].insert.reserve(edits);
+    for (unsigned i = 0; i < edits; ++i) {
+      out[b].insert.push_back({static_cast<vid_t>(rng() % n),
+                               static_cast<vid_t>(rng() % n)});
+    }
+    if (b > 0) out[b].remove = out[b - 1].insert;
+  }
+  return out;
+}
+
+struct RegimeResult {
+  double seconds = 0.0;
+  double updates_per_s = 0.0;
+  std::uint64_t edits = 0;
+  std::uint64_t rebuilds = 0;
+};
+
+RegimeResult run_regime(Graph g, const serve::SessionOptions& base,
+                        double threshold,
+                        const std::vector<UpdateBatch>& batches) {
+  serve::SessionOptions opt = base;
+  opt.update.rebuild_threshold = threshold;
+  serve::GraphSession session(std::move(g), opt);
+  RegimeResult r;
+  Timer timer;
+  for (const UpdateBatch& b : batches) {
+    const UpdateStats st = session.apply_update(b);
+    r.edits += st.inserted + st.removed;
+    r.rebuilds += st.rebuilt;
+  }
+  r.seconds = timer.elapsed_seconds();
+  r.updates_per_s =
+      r.seconds > 0 ? static_cast<double>(r.edits) / r.seconds : 0.0;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("out", true,
+                "snapshot to merge into (default BENCH_update.json)");
+  args.add_flag("dataset", true, "dataset name (default TwtrMpi)");
+  args.add_flag("scale", true, "bench | large (default bench)");
+  args.add_flag("batches", true, "update batches to stream (default 32)");
+  args.add_flag("edits", true, "edge inserts per batch (default 64)");
+  args.add_flag("seed", true, "batch stream seed (default 2026)");
+  args.add_flag("threads", true, "worker threads (default hw concurrency)");
+  args.add_flag("min-speedup", true,
+                "exit 1 unless incremental ingest reaches this updates/sec "
+                "speedup over forced rebuild (default 0 = no check)");
+  args.add_flag("help", false, "show usage");
+  try {
+    args.parse(argc, argv);
+    if (args.has("help")) {
+      std::printf("usage: update_ingest [flags]\n%s",
+                  args.help_text().c_str());
+      return 0;
+    }
+    const std::string out_path =
+        args.get_string("out", "BENCH_update.json");
+    const std::string name = args.get_string("dataset", "TwtrMpi");
+    const std::string scale_name = args.get_string("scale", "bench");
+    DatasetScale scale;
+    if (scale_name == "large") {
+      scale = kWallClockScale;
+    } else if (scale_name == "bench") {
+      scale = kBenchScale;
+    } else {
+      throw std::invalid_argument("--scale must be 'bench' or 'large'");
+    }
+    const auto batches = static_cast<unsigned>(
+        std::max<std::int64_t>(1, args.get_int("batches", 32)));
+    const auto edits = static_cast<unsigned>(
+        std::max<std::int64_t>(1, args.get_int("edits", 64)));
+    const auto seed =
+        static_cast<std::uint64_t>(args.get_int("seed", 2026));
+    const auto threads = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, args.get_int("threads", 0)));
+    const double min_speedup = args.get_double("min-speedup", 0.0);
+
+    const std::string what =
+        "updates/sec, incremental patching vs full rebuild, " +
+        std::to_string(batches) + " batches x " + std::to_string(edits) +
+        " edits";
+    print_header("update_ingest", "streaming edge updates", what.c_str());
+
+    const DatasetSpec& spec = dataset_spec(name);
+    const Graph g = load_bench_graph(spec, scale);
+    print_dataset_line(g, spec);
+
+    const std::vector<UpdateBatch> stream =
+        make_batches(g.num_vertices(), batches, edits, seed);
+
+    serve::SessionOptions sopt;
+    sopt.ihtl = scale == DatasetScale::large ? hw_ihtl_config()
+                                             : scaled_ihtl_config();
+    sopt.threads = threads;
+
+    std::printf("%-28s %12s %12s %10s\n", "regime", "seconds",
+                "updates/s", "rebuilds");
+    const RegimeResult incremental =
+        run_regime(g, sopt, 1e9, stream);
+    std::printf("%-28s %12.3f %12.1f %10llu\n", "incremental (patch)",
+                incremental.seconds, incremental.updates_per_s,
+                static_cast<unsigned long long>(incremental.rebuilds));
+    const RegimeResult rebuild = run_regime(g, sopt, -1.0, stream);
+    std::printf("%-28s %12.3f %12.1f %10llu\n", "forced full rebuild",
+                rebuild.seconds, rebuild.updates_per_s,
+                static_cast<unsigned long long>(rebuild.rebuilds));
+    const double speedup = rebuild.updates_per_s > 0
+                               ? incremental.updates_per_s /
+                                     rebuild.updates_per_s
+                               : 0.0;
+    std::printf("\nincremental ingest speedup: %.2fx updates/sec\n",
+                speedup);
+
+    // Consuming workload: resume PageRank-Delta from the pre-update ranks
+    // on the fully-updated graph vs a cold uniform start.
+    ThreadPool pool(threads ? threads
+                            : std::max(1u,
+                                       std::thread::hardware_concurrency()));
+    const PageRankDeltaResult pre = pagerank_delta(pool, g);
+    Graph g_final = g;
+    for (const UpdateBatch& b : stream) g_final = apply_update(g_final, b);
+    const PageRankDeltaResult cold = pagerank_delta(pool, g_final);
+    const PageRankDeltaResult warm =
+        pagerank_delta_from(pool, g_final, pre.ranks);
+    const double active_ratio =
+        cold.total_active > 0
+            ? static_cast<double>(warm.total_active) /
+                  static_cast<double>(cold.total_active)
+            : 0.0;
+    std::printf("pagerank-delta after ingest: cold %u rounds / %llu active, "
+                "warm %u rounds / %llu active (%.2fx less frontier work)\n",
+                cold.rounds,
+                static_cast<unsigned long long>(cold.total_active),
+                warm.rounds,
+                static_cast<unsigned long long>(warm.total_active),
+                active_ratio > 0 ? 1.0 / active_ratio : 0.0);
+
+    JsonValue doc = load_snapshot(out_path);
+    JsonValue section = JsonValue::object();
+    JsonValue run = JsonValue::object();
+    run.set("dataset", spec.name);
+    run.set("scale", scale_name);
+    run.set("batches", static_cast<std::uint64_t>(batches));
+    run.set("edits_per_batch", static_cast<std::uint64_t>(edits));
+    run.set("seed", seed);
+    section.set("run", std::move(run));
+    JsonValue gauges = JsonValue::object();
+    gauges.set("update.updates_per_s_incremental",
+               incremental.updates_per_s);
+    gauges.set("update.updates_per_s_rebuild", rebuild.updates_per_s);
+    gauges.set("update.speedup", speedup);
+    gauges.set("update.incremental.total_s", incremental.seconds);
+    gauges.set("update.rebuild.total_s", rebuild.seconds);
+    gauges.set("update.pr_delta.cold_rounds",
+               static_cast<double>(cold.rounds));
+    gauges.set("update.pr_delta.warm_rounds",
+               static_cast<double>(warm.rounds));
+    gauges.set("update.pr_delta.active_ratio", active_ratio);
+    section.set("gauges", std::move(gauges));
+    JsonValue counters = JsonValue::object();
+    counters.set("update.batches", static_cast<std::uint64_t>(batches));
+    counters.set("update.edges_applied", incremental.edits);
+    counters.set("update.incremental.rebuilds", incremental.rebuilds);
+    counters.set("update.rebuild.rebuilds", rebuild.rebuilds);
+    counters.set("update.pr_delta.cold_active", cold.total_active);
+    counters.set("update.pr_delta.warm_active", warm.total_active);
+    section.set("counters", std::move(counters));
+    doc.set("update", std::move(section));
+    telemetry::write_json_file(doc, out_path);
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (min_speedup > 0.0 && speedup < min_speedup) {
+      std::fprintf(stderr,
+                   "update_ingest: speedup %.2fx below required %.2fx\n",
+                   speedup, min_speedup);
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "update_ingest: %s\n", e.what());
+    return 1;
+  }
+}

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <stdexcept>
 
 #include "baselines/spmv.h"
 #include "parallel/parallel_for.h"
@@ -9,19 +10,22 @@
 
 namespace ihtl {
 
-PageRankDeltaResult pagerank_delta(ThreadPool& pool, const Graph& g,
-                                   const PageRankDeltaOptions& opt) {
+namespace {
+
+/// Power iteration in delta form from an arbitrary starting vector. With
+/// rank_0 = `rank`, the first round computes the TRUE first delta
+/// (base + dA(rank_0) - rank_0, every vertex active); each later round
+/// propagates only the deltas of the surviving frontier. For the uniform
+/// start this reduces exactly to the original PageRank-Delta recurrence.
+PageRankDeltaResult pagerank_delta_core(ThreadPool& pool, const Graph& g,
+                                        std::vector<value_t> rank,
+                                        const PageRankDeltaOptions& opt) {
   Timer timer;
   PageRankDeltaResult result;
   const vid_t n = g.num_vertices();
   if (n == 0) return result;
 
-  // rank starts at the uniform vector and delta_k = rank_k - rank_{k-1};
-  // with that framing delta_1 = base + dA(1/n) - 1/n and every later delta
-  // is just dA(delta), so the accumulated rank IS the power-iteration
-  // sequence.
-  std::vector<value_t> rank(n, 1.0 / n);
-  std::vector<value_t> delta(n, 1.0 / n);
+  std::vector<value_t> delta(n, 0.0);
   std::vector<char> frontier(n, 1);
   std::vector<value_t> x(n), ngh_sum(n);
   const value_t base = (1.0 - opt.damping) / n;
@@ -29,20 +33,21 @@ PageRankDeltaResult pagerank_delta(ThreadPool& pool, const Graph& g,
   std::uint64_t active = n;
   for (unsigned round = 0; round < opt.max_rounds && active > 0; ++round) {
     result.total_active += active;
-    // Contribution of active vertices only; inactive ones propagate 0,
-    // which keeps the traversal dense-pull (reusing the SpMV kernel) while
-    // preserving frontier semantics.
+    // Round 0 propagates the full starting ranks (delta_1 needs A·rank_0);
+    // later rounds propagate active deltas only, which keeps the traversal
+    // dense-pull (reusing the SpMV kernel) while preserving frontier
+    // semantics — inactive vertices contribute 0.
     parallel_for(pool, 0, n, [&](std::uint64_t v, std::size_t) {
       const eid_t deg = g.out_degree(static_cast<vid_t>(v));
-      x[v] = (frontier[v] && deg) ? delta[v] / static_cast<value_t>(deg)
-                                  : 0.0;
+      const value_t num = round == 0 ? rank[v] : (frontier[v] ? delta[v] : 0);
+      x[v] = deg ? num / static_cast<value_t>(deg) : 0.0;
     });
     spmv_pull(pool, g, x, ngh_sum);
 
     std::atomic<std::uint64_t> next_active{0};
     parallel_for(pool, 0, n, [&](std::uint64_t v, std::size_t) {
       value_t d = opt.damping * ngh_sum[v];
-      if (round == 0) d += base - 1.0 / n;  // delta_1 = rank_1 - rank_0
+      if (round == 0) d += base - rank[v];  // delta_1 = rank_1 - rank_0
       rank[v] += d;
       delta[v] = d;
       const bool stays = std::abs(d) > opt.epsilon * rank[v];
@@ -55,6 +60,28 @@ PageRankDeltaResult pagerank_delta(ThreadPool& pool, const Graph& g,
   result.ranks = std::move(rank);
   result.seconds = timer.elapsed_seconds();
   return result;
+}
+
+}  // namespace
+
+PageRankDeltaResult pagerank_delta(ThreadPool& pool, const Graph& g,
+                                   const PageRankDeltaOptions& opt) {
+  const vid_t n = g.num_vertices();
+  return pagerank_delta_core(
+      pool, g, std::vector<value_t>(n, n ? 1.0 / n : 0.0), opt);
+}
+
+PageRankDeltaResult pagerank_delta_from(ThreadPool& pool, const Graph& g,
+                                        std::span<const value_t> prev,
+                                        const PageRankDeltaOptions& opt) {
+  if (prev.size() != g.num_vertices()) {
+    throw std::invalid_argument(
+        "pagerank_delta_from: starting vector has " +
+        std::to_string(prev.size()) + " entries for " +
+        std::to_string(g.num_vertices()) + " vertices");
+  }
+  return pagerank_delta_core(
+      pool, g, std::vector<value_t>(prev.begin(), prev.end()), opt);
 }
 
 }  // namespace ihtl

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -31,5 +32,19 @@ struct PageRankDeltaResult {
 
 PageRankDeltaResult pagerank_delta(ThreadPool& pool, const Graph& g,
                                    const PageRankDeltaOptions& opt = {});
+
+/// Warm-start variant — the consuming workload of the streaming-update
+/// path: resumes power iteration from `prev` (typically the PRE-update
+/// graph's converged ranks) instead of the uniform vector. The fixpoint is
+/// a property of `g` alone, so the result matches the cold start within
+/// the epsilon tolerance; the payoff is frontier work — after a small
+/// UpdateBatch the old ranks are already near the new fixpoint, so
+/// total_active collapses by an order of magnitude even when low-rank
+/// stragglers keep the round count similar (measured by
+/// bench/update_ingest).
+/// Throws std::invalid_argument when prev.size() != g.num_vertices().
+PageRankDeltaResult pagerank_delta_from(ThreadPool& pool, const Graph& g,
+                                        std::span<const value_t> prev,
+                                        const PageRankDeltaOptions& opt = {});
 
 }  // namespace ihtl

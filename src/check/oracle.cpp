@@ -506,15 +506,20 @@ OracleReport run_oracle(ThreadPool& pool, const Graph& g,
   // rather than as a downstream value divergence.
   const bool needs_ihtl = opt.workload != Workload::pagerank_delta &&
                           opt.workload != Workload::kcore;
-  IhtlGraph ig;
+  IhtlGraph built;
+  const IhtlGraph* igp = opt.prebuilt_ihtl;
   if (needs_ihtl) {
-    ig = build_ihtl_graph(g, cfg);
-    if (!ig.valid(g)) {
+    if (!igp) {
+      built = build_ihtl_graph(g, cfg);
+      igp = &built;
+    }
+    if (!igp->valid(g)) {
       rep.ok = false;
       rep.kind = "structure";
       return rep;
     }
   }
+  const IhtlGraph& ig = igp ? *igp : built;
 
   // The fault-injection hook wraps the scalar spmv signature, so injected
   // runs stay on the scalar path regardless of the requested batch.

@@ -134,6 +134,12 @@ struct OracleOptions {
   /// ignore it.
   std::size_t batch = 1;
   EngineOverride plus_engine_override;  ///< test-only fault injection
+  /// When set, the iHTL-traversing workloads run over THIS layout instead
+  /// of building one from (g, cfg) — the mutation lattice passes the
+  /// incrementally patched IhtlGraph here, so a value divergence indicts
+  /// the patch, not the builder. The structural pre-check (valid(g)) still
+  /// runs against it. Must describe exactly `g`; not owned.
+  const IhtlGraph* prebuilt_ihtl = nullptr;
 };
 
 /// Runs `opt.workload` on `g` through the serial reference and the iHTL

@@ -1,0 +1,266 @@
+#include "check/update_check.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "check/oracle.h"
+#include "core/ihtl_graph.h"
+#include "core/ihtl_update.h"
+#include "gen/datasets.h"
+#include "graph/graph.h"
+#include "parallel/thread_pool.h"
+
+namespace ihtl::check {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct Draw {
+  std::uint64_t state;
+  std::uint64_t next() { return state = splitmix64(state); }
+  std::uint64_t next(std::uint64_t bound) { return next() % bound; }
+};
+
+/// Seeded mutation batch over the CURRENT graph. Inserts are uniform pairs
+/// (duplicates drawn deliberately, self-loops arise naturally); removes are
+/// DISTINCT indices into to_edge_list(g) — each index names a distinct edge
+/// instance, so the batch is always multiplicity-valid even on rows the
+/// previous batches made repetitive.
+UpdateBatch make_batch(Draw d, const Graph& g) {
+  UpdateBatch b;
+  const vid_t n = g.num_vertices();
+  if (n == 0) return b;
+  const std::uint64_t inserts = d.next(12);
+  for (std::uint64_t i = 0; i < inserts; ++i) {
+    const Edge e{static_cast<vid_t>(d.next(n)),
+                 static_cast<vid_t>(d.next(n))};
+    b.insert.push_back(e);
+    if (d.next(4) == 0) b.insert.push_back(e);  // duplicate instance
+  }
+  if (d.next(4) == 0) {
+    const vid_t v = static_cast<vid_t>(d.next(n));
+    b.insert.push_back({v, v});  // explicit self-loop
+  }
+  const std::vector<Edge> edges = to_edge_list(g);
+  if (!edges.empty()) {
+    const std::uint64_t removes = d.next(8);
+    std::unordered_set<std::size_t> used;
+    for (std::uint64_t i = 0; i < removes; ++i) {
+      const std::size_t idx = d.next(edges.size());
+      if (!used.insert(idx).second) continue;
+      b.remove.push_back(edges[idx]);
+    }
+  }
+  return b;
+}
+
+bool has_edge(const Graph& g, vid_t src, vid_t dst) {
+  for (const vid_t t : g.out().neighbors(src)) {
+    if (t == dst) return true;
+  }
+  return false;
+}
+
+/// Runs one lattice point; returns the failure description or "".
+std::string run_point(const UpdatePointParams& p,
+                      const UpdateCheckOptions& opt, UpdateCheckResult& res) {
+  IhtlConfig cfg;
+  cfg.buffer_bytes = p.buffer_values * sizeof(value_t);
+  cfg.min_hub_in_degree = p.min_hub_in_degree;
+  UpdateConfig ucfg;
+  ucfg.rebuild_threshold =
+      opt.force_threshold ? *opt.force_threshold : p.threshold;
+  const bool forced_rebuild = ucfg.rebuild_threshold < 0.0;
+
+  Graph g = make_dataset(p.dataset, DatasetScale::tiny);
+  IhtlGraph ig = build_ihtl_graph(g, cfg);
+  if (!ig.valid(g)) return "seed layout invalid before any batch";
+  ThreadPool pool(p.threads);
+
+  // Empty batch: a no-op that must come back structurally intact and
+  // flagged as neither rebuilt nor drifted.
+  {
+    UpdateStats st;
+    const IhtlGraph same =
+        update_ihtl_graph(ig, g, g, UpdateBatch{}, cfg, ucfg, &st);
+    if (st.rebuilt || st.drift != 0.0) {
+      return "empty batch reported rebuilt=" + std::to_string(st.rebuilt) +
+             " drift=" + std::to_string(st.drift);
+    }
+    if (!same.valid(g)) return "empty batch broke the layout";
+  }
+
+  const unsigned batches = std::min(p.batches, opt.max_batches);
+  for (unsigned b = 0; b < batches; ++b) {
+    Draw bd{splitmix64(p.seed ^ (b + 1))};
+    const UpdateBatch batch = make_batch(bd, g);
+    const std::string where = "batch " + std::to_string(b) + " (" +
+                              std::to_string(batch.insert.size()) + " ins/" +
+                              std::to_string(batch.remove.size()) + " rm)";
+
+    Graph g_next = apply_update(g, batch);
+    UpdateStats st;
+    IhtlGraph ig_next =
+        update_ihtl_graph(ig, g, g_next, batch, cfg, ucfg, &st);
+    ++res.batches_checked;
+    if (st.rebuilt) {
+      ++res.rebuilds;
+    } else {
+      ++res.incremental;
+    }
+
+    // (1) structure: the patched layout AND the from-scratch layout must
+    // both reconstruct g_next's edge multiset — same graph semantics.
+    if (!ig_next.valid(g_next)) {
+      return where + ": patched layout fails valid(g_next) [rebuilt=" +
+             std::to_string(st.rebuilt) + "]";
+    }
+    const IhtlGraph rebuilt = build_ihtl_graph(g_next, cfg);
+    if (!rebuilt.valid(g_next)) {
+      return where + ": from-scratch oracle layout fails valid(g_next)";
+    }
+    if (ig_next.num_edges() != rebuilt.num_edges() ||
+        ig_next.num_vertices() != rebuilt.num_vertices()) {
+      return where + ": patched/oracle size mismatch";
+    }
+
+    // (3) policy: the forced-rebuild baseline must never patch.
+    if (forced_rebuild && !batch.empty() && !st.rebuilt) {
+      return where + ": negative threshold did not force a rebuild";
+    }
+
+    // (2) values: drive the iHTL engine THROUGH the patched layout against
+    // the serial reference on g_next.
+    OracleOptions oopt;
+    oopt.prebuilt_ihtl = &ig_next;
+    oopt.workload = Workload::spmv_plus;
+    oopt.x_seed = splitmix64(p.seed ^ (0xABCDu + b));
+    oopt.iterations = 3;
+    OracleReport rep = run_oracle(pool, g_next, cfg, oopt);
+    ++res.oracle_runs;
+    if (!rep.ok) {
+      return where + " [spmv_plus over patched layout]: " + rep.summary();
+    }
+    static const Workload kExtra[] = {Workload::spmv_min, Workload::spmv_max,
+                                      Workload::pagerank, Workload::bfs};
+    oopt.workload = kExtra[bd.next(4)];
+    oopt.source = static_cast<vid_t>(bd.next(g_next.num_vertices()));
+    rep = run_oracle(pool, g_next, cfg, oopt);
+    ++res.oracle_runs;
+    if (!rep.ok) {
+      return where + " [" + workload_name(oopt.workload) +
+             " over patched layout]: " + rep.summary();
+    }
+
+    g = std::move(g_next);
+    ig = std::move(ig_next);
+  }
+
+  // Fault injection: a poisoned batch must throw std::invalid_argument and
+  // leave the replayed state untouched.
+  if (p.poison) {
+    Draw pd{splitmix64(p.seed ^ 0xF00Du)};
+    UpdateBatch bad;
+    bool built = false;
+    if (p.poison_kind == 0) {
+      for (int attempt = 0; attempt < 64 && !built; ++attempt) {
+        const vid_t u = static_cast<vid_t>(pd.next(g.num_vertices()));
+        const vid_t v = static_cast<vid_t>(pd.next(g.num_vertices()));
+        if (!has_edge(g, u, v)) {
+          bad.remove.push_back({u, v});
+          built = true;
+        }
+      }
+    }
+    if (!built) {
+      bad = UpdateBatch{};
+      bad.insert.push_back({g.num_vertices(), 0});  // endpoint >= n
+      built = true;
+    }
+    bool threw = false;
+    try {
+      (void)apply_update(g, bad);
+    } catch (const std::invalid_argument&) {
+      threw = true;
+    }
+    if (!threw) return "poisoned batch was accepted";
+    ++res.faults_injected;
+    if (!ig.valid(g)) return "state mutated by a rejected batch";
+  }
+  return "";
+}
+
+}  // namespace
+
+UpdatePointParams UpdatePointParams::draw(std::uint64_t seed) {
+  Draw d{seed};
+  UpdatePointParams p;
+  p.seed = seed;
+  // APPEND-ONLY draw order — golden-pinned by SeedStability tests.
+  static const char* kDatasets[] = {"TwtrMpi", "Frndstr", "SK", "UU"};
+  p.dataset = kDatasets[d.next(4)];
+  // Small blocks force multi-block layouts even on tiny datasets, so the
+  // patch path's block routing gets exercised, not just block 0.
+  static const std::size_t kBufferValues[] = {64, 256, 1024, 4096};
+  p.buffer_values = kBufferValues[d.next(4)];
+  p.min_hub_in_degree = 2 + d.next(2);
+  static const unsigned kThreads[] = {1, 2, 4};
+  p.threads = kThreads[d.next(3)];
+  p.threshold_mode = static_cast<int>(d.next(4));
+  const double drawn = static_cast<double>(d.next(1000)) / 2000.0;  // [0,0.5)
+  switch (p.threshold_mode) {
+    case 2: p.threshold = -1.0; p.threshold_mode = 1; break;
+    case 3: p.threshold = 1e9; p.threshold_mode = 2; break;
+    default: p.threshold = drawn; p.threshold_mode = 0; break;
+  }
+  p.batches = 1 + static_cast<unsigned>(d.next(4));
+  p.poison = d.next(4) == 0;
+  p.poison_kind = static_cast<int>(d.next(2));
+  return p;
+}
+
+std::string UpdatePointParams::describe() const {
+  std::ostringstream s;
+  s << "dataset=" << dataset << " buffer_values=" << buffer_values
+    << " min_hub_deg=" << min_hub_in_degree << " threads=" << threads
+    << " threshold=" << threshold << " batches=" << batches
+    << " poison=" << (poison ? (poison_kind == 0 ? "rm-missing" : "oob")
+                             : "no");
+  return s.str();
+}
+
+UpdateCheckResult run_update_lattice(const UpdateCheckOptions& opt) {
+  UpdateCheckResult result;
+  for (std::size_t i = 0; i < opt.points; ++i) {
+    const std::uint64_t point_seed = splitmix64(opt.base_seed + i);
+    const UpdatePointParams p = UpdatePointParams::draw(point_seed);
+    if (opt.verbose && opt.out) {
+      (*opt.out) << "update point " << i << " (seed " << point_seed
+                 << "): " << p.describe() << "\n";
+    }
+    const std::string failure = run_point(p, opt, result);
+    ++result.points_run;
+    if (!failure.empty()) {
+      result.ok = false;
+      std::ostringstream s;
+      s << "update point " << i << " (seed " << point_seed << ", "
+        << p.describe() << "): " << failure;
+      result.failure = s.str();
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace ihtl::check

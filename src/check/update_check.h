@@ -1,0 +1,82 @@
+// Mutation-differential check lattice for the streaming-update path.
+//
+// A SEPARATE lattice from diff_runner's and serve_check's (their seed
+// streams stay untouched): each point builds one dataset and its iHTL
+// layout, then REPLAYS a seeded stream of UpdateBatches through
+// apply_update + update_ihtl_graph. After EVERY batch the incrementally
+// maintained layout is checked against the from-scratch rebuild oracle:
+//
+//   1. structure — the patched IhtlGraph must satisfy valid(g_next), and so
+//      must build_ihtl_graph(g_next, cfg); both therefore reconstruct the
+//      SAME edge multiset (g_next's), which is structural equality of graph
+//      semantics regardless of hub-set differences between the two layouts.
+//   2. values — run_oracle over the PATCHED layout (prebuilt_ihtl): the
+//      iHTL engine driven through the incremental blocks must match the
+//      serial reference on g_next, for spmv_plus plus one drawn workload.
+//   3. policy — a negative threshold (the forced-rebuild mode) must rebuild
+//      on every non-empty batch; drift/threshold accounting is pinned by
+//      unit tests, the lattice checks the end-to-end contract.
+//
+// Fault injection rides along: some points append a poisoned batch (remove
+// of a missing edge, or an endpoint outside the fixed vertex set) that must
+// throw std::invalid_argument and leave the replayed state untouched — the
+// "partial batch" failure mode the strong exception guarantee forbids.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "graph/types.h"
+
+namespace ihtl::check {
+
+/// One point's drawn configuration. The draw order is FROZEN (append-only,
+/// like CaseParams::draw) — tests golden-pin draw(424242), so new knobs
+/// must be appended at the END of draw(), never inserted.
+struct UpdatePointParams {
+  std::uint64_t seed = 0;
+  std::string dataset;
+  std::size_t buffer_values = 1024;  ///< hubs per block = this (8 B values)
+  eid_t min_hub_in_degree = 2;
+  unsigned threads = 1;
+  /// 0 = drawn threshold, 1 = forced rebuild (-1), 2 = forced incremental
+  /// (1e9; the FV->hub fallback may still rebuild).
+  int threshold_mode = 0;
+  double threshold = 0.1;  ///< resolved from the mode
+  unsigned batches = 1;    ///< clamped to UpdateCheckOptions::max_batches
+  bool poison = false;     ///< append a must-reject batch at the end
+  int poison_kind = 0;     ///< 0 = remove missing edge, 1 = endpoint >= n
+
+  static UpdatePointParams draw(std::uint64_t seed);
+  std::string describe() const;
+};
+
+struct UpdateCheckOptions {
+  std::uint64_t base_seed = 2026;
+  std::size_t points = 8;
+  unsigned max_batches = 4;  ///< cap on drawn batches per point
+  /// Overrides every point's threshold (and mode): the CI forced-rebuild
+  /// pass sets -1 so each point also exercises the from-scratch path.
+  std::optional<double> force_threshold;
+  bool verbose = false;
+  std::ostream* out = nullptr;
+};
+
+struct UpdateCheckResult {
+  bool ok = true;
+  std::size_t points_run = 0;
+  std::uint64_t batches_checked = 0;
+  std::uint64_t rebuilds = 0;     ///< batches that took the rebuild path
+  std::uint64_t incremental = 0;  ///< batches patched in place
+  std::uint64_t oracle_runs = 0;  ///< run_oracle invocations, all workloads
+  std::uint64_t faults_injected = 0;  ///< poisoned batches that threw
+  std::string failure;  ///< first failing point's description, empty if ok
+};
+
+/// Runs the mutation lattice; every point is reproducible from
+/// (base_seed, point index) alone.
+UpdateCheckResult run_update_lattice(const UpdateCheckOptions& opt);
+
+}  // namespace ihtl::check

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <fstream>
 #include <random>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -47,6 +48,10 @@ int cmd_serve(int argc, const char* const* argv) {
                 "waiting for lane-mates (default 200)");
   args.add_flag("cache-bytes", true,
                 "result-cache byte budget, 0 disables (default 64 MiB)");
+  args.add_flag("rebuild-threshold", true,
+                "hub-drift fraction strictly above which an update op "
+                "rebuilds the iHTL layout instead of patching it in place "
+                "(negative = rebuild every batch; default 0.1)");
   args.add_flag("metrics-out", true,
                 "write a JSON telemetry report here on shutdown");
   args.add_flag("metrics-interval-ms", true,
@@ -74,6 +79,8 @@ int cmd_serve(int argc, const char* const* argv) {
     serve::SessionOptions sopt;
     sopt.ihtl = config_from_args(args);
     sopt.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    sopt.update.rebuild_threshold =
+        args.get_double("rebuild-threshold", sopt.update.rebuild_threshold);
     serve::ServerOptions opt;
     opt.port = static_cast<std::uint16_t>(args.get_int("port", 0));
     opt.max_lanes = static_cast<std::size_t>(args.get_int("max-lanes", 8));
@@ -151,6 +158,98 @@ namespace {
 /// Seeded mixed workload of one client thread: `count` queries drawn from
 /// ppr/bfs/spmv with small source sets. Drawn per-thread from (seed,
 /// thread id), so N threads send distinct but reproducible streams.
+/// Parses "3-7,9-9" into edges; throws on malformed pairs.
+std::vector<Edge> parse_edge_spec(const std::string& spec) {
+  std::vector<Edge> out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    if (end > start) {
+      const std::string pair = spec.substr(start, end - start);
+      const std::size_t dash = pair.find('-');
+      if (dash == std::string::npos || dash == 0 || dash + 1 == pair.size()) {
+        throw std::invalid_argument("bad edge '" + pair +
+                                    "' (want SRC-DST)");
+      }
+      out.push_back({static_cast<vid_t>(std::stoul(pair.substr(0, dash))),
+                     static_cast<vid_t>(std::stoul(pair.substr(dash + 1)))});
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+/// Replays an update stream file against the server: '+ SRC DST' inserts,
+/// '- SRC DST' removes, '#' comments. Line order is preserved exactly: a
+/// request's removes apply before its inserts, so a new request starts
+/// whenever a remove follows an insert (or the edge cap is hit).
+int replay_update_file(serve::Client& client, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open --update-file " + path);
+  }
+  QueryRequest req;
+  req.op = QueryOp::update;
+  unsigned sent = 0, edits = 0;
+  std::uint64_t final_epoch = 0;
+  auto flush = [&]() -> bool {
+    if (req.insert.empty() && req.remove.empty()) return true;
+    const JsonValue resp = client.roundtrip(req);
+    const JsonValue* ok = resp.find("ok");
+    if (!ok || !ok->is_bool() || !ok->as_bool()) {
+      const JsonValue* err = resp.find("error");
+      std::fprintf(stderr, "ihtl_query: update batch %u rejected: %s\n",
+                   sent,
+                   err && err->is_string() ? err->as_string().c_str()
+                                           : "(no error message)");
+      return false;
+    }
+    const JsonValue* epoch = resp.find("epoch");
+    if (epoch && epoch->is_number()) {
+      final_epoch = static_cast<std::uint64_t>(epoch->as_number());
+    }
+    ++sent;
+    req.insert.clear();
+    req.remove.clear();
+    return true;
+  };
+  std::string line;
+  unsigned line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag) || tag[0] == '#') continue;
+    std::uint64_t src = 0, dst = 0;
+    if ((tag != "+" && tag != "-") || !(ls >> src >> dst)) {
+      throw std::runtime_error("--update-file line " +
+                               std::to_string(line_no) +
+                               ": want '+ SRC DST' or '- SRC DST'");
+    }
+    const bool is_remove = tag == "-";
+    // Removes apply first within a request, so a remove after an insert
+    // must start a new one to keep the stream's order.
+    if ((is_remove && !req.insert.empty()) ||
+        req.insert.size() + req.remove.size() >=
+            serve::kMaxUpdateEdgesPerRequest) {
+      if (!flush()) return 1;
+    }
+    const Edge e{static_cast<vid_t>(src), static_cast<vid_t>(dst)};
+    if (is_remove) {
+      req.remove.push_back(e);
+    } else {
+      req.insert.push_back(e);
+    }
+    ++edits;
+  }
+  if (!flush()) return 1;
+  std::printf("update replay: %u edit(s) in %u request(s), epoch %llu\n",
+              edits, sent, static_cast<unsigned long long>(final_epoch));
+  return 0;
+}
+
 std::vector<QueryRequest> make_workload(std::uint64_t seed, unsigned count,
                                         vid_t num_vertices) {
   std::mt19937_64 rng(seed);
@@ -193,13 +292,22 @@ int cmd_query(int argc, const char* const* argv) {
   args.add_flag("host", true, "server host (default 127.0.0.1)");
   args.add_flag("port", true, "server port (required unless --port-file)");
   args.add_flag("port-file", true, "read the port from this file");
-  args.add_flag("op", true, "single query: ppr | bfs | spmv | stats | "
-                            "bump-epoch | shutdown");
+  args.add_flag("op", true, "single query: ppr | bfs | spmv | update | "
+                            "stats | bump-epoch | shutdown");
   args.add_flag("source", true,
                 "source vertex for ppr/bfs; repeatable via comma list");
   args.add_flag("iterations", true, "ppr iterations (default 10)");
   args.add_flag("damping", true, "ppr damping (default 0.85)");
   args.add_flag("x-seed", true, "spmv input-vector seed (default 1)");
+  args.add_flag("insert", true,
+                "edges to insert for --op update, as src-dst pairs: "
+                "\"3-7,9-9\"");
+  args.add_flag("remove", true,
+                "edges to remove for --op update, same src-dst format");
+  args.add_flag("update-file", true,
+                "replay an update stream: one edit per line, '+ SRC DST' or "
+                "'- SRC DST' ('#' comments); sent as a minimal sequence of "
+                "update requests preserving the line order");
   args.add_flag("no-cache", false, "bypass the server's result cache");
   args.add_flag("mix", true,
                 "instead of --op: run a seeded mixed workload of N queries "
@@ -338,6 +446,26 @@ int cmd_query(int argc, const char* const* argv) {
     req.damping = args.get_double("damping", 0.85);
     req.x_seed = static_cast<std::uint64_t>(args.get_int("x-seed", 1));
     req.use_cache = !args.has("no-cache");
+    if (req.op == QueryOp::update) {
+      if (args.has("update-file")) {
+        serve::Client client;
+        client.connect(host, port);
+        const int rc = replay_update_file(client,
+                                          args.get_string("update-file"));
+        if (rc == 0 && args.has("shutdown-after")) {
+          QueryRequest sd;
+          sd.op = QueryOp::shutdown;
+          client.roundtrip(sd);
+        }
+        return rc;
+      }
+      req.insert = parse_edge_spec(args.get_string("insert", ""));
+      req.remove = parse_edge_spec(args.get_string("remove", ""));
+      if (req.insert.empty() && req.remove.empty()) {
+        throw std::invalid_argument(
+            "--op update needs --insert, --remove, or --update-file");
+      }
+    }
 
     serve::Client client;
     client.connect(host, port);

@@ -37,6 +37,9 @@ struct FlippedBlock {
 };
 
 class IhtlGraph;
+struct UpdateBatch;   // core/ihtl_update.h
+struct UpdateConfig;  // core/ihtl_update.h
+struct UpdateStats;   // core/ihtl_update.h
 
 namespace detail {
 /// Shared construction core; `priority` (possibly empty) supplies the
@@ -94,6 +97,10 @@ class IhtlGraph {
                                                  const HubSelection&,
                                                  const IhtlConfig&,
                                                  std::span<const vid_t>);
+  friend IhtlGraph update_ihtl_graph(const IhtlGraph&, const Graph&,
+                                     const Graph&, const UpdateBatch&,
+                                     const IhtlConfig&, const UpdateConfig&,
+                                     UpdateStats*);
 
   vid_t n_ = 0;
   eid_t m_ = 0;

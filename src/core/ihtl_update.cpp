@@ -1,0 +1,303 @@
+#include "core/ihtl_update.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "check/invariants.h"
+#include "telemetry/metrics.h"
+
+namespace ihtl {
+
+namespace {
+
+/// Per-row delta of one adjacency view: `removes[t]` instances of target t
+/// to delete from the row, `inserts` targets to append (in batch order).
+struct RowDelta {
+  std::unordered_map<vid_t, eid_t> removes;
+  std::vector<vid_t> inserts;
+  eid_t num_removes = 0;
+};
+
+using DeltaMap = std::unordered_map<vid_t, RowDelta>;
+
+/// Rewrites `adj` under per-row deltas in one pass: untouched rows are
+/// copied verbatim; a touched row drops the first `removes[t]` instances of
+/// each target t and appends its inserts at the row end.
+Adjacency patch_adjacency(const Adjacency& adj, const DeltaMap& deltas,
+                          eid_t new_edges) {
+  const vid_t n = adj.num_vertices();
+  Adjacency out;
+  out.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (vid_t v = 0; v < n; ++v) {
+    eid_t deg = adj.degree(v);
+    if (const auto it = deltas.find(v); it != deltas.end()) {
+      deg -= it->second.num_removes;
+      deg += it->second.inserts.size();
+    }
+    out.offsets[v + 1] = deg;
+  }
+  std::partial_sum(out.offsets.begin(), out.offsets.end(),
+                   out.offsets.begin());
+  out.targets.resize(out.offsets.back());
+  IHTL_INVARIANT(out.offsets.back() == new_edges,
+                 "patched adjacency does not conserve the edge count");
+  for (vid_t v = 0; v < n; ++v) {
+    eid_t cur = out.offsets[v];
+    const auto it = deltas.find(v);
+    if (it == deltas.end()) {
+      for (const vid_t t : adj.neighbors(v)) out.targets[cur++] = t;
+      continue;
+    }
+    auto remaining = it->second.removes;  // copy: decremented while copying
+    for (const vid_t t : adj.neighbors(v)) {
+      if (const auto r = remaining.find(t);
+          r != remaining.end() && r->second > 0) {
+        --r->second;
+        continue;
+      }
+      out.targets[cur++] = t;
+    }
+    for (const vid_t t : it->second.inserts) out.targets[cur++] = t;
+  }
+  return out;
+}
+
+std::string edge_str(const Edge& e) {
+  return std::to_string(e.src) + "->" + std::to_string(e.dst);
+}
+
+/// Counts instances of dst in src's out-row (no sortedness assumed — rows
+/// patched by previous batches append out of order).
+eid_t edge_multiplicity(const Graph& g, vid_t src, vid_t dst) {
+  eid_t count = 0;
+  for (const vid_t t : g.out().neighbors(src)) {
+    if (t == dst) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+void validate_update(const Graph& g, const UpdateBatch& batch) {
+  const vid_t n = g.num_vertices();
+  for (const Edge& e : batch.insert) {
+    if (e.src >= n || e.dst >= n) {
+      throw std::invalid_argument(
+          "update: insert " + edge_str(e) + " references a vertex >= " +
+          std::to_string(n) + " (the vertex set is fixed)");
+    }
+  }
+  // Removes of the same edge consume distinct instances, so validate the
+  // summed multiplicity per distinct edge against the graph.
+  std::unordered_map<std::uint64_t, eid_t> wanted;
+  for (const Edge& e : batch.remove) {
+    if (e.src >= n || e.dst >= n) {
+      throw std::invalid_argument(
+          "update: remove " + edge_str(e) + " references a vertex >= " +
+          std::to_string(n));
+    }
+    ++wanted[(std::uint64_t{e.src} << 32) | e.dst];
+  }
+  for (const auto& [key, count] : wanted) {
+    const vid_t src = static_cast<vid_t>(key >> 32);
+    const vid_t dst = static_cast<vid_t>(key & 0xffffffffu);
+    const eid_t have = edge_multiplicity(g, src, dst);
+    if (have < count) {
+      throw std::invalid_argument(
+          "update: remove " + edge_str({src, dst}) + " x" +
+          std::to_string(count) + " but the graph holds " +
+          std::to_string(have) + " instance(s)");
+    }
+  }
+}
+
+Graph apply_update(const Graph& g, const UpdateBatch& batch) {
+  validate_update(g, batch);
+  if (batch.empty()) return g;
+
+  DeltaMap out_deltas;  // keyed by src, targets are dsts (CSR)
+  DeltaMap in_deltas;   // keyed by dst, targets are srcs (CSC)
+  for (const Edge& e : batch.remove) {
+    RowDelta& o = out_deltas[e.src];
+    ++o.removes[e.dst];
+    ++o.num_removes;
+    RowDelta& i = in_deltas[e.dst];
+    ++i.removes[e.src];
+    ++i.num_removes;
+  }
+  for (const Edge& e : batch.insert) {
+    out_deltas[e.src].inserts.push_back(e.dst);
+    in_deltas[e.dst].inserts.push_back(e.src);
+  }
+  const eid_t new_edges =
+      g.num_edges() - batch.remove.size() + batch.insert.size();
+  Adjacency out = patch_adjacency(g.out(), out_deltas, new_edges);
+  Adjacency in = patch_adjacency(g.in(), in_deltas, new_edges);
+  return Graph(std::move(out), std::move(in));
+}
+
+double hub_drift(const Graph& g, const IhtlGraph& ig, const IhtlConfig& cfg,
+                 const UpdateBatch& batch, vid_t* enters_out,
+                 vid_t* leaves_out) {
+  // In-degree deltas of the destinations the batch touches.
+  std::unordered_map<vid_t, std::int64_t> delta;
+  for (const Edge& e : batch.insert) ++delta[e.dst];
+  for (const Edge& e : batch.remove) --delta[e.dst];
+
+  const auto& o2n = ig.old_to_new();
+  const std::int64_t bar =
+      static_cast<std::int64_t>(ig.min_hub_degree());
+  const std::int64_t floor =
+      static_cast<std::int64_t>(cfg.min_hub_in_degree);
+  vid_t enters = 0, leaves = 0;
+  for (const auto& [v, d] : delta) {
+    if (d == 0) continue;
+    const std::int64_t new_deg =
+        static_cast<std::int64_t>(g.in_degree(v)) + d;
+    const bool is_hub = o2n[v] < ig.num_hubs();
+    if (!is_hub) {
+      // With hubs selected, every non-hub sits at or below the weakest
+      // selected hub's in-degree; rising strictly above it (and clearing
+      // the candidate floor) can displace a member. With none selected,
+      // clearing the floor alone can seat the first hub.
+      const bool clears =
+          ig.num_hubs() > 0 ? (new_deg > bar && new_deg >= floor)
+                            : new_deg >= floor;
+      if (clears) ++enters;
+    } else if (new_deg < bar || new_deg < floor) {
+      ++leaves;
+    }
+  }
+  if (enters_out) *enters_out = enters;
+  if (leaves_out) *leaves_out = leaves;
+  if (ig.num_hubs() == 0) return enters > 0 ? 1.0 : 0.0;
+  return static_cast<double>(enters + leaves) /
+         static_cast<double>(ig.num_hubs());
+}
+
+IhtlGraph update_ihtl_graph(const IhtlGraph& ig, const Graph& g_old,
+                            const Graph& g_new, const UpdateBatch& batch,
+                            const IhtlConfig& cfg, const UpdateConfig& ucfg,
+                            UpdateStats* stats) {
+  UpdateStats local;
+  UpdateStats& st = stats ? *stats : local;
+  st.inserted = batch.insert.size();
+  st.removed = batch.remove.size();
+  if (batch.empty()) {
+    st.rebuilt = false;
+    st.drift = 0.0;
+    return ig;
+  }
+
+  auto& reg = telemetry::MetricsRegistry::global();
+  st.drift = hub_drift(g_old, ig, cfg, batch, &st.enter_candidates,
+                       &st.leave_candidates);
+
+  const auto& o2n = ig.old_to_new();
+  const vid_t num_hubs = ig.num_hubs();
+  const vid_t push_sources = ig.num_push_sources();
+
+  // Strictly-greater rule: drift exactly at the threshold stays
+  // incremental (pinned by the threshold-boundary tests).
+  bool rebuild =
+      ucfg.rebuild_threshold < 0.0 || st.drift > ucfg.rebuild_threshold;
+  if (!rebuild) {
+    // An insert into a hub from a fringe source has no row in the flipped
+    // blocks' push-source CSR; representing it needs a relabel (FV -> VWEH
+    // promotion), i.e. a rebuild.
+    for (const Edge& e : batch.insert) {
+      if (o2n[e.dst] < num_hubs && o2n[e.src] >= push_sources) {
+        rebuild = true;
+        break;
+      }
+    }
+  }
+  if (rebuild) {
+    st.rebuilt = true;
+    reg.counter("update/rebuilds").inc(0);
+    return build_ihtl_graph(g_new, cfg);
+  }
+
+  telemetry::ScopedSpan span(reg, "update-patch");
+  reg.counter("update/incremental").inc(0);
+
+  IhtlGraph patched = ig;
+  patched.m_ = g_new.num_edges();
+
+  // Route every delta edge to its owning block: destination-is-hub goes to
+  // the flipped block that owns the hub (row = relabeled source, target =
+  // block-relative hub index), anything else to the sparse CSC (row =
+  // destination's non-hub offset, target = relabeled source).
+  std::vector<DeltaMap> block_deltas(patched.blocks_.size());
+  DeltaMap sparse_deltas;
+  eid_t sparse_removed = 0, sparse_inserted = 0;
+  std::vector<std::int64_t> block_edge_delta(patched.blocks_.size(), 0);
+
+  auto owning_block = [&](vid_t hub_new) -> std::size_t {
+    for (std::size_t b = 0; b < patched.blocks_.size(); ++b) {
+      if (hub_new >= patched.blocks_[b].hub_begin &&
+          hub_new < patched.blocks_[b].hub_end) {
+        return b;
+      }
+    }
+    IHTL_INVARIANT(false, "hub new-ID outside every flipped block");
+    return 0;
+  };
+
+  auto route = [&](const Edge& e, bool is_insert) {
+    const vid_t src_new = o2n[e.src];
+    const vid_t dst_new = o2n[e.dst];
+    if (dst_new < num_hubs) {
+      const std::size_t b = owning_block(dst_new);
+      const vid_t rel = dst_new - patched.blocks_[b].hub_begin;
+      RowDelta& row = block_deltas[b][src_new];
+      if (is_insert) {
+        row.inserts.push_back(rel);
+        ++block_edge_delta[b];
+      } else {
+        ++row.removes[rel];
+        ++row.num_removes;
+        --block_edge_delta[b];
+      }
+    } else {
+      const vid_t local = dst_new - num_hubs;
+      RowDelta& row = sparse_deltas[local];
+      if (is_insert) {
+        row.inserts.push_back(src_new);
+        ++sparse_inserted;
+      } else {
+        ++row.removes[src_new];
+        ++row.num_removes;
+        ++sparse_removed;
+      }
+    }
+  };
+  for (const Edge& e : batch.remove) route(e, false);
+  for (const Edge& e : batch.insert) route(e, true);
+
+  for (std::size_t b = 0; b < patched.blocks_.size(); ++b) {
+    if (block_deltas[b].empty()) continue;
+    FlippedBlock& blk = patched.blocks_[b];
+    blk.csr = patch_adjacency(
+        blk.csr, block_deltas[b],
+        static_cast<eid_t>(static_cast<std::int64_t>(blk.csr.num_edges()) +
+                           block_edge_delta[b]));
+  }
+  if (!sparse_deltas.empty()) {
+    patched.sparse_ =
+        patch_adjacency(patched.sparse_, sparse_deltas,
+                        patched.sparse_.num_edges() - sparse_removed +
+                            sparse_inserted);
+  }
+
+  IHTL_INVARIANT(
+      patched.flipped_edges() + patched.sparse_edges() == patched.m_,
+      "incremental update does not conserve the edge partition");
+  return patched;
+}
+
+}  // namespace ihtl

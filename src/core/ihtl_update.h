@@ -1,0 +1,107 @@
+// Streaming edge updates with incremental hub relabeling.
+//
+// An UpdateBatch is the mutation unit: edge inserts and deletes applied
+// atomically to a Graph and its IhtlGraph. The expensive part of iHTL is
+// the preprocessing (hub selection + relabeling + block construction), so
+// the update path patches the existing layout in place — the relabeling and
+// hub set are KEPT, and only the adjacency rows touched by the batch are
+// rewritten — and falls back to a full rebuild only when the batch's
+// in-degree changes imply hub-membership drift above a threshold (the
+// reordering-cost/benefit tradeoff of PAPERS.md's "Locality-based Graph
+// Reordering": most batches leave the in-hub set unchanged, so re-paying
+// the reordering cost per batch is waste).
+//
+// Semantics (mirrored by the serial reference, so the differential oracle
+// checks them end to end):
+//   - The vertex set is fixed: every endpoint must be < num_vertices().
+//   - Removes are validated against the current graph; each remove deletes
+//     ONE instance of its edge. A remove with no matching instance rejects
+//     the WHOLE batch (std::invalid_argument) before any mutation — the
+//     strong exception guarantee is what makes a partial batch impossible.
+//   - Removes apply before inserts, so a batch may delete an edge and
+//     re-insert it.
+//   - Duplicate inserts each count (multigraph semantics: a duplicated edge
+//     contributes twice to a plus-SpMV, exactly as a CSR with a repeated
+//     target does). Self-loops are permitted.
+//   - An empty batch is a no-op.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ihtl_config.h"
+#include "core/ihtl_graph.h"
+#include "graph/graph.h"
+
+namespace ihtl {
+
+/// One atomic mutation: `remove` applied first, then `insert`.
+struct UpdateBatch {
+  std::vector<Edge> insert;
+  std::vector<Edge> remove;
+
+  bool empty() const { return insert.empty() && remove.empty(); }
+  std::size_t size() const { return insert.size() + remove.size(); }
+};
+
+/// Validates `batch` against `g` without mutating anything: every endpoint
+/// in range, every removed edge present with sufficient multiplicity
+/// (removes of the same edge consume distinct instances). Throws
+/// std::invalid_argument describing the first violation.
+void validate_update(const Graph& g, const UpdateBatch& batch);
+
+/// Returns the post-batch graph (both CSR and CSC rebuilt by a per-row
+/// merge pass — O(n + m + |batch|), no global edge-list sort). Validates
+/// first; throws std::invalid_argument with `g` untouched on a bad batch.
+/// Inserted edges append at the end of their row (row-internal order is not
+/// part of graph semantics; float-order effects are covered by the oracle
+/// tolerance).
+Graph apply_update(const Graph& g, const UpdateBatch& batch);
+
+/// Incremental-maintenance knobs.
+struct UpdateConfig {
+  /// Hub-membership drift fraction STRICTLY above which a batch triggers a
+  /// full iHTL rebuild instead of an in-place patch. Drift exactly at the
+  /// threshold stays incremental. Negative forces a rebuild on every
+  /// non-empty batch (the from-scratch baseline); a large value (e.g. 1e9)
+  /// forces the incremental path whenever it is representable.
+  double rebuild_threshold = 0.1;
+};
+
+/// What one update_ihtl_graph call did.
+struct UpdateStats {
+  bool rebuilt = false;      ///< full rebuild (drift/threshold/fallback)
+  double drift = 0.0;        ///< hub-membership drift estimate of the batch
+  vid_t enter_candidates = 0;  ///< non-hubs whose new in-degree clears the bar
+  vid_t leave_candidates = 0;  ///< hubs whose new in-degree drops below it
+  std::size_t inserted = 0;
+  std::size_t removed = 0;
+  double seconds = 0.0;  ///< filled by GraphSession::apply_update
+};
+
+/// Estimates the hub-membership churn `batch` implies, in O(|batch|):
+/// every vertex not currently selected has in-degree <= min_hub_degree()
+/// (the weakest selected hub), so a non-hub whose post-batch in-degree
+/// rises strictly above that bar (and clears cfg.min_hub_in_degree) is an
+/// enter candidate, and a hub whose post-batch in-degree falls below either
+/// bound is a leave candidate. Returns (enters + leaves) / num_hubs; with
+/// no hubs selected, any enter candidate returns 1.0. A heuristic — it
+/// bounds membership churn without re-running select_hubs.
+double hub_drift(const Graph& g, const IhtlGraph& ig, const IhtlConfig& cfg,
+                 const UpdateBatch& batch, vid_t* enters = nullptr,
+                 vid_t* leaves = nullptr);
+
+/// Returns the iHTL layout of `g_new` (which must equal
+/// apply_update(g_old, batch)). Patches `ig` in place — same hub set, same
+/// relabeling, only the flipped/sparse rows the batch touches rewritten —
+/// unless (a) hub_drift exceeds ucfg.rebuild_threshold, or (b) an inserted
+/// edge targets a hub from a fringe source (unrepresentable in the flipped
+/// blocks' push-source CSR without relabeling); either case falls back to
+/// build_ihtl_graph(g_new, cfg). The result always satisfies
+/// valid(g_new).
+IhtlGraph update_ihtl_graph(const IhtlGraph& ig, const Graph& g_old,
+                            const Graph& g_new, const UpdateBatch& batch,
+                            const IhtlConfig& cfg, const UpdateConfig& ucfg,
+                            UpdateStats* stats = nullptr);
+
+}  // namespace ihtl

@@ -18,7 +18,7 @@ Batcher::Batcher(BatcherOptions opt, ComputeFn compute)
 Batcher::~Batcher() { stop(); }
 
 std::vector<value_t> Batcher::submit(const QueryRequest& req) {
-  if (!req.is_compute() || req.lanes() == 0) {
+  if (!req.is_batchable() || req.lanes() == 0) {
     throw std::runtime_error("batcher only accepts compute requests");
   }
   std::future<std::vector<value_t>> future;

@@ -20,6 +20,7 @@ const char* op_name(QueryOp op) {
     case QueryOp::ppr: return "ppr";
     case QueryOp::bfs: return "bfs";
     case QueryOp::spmv: return "spmv";
+    case QueryOp::update: return "update";
     case QueryOp::stats: return "stats";
     case QueryOp::bump_epoch: return "bump-epoch";
     case QueryOp::shutdown: return "shutdown";
@@ -31,6 +32,7 @@ std::optional<QueryOp> op_from_name(const std::string& name) {
   if (name == "ppr") return QueryOp::ppr;
   if (name == "bfs") return QueryOp::bfs;
   if (name == "spmv") return QueryOp::spmv;
+  if (name == "update") return QueryOp::update;
   if (name == "stats") return QueryOp::stats;
   if (name == "bump-epoch") return QueryOp::bump_epoch;
   if (name == "shutdown") return QueryOp::shutdown;
@@ -85,6 +87,35 @@ QueryRequest parse_request(const JsonValue& doc) {
       req.x_seed = static_cast<std::uint64_t>(s->as_number());
     }
   }
+  if (req.op == QueryOp::update) {
+    // Endpoint IDs are only range-checked here; validity against the
+    // SERVED graph (vertex bounds, remove multiplicity) is decided on the
+    // dispatch thread, where the graph state is stable.
+    auto parse_edges = [&](const char* key, std::vector<Edge>& out) {
+      const JsonValue* arr = doc.find(key);
+      if (!arr) return;
+      if (!arr->is_array()) {
+        throw std::runtime_error(std::string("'") + key +
+                                 "' must be an array of [src, dst] pairs");
+      }
+      for (const JsonValue& e : arr->items()) {
+        if (!e.is_array() || e.items().size() != 2 ||
+            !e.items()[0].is_number() || !e.items()[1].is_number() ||
+            e.items()[0].as_number() < 0 || e.items()[1].as_number() < 0) {
+          throw std::runtime_error(std::string("'") + key +
+                                   "' entries must be [src, dst] pairs of "
+                                   "non-negative integers");
+        }
+        out.push_back({static_cast<vid_t>(e.items()[0].as_number()),
+                       static_cast<vid_t>(e.items()[1].as_number())});
+      }
+    };
+    parse_edges("insert", req.insert);
+    parse_edges("remove", req.remove);
+    if (req.insert.size() + req.remove.size() > kMaxUpdateEdgesPerRequest) {
+      throw std::runtime_error("too many edges in one update request");
+    }
+  }
   if (const JsonValue* c = doc.find("cache")) {
     if (!c->is_bool()) throw std::runtime_error("'cache' must be a boolean");
     req.use_cache = c->as_bool();
@@ -107,6 +138,20 @@ JsonValue request_to_json(const QueryRequest& req) {
     doc.set("damping", req.damping);
   }
   if (req.op == QueryOp::spmv) doc.set("x_seed", req.x_seed);
+  if (req.op == QueryOp::update) {
+    auto edges_json = [](const std::vector<Edge>& edges) {
+      JsonValue arr = JsonValue::array();
+      for (const Edge& e : edges) {
+        JsonValue pair = JsonValue::array();
+        pair.push_back(static_cast<std::uint64_t>(e.src));
+        pair.push_back(static_cast<std::uint64_t>(e.dst));
+        arr.push_back(std::move(pair));
+      }
+      return arr;
+    };
+    if (!req.insert.empty()) doc.set("insert", edges_json(req.insert));
+    if (!req.remove.empty()) doc.set("remove", edges_json(req.remove));
+  }
   if (!req.use_cache) doc.set("cache", false);
   return doc;
 }

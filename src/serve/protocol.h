@@ -9,6 +9,7 @@
 //   {"op": "ppr",  "sources": [v...], "iterations": I, "damping": D}
 //   {"op": "bfs",  "sources": [v...]}
 //   {"op": "spmv", "x_seed": S}        // dense x derived from the seed
+//   {"op": "update", "insert": [[u,v]...], "remove": [[u,v]...]}
 //   {"op": "stats"}                    // telemetry snapshot, no compute
 //   {"op": "bump-epoch"}               // invalidate the result cache
 //   {"op": "shutdown"}                 // stop the server
@@ -16,6 +17,8 @@
 //
 // Response schema:
 //   {"ok": true, "epoch": E, "cached": B, "values": [...]}   // compute ops
+//   {"ok": true, "epoch": E, "rebuilt": B, "drift": D,
+//    "inserted": I, "removed": R}                            // update
 //   {"ok": true, "stats": {...}}                             // stats
 //   {"ok": true, "epoch": E}                                 // bump-epoch
 //   {"ok": false, "error": "..."}                            // any failure
@@ -40,7 +43,11 @@ inline constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 /// Sources per ppr/bfs request; a request is at most this many batch lanes.
 inline constexpr std::size_t kMaxSourcesPerRequest = 64;
 
-enum class QueryOp { ppr, bfs, spmv, stats, bump_epoch, shutdown };
+/// Edges (insert + remove combined) one update request may carry; larger
+/// streams are split into multiple requests by the client.
+inline constexpr std::size_t kMaxUpdateEdgesPerRequest = 65536;
+
+enum class QueryOp { ppr, bfs, spmv, update, stats, bump_epoch, shutdown };
 
 const char* op_name(QueryOp op);
 std::optional<QueryOp> op_from_name(const std::string& name);
@@ -51,15 +58,23 @@ struct QueryRequest {
   unsigned iterations = 10;     ///< ppr
   double damping = 0.85;        ///< ppr
   std::uint64_t x_seed = 1;     ///< spmv
+  std::vector<Edge> insert;     ///< update
+  std::vector<Edge> remove;     ///< update
   bool use_cache = true;
 
   /// Batch lanes this request occupies in a flush.
   std::size_t lanes() const {
-    return op == QueryOp::spmv ? 1 : sources.size();
+    return op == QueryOp::spmv || op == QueryOp::update ? 1 : sources.size();
   }
   /// True for ops that run a batched engine traversal (ppr/bfs/spmv).
   bool is_compute() const {
     return op == QueryOp::ppr || op == QueryOp::bfs || op == QueryOp::spmv;
+  }
+  /// True for ops the admission batcher dispatches: compute traversals
+  /// plus graph mutations — both must run on the dispatch thread, which
+  /// is the only legal caller of GraphSession state methods.
+  bool is_batchable() const {
+    return is_compute() || op == QueryOp::update;
   }
 };
 

@@ -23,6 +23,9 @@ Server::Server(GraphSession& session, const ServerOptions& opt)
   requests_total_ = metrics_.counter("serve.requests");
   requests_cached_ = metrics_.counter("serve.requests_cached");
   requests_errors_ = metrics_.counter("serve.requests_errors");
+  updates_total_ = metrics_.counter("serve.updates");
+  updates_rejected_ = metrics_.counter("serve.updates_rejected");
+  updates_rebuilds_ = metrics_.counter("serve.update_rebuilds");
 
   BatcherOptions bopt;
   bopt.max_lanes = opt_.max_lanes;
@@ -32,6 +35,35 @@ Server::Server(GraphSession& session, const ServerOptions& opt)
     // Dispatch thread: one batched traversal for the whole group, then
     // slice the n×K vertex-major result back into per-request n×k arrays.
     const QueryRequest& head = g.requests.front();
+    if (head.op == QueryOp::update) {
+      // Update group: mutations run here because the dispatch thread is
+      // the only legal caller of the session's state-touching methods.
+      // Applied sequentially in arrival order, each with its own
+      // try/catch, so one invalid batch cannot poison a coalesced good
+      // one. Result mini-schema per request (decoded by handle_request):
+      //   [ok, rebuilt, drift, inserted, removed, epoch_after]
+      std::vector<std::vector<value_t>> out;
+      out.reserve(g.requests.size());
+      for (const QueryRequest& r : g.requests) {
+        std::vector<value_t> row(6, 0.0);
+        try {
+          UpdateBatch batch;
+          batch.insert = r.insert;
+          batch.remove = r.remove;
+          const UpdateStats st = session_.apply_update(batch);
+          row[0] = 1.0;
+          row[1] = st.rebuilt ? 1.0 : 0.0;
+          row[2] = st.drift;
+          row[3] = static_cast<value_t>(st.inserted);
+          row[4] = static_cast<value_t>(st.removed);
+        } catch (const std::exception&) {
+          // row[0] stays 0: rejected, session state and epoch unchanged.
+        }
+        row[5] = static_cast<value_t>(session_.epoch());
+        out.push_back(std::move(row));
+      }
+      return out;
+    }
     std::vector<vid_t> sources;
     std::vector<std::uint64_t> seeds;
     for (const QueryRequest& r : g.requests) {
@@ -217,6 +249,29 @@ JsonValue Server::handle_request(const QueryRequest& req) {
     // response, so the acknowledging frame cannot be cut off by stop()
     // closing the connection fds.
     response.set("ok", true);
+    return response;
+  }
+  if (req.op == QueryOp::update) {
+    // Routed through the batcher like compute, so the mutation runs on the
+    // dispatch thread — serialized against every traversal. Never cached;
+    // the epoch bump inside apply_update is what invalidates the cache.
+    const std::vector<value_t> row = batcher_->submit(req);
+    updates_total_.inc(0);
+    if (row.size() != 6 || row[0] == 0.0) {
+      updates_rejected_.inc(0);
+      response.set("ok", false);
+      response.set("error",
+                   "update rejected: invalid batch (endpoint out of range "
+                   "or remove of a missing edge); state unchanged");
+      return response;
+    }
+    if (row[1] != 0.0) updates_rebuilds_.inc(0);
+    response.set("ok", true);
+    response.set("epoch", static_cast<std::uint64_t>(row[5]));
+    response.set("rebuilt", row[1] != 0.0);
+    response.set("drift", row[2]);
+    response.set("inserted", static_cast<std::uint64_t>(row[3]));
+    response.set("removed", static_cast<std::uint64_t>(row[4]));
     return response;
   }
 

@@ -109,6 +109,9 @@ class Server {
   telemetry::Counter requests_total_;
   telemetry::Counter requests_cached_;
   telemetry::Counter requests_errors_;
+  telemetry::Counter updates_total_;
+  telemetry::Counter updates_rejected_;
+  telemetry::Counter updates_rebuilds_;
 };
 
 }  // namespace ihtl::serve

@@ -37,16 +37,44 @@ GraphSession::GraphSession(Graph g, const SessionOptions& opt,
         preprocess_s_ = prep.elapsed_seconds();
         return built;
       }()),
-      plus_engine_(ig_, pool_, opt.ihtl.push_policy),
-      min_engine_(ig_, pool_, opt.ihtl.push_policy) {
+      opt_(opt),
+      reg_(reg) {
+  rebind_engines();
+}
+
+void GraphSession::rebind_engines() {
   const vid_t n = g_.num_vertices();
   const auto& o2n = ig_.old_to_new();
   deg_new_.assign(n, 0);
   for (vid_t v = 0; v < n; ++v) deg_new_[o2n[v]] = g_.out_degree(v);
-  if (reg != nullptr) {
-    plus_engine_.set_metrics(reg);
-    min_engine_.set_metrics(reg);
+  plus_engine_.emplace(ig_, pool_, opt_.ihtl.push_policy);
+  min_engine_.emplace(ig_, pool_, opt_.ihtl.push_policy);
+  if (reg_ != nullptr) {
+    plus_engine_->set_metrics(reg_);
+    min_engine_->set_metrics(reg_);
   }
+}
+
+UpdateStats GraphSession::apply_update(const UpdateBatch& batch) {
+  UpdateStats stats;
+  if (batch.empty()) return stats;  // no-op at the SAME epoch
+  Timer timer;
+  // Build the post-batch state on the side first: apply_update and
+  // update_ihtl_graph throw before any member mutates, so a rejected batch
+  // leaves the session exactly as it was (no partial batch, no bump).
+  Graph g_new = ihtl::apply_update(g_, batch);
+  IhtlGraph ig_new = update_ihtl_graph(ig_, g_, g_new, batch, opt_.ihtl,
+                                       opt_.update, &stats);
+  // Commit: engines must be rebuilt BEFORE the bump so no request keyed to
+  // the new epoch can reach engines over the old layout, and the bump comes
+  // LAST so entries cached under the old epoch stay keyed to the state that
+  // produced them (apply-then-bump; see the epoch analysis in server.cpp).
+  g_ = std::move(g_new);
+  ig_ = std::move(ig_new);
+  rebind_engines();
+  bump_epoch();
+  stats.seconds = timer.elapsed_seconds();
+  return stats;
 }
 
 GraphSession::~GraphSession() { drain(); }
@@ -92,9 +120,9 @@ std::vector<value_t> GraphSession::ppr_batch(std::span<const vid_t> sources,
       }
     });
     if (k == 1) {
-      plus_engine_.spmv(x, y);
+      plus_engine_->spmv(x, y);
     } else {
-      plus_engine_.spmv_batch(x, y, k);
+      plus_engine_->spmv_batch(x, y, k);
     }
     parallel_for(pool_, 0, n, [&](std::uint64_t v, std::size_t) {
       for (std::size_t lane = 0; lane < k; ++lane) {
@@ -139,9 +167,9 @@ std::vector<value_t> GraphSession::bfs_batch(std::span<const vid_t> sources) {
       }
     });
     if (k == 1) {
-      min_engine_.spmv(x, y);
+      min_engine_->spmv(x, y);
     } else {
-      min_engine_.spmv_batch(x, y, k);
+      min_engine_->spmv_batch(x, y, k);
     }
     std::atomic<bool> changed{false};
     parallel_for(pool_, 0, n, [&](std::uint64_t v, std::size_t) {
@@ -191,9 +219,9 @@ std::vector<value_t> GraphSession::spmv_batch(
   }
   std::vector<value_t> y(x.size());
   if (k == 1) {
-    plus_engine_.spmv(x, y);
+    plus_engine_->spmv(x, y);
   } else {
-    plus_engine_.spmv_batch(x, y, k);
+    plus_engine_->spmv_batch(x, y, k);
   }
 
   std::vector<value_t> out(y.size());

@@ -17,12 +17,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
 #include "core/ihtl_config.h"
 #include "core/ihtl_graph.h"
 #include "core/ihtl_spmv.h"
+#include "core/ihtl_update.h"
 #include "graph/graph.h"
 #include "parallel/thread_pool.h"
 
@@ -34,6 +36,7 @@ namespace ihtl::serve {
 
 struct SessionOptions {
   IhtlConfig ihtl;
+  UpdateConfig update;      ///< incremental-relabel policy for apply_update
   std::size_t threads = 0;  ///< 0 = hardware concurrency
 };
 
@@ -55,12 +58,22 @@ class GraphSession {
   ThreadPool& pool() { return pool_; }
   double preprocess_seconds() const { return preprocess_s_; }
 
-  /// Cache-keying epoch; bump on any (future) graph mutation to invalidate
-  /// every cached answer at once.
+  /// Cache-keying epoch; bumped by apply_update on every graph mutation to
+  /// invalidate every cached answer at once.
   std::uint64_t epoch() const {
     return epoch_.load(std::memory_order_acquire);
   }
   void bump_epoch() { epoch_.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// Applies an UpdateBatch atomically: graph rebuilt via apply_update,
+  /// iHTL layout patched incrementally (or rebuilt past the drift
+  /// threshold), engines reconstructed over the new layout, THEN the epoch
+  /// bumps — so a request keyed to the old epoch can never observe the new
+  /// graph's values under the old key. Dispatch-thread-only, like the
+  /// compute methods (it replaces the state they read). Throws
+  /// std::invalid_argument on a bad batch with ALL state unchanged and the
+  /// epoch not bumped. An empty batch is a no-op at the same epoch.
+  UpdateStats apply_update(const UpdateBatch& batch);
 
   /// Drains the pool's workers (ThreadPool::shutdown) while the engines'
   /// buffers are still alive; compute still works afterwards, serially.
@@ -90,12 +103,20 @@ class GraphSession {
   std::vector<value_t> spmv_batch(std::span<const std::uint64_t> x_seeds);
 
  private:
+  /// (Re)builds deg_new_ and both engines from the current ig_; shared by
+  /// the constructor and apply_update (engines bake their decomposition
+  /// from the IhtlGraph at construction, so a mutated graph needs fresh
+  /// ones — hence the optionals).
+  void rebind_engines();
+
   Graph g_;
   ThreadPool pool_;
   IhtlGraph ig_;
+  SessionOptions opt_;
+  telemetry::MetricsRegistry* reg_ = nullptr;
   std::vector<eid_t> deg_new_;  ///< out-degrees in the relabeled space
-  IhtlEngine<PlusMonoid> plus_engine_;
-  IhtlEngine<MinMonoid> min_engine_;
+  std::optional<IhtlEngine<PlusMonoid>> plus_engine_;
+  std::optional<IhtlEngine<MinMonoid>> min_engine_;
   std::atomic<std::uint64_t> epoch_{0};
   double preprocess_s_ = 0.0;
   bool drained_ = false;

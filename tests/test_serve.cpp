@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -16,6 +17,7 @@
 #include <vector>
 
 #include "apps/analytics.h"
+#include "core/ihtl_update.h"
 #include "apps/pagerank.h"
 #include "serve/batcher.h"
 #include "serve/protocol.h"
@@ -50,10 +52,33 @@ QueryRequest ppr_request(std::vector<vid_t> sources, unsigned iterations = 5,
   return req;
 }
 
+QueryRequest update_request(std::vector<Edge> insert,
+                            std::vector<Edge> remove = {}) {
+  QueryRequest req;
+  req.op = QueryOp::update;
+  req.insert = std::move(insert);
+  req.remove = std::move(remove);
+  return req;
+}
+
+/// First (u, v) pair absent from g — for must-reject update batches.
+Edge missing_edge(const Graph& g) {
+  for (vid_t u = 0; u < g.num_vertices(); ++u) {
+    std::vector<vid_t> row(g.out().neighbors(u).begin(),
+                           g.out().neighbors(u).end());
+    std::sort(row.begin(), row.end());
+    for (vid_t v = 0; v < g.num_vertices(); ++v) {
+      if (!std::binary_search(row.begin(), row.end(), v)) return {u, v};
+    }
+  }
+  ADD_FAILURE() << "graph is complete; cannot build a missing edge";
+  return {0, 0};
+}
+
 TEST(ServeProtocol, OpNamesRoundTrip) {
   for (const QueryOp op : {QueryOp::ppr, QueryOp::bfs, QueryOp::spmv,
-                           QueryOp::stats, QueryOp::bump_epoch,
-                           QueryOp::shutdown}) {
+                           QueryOp::update, QueryOp::stats,
+                           QueryOp::bump_epoch, QueryOp::shutdown}) {
     const auto back = serve::op_from_name(serve::op_name(op));
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(*back, op);
@@ -79,6 +104,43 @@ TEST(ServeProtocol, RequestJsonRoundTrip) {
   EXPECT_EQ(sback.op, QueryOp::spmv);
   EXPECT_EQ(sback.x_seed, 42u);
   EXPECT_TRUE(sback.use_cache);
+}
+
+TEST(ServeProtocol, UpdateRequestJsonRoundTrip) {
+  const QueryRequest req =
+      update_request({{1, 2}, {2, 2}}, {{7, 3}});
+  const QueryRequest back = serve::parse_request(serve::request_to_json(req));
+  EXPECT_EQ(back.op, QueryOp::update);
+  EXPECT_EQ(back.insert, req.insert);
+  EXPECT_EQ(back.remove, req.remove);
+
+  // Either side may be empty on the wire.
+  const QueryRequest ins_only =
+      serve::parse_request(serve::request_to_json(update_request({{0, 1}})));
+  EXPECT_EQ(ins_only.insert, (std::vector<Edge>{{0, 1}}));
+  EXPECT_TRUE(ins_only.remove.empty());
+}
+
+TEST(ServeProtocol, UpdateParseRejectsMalformedEdges) {
+  const auto parse = [](const std::string& text) {
+    return serve::parse_request(JsonValue::parse(text));
+  };
+  EXPECT_THROW(parse(R"({"op": "update", "insert": [[1]]})"),
+               std::runtime_error);
+  EXPECT_THROW(parse(R"({"op": "update", "insert": [[1, 2, 3]]})"),
+               std::runtime_error);
+  EXPECT_THROW(parse(R"({"op": "update", "remove": [[-1, 2]]})"),
+               std::runtime_error);
+  EXPECT_THROW(parse(R"({"op": "update", "insert": 5})"),
+               std::runtime_error);
+  // Over the per-request edge cap.
+  std::string many = R"({"op": "update", "insert": [)";
+  for (std::size_t i = 0; i <= serve::kMaxUpdateEdgesPerRequest; ++i) {
+    if (i) many += ",";
+    many += "[1,2]";
+  }
+  many += "]}";
+  EXPECT_THROW(parse(many), std::runtime_error);
 }
 
 TEST(ServeProtocol, ParseRejectsSchemaViolations) {
@@ -592,6 +654,130 @@ TEST_F(ServeServerTest, ConcurrentClientsAllAnswered) {
   }
   for (auto& t : clients) t.join();
   EXPECT_EQ(ok.load(), kClients);
+}
+
+// ------------------------------------------------------- streaming updates
+
+TEST_F(ServeServerTest, UpdateOpBumpsEpochAndInvalidatesCacheExactlyOnce) {
+  const QueryRequest req = ppr_request({3}, 4);
+  const JsonValue first = client_.roundtrip(req);
+  ASSERT_TRUE(first.find("ok")->as_bool()) << first.dump();
+  EXPECT_FALSE(first.find("cached")->as_bool());
+  const JsonValue second = client_.roundtrip(req);
+  EXPECT_TRUE(second.find("cached")->as_bool());
+
+  const JsonValue up =
+      client_.roundtrip(update_request({{1, 2}, {2, 3}, {9, 9}}));
+  ASSERT_TRUE(up.find("ok")->as_bool()) << up.dump();
+  EXPECT_EQ(up.find("epoch")->as_number(), 1.0);
+  EXPECT_EQ(up.find("inserted")->as_number(), 3.0);
+  EXPECT_EQ(up.find("removed")->as_number(), 0.0);
+  ASSERT_NE(up.find("rebuilt"), nullptr);
+  ASSERT_NE(up.find("drift"), nullptr);
+
+  // Exactly one miss at the new epoch, then the cache re-hits.
+  const JsonValue third = client_.roundtrip(req);
+  ASSERT_TRUE(third.find("ok")->as_bool());
+  EXPECT_FALSE(third.find("cached")->as_bool());
+  EXPECT_EQ(third.find("epoch")->as_number(), 1.0);
+  const JsonValue fourth = client_.roundtrip(req);
+  EXPECT_TRUE(fourth.find("cached")->as_bool());
+
+  // The recomputed answer is for the POST-update graph: compare against a
+  // fresh session over the same mutation applied out-of-band.
+  UpdateBatch batch;
+  batch.insert = {{1, 2}, {2, 3}, {9, 9}};
+  GraphSession oracle(apply_update(small_web(1 << 8), batch),
+                      one_thread_session());
+  const std::vector<vid_t> sources = {3};
+  const std::vector<value_t> want = oracle.ppr_batch(sources, 4, 0.85);
+  const auto& got = third.find("values")->items();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(got[i].as_number(), want[i], 1e-9) << "vertex " << i;
+  }
+}
+
+TEST_F(ServeServerTest, RejectedUpdateKeepsEpochAndCachedEntries) {
+  const QueryRequest req = ppr_request({5}, 3);
+  ASSERT_TRUE(client_.roundtrip(req).find("ok")->as_bool());
+
+  // A batch that removes a missing edge is rejected wholesale, even though
+  // its insert half alone would be valid.
+  const JsonValue resp = client_.roundtrip(
+      update_request({{0, 1}}, {missing_edge(session_.graph())}));
+  ASSERT_FALSE(resp.find("ok")->as_bool());
+  EXPECT_NE(resp.find("error")->as_string().find("update rejected"),
+            std::string::npos)
+      << resp.dump();
+
+  // Epoch untouched; the cached entry from before is still served.
+  QueryRequest stats;
+  stats.op = QueryOp::stats;
+  EXPECT_EQ(client_.roundtrip(stats).find("epoch")->as_number(), 0.0);
+  EXPECT_TRUE(client_.roundtrip(req).find("cached")->as_bool());
+}
+
+TEST_F(ServeServerTest, EmptyUpdateIsANoOpAtTheSameEpoch) {
+  const JsonValue resp = client_.roundtrip(update_request({}));
+  ASSERT_TRUE(resp.find("ok")->as_bool()) << resp.dump();
+  EXPECT_EQ(resp.find("epoch")->as_number(), 0.0);
+  EXPECT_EQ(resp.find("inserted")->as_number(), 0.0);
+  EXPECT_EQ(resp.find("removed")->as_number(), 0.0);
+}
+
+// Regression: an epoch bump (here: a full update) racing an in-flight
+// batched request must never surface stale values. handle_request reads
+// the epoch ONCE before compute, so a mid-compute mutation can only waste
+// a cache entry under the old key — every answer retrieved at the final
+// epoch must be for the final graph.
+TEST_F(ServeServerTest, UpdatesRacingBatchedQueriesNeverServeStaleValues) {
+  constexpr int kUpdates = 5;
+  QueryRequest query;
+  query.op = QueryOp::spmv;
+  query.x_seed = 17;
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> hammer_errors{0};
+  std::thread hammer([&] {
+    serve::Client cl;
+    cl.connect("127.0.0.1", server_.port());
+    while (!stop.load(std::memory_order_relaxed)) {
+      const JsonValue r = cl.roundtrip(query);
+      if (!r.find("ok")->as_bool()) hammer_errors.fetch_add(1);
+    }
+  });
+
+  std::vector<UpdateBatch> batches(kUpdates);
+  for (int i = 0; i < kUpdates; ++i) {
+    batches[i].insert = {{static_cast<vid_t>(i), static_cast<vid_t>(i + 1)},
+                         {static_cast<vid_t>(3 * i + 2),
+                          static_cast<vid_t>(2 * i + 7)}};
+    const JsonValue up =
+        client_.roundtrip(update_request(batches[i].insert));
+    ASSERT_TRUE(up.find("ok")->as_bool()) << up.dump();
+    EXPECT_EQ(up.find("epoch")->as_number(), static_cast<double>(i + 1));
+  }
+  stop.store(true);
+  hammer.join();
+  EXPECT_EQ(hammer_errors.load(), 0);
+
+  // Whatever the race interleaving, the answer at the final epoch (cached
+  // or not) matches a fresh session over the fully-updated graph.
+  const JsonValue last = client_.roundtrip(query);
+  ASSERT_TRUE(last.find("ok")->as_bool());
+  EXPECT_EQ(last.find("epoch")->as_number(),
+            static_cast<double>(kUpdates));
+  Graph g = small_web(1 << 8);
+  for (const UpdateBatch& b : batches) g = apply_update(g, b);
+  GraphSession oracle(std::move(g), one_thread_session());
+  const std::vector<std::uint64_t> seeds = {17};
+  const std::vector<value_t> want = oracle.spmv_batch(seeds);
+  const auto& got = last.find("values")->items();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(got[i].as_number(), want[i], 1e-9) << "vertex " << i;
+  }
 }
 
 }  // namespace

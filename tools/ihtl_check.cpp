@@ -16,6 +16,7 @@
 #include "check/diff_runner.h"
 #include "check/oracle.h"
 #include "check/serve_check.h"
+#include "check/update_check.h"
 #include "cli/args.h"
 #include "telemetry/metrics.h"
 #include "telemetry/report.h"
@@ -113,6 +114,15 @@ int main(int argc, char** argv) {
                 "serve fault injection: stall every batch flush this long");
   args.add_flag("inject-flush-drops", true,
                 "serve fault injection: re-queue the first N flushes");
+  args.add_flag("update-points", true,
+                "also run N points of the mutation lattice: seeded edge-"
+                "update replay, each post-batch layout checked against the "
+                "from-scratch rebuild oracle (0 = skip)");
+  args.add_flag("update-batches", true,
+                "cap on update batches per mutation point (default 4)");
+  args.add_flag("rebuild-threshold", true,
+                "force the hub-drift rebuild threshold for every mutation "
+                "point (negative = rebuild each batch; default: lattice)");
   args.add_flag("no-minimize", false, "report the failure without shrinking");
   args.add_flag("repro-out", true, "write the repro snippet to this file");
   args.add_flag("metrics-out", true, "write a JSON telemetry report");
@@ -222,6 +232,41 @@ int main(int argc, char** argv) {
         std::cerr << " --serve-clients " << sopt.force_clients;
       }
       if (opt.force_threads) std::cerr << " --threads " << opt.force_threads;
+      std::cerr << "\n";
+      rc = 1;
+    }
+  }
+
+  // The mutation lattice sits on the same engines and oracle again, so it
+  // too only runs once the preceding stages are clean.
+  const auto update_points =
+      static_cast<std::size_t>(args.get_int("update-points", 0));
+  if (rc == 0 && update_points > 0) {
+    UpdateCheckOptions uopt;
+    uopt.base_seed = opt.base_seed;
+    uopt.points = update_points;
+    uopt.max_batches =
+        static_cast<unsigned>(args.get_int("update-batches", 4));
+    if (args.has("rebuild-threshold")) {
+      uopt.force_threshold =
+          std::stod(args.get_string("rebuild-threshold"));
+    }
+    uopt.verbose = opt.verbose;
+    uopt.out = &std::cerr;
+    const UpdateCheckResult ur = run_update_lattice(uopt);
+    if (ur.ok) {
+      std::cerr << "OK: " << ur.points_run << " mutation points clean ("
+                << ur.batches_checked << " batches: " << ur.incremental
+                << " incremental, " << ur.rebuilds << " rebuilds; "
+                << ur.oracle_runs << " oracle runs, " << ur.faults_injected
+                << " fault injections)\n";
+    } else {
+      std::cerr << "FAIL: " << ur.failure << "\n"
+                << "Replay with: ihtl_check --points 0 --update-points "
+                << update_points << " --seed " << opt.base_seed;
+      if (uopt.force_threshold) {
+        std::cerr << " --rebuild-threshold " << *uopt.force_threshold;
+      }
       std::cerr << "\n";
       rc = 1;
     }
