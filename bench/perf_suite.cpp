@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "cachesim/trace_spmv.h"
 #include "cli/args.h"
 #include "core/ihtl_spmv.h"
+#include "core/sharded_engine.h"
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
 #include "telemetry/report.h"
@@ -45,7 +47,7 @@ std::vector<std::string> split_csv(const std::string& s) {
 
 JsonValue run_dataset(const std::string& name, ThreadPool& pool,
                       unsigned iterations, PushPolicy policy,
-                      std::size_t batch) {
+                      std::size_t batch, std::size_t shards) {
   auto& reg = telemetry::MetricsRegistry::global();
   reg.clear();
   pool.reset_stats();
@@ -62,15 +64,27 @@ JsonValue run_dataset(const std::string& name, ThreadPool& pool,
   // --batch > 1 the k-lane engine path is profiled instead, so the same
   // span paths describe the batched traversal (spmv.batch_lanes in the
   // snapshot records which one ran).
-  IhtlEngine<PlusMonoid> engine(ig, pool, cfg.push_policy);
+  // --shards >= 2 profiles the destination-range ShardedEngine instead;
+  // its "sharded/*" spans and "sharded.*" counters land in the same
+  // registry so the snapshot records the exchange traffic alongside the
+  // usual phase breakdown.
+  std::optional<IhtlEngine<PlusMonoid>> engine;
+  std::optional<ShardedEngine<PlusMonoid>> sharded;
+  if (shards > 1) {
+    sharded.emplace(ig, pool, shards, cfg.push_policy);
+  } else {
+    engine.emplace(ig, pool, cfg.push_policy);
+  }
   std::vector<value_t> x(static_cast<std::size_t>(g.num_vertices()) * batch,
                          1.0);
   std::vector<value_t> y(x.size(), 0.0);
   for (unsigned i = 0; i < iterations; ++i) {
     if (batch > 1) {
-      engine.spmv_batch(x, y, batch);
+      if (sharded) sharded->spmv_batch(x, y, batch);
+      else engine->spmv_batch(x, y, batch);
     } else {
-      engine.spmv(x, y);
+      if (sharded) sharded->spmv(x, y);
+      else engine->spmv(x, y);
     }
   }
 
@@ -82,6 +96,7 @@ JsonValue run_dataset(const std::string& name, ThreadPool& pool,
     PageRankOptions opt;
     opt.iterations = iterations;
     opt.ihtl = cfg;
+    opt.shards = shards;
     if (batch > 1) {
       std::vector<vid_t> sources(batch);
       for (std::size_t lane = 0; lane < batch; ++lane) {
@@ -123,9 +138,10 @@ JsonValue run_dataset(const std::string& name, ThreadPool& pool,
   JsonValue snapshot = telemetry::metrics_to_json(reg);
   for (const auto& [key, value] : snapshot.entries()) entry.set(key, value);
 
-  const auto spmv = reg.span("spmv");
-  std::printf("%-8s spmv %.3f ms/iter  llc misses (ihtl) %llu\n",
-              spec.name.c_str(), spmv ? 1e3 * spmv->avg_s() : 0.0,
+  const auto spmv = shards > 1 ? reg.span("sharded") : reg.span("spmv");
+  std::printf("%-8s %s %.3f ms/iter  llc misses (ihtl) %llu\n",
+              spec.name.c_str(), shards > 1 ? "sharded" : "spmv",
+              spmv ? 1e3 * spmv->avg_s() : 0.0,
               static_cast<unsigned long long>(
                   reg.counter_total("cachesim.ihtl.memory_accesses")));
   return entry;
@@ -146,6 +162,9 @@ int main(int argc, char** argv) {
                 "batch lanes k (default 1): profile the k-lane spmv_batch "
                 "path and k-source personalized PageRank instead of the "
                 "scalar engine");
+  args.add_flag("shards", true,
+                "destination-range shards S (default 1 = unsharded engine; "
+                ">= 2 profiles the ShardedEngine and its exchange)");
   args.add_flag("trace-out", true,
                 "write a Chrome trace_event JSON timeline of the whole "
                 "suite here");
@@ -174,6 +193,9 @@ int main(int argc, char** argv) {
     const std::int64_t batch_arg = args.get_int("batch", 1);
     if (batch_arg < 1) throw std::invalid_argument("--batch must be >= 1");
     const auto batch = static_cast<std::size_t>(batch_arg);
+    const std::int64_t shards_arg = args.get_int("shards", 1);
+    if (shards_arg < 1) throw std::invalid_argument("--shards must be >= 1");
+    const auto shards = static_cast<std::size_t>(shards_arg);
 
     print_header("perf_suite", "telemetry snapshot",
                  "per-phase spans + pool counters + cachesim misses, "
@@ -190,7 +212,8 @@ int main(int argc, char** argv) {
 
     JsonValue datasets = JsonValue::array();
     for (const std::string& name : names) {
-      datasets.push_back(run_dataset(name, pool, iterations, policy, batch));
+      datasets.push_back(
+          run_dataset(name, pool, iterations, policy, batch, shards));
     }
 
     if (trace) {
@@ -208,6 +231,7 @@ int main(int argc, char** argv) {
     run.set("scale", "bench");
     run.set("iterations", static_cast<std::uint64_t>(iterations));
     run.set("batch", static_cast<std::uint64_t>(batch));
+    run.set("shards", static_cast<std::uint64_t>(shards));
     run.set("threads", static_cast<std::uint64_t>(pool.size()));
     doc.set("run", std::move(run));
     JsonValue config = JsonValue::object();

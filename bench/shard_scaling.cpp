@@ -1,0 +1,224 @@
+// Shard-count scaling of the destination-range ShardedEngine: time per
+// SpMV iteration, cross-shard exchange traffic, and the per-shard edge
+// imbalance gauge, swept over a shard-count list on one bench dataset.
+//
+// The structural claim under test: on hub-heavy (power-law) graphs the
+// cross-shard traffic — the number of x-values a shard gathers from ranges
+// it does not own, Σ_shard |remote_sources| — grows SUBLINEARLY in the
+// shard count, because a source with out-degree d is mirrored into at most
+// min(S, d) shards and hub-dominated edge mass concentrates on few
+// sources. A uniform-degree graph has no such concentration, which is why
+// shard counts are tuned per dataset (see EXPERIMENTS.md).
+//
+//   ./bench/shard_scaling                          # TwtrMpi, S = 1,2,4,8
+//   ./bench/shard_scaling --shards 1,2,4,8,16 --dataset SK
+//   ./bench/shard_scaling --max-traffic-ratio 2.0  # gate: per doubling of
+//                                                  # S, traffic must grow
+//                                                  # by less than 2x
+//
+// Results are merged into BENCH_shard.json under a top-level "shard"
+// section; tools/bench_diff diffs them across commits.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cli/args.h"
+#include "core/ihtl_spmv.h"
+#include "core/sharded_engine.h"
+#include "telemetry/json.h"
+#include "telemetry/report.h"
+
+namespace {
+
+using namespace ihtl;
+using namespace ihtl::bench;
+using telemetry::JsonValue;
+
+JsonValue load_snapshot(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return JsonValue::object();
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    JsonValue doc = JsonValue::parse(buf.str());
+    if (doc.is_object()) return doc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr,
+                 "shard_scaling: existing %s not parseable (%s); rewriting\n",
+                 path.c_str(), e.what());
+  }
+  return JsonValue::object();
+}
+
+std::vector<std::size_t> parse_shard_list(const std::string& s) {
+  std::vector<std::size_t> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t comma = s.find(',', start);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > start) {
+      const long long v = std::stoll(s.substr(start, end - start));
+      if (v < 1) throw std::invalid_argument("--shards entries must be >= 1");
+      out.push_back(static_cast<std::size_t>(v));
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (out.empty()) throw std::invalid_argument("--shards list is empty");
+  return out;
+}
+
+struct ShardRun {
+  std::size_t shards = 0;
+  double seconds_per_iter = 0.0;
+  std::uint64_t exchange_values = 0;  ///< Σ_shard |remote_sources|, per call
+  std::uint64_t exchange_bytes = 0;
+  double imbalance = 0.0;  ///< max shard edges / mean shard edges
+};
+
+ShardRun run_one(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
+                 PushPolicy policy, std::size_t shards, unsigned iterations) {
+  ShardedEngine<PlusMonoid> engine(ig, pool, shards, policy);
+  std::vector<value_t> x(g.num_vertices(), 1.0), y(g.num_vertices(), 0.0);
+  engine.spmv(x, y);  // warm-up: mirrors touched, pool spun up
+  Timer timer;
+  for (unsigned i = 0; i < iterations; ++i) engine.spmv(x, y);
+  ShardRun r;
+  r.shards = shards;
+  r.seconds_per_iter =
+      iterations ? timer.elapsed_seconds() / iterations : 0.0;
+  r.exchange_values = engine.exchange_values_per_call();
+  r.exchange_bytes = r.exchange_values * sizeof(value_t);
+  r.imbalance = engine.imbalance();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args;
+  args.add_flag("out", true,
+                "snapshot to merge into (default BENCH_shard.json)");
+  args.add_flag("dataset", true, "dataset name (default TwtrMpi)");
+  args.add_flag("shards", true,
+                "comma-separated shard counts to sweep (default 1,2,4,8)");
+  args.add_flag("iterations", true, "timed SpMV iterations per S (default 10)");
+  args.add_flag("threads", true, "worker threads (default hw concurrency)");
+  args.add_flag("buffer-bytes", true,
+                "override the iHTL hub-buffer bytes (default 0 = bench "
+                "config). Smaller buffers mean more flipped blocks — the "
+                "atomic units of the destination partition — so this is "
+                "the lever when the imbalance gauge shows one block "
+                "dominating (see EXPERIMENTS.md)");
+  args.add_flag("max-traffic-ratio", true,
+                "exit 1 if cross-shard traffic grows by more than this "
+                "factor across any doubling of S in the sweep (sublinearity "
+                "gate; 0 = no check)");
+  args.add_flag("help", false, "show usage");
+  try {
+    args.parse(argc, argv);
+    if (args.has("help")) {
+      std::printf("usage: shard_scaling [flags]\n%s",
+                  args.help_text().c_str());
+      return 0;
+    }
+    const std::string out_path = args.get_string("out", "BENCH_shard.json");
+    const std::string name = args.get_string("dataset", "TwtrMpi");
+    const std::vector<std::size_t> sweep =
+        parse_shard_list(args.get_string("shards", "1,2,4,8"));
+    const auto iterations = static_cast<unsigned>(
+        std::max<std::int64_t>(1, args.get_int("iterations", 10)));
+    const auto threads = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, args.get_int("threads", 0)));
+    const double max_ratio = args.get_double("max-traffic-ratio", 0.0);
+    const auto buffer_bytes = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, args.get_int("buffer-bytes", 0)));
+
+    print_header("shard_scaling", "sharded engine scaling",
+                 "time/iter + cross-shard exchange traffic vs shard count, "
+                 "bench scale");
+
+    const DatasetSpec& spec = dataset_spec(name);
+    const Graph g = load_bench_graph(spec, kBenchScale);
+    print_dataset_line(g, spec);
+    IhtlConfig cfg = scaled_ihtl_config();
+    if (buffer_bytes > 0) cfg.buffer_bytes = buffer_bytes;
+    const IhtlGraph ig = build_ihtl_graph(g, cfg);
+    std::printf("# %zu flipped blocks (buffer %zu bytes) — atomic partition "
+                "units\n",
+                ig.blocks().size(), cfg.buffer_bytes);
+    ThreadPool pool(threads);
+
+    std::printf("%8s %14s %16s %16s %10s\n", "shards", "ms/iter",
+                "exchange vals", "exchange bytes", "imbalance");
+    std::vector<ShardRun> runs;
+    for (const std::size_t s : sweep) {
+      const ShardRun r = run_one(pool, g, ig, cfg.push_policy, s, iterations);
+      std::printf("%8zu %14.3f %16llu %16llu %10.3f\n", r.shards,
+                  1e3 * r.seconds_per_iter,
+                  static_cast<unsigned long long>(r.exchange_values),
+                  static_cast<unsigned long long>(r.exchange_bytes),
+                  r.imbalance);
+      runs.push_back(r);
+    }
+
+    // Sublinearity: for each doubling present in the sweep, report (and
+    // optionally gate) traffic(2S) / traffic(S). A linear-in-S exchange
+    // would hold this at 2.0; hub concentration should pull it well below.
+    double worst_ratio = 0.0;
+    for (const ShardRun& hi : runs) {
+      for (const ShardRun& lo : runs) {
+        if (hi.shards != 2 * lo.shards || lo.exchange_values == 0) continue;
+        const double ratio = static_cast<double>(hi.exchange_values) /
+                             static_cast<double>(lo.exchange_values);
+        std::printf("traffic ratio S=%zu -> S=%zu: %.3fx\n", lo.shards,
+                    hi.shards, ratio);
+        worst_ratio = std::max(worst_ratio, ratio);
+      }
+    }
+
+    JsonValue doc = load_snapshot(out_path);
+    JsonValue section = JsonValue::object();
+    JsonValue run = JsonValue::object();
+    run.set("dataset", spec.name);
+    run.set("scale", "bench");
+    run.set("iterations", static_cast<std::uint64_t>(iterations));
+    run.set("threads", static_cast<std::uint64_t>(pool.size()));
+    run.set("buffer_bytes", static_cast<std::uint64_t>(cfg.buffer_bytes));
+    run.set("blocks", static_cast<std::uint64_t>(ig.blocks().size()));
+    section.set("run", std::move(run));
+    JsonValue gauges = JsonValue::object();
+    for (const ShardRun& r : runs) {
+      const std::string p = "shard.s" + std::to_string(r.shards);
+      gauges.set(p + ".ms_per_iter", 1e3 * r.seconds_per_iter);
+      gauges.set(p + ".imbalance", r.imbalance);
+    }
+    gauges.set("shard.worst_traffic_ratio", worst_ratio);
+    section.set("gauges", std::move(gauges));
+    JsonValue counters = JsonValue::object();
+    for (const ShardRun& r : runs) {
+      const std::string p = "shard.s" + std::to_string(r.shards);
+      counters.set(p + ".exchange_values", r.exchange_values);
+      counters.set(p + ".exchange_bytes", r.exchange_bytes);
+    }
+    section.set("counters", std::move(counters));
+    doc.set("shard", std::move(section));
+    telemetry::write_json_file(doc, out_path);
+    std::printf("wrote %s\n", out_path.c_str());
+
+    if (max_ratio > 0.0 && worst_ratio > max_ratio) {
+      std::fprintf(stderr,
+                   "shard_scaling: traffic ratio %.3fx exceeds allowed "
+                   "%.3fx per doubling\n",
+                   worst_ratio, max_ratio);
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "shard_scaling: %s\n", e.what());
+    return 1;
+  }
+}

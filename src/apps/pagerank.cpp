@@ -1,10 +1,12 @@
 #include "apps/pagerank.h"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
 #include "baselines/spmv.h"
 #include "core/ihtl_spmv.h"
+#include "core/sharded_engine.h"
 #include "parallel/timer.h"
 
 namespace ihtl {
@@ -90,12 +92,19 @@ PageRankResult pagerank_ihtl(ThreadPool& pool, const Graph& g,
   std::vector<eid_t> deg_new(n);
   for (vid_t v = 0; v < n; ++v) deg_new[o2n[v]] = g.out_degree(v);
 
-  IhtlEngine<PlusMonoid> engine(ig, pool, opt.ihtl.push_policy);
-  PageRankResult result = run_pagerank(
-      pool, deg_new, n, opt,
-      [&](std::span<const value_t> x, std::span<value_t> y) {
-        engine.spmv(x, y);
-      });
+  PageRankResult result;
+  if (opt.shards > 1) {
+    ShardedEngine<PlusMonoid> engine(ig, pool, opt.shards,
+                                     opt.ihtl.push_policy);
+    result = run_pagerank(pool, deg_new, n, opt,
+                          [&](std::span<const value_t> x,
+                              std::span<value_t> y) { engine.spmv(x, y); });
+  } else {
+    IhtlEngine<PlusMonoid> engine(ig, pool, opt.ihtl.push_policy);
+    result = run_pagerank(pool, deg_new, n, opt,
+                          [&](std::span<const value_t> x,
+                              std::span<value_t> y) { engine.spmv(x, y); });
+  }
   // Back to original IDs.
   std::vector<value_t> ranks(n);
   for (vid_t v = 0; v < n; ++v) ranks[v] = result.ranks[o2n[v]];
@@ -125,7 +134,15 @@ PageRankResult pagerank_personalized_batch(ThreadPool& pool, const Graph& g,
     pr[row * k + lane] = 1.0;
   }
 
-  IhtlEngine<PlusMonoid> engine(ig, pool, opt.ihtl.push_policy);
+  // Both engines expose the same (x, y, k) batched call; pick once here so
+  // the iteration loop stays engine-agnostic.
+  std::optional<IhtlEngine<PlusMonoid>> unsharded;
+  std::optional<ShardedEngine<PlusMonoid>> sharded;
+  if (opt.shards > 1) {
+    sharded.emplace(ig, pool, opt.shards, opt.ihtl.push_policy);
+  } else {
+    unsharded.emplace(ig, pool, opt.ihtl.push_policy);
+  }
   std::vector<value_t> x(pr.size()), y(pr.size());
   Timer timer;
   for (unsigned it = 0; it < opt.iterations; ++it) {
@@ -136,7 +153,11 @@ PageRankResult pagerank_personalized_batch(ThreadPool& pool, const Graph& g,
         x[v * k + lane] = pr[v * k + lane] * scale;
       }
     });
-    engine.spmv_batch(x, y, k);
+    if (sharded) {
+      sharded->spmv_batch(x, y, k);
+    } else {
+      unsharded->spmv_batch(x, y, k);
+    }
     ++result.iterations_run;
     if (opt.tolerance > 0.0) {
       const double delta = parallel_reduce<double>(

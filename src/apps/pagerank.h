@@ -39,6 +39,9 @@ struct PageRankOptions {
   double tolerance = 0.0;
   /// Used only by SpmvKernel::ihtl.
   IhtlConfig ihtl;
+  /// Used only by the iHTL paths: 1 runs the unsharded IhtlEngine; >= 2
+  /// runs the destination-range ShardedEngine with this many shards.
+  std::size_t shards = 1;
   /// Used only by push_partitioned (0 = 4x threads).
   std::size_t push_partitions = 0;
   /// Used only by segmented_pull: bytes of source vertex data per segment

@@ -242,6 +242,7 @@ CaseResult run_point(std::uint64_t seed, const DiffOptions& opt) {
   const Graph g = make_case_graph(p);
   ThreadPool pool(p.threads);
   OracleOptions oopt = p.oracle_options();
+  if (opt.force_shards) oopt.shards = *opt.force_shards;
   oopt.plus_engine_override = opt.engine_override;
   CaseResult result{p, run_oracle(pool, g, p.ihtl_config(), oopt)};
 

@@ -112,6 +112,11 @@ struct DiffOptions {
   std::optional<Workload> force_workload;
   std::optional<PushPolicy> force_push_policy;
   std::optional<std::size_t> force_batch;  ///< overrides CaseParams::batch
+  /// Shard axis: set = run the engine-level workloads through a
+  /// ShardedEngine with this many shards (see OracleOptions::shards).
+  /// Not drawn by CaseParams — the shard lattice (shard_check.h) sweeps it
+  /// explicitly per point, so replay seeds keep their historical meaning.
+  std::optional<std::size_t> force_shards;
   EngineOverride engine_override;  ///< fault injection (tests / --inject-fault)
   bool verbose = false;
   std::ostream* out = nullptr;  ///< progress stream (nullptr = silent)

@@ -13,6 +13,7 @@
 #include "apps/kcore.h"
 #include "apps/pagerank_delta.h"
 #include "baselines/spmv.h"
+#include "core/sharded_engine.h"
 #include "gen/rng.h"
 
 namespace ihtl::check {
@@ -187,12 +188,29 @@ void oracle_spmv(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
                  const IhtlConfig& cfg, const OracleOptions& opt,
                  OracleReport& rep) {
   const vid_t n = g.num_vertices();
-  IhtlEngine<Monoid> engine(ig, pool, cfg.push_policy);
-  SpmvFn under_test = [&engine](std::span<const value_t> x,
-                                std::span<value_t> y) { engine.spmv(x, y); };
-  if constexpr (std::is_same_v<Monoid, PlusMonoid>) {
-    if (opt.plus_engine_override) {
-      under_test = opt.plus_engine_override(engine, ig);
+  // Shard axis: shards >= 1 swaps the engine under test for a
+  // ShardedEngine; the serial reference side is untouched, so the same
+  // tolerance contract indicts the shard partitioning/exchange on any
+  // divergence. The override hook stays on the unsharded engine.
+  std::optional<IhtlEngine<Monoid>> engine;
+  std::optional<ShardedEngine<Monoid>> sharded;
+  SpmvFn under_test;
+  if (opt.shards >= 1) {
+    sharded.emplace(ig, pool, opt.shards, cfg.push_policy);
+    if (opt.corrupt_exchange_shard >= 0) {
+      sharded->inject_exchange_corruption(
+          static_cast<std::size_t>(opt.corrupt_exchange_shard));
+    }
+    under_test = [&s = *sharded](std::span<const value_t> x,
+                                 std::span<value_t> y) { s.spmv(x, y); };
+  } else {
+    engine.emplace(ig, pool, cfg.push_policy);
+    under_test = [&e = *engine](std::span<const value_t> x,
+                                std::span<value_t> y) { e.spmv(x, y); };
+    if constexpr (std::is_same_v<Monoid, PlusMonoid>) {
+      if (opt.plus_engine_override) {
+        under_test = opt.plus_engine_override(*engine, ig);
+      }
     }
   }
   const auto& o2n = ig.old_to_new();
@@ -231,7 +249,17 @@ void oracle_spmv_batch(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
                        OracleReport& rep) {
   const vid_t n = g.num_vertices();
   const std::size_t k = opt.batch;
-  IhtlEngine<Monoid> engine(ig, pool, cfg.push_policy);
+  std::optional<IhtlEngine<Monoid>> engine;
+  std::optional<ShardedEngine<Monoid>> sharded;
+  if (opt.shards >= 1) {
+    sharded.emplace(ig, pool, opt.shards, cfg.push_policy);
+    if (opt.corrupt_exchange_shard >= 0) {
+      sharded->inject_exchange_corruption(
+          static_cast<std::size_t>(opt.corrupt_exchange_shard));
+    }
+  } else {
+    engine.emplace(ig, pool, cfg.push_policy);
+  }
   const auto& o2n = ig.old_to_new();
   // Vertex-major n×k input; lane l is the scalar oracle's input at seed
   // x_seed + l, so lane 0 reproduces the scalar case exactly.
@@ -249,7 +277,11 @@ void oracle_spmv_batch(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
       const std::size_t dst = static_cast<std::size_t>(o2n[v]) * k;
       for (std::size_t lane = 0; lane < k; ++lane) xp[dst + lane] = xb[src + lane];
     }
-    engine.spmv_batch(xp, yp, k);
+    if (sharded) {
+      sharded->spmv_batch(xp, yp, k);
+    } else {
+      engine->spmv_batch(xp, yp, k);
+    }
     for (std::size_t lane = 0; lane < k; ++lane) {
       for (vid_t v = 0; v < n; ++v) {
         expected[v] = eb[static_cast<std::size_t>(v) * k + lane];
@@ -295,11 +327,24 @@ void oracle_pagerank(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
   const double damping = 0.85;
   const value_t base = (1.0 - damping) / n;
 
-  IhtlEngine<PlusMonoid> engine(ig, pool, cfg.push_policy);
-  SpmvFn under_test = [&engine](std::span<const value_t> x,
-                                std::span<value_t> y) { engine.spmv(x, y); };
-  if (opt.plus_engine_override) {
-    under_test = opt.plus_engine_override(engine, ig);
+  std::optional<IhtlEngine<PlusMonoid>> engine;
+  std::optional<ShardedEngine<PlusMonoid>> sharded;
+  SpmvFn under_test;
+  if (opt.shards >= 1) {
+    sharded.emplace(ig, pool, opt.shards, cfg.push_policy);
+    if (opt.corrupt_exchange_shard >= 0) {
+      sharded->inject_exchange_corruption(
+          static_cast<std::size_t>(opt.corrupt_exchange_shard));
+    }
+    under_test = [&s = *sharded](std::span<const value_t> x,
+                                 std::span<value_t> y) { s.spmv(x, y); };
+  } else {
+    engine.emplace(ig, pool, cfg.push_policy);
+    under_test = [&e = *engine](std::span<const value_t> x,
+                                std::span<value_t> y) { e.spmv(x, y); };
+    if (opt.plus_engine_override) {
+      under_test = opt.plus_engine_override(*engine, ig);
+    }
   }
   const auto& o2n = ig.old_to_new();
 

@@ -133,6 +133,18 @@ struct OracleOptions {
   /// workloads (and fault-injected runs, whose override hook is scalar)
   /// ignore it.
   std::size_t batch = 1;
+  /// Shard axis: 0 runs the unsharded IhtlEngine (the historical path);
+  /// >= 1 runs the engine-level workloads (spmv_plus/min/max, pagerank,
+  /// batched or scalar) through a ShardedEngine with this many shards.
+  /// S=1 must be bitwise-identical to the unsharded engine. Workloads that
+  /// never construct the raw engine (hits, bfs, kcore, pagerank_delta)
+  /// ignore it, as do fault-injected runs (the override hook is
+  /// IhtlEngine-shaped).
+  std::size_t shards = 0;
+  /// Shard fault injection: corrupt this shard's exchange slice every
+  /// iteration (requires shards >= 1; -1 = off). The oracle must report a
+  /// divergence whenever the corruption was actually applied.
+  int corrupt_exchange_shard = -1;
   EngineOverride plus_engine_override;  ///< test-only fault injection
   /// When set, the iHTL-traversing workloads run over THIS layout instead
   /// of building one from (g, cfg) — the mutation lattice passes the

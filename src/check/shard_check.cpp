@@ -1,0 +1,212 @@
+#include "check/shard_check.h"
+
+#include <cstring>
+#include <ostream>
+#include <sstream>
+
+#include "check/diff_runner.h"
+#include "check/oracle.h"
+#include "core/ihtl_graph.h"
+#include "core/ihtl_spmv.h"
+#include "core/sharded_engine.h"
+#include "gen/rng.h"
+#include "parallel/thread_pool.h"
+#include "telemetry/metrics.h"
+
+namespace ihtl::check {
+
+namespace {
+
+std::vector<value_t> random_input(vid_t n, std::uint64_t seed) {
+  std::vector<value_t> x(n);
+  Rng rng(seed);
+  for (auto& v : x) v = rng.next_double();
+  return x;
+}
+
+/// Small-integer input: plus-monoid sums over these are exact in double
+/// for any combine order, so sharded vs unsharded must agree bitwise.
+std::vector<value_t> integer_input(vid_t n, std::uint64_t seed) {
+  std::vector<value_t> x(n);
+  Rng rng(seed);
+  for (auto& v : x) v = static_cast<value_t>(rng.next_below(16));
+  return x;
+}
+
+bool bitwise_equal(const std::vector<value_t>& a,
+                   const std::vector<value_t>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(value_t)) == 0);
+}
+
+/// Runs `iters` feed-forward SpMV iterations through both engines on the
+/// same input and returns the first iteration whose outputs differ bitwise
+/// (-1 = none). `Monoid` and the input generator are the caller's choice
+/// of exactness argument (see header).
+template <typename Monoid>
+int first_bitwise_divergence(ThreadPool& pool, const IhtlGraph& ig,
+                             PushPolicy policy, std::size_t shards,
+                             std::vector<value_t> x, unsigned iters,
+                             std::size_t batch) {
+  const std::size_t n = ig.num_vertices();
+  IhtlEngine<Monoid> reference(ig, pool, policy);
+  ShardedEngine<Monoid> sharded(ig, pool, shards, policy);
+  std::vector<value_t> xb(n * batch), ya(n * batch), yb(n * batch);
+  for (std::size_t v = 0; v < n; ++v) {
+    for (std::size_t lane = 0; lane < batch; ++lane) {
+      xb[v * batch + lane] = x[v];  // identical lanes: lane 0 is the case
+    }
+  }
+  for (unsigned it = 0; it < iters; ++it) {
+    if (batch == 1) {
+      reference.spmv(xb, ya);
+      sharded.spmv(xb, yb);
+    } else {
+      reference.spmv_batch(xb, ya, batch);
+      sharded.spmv_batch(xb, yb, batch);
+    }
+    if (!bitwise_equal(ya, yb)) return static_cast<int>(it);
+    xb = ya;
+  }
+  return -1;
+}
+
+std::string describe_point(std::size_t index, std::uint64_t seed,
+                           const CaseParams& p) {
+  std::ostringstream s;
+  s << "shard point " << index << " (seed " << seed << ", "
+    << p.describe() << ")";
+  return s.str();
+}
+
+}  // namespace
+
+ShardCheckResult run_shard_lattice(const ShardCheckOptions& opt) {
+  ShardCheckResult res;
+  auto& reg = telemetry::MetricsRegistry::global();
+  for (std::size_t i = 0; i < opt.points; ++i) {
+    const std::uint64_t seed = point_seed(opt.base_seed, i);
+    CaseParams p = CaseParams::draw(seed);
+    if (opt.force_threads > 0) p.threads = opt.force_threads;
+    if (opt.verbose && opt.out) {
+      (*opt.out) << "shard point " << i << " (seed " << seed << ", "
+                 << p.describe() << ")\n";
+    }
+
+    // 1. Full oracle per shard count: the drawn workload (whatever it is)
+    //    must match its serial reference with the sharded engine swapped
+    //    in underneath.
+    for (const std::size_t s : opt.shard_counts) {
+      DiffOptions dopt;
+      dopt.base_seed = opt.base_seed;
+      dopt.force_threads = opt.force_threads;
+      dopt.force_shards = s;
+      const CaseResult r = run_point(seed, dopt);
+      ++res.oracle_runs;
+      if (!r.report.ok) {
+        res.ok = false;
+        res.failure = describe_point(i, seed, r.params) + " at --shards " +
+                      std::to_string(s) + ": " + r.report.summary();
+        return res;
+      }
+    }
+
+    // 2. Exact-identity contracts, directly on the engines (new-ID space).
+    const Graph g = make_case_graph(p);
+    const IhtlConfig cfg = p.ihtl_config();
+    const IhtlGraph ig = build_ihtl_graph(g, cfg);
+    const vid_t n = g.num_vertices();
+    const std::uint64_t x_seed = p.x_seed;
+    {
+      // S=1, one thread: same decomposition, same execution order — any
+      // monoid, any input must agree bit for bit.
+      ThreadPool pool(1);
+      const int it = first_bitwise_divergence<PlusMonoid>(
+          pool, ig, p.push_policy, 1, random_input(n, x_seed), 3, 1);
+      if (it >= 0) {
+        res.ok = false;
+        res.failure = describe_point(i, seed, p) +
+                      ": --shards 1 diverged bitwise from the unsharded "
+                      "engine at 1 thread, iteration " +
+                      std::to_string(it);
+        return res;
+      }
+      ++res.bitwise_checks;
+    }
+    {
+      // Any S, drawn thread count: exact integer sums (plus) and the
+      // idempotent min monoid are combine-order-independent, so sharding
+      // must not change a single bit.
+      ThreadPool pool(p.threads);
+      for (const std::size_t s : opt.shard_counts) {
+        int it = first_bitwise_divergence<PlusMonoid>(
+            pool, ig, p.push_policy, s, integer_input(n, x_seed), 3, 1);
+        if (it < 0 && n > 0) {
+          it = first_bitwise_divergence<PlusMonoid>(
+              pool, ig, p.push_policy, s, integer_input(n, x_seed + 1), 2, 4);
+        }
+        if (it < 0) {
+          it = first_bitwise_divergence<MinMonoid>(
+              pool, ig, p.push_policy, s, random_input(n, x_seed), 2, 1);
+        }
+        if (it >= 0) {
+          res.ok = false;
+          res.failure = describe_point(i, seed, p) + " at --shards " +
+                        std::to_string(s) +
+                        ": order-independent workload diverged bitwise from "
+                        "the unsharded engine, iteration " +
+                        std::to_string(it);
+          return res;
+        }
+        ++res.bitwise_checks;
+      }
+    }
+
+    // 3. Exchange-corruption self-test: corrupting one shard's gathered
+    //    slice must surface as an oracle divergence. Skipped when no shard
+    //    gathers anything (tiny or edgeless points).
+    if (opt.inject_fault) {
+      std::size_t max_s = 0;
+      for (const std::size_t s : opt.shard_counts) max_s = std::max(max_s, s);
+      int victim = -1;
+      if (max_s >= 2 && n > 0) {
+        ThreadPool pool(p.threads);
+        ShardedEngine<PlusMonoid> probe(ig, pool, max_s, p.push_policy);
+        for (std::size_t s = 0; s < probe.num_shards(); ++s) {
+          if (!probe.shard(s).remote_sources.empty()) {
+            victim = static_cast<int>(s);
+            break;
+          }
+        }
+      }
+      if (victim < 0) {
+        ++res.faults_skipped;
+      } else {
+        ThreadPool pool(p.threads);
+        OracleOptions oopt;
+        oopt.workload = Workload::spmv_plus;
+        oopt.x_seed = p.x_seed;
+        oopt.shards = max_s;
+        oopt.corrupt_exchange_shard = victim;
+        const OracleReport rep = run_oracle(pool, g, cfg, oopt);
+        ++res.faults_injected;
+        if (rep.ok) {
+          res.ok = false;
+          res.failure = describe_point(i, seed, p) +
+                        ": corrupted exchange slice of shard " +
+                        std::to_string(victim) + " at --shards " +
+                        std::to_string(max_s) +
+                        " went UNDETECTED by the oracle";
+          return res;
+        }
+      }
+    }
+
+    ++res.points_run;
+    reg.counter("check/shard_points_run").inc(0);
+  }
+  return res;
+}
+
+}  // namespace ihtl::check

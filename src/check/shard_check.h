@@ -1,0 +1,59 @@
+// Shard axis of the check lattice.
+//
+// Reuses the MAIN diff-runner lattice points (CaseParams::draw — the
+// seed-stability contract stays untouched because the shard count is a
+// FORCED option, not a drawn parameter) and re-runs every point's workload
+// through the ShardedEngine at each shard count in `shard_counts`, against
+// the same serial references the unsharded engine is checked against.
+//
+// On top of the tolerance-based oracle, each point pins two exact
+// contracts:
+//   - S=1 BITWISE identity: at one thread the sharded engine must produce
+//     bit-for-bit the unsharded engine's output (identical decomposition,
+//     identical execution order), for the plus monoid over random doubles.
+//   - Order-independence BITWISE identity: with small-integer inputs
+//     (exact sums) or the min monoid (idempotent), ShardedEngine at ANY S
+//     and thread count must match the unsharded engine bit for bit —
+//     catching double-counted, dropped, or mis-owned destinations that a
+//     1e-9 tolerance could mask.
+//
+// A fault-injection pass corrupts one shard's exchange slice
+// (ShardedEngine::inject_exchange_corruption) and requires the oracle to
+// report a divergence — proving the lattice actually watches the exchange.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ihtl::check {
+
+struct ShardCheckOptions {
+  std::uint64_t base_seed = 2026;
+  std::size_t points = 16;
+  /// Shard counts swept per point. 1 pins the bitwise-identity contract.
+  std::vector<std::size_t> shard_counts = {1, 2, 4};
+  unsigned force_threads = 0;  ///< > 0 overrides the drawn thread count
+  /// Also run the exchange-corruption self-test on every point (skipped on
+  /// points whose shards have no cross-shard slice to corrupt).
+  bool inject_fault = false;
+  bool verbose = false;
+  std::ostream* out = nullptr;  ///< progress stream (nullptr = silent)
+};
+
+struct ShardCheckResult {
+  bool ok = true;
+  std::size_t points_run = 0;
+  std::size_t oracle_runs = 0;     ///< full oracle evaluations (per S)
+  std::size_t bitwise_checks = 0;  ///< exact-identity comparisons passed
+  std::size_t faults_injected = 0;
+  std::size_t faults_skipped = 0;  ///< no remote slice existed to corrupt
+  std::string failure;  ///< first failing check's description, empty if ok
+};
+
+/// Runs the shard lattice; every point is reproducible from
+/// (base_seed, point index) plus the forced options alone.
+ShardCheckResult run_shard_lattice(const ShardCheckOptions& opt);
+
+}  // namespace ihtl::check

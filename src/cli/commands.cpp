@@ -140,6 +140,9 @@ int cmd_run(int argc, const char* const* argv) {
                 "iteration (ihtl kernel only for pagerank)");
   args.add_flag("top", true, "print top-K vertices (default 5)");
   args.add_flag("threads", true, "worker threads (default hw concurrency)");
+  args.add_flag("shards", true,
+                "destination-range shards S for the iHTL engine (default 1 "
+                "= unsharded; pagerank with --kernel ihtl only)");
   args.add_flag("metrics-out", true,
                 "write a JSON telemetry report (spans/counters/gauges) here");
   args.add_flag("trace-out", true,
@@ -168,6 +171,14 @@ int cmd_run(int argc, const char* const* argv) {
     const std::int64_t batch_arg = args.get_int("batch", 1);
     if (batch_arg < 1) throw std::invalid_argument("--batch must be >= 1");
     const auto batch = static_cast<std::size_t>(batch_arg);
+    const std::int64_t shards_arg = args.get_int("shards", 1);
+    if (shards_arg < 1) throw std::invalid_argument("--shards must be >= 1");
+    const auto shards = static_cast<std::size_t>(shards_arg);
+    if (shards > 1 && (app != "pagerank" || kernel_str != "ihtl")) {
+      throw std::invalid_argument(
+          "--shards > 1 is only supported for --app pagerank --kernel ihtl "
+          "(the sharded engine underlies the iHTL SpMV path)");
+    }
 
     // Lane l of a batched run starts from --source + l (wrapped mod n).
     auto batch_sources = [&]() {
@@ -211,6 +222,7 @@ int cmd_run(int argc, const char* const* argv) {
       PageRankOptions opt;
       opt.iterations = iterations;
       opt.ihtl = cfg;
+      opt.shards = shards;
       Timer prep;
       const IhtlGraph ig = build_ihtl_graph(g, cfg);
       const double prep_s = prep.elapsed_seconds();
@@ -248,6 +260,7 @@ int cmd_run(int argc, const char* const* argv) {
       PageRankOptions opt;
       opt.iterations = iterations;
       opt.ihtl = cfg;
+      opt.shards = shards;
       const PageRankResult r = pagerank(pool, g, kernel, opt);
       std::printf("pagerank[%s]: %.2f ms/iteration (preprocessing %.1f ms)\n",
                   kernel_str.c_str(), 1e3 * r.seconds_per_iteration,

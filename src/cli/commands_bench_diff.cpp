@@ -124,6 +124,16 @@ std::map<std::string, double> flatten(const JsonValue& doc) {
   return out;
 }
 
+/// Section of a flattened metric name: the leading component ("serve" for
+/// "serve.gauge.serve.qps", dataset name for suite entries). Used to report
+/// a whole section that one side lacks by NAME instead of one row per
+/// metric — a brand-new bench section (e.g. "shard") diffed against a
+/// baseline that predates it should read as one named event.
+std::string section_of(const std::string& key) {
+  const std::size_t dot = key.find('.');
+  return dot == std::string::npos ? key : key.substr(0, dot);
+}
+
 /// Regressions are judged on metrics where "more" is "worse": span times,
 /// cache misses / memory accesses, and steal counts.
 bool regression_sensitive(const std::string& key) {
@@ -167,6 +177,13 @@ int cmd_bench_diff(int argc, const char* const* argv) {
       std::printf("bench_diff: no baseline at %s; skipping diff "
                   "(%zu metrics in %s)\n",
                   old_path.c_str(), new_metrics.size(), new_path.c_str());
+      // Name what the first real diff will cover, so the skip is auditable.
+      std::map<std::string, int> sections;
+      for (const auto& [key, v] : new_metrics) ++sections[section_of(key)];
+      for (const auto& [name, count] : sections) {
+        std::printf("  new section '%s': %d metric(s)\n", name.c_str(),
+                    count);
+      }
       return 0;
     }
     const auto old_metrics = flatten(JsonValue::parse(read_file(old_path)));
@@ -236,11 +253,26 @@ int cmd_bench_diff(int argc, const char* const* argv) {
                     new_v, 100.0 * delta, mark);
       }
     }
+    // Sections the baseline predates entirely (every metric of theirs is
+    // new) are reported by NAME: one line per section instead of a wall of
+    // per-metric "new" rows. With --baseline-missing-ok this also extends
+    // the first-run escape hatch to a baseline FILE that exists but lacks
+    // the section — the named skip is the audit trail.
+    std::map<std::string, int> old_sections, fresh_sections;
+    for (const auto& [key, v] : old_metrics) ++old_sections[section_of(key)];
     for (const auto& [key, new_v] : new_metrics) {
-      if (!old_metrics.count(key)) {
-        std::printf("%-56s %14s %14.6g %9s\n", key.c_str(), "-", new_v,
-                    "new");
+      if (old_metrics.count(key)) continue;
+      const std::string section = section_of(key);
+      if (!old_sections.count(section)) {
+        ++fresh_sections[section];
+        continue;
       }
+      std::printf("%-56s %14s %14.6g %9s\n", key.c_str(), "-", new_v, "new");
+    }
+    for (const auto& [name, count] : fresh_sections) {
+      std::printf("%-56s %14s %14d %9s\n",
+                  ("section '" + name + "' (absent from baseline)").c_str(),
+                  "-", count, "new");
     }
     std::printf("\ncompared %d metrics: %d regression(s), %d improvement(s) "
                 "beyond %.0f%%\n",

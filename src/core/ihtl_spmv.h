@@ -36,6 +36,7 @@
 #include "check/invariants.h"
 #include "core/ihtl_config.h"
 #include "core/ihtl_graph.h"
+#include "core/shard.h"
 #include "parallel/parallel_for.h"
 #include "parallel/partitioner.h"
 #include "parallel/per_thread.h"
@@ -86,122 +87,17 @@ class IhtlEngine {
   IhtlEngine(const IhtlGraph& ig, ThreadPool& pool,
              PushPolicy policy = PushPolicy::automatic)
       : ig_(&ig), pool_(&pool), policy_(policy) {
-    const std::size_t num_blocks = ig.blocks().size();
-    block_direct_.assign(num_blocks, 0);
-
-    // Resolve the per-block mode. A block goes single-owner when splitting
-    // it across threads cannot pay for the extra buffer reset + merge: with
-    // one worker chunking never helps, and a block holding less than
-    // ~1/(16 T) of the flipped edges contributes a few percent of one
-    // thread's push share at most.
-    if (num_blocks > 0 && policy != PushPolicy::shared) {
-      eid_t flipped = 0;
-      for (const FlippedBlock& b : ig.blocks()) flipped += b.num_edges();
-      const eid_t threshold = std::max<eid_t>(
-          kSingleOwnerMinEdges,
-          flipped / static_cast<eid_t>(pool.size() * 16));
-      for (std::size_t b = 0; b < num_blocks; ++b) {
-        const eid_t edges = ig.blocks()[b].num_edges();
-        if (edges == 0) continue;  // merge tiles supply the identity fill
-        if (policy == PushPolicy::single_owner || pool.size() == 1 ||
-            edges <= threshold) {
-          block_direct_[b] = 1;
-          ++single_owner_blocks_;
-        }
-      }
-    }
-
-    // Work decomposition for the push phase: edge-balanced (block,
-    // source-chunk) items for shared blocks, one whole-block item for
-    // single-owner blocks.
-    const std::size_t chunks_per_block = pool.size() * 4;
-    for (std::size_t b = 0; b < num_blocks; ++b) {
-      const auto& offsets = ig.blocks()[b].csr.offsets;
-      if (block_direct_[b]) {
-        push_chunks_.push_back({b, Range{0, offsets.size() - 1}, true});
-        continue;
-      }
-      const auto parts = partition_by_edge(offsets, chunks_per_block);
-      for (const Range& r : parts) {
-        if (r.size() > 0) push_chunks_.push_back({b, r, false});
-      }
-    }
-
-    // Per-thread buffers + touch bitmaps back the shared blocks only; an
-    // all-single-owner decomposition needs neither.
-    const bool any_shared = single_owner_blocks_ < num_blocks;
-    if (any_shared) {
-      buffers_ = PerThread<value_t>(pool.size(), ig.num_hubs(),
-                                    Monoid::identity());
-      touched_ = TouchMatrix(pool.size(), num_blocks);
-      // Cache-line-tiled merge chunks over the shared blocks' hub ranges.
-      for (std::size_t b = 0; b < num_blocks; ++b) {
-        if (block_direct_[b]) continue;
-        const FlippedBlock& blk = ig.blocks()[b];
-        for (vid_t lo = blk.hub_begin; lo < blk.hub_end;
-             lo += kMergeTileValues) {
-          const vid_t hi = std::min<vid_t>(lo + kMergeTileValues, blk.hub_end);
-          merge_tiles_.push_back({b, lo, hi});
-        }
-      }
-    }
+    // The engine is the one-shard special case: a single full-range shard
+    // whose team is the whole pool. build_shard reproduces the historical
+    // decomposition (single-owner thresholds, chunk and tile sizes) bit for
+    // bit and runs the build-time invariants (chunk tiling, merge-tile
+    // coverage, buffer disjointness) that push and merge rely on.
+    shard_ = build_shard(ig, plan_shards(ig, 1).front(), pool.size(), policy,
+                         Monoid::identity(), /*compute_remote=*/false);
+    assert(shard_.hub_begin == 0 && shard_.dst_end == ig.num_vertices());
     reset_tally_.assign(pool.size(), PhaseTally{});
     merge_tally_.assign(pool.size(), PhaseTally{});
-
-    // Edge-balanced destination chunks for the sparse pull phase.
-    sparse_chunks_ = partition_by_edge(ig.sparse().offsets, pool.size() * 8);
     set_metrics(&telemetry::MetricsRegistry::global());
-
-    // Invariant-build checks. The push decomposition must tile each flipped
-    // block exactly (chunks in source order, non-overlapping, edges covered
-    // once), single-owner blocks must be exactly one chunk, the merge tiles
-    // must partition each shared block's hub range in order, and the
-    // per-thread hub buffers must occupy disjoint memory — push and merge
-    // rely on all four for race freedom.
-    IHTL_IF_INVARIANTS({
-      for (std::size_t b = 0; b < num_blocks; ++b) {
-        const auto& offsets = ig.blocks()[b].csr.offsets;
-        eid_t covered = 0;
-        std::size_t chunks = 0;
-        std::uint64_t prev_end = 0;
-        for (const PushChunk& c : push_chunks_) {
-          if (c.block != b) continue;
-          ++chunks;
-          IHTL_INVARIANT(c.direct == (block_direct_[b] != 0),
-                         "push chunk mode disagrees with its block's policy");
-          IHTL_INVARIANT(c.sources.begin >= prev_end,
-                         "push chunks overlap or are unsorted within a block");
-          IHTL_INVARIANT(c.sources.end <= offsets.size() - 1,
-                         "push chunk exceeds the block's source range");
-          prev_end = c.sources.end;
-          covered += offsets[c.sources.end] - offsets[c.sources.begin];
-        }
-        IHTL_INVARIANT(covered == ig.blocks()[b].num_edges(),
-                       "push chunks do not cover the block's edges exactly");
-        IHTL_INVARIANT(!block_direct_[b] || chunks == 1,
-                       "single-owner block decomposed into multiple chunks");
-        if (!block_direct_[b]) {
-          vid_t expect = ig.blocks()[b].hub_begin;
-          for (const MergeTile& t : merge_tiles_) {
-            if (t.block != b) continue;
-            IHTL_INVARIANT(t.begin == expect,
-                           "merge tiles leave a gap or overlap in a block");
-            expect = t.end;
-          }
-          IHTL_INVARIANT(expect == ig.blocks()[b].hub_end,
-                         "merge tiles do not cover the block's hub range");
-        }
-      }
-      const vid_t num_hubs = ig.num_hubs();
-      if (buffers_.length() == num_hubs && num_hubs > 0) {
-        for (std::size_t t = 0; t + 1 < pool.size(); ++t) {
-          const value_t* lo = buffers_.get(t);
-          const value_t* hi = buffers_.get(t + 1);
-          IHTL_INVARIANT(lo + num_hubs <= hi || hi + num_hubs <= lo,
-                         "per-thread hub buffers overlap before merge");
-        }
-      }
-    });
   }
 
   const IhtlGraph& graph() const { return *ig_; }
@@ -211,9 +107,13 @@ class IhtlEngine {
   /// The policy this engine was built with (as requested, not resolved).
   PushPolicy policy() const { return policy_; }
   /// Blocks resolved to single-owner direct push at build time.
-  std::size_t single_owner_blocks() const { return single_owner_blocks_; }
+  std::size_t single_owner_blocks() const {
+    return shard_.single_owner_blocks;
+  }
   /// Merge tiles covering the shared blocks' hub ranges.
-  std::size_t merge_tile_count() const { return merge_tiles_.size(); }
+  std::size_t merge_tile_count() const { return shard_.merge_tiles.size(); }
+  /// The full-range shard holding this engine's decomposition and buffers.
+  const Shard& shard() const { return shard_; }
 
   /// When on (and HW profiling is available), the push phase additionally
   /// attributes per-chunk HW-counter deltas to "spmv/push/block<k>" paths —
@@ -221,8 +121,8 @@ class IhtlEngine {
   /// reads per push chunk; meant for ihtl_profile runs, off by default.
   void set_per_block_hw(bool on) {
     per_block_hw_ = on;
-    if (on && block_hw_paths_.size() != block_direct_.size()) {
-      block_hw_paths_.resize(block_direct_.size());
+    if (on && block_hw_paths_.size() != shard_.num_blocks()) {
+      block_hw_paths_.resize(shard_.num_blocks());
       for (std::size_t b = 0; b < block_hw_paths_.size(); ++b) {
         block_hw_paths_[b] = "spmv/push/block" + std::to_string(b);
       }
@@ -249,7 +149,7 @@ class IhtlEngine {
       reset_values_cleared_ = reg->counter("spmv.reset_values_cleared");
       reset_values_skipped_ = reg->counter("spmv.reset_values_skipped");
       reg->set_gauge("spmv.blocks_single_owner",
-                     static_cast<double>(single_owner_blocks_));
+                     static_cast<double>(shard_.single_owner_blocks));
     } else {
       span_total_ = span_reset_ = span_push_ = span_merge_ = span_pull_ =
           telemetry::TimerStat();
@@ -280,19 +180,20 @@ class IhtlEngine {
     // re-emplacing it per phase keeps exactly one target installed.
     std::optional<telemetry::perf::PhaseScope> hw;
     hw.emplace(metrics_reg_, "spmv/reset");
-    if (buffers_.length() > 0) {
+    if (shard_.buffers.length() > 0) {
       pool_->run([&](std::size_t tid) {
-        value_t* buf = buffers_.get(tid);
+        // Full-range shard: local block/hub indices equal absolute ones.
+        value_t* buf = shard_.buffers.get(tid);
         std::uint64_t cleared = 0;
-        for (std::size_t b = 0; b < block_direct_.size(); ++b) {
-          if (block_direct_[b] || !touched_.test(tid, b)) continue;
+        for (std::size_t b = 0; b < shard_.num_blocks(); ++b) {
+          if (shard_.block_direct[b] || !shard_.touched.test(tid, b)) continue;
           const FlippedBlock& blk = ig_->blocks()[b];
           for (vid_t h = blk.hub_begin; h < blk.hub_end; ++h) {
             buf[h] = Monoid::identity();
           }
           cleared += blk.num_hubs();
         }
-        touched_.clear_row(tid);
+        shard_.touched.clear_row(tid);
         reset_tally_[tid] = {cleared, num_hubs - cleared};
       });
       for (const PhaseTally& t : reset_tally_) {
@@ -310,8 +211,8 @@ class IhtlEngine {
       // from freshly initialized ones (a stale dirty bit or a missed one
       // shows up here, one call late).
       for (std::size_t t = 0; t < pool_->size(); ++t) {
-        for (std::size_t h = 0; h < buffers_.length(); ++h) {
-          IHTL_INVARIANT(buffers_.get(t)[h] == Monoid::identity(),
+        for (std::size_t h = 0; h < shard_.buffers.length(); ++h) {
+          IHTL_INVARIANT(shard_.buffers.get(t)[h] == Monoid::identity(),
                          "buffer not identity after touched-aware reset");
         }
       }
@@ -328,9 +229,9 @@ class IhtlEngine {
     const bool per_block_hw =
         per_block_hw_ && metrics_reg_ && telemetry::perf::available();
     parallel_for(
-        *pool_, 0, push_chunks_.size(),
+        *pool_, 0, shard_.push_chunks.size(),
         [&](std::uint64_t c, std::size_t tid) {
-          const PushChunk& chunk = push_chunks_[c];
+          const ShardPushChunk& chunk = shard_.push_chunks[c];
           const FlippedBlock& blk = ig_->blocks()[chunk.block];
           const std::uint64_t t0 = trace ? trace->now_ns() : 0;
           telemetry::PerfCounterValues hw0;
@@ -341,8 +242,8 @@ class IhtlEngine {
             const vid_t nh = blk.num_hubs();
             for (vid_t h = 0; h < nh; ++h) buf[h] = Monoid::identity();
           } else {
-            touched_.set(tid, chunk.block);
-            buf = buffers_.get(tid) + blk.hub_begin;
+            shard_.touched.set(tid, chunk.block);
+            buf = shard_.buffers.get(tid) + blk.hub_begin;
           }
           for (std::uint64_t v = chunk.sources.begin; v < chunk.sources.end;
                ++v) {
@@ -373,20 +274,20 @@ class IhtlEngine {
     // classic per-hub loop, so results are unchanged.
     phase.reset();
     hw.emplace(metrics_reg_, "spmv/merge");
-    if (!merge_tiles_.empty()) {
+    if (!shard_.merge_tiles.empty()) {
       for (PhaseTally& t : merge_tally_) t = PhaseTally{};
       parallel_for(
-          *pool_, 0, merge_tiles_.size(),
+          *pool_, 0, shard_.merge_tiles.size(),
           [&](std::uint64_t i, std::size_t tid) {
-            const MergeTile& tile = merge_tiles_[i];
+            const ShardMergeTile& tile = shard_.merge_tiles[i];
             const vid_t len = tile.end - tile.begin;
             value_t* yt = y.data() + tile.begin;
             for (vid_t k = 0; k < len; ++k) yt[k] = Monoid::identity();
             std::uint64_t streamed = 0;
             for (std::size_t t = 0; t < pool_->size(); ++t) {
-              if (!touched_.test(t, tile.block)) continue;
+              if (!shard_.touched.test(t, tile.block)) continue;
               ++streamed;
-              const value_t* seg = buffers_.get(t) + tile.begin;
+              const value_t* seg = shard_.buffers.get(t) + tile.begin;
               for (vid_t k = 0; k < len; ++k) {
                 yt[k] = Monoid::combine(yt[k], seg[k]);
               }
@@ -395,7 +296,7 @@ class IhtlEngine {
             merge_tally_[tid].b += pool_->size() - streamed;
           },
           {.grain = 1});
-      stats_.merge_tiles = merge_tiles_.size();
+      stats_.merge_tiles = shard_.merge_tiles.size();
       for (const PhaseTally& t : merge_tally_) {
         stats_.merge_segments_streamed += t.a;
         stats_.merge_segments_skipped += t.b;
@@ -409,10 +310,10 @@ class IhtlEngine {
     hw.emplace(metrics_reg_, "spmv/pull");
     const Adjacency& sparse = ig_->sparse();
     parallel_for(
-        *pool_, 0, sparse_chunks_.size(),
+        *pool_, 0, shard_.sparse_chunks.size(),
         [&](std::uint64_t p, std::size_t) {
-          for (std::uint64_t local = sparse_chunks_[p].begin;
-               local < sparse_chunks_[p].end; ++local) {
+          for (std::uint64_t local = shard_.sparse_chunks[p].begin;
+               local < shard_.sparse_chunks[p].end; ++local) {
             value_t acc = Monoid::identity();
             for (const vid_t u : sparse.neighbors(static_cast<vid_t>(local))) {
               acc = Monoid::combine(acc, x[u]);
@@ -427,8 +328,8 @@ class IhtlEngine {
 
     span_total_.record_seconds(times_.total());
     calls_.inc(0);
-    push_chunk_items_.add(0, push_chunks_.size());
-    sparse_chunk_items_.add(0, sparse_chunks_.size());
+    push_chunk_items_.add(0, shard_.push_chunks.size());
+    sparse_chunk_items_.add(0, shard_.sparse_chunks.size());
     merge_tiles_run_.add(0, stats_.merge_tiles);
     merge_tiles_skipped_.add(0, stats_.merge_segments_skipped);
     reset_values_cleared_.add(0, stats_.reset_values_cleared);
@@ -457,8 +358,8 @@ class IhtlEngine {
     assert(y.size() == n * k);
     (void)n;
     const vid_t num_hubs = ig_->num_hubs();
-    const std::size_t num_blocks = block_direct_.size();
-    const bool any_shared = single_owner_blocks_ < num_blocks;
+    const std::size_t num_blocks = shard_.num_blocks();
+    const bool any_shared = shard_.any_shared();
     stats_ = IhtlSpmvStats{};
     telemetry::TraceBuffer* const trace = telemetry::TraceBuffer::active();
     const std::uint32_t trace_push_block =
@@ -467,13 +368,7 @@ class IhtlEngine {
 
     // Lane-widened buffers are (re)built whenever k changes; a fresh build
     // is identity-initialized, so the first reset has nothing to clear.
-    if (any_shared && batch_k_ != k) {
-      batch_buffers_ = PerThread<value_t>(
-          pool_->size(), static_cast<std::size_t>(num_hubs) * k,
-          Monoid::identity());
-      batch_touched_ = TouchMatrix(pool_->size(), num_blocks);
-      batch_k_ = k;
-    }
+    shard_.ensure_batch_lanes(k, Monoid::identity());
 
     // Phase 0: reset — identical touched-aware policy to the scalar path,
     // over k-wide segments (hub h spans [h*k, (h+1)*k)).
@@ -481,17 +376,19 @@ class IhtlEngine {
     hw.emplace(metrics_reg_, "spmv/reset");
     if (any_shared) {
       pool_->run([&](std::size_t tid) {
-        value_t* buf = batch_buffers_.get(tid);
+        value_t* buf = shard_.batch_buffers.get(tid);
         std::uint64_t cleared = 0;
         for (std::size_t b = 0; b < num_blocks; ++b) {
-          if (block_direct_[b] || !batch_touched_.test(tid, b)) continue;
+          if (shard_.block_direct[b] || !shard_.batch_touched.test(tid, b)) {
+            continue;
+          }
           const FlippedBlock& blk = ig_->blocks()[b];
           value_t* seg = buf + static_cast<std::size_t>(blk.hub_begin) * k;
           const std::size_t len = static_cast<std::size_t>(blk.num_hubs()) * k;
           for (std::size_t i = 0; i < len; ++i) seg[i] = Monoid::identity();
           cleared += len;
         }
-        batch_touched_.clear_row(tid);
+        shard_.batch_touched.clear_row(tid);
         reset_tally_[tid] = {cleared,
                              static_cast<std::uint64_t>(num_hubs) * k - cleared};
       });
@@ -505,8 +402,8 @@ class IhtlEngine {
     }
     IHTL_IF_INVARIANTS({
       for (std::size_t t = 0; t < pool_->size(); ++t) {
-        for (std::size_t i = 0; i < batch_buffers_.length(); ++i) {
-          IHTL_INVARIANT(batch_buffers_.get(t)[i] == Monoid::identity(),
+        for (std::size_t i = 0; i < shard_.batch_buffers.length(); ++i) {
+          IHTL_INVARIANT(shard_.batch_buffers.get(t)[i] == Monoid::identity(),
                          "batch buffer not identity after touched-aware reset");
         }
       }
@@ -521,9 +418,9 @@ class IhtlEngine {
     const bool per_block_hw =
         per_block_hw_ && metrics_reg_ && telemetry::perf::available();
     parallel_for(
-        *pool_, 0, push_chunks_.size(),
+        *pool_, 0, shard_.push_chunks.size(),
         [&](std::uint64_t c, std::size_t tid) {
-          const PushChunk& chunk = push_chunks_[c];
+          const ShardPushChunk& chunk = shard_.push_chunks[c];
           const FlippedBlock& blk = ig_->blocks()[chunk.block];
           const std::uint64_t t0 = trace ? trace->now_ns() : 0;
           telemetry::PerfCounterValues hw0;
@@ -535,8 +432,8 @@ class IhtlEngine {
                 static_cast<std::size_t>(blk.num_hubs()) * k;
             for (std::size_t i = 0; i < len; ++i) buf[i] = Monoid::identity();
           } else {
-            batch_touched_.set(tid, chunk.block);
-            buf = batch_buffers_.get(tid) +
+            shard_.batch_touched.set(tid, chunk.block);
+            buf = shard_.batch_buffers.get(tid) +
                   static_cast<std::size_t>(blk.hub_begin) * k;
           }
           for (std::uint64_t v = chunk.sources.begin; v < chunk.sources.end;
@@ -569,12 +466,12 @@ class IhtlEngine {
     // value range [begin*k, end*k) here — same streaming, k× longer runs.
     phase.reset();
     hw.emplace(metrics_reg_, "spmv/merge");
-    if (!merge_tiles_.empty()) {
+    if (!shard_.merge_tiles.empty()) {
       for (PhaseTally& t : merge_tally_) t = PhaseTally{};
       parallel_for(
-          *pool_, 0, merge_tiles_.size(),
+          *pool_, 0, shard_.merge_tiles.size(),
           [&](std::uint64_t i, std::size_t tid) {
-            const MergeTile& tile = merge_tiles_[i];
+            const ShardMergeTile& tile = shard_.merge_tiles[i];
             const std::size_t len =
                 static_cast<std::size_t>(tile.end - tile.begin) * k;
             value_t* yt =
@@ -582,9 +479,9 @@ class IhtlEngine {
             for (std::size_t j = 0; j < len; ++j) yt[j] = Monoid::identity();
             std::uint64_t streamed = 0;
             for (std::size_t t = 0; t < pool_->size(); ++t) {
-              if (!batch_touched_.test(t, tile.block)) continue;
+              if (!shard_.batch_touched.test(t, tile.block)) continue;
               ++streamed;
-              const value_t* seg = batch_buffers_.get(t) +
+              const value_t* seg = shard_.batch_buffers.get(t) +
                                    static_cast<std::size_t>(tile.begin) * k;
               for (std::size_t j = 0; j < len; ++j) {
                 yt[j] = Monoid::combine(yt[j], seg[j]);
@@ -594,7 +491,7 @@ class IhtlEngine {
             merge_tally_[tid].b += pool_->size() - streamed;
           },
           {.grain = 1});
-      stats_.merge_tiles = merge_tiles_.size();
+      stats_.merge_tiles = shard_.merge_tiles.size();
       for (const PhaseTally& t : merge_tally_) {
         stats_.merge_segments_streamed += t.a;
         stats_.merge_segments_skipped += t.b;
@@ -609,10 +506,10 @@ class IhtlEngine {
     hw.emplace(metrics_reg_, "spmv/pull");
     const Adjacency& sparse = ig_->sparse();
     parallel_for(
-        *pool_, 0, sparse_chunks_.size(),
+        *pool_, 0, shard_.sparse_chunks.size(),
         [&](std::uint64_t p, std::size_t) {
-          for (std::uint64_t local = sparse_chunks_[p].begin;
-               local < sparse_chunks_[p].end; ++local) {
+          for (std::uint64_t local = shard_.sparse_chunks[p].begin;
+               local < shard_.sparse_chunks[p].end; ++local) {
             value_t* acc =
                 y.data() + (static_cast<std::size_t>(num_hubs) + local) * k;
             for (std::size_t lane = 0; lane < k; ++lane) {
@@ -634,8 +531,8 @@ class IhtlEngine {
     span_total_.record_seconds(times_.total());
     calls_.inc(0);
     batch_lanes_.add(0, k);
-    push_chunk_items_.add(0, push_chunks_.size());
-    sparse_chunk_items_.add(0, sparse_chunks_.size());
+    push_chunk_items_.add(0, shard_.push_chunks.size());
+    sparse_chunk_items_.add(0, shard_.sparse_chunks.size());
     merge_tiles_run_.add(0, stats_.merge_tiles);
     merge_tiles_skipped_.add(0, stats_.merge_segments_skipped);
     reset_values_cleared_.add(0, stats_.reset_values_cleared);
@@ -644,26 +541,9 @@ class IhtlEngine {
 
   /// Lanes the batch buffers are currently sized for (0 until the first
   /// spmv_batch call with k > 1).
-  std::size_t batch_lanes() const { return batch_k_; }
+  std::size_t batch_lanes() const { return shard_.batch_k; }
 
  private:
-  /// Merge tile width in hub values: 4 KB of value_t, a whole number of
-  /// cache lines, small enough that a tile plus one buffer segment per
-  /// thread stays L1/L2-resident while streaming.
-  static constexpr vid_t kMergeTileValues = 512;
-  /// automatic keeps blocks below this edge count single-owner outright.
-  static constexpr eid_t kSingleOwnerMinEdges = 4096;
-
-  struct PushChunk {
-    std::size_t block;
-    Range sources;
-    bool direct;  ///< single-owner: push straight into y, skip merge
-  };
-  struct MergeTile {
-    std::size_t block;
-    vid_t begin;  ///< absolute hub IDs [begin, end) within the block
-    vid_t end;
-  };
   struct alignas(64) PhaseTally {
     std::uint64_t a = 0, b = 0;
   };
@@ -671,20 +551,10 @@ class IhtlEngine {
   const IhtlGraph* ig_;
   ThreadPool* pool_;
   PushPolicy policy_;
-  std::vector<std::uint8_t> block_direct_;
-  std::size_t single_owner_blocks_ = 0;
-  PerThread<value_t> buffers_;
-  TouchMatrix touched_;
-  // k-lane counterparts backing spmv_batch, (re)built lazily when the
-  // requested lane count changes; disjoint from the scalar pair so scalar
-  // and batched calls interleave without invalidating each other's touch
-  // bits.
-  PerThread<value_t> batch_buffers_;
-  TouchMatrix batch_touched_;
-  std::size_t batch_k_ = 0;
-  std::vector<PushChunk> push_chunks_;
-  std::vector<MergeTile> merge_tiles_;
-  std::vector<Range> sparse_chunks_;
+  /// The engine's entire decomposition + buffer state lives in one
+  /// full-range shard (dst range [0, n), every flipped block, team = whole
+  /// pool); local block/hub indices coincide with absolute ones.
+  Shard shard_;
   std::vector<PhaseTally> reset_tally_, merge_tally_;
   IhtlPhaseTimes times_;
   IhtlSpmvStats stats_;

@@ -1,0 +1,298 @@
+#include "core/shard.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "check/invariants.h"
+
+namespace ihtl {
+
+namespace {
+
+/// Merge tile width in hub values: 4 KB of value_t, a whole number of
+/// cache lines, small enough that a tile plus one buffer segment per
+/// thread stays L1/L2-resident while streaming.
+constexpr vid_t kMergeTileValues = 512;
+/// automatic keeps blocks below this edge count single-owner outright.
+constexpr eid_t kSingleOwnerMinEdges = 4096;
+
+}  // namespace
+
+std::vector<ShardPlan> plan_shards(const IhtlGraph& ig, std::size_t shards) {
+  if (shards == 0) shards = 1;
+  const auto& blocks = ig.blocks();
+  const std::size_t nb = blocks.size();
+  const vid_t n = ig.num_vertices();
+  const vid_t num_hubs = ig.num_hubs();
+  const std::uint64_t num_sparse = n - num_hubs;
+  const std::uint64_t units = nb + num_sparse;
+
+  // Unit weights: whole flipped blocks (by edge count) followed by single
+  // sparse destinations (by in-degree). Cumulative weight before unit u:
+  std::vector<eid_t> block_prefix(nb + 1, 0);
+  for (std::size_t b = 0; b < nb; ++b) {
+    block_prefix[b + 1] = block_prefix[b] + blocks[b].num_edges();
+  }
+  const auto& sp_off = ig.sparse().offsets;
+  const eid_t total =
+      block_prefix[nb] + (sp_off.empty() ? 0 : sp_off.back());
+  auto prefix = [&](std::uint64_t u) -> eid_t {
+    if (total == 0) return u;  // zero-edge graph: unit-count balance
+    if (u <= nb) return block_prefix[u];
+    return block_prefix[nb] + sp_off[u - nb];
+  };
+  const eid_t weight = total == 0 ? units : total;
+
+  // Destination ID at unit boundary u (blocks first, then sparse verts).
+  auto unit_dst = [&](std::uint64_t u) -> vid_t {
+    if (u < nb) return blocks[u].hub_begin;
+    if (u == nb) return num_hubs;
+    return static_cast<vid_t>(num_hubs + (u - nb));
+  };
+
+  // Boundary s = first unit whose cumulative weight reaches s/S of the
+  // total. Monotone in s, so plans tile the unit range; a shard may end up
+  // empty when a single heavy unit absorbs several targets (or S > units).
+  std::vector<std::uint64_t> bounds(shards + 1, units);
+  bounds[0] = 0;
+  std::uint64_t u = 0;
+  for (std::size_t s = 1; s < shards; ++s) {
+    const eid_t target = weight * s / shards;
+    while (u < units && prefix(u) < target) ++u;
+    bounds[s] = u;
+  }
+
+  std::vector<ShardPlan> plans(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    ShardPlan& p = plans[s];
+    p.index = s;
+    p.block_begin = static_cast<std::size_t>(std::min<std::uint64_t>(bounds[s], nb));
+    p.block_end = static_cast<std::size_t>(std::min<std::uint64_t>(bounds[s + 1], nb));
+    p.dst_begin = bounds[s] >= units ? n : unit_dst(bounds[s]);
+    p.dst_end = bounds[s + 1] >= units ? n : unit_dst(bounds[s + 1]);
+  }
+
+  IHTL_IF_INVARIANTS({
+    // The plans must tile [0, n) exactly and never split a flipped block.
+    vid_t dst = 0;
+    std::size_t blk = 0;
+    for (const ShardPlan& p : plans) {
+      IHTL_INVARIANT(p.dst_begin == dst && p.dst_end >= p.dst_begin,
+                     "shard plans leave a gap or overlap in the dst range");
+      IHTL_INVARIANT(p.block_begin == blk && p.block_end >= p.block_begin,
+                     "shard plans leave a gap or overlap in the block range");
+      if (p.block_end > p.block_begin) {
+        IHTL_INVARIANT(blocks[p.block_begin].hub_begin == p.dst_begin,
+                       "shard plan splits a flipped block's hub range");
+      }
+      dst = p.dst_end;
+      blk = p.block_end;
+    }
+    IHTL_INVARIANT(dst == n && blk == nb,
+                   "shard plans do not cover the destination range");
+  });
+  return plans;
+}
+
+Shard build_shard(const IhtlGraph& ig, const ShardPlan& plan,
+                  std::size_t team_size, PushPolicy policy, value_t identity,
+                  bool compute_remote) {
+  assert(team_size >= 1);
+  Shard sh;
+  sh.index = plan.index;
+  sh.dst_begin = plan.dst_begin;
+  sh.dst_end = plan.dst_end;
+  sh.block_begin = plan.block_begin;
+  sh.block_end = plan.block_end;
+  sh.team_size = team_size;
+
+  const auto& blocks = ig.blocks();
+  const vid_t num_hubs = ig.num_hubs();
+  if (sh.block_end > sh.block_begin) {
+    sh.hub_begin = blocks[sh.block_begin].hub_begin;
+    sh.hub_end = blocks[sh.block_end - 1].hub_end;
+  } else {
+    sh.hub_begin = sh.hub_end = std::min<vid_t>(sh.dst_begin, num_hubs);
+  }
+  sh.sparse_begin = std::max<vid_t>(sh.dst_begin, num_hubs) - num_hubs;
+  sh.sparse_end = std::max<vid_t>(sh.dst_end, num_hubs) - num_hubs;
+
+  const std::size_t nb = sh.num_blocks();
+  sh.block_direct.assign(nb, 0);
+  for (std::size_t b = 0; b < nb; ++b) {
+    sh.flipped_edges += blocks[sh.block_begin + b].num_edges();
+  }
+
+  // Resolve the per-block mode. A block goes single-owner when splitting
+  // it across the team cannot pay for the extra buffer reset + merge: with
+  // one worker chunking never helps, and a block holding less than
+  // ~1/(16 T) of the shard's flipped edges contributes a few percent of
+  // one thread's push share at most. (The full-range shard with team =
+  // pool reproduces IhtlEngine's historical thresholds exactly.)
+  if (nb > 0 && policy != PushPolicy::shared) {
+    const eid_t threshold = std::max<eid_t>(
+        kSingleOwnerMinEdges,
+        sh.flipped_edges / static_cast<eid_t>(team_size * 16));
+    for (std::size_t b = 0; b < nb; ++b) {
+      const eid_t edges = blocks[sh.block_begin + b].num_edges();
+      if (edges == 0) continue;  // merge tiles supply the identity fill
+      if (policy == PushPolicy::single_owner || team_size == 1 ||
+          edges <= threshold) {
+        sh.block_direct[b] = 1;
+        ++sh.single_owner_blocks;
+      }
+    }
+  }
+
+  // Work decomposition for the push phase: edge-balanced (block,
+  // source-chunk) items for shared blocks, one whole-block item for
+  // single-owner blocks.
+  const std::size_t chunks_per_block = team_size * 4;
+  for (std::size_t b = 0; b < nb; ++b) {
+    const auto& offsets = blocks[sh.block_begin + b].csr.offsets;
+    if (sh.block_direct[b]) {
+      sh.push_chunks.push_back({b, Range{0, offsets.size() - 1}, true});
+      continue;
+    }
+    const auto parts = partition_by_edge(offsets, chunks_per_block);
+    for (const Range& r : parts) {
+      if (r.size() > 0) sh.push_chunks.push_back({b, r, false});
+    }
+  }
+
+  // Per-thread buffers + touch bitmaps back the shared blocks only; an
+  // all-single-owner decomposition needs neither.
+  if (sh.any_shared()) {
+    sh.buffers = PerThread<value_t>(team_size, sh.num_hubs(), identity);
+    sh.touched = TouchMatrix(team_size, nb);
+    // Cache-line-tiled merge chunks over the shared blocks' hub ranges.
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (sh.block_direct[b]) continue;
+      const FlippedBlock& blk = blocks[sh.block_begin + b];
+      for (vid_t lo = blk.hub_begin; lo < blk.hub_end;
+           lo += kMergeTileValues) {
+        const vid_t hi = std::min<vid_t>(lo + kMergeTileValues, blk.hub_end);
+        sh.merge_tiles.push_back({b, lo, hi});
+      }
+    }
+  }
+
+  // Edge-balanced destination chunks for the sparse pull phase.
+  // partition_by_edge expects offsets starting at 0, so a mid-range shard
+  // rebases its offset slice; the full-range shard rebases by 0 and gets
+  // the historical decomposition bit for bit.
+  const auto& sp_off = ig.sparse().offsets;
+  if (sh.sparse_end > sh.sparse_begin) {
+    sh.sparse_edges = sp_off[sh.sparse_end] - sp_off[sh.sparse_begin];
+    std::vector<eid_t> rebased(sp_off.begin() + sh.sparse_begin,
+                               sp_off.begin() + sh.sparse_end + 1);
+    const eid_t base = rebased.front();
+    for (eid_t& o : rebased) o -= base;
+    sh.sparse_chunks = partition_by_edge(rebased, team_size * 8);
+    for (Range& r : sh.sparse_chunks) {
+      r.begin += sh.sparse_begin;
+      r.end += sh.sparse_begin;
+    }
+  } else if (sh.sparse_begin == 0 && sp_off.size() <= 1) {
+    // Degenerate full-range shard over a hub-only graph: IhtlEngine always
+    // called the partitioner here, so keep its (empty-range) chunk list for
+    // bitwise-stable telemetry counts.
+    sh.sparse_chunks = partition_by_edge(sp_off, team_size * 8);
+  }
+
+  // The exchange slice: every source the shard's traversal reads (push
+  // sources of its blocks, in-neighbours of its sparse slice) that another
+  // shard owns. This is the per-shard communication volume of the Akbudak
+  // cost model; the exchange step gathers exactly these slots.
+  if (compute_remote) {
+    const vid_t n = ig.num_vertices();
+    std::vector<std::uint8_t> referenced(n, 0);
+    for (std::size_t b = 0; b < nb; ++b) {
+      const Adjacency& csr = blocks[sh.block_begin + b].csr;
+      const vid_t sources = csr.num_vertices();
+      for (vid_t v = 0; v < sources; ++v) {
+        if (csr.degree(v) > 0) referenced[v] = 1;
+      }
+    }
+    const Adjacency& sparse = ig.sparse();
+    for (std::uint64_t local = sh.sparse_begin; local < sh.sparse_end;
+         ++local) {
+      for (const vid_t u : sparse.neighbors(static_cast<vid_t>(local))) {
+        referenced[u] = 1;
+      }
+    }
+    for (vid_t v = 0; v < n; ++v) {
+      if (referenced[v] && !sh.owns_dst(v)) sh.remote_sources.push_back(v);
+    }
+  }
+
+  // Invariant-build checks. The push decomposition must tile each owned
+  // block exactly (chunks in source order, non-overlapping, edges covered
+  // once), single-owner blocks must be exactly one chunk, the merge tiles
+  // must partition each shared block's hub range in order, the sparse
+  // chunks must tile the owned sparse slice, and the per-thread hub
+  // buffers must occupy disjoint memory — push and merge rely on these
+  // for race freedom.
+  IHTL_IF_INVARIANTS({
+    for (std::size_t b = 0; b < nb; ++b) {
+      const FlippedBlock& blk = blocks[sh.block_begin + b];
+      eid_t covered = 0;
+      std::size_t chunks = 0;
+      std::uint64_t prev_end = 0;
+      for (const ShardPushChunk& c : sh.push_chunks) {
+        if (c.block != b) continue;
+        ++chunks;
+        IHTL_INVARIANT(c.direct == (sh.block_direct[b] != 0),
+                       "push chunk mode disagrees with its block's policy");
+        IHTL_INVARIANT(c.sources.begin >= prev_end,
+                       "push chunks overlap or are unsorted within a block");
+        IHTL_INVARIANT(c.sources.end <= blk.csr.offsets.size() - 1,
+                       "push chunk exceeds the block's source range");
+        prev_end = c.sources.end;
+        covered += blk.csr.offsets[c.sources.end] -
+                   blk.csr.offsets[c.sources.begin];
+      }
+      IHTL_INVARIANT(covered == blk.num_edges(),
+                     "push chunks do not cover the block's edges exactly");
+      IHTL_INVARIANT(!sh.block_direct[b] || chunks == 1,
+                     "single-owner block decomposed into multiple chunks");
+      if (!sh.block_direct[b]) {
+        vid_t expect = blk.hub_begin;
+        for (const ShardMergeTile& t : sh.merge_tiles) {
+          if (t.block != b) continue;
+          IHTL_INVARIANT(t.begin == expect,
+                         "merge tiles leave a gap or overlap in a block");
+          expect = t.end;
+        }
+        IHTL_INVARIANT(expect == blk.hub_end,
+                       "merge tiles do not cover the block's hub range");
+      }
+    }
+    {
+      std::uint64_t expect = sh.sparse_begin;
+      for (const Range& r : sh.sparse_chunks) {
+        IHTL_INVARIANT(r.begin == expect,
+                       "sparse chunks leave a gap in the owned slice");
+        expect = r.end;
+      }
+      IHTL_INVARIANT(sh.sparse_chunks.empty() || expect == sh.sparse_end,
+                     "sparse chunks do not cover the owned slice");
+    }
+    const vid_t local_hubs = sh.num_hubs();
+    if (sh.buffers.length() == local_hubs && local_hubs > 0) {
+      for (std::size_t t = 0; t + 1 < team_size; ++t) {
+        const value_t* lo = sh.buffers.get(t);
+        const value_t* hi = sh.buffers.get(t + 1);
+        IHTL_INVARIANT(lo + local_hubs <= hi || hi + local_hubs <= lo,
+                       "per-thread hub buffers overlap before merge");
+      }
+    }
+    for (const vid_t v : sh.remote_sources) {
+      IHTL_INVARIANT(!sh.owns_dst(v),
+                     "remote-source set contains an owned destination");
+    }
+  });
+  return sh;
+}
+
+}  // namespace ihtl

@@ -1,0 +1,131 @@
+// The shard: one destination-range locality domain of the iHTL layout.
+//
+// A shard owns a contiguous slice [dst_begin, dst_end) of the relabeled
+// destination range — whole flipped blocks first (a block's hub range never
+// straddles a shard boundary), then a slice of the sparse block's non-hub
+// destinations. Everything the executor needs to produce that slice hangs
+// off the shard: the owned flipped-block set with its push-chunk / merge-tile
+// decomposition, the per-thread hub buffers and touch bitmaps (scalar and
+// k-lane batch variants), the edge-balanced sparse pull chunks, and the
+// sorted remote-source set (the x-vector entries the shard reads but does
+// not own — the cross-shard exchange slice, and the communication-volume
+// term of the Akbudak et al. cost model).
+//
+// IhtlEngine is exactly the one-shard special case: it builds a single
+// full-range shard whose team is the whole pool. ShardedEngine builds S of
+// them with disjoint destination ranges and per-shard thread teams. Both
+// read the same decomposition fields, so S=1 is bitwise-identical to the
+// unsharded engine by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/ihtl_config.h"
+#include "core/ihtl_graph.h"
+#include "parallel/partitioner.h"
+#include "parallel/per_thread.h"
+#include "parallel/touch_matrix.h"
+
+namespace ihtl {
+
+/// Destination-range plan of one shard, before any buffers are built.
+/// Produced by plan_shards; block-aligned by construction.
+struct ShardPlan {
+  std::size_t index = 0;
+  vid_t dst_begin = 0, dst_end = 0;  ///< owned destinations (new IDs)
+  std::size_t block_begin = 0, block_end = 0;  ///< owned flipped blocks
+};
+
+/// Partitions the destination range [0, n) into `shards` contiguous,
+/// edge-balanced, block-aligned plans. Units are whole flipped blocks
+/// (weighted by their edge count) followed by individual sparse
+/// destinations (weighted by in-degree); a zero-edge graph falls back to
+/// unit-count balance. Plans tile [0, n) exactly; trailing plans may be
+/// empty when there are fewer units than shards (S > n).
+std::vector<ShardPlan> plan_shards(const IhtlGraph& ig, std::size_t shards);
+
+/// One push-phase work item: a source chunk of one owned flipped block.
+struct ShardPushChunk {
+  std::size_t block;  ///< LOCAL block index within the shard
+  Range sources;
+  bool direct;  ///< single-owner: push straight into y, skip merge
+};
+
+/// One merge-phase work item: a cache-line tile of a shared block's hubs.
+struct ShardMergeTile {
+  std::size_t block;  ///< local block index
+  vid_t begin;        ///< absolute hub IDs [begin, end) within the block
+  vid_t end;
+};
+
+/// One shard's structure + mutable executor state. Plain aggregate: the
+/// engines own the phase loops and mutate the buffer/touch state directly,
+/// exactly as IhtlEngine did before the state moved here.
+struct Shard {
+  // --- identity / owned ranges -------------------------------------------
+  std::size_t index = 0;
+  vid_t dst_begin = 0, dst_end = 0;
+  std::size_t block_begin = 0, block_end = 0;
+  vid_t hub_begin = 0, hub_end = 0;  ///< owned hubs (block-aligned)
+  /// Owned sparse destinations, as LOCAL sparse ids (new ID - num_hubs).
+  std::uint64_t sparse_begin = 0, sparse_end = 0;
+  eid_t flipped_edges = 0, sparse_edges = 0;
+  std::size_t team_size = 1;  ///< threads the buffers are sized for
+
+  // --- work decomposition --------------------------------------------------
+  std::vector<std::uint8_t> block_direct;  ///< [num_blocks()]
+  std::size_t single_owner_blocks = 0;
+  std::vector<ShardPushChunk> push_chunks;
+  std::vector<ShardMergeTile> merge_tiles;
+  std::vector<Range> sparse_chunks;  ///< LOCAL sparse ids
+
+  // --- cross-shard exchange ------------------------------------------------
+  /// x-vector sources this shard reads that lie outside its destination
+  /// range, sorted ascending. Empty unless built with compute_remote.
+  std::vector<vid_t> remote_sources;
+
+  // --- mutable executor state ---------------------------------------------
+  PerThread<value_t> buffers;  ///< team_size x num_hubs() hub accumulators
+  TouchMatrix touched;         ///< team_size x num_blocks() dirty bits
+  // k-lane counterparts backing spmv_batch, (re)built lazily when the
+  // requested lane count changes; disjoint from the scalar pair so scalar
+  // and batched calls interleave without invalidating each other's bits.
+  PerThread<value_t> batch_buffers;
+  TouchMatrix batch_touched;
+  std::size_t batch_k = 0;
+
+  std::size_t num_blocks() const { return block_end - block_begin; }
+  vid_t num_hubs() const { return hub_end - hub_begin; }
+  std::uint64_t num_sparse() const { return sparse_end - sparse_begin; }
+  std::uint64_t num_dst() const { return dst_end - dst_begin; }
+  eid_t num_edges() const { return flipped_edges + sparse_edges; }
+  bool owns_dst(vid_t v) const { return v >= dst_begin && v < dst_end; }
+  /// Any block resolved to shared mode (needs buffers + merge)?
+  bool any_shared() const { return single_owner_blocks < num_blocks(); }
+
+  /// (Re)builds the k-lane batch buffers when the lane count changes. A
+  /// fresh build is identity-initialized, so the first reset after it has
+  /// nothing to clear.
+  void ensure_batch_lanes(std::size_t k, value_t identity) {
+    if (!any_shared() || batch_k == k) return;
+    batch_buffers = PerThread<value_t>(
+        team_size, static_cast<std::size_t>(num_hubs()) * k, identity);
+    batch_touched = TouchMatrix(team_size, num_blocks());
+    batch_k = k;
+  }
+};
+
+/// Builds one shard's work decomposition and buffers for a team of
+/// `team_size` threads, resolving each owned block to shared or
+/// single-owner under `policy` (same thresholds as IhtlEngine always used:
+/// the full-range shard with team = pool reproduces its decomposition
+/// exactly). `identity` is the monoid identity the buffers are filled with.
+/// `compute_remote` additionally derives the sorted remote-source set (the
+/// one-shard engine never exchanges, so it skips this O(n + edges) pass).
+Shard build_shard(const IhtlGraph& ig, const ShardPlan& plan,
+                  std::size_t team_size, PushPolicy policy, value_t identity,
+                  bool compute_remote);
+
+}  // namespace ihtl

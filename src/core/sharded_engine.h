@@ -1,0 +1,565 @@
+// The sharded iHTL executor: S destination-range locality domains.
+//
+// ShardedEngine partitions the relabeled destination range into S
+// contiguous shards (plan_shards: whole flipped blocks first, then sparse
+// destinations, edge-balanced). Each shard carries its own flipped-block
+// set, hub buffers, touch bitmaps, sparse-block slice and thread-team
+// affinity: the pool's threads are split into per-shard teams (contiguous,
+// sized by shard edge weight; when S > threads, shard s falls to thread
+// s mod T), and within a phase each team claims work items only from its
+// own shard — the in-hub temporal locality the paper exploits per cache
+// hierarchy becomes per-shard locality, the prerequisite for the NUMA and
+// out-of-core directions.
+//
+// One spmv() runs five globally-barriered phases (one ThreadPool::run per
+// phase, so every shard finishes phase p before any shard starts p+1):
+//
+//   0. EXCHANGE: each shard fills its private x mirror — a straight copy of
+//      its owned slice plus a gather of its remote-source set (the sorted
+//      x entries it reads but another shard owns). The mirrors are
+//      double-buffered: the gather writes the back buffer, then the buffers
+//      flip, so iteration i+1's exchange could overlap iteration i's
+//      compute in an asynchronous successor. The per-call gathered volume
+//      is the cross-shard traffic term of the Akbudak et al. cost model.
+//   1-4. RESET / PUSH / MERGE / PULL: the IhtlEngine phases, run per shard
+//      by its team against the shard's mirror. Output ranges are disjoint
+//      by construction (a shard only writes y inside [dst_begin, dst_end)),
+//      so the phases need no cross-shard synchronization at all.
+//
+// S=1 degenerates to a single full-range shard whose team is the whole
+// pool — the identical decomposition IhtlEngine builds — so S=1 results are
+// bitwise-identical to the unsharded engine (pinned by regression tests and
+// the ihtl_check --shard-points lattice).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "baselines/semiring.h"
+#include "check/invariants.h"
+#include "core/ihtl_config.h"
+#include "core/ihtl_graph.h"
+#include "core/shard.h"
+#include "parallel/thread_pool.h"
+#include "parallel/timer.h"
+#include "telemetry/metrics.h"
+#include "telemetry/perf_counters.h"
+
+namespace ihtl {
+
+/// Wall-clock per phase of the last ShardedEngine::spmv call.
+struct ShardedPhaseTimes {
+  double exchange_s = 0.0;  ///< mirror fill: owned copy + remote gather
+  double reset_s = 0.0;
+  double push_s = 0.0;
+  double merge_s = 0.0;
+  double pull_s = 0.0;
+  double total() const {
+    return exchange_s + reset_s + push_s + merge_s + pull_s;
+  }
+};
+
+/// Exchange-volume counters of the last ShardedEngine::spmv call.
+struct ShardedSpmvStats {
+  /// x values gathered across shard boundaries (sum of remote-set sizes,
+  /// times the lane count for batched calls).
+  std::uint64_t exchange_values = 0;
+  std::uint64_t exchange_bytes = 0;  ///< exchange_values * sizeof(value_t)
+  /// x values copied within their owning shard (the local term; always
+  /// n * lanes summed over shards).
+  std::uint64_t local_values = 0;
+};
+
+template <typename Monoid = PlusMonoid>
+class ShardedEngine {
+ public:
+  ShardedEngine(const IhtlGraph& ig, ThreadPool& pool, std::size_t num_shards,
+                PushPolicy policy = PushPolicy::automatic)
+      : ig_(&ig), pool_(&pool), policy_(policy) {
+    if (num_shards == 0) num_shards = 1;
+    const std::vector<ShardPlan> plans = plan_shards(ig, num_shards);
+
+    // Thread-team affinity. S <= T: contiguous teams sized proportionally
+    // to shard edge weight (every shard gets at least one thread). S > T:
+    // shard s belongs to thread s mod T as a one-thread team.
+    const std::size_t T = pool.size();
+    const std::size_t S = plans.size();
+    team_begin_.assign(S, 0);
+    team_size_.assign(S, 1);
+    shards_of_thread_.assign(T, {});
+    if (S <= T) {
+      eid_t total = 0;
+      std::vector<eid_t> weight(S);
+      for (std::size_t s = 0; s < S; ++s) {
+        const ShardPlan& p = plans[s];
+        eid_t w = 0;
+        for (std::size_t b = p.block_begin; b < p.block_end; ++b) {
+          w += ig.blocks()[b].num_edges();
+        }
+        const auto& off = ig.sparse().offsets;
+        const vid_t hubs = ig.num_hubs();
+        const std::uint64_t lo = std::max<vid_t>(p.dst_begin, hubs) - hubs;
+        const std::uint64_t hi = std::max<vid_t>(p.dst_end, hubs) - hubs;
+        if (hi > lo) w += off[hi] - off[lo];
+        weight[s] = w;
+        total += w;
+      }
+      // Largest-remainder allocation of the T threads with a floor of 1.
+      std::size_t assigned = 0;
+      for (std::size_t s = 0; s < S; ++s) {
+        const std::size_t share =
+            total ? static_cast<std::size_t>(
+                        static_cast<unsigned long long>(weight[s]) * T / total)
+                  : T / S;
+        team_size_[s] = std::max<std::size_t>(1, share);
+        assigned += team_size_[s];
+      }
+      // Trim overshoot from the largest teams, hand leftovers to the
+      // heaviest shards; both loops terminate because S <= T.
+      while (assigned > T) {
+        const auto it = std::max_element(team_size_.begin(), team_size_.end());
+        if (*it <= 1) break;
+        --*it;
+        --assigned;
+      }
+      for (std::size_t s = 0; assigned < T; s = (s + 1) % S) {
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < S; ++c) {
+          if (weight[c] / team_size_[c] > weight[best] / team_size_[best]) {
+            best = c;
+          }
+        }
+        ++team_size_[best];
+        ++assigned;
+        (void)s;
+      }
+      std::size_t cursor = 0;
+      for (std::size_t s = 0; s < S; ++s) {
+        team_begin_[s] = cursor;
+        for (std::size_t t = 0; t < team_size_[s]; ++t) {
+          shards_of_thread_[cursor + t].push_back(s);
+        }
+        cursor += team_size_[s];
+      }
+      assert(cursor == T);
+    } else {
+      for (std::size_t s = 0; s < S; ++s) {
+        team_begin_[s] = s % T;
+        team_size_[s] = 1;
+        shards_of_thread_[s % T].push_back(s);
+      }
+    }
+
+    shards_.reserve(S);
+    for (std::size_t s = 0; s < S; ++s) {
+      shards_.push_back(build_shard(ig, plans[s], team_size_[s], policy,
+                                    Monoid::identity(),
+                                    /*compute_remote=*/true));
+    }
+    IHTL_IF_INVARIANTS({
+      vid_t dst = 0;
+      for (const Shard& sh : shards_) {
+        IHTL_INVARIANT(sh.dst_begin == dst,
+                       "sharded engine: shards do not tile the dst range");
+        dst = sh.dst_end;
+      }
+      IHTL_INVARIANT(dst == ig.num_vertices(),
+                     "sharded engine: shards do not cover the dst range");
+    });
+
+    const std::size_t n = ig.num_vertices();
+    for (int side = 0; side < 2; ++side) {
+      mirrors_[side].assign(S, std::vector<value_t>(n, Monoid::identity()));
+    }
+    cursors_ = std::vector<Cursor>(S);
+    tallies_ = std::vector<Tally>(T);
+    set_metrics(&telemetry::MetricsRegistry::global());
+  }
+
+  const IhtlGraph& graph() const { return *ig_; }
+  PushPolicy policy() const { return policy_; }
+  std::size_t num_shards() const { return shards_.size(); }
+  const Shard& shard(std::size_t s) const { return shards_[s]; }
+  /// First pool thread of shard s's team (teams are contiguous for S <= T).
+  std::size_t team_begin(std::size_t s) const { return team_begin_[s]; }
+  std::size_t team_size(std::size_t s) const { return team_size_[s]; }
+
+  const ShardedPhaseTimes& last_phase_times() const { return times_; }
+  const ShardedSpmvStats& last_stats() const { return stats_; }
+
+  /// Load-imbalance gauge: max shard edge count over the mean (1.0 =
+  /// perfectly balanced; the shard-count tuning guide reads this).
+  double imbalance() const {
+    eid_t max_edges = 0, total = 0;
+    for (const Shard& sh : shards_) {
+      max_edges = std::max(max_edges, sh.num_edges());
+      total += sh.num_edges();
+    }
+    if (total == 0 || shards_.empty()) return 1.0;
+    const double mean =
+        static_cast<double>(total) / static_cast<double>(shards_.size());
+    return mean > 0.0 ? static_cast<double>(max_edges) / mean : 1.0;
+  }
+
+  /// Structural cross-shard traffic per scalar spmv call: the sum of the
+  /// shards' remote-set sizes. Known at build time (the exchange gathers
+  /// exactly these slots every call); bench/shard_scaling plots it against
+  /// S for the sublinear-scaling acceptance gate.
+  std::uint64_t exchange_values_per_call() const {
+    std::uint64_t v = 0;
+    for (const Shard& sh : shards_) v += sh.remote_sources.size();
+    return v;
+  }
+
+  /// Fault-injection hook (check lattice): corrupt shard `s`'s exchange
+  /// slice — the first gathered remote value is perturbed every call, so
+  /// every downstream consumer of that slice computes with a wrong x.
+  /// Returns false (and arms nothing) if the shard has no remote sources
+  /// (e.g. S=1), in which case there is no cross-shard slice to corrupt.
+  bool inject_exchange_corruption(std::size_t s) {
+    if (s >= shards_.size() || shards_[s].remote_sources.empty()) {
+      return false;
+    }
+    corrupt_shard_ = static_cast<long>(s);
+    return true;
+  }
+  std::uint64_t exchange_corruptions_applied() const {
+    return corruptions_applied_;
+  }
+
+  /// Redirects spans/counters/gauges to `reg` (nullptr disables). Static
+  /// per-shard facts (edges, flipped blocks, remote-set size) land as
+  /// gauges once here; per-call volumes accumulate into counters.
+  void set_metrics(telemetry::MetricsRegistry* reg) {
+    metrics_reg_ = reg;
+    if (reg) {
+      span_total_ = reg->timer("sharded");
+      span_exchange_ = reg->timer("sharded/exchange");
+      span_reset_ = reg->timer("sharded/reset");
+      span_push_ = reg->timer("sharded/push");
+      span_merge_ = reg->timer("sharded/merge");
+      span_pull_ = reg->timer("sharded/pull");
+      calls_ = reg->counter("sharded.calls");
+      batch_lanes_ = reg->counter("sharded.batch_lanes");
+      exchange_values_ = reg->counter("sharded.exchange_values");
+      exchange_bytes_ = reg->counter("sharded.exchange_bytes");
+      local_values_ = reg->counter("sharded.local_values");
+      reg->set_gauge("sharded.shards", static_cast<double>(shards_.size()));
+      reg->set_gauge("sharded.imbalance", imbalance());
+      for (std::size_t s = 0; s < shards_.size(); ++s) {
+        const Shard& sh = shards_[s];
+        const std::string base = "sharded.shard" + std::to_string(s);
+        reg->set_gauge(base + ".edges", static_cast<double>(sh.num_edges()));
+        reg->set_gauge(base + ".flipped_blocks",
+                       static_cast<double>(sh.num_blocks()));
+        reg->set_gauge(base + ".remote_sources",
+                       static_cast<double>(sh.remote_sources.size()));
+        reg->set_gauge(base + ".team_size",
+                       static_cast<double>(team_size_[s]));
+      }
+    } else {
+      span_total_ = span_exchange_ = span_reset_ = span_push_ = span_merge_ =
+          span_pull_ = telemetry::TimerStat();
+      calls_ = batch_lanes_ = exchange_values_ = exchange_bytes_ =
+          local_values_ = telemetry::Counter();
+    }
+  }
+
+  /// y[v] = combine over u in N-(v) of x[u], both in new-ID space.
+  void spmv(std::span<const value_t> x, std::span<value_t> y) {
+    assert(x.size() == ig_->num_vertices());
+    assert(y.size() == ig_->num_vertices());
+    run_phases(x.data(), y.data(), 1, /*batch=*/false);
+  }
+
+  /// Batched SpMM-style variant over vertex-major n×k arrays; semantics
+  /// match IhtlEngine::spmv_batch lane for lane. k==1 delegates to the
+  /// scalar path (and its scalar mirrors/buffers).
+  void spmv_batch(std::span<const value_t> x, std::span<value_t> y,
+                  std::size_t k) {
+    assert(k >= 1);
+    if (k == 1) {
+      spmv(x, y);
+      return;
+    }
+    assert(x.size() == ig_->num_vertices() * k);
+    assert(y.size() == ig_->num_vertices() * k);
+    const std::size_t n = ig_->num_vertices();
+    if (batch_mirror_k_ != k) {
+      for (int side = 0; side < 2; ++side) {
+        batch_mirrors_[side].assign(
+            shards_.size(),
+            std::vector<value_t>(n * k, Monoid::identity()));
+      }
+      batch_mirror_k_ = k;
+    }
+    for (Shard& sh : shards_) {
+      sh.ensure_batch_lanes(k, Monoid::identity());
+    }
+    run_phases(x.data(), y.data(), k, /*batch=*/true);
+  }
+
+  std::size_t batch_lanes() const { return batch_mirror_k_; }
+
+ private:
+  struct alignas(64) Cursor {
+    std::atomic<std::uint64_t> next{0};
+  };
+  struct alignas(64) Tally {
+    std::uint64_t a = 0, b = 0;
+  };
+
+  /// Iterates a thread's shards, handing each body its shard and the
+  /// thread's team-relative index.
+  template <typename Body>
+  void for_owned_shards(std::size_t tid, const Body& body) {
+    for (const std::size_t s : shards_of_thread_[tid]) {
+      body(shards_[s], s, tid - team_begin_[s]);
+    }
+  }
+
+  /// Claims items [0, count) of shard s's phase cursor, one at a time —
+  /// the dynamic within-team schedule (an atomic fetch_add per item, like
+  /// parallel_for at grain 1). At team size 1 items run in index order, so
+  /// S=1/threads=1 reproduces the unsharded engine's execution exactly.
+  template <typename Body>
+  void claim(std::size_t s, std::uint64_t count, const Body& body) {
+    Cursor& cur = cursors_[s];
+    for (;;) {
+      const std::uint64_t i = cur.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      body(i);
+    }
+  }
+
+  void reset_cursors() {
+    for (Cursor& c : cursors_) c.next.store(0, std::memory_order_relaxed);
+  }
+
+  /// The five barriered phases; scalar and batched paths share the
+  /// structure and differ only in lane width (k) and which mirror /
+  /// buffer / touch set they address.
+  void run_phases(const value_t* x, value_t* y, std::size_t k, bool batch) {
+    const vid_t num_hubs = ig_->num_hubs();
+    stats_ = ShardedSpmvStats{};
+    Timer phase;
+
+    // Phase 0: exchange. Flip the double buffer, then fill every shard's
+    // back-now-front mirror: contiguous copy of the owned slice, gather of
+    // the remote-source set. Team threads split both by team index.
+    std::optional<telemetry::perf::PhaseScope> hw;
+    hw.emplace(metrics_reg_, "sharded/exchange");
+    front_ ^= 1;
+    auto& mirrors = batch ? batch_mirrors_[front_] : mirrors_[front_];
+    for (Tally& t : tallies_) t = Tally{};
+    pool_->run([&](std::size_t tid) {
+      std::uint64_t remote = 0, local = 0;
+      for_owned_shards(tid, [&](Shard& sh, std::size_t s, std::size_t team) {
+        value_t* m = mirrors[s].data();
+        // Owned slice: split [dst_begin, dst_end) across the team.
+        const std::uint64_t own = sh.num_dst();
+        const std::uint64_t per = (own + sh.team_size - 1) / sh.team_size;
+        const std::uint64_t lo = std::min<std::uint64_t>(team * per, own);
+        const std::uint64_t hi = std::min<std::uint64_t>(lo + per, own);
+        for (std::uint64_t i = lo; i < hi; ++i) {
+          const std::size_t v = sh.dst_begin + i;
+          for (std::size_t lane = 0; lane < k; ++lane) {
+            m[v * k + lane] = x[v * k + lane];
+          }
+        }
+        local += (hi - lo) * k;
+        // Remote slice: split the sorted remote-source set across the team.
+        const std::uint64_t nr = sh.remote_sources.size();
+        const std::uint64_t rper = (nr + sh.team_size - 1) / sh.team_size;
+        const std::uint64_t rlo = std::min<std::uint64_t>(team * rper, nr);
+        const std::uint64_t rhi = std::min<std::uint64_t>(rlo + rper, nr);
+        for (std::uint64_t i = rlo; i < rhi; ++i) {
+          const std::size_t v = sh.remote_sources[i];
+          for (std::size_t lane = 0; lane < k; ++lane) {
+            m[v * k + lane] = x[v * k + lane];
+          }
+        }
+        remote += (rhi - rlo) * k;
+        // Fault injection: perturb the first gathered remote value of the
+        // armed shard, after the gather so it survives to the compute
+        // phases. A remote source has at least one edge into this shard,
+        // so the corruption must surface in y (the lattice asserts it).
+        if (corrupt_shard_ == static_cast<long>(s) && team == 0 && nr > 0) {
+          const std::size_t v = sh.remote_sources[0];
+          m[v * k] = m[v * k] == value_t{0} ? value_t{1} : -m[v * k];
+          ++corruptions_applied_;
+        }
+      });
+      tallies_[tid] = {remote, local};
+    });
+    for (const Tally& t : tallies_) {
+      stats_.exchange_values += t.a;
+      stats_.local_values += t.b;
+    }
+    stats_.exchange_bytes = stats_.exchange_values * sizeof(value_t);
+    times_.exchange_s = phase.elapsed_seconds();
+    span_exchange_.record_seconds(times_.exchange_s);
+
+    // Phase 1: reset — touched-aware, per shard, per team thread.
+    phase.reset();
+    hw.emplace(metrics_reg_, "sharded/reset");
+    pool_->run([&](std::size_t tid) {
+      for_owned_shards(tid, [&](Shard& sh, std::size_t, std::size_t team) {
+        auto& touched = batch ? sh.batch_touched : sh.touched;
+        auto& buffers = batch ? sh.batch_buffers : sh.buffers;
+        if (buffers.length() == 0) return;
+        value_t* buf = buffers.get(team);
+        for (std::size_t b = 0; b < sh.num_blocks(); ++b) {
+          if (sh.block_direct[b] || !touched.test(team, b)) continue;
+          const FlippedBlock& blk = ig_->blocks()[sh.block_begin + b];
+          value_t* seg =
+              buf + static_cast<std::size_t>(blk.hub_begin - sh.hub_begin) * k;
+          const std::size_t len = static_cast<std::size_t>(blk.num_hubs()) * k;
+          for (std::size_t i = 0; i < len; ++i) seg[i] = Monoid::identity();
+        }
+        touched.clear_row(team);
+      });
+    });
+    times_.reset_s = phase.elapsed_seconds();
+    span_reset_.record_seconds(times_.reset_s);
+
+    // Phase 2: push — each team claims its shard's (block, source-chunk)
+    // items and accumulates into team-private hub buffers (or directly
+    // into y for single-owner blocks), reading the shard's mirror.
+    phase.reset();
+    hw.emplace(metrics_reg_, "sharded/push");
+    reset_cursors();
+    pool_->run([&](std::size_t tid) {
+      for_owned_shards(tid, [&](Shard& sh, std::size_t s, std::size_t team) {
+        const value_t* xs = mirrors[s].data();
+        auto& touched = batch ? sh.batch_touched : sh.touched;
+        auto& buffers = batch ? sh.batch_buffers : sh.buffers;
+        claim(s, sh.push_chunks.size(), [&](std::uint64_t c) {
+          const ShardPushChunk& chunk = sh.push_chunks[c];
+          const FlippedBlock& blk = ig_->blocks()[sh.block_begin + chunk.block];
+          value_t* buf;
+          if (chunk.direct) {
+            buf = y + static_cast<std::size_t>(blk.hub_begin) * k;
+            const std::size_t len =
+                static_cast<std::size_t>(blk.num_hubs()) * k;
+            for (std::size_t i = 0; i < len; ++i) buf[i] = Monoid::identity();
+          } else {
+            touched.set(team, chunk.block);
+            buf = buffers.get(team) +
+                  static_cast<std::size_t>(blk.hub_begin - sh.hub_begin) * k;
+          }
+          for (std::uint64_t v = chunk.sources.begin; v < chunk.sources.end;
+               ++v) {
+            const value_t* xv = xs + v * k;
+            for (const vid_t rel : blk.csr.neighbors(static_cast<vid_t>(v))) {
+              value_t* dst = buf + static_cast<std::size_t>(rel) * k;
+              for (std::size_t lane = 0; lane < k; ++lane) {
+                dst[lane] = Monoid::combine(dst[lane], xv[lane]);
+              }
+            }
+          }
+        });
+      });
+    });
+    times_.push_s = phase.elapsed_seconds();
+    span_push_.record_seconds(times_.push_s);
+
+    // Phase 3: merge — teams stream their shard's tiles in ascending team
+    // order, the same deterministic combine order as the unsharded engine.
+    phase.reset();
+    hw.emplace(metrics_reg_, "sharded/merge");
+    reset_cursors();
+    pool_->run([&](std::size_t tid) {
+      for_owned_shards(tid, [&](Shard& sh, std::size_t s, std::size_t) {
+        auto& touched = batch ? sh.batch_touched : sh.touched;
+        auto& buffers = batch ? sh.batch_buffers : sh.buffers;
+        claim(s, sh.merge_tiles.size(), [&](std::uint64_t i) {
+          const ShardMergeTile& tile = sh.merge_tiles[i];
+          const std::size_t len =
+              static_cast<std::size_t>(tile.end - tile.begin) * k;
+          value_t* yt = y + static_cast<std::size_t>(tile.begin) * k;
+          for (std::size_t j = 0; j < len; ++j) yt[j] = Monoid::identity();
+          for (std::size_t t = 0; t < sh.team_size; ++t) {
+            if (!touched.test(t, tile.block)) continue;
+            const value_t* seg =
+                buffers.get(t) +
+                static_cast<std::size_t>(tile.begin - sh.hub_begin) * k;
+            for (std::size_t j = 0; j < len; ++j) {
+              yt[j] = Monoid::combine(yt[j], seg[j]);
+            }
+          }
+        });
+      });
+    });
+    times_.merge_s = phase.elapsed_seconds();
+    span_merge_.record_seconds(times_.merge_s);
+
+    // Phase 4: pull the shard's sparse slice from its mirror.
+    phase.reset();
+    hw.emplace(metrics_reg_, "sharded/pull");
+    reset_cursors();
+    const Adjacency& sparse = ig_->sparse();
+    pool_->run([&](std::size_t tid) {
+      for_owned_shards(tid, [&](Shard& sh, std::size_t s, std::size_t) {
+        const value_t* xs = mirrors[s].data();
+        claim(s, sh.sparse_chunks.size(), [&](std::uint64_t p) {
+          for (std::uint64_t local = sh.sparse_chunks[p].begin;
+               local < sh.sparse_chunks[p].end; ++local) {
+            value_t* acc =
+                y + (static_cast<std::size_t>(num_hubs) + local) * k;
+            for (std::size_t lane = 0; lane < k; ++lane) {
+              acc[lane] = Monoid::identity();
+            }
+            for (const vid_t u : sparse.neighbors(static_cast<vid_t>(local))) {
+              const value_t* xu = xs + static_cast<std::size_t>(u) * k;
+              for (std::size_t lane = 0; lane < k; ++lane) {
+                acc[lane] = Monoid::combine(acc[lane], xu[lane]);
+              }
+            }
+          }
+        });
+      });
+    });
+    times_.pull_s = phase.elapsed_seconds();
+    span_pull_.record_seconds(times_.pull_s);
+    hw.reset();
+
+    span_total_.record_seconds(times_.total());
+    calls_.inc(0);
+    if (batch) batch_lanes_.add(0, k);
+    exchange_values_.add(0, stats_.exchange_values);
+    exchange_bytes_.add(0, stats_.exchange_bytes);
+    local_values_.add(0, stats_.local_values);
+  }
+
+  const IhtlGraph* ig_;
+  ThreadPool* pool_;
+  PushPolicy policy_;
+  std::vector<Shard> shards_;
+  std::vector<std::size_t> team_begin_, team_size_;
+  std::vector<std::vector<std::size_t>> shards_of_thread_;
+  std::vector<Cursor> cursors_;
+  std::vector<Tally> tallies_;
+  // Double-buffered per-shard x mirrors: [side][shard] -> n (or n*k)
+  // values. front_ indexes the side the current call computes from.
+  std::vector<std::vector<value_t>> mirrors_[2];
+  std::vector<std::vector<value_t>> batch_mirrors_[2];
+  std::size_t batch_mirror_k_ = 0;
+  int front_ = 0;
+  long corrupt_shard_ = -1;
+  std::uint64_t corruptions_applied_ = 0;
+  ShardedPhaseTimes times_;
+  ShardedSpmvStats stats_;
+  telemetry::MetricsRegistry* metrics_reg_ = nullptr;
+  telemetry::TimerStat span_total_, span_exchange_, span_reset_, span_push_,
+      span_merge_, span_pull_;
+  telemetry::Counter calls_, batch_lanes_, exchange_values_, exchange_bytes_,
+      local_values_;
+};
+
+}  // namespace ihtl

@@ -301,6 +301,71 @@ TEST(CmdBenchDiff, NamedSectionsAreFlattenedAndDiffed) {
   std::remove(new_path.c_str());
 }
 
+TEST(CmdBenchDiff, SectionAbsentFromBaselineIsNamedNotEnumerated) {
+  // A baseline that predates a whole merged section (BENCH_shard.json's
+  // "shard" lands in a tree whose committed baseline was generated before
+  // the bench existed) must diff cleanly: the section is reported by NAME
+  // as one "new" row, --require-key still sees its metrics, and --strict
+  // stays green because nothing regressed.
+  const std::string old_path = temp_path("bd_sec_old.json");
+  const std::string new_path = temp_path("bd_sec_new.json");
+  write_text(old_path,
+             R"({"serve": {"gauges": {"serve.qps": 100.0}}})");
+  write_text(new_path,
+             R"({"serve": {"gauges": {"serve.qps": 100.0}},)"
+             R"( "shard": {"gauges": {"shard.worst_traffic_ratio": 1.4},)"
+             R"( "counters": {"shard.s4.exchange_values": 31045}}})");
+  ::testing::internal::CaptureStdout();
+  const char* argv[] = {"bench_diff",    old_path.c_str(), new_path.c_str(),
+                        "--require-key", "shard",          "--strict"};
+  EXPECT_EQ(cmd_bench_diff(6, argv), 0);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("section 'shard' (absent from baseline)"),
+            std::string::npos);
+  // Named summary replaces the per-metric rows of the absent section...
+  EXPECT_EQ(out.find("shard.s4.exchange_values"), std::string::npos);
+  std::remove(old_path.c_str());
+  std::remove(new_path.c_str());
+}
+
+TEST(CmdBenchDiff, NewMetricInExistingSectionStaysEnumerated) {
+  // ...but a single new metric inside a section BOTH snapshots carry is
+  // still listed individually — the named collapse only fires when the
+  // baseline has no metric at all under that section.
+  const std::string old_path = temp_path("bd_grow_old.json");
+  const std::string new_path = temp_path("bd_grow_new.json");
+  write_text(old_path,
+             R"({"serve": {"gauges": {"serve.qps": 100.0}}})");
+  write_text(new_path,
+             R"({"serve": {"gauges": {"serve.qps": 100.0,)"
+             R"( "serve.p99_ms": 3.5}}})");
+  ::testing::internal::CaptureStdout();
+  const char* argv[] = {"bench_diff", old_path.c_str(), new_path.c_str()};
+  EXPECT_EQ(cmd_bench_diff(3, argv), 0);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("serve.p99_ms"), std::string::npos);
+  EXPECT_EQ(out.find("absent from baseline"), std::string::npos);
+  std::remove(old_path.c_str());
+  std::remove(new_path.c_str());
+}
+
+TEST(CmdBenchDiff, BaselineMissingOkNamesTheNewSections) {
+  // The first-run escape hatch reports WHAT it skipped: each section of
+  // the fresh snapshot by name, so the CI log shows what the first real
+  // diff will cover.
+  const std::string fresh = temp_path("bd_name_new.json");
+  write_text(fresh,
+             R"({"shard": {"gauges": {"shard.worst_traffic_ratio": 1.4}}})");
+  const std::string absent = temp_path("bd_name_absent.json");
+  ::testing::internal::CaptureStdout();
+  const char* argv[] = {"bench_diff", absent.c_str(), fresh.c_str(),
+                        "--baseline-missing-ok"};
+  EXPECT_EQ(cmd_bench_diff(4, argv), 0);
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("new section 'shard': 1 metric(s)"), std::string::npos);
+  std::remove(fresh.c_str());
+}
+
 TEST(CmdBenchDiff, IdenticalSnapshotsPassStrict) {
   const std::string path = temp_path("bd_same.json");
   write_text(path,

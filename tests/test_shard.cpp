@@ -1,0 +1,356 @@
+// Shard decomposition and ShardedEngine: plan/tiling properties, the S=1
+// bitwise-identity contract, multi-shard correctness on boundary shapes
+// (ranges not divisible by S, S > n, zero-hub / all-hub / zero-edge
+// shards), interleaved scalar/batched calls, the exchange fault hook, and
+// the shard axis of the check lattice.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "baselines/spmv.h"
+#include "check/shard_check.h"
+#include "core/ihtl_spmv.h"
+#include "core/shard.h"
+#include "core/sharded_engine.h"
+#include "test_util.h"
+
+namespace ihtl {
+namespace {
+
+using testing::expect_values_near;
+using testing::random_values;
+using testing::small_rmat;
+using testing::small_web;
+
+IhtlConfig cfg_with_hubs(vid_t hubs_per_block) {
+  IhtlConfig cfg;
+  cfg.buffer_bytes = hubs_per_block * sizeof(value_t);
+  return cfg;
+}
+
+/// Plans must tile [0, n) exactly, stay block-aligned (no flipped block's
+/// hub range straddles a boundary), and keep block ranges contiguous.
+void expect_valid_plans(const IhtlGraph& ig,
+                        const std::vector<ShardPlan>& plans) {
+  ASSERT_FALSE(plans.empty());
+  vid_t dst = 0;
+  std::size_t block = 0;
+  for (std::size_t s = 0; s < plans.size(); ++s) {
+    const ShardPlan& p = plans[s];
+    EXPECT_EQ(p.index, s);
+    EXPECT_EQ(p.dst_begin, dst);
+    EXPECT_LE(p.dst_begin, p.dst_end);
+    EXPECT_EQ(p.block_begin, block);
+    EXPECT_LE(p.block_begin, p.block_end);
+    for (std::size_t b = p.block_begin; b < p.block_end; ++b) {
+      EXPECT_GE(ig.blocks()[b].hub_begin, p.dst_begin);
+      EXPECT_LE(ig.blocks()[b].hub_end, p.dst_end);
+    }
+    dst = p.dst_end;
+    block = p.block_end;
+  }
+  EXPECT_EQ(dst, ig.num_vertices());
+  EXPECT_EQ(block, ig.blocks().size());
+}
+
+TEST(PlanShards, TilesDestinationRangeForEverySInRange) {
+  const Graph g = small_rmat(9, 8, 77);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  ASSERT_GT(ig.blocks().size(), 1u);  // multiple atomic units to place
+  for (const std::size_t s : {1u, 2u, 3u, 5u, 7u, 16u}) {
+    SCOPED_TRACE("shards=" + std::to_string(s));
+    const auto plans = plan_shards(ig, s);
+    EXPECT_EQ(plans.size(), s);
+    expect_valid_plans(ig, plans);
+  }
+}
+
+TEST(PlanShards, MoreShardsThanVerticesYieldsEmptyTrailingPlans) {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 0}};
+  const Graph g = build_graph(3, edges, {});
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(4));
+  const auto plans = plan_shards(ig, 9);
+  EXPECT_EQ(plans.size(), 9u);
+  expect_valid_plans(ig, plans);
+  std::size_t non_empty = 0;
+  for (const ShardPlan& p : plans) non_empty += p.dst_end > p.dst_begin;
+  EXPECT_LE(non_empty, 3u);
+}
+
+TEST(PlanShards, ZeroEdgeGraphFallsBackToUnitCountBalance) {
+  const Graph g = build_graph(64, {}, {});
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(8));
+  EXPECT_TRUE(ig.blocks().empty());
+  const auto plans = plan_shards(ig, 4);
+  expect_valid_plans(ig, plans);
+  // With no edge weights the split is by destination count.
+  for (const ShardPlan& p : plans) EXPECT_EQ(p.dst_end - p.dst_begin, 16u);
+}
+
+TEST(PlanShards, ZeroHubGraphPartitionsOnlyTheSparseRange) {
+  // Cycle: every in-degree is 1, below min_hub_in_degree — no hubs, no
+  // blocks; shards slice the pure sparse range.
+  std::vector<Edge> edges;
+  for (vid_t v = 0; v < 60; ++v) edges.push_back({v, (v + 1) % 60});
+  const Graph g = build_graph(60, edges, {});
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(8));
+  ASSERT_EQ(ig.num_hubs(), 0u);
+  const auto plans = plan_shards(ig, 4);
+  expect_valid_plans(ig, plans);
+  for (const ShardPlan& p : plans) {
+    EXPECT_EQ(p.block_begin, p.block_end);
+    EXPECT_GT(p.dst_end, p.dst_begin);
+  }
+}
+
+TEST(PlanShards, AllHubGraphPartitionsWholeBlocks) {
+  // Dense-ish small graph where every vertex with in-edges is a hub and
+  // blocks are tiny, so plans are driven purely by block alignment.
+  const Graph g = small_rmat(7, 16, 5);
+  IhtlConfig cfg = cfg_with_hubs(4);
+  cfg.admission_ratio = 0.0;  // admit blocks as long as candidates remain
+  cfg.min_hub_in_degree = 1;
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+  ASSERT_GT(ig.blocks().size(), 4u);
+  const auto plans = plan_shards(ig, 4);
+  expect_valid_plans(ig, plans);
+  for (const ShardPlan& p : plans) EXPECT_GT(p.block_end, p.block_begin);
+}
+
+// ---------------------------------------------------------------------------
+
+/// Bitwise comparison of ShardedEngine(S) against IhtlEngine on `iters`
+/// fed-forward iterations (new-ID space; inputs must make the comparison
+/// exact — see each caller).
+void expect_bitwise_identical(ThreadPool& pool, const IhtlGraph& ig,
+                              std::size_t shards,
+                              const std::vector<value_t>& x0,
+                              unsigned iters = 3) {
+  IhtlEngine<PlusMonoid> reference(ig, pool);
+  ShardedEngine<PlusMonoid> sharded(ig, pool, shards);
+  std::vector<value_t> x = x0, ya(x0.size()), yb(x0.size());
+  for (unsigned it = 0; it < iters; ++it) {
+    reference.spmv(x, ya);
+    sharded.spmv(x, yb);
+    ASSERT_TRUE(ya.size() == 0 ||
+                std::memcmp(ya.data(), yb.data(),
+                            ya.size() * sizeof(value_t)) == 0)
+        << "diverged at iteration " << it << " with " << shards << " shards";
+    x = ya;
+  }
+}
+
+TEST(ShardedEngine, SingleShardIsBitwiseIdenticalAtOneThread) {
+  // The pinned regression of the tentpole: --shards 1 must be the
+  // unsharded engine bit for bit (same decomposition, same execution
+  // order at one thread), on arbitrary floating-point input.
+  const Graph g = small_rmat(10, 8, 42);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(32));
+  ThreadPool pool(1);
+  expect_bitwise_identical(pool, ig, 1,
+                           random_values(ig.num_vertices(), 99));
+}
+
+TEST(ShardedEngine, IntegerInputsAreBitwiseIdenticalAtAnyShardCount) {
+  // Small-integer sums are exact in double under any combine order, so
+  // bitwise identity must survive multi-thread scheduling and any S.
+  const Graph g = small_web(1u << 10, 3);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  ThreadPool pool(4);
+  std::vector<value_t> x(ig.num_vertices());
+  Rng rng(7);
+  for (auto& v : x) v = static_cast<value_t>(rng.next_below(8));
+  for (const std::size_t s : {1u, 2u, 3u, 4u, 7u}) {
+    SCOPED_TRACE("shards=" + std::to_string(s));
+    expect_bitwise_identical(pool, ig, s, x);
+  }
+}
+
+TEST(ShardedEngine, MatchesSerialPullAcrossShardCounts) {
+  const Graph g = small_rmat(10, 8, 11);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(32));
+  const auto& o2n = ig.old_to_new();
+  const auto x = random_values(g.num_vertices(), 21);
+  std::vector<value_t> expected(g.num_vertices());
+  spmv_pull_serial(g, x, expected);
+  ThreadPool pool(3);
+  for (const std::size_t s : {2u, 3u, 4u}) {
+    SCOPED_TRACE("shards=" + std::to_string(s));
+    ShardedEngine<PlusMonoid> engine(ig, pool, s);
+    std::vector<value_t> xp(x.size()), yp(x.size()), y(x.size());
+    for (std::size_t v = 0; v < x.size(); ++v) xp[o2n[v]] = x[v];
+    engine.spmv(xp, yp);
+    for (std::size_t v = 0; v < x.size(); ++v) y[v] = yp[o2n[v]];
+    expect_values_near(expected, y, 1e-9);
+  }
+}
+
+TEST(ShardedEngine, StarGraphGivesZeroEdgeShardsCorrectResults) {
+  // All edges into vertex 0: after relabeling one mega-hub owns every
+  // edge, so with S=4 at least two shards own destination ranges with no
+  // edges at all — they must still produce (identity) output and not
+  // disturb the hub shard.
+  std::vector<Edge> edges;
+  for (vid_t v = 1; v < 128; ++v) edges.push_back({v, 0});
+  const Graph g = build_graph(128, edges, {});
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(8));
+  ThreadPool pool(2);
+  ShardedEngine<PlusMonoid> engine(ig, pool, 4);
+  std::size_t zero_edge_shards = 0;
+  for (std::size_t s = 0; s < engine.num_shards(); ++s) {
+    zero_edge_shards += engine.shard(s).num_edges() == 0;
+  }
+  EXPECT_GE(zero_edge_shards, 2u);
+
+  const auto& o2n = ig.old_to_new();
+  const auto x = random_values(128, 5);
+  std::vector<value_t> xp(128), yp(128), y(128), expected(128);
+  for (std::size_t v = 0; v < 128; ++v) xp[o2n[v]] = x[v];
+  engine.spmv(xp, yp);
+  for (std::size_t v = 0; v < 128; ++v) y[v] = yp[o2n[v]];
+  spmv_pull_serial(g, x, expected);
+  expect_values_near(expected, y, 1e-9);
+}
+
+TEST(ShardedEngine, RangeNotDivisibleBySStaysExact) {
+  // 1000 vertices, S=7: uneven everything (destination range, sparse
+  // slice, team split of the owned copy).
+  const Graph g = small_web(1000, 13);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(8));
+  const auto& o2n = ig.old_to_new();
+  const auto x = random_values(1000, 31);
+  std::vector<value_t> expected(1000);
+  spmv_pull_serial(g, x, expected);
+  ThreadPool pool(3);
+  ShardedEngine<PlusMonoid> engine(ig, pool, 7);
+  std::vector<value_t> xp(1000), yp(1000), y(1000);
+  for (std::size_t v = 0; v < 1000; ++v) xp[o2n[v]] = x[v];
+  engine.spmv(xp, yp);
+  for (std::size_t v = 0; v < 1000; ++v) y[v] = yp[o2n[v]];
+  expect_values_near(expected, y, 1e-9);
+}
+
+TEST(ShardedEngine, MoreShardsThanVerticesStillCorrect) {
+  std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}, {1, 3}};
+  const Graph g = build_graph(4, edges, {});
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(2));
+  ThreadPool pool(2);
+  ShardedEngine<PlusMonoid> engine(ig, pool, 11);
+  EXPECT_EQ(engine.num_shards(), 11u);
+  const auto& o2n = ig.old_to_new();
+  const auto x = random_values(4, 17);
+  std::vector<value_t> xp(4), yp(4), y(4), expected(4);
+  for (std::size_t v = 0; v < 4; ++v) xp[o2n[v]] = x[v];
+  engine.spmv(xp, yp);
+  for (std::size_t v = 0; v < 4; ++v) y[v] = yp[o2n[v]];
+  spmv_pull_serial(g, x, expected);
+  expect_values_near(expected, y, 1e-9);
+}
+
+TEST(ShardedEngine, InterleavedScalarAndBatchedCallsShareOneEngine) {
+  // Scalar and batched state (mirrors, buffers, touch bits) are disjoint
+  // pairs inside each shard; alternating calls must not corrupt either.
+  const Graph g = small_rmat(9, 8, 23);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  const std::size_t n = ig.num_vertices();
+  const std::size_t k = 3;
+  ThreadPool pool(2);
+  ShardedEngine<PlusMonoid> engine(ig, pool, 3);
+  IhtlEngine<PlusMonoid> reference(ig, pool);
+
+  const auto xs = random_values(n, 41);
+  auto xb = random_values(n * k, 43);
+  std::vector<value_t> ys(n), yb(n * k), es(n), eb(n * k);
+  for (int round = 0; round < 3; ++round) {
+    engine.spmv(xs, ys);
+    reference.spmv(xs, es);
+    expect_values_near(es, ys, 1e-9);
+    engine.spmv_batch(xb, yb, k);
+    reference.spmv_batch(xb, eb, k);
+    expect_values_near(eb, yb, 1e-9);
+  }
+  EXPECT_EQ(engine.batch_lanes(), k);
+}
+
+TEST(ShardedEngine, TrafficIsZeroAtOneShardAndBoundedAboveOne) {
+  const Graph g = small_rmat(10, 8, 9);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  ThreadPool pool(2);
+  ShardedEngine<PlusMonoid> one(ig, pool, 1);
+  EXPECT_EQ(one.exchange_values_per_call(), 0u);
+  EXPECT_DOUBLE_EQ(one.imbalance(), 1.0);
+
+  ShardedEngine<PlusMonoid> four(ig, pool, 4);
+  // Every shard can read at most all n sources it does not own.
+  EXPECT_GT(four.exchange_values_per_call(), 0u);
+  EXPECT_LT(four.exchange_values_per_call(),
+            4u * static_cast<std::uint64_t>(ig.num_vertices()));
+  EXPECT_GE(four.imbalance(), 1.0);
+
+  // The stats of a live call agree with the structural prediction.
+  std::vector<value_t> x(ig.num_vertices(), 1.0), y(ig.num_vertices());
+  four.spmv(x, y);
+  EXPECT_EQ(four.last_stats().exchange_values,
+            four.exchange_values_per_call());
+  EXPECT_EQ(four.last_stats().exchange_bytes,
+            four.exchange_values_per_call() * sizeof(value_t));
+}
+
+TEST(ShardedEngine, ExchangeCorruptionPerturbsResults) {
+  const Graph g = small_rmat(9, 8, 57);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  ThreadPool pool(2);
+  ShardedEngine<PlusMonoid> clean(ig, pool, 4);
+  ShardedEngine<PlusMonoid> faulty(ig, pool, 4);
+  std::size_t victim = clean.num_shards();
+  for (std::size_t s = 0; s < clean.num_shards(); ++s) {
+    if (!clean.shard(s).remote_sources.empty()) {
+      victim = s;
+      break;
+    }
+  }
+  ASSERT_LT(victim, clean.num_shards()) << "no shard gathers anything";
+  ASSERT_TRUE(faulty.inject_exchange_corruption(victim));
+
+  const auto x = random_values(ig.num_vertices(), 3);
+  std::vector<value_t> yc(x.size()), yf(x.size());
+  clean.spmv(x, yc);
+  faulty.spmv(x, yf);
+  EXPECT_GE(faulty.exchange_corruptions_applied(), 1u);
+  EXPECT_NE(0, std::memcmp(yc.data(), yf.data(), yc.size() * sizeof(value_t)))
+      << "corrupted exchange slice left the results untouched";
+}
+
+TEST(ShardedEngine, CorruptionHookRefusesWhenNoRemoteSlice) {
+  const Graph g = small_rmat(8, 8, 61);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  ThreadPool pool(1);
+  ShardedEngine<PlusMonoid> one(ig, pool, 1);
+  EXPECT_FALSE(one.inject_exchange_corruption(0));   // S=1 never gathers
+  EXPECT_FALSE(one.inject_exchange_corruption(99));  // out of range
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ShardLattice, SmallLatticeIsClean) {
+  check::ShardCheckOptions opt;
+  opt.points = 4;
+  const check::ShardCheckResult r = check::run_shard_lattice(opt);
+  EXPECT_TRUE(r.ok) << r.failure;
+  EXPECT_EQ(r.points_run, 4u);
+  EXPECT_EQ(r.oracle_runs, 12u);  // 3 shard counts per point
+  EXPECT_GE(r.bitwise_checks, 16u);
+}
+
+TEST(ShardLattice, FaultInjectionIsDetectedOrExplicitlySkipped) {
+  check::ShardCheckOptions opt;
+  opt.points = 4;
+  opt.inject_fault = true;
+  const check::ShardCheckResult r = check::run_shard_lattice(opt);
+  EXPECT_TRUE(r.ok) << r.failure;
+  EXPECT_EQ(r.faults_injected + r.faults_skipped, 4u);
+  EXPECT_GE(r.faults_injected, 1u);  // the lattice is not all-skips
+}
+
+}  // namespace
+}  // namespace ihtl

@@ -16,6 +16,7 @@
 #include "check/diff_runner.h"
 #include "check/oracle.h"
 #include "check/serve_check.h"
+#include "check/shard_check.h"
 #include "check/update_check.h"
 #include "cli/args.h"
 #include "telemetry/metrics.h"
@@ -54,6 +55,7 @@ int handle_failure(const CaseResult& failure, const DiffOptions& opt,
     std::cerr << " --push-policy " << push_policy_name(*opt.force_push_policy);
   }
   if (opt.force_batch) std::cerr << " --batch " << *opt.force_batch;
+  if (opt.force_shards) std::cerr << " --shards " << *opt.force_shards;
   if (opt.engine_override) std::cerr << " --inject-fault";
   std::cerr << "\n";
   if (!minimize) return 1;
@@ -114,6 +116,17 @@ int main(int argc, char** argv) {
                 "serve fault injection: stall every batch flush this long");
   args.add_flag("inject-flush-drops", true,
                 "serve fault injection: re-queue the first N flushes");
+  args.add_flag("shard-points", true,
+                "also run N points of the shard lattice: every point's "
+                "workload re-run through the sharded engine per shard "
+                "count, plus bitwise S=1 / order-independence contracts "
+                "(0 = skip)");
+  args.add_flag("shards", true,
+                "force a single shard count for the shard lattice and for "
+                "--replay (default lattice: 1, 2, 4)");
+  args.add_flag("inject-shard-fault", false,
+                "shard lattice self-test: corrupt one shard's exchange "
+                "slice per point and require the oracle to notice");
   args.add_flag("update-points", true,
                 "also run N points of the mutation lattice: seeded edge-"
                 "update replay, each post-batch layout checked against the "
@@ -174,6 +187,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     if (k > 0) opt.force_batch = static_cast<std::size_t>(k);
+  }
+  if (args.has("shards")) {
+    const long long s = args.get_int("shards", 0);
+    if (s < 1) {
+      std::cerr << "error: --shards must be >= 1\n";
+      return 2;
+    }
+    opt.force_shards = static_cast<std::size_t>(s);
   }
   if (args.has("inject-fault")) opt.engine_override = drop_merge_fault();
   std::optional<TraceDropFault> trace_drop;
@@ -267,6 +288,42 @@ int main(int argc, char** argv) {
       if (uopt.force_threshold) {
         std::cerr << " --rebuild-threshold " << *uopt.force_threshold;
       }
+      std::cerr << "\n";
+      rc = 1;
+    }
+  }
+
+  // The shard lattice re-runs the engine-level workloads through the
+  // ShardedEngine; like the stages above it only runs on a clean slate, so
+  // a shard failure always indicts the sharded decomposition itself.
+  const auto shard_points =
+      static_cast<std::size_t>(args.get_int("shard-points", 0));
+  if (rc == 0 && shard_points > 0) {
+    ShardCheckOptions shopt;
+    shopt.base_seed = opt.base_seed;
+    shopt.points = shard_points;
+    if (opt.force_shards) shopt.shard_counts = {*opt.force_shards};
+    shopt.force_threads = opt.force_threads;
+    shopt.inject_fault = args.has("inject-shard-fault");
+    shopt.verbose = opt.verbose;
+    shopt.out = &std::cerr;
+    const ShardCheckResult shr = run_shard_lattice(shopt);
+    if (shr.ok) {
+      std::cerr << "OK: " << shr.points_run << " shard points clean ("
+                << shr.oracle_runs << " oracle runs, " << shr.bitwise_checks
+                << " bitwise identities";
+      if (shopt.inject_fault) {
+        std::cerr << ", " << shr.faults_injected << " faults detected, "
+                  << shr.faults_skipped << " skipped (no remote slice)";
+      }
+      std::cerr << ")\n";
+    } else {
+      std::cerr << "FAIL: " << shr.failure << "\n"
+                << "Replay with: ihtl_check --points 0 --shard-points "
+                << shard_points << " --seed " << opt.base_seed;
+      if (opt.force_shards) std::cerr << " --shards " << *opt.force_shards;
+      if (opt.force_threads) std::cerr << " --threads " << opt.force_threads;
+      if (shopt.inject_fault) std::cerr << " --inject-shard-fault";
       std::cerr << "\n";
       rc = 1;
     }
