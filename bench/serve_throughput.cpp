@@ -8,6 +8,13 @@
 //
 //   ./bench/serve_throughput                         # TwtrMpi bench scale
 //   ./bench/serve_throughput --min-speedup 1.2       # exit 1 unless k=8 wins
+//   ./bench/serve_throughput --reps 3                # report the last rep
+//   ./bench/serve_throughput --max-trace-overhead 2  # gate tracing cost
+//
+// With --reps > 1 each config reuses one Batcher across reps and calls
+// reset_stats() between them, so the reported flush/occupancy counters
+// describe exactly one rep (earlier versions accumulated across reps,
+// which inflated flush counts and skewed occupancy).
 //
 // Results are merged into BENCH_serve.json under a top-level "serve"
 // section; tools/bench_diff diffs them across commits.
@@ -25,6 +32,7 @@
 #include "serve/session.h"
 #include "telemetry/json.h"
 #include "telemetry/report.h"
+#include "telemetry/trace.h"
 
 namespace {
 
@@ -64,10 +72,14 @@ struct ConfigResult {
 
 /// Runs `producers` threads, each submitting `queries` single-source PPR
 /// requests with distinct sources (no two requests share a fingerprint, so
-/// the batcher — not any cache — is what's measured).
+/// the batcher — not any cache — is what's measured). With `reps` > 1 the
+/// same Batcher is driven `reps` times with reset_stats() between reps;
+/// the returned numbers describe only the LAST rep, so warm-up reps do not
+/// pollute the reported counters.
 ConfigResult run_config(serve::GraphSession& session, std::size_t max_lanes,
                         unsigned delay_us, unsigned producers,
-                        unsigned queries, unsigned iterations) {
+                        unsigned queries, unsigned iterations,
+                        unsigned reps) {
   serve::BatcherOptions opt;
   opt.max_lanes = max_lanes;
   opt.max_delay = std::chrono::microseconds(delay_us);
@@ -99,32 +111,38 @@ ConfigResult run_config(serve::GraphSession& session, std::size_t max_lanes,
       });
 
   const vid_t n = session.num_vertices();
-  std::atomic<std::uint64_t> completed{0};
-  Timer timer;
-  std::vector<std::thread> threads;
-  threads.reserve(producers);
-  for (unsigned p = 0; p < producers; ++p) {
-    threads.emplace_back([&, p] {
-      for (unsigned q = 0; q < queries; ++q) {
-        QueryRequest req;
-        req.op = QueryOp::ppr;
-        req.iterations = iterations;
-        req.sources.push_back(
-            static_cast<vid_t>((p * queries + q) % (n ? n : 1)));
-        batcher.submit(req);
-        completed.fetch_add(1, std::memory_order_relaxed);
-      }
-    });
-  }
-  for (std::thread& t : threads) t.join();
   ConfigResult r;
-  r.seconds = timer.elapsed_seconds();
+  for (unsigned rep = 0; rep < std::max(1u, reps); ++rep) {
+    // The counters must describe one rep: without the reset, flushes and
+    // lane occupancy accumulate across reps and the last rep's report
+    // silently includes every earlier rep's work.
+    if (rep > 0) batcher.reset_stats();
+    std::atomic<std::uint64_t> completed{0};
+    Timer timer;
+    std::vector<std::thread> threads;
+    threads.reserve(producers);
+    for (unsigned p = 0; p < producers; ++p) {
+      threads.emplace_back([&, p] {
+        for (unsigned q = 0; q < queries; ++q) {
+          QueryRequest req;
+          req.op = QueryOp::ppr;
+          req.iterations = iterations;
+          req.sources.push_back(
+              static_cast<vid_t>((p * queries + q) % (n ? n : 1)));
+          batcher.submit(req);
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    r.seconds = timer.elapsed_seconds();
+    r.qps = r.seconds > 0
+                ? static_cast<double>(completed.load()) / r.seconds
+                : 0.0;
+  }
   batcher.stop();
   r.max_lanes = max_lanes;
   r.delay_us = delay_us;
-  r.qps = r.seconds > 0
-              ? static_cast<double>(completed.load()) / r.seconds
-              : 0.0;
   r.lane_occupancy = batcher.mean_lane_occupancy();
   r.flushes = batcher.flushes();
   return r;
@@ -145,9 +163,16 @@ int main(int argc, char** argv) {
   args.add_flag("delay-us", true,
                 "batched config coalescing deadline (default 200)");
   args.add_flag("threads", true, "worker threads (default hw concurrency)");
+  args.add_flag("reps", true,
+                "repetitions per config with reset_stats between reps; the "
+                "last rep is reported (default 1)");
   args.add_flag("min-speedup", true,
                 "exit 1 unless the batched config reaches this queries/sec "
                 "speedup over k=1 (default 0 = no check)");
+  args.add_flag("max-trace-overhead", true,
+                "also run the batched config with an active TraceBuffer and "
+                "exit 1 if tracing costs more than this percent of "
+                "queries/sec (default 0 = no check)");
   args.add_flag("help", false, "show usage");
   try {
     args.parse(argc, argv);
@@ -178,7 +203,11 @@ int main(int argc, char** argv) {
         std::max<std::int64_t>(2, args.get_int("max-lanes", 8)));
     const auto delay_us =
         static_cast<unsigned>(args.get_int("delay-us", 200));
+    const auto reps = static_cast<unsigned>(
+        std::max<std::int64_t>(1, args.get_int("reps", 1)));
     const double min_speedup = args.get_double("min-speedup", 0.0);
+    const double max_trace_overhead =
+        args.get_double("max-trace-overhead", 0.0);
 
     const std::string what =
         "queries/sec through the admission queue, k=1 vs k=" +
@@ -207,18 +236,46 @@ int main(int argc, char** argv) {
     // k=1 first: every request flushes alone, the serving-layer analogue
     // of scalar SpMV. Then the batched config.
     const ConfigResult serial =
-        run_config(session, 1, 0, producers, queries, iterations);
+        run_config(session, 1, 0, producers, queries, iterations, reps);
     std::printf("%-28s %12.3f %12.1f %10.2f %8llu\n", "k=1 (no batching)",
                 serial.seconds, serial.qps, serial.lane_occupancy,
                 static_cast<unsigned long long>(serial.flushes));
-    const ConfigResult batched = run_config(
-        session, max_lanes, delay_us, producers, queries, iterations);
+    const ConfigResult batched =
+        run_config(session, max_lanes, delay_us, producers, queries,
+                   iterations, reps);
     std::ostringstream label;
     label << "k=" << max_lanes << " / " << delay_us << "us";
     std::printf("%-28s %12.3f %12.1f %10.2f %8llu\n",
                 label.str().c_str(), batched.seconds, batched.qps,
                 batched.lane_occupancy,
                 static_cast<unsigned long long>(batched.flushes));
+
+    // Tracing-overhead gate: the same batched config with a TraceBuffer
+    // installed. Every flow/span/shard event the serve path emits is live
+    // in this run, so the qps delta IS the end-to-end tracing cost.
+    ConfigResult traced;
+    double trace_overhead_pct = 0.0;
+    if (max_trace_overhead > 0.0) {
+      telemetry::TraceBuffer trace(0, std::size_t{1} << 16);
+      telemetry::TraceBuffer* prev = telemetry::TraceBuffer::set_active(
+          &trace);
+      traced = run_config(session, max_lanes, delay_us, producers, queries,
+                          iterations, reps);
+      telemetry::TraceBuffer::set_active(prev);
+      trace_overhead_pct =
+          batched.qps > 0
+              ? (1.0 - traced.qps / batched.qps) * 100.0
+              : 0.0;
+      std::ostringstream tlabel;
+      tlabel << "k=" << max_lanes << " traced";
+      std::printf("%-28s %12.3f %12.1f %10.2f %8llu\n",
+                  tlabel.str().c_str(), traced.seconds, traced.qps,
+                  traced.lane_occupancy,
+                  static_cast<unsigned long long>(traced.flushes));
+      std::printf("tracing overhead: %.2f%% of queries/sec "
+                  "(%zu events recorded)\n",
+                  trace_overhead_pct, trace.recorded());
+    }
 
     const double speedup =
         serial.qps > 0 ? batched.qps / serial.qps : 0.0;
@@ -242,6 +299,10 @@ int main(int argc, char** argv) {
     gauges.set("serve.lane_occupancy", batched.lane_occupancy);
     gauges.set("serve.k1.total_s", serial.seconds);
     gauges.set("serve.batched.total_s", batched.seconds);
+    if (max_trace_overhead > 0.0) {
+      gauges.set("serve.qps_traced", traced.qps);
+      gauges.set("serve.trace_overhead_pct", trace_overhead_pct);
+    }
     section.set("gauges", std::move(gauges));
     JsonValue counters = JsonValue::object();
     counters.set("serve.k1.flushes", serial.flushes);
@@ -255,6 +316,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "serve_throughput: speedup %.2fx below required %.2fx\n",
                    speedup, min_speedup);
+      return 1;
+    }
+    if (max_trace_overhead > 0.0 &&
+        trace_overhead_pct > max_trace_overhead) {
+      std::fprintf(stderr,
+                   "serve_throughput: tracing overhead %.2f%% above the "
+                   "allowed %.2f%%\n",
+                   trace_overhead_pct, max_trace_overhead);
       return 1;
     }
     return 0;

@@ -13,6 +13,9 @@
 //                  micro-batching and a result cache
 //   ihtl_query   — client for ihtl_serve: single queries or a seeded
 //                  concurrent mixed workload
+//   ihtl_top     — live operational view of a running ihtl_serve: polls
+//                  the `metrics` op and renders per-op phase latencies,
+//                  cache/batcher state, watchdog trips, per-shard load
 //   bench_diff   — diff two telemetry JSON snapshots, flag regressions
 #pragma once
 
@@ -26,6 +29,7 @@ int cmd_run(int argc, const char* const* argv);
 int cmd_profile(int argc, const char* const* argv);
 int cmd_serve(int argc, const char* const* argv);
 int cmd_query(int argc, const char* const* argv);
+int cmd_top(int argc, const char* const* argv);
 int cmd_bench_diff(int argc, const char* const* argv);
 
 }  // namespace ihtl

@@ -9,6 +9,8 @@
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <random>
 #include <sstream>
 #include <string>
@@ -22,6 +24,8 @@
 #include "serve/server.h"
 #include "serve/session.h"
 #include "telemetry/json.h"
+#include "telemetry/report.h"
+#include "telemetry/trace.h"
 
 namespace ihtl {
 
@@ -41,6 +45,9 @@ int cmd_serve(int argc, const char* const* argv) {
                 "write the bound port here once listening (scripts poll "
                 "this instead of parsing stdout)");
   args.add_flag("threads", true, "worker threads (default hw concurrency)");
+  args.add_flag("shards", true,
+                "destination-range shards of the serving engines (default 1 "
+                "= unsharded; >1 exposes per-shard gauges in /metrics)");
   args.add_flag("max-lanes", true,
                 "batch lanes per flush, k of spmv_batch (default 8)");
   args.add_flag("max-batch-delay-us", true,
@@ -57,6 +64,17 @@ int cmd_serve(int argc, const char* const* argv) {
   args.add_flag("metrics-interval-ms", true,
                 "also rewrite --metrics-out every N ms while serving "
                 "(atomic replace; default 0 = only on shutdown)");
+  args.add_flag("slow-request-us", true,
+                "log any request slower than this (wire latency) to the "
+                "event log with its phase breakdown (default 0 = off)");
+  args.add_flag("log-out", true,
+                "append the structured event log here as JSON lines "
+                "(slow requests, watchdog trips, lifecycle)");
+  args.add_flag("log-capacity", true,
+                "in-memory event-log ring size (default 1024)");
+  args.add_flag("trace-out", true,
+                "record a Chrome trace (request flows, shard slices, spans) "
+                "while serving; written on shutdown");
   args.add_flag("inject-flush-delay-us", true,
                 "fault injection: stall every batch flush this long");
   args.add_flag("inject-flush-drops", true,
@@ -79,6 +97,7 @@ int cmd_serve(int argc, const char* const* argv) {
     serve::SessionOptions sopt;
     sopt.ihtl = config_from_args(args);
     sopt.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    sopt.shards = static_cast<std::size_t>(args.get_int("shards", 1));
     sopt.update.rebuild_threshold =
         args.get_double("rebuild-threshold", sopt.update.rebuild_threshold);
     serve::ServerOptions opt;
@@ -92,6 +111,23 @@ int cmd_serve(int argc, const char* const* argv) {
         static_cast<unsigned>(args.get_int("inject-flush-delay-us", 0));
     opt.fault.drop_flushes =
         static_cast<unsigned>(args.get_int("inject-flush-drops", 0));
+    opt.slow_request_us =
+        static_cast<std::uint64_t>(args.get_int("slow-request-us", 0));
+    opt.event_log_path = args.get_string("log-out");
+    opt.event_log_capacity =
+        static_cast<std::size_t>(args.get_int("log-capacity", 1024));
+
+    // Tracing covers the daemon's whole life: the buffer goes active
+    // before the session (so preprocessing spans land too) and the Chrome
+    // JSON is written after the server stops.
+    const std::string trace_out = args.get_string("trace-out");
+    std::unique_ptr<telemetry::TraceBuffer> trace;
+    telemetry::TraceBuffer* prev_trace = nullptr;
+    if (!trace_out.empty()) {
+      trace = std::make_unique<telemetry::TraceBuffer>(0, std::size_t{1}
+                                                              << 15);
+      prev_trace = telemetry::TraceBuffer::set_active(trace.get());
+    }
 
     serve::GraphSession session(std::move(g), sopt);
     std::fprintf(stderr, "iHTL preprocessing: %u hubs, %zu block(s) (%.1fs)\n",
@@ -138,6 +174,15 @@ int cmd_serve(int argc, const char* const* argv) {
     server.stop();
     dump_stop.store(true, std::memory_order_release);
     if (dumper.joinable()) dumper.join();
+
+    if (trace) {
+      telemetry::TraceBuffer::set_active(prev_trace);
+      telemetry::write_json_file(trace->to_chrome_trace(), trace_out);
+      std::fprintf(stderr, "wrote trace to %s (%llu event(s), %llu dropped)\n",
+                   trace_out.c_str(),
+                   static_cast<unsigned long long>(trace->recorded()),
+                   static_cast<unsigned long long>(trace->dropped()));
+    }
 
     if (!metrics.path.empty()) {
       server.dump_metrics(metrics.path);
@@ -321,6 +366,9 @@ int cmd_query(int argc, const char* const* argv) {
   args.add_flag("assert-cache-hits", false,
                 "after --mix, query /stats and fail unless the cache served "
                 "at least one full second pass");
+  args.add_flag("latency-out", true,
+                "write client-observed per-request latencies (one JSON "
+                "entry per request: op, us, ok, cached) to this file");
   args.add_flag("shutdown-after", false,
                 "send a shutdown op when done (stops the server)");
   args.add_flag("help", false, "show usage");
@@ -339,6 +387,44 @@ int cmd_query(int argc, const char* const* argv) {
       port = static_cast<std::uint16_t>(p);
     }
     if (port == 0) throw std::invalid_argument("need --port or --port-file");
+
+    // Client-observed latency capture (--latency-out): every measured
+    // roundtrip appends one entry; the file is written before returning.
+    // This is the ground truth the server's phase histograms are checked
+    // against (phase sum ≈ wire latency minus client-side socket time).
+    const std::string latency_out = args.get_string("latency-out");
+    std::mutex lat_mutex;
+    JsonValue latencies = JsonValue::array();
+    auto timed_roundtrip = [&](serve::Client& client,
+                               const QueryRequest& req) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const JsonValue resp = client.roundtrip(req);
+      const double us =
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      if (!latency_out.empty()) {
+        const JsonValue* ok = resp.find("ok");
+        const JsonValue* cached = resp.find("cached");
+        JsonValue entry = JsonValue::object();
+        entry.set("op", serve::op_name(req.op));
+        entry.set("us", us);
+        entry.set("ok", ok && ok->is_bool() && ok->as_bool());
+        entry.set("cached",
+                  cached && cached->is_bool() && cached->as_bool());
+        std::lock_guard<std::mutex> lock(lat_mutex);
+        latencies.push_back(std::move(entry));
+      }
+      return resp;
+    };
+    auto write_latencies = [&] {
+      if (latency_out.empty()) return;
+      JsonValue doc = JsonValue::object();
+      doc.set("tool", "ihtl_query");
+      doc.set("latencies", std::move(latencies));
+      telemetry::write_json_file(doc, latency_out);
+      std::fprintf(stderr, "wrote latencies to %s\n", latency_out.c_str());
+    };
 
     if (args.has("mix")) {
       const auto per_client = static_cast<unsigned>(args.get_int("mix"));
@@ -362,7 +448,7 @@ int cmd_query(int argc, const char* const* argv) {
             // caching on every one of its answers is servable from cache.
             for (int pass = 0; pass < 2; ++pass) {
               for (const QueryRequest& req : workload) {
-                const JsonValue resp = client.roundtrip(req);
+                const JsonValue resp = timed_roundtrip(client, req);
                 const JsonValue* ok = resp.find("ok");
                 if (!ok || !ok->is_bool() || !ok->as_bool()) {
                   failures.fetch_add(1);
@@ -381,6 +467,7 @@ int cmd_query(int argc, const char* const* argv) {
       std::printf("mix: %llu queries ok, %u client failure(s)\n",
                   static_cast<unsigned long long>(sent.load()),
                   failures.load());
+      write_latencies();
       if (failures.load() > 0) return 1;
 
       if (args.has("assert-cache-hits")) {
@@ -469,8 +556,9 @@ int cmd_query(int argc, const char* const* argv) {
 
     serve::Client client;
     client.connect(host, port);
-    const JsonValue resp = client.roundtrip(req);
+    const JsonValue resp = timed_roundtrip(client, req);
     std::printf("%s\n", resp.dump(2).c_str());
+    write_latencies();
     const JsonValue* ok = resp.find("ok");
     const bool success = ok && ok->is_bool() && ok->as_bool();
     if (success && args.has("shutdown-after") &&

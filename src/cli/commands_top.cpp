@@ -1,0 +1,293 @@
+// cmd_top — `top` for a running ihtl_serve daemon.
+//
+// Polls the server's `metrics` op (Prometheus text exposition, the same
+// payload a scraper would read) and renders a refreshing operational view:
+// per-op-class phase latencies (queue / compute / cache / serialize),
+// result-cache and batcher state, watchdog trip counters, and per-shard
+// load when the session runs a ShardedEngine. The renderer works from the
+// exposition text alone, so it exercises exactly what external monitoring
+// sees — if ihtl_top can draw the screen, a scraper can parse the feed.
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/args.h"
+#include "cli/commands.h"
+#include "cli/common.h"
+#include "serve/protocol.h"
+#include "telemetry/json.h"
+
+namespace ihtl {
+
+namespace {
+
+using telemetry::JsonValue;
+
+/// One parsed exposition sample: `name{labels} value`. Labels are kept as
+/// the raw `k="v",...` text — the renderer only needs exact-match lookup.
+struct Sample {
+  std::string name;
+  std::string labels;
+  double value = 0.0;
+};
+
+/// Parses the non-comment lines of a Prometheus text exposition. Lines
+/// that do not match `name[{labels}] value` are skipped rather than fatal:
+/// a live view should degrade, not die, on a feed it half-understands.
+std::vector<Sample> parse_exposition(const std::string& text) {
+  std::vector<Sample> out;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    Sample s;
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    s.name = line.substr(0, i);
+    if (i < line.size() && line[i] == '{') {
+      const std::size_t close = line.find('}', i);
+      if (close == std::string::npos) continue;
+      s.labels = line.substr(i + 1, close - i - 1);
+      i = close + 1;
+    }
+    while (i < line.size() && line[i] == ' ') ++i;
+    const char* begin = line.data() + i;
+    const char* end = line.data() + line.size();
+    if (auto [p, ec] = std::from_chars(begin, end, s.value);
+        ec != std::errc()) {
+      continue;  // +Inf / NaN / garbage: not needed for the view
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// Unlabelled samples as a flat name -> value map for exact lookups.
+std::map<std::string, double> flat_gauges(const std::vector<Sample>& samples) {
+  std::map<std::string, double> out;
+  for (const Sample& s : samples) {
+    if (s.labels.empty()) out[s.name] = s.value;
+  }
+  return out;
+}
+
+double get_or(const std::map<std::string, double>& m, const std::string& key,
+              double fallback = 0.0) {
+  const auto it = m.find(key);
+  return it == m.end() ? fallback : it->second;
+}
+
+/// The per-op gauge family exported by RequestPhaseStats::export_gauges is
+/// `ihtl_serve_ops_<op>_<phase>_<stat>` after sanitization. Ops and phases
+/// are closed sets, so the renderer enumerates them instead of guessing at
+/// underscores inside names (`bump_epoch` would otherwise be ambiguous).
+const char* const kOps[] = {"ppr",     "bfs",     "spmv",
+                            "update",  "stats",   "metrics",
+                            "bump_epoch", "shutdown"};
+const char* const kPhases[] = {"queue", "compute", "cache", "serialize",
+                               "total"};
+
+void render_op_table(std::string& out,
+                     const std::map<std::string, double>& g) {
+  char buf[256];
+  bool any = false;
+  for (const char* op : kOps) {
+    const std::string base = std::string("ihtl_serve_ops_") + op + "_";
+    const double count = get_or(g, base + "total_count");
+    if (count <= 0) continue;
+    if (!any) {
+      std::snprintf(buf, sizeof(buf), "  %-10s %8s %10s %10s %10s %10s\n",
+                    "op", "count", "queue", "compute", "cache", "serialize");
+      out += buf;
+      any = true;
+    }
+    std::snprintf(buf, sizeof(buf), "  %-10s %8.0f", op, count);
+    out += buf;
+    for (const char* phase : kPhases) {
+      if (std::string(phase) == "total") continue;
+      const std::string pb = base + phase + "_";
+      std::snprintf(buf, sizeof(buf), " %4.0f/%-5.0f",
+                    get_or(g, pb + "p50_us"), get_or(g, pb + "p99_us"));
+      out += buf;
+    }
+    const std::string tb = base + "total_";
+    std::snprintf(buf, sizeof(buf), "   total %4.0f/%-5.0f us (p50/p99)\n",
+                  get_or(g, tb + "p50_us"), get_or(g, tb + "p99_us"));
+    out += buf;
+  }
+  if (!any) out += "  (no requests recorded yet)\n";
+}
+
+void render_shards(std::string& out, const std::map<std::string, double>& g) {
+  char buf[256];
+  for (int shard = 0;; ++shard) {
+    const std::string base =
+        "ihtl_sharded_shard" + std::to_string(shard) + "_";
+    const auto it = g.find(base + "edges");
+    if (it == g.end()) break;
+    std::snprintf(buf, sizeof(buf),
+                  "  shard %-3d edges=%-10.0f flipped_blocks=%-6.0f "
+                  "remote_sources=%-8.0f team=%.0f\n",
+                  shard, it->second, get_or(g, base + "flipped_blocks"),
+                  get_or(g, base + "remote_sources"),
+                  get_or(g, base + "team_size"));
+    out += buf;
+  }
+}
+
+std::string render(const std::string& exposition) {
+  const std::vector<Sample> samples = parse_exposition(exposition);
+  const std::map<std::string, double> g = flat_gauges(samples);
+  std::string out;
+  char buf[256];
+
+  std::snprintf(buf, sizeof(buf),
+                "ihtl_top — requests=%.0f epoch=%.0f connections=%.0f "
+                "threads=%.0f shards=%.0f imbalance=%.2f\n",
+                get_or(g, "ihtl_serve_requests_accepted"),
+                get_or(g, "ihtl_serve_epoch"),
+                get_or(g, "ihtl_serve_connections"),
+                get_or(g, "ihtl_serve_threads"),
+                get_or(g, "ihtl_serve_shards"),
+                get_or(g, "ihtl_serve_shard_imbalance", 1.0));
+  out += buf;
+
+  out += "\nper-op phase latency, p50/p99 us:\n";
+  render_op_table(out, g);
+
+  std::snprintf(buf, sizeof(buf),
+                "\ncache: hit_rate=%.2f hits=%.0f misses=%.0f entries=%.0f "
+                "evictions=%.0f bytes=%.0f\n",
+                get_or(g, "ihtl_serve_cache_hit_rate"),
+                get_or(g, "ihtl_serve_cache_hits"),
+                get_or(g, "ihtl_serve_cache_misses"),
+                get_or(g, "ihtl_serve_cache_entries"),
+                get_or(g, "ihtl_serve_cache_evictions"),
+                get_or(g, "ihtl_serve_cache_bytes"));
+  out += buf;
+
+  std::snprintf(buf, sizeof(buf),
+                "batch: flushes=%.0f full=%.0f deadline=%.0f dropped=%.0f "
+                "lanes=%.0f\n",
+                get_or(g, "ihtl_serve_batch_flushes"),
+                get_or(g, "ihtl_serve_batch_full_flushes"),
+                get_or(g, "ihtl_serve_batch_deadline_flushes"),
+                get_or(g, "ihtl_serve_batch_dropped"),
+                get_or(g, "ihtl_serve_batch_lanes_flushed"));
+  out += buf;
+
+  std::snprintf(buf, sizeof(buf),
+                "watchdog: deadline_misses=%.0f saturation=%.0f "
+                "hitrate_collapses=%.0f imbalance_alerts=%.0f "
+                "window_hit_rate=%.2f\n",
+                get_or(g, "ihtl_serve_watchdog_deadline_misses"),
+                get_or(g, "ihtl_serve_watchdog_saturation_events"),
+                get_or(g, "ihtl_serve_watchdog_hitrate_collapses"),
+                get_or(g, "ihtl_serve_watchdog_imbalance_alerts"),
+                get_or(g, "ihtl_serve_watchdog_window_hit_rate", 1.0));
+  out += buf;
+
+  if (g.count("ihtl_sharded_shard0_edges") != 0) {
+    out += "\nshards:\n";
+    render_shards(out, g);
+  }
+
+  std::snprintf(buf, sizeof(buf),
+                "\neventlog: recorded=%.0f dropped=%.0f\n",
+                get_or(g, "ihtl_serve_eventlog_recorded"),
+                get_or(g, "ihtl_serve_eventlog_dropped"));
+  out += buf;
+  return out;
+}
+
+}  // namespace
+
+int cmd_top(int argc, const char* const* argv) {
+  ArgParser args;
+  args.add_flag("host", true, "server host (default 127.0.0.1)");
+  args.add_flag("port", true, "server port (required unless --port-file)");
+  args.add_flag("port-file", true, "read the port from this file");
+  args.add_flag("interval-ms", true,
+                "delay between metric polls (default 1000)");
+  args.add_flag("iterations", true,
+                "stop after N polls (default 0 = until the server goes "
+                "away or ctrl-c)");
+  args.add_flag("once", false,
+                "poll exactly once, print, and exit (implies --no-clear)");
+  args.add_flag("raw", false,
+                "print the raw Prometheus exposition instead of the "
+                "rendered view");
+  args.add_flag("no-clear", false,
+                "do not clear the terminal between refreshes");
+  args.add_flag("help", false, "show usage");
+  try {
+    args.parse(argc, argv);
+    if (args.has("help")) return usage("ihtl_top", args);
+    const std::string host = args.get_string("host", "127.0.0.1");
+    std::uint16_t port = static_cast<std::uint16_t>(args.get_int("port", 0));
+    const std::string port_file = args.get_string("port-file");
+    if (port == 0 && !port_file.empty()) {
+      std::ifstream pf(port_file);
+      unsigned p = 0;
+      if (!(pf >> p) || p == 0 || p > 65535) {
+        throw std::runtime_error("cannot read a port from " + port_file);
+      }
+      port = static_cast<std::uint16_t>(p);
+    }
+    if (port == 0) throw std::invalid_argument("need --port or --port-file");
+    const std::int64_t interval_ms =
+        std::max<std::int64_t>(1, args.get_int("interval-ms", 1000));
+    std::int64_t iterations = args.get_int("iterations", 0);
+    const bool once = args.has("once");
+    if (once) iterations = 1;
+    const bool clear = !once && !args.has("no-clear");
+
+    serve::Client client;
+    client.connect(host, port);
+    JsonValue req = JsonValue::object();
+    req.set("op", "metrics");
+
+    for (std::int64_t poll = 0; iterations == 0 || poll < iterations;
+         ++poll) {
+      if (poll > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
+      }
+      const JsonValue resp = client.roundtrip(req);
+      const JsonValue* ok = resp.find("ok");
+      const JsonValue* text = resp.find("metrics");
+      if (ok == nullptr || !ok->as_bool() || text == nullptr) {
+        std::fprintf(stderr, "ihtl_top: bad metrics response: %s\n",
+                     resp.dump(0).c_str());
+        return 1;
+      }
+      // \x1b[H\x1b[2J: cursor home + clear, so each refresh repaints in
+      // place instead of scrolling the terminal.
+      if (clear) std::fputs("\x1b[H\x1b[2J", stdout);
+      if (args.has("raw")) {
+        std::fputs(text->as_string().c_str(), stdout);
+      } else {
+        std::fputs(render(text->as_string()).c_str(), stdout);
+      }
+      std::fflush(stdout);
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ihtl_top: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace ihtl

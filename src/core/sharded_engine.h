@@ -49,6 +49,7 @@
 #include "parallel/timer.h"
 #include "telemetry/metrics.h"
 #include "telemetry/perf_counters.h"
+#include "telemetry/trace.h"
 
 namespace ihtl {
 
@@ -349,6 +350,37 @@ class ShardedEngine {
     stats_ = ShardedSpmvStats{};
     Timer phase;
 
+    // Per-shard timeline slices: when a TraceBuffer is recording, every
+    // (shard, phase) unit of work lands as one "shard" event on the worker
+    // that ran it, args {shard, team} — the slices the serve layer's
+    // request flow-arrows bind into. Interning is a short mutex'd scan, and
+    // the whole block is skipped when tracing is off.
+    telemetry::TraceBuffer* const tb = telemetry::TraceBuffer::active();
+    std::uint32_t pn[5] = {};
+    if (tb != nullptr) {
+      pn[0] = tb->intern("sharded/exchange");
+      pn[1] = tb->intern("sharded/reset");
+      pn[2] = tb->intern("sharded/push");
+      pn[3] = tb->intern("sharded/merge");
+      pn[4] = tb->intern("sharded/pull");
+    }
+    auto traced = [&](std::size_t tid, std::uint32_t name,
+                      const auto& body) {
+      if (tb == nullptr) {
+        for_owned_shards(tid, body);
+        return;
+      }
+      for_owned_shards(tid,
+                       [&](Shard& sh, std::size_t s, std::size_t team) {
+                         const std::uint64_t t0 = tb->now_ns();
+                         body(sh, s, team);
+                         tb->record(telemetry::TraceEventKind::shard, name,
+                                    t0, tb->now_ns() - t0,
+                                    static_cast<std::uint32_t>(s),
+                                    static_cast<std::uint32_t>(team));
+                       });
+    };
+
     // Phase 0: exchange. Flip the double buffer, then fill every shard's
     // back-now-front mirror: contiguous copy of the owned slice, gather of
     // the remote-source set. Team threads split both by team index.
@@ -359,7 +391,7 @@ class ShardedEngine {
     for (Tally& t : tallies_) t = Tally{};
     pool_->run([&](std::size_t tid) {
       std::uint64_t remote = 0, local = 0;
-      for_owned_shards(tid, [&](Shard& sh, std::size_t s, std::size_t team) {
+      traced(tid, pn[0], [&](Shard& sh, std::size_t s, std::size_t team) {
         value_t* m = mirrors[s].data();
         // Owned slice: split [dst_begin, dst_end) across the team.
         const std::uint64_t own = sh.num_dst();
@@ -409,7 +441,7 @@ class ShardedEngine {
     phase.reset();
     hw.emplace(metrics_reg_, "sharded/reset");
     pool_->run([&](std::size_t tid) {
-      for_owned_shards(tid, [&](Shard& sh, std::size_t, std::size_t team) {
+      traced(tid, pn[1], [&](Shard& sh, std::size_t, std::size_t team) {
         auto& touched = batch ? sh.batch_touched : sh.touched;
         auto& buffers = batch ? sh.batch_buffers : sh.buffers;
         if (buffers.length() == 0) return;
@@ -435,7 +467,7 @@ class ShardedEngine {
     hw.emplace(metrics_reg_, "sharded/push");
     reset_cursors();
     pool_->run([&](std::size_t tid) {
-      for_owned_shards(tid, [&](Shard& sh, std::size_t s, std::size_t team) {
+      traced(tid, pn[2], [&](Shard& sh, std::size_t s, std::size_t team) {
         const value_t* xs = mirrors[s].data();
         auto& touched = batch ? sh.batch_touched : sh.touched;
         auto& buffers = batch ? sh.batch_buffers : sh.buffers;
@@ -475,7 +507,7 @@ class ShardedEngine {
     hw.emplace(metrics_reg_, "sharded/merge");
     reset_cursors();
     pool_->run([&](std::size_t tid) {
-      for_owned_shards(tid, [&](Shard& sh, std::size_t s, std::size_t) {
+      traced(tid, pn[3], [&](Shard& sh, std::size_t s, std::size_t) {
         auto& touched = batch ? sh.batch_touched : sh.touched;
         auto& buffers = batch ? sh.batch_buffers : sh.buffers;
         claim(s, sh.merge_tiles.size(), [&](std::uint64_t i) {
@@ -505,7 +537,7 @@ class ShardedEngine {
     reset_cursors();
     const Adjacency& sparse = ig_->sparse();
     pool_->run([&](std::size_t tid) {
-      for_owned_shards(tid, [&](Shard& sh, std::size_t s, std::size_t) {
+      traced(tid, pn[4], [&](Shard& sh, std::size_t s, std::size_t) {
         const value_t* xs = mirrors[s].data();
         claim(s, sh.sparse_chunks.size(), [&](std::uint64_t p) {
           for (std::uint64_t local = sh.sparse_chunks[p].begin;

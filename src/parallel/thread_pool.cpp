@@ -5,6 +5,7 @@
 #include "check/invariants.h"
 #include "telemetry/metrics.h"
 #include "telemetry/perf_counters.h"
+#include "telemetry/trace.h"
 
 namespace ihtl {
 
@@ -56,6 +57,21 @@ void ThreadPool::run(const std::function<void(std::size_t)>& fn) {
           telemetry::perf::snapshot_this_thread().delta_since(before));
     };
     job = &wrapped;
+  }
+  // When a request flow is active (the serve dispatch thread sets it around
+  // each batch compute) and a trace buffer is recording, every worker stamps
+  // a flow_step before touching the job, so the Chrome trace draws the
+  // request's arrows into the shard/chunk slices of every thread that did
+  // work for it. Two relaxed loads when idle.
+  std::function<void(std::size_t)> flow_wrapped;
+  if (const std::uint64_t flow_id = telemetry::active_flow();
+      flow_id != 0 && telemetry::TraceBuffer::active() != nullptr) {
+    const std::function<void(std::size_t)>* inner = job;
+    flow_wrapped = [inner, flow_id](std::size_t tid) {
+      telemetry::flow_mark(telemetry::TraceEventKind::flow_step, flow_id);
+      (*inner)(tid);
+    };
+    job = &flow_wrapped;
   }
   // Single-worker pools, and pools whose workers were joined by shutdown(),
   // execute the job inline on the caller — every tid still runs exactly

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "telemetry/metrics.h"
+#include "telemetry/request_context.h"
+#include "telemetry/trace.h"
 
 namespace ihtl::serve {
 
@@ -17,7 +19,8 @@ Batcher::Batcher(BatcherOptions opt, ComputeFn compute)
 
 Batcher::~Batcher() { stop(); }
 
-std::vector<value_t> Batcher::submit(const QueryRequest& req) {
+std::vector<value_t> Batcher::submit(const QueryRequest& req,
+                                     telemetry::RequestContext* ctx) {
   if (!req.is_batchable() || req.lanes() == 0) {
     throw std::runtime_error("batcher only accepts compute requests");
   }
@@ -29,6 +32,7 @@ std::vector<value_t> Batcher::submit(const QueryRequest& req) {
     Pending p;
     p.request = req;
     p.enqueued = Clock::now();
+    p.ctx = ctx;
     future = p.promise.get_future();
     q.lanes += req.lanes();
     total_lanes_ += req.lanes();
@@ -119,9 +123,23 @@ bool Batcher::pop_group(std::unique_lock<std::mutex>& /*lock*/,
 void Batcher::run_group(std::vector<Pending> group, bool was_full) {
   Group g;
   g.requests.reserve(group.size());
+  // Every traced request banks its queue wait now (flush start ends the
+  // queue phase — the injected fault delay, by design, counts as queueing)
+  // and lands a flow_step on the dispatch thread; the first traced request
+  // becomes the active flow so pool workers stamp the traversal too.
+  const Clock::time_point flush_start = Clock::now();
+  std::uint64_t head_flow = 0;
   for (const Pending& p : group) {
     g.lanes += p.request.lanes();
     g.requests.push_back(p.request);
+    if (p.ctx != nullptr) {
+      p.ctx->queue_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(flush_start -
+                                                               p.enqueued)
+              .count());
+      telemetry::flow_mark(telemetry::TraceEventKind::flow_step, p.ctx->id);
+      if (head_flow == 0) head_flow = p.ctx->id;
+    }
   }
   ++flushes_;
   lanes_flushed_ += g.lanes;
@@ -131,7 +149,18 @@ void Batcher::run_group(std::vector<Pending> group, bool was_full) {
     ++deadline_flushes_;
   }
   try {
+    if (head_flow != 0) telemetry::set_active_flow(head_flow);
+    // Null-registry span: no metrics, but the flush becomes a timeline
+    // slice on the dispatch thread for the flow arrows to pass through.
+    telemetry::ScopedSpan flush_span(nullptr, "serve/flush");
     std::vector<std::vector<value_t>> results = compute_(g);
+    const double compute_s = flush_span.stop();
+    if (head_flow != 0) telemetry::set_active_flow(0);
+    const auto compute_ns =
+        static_cast<std::uint64_t>(compute_s >= 0 ? compute_s * 1e9 : 0);
+    for (Pending& p : group) {
+      if (p.ctx != nullptr) p.ctx->compute_ns = compute_ns;
+    }
     if (results.size() != group.size()) {
       throw std::runtime_error("compute returned wrong result count");
     }
@@ -139,10 +168,20 @@ void Batcher::run_group(std::vector<Pending> group, bool was_full) {
       group[i].promise.set_value(std::move(results[i]));
     }
   } catch (...) {
+    if (head_flow != 0) telemetry::set_active_flow(0);
     for (Pending& p : group) {
       p.promise.set_exception(std::current_exception());
     }
   }
+}
+
+void Batcher::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  flushes_ = 0;
+  full_flushes_ = 0;
+  deadline_flushes_ = 0;
+  dropped_flushes_ = 0;
+  lanes_flushed_ = 0;
 }
 
 void Batcher::dispatch_loop() {

@@ -34,6 +34,7 @@
 
 namespace ihtl::telemetry {
 class MetricsRegistry;
+struct RequestContext;
 }  // namespace ihtl::telemetry
 
 namespace ihtl::serve {
@@ -77,7 +78,19 @@ class Batcher {
   /// Enqueues a compute request and blocks until its flush completes.
   /// Throws whatever the compute function threw for the group. Requests
   /// wider than max_lanes flush alone (they cannot share a traversal).
-  std::vector<value_t> submit(const QueryRequest& req);
+  std::vector<value_t> submit(const QueryRequest& req) {
+    return submit(req, nullptr);
+  }
+
+  /// Same, with request tracing: when `ctx` is non-null the dispatch
+  /// thread deposits the admission-queue wait into ctx->queue_ns and the
+  /// group traversal time into ctx->compute_ns (shared by every request
+  /// coalesced into the flush — the cost of the traversal is the cost of
+  /// the batch), stamps a flow_step trace event, and exports ctx->id as
+  /// the active flow around the compute so pool workers can stamp theirs.
+  /// The ctx must outlive the call (trivially true: the caller blocks).
+  std::vector<value_t> submit(const QueryRequest& req,
+                              telemetry::RequestContext* ctx);
 
   /// Drains every pending request (ignoring injected faults) and joins the
   /// dispatch thread. Idempotent; submit() after stop() throws.
@@ -105,6 +118,12 @@ class Batcher {
   void export_gauges(telemetry::MetricsRegistry& reg,
                      const std::string& prefix) const;
 
+  /// Zeroes the flush counters so a multi-rep bench can measure each rep
+  /// independently. Only legal while the queue is idle (no pending
+  /// requests, no in-flight flush) — the counters are otherwise owned by
+  /// the dispatch thread.
+  void reset_stats();
+
  private:
   using Clock = std::chrono::steady_clock;
 
@@ -112,6 +131,7 @@ class Batcher {
     QueryRequest request;
     std::promise<std::vector<value_t>> promise;
     Clock::time_point enqueued;
+    telemetry::RequestContext* ctx = nullptr;  ///< owned by the submitter
   };
   struct ClassQueue {
     std::deque<Pending> pending;

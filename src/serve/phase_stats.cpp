@@ -1,0 +1,84 @@
+#include "serve/phase_stats.h"
+
+#include "telemetry/exposition.h"
+#include "telemetry/metrics.h"
+
+namespace ihtl::serve {
+
+namespace {
+constexpr std::size_t kQueue = 0;
+constexpr std::size_t kCompute = 1;
+constexpr std::size_t kCache = 2;
+constexpr std::size_t kSerialize = 3;
+constexpr std::size_t kTotal = 4;
+}  // namespace
+
+const char* RequestPhaseStats::phase_name(std::size_t p) {
+  switch (p) {
+    case kQueue:
+      return "queue";
+    case kCompute:
+      return "compute";
+    case kCache:
+      return "cache";
+    case kSerialize:
+      return "serialize";
+    case kTotal:
+      return "total";
+  }
+  return "?";
+}
+
+void RequestPhaseStats::record(QueryOp op,
+                               const telemetry::RequestContext& ctx) {
+  telemetry::LatencyHistogram* h = hist_[index(op)];
+  h[kQueue].record_ns(ctx.queue_ns);
+  h[kCompute].record_ns(ctx.compute_ns);
+  h[kCache].record_ns(ctx.cache_ns);
+  h[kSerialize].record_ns(ctx.serialize_ns);
+  h[kTotal].record_ns(ctx.total_ns);
+}
+
+std::uint64_t RequestPhaseStats::count(QueryOp op) const {
+  return hist_[index(op)][kTotal].count();
+}
+
+void RequestPhaseStats::merged_totals(
+    telemetry::LatencyHistogram& out) const {
+  for (std::size_t o = 0; o < kNumOps; ++o) {
+    out.merge(hist_[o][kTotal]);
+  }
+}
+
+void RequestPhaseStats::export_gauges(telemetry::MetricsRegistry& reg,
+                                      const std::string& prefix) const {
+  for (std::size_t o = 0; o < kNumOps; ++o) {
+    const QueryOp op = static_cast<QueryOp>(o);
+    if (count(op) == 0) continue;
+    const std::string base = prefix + "." + op_name(op) + ".";
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      hist_[o][p].export_gauges(reg, base + phase_name(p));
+    }
+  }
+}
+
+void RequestPhaseStats::exposition(std::string& out) const {
+  for (std::size_t o = 0; o < kNumOps; ++o) {
+    const QueryOp op = static_cast<QueryOp>(o);
+    if (count(op) == 0) continue;
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      const std::string labels = std::string("op=\"") + op_name(op) +
+                                 "\",phase=\"" + phase_name(p) + "\"";
+      telemetry::append_histogram_exposition(
+          out, "ihtl_request_phase_latency_us", labels, hist_[o][p]);
+    }
+  }
+}
+
+void RequestPhaseStats::reset() {
+  for (std::size_t o = 0; o < kNumOps; ++o) {
+    for (std::size_t p = 0; p < kNumPhases; ++p) hist_[o][p].reset();
+  }
+}
+
+}  // namespace ihtl::serve

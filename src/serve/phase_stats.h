@@ -1,0 +1,72 @@
+// Per-op-class request-phase latency histograms.
+//
+// The old single `latency_` histogram answered "how slow is the server";
+// these answer "WHERE did request time go, per op class": every finished
+// RequestContext lands its queue / compute / cache / serialize splits plus
+// the wire total into one LatencyHistogram per (op, phase). Recording is
+// the histograms' wait-free fetch_add path, so every handler thread
+// records concurrently; export walks the same atomics.
+//
+// Exports twice: as `serve.ops.<op>.<phase>.*` registry gauges for /stats
+// and the JSON dumps, and as a Prometheus `ihtl_request_phase_latency_us`
+// histogram series (labels op=..., phase=...) for /metrics. merged_totals()
+// rebuilds the legacy whole-server view (`serve.latency.*`) by merging the
+// per-op totals, so pre-existing dashboards and tests keep working.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "serve/protocol.h"
+#include "telemetry/histogram.h"
+#include "telemetry/request_context.h"
+
+namespace ihtl::telemetry {
+class MetricsRegistry;
+}  // namespace ihtl::telemetry
+
+namespace ihtl::serve {
+
+class RequestPhaseStats {
+ public:
+  static constexpr std::size_t kNumPhases = 5;
+  static const char* phase_name(std::size_t p);  // queue..total
+
+  /// Folds one finished request in. Thread-safe, wait-free.
+  void record(QueryOp op, const telemetry::RequestContext& ctx);
+
+  /// Requests recorded for `op` (total-phase count).
+  std::uint64_t count(QueryOp op) const;
+
+  const telemetry::LatencyHistogram& histogram(QueryOp op,
+                                               std::size_t phase) const {
+    return hist_[index(op)][phase];
+  }
+
+  /// One histogram holding every op's total-phase samples (merge of the
+  /// per-op totals; built fresh per call).
+  void merged_totals(telemetry::LatencyHistogram& out) const;
+
+  /// Publishes `<prefix>.<op>.<phase>.{count,p50_us,p90_us,p99_us,max_us}`
+  /// gauges for every op class that has samples; idempotent.
+  void export_gauges(telemetry::MetricsRegistry& reg,
+                     const std::string& prefix) const;
+
+  /// Appends the `ihtl_request_phase_latency_us` exposition series (one
+  /// labeled histogram per non-empty (op, phase)).
+  void exposition(std::string& out) const;
+
+  void reset();
+
+ private:
+  /// Dense op index; QueryOp values are contiguous from 0.
+  static std::size_t index(QueryOp op) {
+    return static_cast<std::size_t>(op);
+  }
+  static constexpr std::size_t kNumOps =
+      static_cast<std::size_t>(QueryOp::shutdown) + 1;
+
+  telemetry::LatencyHistogram hist_[kNumOps][kNumPhases];
+};
+
+}  // namespace ihtl::serve

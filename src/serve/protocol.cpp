@@ -22,6 +22,7 @@ const char* op_name(QueryOp op) {
     case QueryOp::spmv: return "spmv";
     case QueryOp::update: return "update";
     case QueryOp::stats: return "stats";
+    case QueryOp::metrics: return "metrics";
     case QueryOp::bump_epoch: return "bump-epoch";
     case QueryOp::shutdown: return "shutdown";
   }
@@ -34,6 +35,7 @@ std::optional<QueryOp> op_from_name(const std::string& name) {
   if (name == "spmv") return QueryOp::spmv;
   if (name == "update") return QueryOp::update;
   if (name == "stats") return QueryOp::stats;
+  if (name == "metrics") return QueryOp::metrics;
   if (name == "bump-epoch") return QueryOp::bump_epoch;
   if (name == "shutdown") return QueryOp::shutdown;
   return std::nullopt;

@@ -11,6 +11,7 @@
 //   {"op": "spmv", "x_seed": S}        // dense x derived from the seed
 //   {"op": "update", "insert": [[u,v]...], "remove": [[u,v]...]}
 //   {"op": "stats"}                    // telemetry snapshot, no compute
+//   {"op": "metrics"}                  // Prometheus text exposition
 //   {"op": "bump-epoch"}               // invalidate the result cache
 //   {"op": "shutdown"}                 // stop the server
 // Optional on compute ops: "cache": false bypasses the result cache.
@@ -20,6 +21,7 @@
 //   {"ok": true, "epoch": E, "rebuilt": B, "drift": D,
 //    "inserted": I, "removed": R}                            // update
 //   {"ok": true, "stats": {...}}                             // stats
+//   {"ok": true, "epoch": E, "metrics": "<exposition>"}      // metrics
 //   {"ok": true, "epoch": E}                                 // bump-epoch
 //   {"ok": false, "error": "..."}                            // any failure
 // `values` is the query result in the ORIGINAL vertex-ID space, vertex-
@@ -47,7 +49,16 @@ inline constexpr std::size_t kMaxSourcesPerRequest = 64;
 /// streams are split into multiple requests by the client.
 inline constexpr std::size_t kMaxUpdateEdgesPerRequest = 65536;
 
-enum class QueryOp { ppr, bfs, spmv, update, stats, bump_epoch, shutdown };
+enum class QueryOp {
+  ppr,
+  bfs,
+  spmv,
+  update,
+  stats,
+  metrics,
+  bump_epoch,
+  shutdown
+};
 
 const char* op_name(QueryOp op);
 std::optional<QueryOp> op_from_name(const std::string& name);

@@ -9,23 +9,55 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/exposition.h"
 #include "telemetry/report.h"
+#include "telemetry/trace.h"
 
 namespace ihtl::serve {
 
 using telemetry::JsonValue;
 
+namespace {
+
+std::uint64_t ns_between(std::chrono::steady_clock::time_point a,
+                         std::chrono::steady_clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+WatchdogOptions wire_watchdog(const ServerOptions& opt) {
+  WatchdogOptions w = opt.watchdog;
+  w.max_delay_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          opt.max_batch_delay)
+          .count());
+  return w;
+}
+
+}  // namespace
+
 Server::Server(GraphSession& session, const ServerOptions& opt)
-    : session_(session), opt_(opt), cache_(opt.cache_bytes) {
+    : session_(session),
+      opt_(opt),
+      cache_(opt.cache_bytes),
+      event_log_(opt.event_log_capacity),
+      watchdog_(wire_watchdog(opt)) {
   requests_total_ = metrics_.counter("serve.requests");
   requests_cached_ = metrics_.counter("serve.requests_cached");
   requests_errors_ = metrics_.counter("serve.requests_errors");
   updates_total_ = metrics_.counter("serve.updates");
   updates_rejected_ = metrics_.counter("serve.updates_rejected");
   updates_rebuilds_ = metrics_.counter("serve.update_rebuilds");
+  // A session built without its own registry serves its engine telemetry
+  // (spmv spans, per-shard gauges) through this server's registry, so the
+  // `metrics` exposition shows compute internals, not just serve counters.
+  session_.adopt_metrics_registry(&metrics_);
+  watchdog_.set_event_log(&event_log_);
+  if (!opt_.event_log_path.empty()) event_log_.open_sink(opt_.event_log_path);
 
   BatcherOptions bopt;
   bopt.max_lanes = opt_.max_lanes;
@@ -133,6 +165,14 @@ Server::Server(GraphSession& session, const ServerOptions& opt)
     listen_fd_ = -1;
     throw std::runtime_error("listen: " + err);
   }
+  {
+    JsonValue fields = JsonValue::object();
+    fields.set("port", static_cast<std::uint64_t>(port_));
+    fields.set("shards", static_cast<std::uint64_t>(session_.num_shards()));
+    fields.set("threads", static_cast<std::uint64_t>(session_.pool().size()));
+    event_log_.log(telemetry::LogLevel::info, "server_started",
+                   std::move(fields));
+  }
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -175,6 +215,10 @@ void Server::stop() {
     if (t.joinable()) t.join();
   }
   if (batcher_) batcher_->stop();
+  JsonValue fields = JsonValue::object();
+  fields.set("requests", requests_accepted());
+  event_log_.log(telemetry::LogLevel::info, "server_stopped",
+                 std::move(fields));
 }
 
 void Server::accept_loop() {
@@ -201,11 +245,22 @@ void Server::handle_connection(int fd) {
   try {
     while (!stopped_.load(std::memory_order_acquire)) {
       if (!read_frame(fd, payload)) break;
+      // The request is born here: id assigned at frame receipt, flow
+      // started on this handler thread, and the wire-latency clock starts
+      // before the parse so total_ns covers everything the client waited
+      // for past the socket.
+      const auto frame_start = std::chrono::steady_clock::now();
+      telemetry::RequestContext ctx;
+      ctx.id = next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+      telemetry::flow_mark(telemetry::TraceEventKind::flow_begin, ctx.id);
       JsonValue response;
       bool shutdown_requested = false;
+      std::optional<QueryOp> op;
       try {
         const QueryRequest req = parse_request(JsonValue::parse(payload));
-        response = handle_request(req);
+        ctx.op = op_name(req.op);
+        op = req.op;
+        response = handle_request(req, ctx);
         shutdown_requested = req.op == QueryOp::shutdown;
       } catch (const std::exception& e) {
         requests_errors_.inc(0);
@@ -213,7 +268,13 @@ void Server::handle_connection(int fd) {
         response.set("ok", false);
         response.set("error", std::string(e.what()));
       }
+      const auto write_start = std::chrono::steady_clock::now();
       write_frame(fd, response.dump(0));
+      const auto done = std::chrono::steady_clock::now();
+      ctx.serialize_ns += ns_between(write_start, done);
+      ctx.total_ns = ns_between(frame_start, done);
+      telemetry::flow_mark(telemetry::TraceEventKind::flow_end, ctx.id);
+      if (op) finish_request(*op, ctx);
       if (shutdown_requested) {
         // Acknowledged on the wire; now wake wait() so the owner runs
         // stop() — a handler thread cannot join itself.
@@ -230,12 +291,40 @@ void Server::handle_connection(int fd) {
   std::erase(conn_fds_, fd);
 }
 
-JsonValue Server::handle_request(const QueryRequest& req) {
+void Server::finish_request(QueryOp op, const telemetry::RequestContext& ctx) {
+  phase_stats_.record(op, ctx);
+  const bool batchable = op == QueryOp::ppr || op == QueryOp::bfs ||
+                         op == QueryOp::spmv || op == QueryOp::update;
+  if (batchable) watchdog_.on_request(ctx.cache_hit, ctx.queue_ns);
+  if (opt_.slow_request_us > 0 &&
+      ctx.total_ns > opt_.slow_request_us * 1000) {
+    JsonValue fields = JsonValue::object();
+    fields.set("request", ctx.id);
+    fields.set("op", ctx.op);
+    fields.set("queue_us", static_cast<double>(ctx.queue_ns) * 1e-3);
+    fields.set("compute_us", static_cast<double>(ctx.compute_ns) * 1e-3);
+    fields.set("cache_us", static_cast<double>(ctx.cache_ns) * 1e-3);
+    fields.set("serialize_us", static_cast<double>(ctx.serialize_ns) * 1e-3);
+    fields.set("total_us", static_cast<double>(ctx.total_ns) * 1e-3);
+    fields.set("cached", ctx.cache_hit);
+    event_log_.log(telemetry::LogLevel::warn, "slow_request",
+                   std::move(fields));
+  }
+}
+
+JsonValue Server::handle_request(const QueryRequest& req,
+                                 telemetry::RequestContext& ctx) {
   JsonValue response = JsonValue::object();
   if (req.op == QueryOp::stats) {
     response.set("ok", true);
     response.set("epoch", session_.epoch());
     response.set("stats", stats_json());
+    return response;
+  }
+  if (req.op == QueryOp::metrics) {
+    response.set("ok", true);
+    response.set("epoch", session_.epoch());
+    response.set("metrics", metrics_exposition());
     return response;
   }
   if (req.op == QueryOp::bump_epoch) {
@@ -255,7 +344,8 @@ JsonValue Server::handle_request(const QueryRequest& req) {
     // Routed through the batcher like compute, so the mutation runs on the
     // dispatch thread — serialized against every traversal. Never cached;
     // the epoch bump inside apply_update is what invalidates the cache.
-    const std::vector<value_t> row = batcher_->submit(req);
+    watchdog_.on_admission(batcher_->queue_depth());
+    const std::vector<value_t> row = batcher_->submit(req, &ctx);
     updates_total_.inc(0);
     if (row.size() != 6 || row[0] == 0.0) {
       updates_rejected_.inc(0);
@@ -275,44 +365,65 @@ JsonValue Server::handle_request(const QueryRequest& req) {
     return response;
   }
 
-  const auto start = std::chrono::steady_clock::now();
   // The epoch is read ONCE per request: a bump that lands mid-compute
   // keys both the lookup and the insert to the pre-bump graph state.
   const std::uint64_t epoch = session_.epoch();
   const std::string key = fingerprint(req);
   bool cached = false;
   ResultCache::Value values;
+  const auto lookup_start = std::chrono::steady_clock::now();
   if (req.use_cache) values = cache_.get(key, epoch);
+  ctx.cache_ns += ns_between(lookup_start, std::chrono::steady_clock::now());
   if (values) {
     cached = true;
   } else {
+    watchdog_.on_admission(batcher_->queue_depth());
     values = std::make_shared<const std::vector<value_t>>(
-        batcher_->submit(req));
+        batcher_->submit(req, &ctx));
     // Put BEFORE responding: a client that re-sends the same query after
     // reading this response is guaranteed to hit.
+    const auto put_start = std::chrono::steady_clock::now();
     if (req.use_cache) cache_.put(key, epoch, values);
+    ctx.cache_ns += ns_between(put_start, std::chrono::steady_clock::now());
   }
+  ctx.cache_hit = cached;
   requests_total_.inc(0);
   if (cached) requests_cached_.inc(0);
   requests_served_.fetch_add(1, std::memory_order_relaxed);
-  latency_.record_ns(static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - start)
-          .count()));
 
   response.set("ok", true);
   response.set("epoch", epoch);
   response.set("cached", cached);
+  // Building the values array is serialize work — it dominates the JSON
+  // dump for large results, so it belongs in the same phase bucket.
+  const auto ser_start = std::chrono::steady_clock::now();
   JsonValue arr = JsonValue::array();
   for (const value_t v : *values) arr.push_back(v);
   response.set("values", std::move(arr));
+  ctx.serialize_ns += ns_between(ser_start, std::chrono::steady_clock::now());
   return response;
 }
 
 void Server::refresh_gauges() {
   cache_.export_gauges(metrics_, "serve.cache");
   batcher_->export_gauges(metrics_, "serve.batch");
-  latency_.export_gauges(metrics_, "serve.latency");
+  // The legacy whole-server latency view is the merge of the per-op-class
+  // totals, so dashboards reading serve.latency.* keep working unchanged.
+  telemetry::LatencyHistogram merged;
+  phase_stats_.merged_totals(merged);
+  merged.export_gauges(metrics_, "serve.latency");
+  phase_stats_.export_gauges(metrics_, "serve.ops");
+  watchdog_.on_imbalance(session_.shard_imbalance());
+  watchdog_.export_gauges(metrics_, "serve.watchdog");
+  metrics_.set_gauge("serve.requests_accepted",
+                     static_cast<double>(requests_accepted()));
+  metrics_.set_gauge("serve.shards",
+                     static_cast<double>(session_.num_shards()));
+  metrics_.set_gauge("serve.shard_imbalance", session_.shard_imbalance());
+  metrics_.set_gauge("serve.eventlog.recorded",
+                     static_cast<double>(event_log_.recorded()));
+  metrics_.set_gauge("serve.eventlog.dropped",
+                     static_cast<double>(event_log_.dropped()));
   metrics_.set_gauge("serve.threads",
                      static_cast<double>(session_.pool().size()));
   metrics_.set_gauge("serve.epoch", static_cast<double>(session_.epoch()));
@@ -321,6 +432,13 @@ void Server::refresh_gauges() {
     metrics_.set_gauge("serve.connections",
                        static_cast<double>(conn_fds_.size()));
   }
+}
+
+std::string Server::metrics_exposition() {
+  refresh_gauges();
+  std::string text = telemetry::registry_exposition(metrics_, "ihtl");
+  phase_stats_.exposition(text);
+  return text;
 }
 
 JsonValue Server::stats_json() {

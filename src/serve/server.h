@@ -1,5 +1,17 @@
 // TCP query server: accept loop, per-connection handlers, result cache,
-// and the telemetry surface behind `/stats` and the periodic metrics dump.
+// and the telemetry surface behind the `stats` / `metrics` ops and the
+// periodic metrics dump.
+//
+// Request lifecycle observability: every accepted frame gets a monotone
+// request id and a RequestContext that rides the whole pipeline — parse,
+// admission-queue wait, batch flush, cache, serialize — collecting one
+// latency per phase into the per-op-class histograms (RequestPhaseStats).
+// With a TraceBuffer active, the id is also a Chrome trace flow: "s" at
+// accept on the handler thread, "t" on the dispatch thread and on every
+// pool worker that computed for it, "f" after the response hits the wire.
+// Slow requests (past --slow-request-us) land in the EventLog with their
+// phase breakdown; the Watchdog turns queue depth, deadline misses, cache
+// hit-rate collapse and shard imbalance into edge-triggered alert counters.
 //
 // Thread map (see ARCHITECTURE.md for the ownership diagram):
 //   accept thread   — blocks in accept(), spawns one handler per client
@@ -21,11 +33,15 @@
 #include <vector>
 
 #include "serve/batcher.h"
+#include "serve/phase_stats.h"
 #include "serve/protocol.h"
 #include "serve/result_cache.h"
 #include "serve/session.h"
+#include "serve/watchdog.h"
+#include "telemetry/event_log.h"
 #include "telemetry/histogram.h"
 #include "telemetry/metrics.h"
+#include "telemetry/request_context.h"
 
 namespace ihtl::serve {
 
@@ -35,6 +51,13 @@ struct ServerOptions {
   std::chrono::microseconds max_batch_delay{200};
   std::size_t cache_bytes = 64u << 20;
   FlushFault fault;
+  /// Requests whose wire latency exceeds this land in the event log as a
+  /// "slow_request" entry with the full phase breakdown; 0 disables.
+  std::uint64_t slow_request_us = 0;
+  std::size_t event_log_capacity = 1024;
+  std::string event_log_path;  ///< JSON-lines sink; empty = ring only
+  WatchdogOptions watchdog;    ///< max_delay_ns is overridden from
+                               ///< max_batch_delay at construction
 };
 
 class Server {
@@ -68,6 +91,23 @@ class Server {
   /// refresh_gauges() folds in the absolute cache/batcher/latency state.
   telemetry::MetricsRegistry& metrics() { return metrics_; }
 
+  /// Per-op-class request-phase latency histograms (queue / compute /
+  /// cache / serialize / total).
+  const RequestPhaseStats& phase_stats() const { return phase_stats_; }
+  /// Slow-request captures, watchdog trips, lifecycle events.
+  telemetry::EventLog& event_log() { return event_log_; }
+  const Watchdog& watchdog() const { return watchdog_; }
+
+  /// Requests accepted (every frame, parse failures included) — the
+  /// monotone request-id high-water mark.
+  std::uint64_t requests_accepted() const {
+    return next_request_id_.load(std::memory_order_relaxed);
+  }
+
+  /// The Prometheus text exposition behind the `metrics` op: every
+  /// registry counter/gauge/span plus the per-op-class phase histograms.
+  std::string metrics_exposition();
+
   /// Re-exports cache, batcher, and latency-histogram gauges — called
   /// before every /stats response and metrics dump; idempotent.
   void refresh_gauges();
@@ -79,15 +119,22 @@ class Server {
  private:
   void accept_loop();
   void handle_connection(int fd);
-  telemetry::JsonValue handle_request(const QueryRequest& req);
+  telemetry::JsonValue handle_request(const QueryRequest& req,
+                                      telemetry::RequestContext& ctx);
+  /// Folds a finished request into the phase histograms, the watchdog,
+  /// and (past the slow threshold) the event log.
+  void finish_request(QueryOp op, const telemetry::RequestContext& ctx);
   telemetry::JsonValue stats_json();
 
   GraphSession& session_;
   ServerOptions opt_;
   telemetry::MetricsRegistry metrics_;
   ResultCache cache_;
-  telemetry::LatencyHistogram latency_;
+  RequestPhaseStats phase_stats_;
+  telemetry::EventLog event_log_;
+  Watchdog watchdog_;
   std::unique_ptr<Batcher> batcher_;
+  std::atomic<std::uint64_t> next_request_id_{0};
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;

@@ -47,11 +47,69 @@ void GraphSession::rebind_engines() {
   const auto& o2n = ig_.old_to_new();
   deg_new_.assign(n, 0);
   for (vid_t v = 0; v < n; ++v) deg_new_[o2n[v]] = g_.out_degree(v);
-  plus_engine_.emplace(ig_, pool_, opt_.ihtl.push_policy);
-  min_engine_.emplace(ig_, pool_, opt_.ihtl.push_policy);
-  if (reg_ != nullptr) {
-    plus_engine_->set_metrics(reg_);
-    min_engine_->set_metrics(reg_);
+  plus_engine_.reset();
+  min_engine_.reset();
+  plus_sharded_.reset();
+  min_sharded_.reset();
+  if (opt_.shards > 1) {
+    plus_sharded_.emplace(ig_, pool_, opt_.shards, opt_.ihtl.push_policy);
+    min_sharded_.emplace(ig_, pool_, opt_.shards, opt_.ihtl.push_policy);
+  } else {
+    plus_engine_.emplace(ig_, pool_, opt_.ihtl.push_policy);
+    min_engine_.emplace(ig_, pool_, opt_.ihtl.push_policy);
+  }
+  wire_engine_metrics();
+}
+
+void GraphSession::wire_engine_metrics() {
+  if (reg_ == nullptr) return;
+  if (plus_engine_) plus_engine_->set_metrics(reg_);
+  if (min_engine_) min_engine_->set_metrics(reg_);
+  if (plus_sharded_) plus_sharded_->set_metrics(reg_);
+  if (min_sharded_) min_sharded_->set_metrics(reg_);
+}
+
+void GraphSession::adopt_metrics_registry(telemetry::MetricsRegistry* reg) {
+  if (reg_ != nullptr || reg == nullptr) return;
+  reg_ = reg;
+  wire_engine_metrics();
+}
+
+std::size_t GraphSession::num_shards() const {
+  return plus_sharded_ ? plus_sharded_->num_shards() : 1;
+}
+
+double GraphSession::shard_imbalance() const {
+  return plus_sharded_ ? plus_sharded_->imbalance() : 1.0;
+}
+
+void GraphSession::plus_apply(std::span<const value_t> x,
+                              std::span<value_t> y, std::size_t k) {
+  if (plus_sharded_) {
+    if (k == 1) {
+      plus_sharded_->spmv(x, y);
+    } else {
+      plus_sharded_->spmv_batch(x, y, k);
+    }
+  } else if (k == 1) {
+    plus_engine_->spmv(x, y);
+  } else {
+    plus_engine_->spmv_batch(x, y, k);
+  }
+}
+
+void GraphSession::min_apply(std::span<const value_t> x, std::span<value_t> y,
+                             std::size_t k) {
+  if (min_sharded_) {
+    if (k == 1) {
+      min_sharded_->spmv(x, y);
+    } else {
+      min_sharded_->spmv_batch(x, y, k);
+    }
+  } else if (k == 1) {
+    min_engine_->spmv(x, y);
+  } else {
+    min_engine_->spmv_batch(x, y, k);
   }
 }
 
@@ -119,11 +177,7 @@ std::vector<value_t> GraphSession::ppr_batch(std::span<const vid_t> sources,
         x[v * k + lane] = pr[v * k + lane] * scale;
       }
     });
-    if (k == 1) {
-      plus_engine_->spmv(x, y);
-    } else {
-      plus_engine_->spmv_batch(x, y, k);
-    }
+    plus_apply(x, y, k);
     parallel_for(pool_, 0, n, [&](std::uint64_t v, std::size_t) {
       for (std::size_t lane = 0; lane < k; ++lane) {
         const std::size_t i = v * k + lane;
@@ -166,11 +220,7 @@ std::vector<value_t> GraphSession::bfs_batch(std::span<const vid_t> sources) {
         x[v * k + lane] = vals[v * k + lane] + 1.0;
       }
     });
-    if (k == 1) {
-      min_engine_->spmv(x, y);
-    } else {
-      min_engine_->spmv_batch(x, y, k);
-    }
+    min_apply(x, y, k);
     std::atomic<bool> changed{false};
     parallel_for(pool_, 0, n, [&](std::uint64_t v, std::size_t) {
       bool improved = false;
@@ -218,11 +268,7 @@ std::vector<value_t> GraphSession::spmv_batch(
     }
   }
   std::vector<value_t> y(x.size());
-  if (k == 1) {
-    plus_engine_->spmv(x, y);
-  } else {
-    plus_engine_->spmv_batch(x, y, k);
-  }
+  plus_apply(x, y, k);
 
   std::vector<value_t> out(y.size());
   for (vid_t v = 0; v < n; ++v) {

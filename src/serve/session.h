@@ -25,6 +25,7 @@
 #include "core/ihtl_graph.h"
 #include "core/ihtl_spmv.h"
 #include "core/ihtl_update.h"
+#include "core/sharded_engine.h"
 #include "graph/graph.h"
 #include "parallel/thread_pool.h"
 
@@ -38,6 +39,11 @@ struct SessionOptions {
   IhtlConfig ihtl;
   UpdateConfig update;      ///< incremental-relabel policy for apply_update
   std::size_t threads = 0;  ///< 0 = hardware concurrency
+  /// Destination-range shards of the serving engines. 1 (default) keeps
+  /// the unsharded IhtlEngine pair; >1 serves through ShardedEngine, whose
+  /// per-shard thread teams and /metrics gauges are what ihtl_top's
+  /// per-shard view reads.
+  std::size_t shards = 1;
 };
 
 class GraphSession {
@@ -57,6 +63,19 @@ class GraphSession {
   vid_t num_vertices() const { return g_.num_vertices(); }
   ThreadPool& pool() { return pool_; }
   double preprocess_seconds() const { return preprocess_s_; }
+
+  /// Shards the engines serve through (1 = unsharded).
+  std::size_t num_shards() const;
+  /// Edge-balance of the shard plan: max shard edges over the mean
+  /// (ShardedEngine::imbalance); exactly 1.0 when unsharded.
+  double shard_imbalance() const;
+
+  /// Re-points engine metrics (spmv spans, per-shard gauges) at `reg` —
+  /// but only when the session was built WITHOUT a registry, so a caller
+  /// that wired one explicitly is never silently overridden. The server
+  /// uses this to pull the engines of a caller-constructed session onto
+  /// its own registry, where /metrics and /stats can see them.
+  void adopt_metrics_registry(telemetry::MetricsRegistry* reg);
 
   /// Cache-keying epoch; bumped by apply_update on every graph mutation to
   /// invalidate every cached answer at once.
@@ -108,6 +127,16 @@ class GraphSession {
   /// from the IhtlGraph at construction, so a mutated graph needs fresh
   /// ones — hence the optionals).
   void rebind_engines();
+  /// Re-registers the live engines' metrics on reg_ (rebind and adopt).
+  void wire_engine_metrics();
+
+  /// Monoid dispatch over whichever engine flavor this session built
+  /// (plain for shards == 1, sharded otherwise); k == 1 takes the scalar
+  /// path. Dispatch-thread-only, like everything that reaches the engines.
+  void plus_apply(std::span<const value_t> x, std::span<value_t> y,
+                  std::size_t k);
+  void min_apply(std::span<const value_t> x, std::span<value_t> y,
+                 std::size_t k);
 
   Graph g_;
   ThreadPool pool_;
@@ -117,6 +146,8 @@ class GraphSession {
   std::vector<eid_t> deg_new_;  ///< out-degrees in the relabeled space
   std::optional<IhtlEngine<PlusMonoid>> plus_engine_;
   std::optional<IhtlEngine<MinMonoid>> min_engine_;
+  std::optional<ShardedEngine<PlusMonoid>> plus_sharded_;
+  std::optional<ShardedEngine<MinMonoid>> min_sharded_;
   std::atomic<std::uint64_t> epoch_{0};
   double preprocess_s_ = 0.0;
   bool drained_ = false;

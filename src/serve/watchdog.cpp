@@ -1,0 +1,119 @@
+#include "serve/watchdog.h"
+
+#include "telemetry/event_log.h"
+#include "telemetry/metrics.h"
+
+namespace ihtl::serve {
+
+Watchdog::Watchdog(WatchdogOptions opt) : opt_(opt) {
+  if (opt_.window == 0) opt_.window = 1;
+  hits_.assign(opt_.window, false);
+}
+
+void Watchdog::warn(const char* event, double value) {
+  if (log_ == nullptr) return;
+  telemetry::JsonValue fields = telemetry::JsonValue::object();
+  fields.set("value", value);
+  log_->log(telemetry::LogLevel::warn, event, std::move(fields));
+}
+
+void Watchdog::on_admission(std::size_t queue_depth) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_depth >= opt_.queue_depth_limit) {
+    if (!saturated_) {
+      saturated_ = true;
+      ++saturation_events_;
+      warn("watchdog_queue_saturation", static_cast<double>(queue_depth));
+    }
+  } else {
+    saturated_ = false;
+  }
+}
+
+double Watchdog::hit_rate_locked() const {
+  if (hits_count_ == 0) return 1.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < hits_count_; ++i) {
+    if (hits_[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(hits_count_);
+}
+
+void Watchdog::on_request(bool cache_hit, std::uint64_t queue_wait_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_wait_ns >
+      static_cast<std::uint64_t>(opt_.deadline_factor *
+                                 static_cast<double>(opt_.max_delay_ns))) {
+    ++deadline_misses_;
+  }
+  hits_[hits_next_] = cache_hit;
+  hits_next_ = (hits_next_ + 1) % opt_.window;
+  if (hits_count_ < opt_.window) ++hits_count_;
+  // Collapse detection only arms after the window saw a healthy rate, and
+  // re-arms after recovery — so a cold cache at startup is not a "collapse"
+  // and a sustained bad state trips once.
+  const double rate = hit_rate_locked();
+  if (hits_count_ < opt_.window) return;
+  if (rate >= opt_.healthy_threshold) {
+    was_healthy_ = true;
+    collapsed_ = false;
+  } else if (was_healthy_ && !collapsed_ && rate < opt_.collapse_threshold) {
+    collapsed_ = true;
+    ++hitrate_collapses_;
+    warn("watchdog_hitrate_collapse", rate);
+  }
+}
+
+void Watchdog::on_imbalance(double imbalance) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (imbalance > opt_.imbalance_threshold) {
+    if (!imbalance_alerted_) {
+      imbalance_alerted_ = true;
+      ++imbalance_alerts_;
+      warn("watchdog_shard_imbalance", imbalance);
+    }
+  } else {
+    imbalance_alerted_ = false;
+  }
+}
+
+std::uint64_t Watchdog::deadline_misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return deadline_misses_;
+}
+
+std::uint64_t Watchdog::saturation_events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return saturation_events_;
+}
+
+std::uint64_t Watchdog::hitrate_collapses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hitrate_collapses_;
+}
+
+std::uint64_t Watchdog::imbalance_alerts() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return imbalance_alerts_;
+}
+
+double Watchdog::window_hit_rate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hit_rate_locked();
+}
+
+void Watchdog::export_gauges(telemetry::MetricsRegistry& reg,
+                             const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  reg.set_gauge(prefix + ".deadline_misses",
+                static_cast<double>(deadline_misses_));
+  reg.set_gauge(prefix + ".saturation_events",
+                static_cast<double>(saturation_events_));
+  reg.set_gauge(prefix + ".hitrate_collapses",
+                static_cast<double>(hitrate_collapses_));
+  reg.set_gauge(prefix + ".imbalance_alerts",
+                static_cast<double>(imbalance_alerts_));
+  reg.set_gauge(prefix + ".window_hit_rate", hit_rate_locked());
+}
+
+}  // namespace ihtl::serve

@@ -1,0 +1,96 @@
+// Serve-layer watchdog: cheap anomaly counters a dashboard can alert on.
+//
+// The watchdog turns raw request telemetry into four operational signals,
+// each edge-triggered so a sustained bad state counts one event, not one
+// per request:
+//   - deadline misses: a request's admission-queue wait exceeded
+//     `deadline_factor` × the batcher's max_delay — the coalescing window
+//     is no longer bounding latency (overload or injected stall).
+//   - queue saturation: pending lanes crossed `queue_depth_limit` from
+//     below — admission is outrunning dispatch.
+//   - cache hit-rate collapse: the hit rate over the last `window`
+//     compute requests fell below `collapse_threshold` after having been
+//     at/above `healthy_threshold` — the epoch bumped under a hot working
+//     set, or the key mix changed.
+//   - shard imbalance: the session's shard plan exceeds
+//     `imbalance_threshold` (checked once per export, it is static
+//     between updates).
+//
+// Trips are counted, exported as gauges, and (when a sink is wired)
+// logged as warn events. on_request takes one mutex per request — the
+// serve control plane, not the SpMV hot path.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ihtl::telemetry {
+class EventLog;
+class MetricsRegistry;
+}  // namespace ihtl::telemetry
+
+namespace ihtl::serve {
+
+struct WatchdogOptions {
+  double deadline_factor = 8.0;
+  std::uint64_t max_delay_ns = 200'000;  ///< the batcher's flush deadline
+  std::size_t queue_depth_limit = 64;    ///< pending lanes
+  std::size_t window = 64;               ///< hit-rate sliding window
+  double healthy_threshold = 0.5;
+  double collapse_threshold = 0.2;
+  double imbalance_threshold = 1.5;
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogOptions opt = {});
+
+  /// Routes trip events (level warn) to `log`; nullptr disables.
+  void set_event_log(telemetry::EventLog* log) { log_ = log; }
+
+  /// Call at admission time with the batcher's current pending lanes.
+  void on_admission(std::size_t queue_depth);
+
+  /// Call once per finished batchable request.
+  void on_request(bool cache_hit, std::uint64_t queue_wait_ns);
+
+  /// Call with the session's current shard imbalance (any time; counts one
+  /// alert per excursion above the threshold).
+  void on_imbalance(double imbalance);
+
+  std::uint64_t deadline_misses() const;
+  std::uint64_t saturation_events() const;
+  std::uint64_t hitrate_collapses() const;
+  std::uint64_t imbalance_alerts() const;
+  /// Hit rate over the current window; 1.0 until the window has samples.
+  double window_hit_rate() const;
+
+  /// Publishes `<prefix>.{deadline_misses,saturation_events,
+  /// hitrate_collapses,imbalance_alerts,window_hit_rate}` gauges.
+  void export_gauges(telemetry::MetricsRegistry& reg,
+                     const std::string& prefix) const;
+
+ private:
+  void warn(const char* event, double value);
+  double hit_rate_locked() const;
+
+  WatchdogOptions opt_;
+  telemetry::EventLog* log_ = nullptr;
+
+  mutable std::mutex mutex_;
+  std::vector<bool> hits_;  ///< ring of the last `window` hit/miss bits
+  std::size_t hits_next_ = 0;
+  std::size_t hits_count_ = 0;
+  bool saturated_ = false;
+  bool collapsed_ = false;
+  bool was_healthy_ = false;
+  bool imbalance_alerted_ = false;
+  std::uint64_t deadline_misses_ = 0;
+  std::uint64_t saturation_events_ = 0;
+  std::uint64_t hitrate_collapses_ = 0;
+  std::uint64_t imbalance_alerts_ = 0;
+};
+
+}  // namespace ihtl::serve

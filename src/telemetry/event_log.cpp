@@ -1,0 +1,107 @@
+#include "telemetry/event_log.h"
+
+#include <chrono>
+#include <utility>
+
+namespace ihtl::telemetry {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::debug:
+      return "debug";
+    case LogLevel::info:
+      return "info";
+    case LogLevel::warn:
+      return "warn";
+    case LogLevel::error:
+      return "error";
+  }
+  return "?";
+}
+
+EventLog::EventLog(std::size_t capacity)
+    : capacity_(capacity ? capacity : 1) {
+  ring_.resize(capacity_);
+}
+
+void EventLog::set_min_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  min_level_ = level;
+}
+
+LogLevel EventLog::min_level() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return min_level_;
+}
+
+bool EventLog::open_sink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sink_.open(path, std::ios::out | std::ios::app);
+  return sink_.is_open();
+}
+
+void EventLog::log(LogLevel level, const std::string& event,
+                   JsonValue fields) {
+  const auto ts_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (level < min_level_) return;
+  Entry& slot = ring_[head_ % capacity_];
+  slot.seq = head_;
+  slot.ts_ms = ts_ms;
+  slot.level = level;
+  slot.event = event;
+  slot.fields = std::move(fields);
+  ++head_;
+  if (sink_.is_open()) {
+    sink_ << to_json(slot).dump(0) << '\n';
+    sink_.flush();
+  }
+}
+
+std::uint64_t EventLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return head_;
+}
+
+std::uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return head_ > capacity_ ? head_ - capacity_ : 0;
+}
+
+JsonValue EventLog::to_json(const Entry& e) {
+  JsonValue out = JsonValue::object();
+  out.set("seq", e.seq);
+  out.set("ts_ms", e.ts_ms);
+  out.set("level", log_level_name(e.level));
+  out.set("event", e.event);
+  if (e.fields.is_object()) {
+    for (const auto& [k, v] : e.fields.entries()) out.set(k, v);
+  }
+  return out;
+}
+
+JsonValue EventLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JsonValue out = JsonValue::array();
+  const std::uint64_t n = head_ < capacity_ ? head_ : capacity_;
+  const std::uint64_t first = head_ - n;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(to_json(ring_[(first + i) % capacity_]));
+  }
+  return out;
+}
+
+std::uint64_t EventLog::count_event(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t n = head_ < capacity_ ? head_ : capacity_;
+  std::uint64_t hits = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (ring_[i].event == name) ++hits;
+  }
+  return hits;
+}
+
+}  // namespace ihtl::telemetry

@@ -1,0 +1,85 @@
+// Structured, leveled, ring-buffered event log for long-lived daemons.
+//
+// The metrics registry answers "how much/how often"; this log answers
+// "what happened, when, with what context" — the slow-request captures,
+// watchdog trips, and lifecycle events a production daemon needs to keep
+// around without unbounded growth. Events are JSON objects; the newest
+// `capacity` are retained in a ring (older ones are overwritten and
+// counted), and an optional sink file receives every accepted event as one
+// JSON line (append-only, flushed per event, so a crash loses at most the
+// in-flight line).
+//
+// Logging takes a mutex: this is a per-event control-plane path (slow
+// requests, anomalies), never a per-edge hot path.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace ihtl::telemetry {
+
+enum class LogLevel : std::uint8_t { debug = 0, info = 1, warn = 2, error = 3 };
+
+const char* log_level_name(LogLevel level);
+
+class EventLog {
+ public:
+  explicit EventLog(std::size_t capacity = 1024);
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Events below this level are discarded (default: info).
+  void set_min_level(LogLevel level);
+  LogLevel min_level() const;
+
+  /// Opens `path` for appending JSON lines (one object per accepted
+  /// event). Returns false (and logs nowhere extra) if the file cannot be
+  /// opened.
+  bool open_sink(const std::string& path);
+
+  /// Records one event: `event` names what happened ("slow_request",
+  /// "watchdog_queue_saturation"), `fields` carries the structured context
+  /// (must be an object; its keys are merged into the emitted line).
+  void log(LogLevel level, const std::string& event,
+           JsonValue fields = JsonValue::object());
+
+  /// Events accepted (level-filtered events excluded).
+  std::uint64_t recorded() const;
+  /// Events overwritten by ring wrap-around.
+  std::uint64_t dropped() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// The retained events, oldest first, as a JSON array. Each entry:
+  /// {"seq": N, "ts_ms": unix-millis, "level": "...", "event": "...",
+  ///  ...fields}.
+  JsonValue snapshot() const;
+
+  /// Number of retained "event" == `name` entries (test/CI convenience).
+  std::uint64_t count_event(const std::string& name) const;
+
+ private:
+  struct Entry {
+    std::uint64_t seq = 0;
+    std::uint64_t ts_ms = 0;
+    LogLevel level = LogLevel::info;
+    std::string event;
+    JsonValue fields;
+  };
+
+  static JsonValue to_json(const Entry& e);
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<Entry> ring_;
+  std::uint64_t head_ = 0;  ///< next sequence number / total accepted
+  LogLevel min_level_ = LogLevel::info;
+  std::ofstream sink_;
+};
+
+}  // namespace ihtl::telemetry

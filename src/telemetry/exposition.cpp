@@ -1,0 +1,163 @@
+#include "telemetry/exposition.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+
+#include "telemetry/histogram.h"
+#include "telemetry/metrics.h"
+
+namespace ihtl::telemetry {
+
+namespace {
+
+bool legal_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void append_value(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_sample(std::string& out, const std::string& name, double value) {
+  out += name;
+  out += ' ';
+  append_value(out, value);
+  out += '\n';
+}
+
+void append_type(std::string& out, const std::string& name,
+                 const char* type) {
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string sanitize_metric_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name[0] >= '0' && name[0] <= '9') out += '_';
+  for (char c : name) out += legal_name_char(c) ? c : '_';
+  if (out.empty()) out = "_";
+  return out;
+}
+
+std::string registry_exposition(const MetricsRegistry& reg,
+                                const std::string& prefix) {
+  std::string out;
+  for (const auto& [name, total] : reg.counters()) {
+    const std::string metric = prefix + "_" + sanitize_metric_name(name);
+    append_type(out, metric, "counter");
+    append_sample(out, metric, static_cast<double>(total));
+  }
+  for (const auto& [name, value] : reg.gauges()) {
+    const std::string metric = prefix + "_" + sanitize_metric_name(name);
+    append_type(out, metric, "gauge");
+    append_sample(out, metric, value);
+  }
+  for (const auto& [name, stats] : reg.spans()) {
+    const std::string base = prefix + "_" + sanitize_metric_name(name);
+    append_type(out, base + "_seconds_sum", "gauge");
+    append_sample(out, base + "_seconds_sum", stats.total_s);
+    append_type(out, base + "_count", "counter");
+    append_sample(out, base + "_count", static_cast<double>(stats.count));
+  }
+  return out;
+}
+
+void append_histogram_exposition(std::string& out, const std::string& name,
+                                 const std::string& labels,
+                                 const LatencyHistogram& hist) {
+  const std::string metric = sanitize_metric_name(name);
+  append_type(out, metric, "histogram");
+  // Find the highest non-empty bucket so an idle op class costs two lines,
+  // not sixty-six.
+  std::size_t top = 0;
+  for (std::size_t i = 0; i < LatencyHistogram::num_buckets(); ++i) {
+    if (hist.bucket_count(i) > 0) top = i;
+  }
+  const std::string sep = labels.empty() ? "" : ",";
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i <= top; ++i) {
+    cumulative += hist.bucket_count(i);
+    if (cumulative == 0) continue;  // skip the leading run of empty buckets
+    out += metric;
+    out += "_bucket{";
+    out += labels;
+    out += sep;
+    out += "le=\"";
+    append_value(out, LatencyHistogram::bucket_upper_us(i));
+    out += "\"} ";
+    append_value(out, static_cast<double>(cumulative));
+    out += '\n';
+  }
+  out += metric;
+  out += "_bucket{";
+  out += labels;
+  out += sep;
+  out += "le=\"+Inf\"} ";
+  append_value(out, static_cast<double>(hist.count()));
+  out += '\n';
+  const std::string tail =
+      labels.empty() ? std::string() : "{" + labels + "}";
+  append_sample(out, metric + "_sum" + tail,
+                static_cast<double>(hist.sum_ns()) * 1e-3);
+  append_sample(out, metric + "_count" + tail,
+                static_cast<double>(hist.count()));
+}
+
+bool validate_exposition(const std::string& text, std::string* error) {
+  auto fail = [&](std::string_view line, const char* why) {
+    if (error) *error = std::string(why) + ": " + std::string(line);
+    return false;
+  };
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string_view line(text.data() + pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    // name
+    std::size_t i = 0;
+    while (i < line.size() && legal_name_char(line[i])) ++i;
+    if (i == 0) return fail(line, "no metric name");
+    if (line[0] >= '0' && line[0] <= '9') {
+      return fail(line, "name starts with digit");
+    }
+    // optional {labels}
+    if (i < line.size() && line[i] == '{') {
+      const std::size_t close = line.find('}', i);
+      if (close == std::string_view::npos) {
+        return fail(line, "unterminated label set");
+      }
+      i = close + 1;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      return fail(line, "missing space before value");
+    }
+    ++i;
+    std::string_view value = line.substr(i);
+    if (value.empty()) return fail(line, "missing value");
+    if (value == "+Inf" || value == "-Inf" || value == "NaN") continue;
+    double parsed = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(value.data(), value.data() + value.size(), parsed);
+    if (ec != std::errc{} || ptr != value.data() + value.size()) {
+      return fail(line, "unparseable value");
+    }
+  }
+  if (error) error->clear();
+  return true;
+}
+
+}  // namespace ihtl::telemetry

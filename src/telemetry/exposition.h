@@ -1,0 +1,45 @@
+// Prometheus-style text exposition of a MetricsRegistry.
+//
+// The JSON metrics dump (--metrics-out) is the machine-diffable archive
+// format; the text exposition is the *scrape* format — what a Prometheus
+// agent, a curl in CI, or the ihtl_top client reads from a live daemon's
+// `metrics` op. One line per sample, `# TYPE` comments, histogram series
+// with cumulative `le` buckets. We emit exposition-format-0.0.4 text
+// (without HELP lines) and keep a small validator here so tests and CI can
+// assert well-formedness without a real Prometheus binary.
+#pragma once
+
+#include <string>
+
+namespace ihtl::telemetry {
+
+class MetricsRegistry;
+class LatencyHistogram;
+
+/// Rewrites `name` into a legal Prometheus metric name: every character
+/// outside [a-zA-Z0-9_:] becomes '_' (so "serve.cache.hits" →
+/// "serve_cache_hits"); a leading digit gets a '_' prefix.
+std::string sanitize_metric_name(const std::string& name);
+
+/// Renders every counter, gauge, and span timer in `reg` as exposition
+/// text. Counters become `<prefix>_<name>` counter samples; gauges become
+/// gauge samples; each span timer becomes a `<prefix>_<name>_seconds_sum`
+/// gauge plus `<prefix>_<name>_count` counter pair.
+std::string registry_exposition(const MetricsRegistry& reg,
+                                const std::string& prefix = "ihtl");
+
+/// Appends one histogram as a cumulative-bucket series named `<name>` with
+/// the given `labels` (e.g. `op="ppr",phase="queue"`; pass "" for none):
+/// `<name>_bucket{...,le="<µs>"}` lines up to the highest non-empty bucket,
+/// the `+Inf` bucket, then `<name>_sum` (µs) and `<name>_count`.
+void append_histogram_exposition(std::string& out, const std::string& name,
+                                 const std::string& labels,
+                                 const LatencyHistogram& hist);
+
+/// Checks that `text` parses as exposition format: every line is empty, a
+/// '#' comment, or `name{labels} value` with a legal metric name and a
+/// parseable finite-or-inf value. Returns false and fills `error` with the
+/// offending line on the first violation.
+bool validate_exposition(const std::string& text, std::string* error);
+
+}  // namespace ihtl::telemetry

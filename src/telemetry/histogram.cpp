@@ -10,6 +10,7 @@ void LatencyHistogram::record_ns(std::uint64_t ns) {
   const std::size_t bucket = std::bit_width(ns);  // 0 -> bucket 0
   buckets_[bucket < kBuckets ? bucket : kBuckets - 1].fetch_add(
       1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
   std::uint64_t cur = max_ns_.load(std::memory_order_relaxed);
   while (ns > cur &&
          !max_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
@@ -48,6 +49,20 @@ double LatencyHistogram::percentile_us(double p) const {
   return 0.0;
 }
 
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const std::uint64_t c = other.buckets_[i].load(std::memory_order_relaxed);
+    if (c) buckets_[i].fetch_add(c, std::memory_order_relaxed);
+  }
+  sum_ns_.fetch_add(other.sum_ns_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  const std::uint64_t om = other.max_ns_.load(std::memory_order_relaxed);
+  std::uint64_t cur = max_ns_.load(std::memory_order_relaxed);
+  while (om > cur &&
+         !max_ns_.compare_exchange_weak(cur, om, std::memory_order_relaxed)) {
+  }
+}
+
 double LatencyHistogram::max_us() const {
   return static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-3;
 }
@@ -64,6 +79,7 @@ void LatencyHistogram::export_gauges(MetricsRegistry& reg,
 void LatencyHistogram::reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   max_ns_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ihtl::telemetry

@@ -30,6 +30,29 @@ class LatencyHistogram {
   /// Samples recorded so far.
   std::uint64_t count() const;
 
+  /// Sum of all recorded samples in nanoseconds (exact, not bucketed) —
+  /// the `_sum` series of the Prometheus exposition, and what makes
+  /// phase-sum-vs-wire-latency cross-checks possible.
+  std::uint64_t sum_ns() const {
+    return sum_ns_.load(std::memory_order_relaxed);
+  }
+
+  /// Folds `other`'s samples into this histogram (bucket-wise adds plus
+  /// sum/max). Not linearizable against concurrent record_ns on either
+  /// side; meant for aggregating per-op-class histograms into a combined
+  /// view at export time.
+  void merge(const LatencyHistogram& other);
+
+  /// Count of bucket `i` (samples with bit_width(ns) == i).
+  std::uint64_t bucket_count(std::size_t i) const {
+    return i < kBuckets ? buckets_[i].load(std::memory_order_relaxed) : 0;
+  }
+  static constexpr std::size_t num_buckets() { return kBuckets; }
+  /// Exclusive upper bound of bucket `i`, in microseconds (2^i ns).
+  static double bucket_upper_us(std::size_t i) {
+    return static_cast<double>(std::uint64_t{1} << (i < 63 ? i : 63)) * 1e-3;
+  }
+
   /// Latency (in microseconds) at percentile `p` in [0, 100]; 0 when empty.
   /// Reconstructed from the log buckets (geometric-midpoint estimate).
   double percentile_us(double p) const;
@@ -51,6 +74,7 @@ class LatencyHistogram {
   static constexpr std::size_t kBuckets = 64;
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
   std::atomic<std::uint64_t> max_ns_{0};
+  std::atomic<std::uint64_t> sum_ns_{0};
 };
 
 }  // namespace ihtl::telemetry

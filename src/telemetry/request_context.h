@@ -1,0 +1,39 @@
+// RequestContext: the per-request observability record threaded through
+// the serve pipeline.
+//
+// One context is created per accepted frame (with a monotonically-
+// increasing request id) and handed by pointer through parse → admission
+// queue → batch flush → cache → serialize. Each stage deposits its phase
+// latency into the matching field; the handler thread folds the finished
+// context into the per-op-class phase histograms and (when the total
+// crosses the slow-request threshold) into the event log.
+//
+// Thread-safety: the fields are plain integers, NOT atomics. The handler
+// thread writes cache/serialize/total; the dispatch thread writes
+// queue/compute — but the two never race, because the handler blocks on
+// the batcher future while the dispatch thread runs, and promise::set_value
+// happens-before future::get() returns. The request id is also the flow id
+// stamped onto TraceBuffer flow events (truncated to 32 bits there).
+#pragma once
+
+#include <cstdint>
+
+namespace ihtl::telemetry {
+
+struct RequestContext {
+  std::uint64_t id = 0;      ///< monotone per-server request id (1-based)
+  const char* op = "";       ///< stable op-class name ("ppr", "update", ...)
+  std::uint64_t queue_ns = 0;      ///< admission-queue wait before flush
+  std::uint64_t compute_ns = 0;    ///< the group's traversal (shared by all
+                                   ///< requests coalesced into the flush)
+  std::uint64_t cache_ns = 0;      ///< result-cache lookup + insert
+  std::uint64_t serialize_ns = 0;  ///< response build + frame write
+  std::uint64_t total_ns = 0;      ///< frame receipt to response written
+  bool cache_hit = false;
+
+  std::uint64_t phase_sum_ns() const {
+    return queue_ns + compute_ns + cache_ns + serialize_ns;
+  }
+};
+
+}  // namespace ihtl::telemetry

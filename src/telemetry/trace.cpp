@@ -9,6 +9,7 @@ namespace {
 
 std::atomic<TraceBuffer*> g_active{nullptr};
 std::atomic<std::uint32_t> g_next_thread_slot{0};
+std::atomic<std::uint64_t> g_active_flow{0};
 
 const char* kind_name(TraceEventKind kind) {
   switch (kind) {
@@ -20,6 +21,12 @@ const char* kind_name(TraceEventKind kind) {
       return "steal";
     case TraceEventKind::phase:
       return "phase";
+    case TraceEventKind::flow_begin:
+    case TraceEventKind::flow_step:
+    case TraceEventKind::flow_end:
+      return "flow";
+    case TraceEventKind::shard:
+      return "shard";
   }
   return "?";
 }
@@ -30,6 +37,21 @@ std::uint32_t trace_thread_slot() {
   thread_local const std::uint32_t slot =
       g_next_thread_slot.fetch_add(1, std::memory_order_relaxed);
   return slot;
+}
+
+void set_active_flow(std::uint64_t flow_id) {
+  g_active_flow.store(flow_id, std::memory_order_release);
+}
+
+std::uint64_t active_flow() {
+  return g_active_flow.load(std::memory_order_acquire);
+}
+
+void flow_mark(TraceEventKind kind, std::uint64_t flow_id) {
+  TraceBuffer* tb = TraceBuffer::active();
+  if (tb == nullptr || flow_id == 0) return;
+  tb->record(kind, tb->request_flow_name(), tb->now_ns(), 0,
+             static_cast<std::uint32_t>(flow_id), 0);
 }
 
 TraceBuffer::TraceBuffer(std::size_t rings, std::size_t capacity_per_ring)
@@ -44,7 +66,8 @@ TraceBuffer::TraceBuffer(std::size_t rings, std::size_t capacity_per_ring)
   for (std::size_t r = 0; r < rings_n_; ++r) {
     rings_[r].slots.resize(capacity_);
   }
-  names_.emplace_back("?");  // reserved id 0
+  names_.emplace_back("?");        // reserved id 0
+  names_.emplace_back("request");  // reserved id 1 (request_flow_name)
 }
 
 std::uint32_t TraceBuffer::intern(std::string_view name) {
@@ -118,12 +141,27 @@ JsonValue TraceBuffer::to_chrome_trace() const {
     const std::uint64_t n = head < capacity_ ? head : capacity_;
     for (std::uint64_t i = 0; i < n; ++i) {
       const TraceEvent& e = ring.slots[i];
+      const bool is_flow = e.kind == TraceEventKind::flow_begin ||
+                           e.kind == TraceEventKind::flow_step ||
+                           e.kind == TraceEventKind::flow_end;
       JsonValue ev = JsonValue::object();
       ev.set("name", name_of(e.name_id));
       ev.set("cat", kind_name(e.kind));
-      ev.set("ph", "X");
+      if (is_flow) {
+        // Chrome flow-event triple: "s" starts a flow, "t" passes it
+        // through a thread, "f" finishes it; events with the same "id" are
+        // connected by arrows. "bp":"e" binds the finish to the enclosing
+        // slice instead of the next one.
+        ev.set("ph", e.kind == TraceEventKind::flow_begin  ? "s"
+                     : e.kind == TraceEventKind::flow_step ? "t"
+                                                           : "f");
+        ev.set("id", static_cast<std::uint64_t>(e.arg0));
+        if (e.kind == TraceEventKind::flow_end) ev.set("bp", "e");
+      } else {
+        ev.set("ph", "X");
+      }
       ev.set("ts", static_cast<double>(e.start_ns) / 1e3);   // microseconds
-      ev.set("dur", static_cast<double>(e.dur_ns) / 1e3);
+      if (!is_flow) ev.set("dur", static_cast<double>(e.dur_ns) / 1e3);
       ev.set("pid", 1);
       ev.set("tid", static_cast<std::uint64_t>(e.thread));
       JsonValue args = JsonValue::object();
@@ -136,6 +174,15 @@ JsonValue TraceBuffer::to_chrome_trace() const {
         case TraceEventKind::phase:
           args.set("block", static_cast<std::uint64_t>(e.arg0));
           args.set("direct", e.arg1 != 0);
+          break;
+        case TraceEventKind::shard:
+          args.set("shard", static_cast<std::uint64_t>(e.arg0));
+          args.set("team", static_cast<std::uint64_t>(e.arg1));
+          break;
+        case TraceEventKind::flow_begin:
+        case TraceEventKind::flow_step:
+        case TraceEventKind::flow_end:
+          args.set("request", static_cast<std::uint64_t>(e.arg0));
           break;
         case TraceEventKind::span:
           break;

@@ -33,6 +33,14 @@ enum class TraceEventKind : std::uint8_t {
   chunk = 1,  ///< parallel_for chunk from the worker's own slice (lo, hi)
   steal = 2,  ///< parallel_for chunk stolen from a victim slice (lo, hi)
   phase = 3,  ///< engine phase / per-flipped-block push item (block, direct)
+  // Request-flow markers (serving layer): instantaneous events carrying a
+  // request id in arg0, exported as Chrome flow events ("ph": "s"/"t"/"f")
+  // so chrome://tracing draws an arrow from the handler thread through the
+  // dispatch thread to every pool worker that computed for the request.
+  flow_begin = 4,  ///< request accepted on the handler thread
+  flow_step = 5,   ///< request touched this thread (dispatch, pool worker)
+  flow_end = 6,    ///< response serialized on the handler thread
+  shard = 7,  ///< per-shard phase slice of a ShardedEngine call (shard, team)
 };
 
 /// Fixed-size POD event; written whole into a ring slot.
@@ -49,6 +57,19 @@ struct TraceEvent {
 /// Process-wide stable small integer for the calling OS thread (assigned on
 /// first use). Used as the Chrome trace "tid" and to pick the ring.
 std::uint32_t trace_thread_slot();
+
+/// Process-wide id of the request currently being computed (0 = none). Set
+/// by the batcher's dispatch thread around a flush; pool workers read it to
+/// stamp flow_step events. A single global is sufficient because the serve
+/// layer has exactly ONE dispatch thread, so at most one request group is
+/// in compute at a time.
+void set_active_flow(std::uint64_t flow_id);
+std::uint64_t active_flow();
+
+/// Records an instantaneous flow marker for `flow_id` on the calling
+/// thread, into the active TraceBuffer. No-op (one relaxed load) when
+/// tracing is off. `kind` must be one of flow_begin/flow_step/flow_end.
+void flow_mark(TraceEventKind kind, std::uint64_t flow_id);
 
 class TraceBuffer {
  public:
@@ -93,6 +114,10 @@ class TraceBuffer {
   std::size_t ring_count() const { return rings_n_; }
   std::size_t capacity_per_ring() const { return capacity_; }
 
+  /// Pre-interned name id for request-flow markers ("request"), so hot-path
+  /// producers (flow_mark, ThreadPool::run) never touch the names mutex.
+  std::uint32_t request_flow_name() const { return kRequestFlowNameId; }
+
   /// Process-wide active buffer; nullptr disables all producers. Installers
   /// must uninstall (set_active(previous)) before destroying the buffer.
   static TraceBuffer* active();
@@ -100,6 +125,8 @@ class TraceBuffer {
   static TraceBuffer* set_active(TraceBuffer* buffer);
 
  private:
+  static constexpr std::uint32_t kRequestFlowNameId = 1;
+
   struct Ring {
     std::vector<TraceEvent> slots;
     std::atomic<std::uint64_t> head{0};

@@ -10,10 +10,13 @@
 #include "core/ihtl_spmv.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
+#include "telemetry/event_log.h"
+#include "telemetry/exposition.h"
 #include "telemetry/histogram.h"
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
 #include "telemetry/report.h"
+#include "telemetry/trace.h"
 #include "test_util.h"
 
 namespace ihtl {
@@ -443,6 +446,209 @@ TEST(LatencyHistogram, ExportsGaugesAndResets) {
   h.reset();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_DOUBLE_EQ(h.max_us(), 0.0);
+}
+
+TEST(LatencyHistogram, MergeCombinesBucketsSumAndMax) {
+  telemetry::LatencyHistogram a;
+  telemetry::LatencyHistogram b;
+  for (int i = 0; i < 10; ++i) a.record_ns(1'000);
+  for (int i = 0; i < 5; ++i) b.record_ns(1'000'000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 15u);
+  EXPECT_EQ(a.sum_ns(), 10u * 1'000 + 5u * 1'000'000);
+  EXPECT_DOUBLE_EQ(a.max_us(), 1000.0);
+  EXPECT_GT(a.percentile_us(99), a.percentile_us(50));
+  // b is untouched by the merge.
+  EXPECT_EQ(b.count(), 5u);
+}
+
+TEST(LatencyHistogram, MergeOfEmptiesStaysZeroEverywhere) {
+  telemetry::LatencyHistogram a;
+  telemetry::LatencyHistogram b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.sum_ns(), 0u);
+  // The whole percentile surface publishes 0 when empty — a scraper must
+  // read "no data", never a stale or NaN latency.
+  EXPECT_DOUBLE_EQ(a.percentile_us(50), 0.0);
+  EXPECT_DOUBLE_EQ(a.percentile_us(90), 0.0);
+  EXPECT_DOUBLE_EQ(a.percentile_us(99), 0.0);
+  EXPECT_DOUBLE_EQ(a.max_us(), 0.0);
+}
+
+// -------------------------------------------------------------- exposition
+
+TEST(Exposition, SanitizesMetricNames) {
+  EXPECT_EQ(telemetry::sanitize_metric_name("serve.cache.hits"),
+            "serve_cache_hits");
+  EXPECT_EQ(telemetry::sanitize_metric_name("9lives"), "_9lives");
+  EXPECT_EQ(telemetry::sanitize_metric_name("a:b_c1"), "a:b_c1");
+}
+
+TEST(Exposition, RegistryExpositionValidatesAndCoversAllKinds) {
+  MetricsRegistry reg(2);
+  Counter c = reg.counter("requests.total");
+  c.add(0, 7);
+  reg.set_gauge("cache.hit_rate", 0.5);
+  { ScopedSpan span(&reg, "compute"); }
+  const std::string text = telemetry::registry_exposition(reg, "ihtl");
+  std::string error;
+  EXPECT_TRUE(telemetry::validate_exposition(text, &error)) << error;
+  EXPECT_NE(text.find("ihtl_requests_total 7"), std::string::npos) << text;
+  EXPECT_NE(text.find("ihtl_cache_hit_rate 0.5"), std::string::npos) << text;
+  EXPECT_NE(text.find("ihtl_compute_seconds_sum"), std::string::npos);
+  EXPECT_NE(text.find("ihtl_compute_count 1"), std::string::npos);
+}
+
+TEST(Exposition, HistogramBucketsAreCumulativeWithInfAndSum) {
+  telemetry::LatencyHistogram h;
+  for (int i = 0; i < 4; ++i) h.record_ns(1'000);   // ~1us bucket
+  for (int i = 0; i < 2; ++i) h.record_ns(500'000);  // ~0.5ms bucket
+  std::string text;
+  telemetry::append_histogram_exposition(text, "lat_us", "op=\"ppr\"", h);
+  std::string error;
+  EXPECT_TRUE(telemetry::validate_exposition(text, &error)) << error;
+  EXPECT_NE(text.find("# TYPE lat_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 6"), std::string::npos) << text;
+  EXPECT_NE(text.find("lat_us_count{op=\"ppr\"} 6"), std::string::npos);
+  // Bucket counts never decrease as le grows (cumulative form).
+  std::istringstream lines(text);
+  std::string line;
+  double prev = 0.0;
+  while (std::getline(lines, line)) {
+    if (line.find("lat_us_bucket") != 0) continue;
+    const double n = std::stod(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(n, prev) << text;
+    prev = n;
+  }
+  EXPECT_DOUBLE_EQ(prev, 6.0);
+  // _sum is microseconds.
+  const std::size_t sum_pos = text.find("lat_us_sum{op=\"ppr\"} ");
+  ASSERT_NE(sum_pos, std::string::npos);
+  const double sum_us = std::stod(
+      text.substr(sum_pos + std::string("lat_us_sum{op=\"ppr\"} ").size()));
+  EXPECT_DOUBLE_EQ(sum_us, (4 * 1'000 + 2 * 500'000) * 1e-3);
+}
+
+TEST(Exposition, ValidatorFlagsMalformedLines) {
+  std::string error;
+  EXPECT_TRUE(telemetry::validate_exposition("", &error));
+  EXPECT_TRUE(telemetry::validate_exposition("# a comment\nx 1\n", &error));
+  EXPECT_FALSE(telemetry::validate_exposition("9bad 1\n", &error));
+  EXPECT_FALSE(telemetry::validate_exposition("name_only\n", &error));
+  EXPECT_FALSE(telemetry::validate_exposition("name not_a_number\n", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// --------------------------------------------------------------- event log
+
+TEST(EventLog, RingRetainsNewestCountsDropsAndKeepsOrder) {
+  telemetry::EventLog log(4);
+  for (int i = 0; i < 6; ++i) {
+    JsonValue f = JsonValue::object();
+    f.set("i", static_cast<std::uint64_t>(i));
+    log.log(telemetry::LogLevel::info, "tick", std::move(f));
+  }
+  EXPECT_EQ(log.recorded(), 6u);
+  EXPECT_EQ(log.dropped(), 2u);
+  EXPECT_EQ(log.count_event("tick"), 4u);
+  const JsonValue snap = log.snapshot();
+  ASSERT_EQ(snap.items().size(), 4u);
+  // Oldest-first, and the two oldest events were overwritten.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap.items()[i].find("i")->as_number(),
+              static_cast<double>(i + 2));
+    EXPECT_EQ(snap.items()[i].find("event")->as_string(), "tick");
+    EXPECT_GT(snap.items()[i].find("ts_ms")->as_number(), 0.0);
+  }
+}
+
+TEST(EventLog, MinLevelFiltersAndSinkGetsJsonLines) {
+  const std::string path = "test_event_log_sink.jsonl";
+  std::remove(path.c_str());
+  {
+    telemetry::EventLog log(8);
+    ASSERT_TRUE(log.open_sink(path));
+    log.set_min_level(telemetry::LogLevel::warn);
+    log.log(telemetry::LogLevel::debug, "ignored");
+    log.log(telemetry::LogLevel::info, "ignored");
+    JsonValue f = JsonValue::object();
+    f.set("total_us", 1234.5);
+    log.log(telemetry::LogLevel::warn, "slow_request", std::move(f));
+    EXPECT_EQ(log.recorded(), 1u);
+    EXPECT_EQ(log.count_event("ignored"), 0u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    const JsonValue parsed = JsonValue::parse(line);
+    EXPECT_EQ(parsed.find("event")->as_string(), "slow_request");
+    EXPECT_EQ(parsed.find("level")->as_string(), "warn");
+    EXPECT_DOUBLE_EQ(parsed.find("total_us")->as_number(), 1234.5);
+  }
+  EXPECT_EQ(lines, 1u);
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------------------- trace flows
+
+TEST(Trace, FlowMarksExportAsConnectedChromeFlowEvents) {
+  telemetry::TraceBuffer buffer(2, 64);
+  telemetry::TraceBuffer* prev = telemetry::TraceBuffer::set_active(&buffer);
+  telemetry::flow_mark(telemetry::TraceEventKind::flow_begin, 42);
+  telemetry::flow_mark(telemetry::TraceEventKind::flow_step, 42);
+  telemetry::flow_mark(telemetry::TraceEventKind::flow_end, 42);
+  telemetry::flow_mark(telemetry::TraceEventKind::flow_step, 0);  // no-op
+  telemetry::TraceBuffer::set_active(prev);
+  EXPECT_EQ(buffer.recorded(), 3u);
+
+  const JsonValue doc = buffer.to_chrome_trace();
+  std::size_t begins = 0, steps = 0, ends = 0;
+  for (const JsonValue& ev : doc.find("traceEvents")->items()) {
+    if (ev.find("cat")->as_string() != "flow") continue;
+    const std::string ph = ev.find("ph")->as_string();
+    EXPECT_EQ(ev.find("id")->as_number(), 42.0);
+    EXPECT_EQ(ev.find("name")->as_string(), "request");
+    EXPECT_EQ(ev.find("args")->find("request")->as_number(), 42.0);
+    if (ph == "s") ++begins;
+    if (ph == "t") ++steps;
+    if (ph == "f") {
+      ++ends;
+      // The finish binds to its enclosing slice, not the next one.
+      EXPECT_EQ(ev.find("bp")->as_string(), "e");
+    }
+  }
+  EXPECT_EQ(begins, 1u);
+  EXPECT_EQ(steps, 1u);
+  EXPECT_EQ(ends, 1u);
+}
+
+TEST(Trace, PoolWorkersStampFlowStepsWhenAFlowIsActive) {
+  telemetry::TraceBuffer buffer(8, 256);
+  telemetry::TraceBuffer* prev = telemetry::TraceBuffer::set_active(&buffer);
+  ThreadPool pool(2);
+  telemetry::set_active_flow(9);
+  pool.run([](std::size_t) {});
+  telemetry::set_active_flow(0);
+  const std::uint64_t with_flow = buffer.recorded();
+  pool.run([](std::size_t) {});  // no active flow: no extra flow marks
+  telemetry::TraceBuffer::set_active(prev);
+  EXPECT_GE(with_flow, 2u);  // one flow_step per worker
+  EXPECT_EQ(buffer.recorded(), with_flow);
+
+  const JsonValue doc = buffer.to_chrome_trace();
+  std::size_t flow_steps = 0;
+  for (const JsonValue& ev : doc.find("traceEvents")->items()) {
+    if (ev.find("cat")->as_string() == "flow" &&
+        ev.find("ph")->as_string() == "t") {
+      EXPECT_EQ(ev.find("id")->as_number(), 9.0);
+      ++flow_steps;
+    }
+  }
+  EXPECT_EQ(flow_steps, with_flow);
 }
 
 }  // namespace

@@ -1,0 +1,6 @@
+// CLI: live operational view of a running ihtl_serve — polls the
+// `metrics` op and renders per-op phase latencies, cache/batcher state,
+// watchdog trips, and per-shard load. See `ihtl_top --help`.
+#include "cli/commands.h"
+
+int main(int argc, char** argv) { return ihtl::cmd_top(argc, argv); }
