@@ -81,6 +81,17 @@ void BM_Ihtl(benchmark::State& state) {
 }
 
 template <Fixture& (*F)()>
+void BM_IhtlBinned(benchmark::State& state) {
+  Fixture& f = F();
+  IhtlEngine<PlusMonoid> engine(f.ig, f.pool, PushPolicy::binned);
+  for (auto _ : state) {
+    engine.spmv(f.x, f.y);
+    benchmark::DoNotOptimize(f.y.data());
+  }
+  report_edges(state, f.g);
+}
+
+template <Fixture& (*F)()>
 void BM_IhtlPreprocessing(benchmark::State& state) {
   Fixture& f = F();
   for (auto _ : state) {
@@ -98,6 +109,8 @@ BENCHMARK(BM_PushBuffered<social>)->Name("spmv_push_buffered/social");
 BENCHMARK(BM_PushBuffered<web>)->Name("spmv_push_buffered/web");
 BENCHMARK(BM_Ihtl<social>)->Name("spmv_ihtl/social");
 BENCHMARK(BM_Ihtl<web>)->Name("spmv_ihtl/web");
+BENCHMARK(BM_IhtlBinned<social>)->Name("spmv_ihtl_binned/social");
+BENCHMARK(BM_IhtlBinned<web>)->Name("spmv_ihtl_binned/web");
 BENCHMARK(BM_IhtlPreprocessing<social>)->Name("ihtl_preprocess/social");
 BENCHMARK(BM_IhtlPreprocessing<web>)->Name("ihtl_preprocess/web");
 

@@ -157,7 +157,11 @@ int main(int argc, char** argv) {
   args.add_flag("datasets", true,
                 "comma-separated dataset names (default TwtrMpi,SK,LvJrnl,WbCc)");
   args.add_flag("push-policy", true,
-                "engine push/merge policy: auto | shared | single-owner");
+                "engine push/merge policy: auto | shared | single-owner | "
+                "binned");
+  args.add_flag("no-binned-section", false,
+                "skip the extra per-dataset pass under --push-policy binned "
+                "(the snapshot's \"binned\" section, gated by bench_diff)");
   args.add_flag("batch", true,
                 "batch lanes k (default 1): profile the k-lane spmv_batch "
                 "path and k-source personalized PageRank instead of the "
@@ -216,6 +220,18 @@ int main(int argc, char** argv) {
           run_dataset(name, pool, iterations, policy, batch, shards));
     }
 
+    // The binned section: the same datasets re-profiled with the sparse
+    // block forced onto the propagation-blocked scatter->accumulate path,
+    // so the snapshot tracks both sparse kernels side by side (bench_diff
+    // gates on this section being present).
+    JsonValue binned = JsonValue::array();
+    if (!args.has("no-binned-section")) {
+      for (const std::string& name : names) {
+        binned.push_back(run_dataset(name, pool, iterations,
+                                     PushPolicy::binned, batch, shards));
+      }
+    }
+
     if (trace) {
       telemetry::TraceBuffer::set_active(nullptr);
       telemetry::write_json_file(trace->to_chrome_trace(), trace_path);
@@ -241,6 +257,7 @@ int main(int argc, char** argv) {
     config.set("push_policy", push_policy_name(policy));
     doc.set("config", std::move(config));
     doc.set("datasets", std::move(datasets));
+    if (!args.has("no-binned-section")) doc.set("binned", std::move(binned));
 
     telemetry::write_json_file(doc, out_path);
     std::printf("wrote %s (%zu datasets)\n", out_path.c_str(), names.size());

@@ -75,8 +75,9 @@ CaseParams CaseParams::draw(std::uint64_t seed) {
   p.iterations = static_cast<unsigned>(2 + rng.next_below(3));
   p.source = static_cast<vid_t>(rng.next_below(1u << 20));
   p.x_seed = rng.next_u64();
-  const std::uint64_t push_roll = rng.next_below(6);   // appended (PR 3)
-  const std::uint64_t batch_roll = rng.next_below(8);  // appended (PR 5)
+  const std::uint64_t push_roll = rng.next_below(6);    // appended (PR 3)
+  const std::uint64_t batch_roll = rng.next_below(8);   // appended (PR 5)
+  const std::uint64_t binned_roll = rng.next_below(4);  // appended (PR 10)
 
   // Derived values (no draws): rolls map onto families/policies so the
   // degenerate shapes keep a fixed share of the lattice.
@@ -108,6 +109,10 @@ CaseParams CaseParams::draw(std::uint64_t seed) {
   } else {
     p.push_policy = PushPolicy::single_owner;
   }
+  // A quarter of the lattice overrides the PR-3 policy with the binned
+  // sparse path, so every workload/family/shard/batch combination also runs
+  // the scatter->accumulate kernel.
+  if (binned_roll == 0) p.push_policy = PushPolicy::binned;
   // Half the lattice stays scalar; the rest splits across small powers of
   // two, with k=8 (one cache line of doubles per row) the deepest point.
   if (batch_roll < 4) {
@@ -244,7 +249,19 @@ CaseResult run_point(std::uint64_t seed, const DiffOptions& opt) {
   OracleOptions oopt = p.oracle_options();
   if (opt.force_shards) oopt.shards = *opt.force_shards;
   oopt.plus_engine_override = opt.engine_override;
+  oopt.inject_bin_drop = opt.inject_bin_drop;
   CaseResult result{p, run_oracle(pool, g, p.ihtl_config(), oopt)};
+
+  // Bin-drop self-test contract: under the plus semiring every scattered
+  // contribution is positive, so an applied drop must surface as a value
+  // divergence — a clean report with drops applied means the oracle failed
+  // to notice the fault.
+  if (opt.inject_bin_drop && result.report.ok &&
+      result.report.bin_drops_applied > 0 &&
+      p.workload == Workload::spmv_plus) {
+    result.report.ok = false;
+    result.report.kind = "fault-missed";
+  }
 
   auto& reg = telemetry::MetricsRegistry::global();
   reg.counter("check/points_run").inc(0);
@@ -272,12 +289,14 @@ MinimizedCase minimize_case(const CaseResult& failure,
   m.params = failure.params;
   m.report = failure.report;
   m.injected_fault = static_cast<bool>(opt.engine_override);
+  m.injected_bin_drop = opt.inject_bin_drop;
 
   auto step_counter =
       telemetry::MetricsRegistry::global().counter("check/minimize_steps");
   const IhtlConfig cfg = m.params.ihtl_config();
   OracleOptions oopt = m.params.oracle_options();
   oopt.plus_engine_override = opt.engine_override;
+  oopt.inject_bin_drop = opt.inject_bin_drop;
 
   auto fails = [&](vid_t n, const std::vector<Edge>& edges,
                    OracleReport* out) {
@@ -408,6 +427,8 @@ const char* push_policy_enum_name(PushPolicy p) {
       return "shared";
     case PushPolicy::single_owner:
       return "single_owner";
+    case PushPolicy::binned:
+      return "binned";
   }
   return "automatic";
 }
@@ -470,6 +491,11 @@ std::string repro_snippet(const MinimizedCase& m) {
     os << "  // The original run injected the drop-merge fault; without this\n"
        << "  // line the real engine passes and the repro proves nothing.\n"
        << "  opt.plus_engine_override = check::drop_merge_fault();\n";
+  }
+  if (m.injected_bin_drop) {
+    os << "  // The original run armed the bin-drop fault; without this line\n"
+       << "  // the real engine passes and the repro proves nothing.\n"
+       << "  opt.inject_bin_drop = true;\n";
   }
   os << "  const check::OracleReport report = check::run_oracle(pool, g, cfg, opt);\n"
      << "  std::puts(report.summary().c_str());\n"

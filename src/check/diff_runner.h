@@ -118,6 +118,11 @@ struct DiffOptions {
   /// explicitly per point, so replay seeds keep their historical meaning.
   std::optional<std::size_t> force_shards;
   EngineOverride engine_override;  ///< fault injection (tests / --inject-fault)
+  /// Arm the binned sparse path's bin-drop fault on every point (tests /
+  /// --inject-bin-drop). Points whose sparse block resolved binned must
+  /// report a divergence under spmv_plus; run_point flips a clean report
+  /// with applied drops to a "fault-missed" failure.
+  bool inject_bin_drop = false;
   bool verbose = false;
   std::ostream* out = nullptr;  ///< progress stream (nullptr = silent)
 };
@@ -134,6 +139,7 @@ std::optional<CaseResult> run_lattice(const DiffOptions& opt);
 struct MinimizedCase {
   bool reproduced = false;  ///< regenerated inputs reproduced the failure
   bool injected_fault = false;  ///< an engine override was active (self-test)
+  bool injected_bin_drop = false;  ///< the bin-drop fault was armed (self-test)
   vid_t num_vertices = 0;
   std::vector<Edge> edges;  ///< input to build_graph (params.build applies)
   CaseParams params;

@@ -93,6 +93,14 @@ std::string OracleReport::summary() const {
                   workload_name(workload).c_str());
     return buf;
   }
+  if (kind == "fault-missed") {
+    std::snprintf(buf, sizeof(buf),
+                  "MISMATCH[%s/fault-missed]: %llu bin drop(s) applied but "
+                  "no divergence reported",
+                  workload_name(workload).c_str(),
+                  static_cast<unsigned long long>(bin_drops_applied));
+    return buf;
+  }
   const Mismatch& m = *first;
   std::snprintf(buf, sizeof(buf),
                 "MISMATCH[%s] engine=%s iteration=%u vertex=%u (new %u, "
@@ -201,10 +209,12 @@ void oracle_spmv(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
       sharded->inject_exchange_corruption(
           static_cast<std::size_t>(opt.corrupt_exchange_shard));
     }
+    if (opt.inject_bin_drop) sharded->inject_bin_drop();
     under_test = [&s = *sharded](std::span<const value_t> x,
                                  std::span<value_t> y) { s.spmv(x, y); };
   } else {
     engine.emplace(ig, pool, cfg.push_policy);
+    if (opt.inject_bin_drop) engine->inject_bin_drop();
     under_test = [&e = *engine](std::span<const value_t> x,
                                 std::span<value_t> y) { e.spmv(x, y); };
     if constexpr (std::is_same_v<Monoid, PlusMonoid>) {
@@ -223,7 +233,7 @@ void oracle_spmv(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
     for (vid_t v = 0; v < n; ++v) actual[v] = yp[o2n[v]];
     if (report_compare(expected, actual, opt.tolerance, it, &ig, "ihtl",
                        rep)) {
-      return;
+      break;
     }
     // Feed the reference forward; rescale plus results so magnitudes stay
     // O(1) and the relative tolerance keeps meaning across iterations.
@@ -236,6 +246,8 @@ void oracle_spmv(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
       x = expected;
     }
   }
+  rep.bin_drops_applied =
+      sharded ? sharded->bin_drops_applied() : engine->bin_drops_applied();
 }
 
 /// Batched repeated-SpMV oracle: `opt.batch` independently seeded input
@@ -257,8 +269,10 @@ void oracle_spmv_batch(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
       sharded->inject_exchange_corruption(
           static_cast<std::size_t>(opt.corrupt_exchange_shard));
     }
+    if (opt.inject_bin_drop) sharded->inject_bin_drop();
   } else {
     engine.emplace(ig, pool, cfg.push_policy);
+    if (opt.inject_bin_drop) engine->inject_bin_drop();
   }
   const auto& o2n = ig.old_to_new();
   // Vertex-major n×k input; lane l is the scalar oracle's input at seed
@@ -270,7 +284,8 @@ void oracle_spmv_batch(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
   }
   std::vector<value_t> eb(xb.size()), xp(xb.size()), yp(xb.size());
   std::vector<value_t> expected(n), actual(n);
-  for (unsigned it = 0; it < opt.iterations; ++it) {
+  bool diverged = false;
+  for (unsigned it = 0; it < opt.iterations && !diverged; ++it) {
     spmv_pull_serial_batch<Monoid>(g, xb, eb, k);
     for (vid_t v = 0; v < n; ++v) {
       const std::size_t src = static_cast<std::size_t>(v) * k;
@@ -292,9 +307,11 @@ void oracle_spmv_batch(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
       if (report_compare(expected, actual, opt.tolerance, it, &ig,
                          engine_name.c_str(), rep)) {
         rep.first->lane = static_cast<int>(lane);
-        return;
+        diverged = true;
+        break;
       }
     }
+    if (diverged) break;
     // Feed forward per lane, with the plus-monoid rescaling of the scalar
     // oracle applied lane-wise so magnitudes stay O(1) in every lane.
     if constexpr (std::is_same_v<Monoid, PlusMonoid>) {
@@ -314,6 +331,8 @@ void oracle_spmv_batch(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
       xb = eb;
     }
   }
+  rep.bin_drops_applied =
+      sharded ? sharded->bin_drops_applied() : engine->bin_drops_applied();
 }
 
 /// PageRank oracle: the reference is a from-scratch serial power iteration;
@@ -336,10 +355,12 @@ void oracle_pagerank(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
       sharded->inject_exchange_corruption(
           static_cast<std::size_t>(opt.corrupt_exchange_shard));
     }
+    if (opt.inject_bin_drop) sharded->inject_bin_drop();
     under_test = [&s = *sharded](std::span<const value_t> x,
                                  std::span<value_t> y) { s.spmv(x, y); };
   } else {
     engine.emplace(ig, pool, cfg.push_policy);
+    if (opt.inject_bin_drop) engine->inject_bin_drop();
     under_test = [&e = *engine](std::span<const value_t> x,
                                 std::span<value_t> y) { e.spmv(x, y); };
     if (opt.plus_engine_override) {
@@ -370,9 +391,11 @@ void oracle_pagerank(ThreadPool& pool, const Graph& g, const IhtlGraph& ig,
 
     for (vid_t v = 0; v < n; ++v) actual[v] = pr_new[o2n[v]];
     if (report_compare(pr, actual, opt.tolerance, it, &ig, "ihtl", rep)) {
-      return;
+      break;
     }
   }
+  rep.bin_drops_applied =
+      sharded ? sharded->bin_drops_applied() : engine->bin_drops_applied();
 }
 
 /// Delta-PageRank oracle: with epsilon = 0, the frontier formulation must

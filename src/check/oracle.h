@@ -77,6 +77,10 @@ struct OracleReport {
   std::string engine = "ihtl";
   std::optional<Mismatch> first;
   vid_t num_divergent = 0;  ///< divergent vertices at the first bad iteration
+  /// Bin-drop faults the engine under test actually applied (see
+  /// OracleOptions::inject_bin_drop); 0 when the hook was not armed or the
+  /// sparse block never resolved to the binned path.
+  std::uint64_t bin_drops_applied = 0;
   std::string summary() const;  ///< one line: "OK" or the classification
 };
 
@@ -145,6 +149,13 @@ struct OracleOptions {
   /// iteration (requires shards >= 1; -1 = off). The oracle must report a
   /// divergence whenever the corruption was actually applied.
   int corrupt_exchange_shard = -1;
+  /// Binned-path fault injection: arm the engine under test's bin-drop hook
+  /// (one staged cache line of scattered contributions reads back as the
+  /// identity after every scatter). Arms nothing when the sparse block did
+  /// not resolve to the binned path; the report's bin_drops_applied says
+  /// how many drops actually landed. Under spmv_plus (positive inputs) an
+  /// applied drop must surface as a divergence — run_point enforces that.
+  bool inject_bin_drop = false;
   EngineOverride plus_engine_override;  ///< test-only fault injection
   /// When set, the iHTL-traversing workloads run over THIS layout instead
   /// of building one from (g, cfg) — the mutation lattice passes the

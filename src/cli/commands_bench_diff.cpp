@@ -95,16 +95,23 @@ bool is_metric_section(const JsonValue& v) {
   return false;
 }
 
+/// One per-dataset suite entry: prefix is the dataset name from its
+/// "graph" sub-object (under `section.` for named sections).
+void flatten_dataset_entry(const JsonValue& entry, const std::string& section,
+                           std::map<std::string, double>& out) {
+  std::string name = "dataset";
+  if (const JsonValue* g = entry.find("graph")) {
+    if (const JsonValue* n = g->find("name")) name = n->as_string();
+  }
+  flatten_sections(entry, section + name + ".", out);
+}
+
 std::map<std::string, double> flatten(const JsonValue& doc) {
   std::map<std::string, double> out;
   if (const JsonValue* datasets = doc.find("datasets");
       datasets && datasets->is_array()) {
     for (const JsonValue& entry : datasets->items()) {
-      std::string name = "dataset";
-      if (const JsonValue* g = entry.find("graph")) {
-        if (const JsonValue* n = g->find("name")) name = n->as_string();
-      }
-      flatten_sections(entry, name + ".", out);
+      flatten_dataset_entry(entry, "", out);
     }
   } else {
     flatten_sections(doc, "", out);
@@ -112,14 +119,24 @@ std::map<std::string, double> flatten(const JsonValue& doc) {
   // Named sections merged beside the report/suite (e.g. "serve",
   // "spmm_batch") are flattened under their section name, so one snapshot
   // file can accumulate sections from several bench binaries and still
-  // diff as a whole.
+  // diff as a whole. An ARRAY-shaped section (e.g. "binned": the datasets
+  // re-profiled under another policy) flattens per dataset under
+  // `<section>.<dataset>.`.
   for (const auto& [key, v] : doc.entries()) {
     if (key == "datasets" || key == "run" || key == "graph" ||
         key == "config" || key == "spans" || key == "counters" ||
         key == "gauges" || key == "hw_counters") {
       continue;  // the report's own sections, already flattened above
     }
-    if (is_metric_section(v)) flatten_sections(v, key + ".", out);
+    if (is_metric_section(v)) {
+      flatten_sections(v, key + ".", out);
+    } else if (v.is_array()) {
+      for (const JsonValue& entry : v.items()) {
+        if (is_metric_section(entry)) {
+          flatten_dataset_entry(entry, key + ".", out);
+        }
+      }
+    }
   }
   return out;
 }

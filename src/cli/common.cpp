@@ -58,7 +58,7 @@ IhtlConfig config_from_args(const ArgParser& args) {
     const auto policy = push_policy_from_name(name);
     if (!policy) {
       throw std::invalid_argument("unknown --push-policy '" + name +
-                                  "' (auto, shared, single-owner)");
+                                  "' (auto, shared, single-owner, binned)");
     }
     cfg.push_policy = *policy;
   }
@@ -73,8 +73,8 @@ void add_common_input_flags(ArgParser& args) {
   args.add_flag("admission-ratio", true,
                 "flipped-block admission ratio (default 0.5)");
   args.add_flag("push-policy", true,
-                "engine push/merge policy: auto | shared | single-owner "
-                "(default auto)");
+                "engine push/merge policy: auto | shared | single-owner | "
+                "binned (default auto)");
   args.add_flag("help", false, "show usage");
 }
 

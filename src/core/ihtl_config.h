@@ -25,9 +25,18 @@ enum class PushPolicy {
   /// range belongs to it alone), so the block needs no buffer reset and no
   /// merge, and its result is independent of which thread ran it.
   single_owner,
+  /// Flipped blocks run as under `automatic`; the SPARSE block switches
+  /// from the CSC pull to the propagation-blocked scatter→accumulate
+  /// kernel: sources stream their value into destination-range bins sized
+  /// to stay LLC-resident, then a per-bin pass combines each destination's
+  /// contributions in exact CSC order — bitwise-identical to the pull (the
+  /// gather permutation is fixed at build time), but every random access is
+  /// confined to one bin. Under `automatic` the sparse block opts into this
+  /// mode on its own when the pull's x working set exceeds the LLC.
+  binned,
 };
 
-/// CLI-facing names: "auto", "shared", "single-owner".
+/// CLI-facing names: "auto", "shared", "single-owner", "binned".
 std::string push_policy_name(PushPolicy p);
 std::optional<PushPolicy> push_policy_from_name(const std::string& name);
 
@@ -77,6 +86,8 @@ inline std::string push_policy_name(PushPolicy p) {
       return "shared";
     case PushPolicy::single_owner:
       return "single-owner";
+    case PushPolicy::binned:
+      return "binned";
   }
   return "unknown";
 }
@@ -86,6 +97,7 @@ inline std::optional<PushPolicy> push_policy_from_name(
   if (name == "auto") return PushPolicy::automatic;
   if (name == "shared") return PushPolicy::shared;
   if (name == "single-owner") return PushPolicy::single_owner;
+  if (name == "binned") return PushPolicy::binned;
   return std::nullopt;
 }
 

@@ -112,8 +112,25 @@ class IhtlEngine {
   }
   /// Merge tiles covering the shared blocks' hub ranges.
   std::size_t merge_tile_count() const { return shard_.merge_tiles.size(); }
+  /// Whether the sparse block resolved to the binned scatter→accumulate
+  /// path (PushPolicy::binned, or automatic past the LLC crossover).
+  bool sparse_binned() const { return shard_.sparse_binned; }
+  /// Destination-range bins of the binned sparse path (0 when pulling).
+  std::size_t bin_count() const { return shard_.num_bins; }
   /// The full-range shard holding this engine's decomposition and buffers.
   const Shard& shard() const { return shard_; }
+
+  /// Fault-injection hook (check lattice, --inject-bin-drop): after every
+  /// scatter, the first staged cache line of slot space is overwritten
+  /// with the monoid identity — as if one bin flush never landed — so the
+  /// next accumulate computes with dropped contributions. Returns false
+  /// (arming nothing) when the engine has no binned slots to drop.
+  bool inject_bin_drop() {
+    if (!shard_.sparse_binned || shard_.sparse_edges == 0) return false;
+    bin_drop_armed_ = true;
+    return true;
+  }
+  std::uint64_t bin_drops_applied() const { return bin_drops_applied_; }
 
   /// When on (and HW profiling is available), the push phase additionally
   /// attributes per-chunk HW-counter deltas to "spmv/push/block<k>" paths —
@@ -140,6 +157,8 @@ class IhtlEngine {
       span_push_ = reg->timer("spmv/push");
       span_merge_ = reg->timer("spmv/merge");
       span_pull_ = reg->timer("spmv/pull");
+      span_bin_scatter_ = reg->timer("spmv/bin-scatter");
+      span_bin_accum_ = reg->timer("spmv/bin-accumulate");
       calls_ = reg->counter("spmv.calls");
       batch_lanes_ = reg->counter("spmv.batch_lanes");
       push_chunk_items_ = reg->counter("spmv.push_chunk_items");
@@ -148,14 +167,30 @@ class IhtlEngine {
       merge_tiles_skipped_ = reg->counter("spmv.merge_tiles_skipped");
       reset_values_cleared_ = reg->counter("spmv.reset_values_cleared");
       reset_values_skipped_ = reg->counter("spmv.reset_values_skipped");
+      // Per-call mode attribution: how the build-time decisions resolved
+      // (shared/single-owner block counts, pull vs binned sparse path) —
+      // the perf_suite push_mode section and the automatic-policy tests
+      // read these.
+      push_mode_shared_ = reg->counter("spmv.push_mode.shared_blocks");
+      push_mode_single_owner_ =
+          reg->counter("spmv.push_mode.single_owner_blocks");
+      push_mode_binned_ = reg->counter("spmv.push_mode.binned_sparse");
+      push_mode_pull_ = reg->counter("spmv.push_mode.pull_sparse");
+      bin_scatter_items_ = reg->counter("spmv.bin_scatter_items");
+      bin_accum_items_ = reg->counter("spmv.bin_accum_items");
       reg->set_gauge("spmv.blocks_single_owner",
                      static_cast<double>(shard_.single_owner_blocks));
+      reg->set_gauge("spmv.sparse_bins",
+                     static_cast<double>(shard_.num_bins));
     } else {
       span_total_ = span_reset_ = span_push_ = span_merge_ = span_pull_ =
-          telemetry::TimerStat();
+          span_bin_scatter_ = span_bin_accum_ = telemetry::TimerStat();
       calls_ = batch_lanes_ = push_chunk_items_ = sparse_chunk_items_ =
           merge_tiles_run_ = merge_tiles_skipped_ = reset_values_cleared_ =
-              reset_values_skipped_ = telemetry::Counter();
+              reset_values_skipped_ = push_mode_shared_ =
+                  push_mode_single_owner_ = push_mode_binned_ =
+                      push_mode_pull_ = bin_scatter_items_ =
+                          bin_accum_items_ = telemetry::Counter();
     }
   }
 
@@ -305,35 +340,67 @@ class IhtlEngine {
     times_.merge_s = phase.elapsed_seconds();
     span_merge_.record_seconds(times_.merge_s);
 
-    // Phase 3: pull the sparse block (Algorithm 3, lines 8-10).
+    // Phase 3: the sparse block — the CSC pull (Algorithm 3, lines 8-10),
+    // or the propagation-blocked scatter→accumulate pair when the block
+    // resolved to binned mode (bitwise-identical to the pull by the gather
+    // permutation; see shard.h). times_.pull_s covers the whole sparse
+    // phase either way; the bin sub-phases get their own spans on top.
     phase.reset();
-    hw.emplace(metrics_reg_, "spmv/pull");
     const Adjacency& sparse = ig_->sparse();
-    parallel_for(
-        *pool_, 0, shard_.sparse_chunks.size(),
-        [&](std::uint64_t p, std::size_t) {
-          for (std::uint64_t local = shard_.sparse_chunks[p].begin;
-               local < shard_.sparse_chunks[p].end; ++local) {
-            value_t acc = Monoid::identity();
-            for (const vid_t u : sparse.neighbors(static_cast<vid_t>(local))) {
-              acc = Monoid::combine(acc, x[u]);
+    if (shard_.sparse_binned) {
+      hw.emplace(metrics_reg_, "spmv/bin-scatter");
+      parallel_for(
+          *pool_, 0, shard_.scatter_chunks.size(),
+          [&](std::uint64_t c, std::size_t tid) {
+            shard_bin_scatter_chunk(shard_, x.data(), 1, tid, c,
+                                    shard_.bin_values.data());
+          },
+          {.grain = 1});
+      apply_bin_drop(shard_.bin_values.data(), 1);
+      const double scatter_s = phase.elapsed_seconds();
+      span_bin_scatter_.record_seconds(scatter_s);
+      phase.reset();
+      hw.emplace(metrics_reg_, "spmv/bin-accumulate");
+      parallel_for(
+          *pool_, 0, shard_.bin_accum_chunks.size(),
+          [&](std::uint64_t i, std::size_t) {
+            shard_bin_accumulate_chunk<Monoid>(shard_, sparse, num_hubs, 1, i,
+                                               shard_.bin_values.data(),
+                                               y.data());
+          },
+          {.grain = 1});
+      const double accum_s = phase.elapsed_seconds();
+      span_bin_accum_.record_seconds(accum_s);
+      times_.pull_s = scatter_s + accum_s;
+    } else {
+      hw.emplace(metrics_reg_, "spmv/pull");
+      parallel_for(
+          *pool_, 0, shard_.sparse_chunks.size(),
+          [&](std::uint64_t p, std::size_t) {
+            for (std::uint64_t local = shard_.sparse_chunks[p].begin;
+                 local < shard_.sparse_chunks[p].end; ++local) {
+              value_t acc = Monoid::identity();
+              for (const vid_t u :
+                   sparse.neighbors(static_cast<vid_t>(local))) {
+                acc = Monoid::combine(acc, x[u]);
+              }
+              y[num_hubs + local] = acc;
             }
-            y[num_hubs + local] = acc;
-          }
-        },
-        {.grain = 1});
-    times_.pull_s = phase.elapsed_seconds();
+          },
+          {.grain = 1});
+      times_.pull_s = phase.elapsed_seconds();
+    }
     span_pull_.record_seconds(times_.pull_s);
     hw.reset();
 
     span_total_.record_seconds(times_.total());
     calls_.inc(0);
     push_chunk_items_.add(0, shard_.push_chunks.size());
-    sparse_chunk_items_.add(0, shard_.sparse_chunks.size());
     merge_tiles_run_.add(0, stats_.merge_tiles);
     merge_tiles_skipped_.add(0, stats_.merge_segments_skipped);
     reset_values_cleared_.add(0, stats_.reset_values_cleared);
     reset_values_skipped_.add(0, stats_.reset_values_skipped);
+    record_push_mode();
   }
 
   /// Batched SpMM-style variant: k right-hand-side vectors per traversal.
@@ -500,31 +567,62 @@ class IhtlEngine {
     times_.merge_s = phase.elapsed_seconds();
     span_merge_.record_seconds(times_.merge_s);
 
-    // Phase 3: pull. Edge-visited-once over the strided n×k array: each
-    // in-edge reads one contiguous k-lane x row into k private accumulators.
+    // Phase 3: the sparse block, k lanes wide — pull (each in-edge reads
+    // one contiguous k-lane x row into k private accumulators) or the
+    // binned scatter→accumulate over k-lane slot rows (at k=8 doubles one
+    // row is exactly one cache line, so the scatter skips the scalar
+    // path's staging buffers).
     phase.reset();
-    hw.emplace(metrics_reg_, "spmv/pull");
     const Adjacency& sparse = ig_->sparse();
-    parallel_for(
-        *pool_, 0, shard_.sparse_chunks.size(),
-        [&](std::uint64_t p, std::size_t) {
-          for (std::uint64_t local = shard_.sparse_chunks[p].begin;
-               local < shard_.sparse_chunks[p].end; ++local) {
-            value_t* acc =
-                y.data() + (static_cast<std::size_t>(num_hubs) + local) * k;
-            for (std::size_t lane = 0; lane < k; ++lane) {
-              acc[lane] = Monoid::identity();
-            }
-            for (const vid_t u : sparse.neighbors(static_cast<vid_t>(local))) {
-              const value_t* xu = x.data() + static_cast<std::size_t>(u) * k;
+    if (shard_.sparse_binned) {
+      hw.emplace(metrics_reg_, "spmv/bin-scatter");
+      parallel_for(
+          *pool_, 0, shard_.scatter_chunks.size(),
+          [&](std::uint64_t c, std::size_t tid) {
+            shard_bin_scatter_chunk(shard_, x.data(), k, tid, c,
+                                    shard_.batch_bin_values.data());
+          },
+          {.grain = 1});
+      apply_bin_drop(shard_.batch_bin_values.data(), k);
+      const double scatter_s = phase.elapsed_seconds();
+      span_bin_scatter_.record_seconds(scatter_s);
+      phase.reset();
+      hw.emplace(metrics_reg_, "spmv/bin-accumulate");
+      parallel_for(
+          *pool_, 0, shard_.bin_accum_chunks.size(),
+          [&](std::uint64_t i, std::size_t) {
+            shard_bin_accumulate_chunk<Monoid>(shard_, sparse, num_hubs, k, i,
+                                               shard_.batch_bin_values.data(),
+                                               y.data());
+          },
+          {.grain = 1});
+      const double accum_s = phase.elapsed_seconds();
+      span_bin_accum_.record_seconds(accum_s);
+      times_.pull_s = scatter_s + accum_s;
+    } else {
+      hw.emplace(metrics_reg_, "spmv/pull");
+      parallel_for(
+          *pool_, 0, shard_.sparse_chunks.size(),
+          [&](std::uint64_t p, std::size_t) {
+            for (std::uint64_t local = shard_.sparse_chunks[p].begin;
+                 local < shard_.sparse_chunks[p].end; ++local) {
+              value_t* acc =
+                  y.data() + (static_cast<std::size_t>(num_hubs) + local) * k;
               for (std::size_t lane = 0; lane < k; ++lane) {
-                acc[lane] = Monoid::combine(acc[lane], xu[lane]);
+                acc[lane] = Monoid::identity();
+              }
+              for (const vid_t u :
+                   sparse.neighbors(static_cast<vid_t>(local))) {
+                const value_t* xu = x.data() + static_cast<std::size_t>(u) * k;
+                for (std::size_t lane = 0; lane < k; ++lane) {
+                  acc[lane] = Monoid::combine(acc[lane], xu[lane]);
+                }
               }
             }
-          }
-        },
-        {.grain = 1});
-    times_.pull_s = phase.elapsed_seconds();
+          },
+          {.grain = 1});
+      times_.pull_s = phase.elapsed_seconds();
+    }
     span_pull_.record_seconds(times_.pull_s);
     hw.reset();
 
@@ -532,11 +630,11 @@ class IhtlEngine {
     calls_.inc(0);
     batch_lanes_.add(0, k);
     push_chunk_items_.add(0, shard_.push_chunks.size());
-    sparse_chunk_items_.add(0, shard_.sparse_chunks.size());
     merge_tiles_run_.add(0, stats_.merge_tiles);
     merge_tiles_skipped_.add(0, stats_.merge_segments_skipped);
     reset_values_cleared_.add(0, stats_.reset_values_cleared);
     reset_values_skipped_.add(0, stats_.reset_values_skipped);
+    record_push_mode();
   }
 
   /// Lanes the batch buffers are currently sized for (0 until the first
@@ -547,6 +645,34 @@ class IhtlEngine {
   struct alignas(64) PhaseTally {
     std::uint64_t a = 0, b = 0;
   };
+
+  /// Per-call mode attribution shared by the scalar and batched paths.
+  /// sparse_chunk_items / bin_*_items count only the path that actually
+  /// ran this call.
+  void record_push_mode() {
+    push_mode_shared_.add(0,
+                          shard_.num_blocks() - shard_.single_owner_blocks);
+    push_mode_single_owner_.add(0, shard_.single_owner_blocks);
+    if (shard_.sparse_binned) {
+      push_mode_binned_.inc(0);
+      bin_scatter_items_.add(0, shard_.scatter_chunks.size());
+      bin_accum_items_.add(0, shard_.bin_accum_chunks.size());
+    } else {
+      push_mode_pull_.inc(0);
+      sparse_chunk_items_.add(0, shard_.sparse_chunks.size());
+    }
+  }
+
+  /// Applies an armed bin-flush drop to the slot array just scattered.
+  void apply_bin_drop(value_t* values, std::size_t k) {
+    if (!bin_drop_armed_) return;
+    const std::size_t nv =
+        std::min<std::size_t>(kBinStageValues,
+                              static_cast<std::size_t>(shard_.sparse_edges)) *
+        k;
+    for (std::size_t i = 0; i < nv; ++i) values[i] = Monoid::identity();
+    ++bin_drops_applied_;
+  }
 
   const IhtlGraph* ig_;
   ThreadPool* pool_;
@@ -562,11 +688,15 @@ class IhtlEngine {
   bool per_block_hw_ = false;
   std::vector<std::string> block_hw_paths_;
   telemetry::TimerStat span_total_, span_reset_, span_push_, span_merge_,
-      span_pull_;
+      span_pull_, span_bin_scatter_, span_bin_accum_;
   telemetry::Counter calls_, batch_lanes_, push_chunk_items_,
       sparse_chunk_items_,
       merge_tiles_run_, merge_tiles_skipped_, reset_values_cleared_,
-      reset_values_skipped_;
+      reset_values_skipped_, push_mode_shared_, push_mode_single_owner_,
+      push_mode_binned_, push_mode_pull_, bin_scatter_items_,
+      bin_accum_items_;
+  bool bin_drop_armed_ = false;
+  std::uint64_t bin_drops_applied_ = 0;
 };
 
 /// One-shot convenience wrapper operating in the ORIGINAL ID space:

@@ -16,7 +16,46 @@ constexpr vid_t kMergeTileValues = 512;
 /// automatic keeps blocks below this edge count single-owner outright.
 constexpr eid_t kSingleOwnerMinEdges = 4096;
 
+/// Target bytes of contribution slots per destination-range bin: 2 MiB
+/// keeps one bin's random-access region LLC-resident even with several
+/// teams accumulating different bins concurrently (the Xeon Gold 6130 LLC
+/// modeled in src/cachesim is 22 MiB).
+constexpr std::size_t kBinTargetBytes = 2u << 20;
+/// The cachesim LLC the automatic heuristic budgets the pull's x working
+/// set against (CacheHierarchy::xeon_gold_6130, 22 MiB shared L3).
+constexpr std::size_t kAutoLlcBytes = 22u << 20;
+/// automatic never bins a sparse slice lighter than this: below it the
+/// scatter pass and the slot array cannot amortize.
+constexpr eid_t kAutoBinnedMinEdges = 1u << 16;
+
 }  // namespace
+
+bool block_single_owner(eid_t block_edges, eid_t shard_flipped_edges,
+                        std::size_t team_size, PushPolicy policy) {
+  if (policy == PushPolicy::shared) return false;
+  if (block_edges == 0) return false;  // merge tiles supply the identity fill
+  if (policy == PushPolicy::single_owner || team_size == 1) return true;
+  const eid_t threshold = std::max<eid_t>(
+      kSingleOwnerMinEdges,
+      shard_flipped_edges / static_cast<eid_t>(team_size * 16));
+  return block_edges <= threshold;
+}
+
+bool sparse_auto_binned(vid_t num_vertices, std::uint64_t sparse_dsts,
+                        eid_t sparse_edges) {
+  if (sparse_edges < kAutoBinnedMinEdges) return false;
+  // A slice narrower than one bin cannot gain destination locality.
+  if (sparse_dsts * sizeof(value_t) <= kBinTargetBytes) return false;
+  // Analytic misses-per-edge estimate for the pull's random x reads: the
+  // fraction of the x array that cannot be LLC-resident. Bin only when the
+  // majority of reads are expected misses (the crossover the
+  // cachesim.pull trace shows on the perf_suite datasets).
+  const double x_bytes =
+      static_cast<double>(num_vertices) * sizeof(value_t);
+  const double miss_per_edge =
+      x_bytes > 0 ? 1.0 - static_cast<double>(kAutoLlcBytes) / x_bytes : 0.0;
+  return miss_per_edge > 0.5;
+}
 
 std::vector<ShardPlan> plan_shards(const IhtlGraph& ig, std::size_t shards) {
   if (shards == 0) shards = 1;
@@ -123,24 +162,20 @@ Shard build_shard(const IhtlGraph& ig, const ShardPlan& plan,
     sh.flipped_edges += blocks[sh.block_begin + b].num_edges();
   }
 
-  // Resolve the per-block mode. A block goes single-owner when splitting
-  // it across the team cannot pay for the extra buffer reset + merge: with
+  // Resolve the per-block mode through the ONE shared boundary predicate
+  // (block_single_owner): a block goes single-owner when splitting it
+  // across the team cannot pay for the extra buffer reset + merge — with
   // one worker chunking never helps, and a block holding less than
   // ~1/(16 T) of the shard's flipped edges contributes a few percent of
-  // one thread's push share at most. (The full-range shard with team =
-  // pool reproduces IhtlEngine's historical thresholds exactly.)
-  if (nb > 0 && policy != PushPolicy::shared) {
-    const eid_t threshold = std::max<eid_t>(
-        kSingleOwnerMinEdges,
-        sh.flipped_edges / static_cast<eid_t>(team_size * 16));
-    for (std::size_t b = 0; b < nb; ++b) {
-      const eid_t edges = blocks[sh.block_begin + b].num_edges();
-      if (edges == 0) continue;  // merge tiles supply the identity fill
-      if (policy == PushPolicy::single_owner || team_size == 1 ||
-          edges <= threshold) {
-        sh.block_direct[b] = 1;
-        ++sh.single_owner_blocks;
-      }
+  // one thread's push share at most. Both engines classify through this
+  // same call, so a block exactly at the threshold cannot drift between
+  // the sharded and unsharded paths (the full-range shard with team = pool
+  // reproduces IhtlEngine's historical thresholds exactly).
+  for (std::size_t b = 0; b < nb; ++b) {
+    if (block_single_owner(blocks[sh.block_begin + b].num_edges(),
+                           sh.flipped_edges, team_size, policy)) {
+      sh.block_direct[b] = 1;
+      ++sh.single_owner_blocks;
     }
   }
 
@@ -198,6 +233,150 @@ Shard build_shard(const IhtlGraph& ig, const ShardPlan& plan,
     // called the partitioner here, so keep its (empty-range) chunk list for
     // bitwise-stable telemetry counts.
     sh.sparse_chunks = partition_by_edge(sp_off, team_size * 8);
+  }
+
+  // Resolve the sparse-block mode and, when binned, build the propagation-
+  // blocking structures: destination bins, the source-major scatter layout
+  // with static per-(chunk, bin) slot segments, and the gather permutation
+  // that lets the accumulate replay each destination's contributions in
+  // exact CSC stored order (the bitwise contract with the pull). A slice
+  // with no destinations has nothing to bin either way.
+  sh.sparse_binned =
+      sh.sparse_end > sh.sparse_begin &&
+      (policy == PushPolicy::binned ||
+       (policy == PushPolicy::automatic &&
+        sparse_auto_binned(ig.num_vertices(), sh.num_sparse(),
+                           sh.sparse_edges)));
+  if (sh.sparse_binned) {
+    const eid_t E = sh.sparse_edges;
+    const eid_t edge_base = sp_off[sh.sparse_begin];
+    sh.sparse_edge_base = edge_base;
+
+    // Bin boundaries: edge-balanced over the owned slice. The byte target
+    // keeps each bin's slot region LLC-resident; the team floor gives the
+    // accumulate enough independent bins to go parallel (and is what makes
+    // bin count routinely exceed the thread count). Tiny slices degenerate
+    // to one bin per destination — span-smaller-than-one-bin is legal.
+    std::vector<eid_t> rebased(sp_off.begin() + sh.sparse_begin,
+                               sp_off.begin() + sh.sparse_end + 1);
+    const eid_t rb = rebased.front();
+    for (eid_t& o : rebased) o -= rb;
+    const std::size_t by_bytes = static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(E) * sizeof(value_t) + kBinTargetBytes -
+         1) /
+        kBinTargetBytes);
+    std::size_t target_bins = std::max(by_bytes, team_size * 4);
+    target_bins = std::max<std::size_t>(
+        1, std::min<std::size_t>(target_bins, sh.num_sparse()));
+    sh.bin_dst.clear();
+    std::vector<std::uint32_t> bin_of_dst(sh.num_sparse());
+    for (const Range& r : partition_by_edge(rebased, target_bins)) {
+      if (r.size() == 0) continue;
+      sh.bin_dst.push_back(r.begin + sh.sparse_begin);
+      for (std::uint64_t d = r.begin; d < r.end; ++d) {
+        bin_of_dst[d] = static_cast<std::uint32_t>(sh.bin_dst.size() - 1);
+      }
+    }
+    sh.bin_dst.push_back(sh.sparse_end);
+    sh.num_bins = sh.bin_dst.size() - 1;
+
+    // Source-major layout: count, prefix, fill — walking destinations in
+    // CSC order, so a source's positions keep their CSC edge order and the
+    // whole layout is a pure function of the graph (no execution order).
+    const Adjacency& sparse = ig.sparse();
+    const vid_t n = ig.num_vertices();
+    std::vector<eid_t> src_count(n, 0);
+    for (std::uint64_t local = sh.sparse_begin; local < sh.sparse_end;
+         ++local) {
+      for (const vid_t u : sparse.neighbors(static_cast<vid_t>(local))) {
+        ++src_count[u];
+      }
+    }
+    std::vector<std::uint32_t> src_index(n, 0);
+    sh.scatter_sources.clear();
+    sh.scatter_offsets.assign(1, 0);
+    for (vid_t u = 0; u < n; ++u) {
+      if (src_count[u] == 0) continue;
+      src_index[u] = static_cast<std::uint32_t>(sh.scatter_sources.size());
+      sh.scatter_sources.push_back(u);
+      sh.scatter_offsets.push_back(sh.scatter_offsets.back() + src_count[u]);
+    }
+    sh.scatter_bin.assign(E, 0);
+    std::vector<eid_t> pos_edge(E);  // position -> rebased CSC index
+    {
+      std::vector<eid_t> fill(sh.scatter_sources.size());
+      std::copy(sh.scatter_offsets.begin(), sh.scatter_offsets.end() - 1,
+                fill.begin());
+      eid_t je = 0;
+      for (std::uint64_t local = sh.sparse_begin; local < sh.sparse_end;
+           ++local) {
+        const std::uint32_t b = bin_of_dst[local - sh.sparse_begin];
+        for (const vid_t u : sparse.neighbors(static_cast<vid_t>(local))) {
+          const eid_t p = fill[src_index[u]]++;
+          sh.scatter_bin[p] = b;
+          pos_edge[p] = je++;
+        }
+      }
+    }
+
+    // Scatter chunks (source-aligned, edge-balanced) and their static slot
+    // segments, laid out bin-major so bin b's region is contiguous. The
+    // gather permutation is the simulated append order: chunk by chunk,
+    // position by position, each bin's cursor advancing from its segment
+    // start — exactly what shard_bin_scatter_chunk replays at run time.
+    sh.scatter_chunks.clear();
+    for (const Range& r :
+         partition_by_edge(sh.scatter_offsets, team_size * 4)) {
+      if (r.size() > 0) sh.scatter_chunks.push_back(r);
+    }
+    const std::size_t nchunks = sh.scatter_chunks.size();
+    std::vector<eid_t> seg_count(nchunks * sh.num_bins, 0);
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      const Range& r = sh.scatter_chunks[c];
+      for (eid_t p = sh.scatter_offsets[r.begin];
+           p < sh.scatter_offsets[r.end]; ++p) {
+        ++seg_count[c * sh.num_bins + sh.scatter_bin[p]];
+      }
+    }
+    sh.scatter_seg_begin.assign(nchunks * sh.num_bins, 0);
+    eid_t slot = 0;
+    for (std::size_t b = 0; b < sh.num_bins; ++b) {
+      for (std::size_t c = 0; c < nchunks; ++c) {
+        sh.scatter_seg_begin[c * sh.num_bins + b] = slot;
+        slot += seg_count[c * sh.num_bins + b];
+      }
+    }
+    assert(slot == E);
+    sh.gather_pos.assign(E, 0);
+    std::vector<eid_t> cur = sh.scatter_seg_begin;
+    for (std::size_t c = 0; c < nchunks; ++c) {
+      const Range& r = sh.scatter_chunks[c];
+      for (eid_t p = sh.scatter_offsets[r.begin];
+           p < sh.scatter_offsets[r.end]; ++p) {
+        sh.gather_pos[pos_edge[p]] = cur[c * sh.num_bins + sh.scatter_bin[p]]++;
+      }
+    }
+
+    // Accumulate items: each bin split edge-balanced so small bin counts
+    // still feed the whole team; items never cross a bin boundary.
+    const std::size_t parts_per_bin = std::max<std::size_t>(
+        1, (team_size * 8 + sh.num_bins - 1) / sh.num_bins);
+    for (std::size_t b = 0; b < sh.num_bins; ++b) {
+      const std::uint64_t lo = sh.bin_dst[b], hi = sh.bin_dst[b + 1];
+      std::vector<eid_t> brb(sp_off.begin() + lo, sp_off.begin() + hi + 1);
+      const eid_t bb = brb.front();
+      for (eid_t& o : brb) o -= bb;
+      for (const Range& r : partition_by_edge(brb, parts_per_bin)) {
+        if (r.size() > 0) {
+          sh.bin_accum_chunks.push_back({r.begin + lo, r.end + lo});
+        }
+      }
+    }
+
+    sh.bin_values.assign(E, identity);
+    sh.bin_cursor = PerThread<eid_t>(team_size, sh.num_bins);
+    sh.bin_stage = PerThread<value_t>(team_size, sh.num_bins * kBinStageValues);
+    sh.bin_stage_len = PerThread<std::uint32_t>(team_size, sh.num_bins);
   }
 
   // The exchange slice: every source the shard's traversal reads (push
@@ -277,6 +456,36 @@ Shard build_shard(const IhtlGraph& ig, const ShardPlan& plan,
       }
       IHTL_INVARIANT(sh.sparse_chunks.empty() || expect == sh.sparse_end,
                      "sparse chunks do not cover the owned slice");
+    }
+    if (sh.sparse_binned) {
+      // The bins and the accumulate items must tile the owned slice, and
+      // the gather permutation must be a bijection onto the slot space —
+      // a repeated or skipped slot is a wrong (or stale) contribution in
+      // every accumulate thereafter.
+      IHTL_INVARIANT(sh.bin_dst.size() == sh.num_bins + 1 &&
+                         sh.bin_dst.front() == sh.sparse_begin &&
+                         sh.bin_dst.back() == sh.sparse_end,
+                     "bin boundaries do not tile the owned sparse slice");
+      for (std::size_t b = 0; b + 1 < sh.bin_dst.size(); ++b) {
+        IHTL_INVARIANT(sh.bin_dst[b] < sh.bin_dst[b + 1],
+                       "empty or unsorted destination bin");
+      }
+      std::uint64_t expect = sh.sparse_begin;
+      for (const Range& r : sh.bin_accum_chunks) {
+        IHTL_INVARIANT(r.begin == expect,
+                       "bin accumulate items leave a gap in the slice");
+        expect = r.end;
+      }
+      IHTL_INVARIANT(sh.bin_accum_chunks.empty() || expect == sh.sparse_end,
+                     "bin accumulate items do not cover the slice");
+      std::vector<std::uint8_t> seen(sh.gather_pos.size(), 0);
+      for (const eid_t slot : sh.gather_pos) {
+        IHTL_INVARIANT(slot < seen.size() && !seen[slot],
+                       "gather permutation repeats or overflows a slot");
+        seen[slot] = 1;
+      }
+      IHTL_INVARIANT(sh.gather_pos.size() == sh.sparse_edges,
+                     "gather permutation does not cover the sparse edges");
     }
     const vid_t local_hubs = sh.num_hubs();
     if (sh.buffers.length() == local_hubs && local_hubs > 0) {

@@ -86,6 +86,52 @@ struct Shard {
   /// range, sorted ascending. Empty unless built with compute_remote.
   std::vector<vid_t> remote_sources;
 
+  // --- binned sparse path (propagation blocking) ---------------------------
+  // When the sparse block resolves to binned mode (PushPolicy::binned, or
+  // automatic over a pull whose x working set exceeds the LLC), the pull is
+  // replaced by a two-phase scatter→accumulate: sources stream x values into
+  // destination-range bins (B sequential write streams instead of random x
+  // reads), then each bin — sized so its contribution slots stay
+  // LLC-resident — combines its destinations in exact CSC stored order via
+  // the precomputed gather permutation. Every edge has a STATIC slot in
+  // bin_values (per-(chunk, bin) segments laid out bin-major), so the result
+  // is bitwise-identical to the pull for any thread/chunk assignment.
+  bool sparse_binned = false;
+  std::size_t num_bins = 0;
+  /// Bin boundaries over the owned sparse slice, LOCAL sparse ids
+  /// ([num_bins + 1], edge-balanced, bin_dst.front() == sparse_begin).
+  std::vector<std::uint64_t> bin_dst;
+  /// First CSC edge of the owned slice (sparse offsets at sparse_begin);
+  /// rebasing term between absolute CSC indices and gather_pos entries.
+  eid_t sparse_edge_base = 0;
+  /// Distinct sources with at least one edge into the owned sparse slice,
+  /// ascending; scatter_offsets[i] .. scatter_offsets[i+1] are their
+  /// positions in the source-major traversal order.
+  std::vector<vid_t> scatter_sources;
+  std::vector<eid_t> scatter_offsets;  ///< [scatter_sources.size() + 1]
+  /// Destination bin of each source-major position ([sparse_edges]).
+  std::vector<std::uint32_t> scatter_bin;
+  /// Scatter work items: source-index ranges over scatter_sources,
+  /// edge-balanced; a chunk's contributions into bin b occupy the static
+  /// slot segment starting at scatter_seg_begin[chunk * num_bins + b].
+  std::vector<Range> scatter_chunks;
+  std::vector<eid_t> scatter_seg_begin;  ///< [chunks * num_bins]
+  /// Slot of each CSC edge (rebased by sparse_edge_base) in bin_values —
+  /// the gather permutation the accumulate replays in CSC order.
+  std::vector<eid_t> gather_pos;
+  /// Accumulate work items: LOCAL sparse-id ranges, each within one bin.
+  std::vector<Range> bin_accum_chunks;
+  /// Contribution slots ([sparse_edges], bin-major) and the lazily sized
+  /// k-lane counterpart ([sparse_edges * batch_k]; see ensure_batch_lanes).
+  std::vector<value_t> bin_values;
+  std::vector<value_t> batch_bin_values;
+  // Per-team-thread scatter scratch: running slot cursors (num_bins), the
+  // cache-line staging buffers (num_bins * kBinStageValues values) and the
+  // staged counts, reinitialized per claimed chunk.
+  PerThread<eid_t> bin_cursor;
+  PerThread<value_t> bin_stage;
+  PerThread<std::uint32_t> bin_stage_len;
+
   // --- mutable executor state ---------------------------------------------
   PerThread<value_t> buffers;  ///< team_size x num_hubs() hub accumulators
   TouchMatrix touched;         ///< team_size x num_blocks() dirty bits
@@ -105,17 +151,147 @@ struct Shard {
   /// Any block resolved to shared mode (needs buffers + merge)?
   bool any_shared() const { return single_owner_blocks < num_blocks(); }
 
-  /// (Re)builds the k-lane batch buffers when the lane count changes. A
-  /// fresh build is identity-initialized, so the first reset after it has
-  /// nothing to clear.
+  /// (Re)builds the k-lane batch state when the lane count changes — or
+  /// when the shard's layout changed underneath a cached lane count (an
+  /// in-place graph patch can alter the hub span or the sparse edge count
+  /// without touching batch_k, so the cache key is the required SIZES, not
+  /// the lane count alone; a stale early-return here would hand spmv_batch
+  /// buffers sized for the pre-update layout). A fresh build is
+  /// identity-initialized, so the first reset after it has nothing to clear.
   void ensure_batch_lanes(std::size_t k, value_t identity) {
-    if (!any_shared() || batch_k == k) return;
-    batch_buffers = PerThread<value_t>(
-        team_size, static_cast<std::size_t>(num_hubs()) * k, identity);
-    batch_touched = TouchMatrix(team_size, num_blocks());
+    const std::size_t hub_len =
+        any_shared() ? static_cast<std::size_t>(num_hubs()) * k : 0;
+    const std::size_t bin_len =
+        sparse_binned ? static_cast<std::size_t>(sparse_edges) * k : 0;
+    if (hub_len == 0 && bin_len == 0) return;  // nothing lane-dependent
+    if (batch_k == k && batch_buffers.length() == hub_len &&
+        batch_bin_values.size() == bin_len) {
+      return;
+    }
+    if (hub_len > 0) {
+      batch_buffers = PerThread<value_t>(team_size, hub_len, identity);
+      batch_touched = TouchMatrix(team_size, num_blocks());
+    } else {
+      batch_buffers = PerThread<value_t>();
+      batch_touched = TouchMatrix();
+    }
+    batch_bin_values.assign(bin_len, identity);
     batch_k = k;
   }
 };
+
+/// Values staged per (thread, bin) before a flush to the bin's slot
+/// segment: 8 doubles = one 64-byte cache line, the write-combining grain
+/// of the propagation-blocking literature (HAPB).
+inline constexpr std::size_t kBinStageValues = 8;
+
+/// The single-owner boundary shared by every path that classifies a
+/// flipped block: sharded and unsharded engines must make the SAME call
+/// for a block exactly at the threshold,
+/// or --shards 1 stops being bitwise-identical to the unsharded engine at
+/// that size — pinned by SingleOwnerBoundary tests). A block goes
+/// single-owner when chunking it across the team cannot pay for the extra
+/// buffer reset + merge: one worker, or less than ~1/(16 T) of the shard's
+/// flipped edges.
+bool block_single_owner(eid_t block_edges, eid_t shard_flipped_edges,
+                        std::size_t team_size, PushPolicy policy);
+
+/// The automatic policy's sparse-block decision: binned when the slice is
+/// heavy enough to amortize the scatter pass, spans more than one bin, and
+/// the pull's random x reads are expected to miss the LLC (analytic
+/// misses-per-edge estimate over the cachesim Xeon Gold 6130 geometry).
+/// Exposed for the decision-diagram docs and the telemetry tests.
+bool sparse_auto_binned(vid_t num_vertices, std::uint64_t sparse_dsts,
+                        eid_t sparse_edges);
+
+/// Scatter one claimed chunk: stream x over the chunk's sources, appending
+/// each edge's value to its bin's static slot segment. Scalar calls (k=1)
+/// go through the per-bin cache-line staging buffers; k-lane rows are
+/// already line-granular and are written directly. Pure copies — no monoid
+/// combine happens here, so the function is shared by every semiring.
+inline void shard_bin_scatter_chunk(Shard& sh, const value_t* x,
+                                    std::size_t k, std::size_t team,
+                                    std::uint64_t c, value_t* values) {
+  const Range chunk = sh.scatter_chunks[c];
+  const std::size_t nbins = sh.num_bins;
+  eid_t* cursor = sh.bin_cursor.get(team);
+  const eid_t* seg = sh.scatter_seg_begin.data() + c * nbins;
+  for (std::size_t b = 0; b < nbins; ++b) cursor[b] = seg[b];
+  if (k == 1) {
+    value_t* stage = sh.bin_stage.get(team);
+    std::uint32_t* staged = sh.bin_stage_len.get(team);
+    for (std::size_t b = 0; b < nbins; ++b) staged[b] = 0;
+    for (std::uint64_t si = chunk.begin; si < chunk.end; ++si) {
+      const value_t xv = x[sh.scatter_sources[si]];
+      for (eid_t p = sh.scatter_offsets[si]; p < sh.scatter_offsets[si + 1];
+           ++p) {
+        const std::uint32_t b = sh.scatter_bin[p];
+        value_t* line = stage + static_cast<std::size_t>(b) * kBinStageValues;
+        line[staged[b]++] = xv;
+        if (staged[b] == kBinStageValues) {
+          value_t* out = values + cursor[b];
+          for (std::size_t i = 0; i < kBinStageValues; ++i) out[i] = line[i];
+          cursor[b] += kBinStageValues;
+          staged[b] = 0;
+        }
+      }
+    }
+    for (std::size_t b = 0; b < nbins; ++b) {
+      value_t* out = values + cursor[b];
+      const value_t* line = stage + b * kBinStageValues;
+      for (std::uint32_t i = 0; i < staged[b]; ++i) out[i] = line[i];
+    }
+  } else {
+    for (std::uint64_t si = chunk.begin; si < chunk.end; ++si) {
+      const value_t* xv =
+          x + static_cast<std::size_t>(sh.scatter_sources[si]) * k;
+      for (eid_t p = sh.scatter_offsets[si]; p < sh.scatter_offsets[si + 1];
+           ++p) {
+        value_t* out = values + cursor[sh.scatter_bin[p]]++ * k;
+        for (std::size_t lane = 0; lane < k; ++lane) out[lane] = xv[lane];
+      }
+    }
+  }
+}
+
+/// Accumulate one claimed item (a destination range within one bin):
+/// combine each destination's slots in exact CSC stored order via the
+/// gather permutation — the same per-destination combine sequence as the
+/// pull, over values confined to one LLC-resident bin region.
+template <typename Monoid>
+inline void shard_bin_accumulate_chunk(const Shard& sh,
+                                       const Adjacency& sparse,
+                                       vid_t num_hubs, std::size_t k,
+                                       std::uint64_t item,
+                                       const value_t* values, value_t* y) {
+  const Range r = sh.bin_accum_chunks[item];
+  const eid_t base = sh.sparse_edge_base;
+  if (k == 1) {
+    for (std::uint64_t local = r.begin; local < r.end; ++local) {
+      value_t acc = Monoid::identity();
+      const eid_t lo = sparse.offsets[local], hi = sparse.offsets[local + 1];
+      for (eid_t j = lo; j < hi; ++j) {
+        acc = Monoid::combine(acc, values[sh.gather_pos[j - base]]);
+      }
+      y[num_hubs + local] = acc;
+    }
+  } else {
+    for (std::uint64_t local = r.begin; local < r.end; ++local) {
+      value_t* acc =
+          y + (static_cast<std::size_t>(num_hubs) + local) * k;
+      for (std::size_t lane = 0; lane < k; ++lane) {
+        acc[lane] = Monoid::identity();
+      }
+      const eid_t lo = sparse.offsets[local], hi = sparse.offsets[local + 1];
+      for (eid_t j = lo; j < hi; ++j) {
+        const value_t* v = values + sh.gather_pos[j - base] * k;
+        for (std::size_t lane = 0; lane < k; ++lane) {
+          acc[lane] = Monoid::combine(acc[lane], v[lane]);
+        }
+      }
+    }
+  }
+}
 
 /// Builds one shard's work decomposition and buffers for a team of
 /// `team_size` threads, resolving each owned block to shared or

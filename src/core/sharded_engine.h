@@ -59,9 +59,11 @@ struct ShardedPhaseTimes {
   double reset_s = 0.0;
   double push_s = 0.0;
   double merge_s = 0.0;
-  double pull_s = 0.0;
+  /// Binned shards' scatter pass (its own barrier; 0 when no shard binned).
+  double bin_scatter_s = 0.0;
+  double pull_s = 0.0;  ///< sparse accumulate-or-pull
   double total() const {
-    return exchange_s + reset_s + push_s + merge_s + pull_s;
+    return exchange_s + reset_s + push_s + merge_s + bin_scatter_s + pull_s;
   }
 };
 
@@ -161,6 +163,7 @@ class ShardedEngine {
       shards_.push_back(build_shard(ig, plans[s], team_size_[s], policy,
                                     Monoid::identity(),
                                     /*compute_remote=*/true));
+      any_binned_ = any_binned_ || shards_.back().sparse_binned;
     }
     IHTL_IF_INVARIANTS({
       vid_t dst = 0;
@@ -233,6 +236,25 @@ class ShardedEngine {
     return corruptions_applied_;
   }
 
+  /// Fault-injection hook (check lattice, --inject-bin-drop): on the first
+  /// shard with binned slots, the leading staged cache line of slot space
+  /// is overwritten with the monoid identity after every scatter barrier —
+  /// one dropped bin flush. Returns false (arming nothing) when no shard
+  /// runs the binned sparse path.
+  bool inject_bin_drop() {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (shards_[s].sparse_binned && shards_[s].sparse_edges > 0) {
+        bin_drop_shard_ = static_cast<long>(s);
+        return true;
+      }
+    }
+    return false;
+  }
+  std::uint64_t bin_drops_applied() const { return bin_drops_applied_; }
+
+  /// Whether any shard's sparse slice resolved to the binned path.
+  bool any_binned() const { return any_binned_; }
+
   /// Redirects spans/counters/gauges to `reg` (nullptr disables). Static
   /// per-shard facts (edges, flipped blocks, remote-set size) land as
   /// gauges once here; per-call volumes accumulate into counters.
@@ -244,6 +266,7 @@ class ShardedEngine {
       span_reset_ = reg->timer("sharded/reset");
       span_push_ = reg->timer("sharded/push");
       span_merge_ = reg->timer("sharded/merge");
+      span_bin_scatter_ = reg->timer("sharded/bin-scatter");
       span_pull_ = reg->timer("sharded/pull");
       calls_ = reg->counter("sharded.calls");
       batch_lanes_ = reg->counter("sharded.batch_lanes");
@@ -262,10 +285,13 @@ class ShardedEngine {
                        static_cast<double>(sh.remote_sources.size()));
         reg->set_gauge(base + ".team_size",
                        static_cast<double>(team_size_[s]));
+        reg->set_gauge(base + ".sparse_binned",
+                       sh.sparse_binned ? 1.0 : 0.0);
+        reg->set_gauge(base + ".bins", static_cast<double>(sh.num_bins));
       }
     } else {
       span_total_ = span_exchange_ = span_reset_ = span_push_ = span_merge_ =
-          span_pull_ = telemetry::TimerStat();
+          span_bin_scatter_ = span_pull_ = telemetry::TimerStat();
       calls_ = batch_lanes_ = exchange_values_ = exchange_bytes_ =
           local_values_ = telemetry::Counter();
     }
@@ -356,13 +382,14 @@ class ShardedEngine {
     // request flow-arrows bind into. Interning is a short mutex'd scan, and
     // the whole block is skipped when tracing is off.
     telemetry::TraceBuffer* const tb = telemetry::TraceBuffer::active();
-    std::uint32_t pn[5] = {};
+    std::uint32_t pn[6] = {};
     if (tb != nullptr) {
       pn[0] = tb->intern("sharded/exchange");
       pn[1] = tb->intern("sharded/reset");
       pn[2] = tb->intern("sharded/push");
       pn[3] = tb->intern("sharded/merge");
       pn[4] = tb->intern("sharded/pull");
+      pn[5] = tb->intern("sharded/bin-scatter");
     }
     auto traced = [&](std::size_t tid, std::uint32_t name,
                       const auto& body) {
@@ -531,14 +558,65 @@ class ShardedEngine {
     times_.merge_s = phase.elapsed_seconds();
     span_merge_.record_seconds(times_.merge_s);
 
-    // Phase 4: pull the shard's sparse slice from its mirror.
+    // Phase 4a (only when some shard resolved to the binned sparse path):
+    // binned shards scatter their sparse edges' x values into the static
+    // per-(chunk, bin) slot segments. Its own barrier — every slot must be
+    // written before any accumulate reads it. Non-binned shards idle here
+    // (their teams return immediately), which is why the phase is skipped
+    // wholesale when no shard is binned.
+    times_.bin_scatter_s = 0.0;
+    const Adjacency& sparse = ig_->sparse();
+    if (any_binned_) {
+      phase.reset();
+      hw.emplace(metrics_reg_, "sharded/bin-scatter");
+      reset_cursors();
+      pool_->run([&](std::size_t tid) {
+        traced(tid, pn[5], [&](Shard& sh, std::size_t s, std::size_t team) {
+          if (!sh.sparse_binned) return;
+          value_t* values =
+              batch ? sh.batch_bin_values.data() : sh.bin_values.data();
+          const value_t* xs = mirrors[s].data();
+          claim(s, sh.scatter_chunks.size(), [&](std::uint64_t c) {
+            shard_bin_scatter_chunk(sh, xs, k, team, c, values);
+          });
+        });
+      });
+      // Fault injection: drop the leading staged cache line of the armed
+      // shard's slot space. Applied on the caller thread between the
+      // scatter and accumulate barriers, so it cannot race with either.
+      if (bin_drop_shard_ >= 0) {
+        Shard& sh = shards_[static_cast<std::size_t>(bin_drop_shard_)];
+        value_t* values =
+            batch ? sh.batch_bin_values.data() : sh.bin_values.data();
+        const std::size_t len =
+            std::min<std::size_t>(kBinStageValues,
+                                  static_cast<std::size_t>(sh.sparse_edges)) *
+            k;
+        for (std::size_t i = 0; i < len; ++i) values[i] = Monoid::identity();
+        ++bin_drops_applied_;
+      }
+      times_.bin_scatter_s = phase.elapsed_seconds();
+      span_bin_scatter_.record_seconds(times_.bin_scatter_s);
+    }
+
+    // Phase 4: sparse slice into y — binned shards accumulate their slot
+    // segments in exact CSC order (bitwise-identical to the pull), the
+    // rest pull from their mirror.
     phase.reset();
     hw.emplace(metrics_reg_, "sharded/pull");
     reset_cursors();
-    const Adjacency& sparse = ig_->sparse();
     pool_->run([&](std::size_t tid) {
       traced(tid, pn[4], [&](Shard& sh, std::size_t s, std::size_t) {
         const value_t* xs = mirrors[s].data();
+        if (sh.sparse_binned) {
+          const value_t* values =
+              batch ? sh.batch_bin_values.data() : sh.bin_values.data();
+          claim(s, sh.bin_accum_chunks.size(), [&](std::uint64_t i) {
+            shard_bin_accumulate_chunk<Monoid>(sh, sparse, num_hubs, k, i,
+                                               values, y);
+          });
+          return;
+        }
         claim(s, sh.sparse_chunks.size(), [&](std::uint64_t p) {
           for (std::uint64_t local = sh.sparse_chunks[p].begin;
                local < sh.sparse_chunks[p].end; ++local) {
@@ -585,11 +663,14 @@ class ShardedEngine {
   int front_ = 0;
   long corrupt_shard_ = -1;
   std::uint64_t corruptions_applied_ = 0;
+  bool any_binned_ = false;
+  long bin_drop_shard_ = -1;
+  std::uint64_t bin_drops_applied_ = 0;
   ShardedPhaseTimes times_;
   ShardedSpmvStats stats_;
   telemetry::MetricsRegistry* metrics_reg_ = nullptr;
   telemetry::TimerStat span_total_, span_exchange_, span_reset_, span_push_,
-      span_merge_, span_pull_;
+      span_merge_, span_bin_scatter_, span_pull_;
   telemetry::Counter calls_, batch_lanes_, exchange_values_, exchange_bytes_,
       local_values_;
 };

@@ -1,5 +1,6 @@
 #include "telemetry/histogram.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "telemetry/metrics.h"
@@ -31,6 +32,12 @@ double LatencyHistogram::percentile_us(double p) const {
     total += counts[i];
   }
   if (total == 0) return 0.0;
+  // One sample: every percentile IS that sample, and sum_ns_ holds it
+  // exactly — no reason to answer a bucket midpoint that can be off by
+  // sqrt(2) in either direction.
+  if (total == 1) {
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-3;
+  }
   if (p < 0.0) p = 0.0;
   if (p > 100.0) p = 100.0;
   // Rank of the requested percentile (1-based, nearest-rank method).
@@ -40,10 +47,13 @@ double LatencyHistogram::percentile_us(double p) const {
   for (std::size_t i = 0; i < kBuckets; ++i) {
     seen += counts[i];
     if (seen > rank || (seen == total && counts[i] > 0)) {
-      // Bucket i spans [2^(i-1), 2^i) ns; answer its geometric midpoint.
+      // Bucket i spans [2^(i-1), 2^i) ns; answer its geometric midpoint,
+      // clamped to the exact observed maximum (the midpoint of the top
+      // occupied bucket can otherwise exceed every recorded sample).
       if (i == 0) return 0.0;
       const double lo = static_cast<double>(std::uint64_t{1} << (i - 1));
-      return lo * 1.4142135623730951 * 1e-3;  // sqrt(2)*lo ns -> us
+      const double est = lo * 1.4142135623730951 * 1e-3;  // sqrt(2)*lo -> us
+      return std::min(est, max_us());
     }
   }
   return 0.0;

@@ -54,7 +54,9 @@ class LatencyHistogram {
   }
 
   /// Latency (in microseconds) at percentile `p` in [0, 100]; 0 when empty.
-  /// Reconstructed from the log buckets (geometric-midpoint estimate).
+  /// Reconstructed from the log buckets (geometric-midpoint estimate,
+  /// clamped to max_us). With exactly one sample the answer is that sample,
+  /// exact — a one-request histogram reports p50 == the request's latency.
   double percentile_us(double p) const;
 
   /// Largest sample observed, exact (not bucketed), in microseconds.

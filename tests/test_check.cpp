@@ -160,6 +160,8 @@ TEST(SeedStability, DrawIsFrozen) {
   EXPECT_EQ(p.source, 114590u);
   EXPECT_EQ(p.x_seed, 3664447913708261913ull);
   // Appended in PR 3 (push-policy axis); draws after x_seed per the contract.
+  // The PR 10 binned roll (appended after the batch roll) left this seed's
+  // policy untouched — a roll of 0 would have overridden it to binned.
   EXPECT_EQ(p.push_policy, PushPolicy::shared);
   // Appended in PR 5 (batch axis); drawn after push_policy per the contract.
   EXPECT_EQ(p.batch, 1u);
@@ -170,7 +172,8 @@ TEST(SeedStability, DrawIsFrozen) {
 // merge/reset path cannot hide behind lattice sampling).
 TEST(SeedStability, PushPolicyLatticePinnedPerPolicyAndSemiring) {
   for (const PushPolicy policy : {PushPolicy::automatic, PushPolicy::shared,
-                                  PushPolicy::single_owner}) {
+                                  PushPolicy::single_owner,
+                                  PushPolicy::binned}) {
     for (const Workload w :
          {Workload::spmv_plus, Workload::spmv_min, Workload::spmv_max}) {
       DiffOptions opt;
@@ -220,6 +223,78 @@ TEST(SeedStability, InjectedFaultDetectedWithForcedBatch) {
   ASSERT_TRUE(failure.has_value())
       << "no lattice point produced a flipped block";
   EXPECT_FALSE(failure->report.ok);
+}
+
+// The binned sparse path's fault hook: armed on a web graph forced binned,
+// the dropped staged line must surface as a sparse-destination divergence
+// under the plus semiring, and the report must say drops were applied.
+TEST(Oracle, BinDropFaultIsDetected) {
+  const Graph g = testing::small_web(1u << 8);
+  ThreadPool pool(2);
+  IhtlConfig cfg;
+  cfg.push_policy = PushPolicy::binned;
+  OracleOptions opt;
+  opt.workload = Workload::spmv_plus;
+  opt.inject_bin_drop = true;
+  const OracleReport rep = check::run_oracle(pool, g, cfg, opt);
+  ASSERT_GT(rep.bin_drops_applied, 0u)
+      << "case never resolved to the binned sparse path";
+  ASSERT_FALSE(rep.ok);
+  EXPECT_EQ(rep.kind, "value");
+  ASSERT_TRUE(rep.first.has_value());
+  // Dropped slots feed sparse (non-hub) destinations only.
+  EXPECT_NE(rep.first->cls, VertexClass::hub);
+}
+
+// Same fault through the sharded engine and through the batched path: the
+// drop must land (and be detected) on both axes.
+TEST(Oracle, BinDropFaultDetectedShardedAndBatched) {
+  const Graph g = testing::small_web(1u << 8);
+  ThreadPool pool(2);
+  IhtlConfig cfg;
+  cfg.push_policy = PushPolicy::binned;
+  {
+    OracleOptions opt;
+    opt.workload = Workload::spmv_plus;
+    opt.inject_bin_drop = true;
+    opt.shards = 2;
+    const OracleReport rep = check::run_oracle(pool, g, cfg, opt);
+    ASSERT_GT(rep.bin_drops_applied, 0u);
+    EXPECT_FALSE(rep.ok) << rep.summary();
+  }
+  {
+    OracleOptions opt;
+    opt.workload = Workload::spmv_plus;
+    opt.inject_bin_drop = true;
+    opt.batch = 4;
+    const OracleReport rep = check::run_oracle(pool, g, cfg, opt);
+    ASSERT_GT(rep.bin_drops_applied, 0u);
+    EXPECT_FALSE(rep.ok) << rep.summary();
+  }
+}
+
+// run_point's fault-missed contract: with the drop armed across the lattice,
+// every point either reports a real divergence, never resolved binned (0
+// drops), or — the bug this guards against — would be flipped to a
+// "fault-missed" failure. At least one pinned point must actually arm.
+TEST(Oracle, BinDropLatticeSelfTest) {
+  DiffOptions opt;
+  opt.base_seed = 2026;
+  opt.force_workload = Workload::spmv_plus;
+  opt.force_push_policy = PushPolicy::binned;
+  opt.inject_bin_drop = true;
+  bool any_armed = false;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const CaseResult r =
+        check::run_point(check::point_seed(opt.base_seed, i), opt);
+    if (r.report.bin_drops_applied > 0) {
+      any_armed = true;
+      EXPECT_FALSE(r.report.ok)
+          << "drops applied but no divergence: " << r.params.describe();
+      EXPECT_NE(r.report.kind, "fault-missed") << r.params.describe();
+    }
+  }
+  EXPECT_TRUE(any_armed) << "no pinned point resolved to the binned path";
 }
 
 TEST(Telemetry, CheckCountersGrow) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "baselines/spmv.h"
 #include "core/ihtl_spmv.h"
 #include "gen/datasets.h"
@@ -235,8 +237,10 @@ void expect_policies_bit_identical(const Graph& g) {
   const auto y_single =
       run_policy<Monoid>(ig, pool, PushPolicy::single_owner, xp);
   const auto y_auto = run_policy<Monoid>(ig, pool, PushPolicy::automatic, xp);
+  const auto y_binned = run_policy<Monoid>(ig, pool, PushPolicy::binned, xp);
   EXPECT_EQ(y_shared, y_single);
   EXPECT_EQ(y_shared, y_auto);
+  EXPECT_EQ(y_shared, y_binned);
 }
 
 TEST(IhtlSpmvPolicy, PoliciesBitIdenticalPlus) {
@@ -252,7 +256,8 @@ TEST(IhtlSpmvPolicy, PoliciesBitIdenticalMax) {
 TEST(IhtlSpmvPolicy, ForcedPoliciesMatchSerialPullMultiThread) {
   const Graph g = small_rmat(9, 8);
   for (const PushPolicy policy : {PushPolicy::automatic, PushPolicy::shared,
-                                  PushPolicy::single_owner}) {
+                                  PushPolicy::single_owner,
+                                  PushPolicy::binned}) {
     ThreadPool pool(3);
     const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
     const auto x = random_values(g.num_vertices(), 62);
@@ -361,6 +366,142 @@ TEST(IhtlSpmvPolicy, OneShotEngineOverloadMatchesEngineless) {
   // The reuse overload leaves the engine consistent for further calls.
   ihtl_spmv_once(engine, x, y2);
   EXPECT_EQ(y1, y2);
+}
+
+// --- binned sparse path (propagation blocking) ------------------------------
+
+TEST(IhtlSpmvBinned, SparseRegionBitwiseMatchesPullOnFloats) {
+  // The gather permutation's contract: every sparse destination combines
+  // its in-edges in exact CSC stored order, so the binned sparse region is
+  // bitwise-identical to the pull's on arbitrary floats at ANY thread
+  // count and chunk assignment (the hub region needs integer inputs for a
+  // whole-vector bitwise claim — covered below).
+  const Graph g = small_web(1u << 10, 3);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  const vid_t num_hubs = ig.num_hubs();
+  ASSERT_GT(num_hubs, 0u);
+  ASSERT_LT(num_hubs, ig.num_vertices());
+  ThreadPool pool(4);
+  IhtlEngine<PlusMonoid> pull(ig, pool, PushPolicy::shared);
+  IhtlEngine<PlusMonoid> binned(ig, pool, PushPolicy::binned);
+  ASSERT_FALSE(pull.sparse_binned());
+  ASSERT_TRUE(binned.sparse_binned());
+  const auto x = random_values(ig.num_vertices(), 881);
+  std::vector<value_t> ya(x.size()), yb(x.size());
+  pull.spmv(x, ya);
+  binned.spmv(x, yb);
+  EXPECT_EQ(0, std::memcmp(ya.data() + num_hubs, yb.data() + num_hubs,
+                           (ya.size() - num_hubs) * sizeof(value_t)));
+  expect_values_near(ya, yb, 1e-9);  // hub region: same values, any order
+}
+
+TEST(IhtlSpmvBinned, IntegerInputsBitwiseMatchSharedPolicyMultiThread) {
+  // Small-integer sums are exact under any combine order, so the whole
+  // output — hub and sparse regions — must agree with the shared policy to
+  // the last bit even under multi-thread scheduling.
+  const Graph g = small_web(1u << 10, 3);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  ThreadPool pool(4);
+  std::vector<value_t> x(ig.num_vertices());
+  Rng rng(5);
+  for (auto& v : x) v = static_cast<value_t>(rng.next_below(8));
+  IhtlEngine<PlusMonoid> shared(ig, pool, PushPolicy::shared);
+  IhtlEngine<PlusMonoid> binned(ig, pool, PushPolicy::binned);
+  std::vector<value_t> ya(x.size()), yb(x.size());
+  for (int round = 0; round < 3; ++round) {
+    shared.spmv(x, ya);
+    binned.spmv(x, yb);
+    ASSERT_EQ(0, std::memcmp(ya.data(), yb.data(),
+                             ya.size() * sizeof(value_t)))
+        << "diverged at round " << round;
+    x = ya;
+  }
+}
+
+TEST(IhtlSpmvBinned, AllHubGraphLeavesNothingToBin) {
+  // Every vertex has in-degree >= 1 at min_hub_in_degree == 1: the hub
+  // range swallows the whole destination range and the forced-binned
+  // engine must degrade to "no sparse block" instead of building bins.
+  std::vector<Edge> edges;
+  for (vid_t v = 0; v < 64; ++v) edges.push_back({v, (v + 1) % 64});
+  const Graph g = build_graph(64, edges);
+  IhtlConfig cfg = cfg_with_hubs(8);
+  cfg.min_hub_in_degree = 1;
+  cfg.admission_ratio = 0.0;
+  const IhtlGraph ig = build_ihtl_graph(g, cfg);
+  ASSERT_EQ(ig.num_hubs(), ig.num_vertices());
+  ThreadPool pool(2);
+  IhtlEngine<PlusMonoid> engine(ig, pool, PushPolicy::binned);
+  EXPECT_FALSE(engine.sparse_binned());
+  EXPECT_EQ(engine.bin_count(), 0u);
+  EXPECT_FALSE(engine.inject_bin_drop());  // hook refuses: nothing to drop
+  const auto x = random_values(64, 884);
+  std::vector<value_t> expected(64), y(64), xp(64), yp(64);
+  spmv_pull_serial(g, x, expected);
+  for (vid_t v = 0; v < 64; ++v) xp[ig.old_to_new()[v]] = x[v];
+  engine.spmv(xp, yp);
+  for (vid_t v = 0; v < 64; ++v) y[v] = yp[ig.old_to_new()[v]];
+  expect_values_near(expected, y, 1e-12);
+}
+
+TEST(IhtlSpmvBinned, ZeroEdgeSparseSliceStillAnswersIdentity) {
+  // Star graph: one mega-hub owns every edge, so the remaining sparse
+  // destinations form a slice with ZERO edges. Forced binned must survive
+  // the empty scatter (no sources, no slots) and write the identity fill.
+  std::vector<Edge> edges;
+  for (vid_t v = 1; v < 128; ++v) edges.push_back({v, 0});
+  const Graph g = build_graph(128, edges);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(8));
+  ThreadPool pool(2);
+  IhtlEngine<PlusMonoid> engine(ig, pool, PushPolicy::binned);
+  ASSERT_TRUE(engine.sparse_binned());
+  EXPECT_GE(engine.bin_count(), 1u);
+  EXPECT_FALSE(engine.inject_bin_drop());  // an armed drop needs edges
+  const auto x = random_values(128, 885);
+  std::vector<value_t> expected(128), y(128), xp(128), yp(128);
+  spmv_pull_serial(g, x, expected);
+  for (vid_t v = 0; v < 128; ++v) xp[ig.old_to_new()[v]] = x[v];
+  engine.spmv(xp, yp);
+  for (vid_t v = 0; v < 128; ++v) y[v] = yp[ig.old_to_new()[v]];
+  expect_values_near(expected, y, 1e-12);
+}
+
+TEST(IhtlSpmvBinned, TinySpanGetsMoreBinsThanThreadsAndStaysBitwise) {
+  // A slice far smaller than one bin's 2 MiB byte target: the team floor
+  // still asks for 4 bins per thread (bin count > thread count is the
+  // normal regime), and at one worker the whole output stays bitwise-equal
+  // to the shared policy on arbitrary floats.
+  const Graph g = small_rmat(8, 8, 13);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  ThreadPool pool(1);
+  IhtlEngine<PlusMonoid> binned(ig, pool, PushPolicy::binned);
+  ASSERT_TRUE(binned.sparse_binned());
+  EXPECT_GT(binned.bin_count(), pool.size());
+  IhtlEngine<PlusMonoid> shared(ig, pool, PushPolicy::shared);
+  const auto x = random_values(ig.num_vertices(), 883);
+  std::vector<value_t> ya(x.size()), yb(x.size());
+  shared.spmv(x, ya);
+  binned.spmv(x, yb);
+  EXPECT_EQ(0,
+            std::memcmp(ya.data(), yb.data(), ya.size() * sizeof(value_t)));
+}
+
+TEST(IhtlSpmvBinned, BinDropHookPerturbsPositiveInputs) {
+  // The fault-injection contract the check lattice leans on: with strictly
+  // positive inputs under plus, a dropped slot always changes some sum.
+  const Graph g = small_web(1u << 9, 4);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  ThreadPool pool(2);
+  IhtlEngine<PlusMonoid> clean(ig, pool, PushPolicy::binned);
+  IhtlEngine<PlusMonoid> faulty(ig, pool, PushPolicy::binned);
+  ASSERT_TRUE(faulty.inject_bin_drop());
+  std::vector<value_t> x(ig.num_vertices(), 1.0), yc(x.size()), yf(x.size());
+  clean.spmv(x, yc);
+  faulty.spmv(x, yf);
+  EXPECT_GE(faulty.bin_drops_applied(), 1u);
+  EXPECT_NE(0,
+            std::memcmp(yc.data(), yf.data(), yc.size() * sizeof(value_t)))
+      << "dropped bin slots left the results untouched";
 }
 
 // --- batched (SpMM-style) path ----------------------------------------------
@@ -563,9 +704,21 @@ TEST(IhtlSpmvBatchPath, MaxMonoidBatchEquivalence) {
 
 TEST(IhtlSpmvBatchPath, ForcedPoliciesBatchEquivalence) {
   for (const PushPolicy policy : {PushPolicy::automatic, PushPolicy::shared,
-                                  PushPolicy::single_owner}) {
+                                  PushPolicy::single_owner,
+                                  PushPolicy::binned}) {
     expect_batch_matches_serial(small_rmat(9, 8), cfg_with_hubs(16), 3, 4, 77,
                                 policy);
+  }
+}
+
+TEST(IhtlSpmvBatchPath, BinnedLanesMatchSerialAtKOneAndKEight) {
+  // Degenerate binned lane counts: k == 1 (the scalar-width rows) and
+  // k == 8 (a full cache line per slot row) both land on the k-lane
+  // scatter->accumulate and must match the serial batch pull.
+  for (const std::size_t k : {1u, 8u}) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    expect_batch_matches_serial(small_web(1u << 9, 4), cfg_with_hubs(16), 3,
+                                k, 900 + k, PushPolicy::binned);
   }
 }
 

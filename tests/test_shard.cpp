@@ -332,6 +332,154 @@ TEST(ShardedEngine, CorruptionHookRefusesWhenNoRemoteSlice) {
 
 // ---------------------------------------------------------------------------
 
+TEST(SingleOwnerBoundary, AutomaticThresholdEdgeIsPinned) {
+  // The exact boundary of block_single_owner under automatic: a block AT
+  // max(4096, flipped/(16 T)) edges goes single-owner, one past it goes
+  // shared. Pinning both sides keeps every caller (the unsharded engine,
+  // each per-shard team) making the same call — the fix this PR ships was
+  // exactly the two paths disagreeing here.
+  // Light shard: the 4096-edge floor dominates.
+  EXPECT_TRUE(block_single_owner(4096, 10'000, 4, PushPolicy::automatic));
+  EXPECT_FALSE(block_single_owner(4097, 10'000, 4, PushPolicy::automatic));
+  // Heavy shard: the proportional term dominates (T=2 -> flipped/32 = 8192).
+  EXPECT_TRUE(block_single_owner(8192, 262'144, 2, PushPolicy::automatic));
+  EXPECT_FALSE(block_single_owner(8193, 262'144, 2, PushPolicy::automatic));
+  // Wide team on the same edges: the proportional term shrinks below the
+  // floor and the floor takes back over.
+  EXPECT_TRUE(block_single_owner(4096, 262'144, 16, PushPolicy::automatic));
+  EXPECT_FALSE(block_single_owner(4097, 262'144, 16, PushPolicy::automatic));
+}
+
+TEST(SingleOwnerBoundary, ForcedPoliciesAndDegenerateInputs) {
+  // shared forces merge for every block; zero-edge blocks stay shared
+  // under EVERY policy (the merge tiles supply their hubs' identity fill);
+  // one worker makes any block direct; binned classifies flipped blocks
+  // exactly like automatic (it is a sparse-block policy).
+  EXPECT_FALSE(block_single_owner(1 << 20, 1 << 20, 4, PushPolicy::shared));
+  EXPECT_FALSE(block_single_owner(0, 0, 4, PushPolicy::single_owner));
+  EXPECT_FALSE(block_single_owner(0, 0, 1, PushPolicy::automatic));
+  EXPECT_TRUE(block_single_owner(1, 1, 4, PushPolicy::single_owner));
+  EXPECT_TRUE(block_single_owner(1 << 20, 1 << 20, 1, PushPolicy::automatic));
+  EXPECT_TRUE(block_single_owner(4096, 10'000, 4, PushPolicy::binned));
+  EXPECT_FALSE(block_single_owner(4097, 10'000, 4, PushPolicy::binned));
+}
+
+TEST(SingleOwnerBoundary, EngineAndSingleShardClassifyIdentically) {
+  // The S=1 bitwise contract presumes the same shared/single-owner call for
+  // every block and the same sparse mode; compare the decompositions of
+  // the two engines directly instead of only their outputs.
+  const Graph g = small_rmat(10, 8, 33);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  ThreadPool pool(3);
+  IhtlEngine<PlusMonoid> engine(ig, pool);
+  ShardedEngine<PlusMonoid> sharded(ig, pool, 1);
+  const Shard& a = engine.shard();
+  const Shard& b = sharded.shard(0);
+  ASSERT_EQ(a.num_blocks(), b.num_blocks());
+  EXPECT_EQ(a.single_owner_blocks, b.single_owner_blocks);
+  EXPECT_EQ(a.block_direct, b.block_direct);
+  EXPECT_EQ(a.sparse_binned, b.sparse_binned);
+  EXPECT_EQ(a.num_bins, b.num_bins);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ShardedEngine, BinnedPolicyBitwiseMatchesUnshardedBinned) {
+  // Integer inputs are exact under any combine order, so the forced-binned
+  // sharded engine must match the unsharded binned engine bit for bit at
+  // any S (the static-slot gather already makes the sparse region
+  // deterministic even on floats; integers extend the claim to the hubs).
+  const Graph g = small_web(1u << 10, 3);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  ThreadPool pool(4);
+  IhtlEngine<PlusMonoid> reference(ig, pool, PushPolicy::binned);
+  ASSERT_TRUE(reference.sparse_binned());
+  std::vector<value_t> x(ig.num_vertices());
+  Rng rng(11);
+  for (auto& v : x) v = static_cast<value_t>(rng.next_below(8));
+  std::vector<value_t> ya(x.size()), yb(x.size());
+  reference.spmv(x, ya);
+  for (const std::size_t s : {1u, 2u, 3u, 5u}) {
+    SCOPED_TRACE("shards=" + std::to_string(s));
+    ShardedEngine<PlusMonoid> sharded(ig, pool, s, PushPolicy::binned);
+    EXPECT_TRUE(sharded.any_binned());
+    sharded.spmv(x, yb);
+    EXPECT_EQ(0,
+              std::memcmp(ya.data(), yb.data(), ya.size() * sizeof(value_t)));
+  }
+}
+
+TEST(ShardedEngine, BinnedBatchMatchesUnshardedAcrossLaneCounts) {
+  const Graph g = small_web(1u << 9, 4);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  const std::size_t n = ig.num_vertices();
+  ThreadPool pool(3);
+  IhtlEngine<PlusMonoid> reference(ig, pool, PushPolicy::binned);
+  ShardedEngine<PlusMonoid> sharded(ig, pool, 3, PushPolicy::binned);
+  for (const std::size_t k : {1u, 8u}) {
+    SCOPED_TRACE("k=" + std::to_string(k));
+    std::vector<value_t> x(n * k);
+    Rng rng(21 + k);
+    for (auto& v : x) v = static_cast<value_t>(rng.next_below(8));
+    std::vector<value_t> ya(n * k), yb(n * k);
+    reference.spmv_batch(x, ya, k);
+    sharded.spmv_batch(x, yb, k);
+    EXPECT_EQ(0,
+              std::memcmp(ya.data(), yb.data(), ya.size() * sizeof(value_t)));
+  }
+}
+
+TEST(ShardedEngine, BinDropHookPerturbsBinnedResults) {
+  const Graph g = small_web(1u << 9, 4);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  ThreadPool pool(2);
+  ShardedEngine<PlusMonoid> clean(ig, pool, 2, PushPolicy::binned);
+  ShardedEngine<PlusMonoid> faulty(ig, pool, 2, PushPolicy::binned);
+  ASSERT_TRUE(faulty.inject_bin_drop());
+  std::vector<value_t> x(ig.num_vertices(), 1.0), yc(x.size()), yf(x.size());
+  clean.spmv(x, yc);
+  faulty.spmv(x, yf);
+  EXPECT_GE(faulty.bin_drops_applied(), 1u);
+  EXPECT_NE(0, std::memcmp(yc.data(), yf.data(), yc.size() * sizeof(value_t)))
+      << "dropped bin slots left the sharded results untouched";
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ShardBatchLanes, LayoutChangeUnderSameLaneCountRebuilds) {
+  // Failing-before regression (this PR's batch-boundary fix):
+  // ensure_batch_lanes used to key its cache on the lane count alone, so a
+  // layout change under a cached k — an in-place patch growing the hub
+  // span or the sparse edge count — handed spmv_batch buffers sized for
+  // the PRE-change layout. The cache key is now the required sizes.
+  const Graph g = small_rmat(9, 8, 77);
+  const IhtlGraph ig = build_ihtl_graph(g, cfg_with_hubs(16));
+  const auto plans = plan_shards(ig, 1);
+
+  Shard sh = build_shard(ig, plans[0], 2, PushPolicy::shared, 0.0, false);
+  ASSERT_TRUE(sh.any_shared());
+  sh.ensure_batch_lanes(4, 0.0);
+  const std::size_t before = sh.batch_buffers.length();
+  ASSERT_EQ(before, static_cast<std::size_t>(sh.num_hubs()) * 4);
+  sh.hub_end += 8;  // the patched layout owns more hubs at the same k
+  sh.ensure_batch_lanes(4, 0.0);
+  EXPECT_EQ(sh.batch_buffers.length(),
+            static_cast<std::size_t>(sh.num_hubs()) * 4);
+  EXPECT_GT(sh.batch_buffers.length(), before);
+
+  Shard sb = build_shard(ig, plans[0], 2, PushPolicy::binned, 0.0, false);
+  ASSERT_TRUE(sb.sparse_binned);
+  sb.ensure_batch_lanes(4, 0.0);
+  ASSERT_EQ(sb.batch_bin_values.size(),
+            static_cast<std::size_t>(sb.sparse_edges) * 4);
+  sb.sparse_edges += 16;  // more sparse edges at the same k
+  sb.ensure_batch_lanes(4, 0.0);
+  EXPECT_EQ(sb.batch_bin_values.size(),
+            static_cast<std::size_t>(sb.sparse_edges) * 4);
+}
+
+// ---------------------------------------------------------------------------
+
 TEST(ShardLattice, SmallLatticeIsClean) {
   check::ShardCheckOptions opt;
   opt.points = 4;

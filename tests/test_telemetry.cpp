@@ -476,6 +476,59 @@ TEST(LatencyHistogram, MergeOfEmptiesStaysZeroEverywhere) {
   EXPECT_DOUBLE_EQ(a.max_us(), 0.0);
 }
 
+TEST(LatencyHistogram, SingleSampleEveryPercentileIsThatSampleExactly) {
+  // Failing-before regression (this PR's percentile fix): with one sample
+  // the old estimator answered the bucket's geometric midpoint — a
+  // one-request histogram reported p50 != the request's own latency, off
+  // by up to sqrt(2). One sample now answers sum_ns exactly.
+  telemetry::LatencyHistogram h;
+  h.record_ns(10'000);  // 10us; bucket midpoint would be ~11.6us
+  for (const double p : {0.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile_us(p), 10.0) << "p=" << p;
+  }
+  EXPECT_DOUBLE_EQ(h.max_us(), 10.0);
+}
+
+TEST(LatencyHistogram, TwoEqualSamplesRevertToTheBucketEstimate) {
+  // The exact-single-sample answer is a special case: at two samples the
+  // estimator is bucketed again, and must stay inside the samples' bucket.
+  telemetry::LatencyHistogram h;
+  h.record_ns(3'700);
+  h.record_ns(3'700);
+  const double p50 = h.percentile_us(50);
+  EXPECT_GE(p50, 2.048);  // bucket [2048, 4096) ns
+  EXPECT_LE(p50, 3.7);    // clamped to the observed max
+  EXPECT_DOUBLE_EQ(h.percentile_us(99), p50);
+}
+
+TEST(LatencyHistogram, MidpointIsClampedToTheObservedMax) {
+  // Two samples low in their bucket: the geometric midpoint (724ns for
+  // bucket [512, 1024)) exceeds every recorded sample, so the estimate
+  // must clamp to the exact max instead of inventing a larger latency.
+  telemetry::LatencyHistogram h;
+  h.record_ns(520);
+  h.record_ns(530);
+  EXPECT_DOUBLE_EQ(h.percentile_us(50), 0.53);
+  EXPECT_DOUBLE_EQ(h.percentile_us(99), 0.53);
+  EXPECT_DOUBLE_EQ(h.max_us(), 0.53);
+}
+
+TEST(LatencyHistogram, BucketBoundarySamplesLandInAdjacentBuckets) {
+  // Bucket i holds bit_width(ns) == i, i.e. [2^(i-1), 2^i): 1023 and 1024
+  // straddle the bucket-10/11 boundary. Percentiles stay ordered and
+  // within the recorded range.
+  telemetry::LatencyHistogram h;
+  h.record_ns(1'023);
+  h.record_ns(1'024);
+  EXPECT_EQ(h.bucket_count(10), 1u);
+  EXPECT_EQ(h.bucket_count(11), 1u);
+  EXPECT_DOUBLE_EQ(telemetry::LatencyHistogram::bucket_upper_us(10), 1.024);
+  EXPECT_LE(h.percentile_us(50), h.percentile_us(99));
+  EXPECT_LE(h.percentile_us(99), h.max_us());
+  EXPECT_GT(h.percentile_us(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.max_us(), 1.024);
+}
+
 // -------------------------------------------------------------- exposition
 
 TEST(Exposition, SanitizesMetricNames) {

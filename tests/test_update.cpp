@@ -312,6 +312,47 @@ TEST(SessionUpdate, RejectedBatchLeavesEverythingUnchanged) {
   EXPECT_EQ(session.ppr_batch(sources, 3, 0.85), before);
 }
 
+TEST(SessionUpdate, BatchedPprAfterUpdateMatchesFreshSession) {
+  // Failing-before shape of the stale-lane-cache bug (the Shard-level
+  // regression lives in test_shard.cpp): run batched ppr BEFORE the update
+  // so the k-lane batch state exists, mutate the graph, and the same
+  // batched query must answer like a session built from scratch on the
+  // post-update graph — not through buffers sized for the old layout.
+  const Graph g = small_web(1 << 8);
+  GraphSession session(small_web(1 << 8), small_session());
+  const std::vector<vid_t> sources = {3, 9, 17, 40};
+  (void)session.ppr_batch(sources, 4, 0.85);  // bake the k=4 lane state
+
+  UpdateBatch batch;
+  batch.insert = {{2, 7}, {9, 1}, {30, 31}, {0, 40}};
+  batch.remove = {to_edge_list(g).front()};
+  session.apply_update(batch);
+
+  GraphSession fresh(apply_update(g, batch), small_session());
+  expect_values_near(fresh.ppr_batch(sources, 4, 0.85),
+                     session.ppr_batch(sources, 4, 0.85));
+}
+
+TEST(SessionUpdate, BinnedPolicySessionSurvivesUpdateAndBatchedQueries) {
+  // The binned scatter->accumulate path through the full session stack:
+  // batched queries, then an update (engines rebuilt over the patched
+  // layout, binned structures included), then batched queries again.
+  SessionOptions opt = small_session();
+  opt.ihtl.push_policy = PushPolicy::binned;
+  const Graph g = small_web(1 << 8);
+  GraphSession session(small_web(1 << 8), opt);
+  const std::vector<vid_t> sources = {1, 5};
+  (void)session.ppr_batch(sources, 3, 0.85);
+
+  UpdateBatch batch;
+  batch.insert = {{4, 9}, {10, 3}};
+  session.apply_update(batch);
+
+  GraphSession fresh(apply_update(g, batch), opt);
+  expect_values_near(fresh.ppr_batch(sources, 3, 0.85),
+                     session.ppr_batch(sources, 3, 0.85));
+}
+
 TEST(SessionUpdate, EmptyBatchIsANoOpAtTheSameEpoch) {
   GraphSession session(small_web(1 << 7), small_session());
   const UpdateStats st = session.apply_update(UpdateBatch{});

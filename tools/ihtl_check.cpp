@@ -57,6 +57,7 @@ int handle_failure(const CaseResult& failure, const DiffOptions& opt,
   if (opt.force_batch) std::cerr << " --batch " << *opt.force_batch;
   if (opt.force_shards) std::cerr << " --shards " << *opt.force_shards;
   if (opt.engine_override) std::cerr << " --inject-fault";
+  if (opt.inject_bin_drop) std::cerr << " --inject-bin-drop";
   std::cerr << "\n";
   if (!minimize) return 1;
 
@@ -95,7 +96,8 @@ int main(int argc, char** argv) {
                 "pagerank, pagerank-delta, hits, bfs, kcore)");
   args.add_flag("threads", true, "force the thread count (0 = lattice)");
   args.add_flag("push-policy", true,
-                "force the engine push policy (auto, shared, single-owner)");
+                "force the engine push policy (auto, shared, single-owner, "
+                "binned)");
   args.add_flag("batch", true,
                 "force the batch lane count for SpMV-shaped workloads "
                 "(0 = lattice; k>1 runs the batched engine path)");
@@ -104,6 +106,11 @@ int main(int argc, char** argv) {
   args.add_flag("inject-trace-drop", false,
                 "install a drop-all trace buffer: the check must reach the "
                 "same verdict while every trace event is discarded");
+  args.add_flag("inject-bin-drop", false,
+                "arm the binned sparse path's bin-drop fault (one staged "
+                "cache line of scattered contributions is erased after every "
+                "scatter); points that run binned under spmv-plus must "
+                "report a divergence (self-test)");
   args.add_flag("serve-points", true,
                 "also run N points of the serve lattice: concurrent TCP "
                 "clients vs a serial oracle (0 = skip; separate seed space "
@@ -175,7 +182,7 @@ int main(int argc, char** argv) {
     const std::optional<PushPolicy> p = push_policy_from_name(name);
     if (!p) {
       std::cerr << "error: unknown push policy '" << name
-                << "' (auto, shared, single-owner)\n";
+                << "' (auto, shared, single-owner, binned)\n";
       return 2;
     }
     opt.force_push_policy = p;
@@ -197,6 +204,7 @@ int main(int argc, char** argv) {
     opt.force_shards = static_cast<std::size_t>(s);
   }
   if (args.has("inject-fault")) opt.engine_override = drop_merge_fault();
+  opt.inject_bin_drop = args.has("inject-bin-drop");
   std::optional<TraceDropFault> trace_drop;
   if (args.has("inject-trace-drop")) trace_drop.emplace();
 
